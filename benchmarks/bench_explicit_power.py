@@ -1,0 +1,53 @@
+"""Explicit-A² baseline vs FBMPK (design-space comparison).
+
+Both approaches halve the number of matrix passes per power; the
+difference is what each pass streams: FBMPK streams ``nnz(A)`` with no
+extra storage, the explicit square streams ``nnz(A²)`` after a one-off
+SpGEMM.  Fill-in decides the winner — this bench measures it on the
+stand-ins and reports the streamed-entry ratio across k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExplicitPowerMPK
+from repro.bench import bench_rows, format_table, standin, write_report
+from repro.core import mpk_standard
+
+MATRICES = ["G3_circuit", "af_shell10", "cage14"]
+
+
+def test_explicit_square_vs_fbmpk(benchmark):
+    n = min(bench_rows(), 6000)  # SpGEMM intermediates grow fast
+    rows = []
+    ops = {}
+    for name in MATRICES:
+        a = standin(name, n)
+        op = ExplicitPowerMPK(a)
+        ops[name] = (a, op)
+        rows.append([
+            name, a.nnz, op.a2.nnz, f"{op.fill_in:.2f}x",
+            f"{op.entries_vs_fbmpk(5):.2f}x",
+            f"{op.entries_vs_fbmpk(9):.2f}x",
+        ])
+    table = format_table(
+        ["matrix", "nnz(A)", "nnz(A^2)", "fill-in",
+         "streamed vs FBMPK k=5", "k=9"],
+        rows,
+        title="Explicit-A^2 MPK vs FBMPK: both halve passes, fill-in "
+              "decides the traffic",
+    )
+    write_report("explicit_power", table)
+
+    # Correctness + timing of the explicit pipeline.
+    a, op = ops["af_shell10"]
+    x = np.random.default_rng(2).standard_normal(a.n_rows)
+    y = benchmark(lambda: op.power(x, 5))
+    assert np.allclose(y, mpk_standard(a, x, 5), rtol=1e-8, atol=1e-10)
+
+    # The design contrast holds on every stand-in: fill-in > 1 makes
+    # the explicit square stream more than FBMPK at k >= 5.
+    for name in MATRICES:
+        _, op = ops[name]
+        assert op.fill_in > 1.2, name
+        assert op.entries_vs_fbmpk(5) > 1.0, name

@@ -1,0 +1,65 @@
+"""Fig 10 — ablation: forward-backward (FB) alone vs FB plus back-to-back
+(BtB) vector interleaving, on FT 2000+ and Xeon, k=5.
+
+Expected shape (Section V-D): both variants beat the baseline; BtB adds a
+further ~6% on FT 2000+ (no L3, tiny usable cache, so the pair-gather
+miss term matters) but only a modest amount on Xeon (35.75 MB L3 absorbs
+the pair working set for many inputs).
+"""
+
+from repro.bench import format_table, geomean, write_report
+from repro.bench.paper_data import FIG10_FT_AVERAGES
+from repro.machine import FT2000P, XEON_6230R, predict_speedup
+from repro.matrices import TABLE2
+
+K = 5
+PLATS = [FT2000P, XEON_6230R]
+
+
+def _ablation():
+    out = {}
+    for p in PLATS:
+        out[p.name] = {
+            m.name: {
+                "fb": predict_speedup(p, m.traffic_stats(), k=K,
+                                      method="fb"),
+                "fb+btb": predict_speedup(p, m.traffic_stats(), k=K,
+                                          method="fb+btb"),
+            }
+            for m in TABLE2
+        }
+    return out
+
+
+def test_fig10_btb_ablation(benchmark):
+    res = benchmark(_ablation)
+    rows = []
+    for m in TABLE2:
+        rows.append([m.name]
+                    + [res[p.name][m.name][v]
+                       for p in PLATS for v in ("fb", "fb+btb")])
+    means = {
+        (p.name, v): geomean([res[p.name][m.name][v] for m in TABLE2])
+        for p in PLATS for v in ("fb", "fb+btb")
+    }
+    rows.append(["average (model)"]
+                + [means[(p.name, v)] for p in PLATS
+                   for v in ("fb", "fb+btb")])
+    rows.append(["average (paper)", FIG10_FT_AVERAGES["fb"],
+                 FIG10_FT_AVERAGES["fb+btb"], float("nan"), float("nan")])
+    table = format_table(
+        ["matrix", "FT:FB", "FT:FB+BtB", "Xeon:FB", "Xeon:FB+BtB"], rows,
+        title=f"Fig 10: FB vs FB+BtB speedup over baseline (k={K}); "
+              "paper row gives FT 2000+ averages (1.41 -> 1.50)",
+    )
+    write_report("fig10_ablation", table)
+
+    ft_gain = means[("FT 2000+", "fb+btb")] / means[("FT 2000+", "fb")]
+    xeon_gain = means[("Intel Xeon", "fb+btb")] / means[("Intel Xeon", "fb")]
+    # BtB must help on FT 2000+ …
+    assert ft_gain > 1.005, f"BtB gain on FT only {ft_gain:.3f}"
+    # …more than it helps on Xeon (where it is 'modest').
+    assert ft_gain > xeon_gain, (ft_gain, xeon_gain)
+    # Both variants still beat the baseline on average everywhere.
+    for key, val in means.items():
+        assert val > 1.0, (key, val)

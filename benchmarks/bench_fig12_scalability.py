@@ -1,0 +1,106 @@
+"""Fig 12 — thread scalability on FT 2000+ (k=5).
+
+Two reproductions:
+
+* paper scale: the performance model sweeps threads for all 14 matrices,
+  normalised to the single-threaded baseline — expected averages ~2x at
+  4 threads rising to the mid/high teens at 64, with ``cant`` and
+  ``G3_circuit`` flattening early (small matrices, Section V-G);
+* schedule level: the deterministic thread simulator executes the actual
+  ABMC phase structure of a ``cant`` stand-in and must show the
+  efficiency collapse at high thread counts that the paper attributes to
+  per-block work being too small.
+"""
+
+import numpy as np
+
+from repro.bench import bench_rows, format_table, geomean, standin, write_report
+from repro.bench.paper_data import FIG12_AVERAGE_SPEEDUP
+from repro.machine import FT2000P, predict_mpk_time
+from repro.matrices import TABLE2
+from repro.parallel import block_cost_model, build_phases, simulate_phases
+from repro.reorder import abmc_ordering, permute_symmetric
+from repro.core.partition import split_ldu
+
+K = 5
+THREADS = [4, 8, 16, 24, 32, 48, 64]
+
+
+def _model_sweep():
+    out = {}
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        base1 = predict_mpk_time(FT2000P, stats, K, threads=1,
+                                 method="standard").total
+        out[m.name] = {
+            t: base1 / predict_mpk_time(FT2000P, stats, K, threads=t).total
+            for t in THREADS
+        }
+    return out
+
+
+def test_fig12_model_scalability(benchmark):
+    speedups = benchmark(_model_sweep)
+    rows = [[m.name] + [speedups[m.name][t] for t in THREADS]
+            for m in TABLE2]
+    means = {t: geomean([speedups[m.name][t] for m in TABLE2])
+             for t in THREADS}
+    rows.append(["average (model)"] + [means[t] for t in THREADS])
+    rows.append(["average (paper)", FIG12_AVERAGE_SPEEDUP[4]]
+                + ["-"] * (len(THREADS) - 2) + [FIG12_AVERAGE_SPEEDUP[64]])
+    table = format_table(
+        ["matrix"] + [f"T={t}" for t in THREADS], rows,
+        title=f"Fig 12: FBMPK speedup over 1-thread baseline on FT 2000+ "
+              f"(k={K})",
+    )
+    write_report("fig12_scalability", table)
+
+    # Averages scale: small-thread ballpark ~2x, large-thread >= 10x.
+    assert 1.2 <= means[4] <= 4.0, means[4]
+    assert means[64] >= 10.0, means[64]
+    assert means[64] > means[4]
+    # The small matrices flatten relative to the large ones: cant's
+    # 24->64-thread gain trails Flan_1565's (the paper's Fig 12b story;
+    # the absolute crossover below the baseline is a finer effect our
+    # model reproduces only partially — see EXPERIMENTS.md).
+    cant = speedups["cant"]
+    big = speedups["Flan_1565"]
+    assert cant[64] / cant[24] < big[64] / big[24], (cant, big)
+    # Large matrices keep scaling materially past 24 threads.
+    assert big[64] >= big[24] * 1.2, big
+
+
+def test_fig12_schedule_simulation(benchmark):
+    """Simulated static schedule of cant's actual ABMC phases: parallel
+    efficiency collapses as threads exceed the per-colour block supply
+    (the paper's "thread overhead outweighs the improvement")."""
+    # Full-size cant stand-in with the paper's block granularity
+    # (~122 rows per block -> ~512 blocks).
+    a = standin("cant", 62_451)
+    ordering = abmc_ordering(a, block_size=122)
+    reordered = permute_symmetric(a, ordering.perm)
+    part = split_ldu(reordered)
+    phases = build_phases(ordering, part.lower)
+
+    def run(threads: int):
+        cost = block_cost_model(FT2000P, threads)
+        return simulate_phases(phases, threads, cost,
+                               barrier_s=FT2000P.barrier_seconds(threads))
+
+    r4 = run(4)
+    r24 = run(24)
+    r64 = benchmark(lambda: run(64))
+    report = format_table(
+        ["threads", "makespan (ms)", "efficiency"],
+        [[t, r.total_time * 1e3, f"{r.efficiency:.2f}"]
+         for t, r in ((4, r4), (24, r24), (64, r64))],
+        title="Fig 12b: simulated ABMC schedule of one FBMPK sweep on the "
+              "cant stand-in (512 blocks of ~122 rows)",
+    )
+    write_report("fig12_schedule_sim", report)
+    # Threads help up to the per-colour block supply…
+    assert r24.total_time < r4.total_time
+    # …but 24 -> 64 threads buys little or nothing (the flattening of
+    # Fig 12b), and parallel efficiency collapses.
+    assert r64.total_time > 0.6 * r24.total_time
+    assert r64.efficiency < 0.7 * r4.efficiency

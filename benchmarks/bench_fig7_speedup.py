@@ -1,0 +1,57 @@
+"""Fig 7 — FBMPK speedup over the baseline MPK, k=5, four platforms.
+
+Reproduced with the machine performance model over the registry's
+paper-scale matrix statistics (the substitute for the paper's hardware;
+DESIGN.md).  Expected shape: FBMPK wins on nearly every matrix, the Xeon
+column is the strongest (its baseline is MKL), and the per-platform
+averages land near the paper's 1.50/1.54/1.47/1.73.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, geomean, write_report
+from repro.bench.paper_data import FIG7_AVERAGE_SPEEDUP, FIG7_MAX_SPEEDUP
+from repro.machine import PLATFORMS, predict_speedup
+from repro.matrices import TABLE2
+
+K = 5
+
+
+def _fig7_matrix():
+    results = {}
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        results[m.name] = {
+            p.name: predict_speedup(p, stats, k=K) for p in PLATFORMS
+        }
+    return results
+
+
+def test_fig7_speedups(benchmark):
+    results = benchmark(_fig7_matrix)
+    rows = []
+    for m in TABLE2:
+        rows.append([m.name] + [results[m.name][p.name] for p in PLATFORMS])
+    means = {p.name: geomean([results[m.name][p.name] for m in TABLE2])
+             for p in PLATFORMS}
+    rows.append(["average (model)"] + [means[p.name] for p in PLATFORMS])
+    rows.append(["average (paper)"]
+                + [FIG7_AVERAGE_SPEEDUP[p.name] for p in PLATFORMS])
+    table = format_table(
+        ["matrix"] + [p.name for p in PLATFORMS], rows,
+        title=f"Fig 7: modelled FBMPK speedup over baseline MPK (k={K})",
+    )
+    write_report("fig7_speedup", table)
+
+    # Shape assertions: FBMPK wins on the vast majority of cases…
+    all_vals = [v for per in results.values() for v in per.values()]
+    wins = sum(v > 1.0 for v in all_vals)
+    assert wins >= 0.8 * len(all_vals), "FBMPK should win most cases"
+    # …averages in the paper's band…
+    for p in PLATFORMS:
+        assert 1.1 <= means[p.name] <= 2.0, (p.name, means[p.name])
+    # …Xeon (MKL baseline) shows the largest average gain…
+    assert means["Intel Xeon"] == max(means.values())
+    # …and the peak speedup is in the paper's ballpark (max 2.32).
+    assert max(all_vals) <= FIG7_MAX_SPEEDUP + 0.6
+    assert max(all_vals) >= 1.5

@@ -1,0 +1,115 @@
+"""Fig 9 — DRAM read+write volume ratio, FBMPK over baseline, on Xeon.
+
+Two reproductions:
+
+* paper scale: the analytic traffic model over the registry statistics
+  (expected means ~74%/65%/62% at k=3/6/9; G3_circuit worst at k=9,
+  ML_Geer best);
+* small scale: the trace-driven set-associative cache simulator replays
+  both kernels' exact access streams on a stand-in and must agree with
+  the theory direction (the timed region).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, write_report
+from repro.bench.paper_data import (
+    FIG9_MEAN_MEASURED_RATIO,
+    FIG9_THEORETICAL_RATIO,
+)
+from repro.core.partition import split_ldu
+from repro.core.plan import theoretical_ratio
+from repro.machine import XEON_6230R
+from repro.matrices import TABLE2, poisson2d
+from repro.memsim import (
+    CacheConfig,
+    MemoryHierarchy,
+    trace_fbmpk_pair,
+    trace_mpk_standard,
+    traffic_ratio,
+)
+
+KS = (3, 6, 9)
+
+
+def _paper_scale_ratios():
+    cache = XEON_6230R.effective_cache_bytes(XEON_6230R.cores)
+    residency = XEON_6230R.total_last_level_bytes()
+    out = {}
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        out[m.name] = {
+            k: traffic_ratio(stats, k, cache,
+                             residency_cache_bytes=residency)
+            for k in KS
+        }
+    return out
+
+
+def test_fig9_analytic_ratios(benchmark):
+    ratios = benchmark(_paper_scale_ratios)
+    rows = [[m.name] + [f"{100 * ratios[m.name][k]:.0f}%" for k in KS]
+            for m in TABLE2]
+    means = {k: float(np.mean([ratios[m.name][k] for m in TABLE2]))
+             for k in KS}
+    rows.append(["mean (model)"] + [f"{100 * means[k]:.0f}%" for k in KS])
+    rows.append(["mean (paper)"]
+                + [f"{100 * FIG9_MEAN_MEASURED_RATIO[k]:.0f}%" for k in KS])
+    rows.append(["theory (k+1)/2k"]
+                + [f"{100 * theoretical_ratio(k):.0f}%" for k in KS])
+    table = format_table(["matrix"] + [f"k={k}" for k in KS], rows,
+                         title="Fig 9: FBMPK/baseline DRAM volume on Xeon")
+    write_report("fig9_memory", table)
+
+    for k in KS:
+        # Means land near the paper's measurements (+-8 points)…
+        assert means[k] == pytest.approx(FIG9_MEAN_MEASURED_RATIO[k],
+                                         abs=0.08), (k, means[k])
+        # …and sit above the pure-theory floor, as measured.
+        assert means[k] >= theoretical_ratio(k) - 0.02
+    # Sparsity extremes: G3_circuit worst ratio at k=9 (vector accesses
+    # dominate its 4.8 nnz/row), ML_Geer close to the best (matrix
+    # traffic dominates its 73.7 nnz/row).
+    k9 = {m.name: ratios[m.name][9] for m in TABLE2}
+    assert k9["G3_circuit"] == max(k9.values())
+    assert k9["ML_Geer"] <= min(k9.values()) + 0.03
+
+
+def _xeon_like_small_hierarchy():
+    # Scaled-down hierarchy so the stand-in's ~34 KB matrix is several
+    # times the last level — the same doesn't-fit regime as a 100 MB
+    # matrix against a 35 MB L3.
+    return MemoryHierarchy([
+        CacheConfig(size_bytes=1 * 1024, associativity=4, name="L1"),
+        CacheConfig(size_bytes=8 * 1024, associativity=8, name="L2"),
+    ])
+
+
+def test_fig9_trace_simulation(benchmark):
+    """Trace-driven cross-check: simulated DRAM volume ratio of FBMPK
+    over standard MPK reproduces the direction and k-trend."""
+    a = poisson2d(24, seed=9)  # 576 rows; exact traces stay tractable
+    part = split_ldu(a)
+    k = 4
+
+    def simulate():
+        h1 = _xeon_like_small_hierarchy()
+        std = trace_mpk_standard(a, k, h1).total_bytes
+        h2 = _xeon_like_small_hierarchy()
+        pair = trace_fbmpk_pair(part, h2, btb=True).total_bytes
+        h3 = _xeon_like_small_hierarchy()
+        head = trace_fbmpk_pair(part, h3, btb=True,
+                                include_head=False).total_bytes
+        # k=4 -> head + 2 pairs: approximate run volume from the traced
+        # pieces (head traced once inside `pair`).
+        fb = pair + head
+        return fb / std
+
+    ratio = benchmark(simulate)
+    write_report("fig9_trace_check",
+                 f"trace-simulated FBMPK/std DRAM ratio (k={k}, 576-row "
+                 f"stand-in): {ratio:.2f} (theory {theoretical_ratio(k):.2f})")
+    # FBMPK must move less data; with vector overheads the ratio sits
+    # between the theory floor and 1.
+    assert theoretical_ratio(k) - 0.05 <= ratio < 1.0

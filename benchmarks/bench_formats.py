@@ -1,0 +1,95 @@
+"""Storage-format study (Section VII future work) — CSR vs ELLPACK vs
+SELL-C-sigma.
+
+The paper names ELLPACK and Sliced ELL as candidate formats for the
+FBMPK submatrices.  This bench compares the formats implemented here on
+a regular (FEM-like) and an irregular (KKT-like) stand-in: SpMV
+wall-clock and the padding overhead that decides ELL's viability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_rows, format_table, standin, write_report
+from repro.sparse import BSRMatrix, ELLMatrix, SellCSigmaMatrix
+
+
+@pytest.fixture(scope="module")
+def regular():
+    return standin("af_shell10", min(bench_rows(), 15_000))
+
+
+@pytest.fixture(scope="module")
+def irregular():
+    return standin("nlpkkt120", min(bench_rows(), 15_000))
+
+
+@pytest.mark.benchmark(group="formats-spmv")
+def test_csr_spmv(benchmark, regular):
+    x = np.random.default_rng(0).standard_normal(regular.n_cols)
+    benchmark(lambda: regular.matvec(x))
+
+
+@pytest.mark.benchmark(group="formats-spmv")
+def test_ell_spmv(benchmark, regular):
+    ell = ELLMatrix.from_csr(regular)
+    x = np.random.default_rng(0).standard_normal(regular.n_cols)
+    y = benchmark(lambda: ell.matvec(x))
+    assert np.allclose(y, regular.matvec(x), rtol=1e-10, atol=1e-12)
+
+
+@pytest.mark.benchmark(group="formats-spmv")
+def test_sell_spmv(benchmark, regular):
+    sell = SellCSigmaMatrix(regular, c=32, sigma=256)
+    x = np.random.default_rng(0).standard_normal(regular.n_cols)
+    y = benchmark(lambda: sell.matvec(x))
+    assert np.allclose(y, regular.matvec(x), rtol=1e-10, atol=1e-12)
+
+
+@pytest.mark.benchmark(group="formats-spmv")
+def test_bsr_spmv(benchmark, regular):
+    # Pad the row count to a multiple of the block size via slicing.
+    r = 4
+    n = (regular.n_rows // r) * r
+    a = regular.row_slice(0, n)
+    # Square it up: keep only columns < n (drop the tail columns).
+    import numpy as np2
+    rows = np2.repeat(np2.arange(n, dtype=np2.int64), a.row_nnz())
+    keep = a.indices < n
+    from repro.sparse import CSRMatrix
+    sq = CSRMatrix.from_coo_arrays(rows[keep], a.indices[keep],
+                                   a.data[keep], (n, n),
+                                   sum_duplicates=False)
+    bsr = BSRMatrix.from_csr(sq, r)
+    x = np.random.default_rng(0).standard_normal(n)
+    y = benchmark(lambda: bsr.matvec(x))
+    assert np.allclose(y, sq.matvec(x), rtol=1e-10, atol=1e-12)
+
+
+def test_format_padding_report(benchmark, regular, irregular):
+    def report():
+        rows = []
+        for label, mat in (("af_shell10 (regular)", regular),
+                           ("nlpkkt120 (irregular)", irregular)):
+            ell = ELLMatrix.from_csr(mat)
+            sell = SellCSigmaMatrix(mat, c=32, sigma=256)
+            rows.append([
+                label, mat.nnz,
+                f"{ell.padding / mat.nnz:.2f}x",
+                f"{sell.padding / mat.nnz:.2f}x",
+                f"{sell.memory_bytes() / mat.memory_bytes():.2f}x",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(report, rounds=1, iterations=1)
+    table = format_table(
+        ["matrix", "nnz", "ELL padding", "SELL-32-256 padding",
+         "SELL/CSR bytes"],
+        rows,
+        title="Section VII: storage-format padding overheads",
+    )
+    write_report("formats", table)
+    # SELL's sorting window must beat plain ELL on the irregular matrix.
+    ell_irr = ELLMatrix.from_csr(irregular)
+    sell_irr = SellCSigmaMatrix(irregular, c=32, sigma=256)
+    assert sell_irr.padding < ell_irr.padding

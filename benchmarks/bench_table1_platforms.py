@@ -1,0 +1,46 @@
+"""Table I — evaluation platforms.
+
+Regenerates the hardware table from the platform registry and checks the
+published attributes; the derived model quantities (bandwidth, barrier
+cost) are printed alongside, marked as estimates.
+"""
+
+from repro.bench import format_table, write_report
+from repro.machine import PLATFORMS, get_platform
+
+
+def _table1_rows():
+    rows = []
+    for p in PLATFORMS:
+        rows.append([
+            p.name,
+            p.cores,
+            p.sockets,
+            p.numa_nodes,
+            f"{p.freq_ghz}GHz",
+            f"{p.l1_bytes // 1024}KB",
+            f"{p.l2_bytes // 1024}KB",
+            "None" if not p.l3_bytes else f"{p.l3_bytes / 2**20:.2f}MB",
+            f"{p.stream_bw_gbs:.0f}GB/s*",
+            f"{p.barrier_seconds(p.cores) * 1e6:.1f}us*",
+        ])
+    return rows
+
+
+def test_table1_platforms(benchmark):
+    rows = benchmark(_table1_rows)
+    table = format_table(
+        ["Platform", "#Cores", "Sockets", "#NUMAs", "Freq", "L1", "L2",
+         "L3", "BW(est)", "barrier(est)"],
+        rows,
+        title="Table I: hardware platforms (BW/barrier columns are "
+              "public-spec estimates, see repro.machine.registry)",
+    )
+    write_report("table1_platforms", table)
+    # Pin the published Table I attributes.
+    ft = get_platform("FT 2000+")
+    assert (ft.cores, ft.sockets, ft.numa_nodes) == (64, 1, 8)
+    assert ft.l3_bytes == 0
+    xeon = get_platform("Intel Xeon")
+    assert xeon.cores == 26 and xeon.freq_ghz == 2.1
+    assert abs(xeon.l3_bytes / 2**20 - 35.75) < 0.01

@@ -1,0 +1,54 @@
+"""Table IV — storage overhead of the L+U+d layout versus monolithic CSR.
+
+Reproduced two ways: the symbolic array-length formulas of Table IV
+(paper scale, from the registry statistics) and measured element counts
+from actually splitting a stand-in.  Expected: the two layouts cost
+nearly the same (ratio ~1.0x), because the diagonal moves out of the
+index/value arrays and pays instead for one extra row_ptr array and the
+dense ``d``.
+"""
+
+from repro.bench import MATRIX_NAMES, bench_rows, format_table, standin, write_report
+from repro.core.partition import split_ldu
+from repro.matrices import TABLE2
+
+
+def test_table4_formulas(benchmark):
+    def symbolic():
+        rows = []
+        for m in TABLE2:
+            n, nnz = m.rows, m.nnz
+            csr_total = nnz + (n + 1) + nnz
+            ldu_total = (nnz - n) + 2 * (n + 1) + (nnz - n) + n
+            rows.append([m.name, csr_total, ldu_total,
+                         ldu_total / csr_total])
+        return rows
+
+    rows = benchmark(symbolic)
+    table = format_table(
+        ["matrix", "CSR elements", "L+U+d elements", "ratio"], rows,
+        title="Table IV: storage element counts (paper-scale, assuming a "
+              "full diagonal)",
+    )
+    write_report("table4_storage", table)
+    for _, csr_total, ldu_total, ratio in rows:
+        assert 0.9 < ratio < 1.1, ratio
+
+
+def test_table4_measured_split(benchmark):
+    """Split a real stand-in and compare the measured report with the
+    Table IV formulas (the split is the timed region)."""
+    a = standin("pwtk", min(bench_rows(), 15_000))
+    part = benchmark(lambda: split_ldu(a))
+    report = part.storage_report()
+    n, nnz = a.n_rows, a.nnz
+    assert report.csr_col_ind == nnz
+    assert report.csr_row_ptr == n + 1
+    assert report.ldu_row_ptr == 2 * (n + 1)
+    assert report.ldu_d == n
+    # Off-diagonal entry conservation: col_ind counts nnz minus the
+    # stored diagonal entries.
+    assert report.ldu_col_ind == part.lower.nnz + part.upper.nnz
+    assert 0.9 < report.overhead_ratio() < 1.1
+    # Round trip: the partition reassembles the original matrix exactly.
+    assert part.reassemble().sort_indices().nnz <= nnz

@@ -1,0 +1,60 @@
+"""What-if: FBMPK on an HBM machine (A64FX, the paper's [14] context).
+
+The paper's related work reports SSpMV on Fugaku's A64FX but without
+memory optimisation.  The machine model answers the natural follow-up:
+with ~1 TB/s of HBM2 behind only 48 cores, how much of FBMPK's
+traffic saving still shows as time?  Expected shape: FBMPK still wins
+(sparse gathers keep the kernels partially memory-bound), but every
+matrix gains *less* than on the DDR platforms — the compute roof takes a
+bite out of a pure-traffic optimisation.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, geomean, write_report
+from repro.machine import A64FX, FT2000P, XEON_6230R, predict_mpk_time, predict_speedup
+from repro.matrices import TABLE2
+
+K = 5
+
+
+def test_whatif_a64fx(benchmark):
+    def sweep():
+        rows = []
+        for m in TABLE2:
+            stats = m.traffic_stats()
+            rows.append([
+                m.name,
+                predict_speedup(FT2000P, stats, k=K),
+                predict_speedup(XEON_6230R, stats, k=K),
+                predict_speedup(A64FX, stats, k=K),
+            ])
+        return rows
+
+    rows = benchmark(sweep)
+    means = [geomean([r[i] for r in rows]) for i in (1, 2, 3)]
+    rows.append(["average"] + means)
+    table = format_table(
+        ["matrix", "FT 2000+ (DDR)", "Xeon (DDR)", "A64FX (HBM2)"],
+        rows,
+        title=f"What-if: modelled FBMPK speedup (k={K}) on an HBM "
+              "platform vs the paper's DDR platforms",
+    )
+    write_report("whatif_a64fx", table)
+
+    # FBMPK still helps on HBM…
+    assert means[2] > 1.05
+    # …but less than on the bandwidth-starved FT 2000+ for the typical
+    # matrix (compute roof absorbs part of the traffic saving).
+    per_matrix_ft = [r[1] for r in rows[:-1]]
+    per_matrix_hbm = [r[3] for r in rows[:-1]]
+    fraction_smaller = np.mean([h < f for f, h
+                                in zip(per_matrix_ft, per_matrix_hbm)])
+    assert fraction_smaller >= 0.6, fraction_smaller
+    # The memory-bound share of runtime shrinks on HBM: compute must be
+    # a larger fraction of the roof there.
+    stats = TABLE2[4].traffic_stats()  # Flan_1565
+    hbm = predict_mpk_time(A64FX, stats, K)
+    ddr = predict_mpk_time(FT2000P, stats, K)
+    assert hbm.t_compute / max(hbm.t_memory, 1e-12) \
+        > ddr.t_compute / max(ddr.t_memory, 1e-12)

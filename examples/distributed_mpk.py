@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Distributed MPK: standard exchanges vs communication avoidance.
+
+The paper's Section VII argues a distributed implementation benefits
+directly from FBMPK's node-local gains, and its related work (Section
+VI) contrasts with communication-avoiding Krylov methods.  This example
+runs the in-process SPMD simulator: a matrix is row-partitioned over P
+simulated ranks, ``A^k x`` is computed with (a) k halo exchanges and
+(b) one k-deep ghost-zone exchange (PA1), results are verified against
+the serial kernel, and the communication tallies are compared on a
+latency-bound and a bandwidth-bound network.
+
+Run:  python examples/distributed_mpk.py [n_rows] [ranks] [k]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.mpk import mpk_standard
+from repro.distributed import (
+    distributed_mpk,
+    distributed_mpk_ca,
+    partition_rows,
+)
+from repro.matrices import generate_fem_shell
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    k = int(sys.argv[3]) if len(sys.argv) > 3 else 6
+
+    a = generate_fem_shell(n, nnz_per_row=20, seed=13)
+    print(f"matrix: {a!r}, partitioned over {ranks} ranks, k={k}")
+    part = partition_rows(a, ranks)
+    halos = [b.halo_size for b in part.blocks]
+    print(f"depth-1 halo sizes per rank: min {min(halos)}, "
+          f"max {max(halos)}")
+
+    x = np.random.default_rng(0).standard_normal(n)
+    reference = mpk_standard(a, x, k)
+
+    y_std, s_std = distributed_mpk(part, x, k)
+    y_ca, s_ca = distributed_mpk_ca(part, x, k)
+    assert np.allclose(y_std, reference, rtol=1e-8, atol=1e-10)
+    assert np.allclose(y_ca, reference, rtol=1e-8, atol=1e-10)
+    print("both distributed strategies reproduce the serial result.")
+
+    print(f"\nstandard:  {s_std.rounds} rounds, {s_std.messages} messages, "
+          f"{s_std.volume_doubles} doubles")
+    print(f"comm-avoiding: {s_ca.rounds} round, {s_ca.messages} messages, "
+          f"{s_ca.volume_doubles} doubles, "
+          f"{s_ca.redundant_flops} redundant flops")
+
+    nets = {
+        "latency-bound (50us, 10GB/s)": dict(latency_s=5e-5,
+                                             bw_doubles_per_s=1.25e9),
+        "bandwidth-bound (0.1us, 160MB/s)": dict(latency_s=1e-7,
+                                                 bw_doubles_per_s=2e7),
+    }
+    print()
+    for label, params in nets.items():
+        t_std = s_std.time_seconds(**params)
+        t_ca = s_ca.time_seconds(**params)
+        winner = "CA" if t_ca < t_std else "standard"
+        print(f"{label}: standard {t_std * 1e3:.3f}ms, "
+              f"CA {t_ca * 1e3:.3f}ms -> {winner} wins")
+    print("\ndistributed pipeline verified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Eigenvalue workload: Chebyshev-filtered subspace iteration via FBMPK.
+
+The paper motivates SSpMV with eigensolvers (ChASE, EVSL — refs [18],
+[19]): a Chebyshev filter ``T_m(scaled A)`` amplifies the wanted end of
+the spectrum and is nothing but a degree-``m`` polynomial in ``A``
+applied to the iterate block.  This example
+
+1. builds an SPD matrix and brackets its spectrum with Gershgorin discs;
+2. runs filtered power iteration towards the largest eigenvalue, once
+   with the classic per-SpMV recurrence and once with the FBMPK fused
+   pipeline (same filter, ~half the matrix reads);
+3. cross-checks both against dense LAPACK eigenvalues.
+
+Run:  python examples/eigensolver_chebyshev.py [grid_n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import build_fbmpk_operator
+from repro.matrices import poisson2d
+from repro.solvers import (
+    chebyshev_apply_fbmpk,
+    chebyshev_apply_recurrence,
+    gershgorin_bounds,
+    power_iteration,
+)
+
+
+def filtered_iteration(apply_filter, x0, steps):
+    """Generic filtered power iteration: x <- normalise(p(A) x)."""
+    x = x0 / np.linalg.norm(x0)
+    for _ in range(steps):
+        x = apply_filter(x)
+        x /= np.linalg.norm(x)
+    return x
+
+
+def main() -> None:
+    grid = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    a = poisson2d(grid, seed=3)
+    n = a.n_rows
+    print(f"matrix: {a!r}")
+
+    lo, hi = gershgorin_bounds(a)
+    print(f"Gershgorin spectrum bracket: [{lo:.3f}, {hi:.3f}]")
+    # Gershgorin overestimates the top; get a cheap lambda_max estimate
+    # first (a few power steps), then build the filter so the *unwanted*
+    # lower spectrum maps onto [-1, 1] where Chebyshev stays bounded and
+    # the wanted top edge is amplified.
+    lam_est, _, _ = power_iteration(a, tol=1e-4, max_iter=50)
+    degree = 10
+    interval = (lo, lo + 0.9 * (lam_est - lo))
+    print(f"rough lambda_max estimate: {lam_est:.4f}; damping "
+          f"[{interval[0]:.3f}, {interval[1]:.3f}]")
+
+    print("preprocessing FBMPK operator (one-off)...")
+    op = build_fbmpk_operator(a, strategy="abmc", block_size=1)
+
+    rng = np.random.default_rng(1)
+    x0 = rng.standard_normal(n)
+    steps = 12
+
+    x_ref = filtered_iteration(
+        lambda v: chebyshev_apply_recurrence(a, v, degree, interval),
+        x0, steps)
+    lam_ref = float(x_ref @ a.matvec(x_ref))
+
+    x_fb = filtered_iteration(
+        lambda v: chebyshev_apply_fbmpk(op, v, degree, interval),
+        x0, steps)
+    lam_fb = float(x_fb @ a.matvec(x_fb))
+
+    print(f"filtered iteration, recurrence pipeline: lambda = {lam_ref:.10f}"
+          f"   ({steps} filters x {degree} matrix reads)")
+    print(f"filtered iteration, FBMPK pipeline     : lambda = {lam_fb:.10f}"
+          f"   ({steps} filters x ~{(degree + 1) // 2 + 1} matrix reads)")
+
+    lam_power, _, its = power_iteration(a, tol=1e-12)
+    print(f"plain power iteration                  : lambda = "
+          f"{lam_power:.10f} in {its} SpMVs")
+
+    if n <= 4000:
+        dense_top = float(np.linalg.eigvalsh(a.to_dense())[-1])
+        print(f"dense LAPACK reference                 : lambda = "
+              f"{dense_top:.10f}")
+        assert abs(lam_fb - dense_top) < 1e-5 * max(abs(dense_top), 1.0)
+    assert abs(lam_fb - lam_ref) < 1e-6
+    print("both pipelines agree.")
+
+
+if __name__ == "__main__":
+    main()

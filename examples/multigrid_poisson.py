@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multigrid workload: polynomial-smoothed V-cycles on a Poisson problem.
+
+Multigrid methods are one of the paper's motivating MPK consumers
+(Section I, ref [22]): the smoother applies a low-degree polynomial in
+``A`` on every level visit — a sequence of SpMVs on the same matrix.
+This example solves a 2-D Poisson-like system three ways and reports
+iteration counts and SSpMV volume:
+
+* plain CG (one SpMV per iteration — the no-MPK baseline);
+* stationary two-level V-cycles with a Chebyshev (SSpMV) smoother;
+* CG preconditioned by one V-cycle per iteration.
+
+Run:  python examples/multigrid_poisson.py [grid_n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.matrices import poisson2d
+from repro.solvers import TwoLevelMultigrid, conjugate_gradient
+
+
+def main() -> None:
+    grid = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    a = poisson2d(grid, seed=7)
+    n = a.n_rows
+    print(f"Poisson-like system: {a!r}")
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(n)
+    b = a.matvec(x_true)
+
+    print("\n-- plain CG")
+    res = conjugate_gradient(a, b, tol=1e-9)
+    print(f"   converged={res.converged} in {res.iterations} iterations "
+          f"({res.iterations} SpMVs)")
+    print(f"   error vs ground truth: "
+          f"{np.linalg.norm(res.x - x_true) / np.linalg.norm(x_true):.2e}")
+
+    print("\n-- stationary V-cycles, Chebyshev smoother (SSpMV pattern)")
+    mg = TwoLevelMultigrid(a, aggregate_size=16, smoother="chebyshev",
+                           pre_steps=2, post_steps=2)
+    x_mg, cycles, ok = mg.solve(b, tol=1e-9)
+    spmv_per_cycle = (mg.pre_steps + mg.post_steps + 1) + 2  # smooth+resid
+    print(f"   converged={ok} in {cycles} V-cycles "
+          f"(~{cycles * spmv_per_cycle} SpMVs, all on the same A — the "
+          "SSpMV reuse FBMPK targets)")
+    print(f"   error vs ground truth: "
+          f"{np.linalg.norm(x_mg - x_true) / np.linalg.norm(x_true):.2e}")
+
+    print("\n-- CG preconditioned by one V-cycle")
+    res_pcg = conjugate_gradient(a, b, tol=1e-9,
+                                 preconditioner=mg.as_preconditioner())
+    print(f"   converged={res_pcg.converged} in {res_pcg.iterations} "
+          f"iterations (vs {res.iterations} unpreconditioned)")
+    assert res_pcg.iterations < res.iterations
+    print("\nmultigrid pipeline verified.")
+
+
+if __name__ == "__main__":
+    main()

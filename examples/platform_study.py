@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Platform study: predicted FBMPK behaviour across the Table I machines.
+
+Uses the machine models to answer the questions the paper's evaluation
+answers with hardware: how much does FBMPK gain on each platform, how
+does the gain grow with k, where does DRAM traffic go, and when does the
+BtB layout matter?  (The model layer is this reproduction's substitute
+for the FT 2000+/ThunderX2/KP 920/Xeon testbed; see DESIGN.md.)
+
+Run:  python examples/platform_study.py [matrix_name]
+"""
+
+import sys
+
+from repro.bench import format_table, geomean
+from repro.machine import PLATFORMS, predict_mpk_time, predict_speedup
+from repro.matrices import TABLE2, get_matrix_info
+from repro.memsim import fbmpk_traffic, mpk_standard_traffic
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "Flan_1565"
+    info = get_matrix_info(name)
+    stats = info.traffic_stats()
+    print(f"matrix: {info.name} — {info.rows:,} rows, {info.nnz:,} nnz, "
+          f"{info.nnz_per_row:.1f} nnz/row ({info.domain})\n")
+
+    rows = []
+    for k in (3, 5, 7, 9):
+        rows.append([k] + [predict_speedup(p, stats, k=k)
+                           for p in PLATFORMS])
+    print(format_table(["k"] + [p.name for p in PLATFORMS], rows,
+                       title="predicted FBMPK speedup over baseline"))
+
+    print()
+    rows = []
+    for p in PLATFORMS:
+        cache = p.effective_cache_bytes(p.cores)
+        res = p.total_last_level_bytes()
+        std = mpk_standard_traffic(stats, 5, cache,
+                                   residency_cache_bytes=res)
+        fb = fbmpk_traffic(stats, 5, cache, residency_cache_bytes=res)
+        fb_nobtb = fbmpk_traffic(stats, 5, cache, btb=False,
+                                 residency_cache_bytes=res)
+        rows.append([
+            p.name,
+            f"{std.total_bytes / 1e9:.2f}",
+            f"{fb.total_bytes / 1e9:.2f}",
+            f"{100 * fb.total_bytes / std.total_bytes:.0f}%",
+            f"{100 * (fb_nobtb.total_bytes - fb.total_bytes) / fb.total_bytes:.1f}%",
+        ])
+    print(format_table(
+        ["platform", "std GB", "FBMPK GB", "ratio", "BtB saving"],
+        rows, title="modelled DRAM traffic for A^5 x (per platform cache)"))
+
+    print()
+    rows = []
+    for p in PLATFORMS:
+        pred = predict_mpk_time(p, stats, 5)
+        rows.append([p.name, f"{pred.t_memory * 1e3:.1f}",
+                     f"{pred.t_compute * 1e3:.1f}",
+                     f"{pred.t_sync * 1e3:.2f}",
+                     f"{pred.total * 1e3:.1f}"])
+    print(format_table(
+        ["platform", "memory ms", "compute ms", "sync ms", "total ms"],
+        rows, title="predicted FBMPK runtime decomposition (k=5, all cores)"))
+
+    print()
+    means = [geomean([predict_speedup(p, m.traffic_stats(), k=5)
+                      for m in TABLE2]) for p in PLATFORMS]
+    print("dataset-wide average speedups (k=5): "
+          + "  ".join(f"{p.name}: {m:.2f}x"
+                      for p, m in zip(PLATFORMS, means)))
+    print("paper (Fig 7):                       FT 2000+: 1.50x  "
+          "Thunder X2: 1.54x  KP 920: 1.47x  Intel Xeon: 1.73x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Unsymmetric solve: GMRES with an FBMPK-powered polynomial
+preconditioner.
+
+Two of the paper's evaluation matrices (cage14, ML_Geer) are unsymmetric;
+this example solves a cage-like system with restarted GMRES, un- and
+right-preconditioned by a truncated Neumann series ``M^{-1} ~ A^{-1}``.
+Every preconditioner application is a fixed ``sum alpha_i A^i r`` — an
+SSpMV — evaluated through the FBMPK pipeline, so each application costs
+``~(m+1)/2`` matrix reads instead of ``m``.  The FBMPK preprocessing is
+done once and amortised over every GMRES iteration, the usage pattern
+the paper's Section V-F argument is about.
+
+Run:  python examples/preconditioned_gmres.py [n_rows] [degree]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.matrices import generate_cage_digraph
+from repro.solvers import NeumannPreconditioner, gmres
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    degree = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    a = generate_cage_digraph(n, nnz_per_row=18, seed=21)
+    print(f"unsymmetric system: {a!r}")
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(a.n_rows)
+    b = a.matvec(x_true)
+
+    print("\n-- plain GMRES(30)")
+    plain = gmres(a, b, tol=1e-9, restart=30)
+    print(f"   converged={plain.converged} in {plain.iterations} "
+          f"iterations ({plain.iterations} matrix reads)")
+
+    print(f"\n-- GMRES(30) right-preconditioned by Neumann(m={degree}) "
+          "via FBMPK")
+    pre = NeumannPreconditioner(a, degree=degree)
+    res = gmres(lambda v: a.matvec(pre(v)), b, tol=1e-9, restart=30)
+    x = pre(res.x)
+    rel = np.linalg.norm(a.matvec(x) - b) / np.linalg.norm(b)
+    reads_per_it = 1 + pre.matrix_reads_per_apply()
+    reads_plain_pre = 1 + degree
+    print(f"   converged={res.converged} in {res.iterations} iterations")
+    print(f"   true relative residual: {rel:.2e}")
+    print(f"   matrix reads/iteration: {reads_per_it:.1f} via FBMPK "
+          f"vs {reads_plain_pre} via plain SpMV preconditioning")
+    print(f"   total matrix reads: "
+          f"{res.iterations * reads_per_it:.0f} (FBMPK) vs "
+          f"{res.iterations * reads_plain_pre} (plain pre) vs "
+          f"{plain.iterations} (no pre)")
+
+    err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+    print(f"   error vs ground truth: {err:.2e}")
+    assert res.converged and rel < 1e-8
+    assert res.iterations <= plain.iterations
+    print("\npreconditioned pipeline verified.")
+
+
+if __name__ == "__main__":
+    main()

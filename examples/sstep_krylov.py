@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""s-step Krylov workload: basis generation through the MPK kernel.
+
+s-step Krylov methods (the paper's Section VI, refs [46]-[48]) extend
+the Krylov space by ``s`` vectors per global step; the extension is a
+matrix-powers computation ``[q, Aq, ..., A^s q]``.  This example builds
+the monomial block with one FBMPK call, orthonormalises it, and shows
+the resulting Ritz values converging to dense-LAPACK eigenvalues — while
+counting matrix reads against the one-SpMV-per-step classic Lanczos.
+
+Run:  python examples/sstep_krylov.py [n_rows] [s] [blocks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import build_fbmpk_operator, fbmpk_plan
+from repro.matrices import generate_fem_shell
+from repro.solvers import lanczos, ritz_values, sstep_krylov_basis
+
+
+def main() -> None:
+    n_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    blocks = int(sys.argv[3]) if len(sys.argv) > 3 else 5
+    a = generate_fem_shell(n_rows, nnz_per_row=20, seed=11)
+    print(f"matrix: {a!r}")
+    op = build_fbmpk_operator(a, strategy="abmc", block_size=1)
+    rng = np.random.default_rng(2)
+
+    # --- s-step basis accumulation -----------------------------------
+    basis_cols = []
+    q = rng.standard_normal(a.n_rows)
+    for blk in range(blocks):
+        block = sstep_krylov_basis(op, q, s)
+        # Orthogonalise against everything collected so far.  Two passes
+        # of classical Gram-Schmidt ("twice is enough"): monomial blocks
+        # are ill-conditioned and a single pass leaves enough residual
+        # overlap to corrupt the Rayleigh-Ritz values.
+        for _ in range(2):
+            for prev in basis_cols:
+                block -= prev @ (prev.T @ block)
+        q_fact, r_fact = np.linalg.qr(block)
+        keep = np.abs(np.diag(r_fact)) > 1e-8
+        if not keep.any():
+            break
+        basis_cols.append(q_fact[:, keep])
+        q = basis_cols[-1][:, -1]
+    v = np.concatenate(basis_cols, axis=1)
+    m = v.shape[1]
+    # Rayleigh-Ritz on the collected space.
+    h = v.T @ np.column_stack([a.matvec(v[:, j]) for j in range(m)])
+    ritz_sstep = np.linalg.eigvalsh(0.5 * (h + h.T))
+
+    # --- classic Lanczos with the same space dimension ----------------
+    _, alpha, beta = lanczos(a, m, q0=rng.standard_normal(a.n_rows))
+    ritz_classic = ritz_values(alpha, beta)
+
+    reads_sstep = blocks * fbmpk_plan(s).matrix_equivalents
+    reads_classic = float(m)
+    print(f"Krylov dimension: {m}")
+    print(f"matrix reads: s-step/FBMPK {reads_sstep:.1f} vs classic "
+          f"Lanczos {reads_classic:.1f}")
+
+    top = 3
+    print(f"top-{top} Ritz values (s-step)  : "
+          f"{np.sort(ritz_sstep)[-top:]}")
+    print(f"top-{top} Ritz values (classic) : "
+          f"{np.sort(ritz_classic)[-top:]}")
+    if a.n_rows <= 4000:
+        dense = np.linalg.eigvalsh(a.to_dense())
+        print(f"top-{top} dense eigenvalues    : {dense[-top:]}")
+        lead = float(np.sort(ritz_sstep)[-1])
+        err = abs(lead - dense[-1]) / abs(dense[-1])
+        print(f"relative error of leading s-step Ritz value: {err:.2e}")
+        # Rayleigh-Ritz on an orthonormal basis can never overshoot the
+        # spectrum; accuracy of the leading value scales with the Krylov
+        # dimension (small m on clustered spectra converges slowly).
+        assert lead <= dense[-1] + 1e-8
+        assert err < (1e-4 if m >= 20 else 2e-2)
+    print("s-step pipeline verified.")
+
+
+if __name__ == "__main__":
+    main()

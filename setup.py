@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools lacks
+PEP 660 editable-wheel support (all metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Baseline and related-work MPK implementations.
+
+``standard`` MPK (Algorithm 1) lives in :mod:`repro.core.mpk`; this
+package adds the MKL-like vendor baseline and a working LB-MPK
+(level-blocked MPK, the closest related work of Section VI).
+"""
+
+from ..core.mpk import mpk_standard, mpk_standard_all
+from .explicit_power import ExplicitPowerMPK
+from .lbmpk import LevelBlockedMPK, bfs_levels, lbmpk, lbmpk_traffic_estimate
+from .mkl_like import MklLikeMPK, mpk_mkl_like
+
+__all__ = [
+    "ExplicitPowerMPK",
+    "mpk_standard",
+    "mpk_standard_all",
+    "LevelBlockedMPK",
+    "bfs_levels",
+    "lbmpk",
+    "lbmpk_traffic_estimate",
+    "MklLikeMPK",
+    "mpk_mkl_like",
+]

@@ -1,0 +1,30 @@
+"""Benchmark harness: shared fixtures, formatting and paper references."""
+
+from .harness import (
+    MATRIX_INFO,
+    MATRIX_NAMES,
+    Timer,
+    bench_rows,
+    fbmpk_operator,
+    format_table,
+    geomean,
+    standin,
+    write_report,
+)
+from . import paper_data
+from .ascii_plot import bar_chart, line_chart
+
+__all__ = [
+    "MATRIX_INFO",
+    "MATRIX_NAMES",
+    "Timer",
+    "bench_rows",
+    "fbmpk_operator",
+    "format_table",
+    "geomean",
+    "standin",
+    "write_report",
+    "paper_data",
+    "bar_chart",
+    "line_chart",
+]

@@ -1,0 +1,167 @@
+"""Command-line reproduction runner: ``python -m repro.bench``.
+
+Regenerates the model-based tables and figures of the paper (the ones
+that need no pytest harness) and prints them with the paper's reference
+numbers attached.  For the measured benches and pytest-benchmark timings
+run ``pytest benchmarks/ --benchmark-only`` instead.
+
+Usage::
+
+    python -m repro.bench                 # everything
+    python -m repro.bench fig7 fig9       # selected experiments
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..machine import FT2000P, PLATFORMS, XEON_6230R, predict_mpk_time, predict_speedup
+from ..matrices import TABLE2
+from ..memsim import traffic_ratio
+from .harness import format_table, geomean
+from . import paper_data
+
+
+def run_table1() -> str:
+    rows = [[p.name, p.cores, p.sockets, p.numa_nodes, f"{p.freq_ghz}GHz",
+             f"{p.l1_bytes // 1024}KB", f"{p.l2_bytes // 1024}KB",
+             "None" if not p.l3_bytes else f"{p.l3_bytes / 2**20:.2f}MB"]
+            for p in PLATFORMS]
+    return format_table(
+        ["Platform", "#Cores", "Sockets", "#NUMAs", "Freq", "L1", "L2",
+         "L3"], rows, title="Table I: hardware platforms")
+
+
+def run_table2() -> str:
+    rows = [[m.id, m.name, f"{m.rows / 1e6:.2f}M", f"{m.nnz / 1e6:.2f}M",
+             f"{m.nnz_per_row:.2f}", "sym" if m.symmetric else "unsym"]
+            for m in TABLE2]
+    return format_table(["ID", "Input", "Rows", "#nnz", "#nnz/N", "Sym"],
+                        rows, title="Table II: input matrices")
+
+
+def run_fig7() -> str:
+    rows = []
+    per_platform = {p.name: [] for p in PLATFORMS}
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        vals = [predict_speedup(p, stats, k=5) for p in PLATFORMS]
+        for p, v in zip(PLATFORMS, vals):
+            per_platform[p.name].append(v)
+        rows.append([m.name] + vals)
+    rows.append(["average (model)"]
+                + [geomean(per_platform[p.name]) for p in PLATFORMS])
+    rows.append(["average (paper)"]
+                + [paper_data.FIG7_AVERAGE_SPEEDUP[p.name]
+                   for p in PLATFORMS])
+    return format_table(["matrix"] + [p.name for p in PLATFORMS], rows,
+                        title="Fig 7: FBMPK speedup over baseline (k=5)")
+
+
+def run_fig8() -> str:
+    rows = []
+    for k in range(3, 10):
+        rows.append([k] + [
+            geomean([predict_speedup(p, m.traffic_stats(), k=k)
+                     for m in TABLE2]) for p in PLATFORMS])
+    for k, ref in paper_data.FIG8_AVERAGE_SPEEDUP_BY_K.items():
+        rows.append([f"paper k={k}"] + [ref[p.name] for p in PLATFORMS])
+    return format_table(["k"] + [p.name for p in PLATFORMS], rows,
+                        title="Fig 8: average speedup vs power k")
+
+
+def run_fig9() -> str:
+    cache = XEON_6230R.effective_cache_bytes(XEON_6230R.cores)
+    residency = XEON_6230R.total_last_level_bytes()
+    ks = (3, 6, 9)
+    rows = []
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        rows.append([m.name] + [
+            f"{100 * traffic_ratio(stats, k, cache, residency_cache_bytes=residency):.0f}%"
+            for k in ks])
+    means = [float(np.mean([
+        traffic_ratio(m.traffic_stats(), k, cache,
+                      residency_cache_bytes=residency) for m in TABLE2]))
+        for k in ks]
+    rows.append(["mean (model)"] + [f"{100 * v:.0f}%" for v in means])
+    rows.append(["mean (paper)"] + [
+        f"{100 * paper_data.FIG9_MEAN_MEASURED_RATIO[k]:.0f}%" for k in ks])
+    return format_table(["matrix"] + [f"k={k}" for k in ks], rows,
+                        title="Fig 9: FBMPK/baseline DRAM volume (Xeon)")
+
+
+def run_fig10() -> str:
+    rows = []
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        rows.append([
+            m.name,
+            predict_speedup(FT2000P, stats, k=5, method="fb"),
+            predict_speedup(FT2000P, stats, k=5, method="fb+btb"),
+            predict_speedup(XEON_6230R, stats, k=5, method="fb"),
+            predict_speedup(XEON_6230R, stats, k=5, method="fb+btb"),
+        ])
+    return format_table(
+        ["matrix", "FT:FB", "FT:FB+BtB", "Xeon:FB", "Xeon:FB+BtB"], rows,
+        title="Fig 10: FB vs FB+BtB (k=5); paper FT averages 1.41 -> 1.50")
+
+
+def run_fig12() -> str:
+    threads = [4, 8, 16, 24, 32, 48, 64]
+    rows = []
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        base1 = predict_mpk_time(FT2000P, stats, 5, threads=1,
+                                 method="standard").total
+        rows.append([m.name] + [
+            base1 / predict_mpk_time(FT2000P, stats, 5, threads=t).total
+            for t in threads])
+    rows.append(["average (model)"] + [
+        geomean([r[i + 1] for r in rows]) for i in range(len(threads))])
+    rows.append(["average (paper)", paper_data.FIG12_AVERAGE_SPEEDUP[4]]
+                + ["-"] * 5 + [paper_data.FIG12_AVERAGE_SPEEDUP[64]])
+    return format_table(["matrix"] + [f"T={t}" for t in threads], rows,
+                        title="Fig 12: scalability on FT 2000+ (k=5)")
+
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig12": run_fig12,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's model-based tables/figures.")
+    parser.add_argument("experiments", nargs="*",
+                        help="subset to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(EXPERIMENTS))
+        return 0
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
+        return 2
+    for name in selected:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

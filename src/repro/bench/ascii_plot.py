@@ -1,0 +1,87 @@
+"""Dependency-free ASCII chart rendering for terminal reports.
+
+The benches and the CLI render their sweeps as plain-text charts so the
+figure *shapes* (the reproduction target) are visible without matplotlib:
+
+* :func:`bar_chart` — horizontal bars with labels and values;
+* :func:`line_chart` — multi-series scatter/line grid for the k-sweeps
+  and scalability curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, title: str = "",
+              reference: float | None = None) -> str:
+    """Horizontal bar chart.
+
+    ``reference`` draws a marker column (e.g. speedup 1.0) when it falls
+    inside the plotted range.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title
+    vmax = max(max(values), reference or float("-inf"))
+    vmax = vmax if vmax > 0 else 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    ref_col = None
+    if reference is not None and 0 < reference <= vmax:
+        ref_col = max(int(round(reference / vmax * width)) - 1, 0)
+    for label, v in zip(labels, values):
+        filled = max(int(round(max(v, 0.0) / vmax * width)), 0)
+        bar = list("#" * filled + " " * (width - filled))
+        if ref_col is not None and ref_col < len(bar):
+            bar[ref_col] = "|" if bar[ref_col] == " " else "+"
+        lines.append(f"{str(label).ljust(label_w)} {''.join(bar)} "
+                     f"{v:.2f}")
+    return "\n".join(lines)
+
+
+def line_chart(x: Sequence[float], series: Dict[str, Sequence[float]],
+               height: int = 12, width: int = 60, title: str = "") -> str:
+    """Multi-series character plot on a ``width x height`` grid.
+
+    Each series gets a distinct marker; axes are annotated with the data
+    ranges.  Intended for monotone sweeps (speedup vs k, vs threads),
+    where shape legibility matters more than precision.
+    """
+    if not series:
+        return title
+    markers = "*o+x@%&$"
+    xs = list(x)
+    all_y = [v for ys in series.values() for v in ys]
+    if not all_y or not xs:
+        return title
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length mismatch")
+        mark = markers[si % len(markers)]
+        for xv, yv in zip(xs, ys):
+            col = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"{y_hi:8.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_lo:8.2f} +" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<.3g}" + " " * max(width - 12, 1)
+                 + f"{x_hi:>.3g}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Shared benchmark infrastructure.
+
+Provides the scale knob (``REPRO_BENCH_SCALE`` environment variable), a
+process-wide stand-in matrix cache (generation and ABMC preprocessing are
+one-off costs, as in the paper), table formatting, and a tee that writes
+every reproduced table to ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.fbmpk import FBMPKOperator, build_fbmpk_operator
+from ..matrices.registry import TABLE2, MatrixInfo, get_matrix_info
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "bench_rows",
+    "standin",
+    "fbmpk_operator",
+    "geomean",
+    "format_table",
+    "write_report",
+    "Timer",
+]
+
+
+def bench_rows(default: int = 20_000) -> int:
+    """Stand-in matrix size for kernel-running benches.
+
+    Override with ``REPRO_BENCH_SCALE`` (rows); smaller values make the
+    suite faster, larger values make wall-clock numbers more
+    bandwidth-dominated.
+    """
+    return int(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@lru_cache(maxsize=32)
+def standin(name: str, n_rows: int | None = None) -> CSRMatrix:
+    """Cached evaluation matrix: the *real* SuiteSparse file when
+    ``REPRO_SUITESPARSE_DIR`` is configured (see
+    :mod:`repro.matrices.loader`), the scale-reduced synthetic stand-in
+    otherwise."""
+    from ..matrices.loader import load_matrix
+
+    matrix, _source = load_matrix(name, n_rows=n_rows or bench_rows())
+    return matrix
+
+
+@lru_cache(maxsize=32)
+def fbmpk_operator(name: str, n_rows: int | None = None,
+                   block_size: int = 1) -> FBMPKOperator:
+    """Cached preprocessed FBMPK operator for a stand-in matrix."""
+    return build_fbmpk_operator(standin(name, n_rows),
+                                strategy="abmc", block_size=block_size)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper reports geometric-mean runtimes)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or (arr <= 0).any():
+        raise ValueError("geomean needs positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.rjust(w) if _is_num(c) else c.ljust(w)
+                               for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_num(s: str) -> bool:
+    try:
+        float(s.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+def write_report(name: str, content: str) -> Path:
+    """Print a reproduced table and persist it under ``benchmarks/out/``."""
+    out_dir = Path(__file__).resolve()
+    # Walk up to the repository root (the directory holding benchmarks/).
+    for parent in out_dir.parents:
+        if (parent / "benchmarks").is_dir():
+            out_dir = parent / "benchmarks" / "out"
+            break
+    else:  # pragma: no cover - installed without the benchmarks tree
+        out_dir = Path.cwd() / "benchmarks_out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n{content}\n[written to {path}]")
+    return path
+
+
+class Timer:
+    """Minimal wall-clock timer for preprocessing-style measurements
+    (pytest-benchmark handles the hot loops)."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+#: All Table II names, re-exported for bench parametrisation.
+MATRIX_NAMES: List[str] = [m.name for m in TABLE2]
+
+#: Mapping name -> info for quick access in benches.
+MATRIX_INFO: Dict[str, MatrixInfo] = {m.name: m for m in TABLE2}

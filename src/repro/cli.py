@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A user-facing front end over the library:
+
+``info``
+    Structural statistics of a matrix (MatrixMarket file or a named
+    Table II stand-in).
+``power``
+    Compute ``A^k x`` with a chosen pipeline; reports result checksum,
+    wall time and (for FBMPK) the instrumented matrix-pass counts.
+``preprocess``
+    Run the one-off FBMPK preprocessing and save the operator artefact
+    (``.npz``) for later ``power --operator`` runs — the paper's
+    offline-preprocessing workflow.
+``reorder``
+    Apply ABMC or RCM to a MatrixMarket file and write the result.
+``predict``
+    Machine-model predictions (Fig 7/8-style) for a Table II matrix
+    across the Table I platforms, with an ASCII chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from .baselines import ExplicitPowerMPK, LevelBlockedMPK, MklLikeMPK
+from .bench.ascii_plot import line_chart
+from .bench.harness import format_table
+from .core import KernelCounter, build_fbmpk_operator, mpk_standard
+from .core.fbmpk import FBMPKOperator
+from .machine import PLATFORMS, predict_speedup
+from .matrices import generate_standin, get_matrix_info, list_matrix_names
+from .matrices.stats import analyze_matrix
+from .reorder import abmc_ordering, permute_symmetric, rcm_ordering
+from .sparse import CSRMatrix, read_matrix_market, write_matrix_market
+
+__all__ = ["main"]
+
+
+def _load_matrix(args) -> CSRMatrix:
+    if getattr(args, "standin", None):
+        return generate_standin(args.standin, n_rows=args.rows)
+    if getattr(args, "matrix", None):
+        return read_matrix_market(args.matrix).to_csr()
+    raise SystemExit("provide a MatrixMarket file or --standin NAME")
+
+
+def _add_matrix_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("matrix", nargs="?", help="MatrixMarket file")
+    p.add_argument("--standin", choices=list_matrix_names(),
+                   help="generate a Table II stand-in instead of reading "
+                        "a file")
+    p.add_argument("--rows", type=int, default=20_000,
+                   help="stand-in size (rows)")
+
+
+def cmd_info(args) -> int:
+    a = _load_matrix(args)
+    report = analyze_matrix(a)
+    rows = [[key, str(val)] for key, val in report.as_dict().items()]
+    print(format_table(["statistic", "value"], rows,
+                       title=f"matrix statistics"
+                             f"{' (' + args.standin + ' stand-in)' if args.standin else ''}"))
+    return 0
+
+
+def cmd_power(args) -> int:
+    counter = None
+    if args.operator:
+        op = FBMPKOperator.load(args.operator, backend=args.backend)
+        n = op.n
+        a = None
+    else:
+        a = _load_matrix(args)
+        n = a.n_rows
+    x = (np.ones(n) if args.ones
+         else np.random.default_rng(args.seed).standard_normal(n))
+    t0 = time.perf_counter()
+    if args.operator or args.method == "fbmpk":
+        if not args.operator:
+            op = build_fbmpk_operator(a, strategy=args.strategy,
+                                      block_size=args.block_size,
+                                      backend=args.backend)
+        counter = KernelCounter()
+        y = op.power(x, args.k, counter=counter)
+    elif args.method == "standard":
+        y = mpk_standard(a, x, args.k)
+    elif args.method == "mkl":
+        y = MklLikeMPK(a).power(x, args.k)
+    elif args.method == "lbmpk":
+        y = LevelBlockedMPK(a).power(x, args.k)
+    elif args.method == "explicit":
+        y = ExplicitPowerMPK(a).power(x, args.k)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown method {args.method}")
+    elapsed = time.perf_counter() - t0
+    print(f"method={args.method} k={args.k} n={n}")
+    print(f"time (incl. preprocessing unless --operator): {elapsed:.3f}s")
+    print(f"||y||_2 = {np.linalg.norm(y):.12e}   "
+          f"checksum = {float(y.sum()):.12e}")
+    if counter is not None:
+        print(f"matrix passes: L x{counter.l_passes}, U x{counter.u_passes} "
+              f"(standard MPK would stream A x{args.k})")
+    return 0
+
+
+def cmd_preprocess(args) -> int:
+    a = _load_matrix(args)
+    t0 = time.perf_counter()
+    op = build_fbmpk_operator(a, strategy=args.strategy,
+                              block_size=args.block_size)
+    elapsed = time.perf_counter() - t0
+    op.save(args.output)
+    print(f"preprocessed {a.n_rows} rows / {a.nnz} nnz in {elapsed:.2f}s "
+          f"({op.groups.n_forward} forward groups, "
+          f"strategy={args.strategy}); saved to {args.output}")
+    return 0
+
+
+def cmd_reorder(args) -> int:
+    a = _load_matrix(args)
+    if args.method == "abmc":
+        perm = abmc_ordering(a, block_size=args.block_size).perm
+    else:
+        perm = rcm_ordering(a)
+    b = permute_symmetric(a, perm)
+    write_matrix_market(b, args.output,
+                        comment=f"{args.method}-reordered by repro")
+    from .reorder.rcm import matrix_bandwidth
+
+    print(f"{args.method}: bandwidth {matrix_bandwidth(a)} -> "
+          f"{matrix_bandwidth(b)}; written to {args.output}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    info = get_matrix_info(args.name)
+    stats = info.traffic_stats()
+    ks = list(range(3, 10))
+    series = {
+        p.name: [predict_speedup(p, stats, k=k) for k in ks]
+        for p in PLATFORMS
+    }
+    rows = [[k] + [series[p.name][i] for p in PLATFORMS]
+            for i, k in enumerate(ks)]
+    print(format_table(["k"] + [p.name for p in PLATFORMS], rows,
+                       title=f"predicted FBMPK speedup for {info.name} "
+                             f"({info.rows:,} rows, "
+                             f"{info.nnz_per_row:.1f} nnz/row)"))
+    print()
+    print(line_chart(ks, series, title="speedup vs k"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FBMPK library CLI (IPDPS'23 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="matrix structural statistics")
+    _add_matrix_args(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("power", help="compute A^k x")
+    _add_matrix_args(p)
+    p.add_argument("-k", type=int, default=5, help="power (default 5)")
+    p.add_argument("--method", default="fbmpk",
+                   choices=["fbmpk", "standard", "mkl", "lbmpk",
+                            "explicit"])
+    p.add_argument("--strategy", default="abmc",
+                   choices=["abmc", "levels"])
+    p.add_argument("--block-size", type=int, default=1)
+    p.add_argument("--backend", default="numpy",
+                   choices=["numpy", "scipy"])
+    p.add_argument("--operator", help="load a saved .npz operator")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ones", action="store_true",
+                   help="use x = ones instead of a random vector")
+    p.set_defaults(func=cmd_power)
+
+    p = sub.add_parser("preprocess",
+                       help="build and save an FBMPK operator")
+    _add_matrix_args(p)
+    p.add_argument("-o", "--output", required=True, help=".npz path")
+    p.add_argument("--strategy", default="abmc",
+                   choices=["abmc", "levels"])
+    p.add_argument("--block-size", type=int, default=1)
+    p.set_defaults(func=cmd_preprocess)
+
+    p = sub.add_parser("reorder", help="reorder a matrix (ABMC/RCM)")
+    _add_matrix_args(p)
+    p.add_argument("-o", "--output", required=True,
+                   help="output MatrixMarket path")
+    p.add_argument("--method", default="abmc", choices=["abmc", "rcm"])
+    p.add_argument("--block-size", type=int, default=64)
+    p.set_defaults(func=cmd_reorder)
+
+    p = sub.add_parser("predict",
+                       help="machine-model speedup predictions")
+    p.add_argument("name", choices=list_matrix_names())
+    p.set_defaults(func=cmd_predict)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+"""Back-to-back (BtB) interleaved dense-vector storage (Section III-C).
+
+FBMPK keeps two live iterates (one even power, one odd power).  A row's
+update reads *the same position* of both vectors, so storing them as two
+separate length-``n`` arrays touches two distant cache lines per row.  The
+BtB layout interleaves them into one length-``2n`` array — ``xy[2j]`` is
+the even iterate's ``j``-th entry, ``xy[2j+1]`` the odd iterate's — so the
+pair shares a cache line.
+
+:class:`InterleavedPair` provides the layout with named accessors; a
+C-contiguous ``(n, 2)`` numpy view gives vectorised kernels the same
+physical interleaving the paper's C code uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InterleavedPair", "interleave", "deinterleave"]
+
+
+def interleave(even: np.ndarray, odd: np.ndarray) -> np.ndarray:
+    """Merge two length-``n`` vectors into one length-``2n`` BtB array."""
+    even = np.asarray(even, dtype=np.float64)
+    odd = np.asarray(odd, dtype=np.float64)
+    if even.shape != odd.shape or even.ndim != 1:
+        raise ValueError("interleave expects two 1-D vectors of equal length")
+    xy = np.empty(2 * even.shape[0], dtype=np.float64)
+    xy[0::2] = even
+    xy[1::2] = odd
+    return xy
+
+
+def deinterleave(xy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a BtB array back into ``(even, odd)`` copies."""
+    xy = np.asarray(xy, dtype=np.float64)
+    if xy.ndim != 1 or xy.shape[0] % 2:
+        raise ValueError("BtB array must be 1-D with even length")
+    return xy[0::2].copy(), xy[1::2].copy()
+
+
+class InterleavedPair:
+    """Two logically separate vectors in one physically interleaved buffer.
+
+    The paper always initialises ``x_0`` at the even positions
+    (Section III-E); :meth:`from_initial` follows that convention.
+    """
+
+    __slots__ = ("xy", "n")
+
+    def __init__(self, xy: np.ndarray) -> None:
+        xy = np.ascontiguousarray(xy, dtype=np.float64)
+        if xy.ndim != 1 or xy.shape[0] % 2:
+            raise ValueError("backing buffer must be 1-D with even length")
+        self.xy = xy
+        self.n = xy.shape[0] // 2
+
+    @classmethod
+    def from_initial(cls, x0: np.ndarray) -> "InterleavedPair":
+        """Create a pair with ``x0`` in the even slots and zeros in the odd."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        return cls(interleave(x0, np.zeros_like(x0)))
+
+    @property
+    def even(self) -> np.ndarray:
+        """Strided view of the even-position vector (no copy)."""
+        return self.xy[0::2]
+
+    @property
+    def odd(self) -> np.ndarray:
+        """Strided view of the odd-position vector (no copy)."""
+        return self.xy[1::2]
+
+    def as_matrix(self) -> np.ndarray:
+        """The same buffer as a C-contiguous ``(n, 2)`` view.
+
+        ``view[:, 0]`` is the even vector, ``view[:, 1]`` the odd one; the
+        memory layout is exactly the BtB interleaving, so row-wise access
+        of both iterates stays cache-line local.
+        """
+        return self.xy.reshape(self.n, 2)
+
+    def get(self, parity: int) -> np.ndarray:
+        """Vector at ``parity`` (0 = even slots, 1 = odd slots) as a view."""
+        if parity not in (0, 1):
+            raise ValueError("parity must be 0 or 1")
+        return self.xy[parity::2]

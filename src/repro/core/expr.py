@@ -1,0 +1,192 @@
+"""Symbolic SSpMV expressions — a miniature of the paper's Section VII
+"compiler-based approach".
+
+The paper's ongoing work translates standard SpMV call sequences into
+FBMPK library calls automatically.  This module provides the library-side
+half of that idea: users write the mathematical expression —
+
+    >>> from repro.core.expr import A, X
+    >>> expr = A(A(X)) + 2 * A(X) + X          # A^2 x + 2 A x + x
+    >>> expr.coefficients()
+    array([1., 2., 1.])
+
+— and the expression lowers itself to the ``y = sum alpha_i A^i x``
+coefficient form that :func:`repro.core.sspmv.sspmv_fbmpk` evaluates with
+``~(k+1)/2`` matrix reads.  Supported syntax:
+
+* ``X`` — the input vector symbol;
+* ``A(expr)`` or ``A @ expr`` — one application of the matrix;
+* ``A**k`` — the k-fold application, usable as ``(A**3)(X)`` or
+  ``A**3 @ X``;
+* ``+``, ``-``, unary ``-`` between expressions;
+* ``c * expr`` / ``expr * c`` / ``expr / c`` for real or complex ``c``.
+
+Expressions are exact: they are finite coefficient vectors, so two
+expressions are equal iff their coefficient vectors match.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .fbmpk import FBMPKOperator
+from .sspmv import sspmv_fbmpk, sspmv_standard
+
+__all__ = ["SSpMVExpression", "MatrixSymbol", "A", "X", "from_coefficients"]
+
+Scalar = Union[int, float, complex]
+
+
+class SSpMVExpression:
+    """A polynomial in the matrix symbol applied to the vector symbol.
+
+    Internally just the coefficient vector ``alphas`` with
+    ``expr = sum alphas[i] * A^i @ x``; all operators manipulate it.
+    """
+
+    __slots__ = ("alphas",)
+
+    def __init__(self, alphas: Sequence[Scalar]) -> None:
+        arr = np.atleast_1d(np.asarray(alphas))
+        if arr.ndim != 1 or arr.shape[0] == 0:
+            raise ValueError("coefficient vector must be non-empty 1-D")
+        if np.iscomplexobj(arr):
+            arr = arr.astype(np.complex128)
+            if not np.iscomplex(arr).any():
+                arr = arr.real.astype(np.float64)
+        else:
+            arr = arr.astype(np.float64)
+        self.alphas = arr
+
+    # -- structure ------------------------------------------------------
+    def coefficients(self) -> np.ndarray:
+        """The alpha vector, trimmed of trailing zeros (degree-exact)."""
+        arr = self.alphas
+        nz = np.nonzero(arr)[0]
+        if nz.size == 0:
+            return arr[:1] * 0
+        return arr[: int(nz[-1]) + 1].copy()
+
+    @property
+    def degree(self) -> int:
+        """Highest power of A with a nonzero coefficient."""
+        return int(self.coefficients().shape[0]) - 1
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SSpMVExpression):
+            return NotImplemented
+        a, b = self.coefficients(), other.coefficients()
+        return a.shape == b.shape and bool(np.array_equal(a, b))
+
+    def __hash__(self):  # expressions are mutable-free but keep it simple
+        return hash(tuple(self.coefficients().tolist()))
+
+    # -- algebra --------------------------------------------------------
+    def _binary(self, other: "SSpMVExpression", sign: float
+                ) -> "SSpMVExpression":
+        n = max(self.alphas.shape[0], other.alphas.shape[0])
+        dtype = np.result_type(self.alphas, other.alphas)
+        out = np.zeros(n, dtype=dtype)
+        out[: self.alphas.shape[0]] += self.alphas
+        out[: other.alphas.shape[0]] += sign * other.alphas
+        return SSpMVExpression(out)
+
+    def __add__(self, other):
+        if isinstance(other, SSpMVExpression):
+            return self._binary(other, 1.0)
+        return NotImplemented
+
+    def __sub__(self, other):
+        if isinstance(other, SSpMVExpression):
+            return self._binary(other, -1.0)
+        return NotImplemented
+
+    def __neg__(self):
+        return SSpMVExpression(-self.alphas)
+
+    def __mul__(self, c):
+        if isinstance(c, (int, float, complex, np.number)):
+            return SSpMVExpression(self.alphas * c)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, c):
+        if isinstance(c, (int, float, complex, np.number)):
+            return SSpMVExpression(self.alphas / c)
+        return NotImplemented
+
+    def shifted(self, powers: int = 1) -> "SSpMVExpression":
+        """The expression with ``A`` applied ``powers`` more times."""
+        if powers < 0:
+            raise ValueError("cannot unapply the matrix")
+        out = np.zeros(self.alphas.shape[0] + powers,
+                       dtype=self.alphas.dtype)
+        out[powers:] = self.alphas
+        return SSpMVExpression(out)
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, operator: FBMPKOperator, x: np.ndarray) -> np.ndarray:
+        """Evaluate through the FBMPK pipeline."""
+        return sspmv_fbmpk(operator, x, self.coefficients())
+
+    def evaluate_baseline(self, a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+        """Evaluate with the standard one-SpMV-per-power pipeline."""
+        return sspmv_standard(a, x, self.coefficients())
+
+    def __repr__(self) -> str:
+        terms = []
+        for i, c in enumerate(self.coefficients()):
+            if c == 0:
+                continue
+            coef = "" if c == 1 else f"{c}*"
+            if i == 0:
+                terms.append(f"{c}*x" if c != 1 else "x")
+            elif i == 1:
+                terms.append(f"{coef}A@x")
+            else:
+                terms.append(f"{coef}A^{i}@x")
+        return " + ".join(terms) if terms else "0"
+
+
+class MatrixSymbol:
+    """The symbol ``A``: callable / matmul-able / exponentiable."""
+
+    __slots__ = ("power",)
+
+    def __init__(self, power: int = 1) -> None:
+        if power < 0:
+            raise ValueError("matrix powers must be non-negative")
+        self.power = int(power)
+
+    def __call__(self, expr: SSpMVExpression) -> SSpMVExpression:
+        if not isinstance(expr, SSpMVExpression):
+            raise TypeError("A(...) expects an SSpMV expression")
+        return expr.shifted(self.power)
+
+    def __matmul__(self, expr):
+        if isinstance(expr, SSpMVExpression):
+            return expr.shifted(self.power)
+        return NotImplemented
+
+    def __pow__(self, k: int) -> "MatrixSymbol":
+        if not isinstance(k, (int, np.integer)) or k < 0:
+            raise ValueError("A**k requires a non-negative integer k")
+        return MatrixSymbol(self.power * int(k))
+
+    def __repr__(self) -> str:
+        return "A" if self.power == 1 else f"A^{self.power}"
+
+
+#: The matrix symbol.
+A = MatrixSymbol()
+#: The input-vector symbol (``1 * A^0 @ x``).
+X = SSpMVExpression([1.0])
+
+
+def from_coefficients(alphas: Sequence[Scalar]) -> SSpMVExpression:
+    """Build an expression directly from a coefficient list."""
+    return SSpMVExpression(alphas)

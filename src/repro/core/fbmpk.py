@@ -1,0 +1,667 @@
+"""The forward-backward matrix-power kernel (FBMPK), Section III.
+
+Three implementations of ``y = A^k x`` over the ``A = L + D + U``
+partition, all bit-compatible with the standard MPK up to floating-point
+summation order:
+
+``fbmpk_reference``
+    Literal transcription of the paper's Algorithm 2 (plus the even-k
+    variant it mentions): pure-Python row loops over the BtB interleaved
+    ``xy`` buffer.  The semantic ground truth.
+``fbmpk_unfused``
+    Vectorised with full-triangle numpy kernels; performs the same
+    forward/backward staging but streams each triangle twice per stage.
+    Needs no ordering information — works on any matrix as-is.
+``fbmpk_fused``
+    The production path.  Rows are partitioned into *sweep groups* (ABMC
+    colours/waves or dependency levels) such that every in-sweep
+    dependency falls in an earlier group; each group then computes its
+    contributions to **both** live iterates with a single fused
+    two-column product (``L_g @ [x_even, x_odd]``), so each triangle is
+    streamed exactly once per stage — the paper's
+    ``(k+1)/2``-matrix-reads pipeline, realised with numpy SpMM.
+
+:func:`build_fbmpk_operator` performs the one-off preprocessing (split,
+optional ABMC reorder, group extraction) and returns an
+:class:`FBMPKOperator` whose :meth:`~FBMPKOperator.power` hides the
+permutation bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from ..reorder.abmc import ABMCOrdering, abmc_ordering
+from ..reorder.levels import compute_levels, levels_to_groups
+from ..reorder.permute import permute_symmetric, permute_vector, unpermute_vector
+from ..sparse.csr import CSRMatrix
+from .btb import InterleavedPair
+from .partition import TriangularPartition, split_ldu
+
+__all__ = [
+    "KernelCounter",
+    "SweepGroups",
+    "FBMPKOperator",
+    "fbmpk_reference",
+    "fbmpk_unfused",
+    "fbmpk_fused",
+    "build_fbmpk_operator",
+    "make_sweep_groups_abmc",
+    "make_sweep_groups_levels",
+    "check_sweep_groups",
+]
+
+IterateCallback = Callable[[int, np.ndarray], None]
+
+
+@dataclass
+class KernelCounter:
+    """Instrumented pass/entry counters for verifying the access plan.
+
+    ``l_passes``/``u_passes`` increment once per full stream over the
+    respective triangle; ``l_entries``/``u_entries`` accumulate the number
+    of stored entries actually touched (group streams sum to full passes).
+    """
+
+    l_passes: int = 0
+    u_passes: int = 0
+    l_entries: int = 0
+    u_entries: int = 0
+    _partial_l: int = field(default=0, repr=False)
+    _partial_u: int = field(default=0, repr=False)
+
+    def count_l(self, nnz: int, total: int) -> None:
+        """Record ``nnz`` streamed L-entries; rolls partial group streams
+        into whole passes against the triangle's ``total`` entries."""
+        self.l_entries += nnz
+        self._partial_l += nnz
+        while total and self._partial_l >= total:
+            self.l_passes += 1
+            self._partial_l -= total
+
+    def count_u(self, nnz: int, total: int) -> None:
+        """Record ``nnz`` streamed U-entries (see :meth:`count_l`)."""
+        self.u_entries += nnz
+        self._partial_u += nnz
+        while total and self._partial_u >= total:
+            self.u_passes += 1
+            self._partial_u -= total
+
+
+# ---------------------------------------------------------------------------
+# reference implementation (Algorithm 2, pure Python)
+# ---------------------------------------------------------------------------
+def fbmpk_reference(
+    part: TriangularPartition,
+    x: np.ndarray,
+    k: int,
+    on_iterate: Optional[IterateCallback] = None,
+    counter: Optional[KernelCounter] = None,
+) -> np.ndarray:
+    """Algorithm 2 verbatim (generalised to any ``k >= 0``).
+
+    Row loops in pure Python over the interleaved ``xy`` buffer: the even
+    slots carry the even-power iterate and the odd slots the odd-power
+    one, exactly as Section III-E prescribes ("we always initialise x0 at
+    the even position").  ``on_iterate(i, x_i)`` fires for every produced
+    power ``i = 1..k``, which lets the generic SSpMV combination
+    accumulate ``sum(alpha_i A^i x)`` without storing the sequence.
+    """
+    if k < 0:
+        raise ValueError("power k must be non-negative")
+    x = np.asarray(x, dtype=np.float64)
+    n = part.n
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    if k == 0:
+        return x.copy()
+    L, U, d = part.lower, part.upper, part.diag
+    pair = InterleavedPair.from_initial(x)
+    xy = pair.xy
+    # Head: tmpvec = U x0 (a plain SpMV in the paper's line 3).
+    tmp = U.matvec_scalar(x)
+    if counter:
+        counter.count_u(U.nnz, U.nnz)
+    power = 0
+    for _ in range(k // 2):
+        # Forward stage (lines 7-16): stream L once top-down, finishing
+        # x_{power+1} in the odd slots while pre-accumulating
+        # L x_{power+1} + D x_{power+1} into tmpvec for the next stage.
+        for i in range(n):
+            sum0 = tmp[i] + d[i] * xy[2 * i]
+            sum1 = 0.0
+            for p in range(L.indptr[i], L.indptr[i + 1]):
+                j = L.indices[p]
+                v = L.data[p]
+                sum0 += v * xy[2 * j]
+                sum1 += v * xy[2 * j + 1]
+            xy[2 * i + 1] = sum0
+            tmp[i] = sum1 + d[i] * xy[2 * i + 1]
+        power += 1
+        if counter:
+            counter.count_l(L.nnz, L.nnz)
+        if on_iterate:
+            on_iterate(power, pair.odd.copy())
+        # Backward stage (lines 17-28): stream U once bottom-up, finishing
+        # x_{power+1} in the even slots and leaving tmpvec = U x_{power+1}.
+        for i in range(n - 1, -1, -1):
+            sum0 = tmp[i]
+            sum1 = 0.0
+            for p in range(U.indptr[i], U.indptr[i + 1]):
+                j = U.indices[p]
+                v = U.data[p]
+                sum0 += v * xy[2 * j + 1]
+                sum1 += v * xy[2 * j]
+            xy[2 * i] = sum0
+            tmp[i] = sum1
+        power += 1
+        if counter:
+            counter.count_u(U.nnz, U.nnz)
+        if on_iterate:
+            on_iterate(power, pair.even.copy())
+    if k % 2:
+        # Tail (lines 30-32): y = L x_{k-1} + tmpvec + d * x_{k-1}.
+        even = pair.even.copy()
+        y = L.matvec_scalar(even) + tmp + d * even
+        if counter:
+            counter.count_l(L.nnz, L.nnz)
+        if on_iterate:
+            on_iterate(k, y.copy())
+        return y
+    return pair.even.copy()
+
+
+# ---------------------------------------------------------------------------
+# unfused vectorised implementation
+# ---------------------------------------------------------------------------
+def fbmpk_unfused(
+    part: TriangularPartition,
+    x: np.ndarray,
+    k: int,
+    on_iterate: Optional[IterateCallback] = None,
+) -> np.ndarray:
+    """FBMPK staging with whole-triangle numpy kernels.
+
+    Semantically identical to :func:`fbmpk_reference` but each stage does
+    two separate full-triangle products instead of one fused pass (numpy
+    cannot express the row-pipelined reuse without grouping).  Useful as a
+    fast oracle and for matrices where no good sweep grouping exists.
+    """
+    if k < 0:
+        raise ValueError("power k must be non-negative")
+    x = np.asarray(x, dtype=np.float64)
+    n = part.n
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    if k == 0:
+        return x.copy()
+    L, U, d = part.lower, part.upper, part.diag
+    even = x.copy()
+    tmp = U.matvec(even)
+    power = 0
+    odd = np.zeros(n, dtype=np.float64)
+    for _ in range(k // 2):
+        odd = tmp + d * even + L.matvec(even)
+        tmp = L.matvec(odd) + d * odd
+        power += 1
+        if on_iterate:
+            on_iterate(power, odd.copy())
+        even = tmp + U.matvec(odd)
+        tmp = U.matvec(even)
+        power += 1
+        if on_iterate:
+            on_iterate(power, even.copy())
+    if k % 2:
+        y = L.matvec(even) + tmp + d * even
+        if on_iterate:
+            on_iterate(k, y.copy())
+        return y
+    return even.copy()
+
+
+# ---------------------------------------------------------------------------
+# sweep groups
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepGroups:
+    """Row partition driving the fused sweeps.
+
+    ``forward``/``backward`` list row-index arrays in *processing order*;
+    validity requires every strict-lower (resp. strict-upper) dependency
+    of a group's rows to lie in a strictly earlier group of that sweep.
+    """
+
+    forward: List[np.ndarray]
+    backward: List[np.ndarray]
+    origin: str
+
+    @property
+    def n_forward(self) -> int:
+        """Number of forward sweep phases (barriers in the parallel run)."""
+        return len(self.forward)
+
+    @property
+    def n_backward(self) -> int:
+        """Number of backward sweep phases."""
+        return len(self.backward)
+
+
+def _check_groups_one_sweep(tri: CSRMatrix, groups: Sequence[np.ndarray]) -> bool:
+    """Dependency check for one sweep direction: all stored columns of a
+    group's rows must belong to strictly earlier groups."""
+    n = tri.n_rows
+    rank = np.full(n, -1, dtype=np.int64)
+    for g, rows in enumerate(groups):
+        if (rank[rows] != -1).any():
+            return False  # overlapping groups
+        rank[rows] = g
+    if (rank < 0).any():
+        return False  # not a partition
+    rows_expanded = np.repeat(np.arange(n, dtype=np.int64), tri.row_nnz())
+    return bool((rank[tri.indices] < rank[rows_expanded]).all())
+
+
+def check_sweep_groups(part: TriangularPartition, groups: SweepGroups) -> bool:
+    """Validate a :class:`SweepGroups` against both triangles."""
+    return _check_groups_one_sweep(part.lower, groups.forward) and \
+        _check_groups_one_sweep(part.upper, groups.backward)
+
+
+def make_sweep_groups_levels(part: TriangularPartition) -> SweepGroups:
+    """Sweep groups from dependency levels (no reordering required).
+
+    Forward groups are the level sets of ``L``'s row DAG; backward groups
+    the level sets of ``U``'s (computed bottom-up).  This is the
+    level-scheduling strategy the paper points to in Section VII.
+    """
+    fw = levels_to_groups(compute_levels(part.lower, "forward"))
+    bw = levels_to_groups(compute_levels(part.upper, "backward"))
+    return SweepGroups(forward=fw, backward=bw, origin="levels")
+
+
+def make_sweep_groups_abmc(ordering: ABMCOrdering) -> SweepGroups:
+    """Sweep groups from an ABMC ordering of the (already reordered)
+    matrix.
+
+    Within a colour, blocks are mutually independent, so the ``w``-th rows
+    of all blocks of one colour form a valid group (a *wave*): their
+    lower-triangle dependencies are in earlier colours or earlier waves of
+    the same block.  Forward processes colours ascending with waves
+    top-down; backward processes colours descending with waves bottom-up.
+    With ``block_size == 1`` this degenerates to one group per colour.
+    """
+    forward: List[np.ndarray] = []
+    backward_per_color: List[List[np.ndarray]] = []
+    for color in range(ordering.n_colors):
+        ranges = ordering.blocks_of_color(color)
+        if not ranges:
+            continue
+        starts = np.array([r[0] for r in ranges], dtype=np.int64)
+        stops = np.array([r[1] for r in ranges], dtype=np.int64)
+        max_len = int((stops - starts).max())
+        bw_waves: List[np.ndarray] = []
+        for w in range(max_len):
+            fw_rows = starts + w
+            forward.append(fw_rows[fw_rows < stops])
+            bw_rows = stops - 1 - w
+            bw_waves.append(bw_rows[bw_rows >= starts])
+        backward_per_color.append(bw_waves)
+    # Backward sweep: colours descending, but waves inside a colour keep
+    # their bottom-up order (deepest rows of each block first).
+    backward: List[np.ndarray] = []
+    for bw_waves in reversed(backward_per_color):
+        backward.extend(bw_waves)
+    return SweepGroups(forward=forward, backward=backward, origin="abmc")
+
+
+# ---------------------------------------------------------------------------
+# fused vectorised implementation
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SweepPart:
+    """One group's rows plus its pre-extracted triangle submatrix.
+
+    ``apply`` performs the fused two-column product ``sub @ XY``; with
+    the scipy backend it closes over a compiled CSR handle, with the
+    numpy backend over :meth:`CSRMatrix.matmat`.
+    """
+
+    rows: np.ndarray
+    nnz: int
+    apply: Callable[[np.ndarray], np.ndarray]
+
+
+Backend = Literal["numpy", "scipy"]
+
+
+def _inverse_rows(perm: np.ndarray) -> np.ndarray:
+    """Row gather that undoes ``X[perm]`` (used by the block kernels)."""
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def _make_matmat(sub: CSRMatrix, backend: Backend) -> Callable[[np.ndarray], np.ndarray]:
+    if backend == "scipy":
+        from ..sparse.convert import to_scipy_csr
+
+        handle = to_scipy_csr(sub)
+        return lambda XY: handle @ XY
+    return sub.matmat
+
+
+def _make_matvec(tri: CSRMatrix, backend: Backend) -> Callable[[np.ndarray], np.ndarray]:
+    if backend == "scipy":
+        from ..sparse.convert import to_scipy_csr
+
+        handle = to_scipy_csr(tri)
+        return lambda x: handle @ x
+    return tri.matvec
+
+
+def _extract_parts(tri: CSRMatrix, groups: Sequence[np.ndarray],
+                   backend: Backend) -> List[_SweepPart]:
+    parts = []
+    for rows in groups:
+        if not len(rows):
+            continue
+        rows = np.asarray(rows, dtype=np.int64)
+        sub = tri.select_rows(rows)
+        parts.append(_SweepPart(rows=rows, nnz=sub.nnz,
+                                apply=_make_matmat(sub, backend)))
+    return parts
+
+
+def fbmpk_fused(
+    part: TriangularPartition,
+    groups: SweepGroups,
+    x: np.ndarray,
+    k: int,
+    on_iterate: Optional[IterateCallback] = None,
+    counter: Optional[KernelCounter] = None,
+) -> np.ndarray:
+    """Fused FBMPK over precomputed sweep groups (convenience wrapper that
+    extracts group submatrices on the fly; prefer
+    :class:`FBMPKOperator` for repeated use)."""
+    op = FBMPKOperator(part, groups)
+    return op.power(x, k, on_iterate=on_iterate, counter=counter)
+
+
+class FBMPKOperator:
+    """Preprocessed FBMPK executor (the library's main entry point).
+
+    Holds the ``L + D + U`` partition, the sweep groups and the per-group
+    triangle submatrices extracted once at construction — the "one-off
+    preprocessing whose overhead is amortised when A is reused", as the
+    paper argues in Sections III and V-F.  When built through
+    :func:`build_fbmpk_operator` with ABMC, the operator also owns the row
+    permutation and transparently maps inputs/outputs to the original
+    numbering.
+    """
+
+    def __init__(
+        self,
+        part: TriangularPartition,
+        groups: SweepGroups,
+        perm: Optional[np.ndarray] = None,
+        validate: bool = True,
+        backend: Backend = "numpy",
+    ) -> None:
+        if validate and not check_sweep_groups(part, groups):
+            raise ValueError("invalid sweep groups for this partition")
+        if backend not in ("numpy", "scipy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.part = part
+        self.groups = groups
+        self.backend = backend
+        self.perm = None if perm is None else np.asarray(perm, dtype=np.int64)
+        self._fw = _extract_parts(part.lower, groups.forward, backend)
+        self._bw = _extract_parts(part.upper, groups.backward, backend)
+        self._lower_matvec = _make_matvec(part.lower, backend)
+        self._upper_matvec = _make_matvec(part.upper, backend)
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.part.n
+
+    # -- sweeps --------------------------------------------------------
+    def _forward_sweep(self, XY: np.ndarray, tmp: np.ndarray,
+                       d: np.ndarray, counter: Optional[KernelCounter]) -> None:
+        """One fused forward stage: finish the odd iterate and leave
+        ``tmp = L x_odd + D x_odd``, streaming L exactly once."""
+        l_total = self.part.lower.nnz
+        for p in self._fw:
+            rows = p.rows
+            prod = p.apply(XY)  # [:,0] = (L x_even)[rows], [:,1] = (L x_odd)[rows]
+            new_odd = tmp[rows] + d[rows] * XY[rows, 0] + prod[:, 0]
+            XY[rows, 1] = new_odd
+            tmp[rows] = prod[:, 1] + d[rows] * new_odd
+            if counter:
+                counter.count_l(p.nnz, l_total)
+
+    def _backward_sweep(self, XY: np.ndarray, tmp: np.ndarray,
+                        counter: Optional[KernelCounter]) -> None:
+        """One fused backward stage: finish the even iterate and leave
+        ``tmp = U x_even``, streaming U exactly once."""
+        u_total = self.part.upper.nnz
+        for p in self._bw:
+            rows = p.rows
+            prod = p.apply(XY)  # [:,0] = (U x_even)[rows], [:,1] = (U x_odd)[rows]
+            XY[rows, 0] = tmp[rows] + prod[:, 1]
+            tmp[rows] = prod[:, 0]
+            if counter:
+                counter.count_u(p.nnz, u_total)
+
+    # -- public API ----------------------------------------------------
+    def power(
+        self,
+        x: np.ndarray,
+        k: int,
+        on_iterate: Optional[IterateCallback] = None,
+        counter: Optional[KernelCounter] = None,
+    ) -> np.ndarray:
+        """Compute ``A^k x`` with the fused forward-backward pipeline."""
+        if k < 0:
+            raise ValueError("power k must be non-negative")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n,):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.n},)")
+        if self.perm is not None:
+            x = permute_vector(x, self.perm)
+        if k == 0:
+            y = x.copy()
+            return unpermute_vector(y, self.perm) if self.perm is not None else y
+        d = self.part.diag
+        pair = InterleavedPair.from_initial(x)
+        XY = pair.as_matrix()
+        tmp = self._upper_matvec(x)
+        if counter:
+            counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
+        power = 0
+        for _ in range(k // 2):
+            self._forward_sweep(XY, tmp, d, counter)
+            power += 1
+            if on_iterate:
+                on_iterate(power, self._out(pair.odd))
+            self._backward_sweep(XY, tmp, counter)
+            power += 1
+            if on_iterate:
+                on_iterate(power, self._out(pair.even))
+        if k % 2:
+            even = XY[:, 0]
+            y = self._lower_matvec(even) + tmp + d * even
+            if counter:
+                counter.count_l(self.part.lower.nnz, self.part.lower.nnz)
+            if on_iterate:
+                on_iterate(k, self._out(y))
+            return self._out(y)
+        return self._out(XY[:, 0])
+
+    def power_block(self, X: np.ndarray, k: int,
+                    counter: Optional[KernelCounter] = None) -> np.ndarray:
+        """Compute ``A^k X`` for a dense block ``X`` of shape ``(n, m)``.
+
+        Block version of :meth:`power` for subspace methods (Chebyshev
+        filters, block power iteration): all ``m`` columns advance
+        through the same fused sweeps, so each triangle is still
+        streamed once per stage — the matrix reads are amortised over
+        the whole block, not paid per column.
+
+        The working buffer interleaves each column's even/odd iterates
+        (columns ``2j``/``2j + 1``), the block generalisation of the BtB
+        layout.
+        """
+        if k < 0:
+            raise ValueError("power k must be non-negative")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] != self.n:
+            raise ValueError(f"X has shape {X.shape}, expected ({self.n}, m)")
+        if self.perm is not None:
+            X = X[self.perm]
+        if k == 0:
+            out = X.copy()
+            return out[_inverse_rows(self.perm)] if self.perm is not None \
+                else out
+        m = X.shape[1]
+        d = self.part.diag[:, None]
+        XY = np.zeros((self.n, 2 * m), dtype=np.float64)
+        XY[:, 0::2] = X
+        tmp = self.part.upper.matmat(X)
+        if counter:
+            counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
+        l_total = self.part.lower.nnz
+        u_total = self.part.upper.nnz
+        for _ in range(k // 2):
+            for p in self._fw:
+                rows = p.rows
+                prod = p.apply(XY)
+                new_odd = tmp[rows] + d[rows] * XY[rows, 0::2] \
+                    + prod[:, 0::2]
+                XY[rows, 1::2] = new_odd
+                tmp[rows] = prod[:, 1::2] + d[rows] * new_odd
+                if counter:
+                    counter.count_l(p.nnz, l_total)
+            for p in self._bw:
+                rows = p.rows
+                prod = p.apply(XY)
+                XY[rows, 0::2] = tmp[rows] + prod[:, 1::2]
+                tmp[rows] = prod[:, 0::2]
+                if counter:
+                    counter.count_u(p.nnz, u_total)
+        if k % 2:
+            even = XY[:, 0::2]
+            Y = self.part.lower.matmat(even) + tmp + d * even
+            if counter:
+                counter.count_l(l_total, l_total)
+        else:
+            Y = XY[:, 0::2].copy()
+        if self.perm is not None:
+            Y = Y[_inverse_rows(self.perm)]
+        return Y
+
+    def _out(self, y: np.ndarray) -> np.ndarray:
+        """Copy out of the working buffer, undoing any ABMC permutation."""
+        y = np.asarray(y, dtype=np.float64)
+        if self.perm is not None:
+            return unpermute_vector(y, self.perm)
+        return y.copy()
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the preprocessed operator to an ``.npz`` file.
+
+        The paper stresses that splitting/reordering "can often be
+        performed offline when storing the matrix data" (Section IV-C);
+        this makes the offline artefact concrete.  Only the ``numpy``
+        backend's arrays are stored; :meth:`load` can rebuild either
+        backend.
+        """
+        groups_fw = [np.asarray(g, dtype=np.int64)
+                     for g in self.groups.forward]
+        groups_bw = [np.asarray(g, dtype=np.int64)
+                     for g in self.groups.backward]
+        payload = {
+            "l_indptr": self.part.lower.indptr,
+            "l_indices": self.part.lower.indices,
+            "l_data": self.part.lower.data,
+            "u_indptr": self.part.upper.indptr,
+            "u_indices": self.part.upper.indices,
+            "u_data": self.part.upper.data,
+            "diag": self.part.diag,
+            "source_nnz": np.int64(self.part.source_nnz),
+            "n_fw": np.int64(len(groups_fw)),
+            "n_bw": np.int64(len(groups_bw)),
+            "origin": np.bytes_(self.groups.origin.encode()),
+            "has_perm": np.bool_(self.perm is not None),
+        }
+        if self.perm is not None:
+            payload["perm"] = self.perm
+        for i, g in enumerate(groups_fw):
+            payload[f"fw_{i}"] = g
+        for i, g in enumerate(groups_bw):
+            payload[f"bw_{i}"] = g
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path, backend: Backend = "numpy") -> "FBMPKOperator":
+        """Rebuild an operator persisted with :meth:`save`."""
+        with np.load(path) as z:
+            n = z["diag"].shape[0]
+            lower = CSRMatrix(z["l_indptr"], z["l_indices"], z["l_data"],
+                              (n, n), check=False)
+            upper = CSRMatrix(z["u_indptr"], z["u_indices"], z["u_data"],
+                              (n, n), check=False)
+            part = TriangularPartition(lower, upper, z["diag"],
+                                       int(z["source_nnz"]))
+            groups = SweepGroups(
+                forward=[z[f"fw_{i}"] for i in range(int(z["n_fw"]))],
+                backward=[z[f"bw_{i}"] for i in range(int(z["n_bw"]))],
+                origin=bytes(z["origin"]).decode(),
+            )
+            perm = z["perm"] if bool(z["has_perm"]) else None
+        return cls(part, groups, perm=perm, validate=False, backend=backend)
+
+    def barriers_per_pair(self) -> int:
+        """Synchronisation phases per forward+backward iteration — the
+        quantity ABMC minimises versus the ``O(n)`` of naive pipelining."""
+        return self.groups.n_forward + self.groups.n_backward
+
+
+def build_fbmpk_operator(
+    a: CSRMatrix,
+    strategy: Literal["abmc", "levels"] = "abmc",
+    block_size: int = 1,
+    blocking: Literal["consecutive", "bfs"] = "consecutive",
+    backend: Backend = "numpy",
+) -> FBMPKOperator:
+    """One-off preprocessing: split, (optionally) reorder, group, extract.
+
+    ``strategy="abmc"`` reorders the matrix with
+    :func:`repro.reorder.abmc.abmc_ordering` (the paper's parallelisation)
+    and derives colour/wave sweep groups; ``strategy="levels"`` keeps the
+    original order and uses dependency levels.  ``block_size`` is the
+    ABMC rows-per-block knob (1 = point multicolouring, which yields the
+    coarsest vectorised groups; the paper's C implementation defaults to
+    512/1024 rows for thread-level parallelism).  ``backend`` selects the
+    compute kernels for the sweeps: ``"numpy"`` (self-contained reduceat
+    kernels) or ``"scipy"`` (compiled CSR kernels, the faster wall-clock
+    choice on this substrate).
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("FBMPK requires a square matrix")
+    if strategy == "abmc":
+        ordering = abmc_ordering(a, block_size=block_size, strategy=blocking)
+        reordered = permute_symmetric(a, ordering.perm)
+        part = split_ldu(reordered)
+        groups = make_sweep_groups_abmc(ordering)
+        return FBMPKOperator(part, groups, perm=ordering.perm,
+                             backend=backend)
+    if strategy == "levels":
+        part = split_ldu(a)
+        groups = make_sweep_groups_levels(part)
+        return FBMPKOperator(part, groups, perm=None, backend=backend)
+    raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,0 +1,73 @@
+"""Standard matrix-power kernel (the paper's Algorithm 1 baseline).
+
+``mpk_standard`` performs ``x_{i+1} = A x_i`` for ``i = 0..k-1`` with a
+fresh full SpMV per power — reading the whole matrix ``k`` times from
+memory.  This is the baseline every figure of the paper normalises
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from ..sparse.spmv import spmv_vectorised
+
+__all__ = ["mpk_standard", "mpk_standard_all", "mpk_reference_dense"]
+
+SpmvKernel = Callable[[CSRMatrix, np.ndarray], np.ndarray]
+
+
+def mpk_standard(
+    a: CSRMatrix,
+    x: np.ndarray,
+    k: int,
+    kernel: SpmvKernel = spmv_vectorised,
+) -> np.ndarray:
+    """Compute ``A^k x`` with ``k`` independent SpMV invocations.
+
+    ``kernel`` selects the single-SpMV implementation (vectorised numpy by
+    default; pass :func:`repro.sparse.spmv.spmv_scipy` for the MKL-like
+    baseline or :func:`repro.sparse.spmv.spmv_scalar` for the literal
+    Algorithm 1 loops).
+    """
+    if k < 0:
+        raise ValueError("power k must be non-negative")
+    y = np.asarray(x, dtype=np.float64).copy()
+    for _ in range(k):
+        y = kernel(a, y)
+    return y
+
+
+def mpk_standard_all(
+    a: CSRMatrix,
+    x: np.ndarray,
+    k: int,
+    kernel: SpmvKernel = spmv_vectorised,
+) -> List[np.ndarray]:
+    """Compute and return the whole Krylov sequence ``[x, Ax, ..., A^k x]``.
+
+    Used by the generic SSpMV combination (``y = sum alpha_i A^i x``) and
+    by the s-step solvers in :mod:`repro.solvers`.
+    """
+    if k < 0:
+        raise ValueError("power k must be non-negative")
+    seq = [np.asarray(x, dtype=np.float64).copy()]
+    for _ in range(k):
+        seq.append(kernel(a, seq[-1]))
+    return seq
+
+
+def mpk_reference_dense(a: CSRMatrix, x: np.ndarray, k: int) -> np.ndarray:
+    """Dense-arithmetic oracle: ``k`` dense matvecs on ``A.to_dense()``.
+
+    Only suitable for small test matrices; the property-based tests use it
+    as an implementation-independent ground truth.
+    """
+    dense = a.to_dense()
+    y = np.asarray(x, dtype=np.float64).copy()
+    for _ in range(k):
+        y = dense @ y
+    return y

@@ -1,0 +1,25 @@
+"""Distributed-memory MPK substrate (Sections VI/VII context).
+
+1-D row decomposition with halo accounting, an in-process SPMD simulator
+that verifies distributed results against the serial kernels while
+tallying communication, and the standard-vs-communication-avoiding MPK
+comparison of the s-step literature the paper relates itself to.
+"""
+
+from .partition import RankBlock, RowPartition, partition_rows
+from .spmd import (
+    CommStats,
+    distributed_mpk,
+    distributed_mpk_ca,
+    distributed_spmv,
+)
+
+__all__ = [
+    "RankBlock",
+    "RowPartition",
+    "partition_rows",
+    "CommStats",
+    "distributed_mpk",
+    "distributed_mpk_ca",
+    "distributed_spmv",
+]

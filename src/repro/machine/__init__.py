@@ -1,0 +1,51 @@
+"""Machine models: Table I platforms and the roofline performance model.
+
+This package replaces the paper's physical testbed (see DESIGN.md):
+platform descriptions carry the published Table I attributes plus
+documented public-spec estimates for bandwidth and synchronisation costs,
+and the performance model converts modelled DRAM traffic into predicted
+runtimes and speedups.
+"""
+
+from .perfmodel import (
+    DEFAULT_ROWS_PER_BLOCK,
+    DEFAULT_N_COLORS,
+    ParallelShape,
+    Prediction,
+    estimate_parallel_shape,
+    predict_mpk_time,
+    predict_speedup,
+)
+from .platform import GB, KB, MB, Platform
+from .registry import (
+    A64FX,
+    FT2000P,
+    KP920,
+    PLATFORMS,
+    THUNDERX2,
+    XEON_6230R,
+    get_platform,
+    list_platform_names,
+)
+
+__all__ = [
+    "DEFAULT_ROWS_PER_BLOCK",
+    "DEFAULT_N_COLORS",
+    "ParallelShape",
+    "Prediction",
+    "estimate_parallel_shape",
+    "predict_mpk_time",
+    "predict_speedup",
+    "GB",
+    "KB",
+    "MB",
+    "Platform",
+    "A64FX",
+    "FT2000P",
+    "KP920",
+    "PLATFORMS",
+    "THUNDERX2",
+    "XEON_6230R",
+    "get_platform",
+    "list_platform_names",
+]

@@ -1,0 +1,187 @@
+"""Roofline-style execution-time model for MPK pipelines.
+
+Converts the DRAM traffic of :mod:`repro.memsim.traffic` into predicted
+runtimes on the Table I platforms, adding the compute roof and the
+synchronisation costs of the parallelisation scheme.  This is the
+substitute for running the paper's C+OpenMP kernels on real FT 2000+ /
+ThunderX2 / KP 920 / Xeon hardware (see DESIGN.md): every Fig 7/8/10/12
+series is regenerated from this model over the registry's paper-scale
+matrix statistics.
+
+Model::
+
+    t = max(bytes / BW(T), flops / F(T)) + sync(T)
+
+* ``BW(T)``: per-core bandwidth saturating at the platform's STREAM
+  limit, NUMA-derated (Section IV-A's numactl interleaving).
+* ``F(T)``: sustainable sparse FLOP rate.
+* ``sync(T)``: barrier costs — one join per SpMV for the baseline, one
+  per *colour* per stage for ABMC-parallelised FBMPK (Section III-D),
+  making FBMPK's sync term larger; this is what sinks the small ``cant``
+  matrix at high thread counts (Section V-A / Fig 12b).
+* FBMPK's usable parallelism is capped by the blocks available per
+  colour (77 blocks for ``cant`` in the paper's example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from ..memsim.traffic import (
+    MatrixTrafficStats,
+    TrafficParams,
+    fbmpk_traffic,
+    mpk_standard_traffic,
+)
+from .platform import Platform
+
+__all__ = [
+    "ParallelShape",
+    "Prediction",
+    "estimate_parallel_shape",
+    "predict_mpk_time",
+    "predict_speedup",
+]
+
+Method = Literal["standard", "fb", "fb+btb"]
+
+#: Default ABMC block granularity in rows (the paper quotes defaults of
+#: "either 512 or 1024" for the block setting; Section V-A's ``cant``
+#: walkthrough is consistent with blocks of ~120-512 rows).
+DEFAULT_ROWS_PER_BLOCK = 512
+#: Typical colour count ABMC produces on the evaluation matrices
+#: (``cant``'s per-colour block count out of its total implies about 7).
+DEFAULT_N_COLORS = 7
+
+
+@dataclass(frozen=True)
+class ParallelShape:
+    """Parallel structure of an ABMC-reordered matrix.
+
+    ``n_colors`` sequential phases per sweep; ``max_parallel_blocks``
+    independent blocks available inside one colour (the parallelism cap).
+    """
+
+    n_colors: int
+    max_parallel_blocks: int
+
+
+def estimate_parallel_shape(
+    n_rows: int,
+    rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+    n_colors: int = DEFAULT_N_COLORS,
+) -> ParallelShape:
+    """Estimate the shape when no measured ABMC ordering is available:
+    ``n / 512``-row blocks split across ~7 colours.  Only small matrices
+    end up parallelism-capped — ``cant`` (62k rows) gets a few dozen
+    blocks per colour, matching the paper's account of why it stops
+    scaling, while the million-row inputs get hundreds."""
+    n_blocks = max(1, -(-n_rows // rows_per_block))
+    return ParallelShape(
+        n_colors=n_colors,
+        max_parallel_blocks=max(1, n_blocks // n_colors),
+    )
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Predicted runtime decomposition (seconds)."""
+
+    t_memory: float
+    t_compute: float
+    t_sync: float
+
+    @property
+    def total(self) -> float:
+        """max(memory, compute) roof plus synchronisation."""
+        return max(self.t_memory, self.t_compute) + self.t_sync
+
+
+def _flops_mpk(stats: MatrixTrafficStats, k: int) -> float:
+    # Two FLOPs (multiply + add) per stored entry per produced power, for
+    # both pipelines: FBMPK reorganises, it does not add arithmetic.
+    return 2.0 * stats.nnz * k
+
+
+def predict_mpk_time(
+    platform: Platform,
+    stats: MatrixTrafficStats,
+    k: int,
+    threads: Optional[int] = None,
+    method: Method = "fb+btb",
+    shape: Optional[ParallelShape] = None,
+    params: Optional[TrafficParams] = None,
+) -> Prediction:
+    """Predict the runtime of one ``A^k x`` computation.
+
+    ``method`` selects the pipeline: ``"standard"`` (Algorithm 1 with a
+    parallel SpMV per power), ``"fb"`` (forward-backward with split
+    vectors) or ``"fb+btb"`` (the full FBMPK of Algorithm 2).
+    """
+    if k <= 0:
+        raise ValueError("power k must be positive")
+    threads = platform.cores if threads is None else threads
+    threads = max(1, min(threads, platform.cores))
+    shape = shape or estimate_parallel_shape(stats.n)
+    params = params or TrafficParams()
+    # Each active thread sweeps its own rows, so its vector window
+    # competes for its private L2 share plus an even share of L3; the
+    # *whole* live vector set, shared by all threads, is resident against
+    # the full last-level capacity.
+    cache = platform.effective_cache_bytes(threads)
+    residency = platform.total_last_level_bytes()
+    quant = 1.0
+    if method == "standard":
+        traffic = mpk_standard_traffic(stats, k, cache, params,
+                                       residency_cache_bytes=residency)
+        eff_threads = threads
+        # One join per SpMV invocation; contiguous row splitting keeps
+        # the baseline's static schedule balanced.
+        n_barriers = k
+    elif method in ("fb", "fb+btb"):
+        traffic = fbmpk_traffic(stats, k, cache, params,
+                                btb=(method == "fb+btb"),
+                                residency_cache_bytes=residency)
+        # Parallelism is bounded by the blocks available per colour.
+        eff_threads = min(threads, shape.max_parallel_blocks)
+        # Head join, one barrier per colour per loop stage (forward and
+        # backward each sweep the colours once), tail join when k is odd.
+        loop_stages = k - (k % 2)
+        n_barriers = 1 + loop_stages * shape.n_colors + (1 if k % 2 else 0)
+        # Static block-to-thread assignment quantisation: with B blocks
+        # per colour on T threads, a phase takes ceil(B/T) block rounds
+        # while perfect balance would take B/T — the "thread overhead"
+        # that sinks small matrices like cant at high thread counts
+        # (Section V-A).
+        b = shape.max_parallel_blocks
+        quant = math.ceil(b / eff_threads) * eff_threads / b
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    t_memory = quant * traffic.total_bytes \
+        / platform.bandwidth_bytes_per_s(eff_threads, spawned=threads)
+    t_compute = quant * _flops_mpk(stats, k) / platform.flops_per_s(eff_threads)
+    t_sync = (n_barriers * platform.barrier_seconds(threads)
+              + platform.thread_spawn_us * 1e-6)
+    slowdown = platform.baseline_slowdown if method == "standard" else 1.0
+    return Prediction(t_memory=t_memory * slowdown,
+                      t_compute=t_compute * slowdown,
+                      t_sync=t_sync)
+
+
+def predict_speedup(
+    platform: Platform,
+    stats: MatrixTrafficStats,
+    k: int,
+    threads: Optional[int] = None,
+    method: Method = "fb+btb",
+    shape: Optional[ParallelShape] = None,
+    params: Optional[TrafficParams] = None,
+) -> float:
+    """FBMPK speedup over the standard MPK — the Fig 7/8 quantity."""
+    base = predict_mpk_time(platform, stats, k, threads, "standard",
+                            shape, params).total
+    ours = predict_mpk_time(platform, stats, k, threads, method,
+                            shape, params).total
+    return base / ours

@@ -1,0 +1,136 @@
+"""Hardware platform descriptions.
+
+A :class:`Platform` carries the Table I attributes (cores, sockets, NUMA
+nodes, frequency, cache sizes) plus the memory/synchronisation parameters
+the performance model needs.  The latter are not in the paper; the
+registry (:mod:`repro.machine.registry`) fills them from public
+specifications and STREAM-class measurements of the same parts, clearly
+marked as estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Platform"]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1000 ** 3  # bandwidth vendors use decimal GB
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One evaluation machine.
+
+    Attributes
+    ----------
+    name:
+        Display name (Table I column header).
+    cores:
+        Total hardware cores used by the experiments.
+    sockets, numa_nodes:
+        Topology rows of Table I.
+    freq_ghz:
+        Nominal core frequency.
+    l1_bytes, l2_bytes, l3_bytes:
+        Per-core L1/L2 and total shared L3 (0 = none, as on FT 2000+).
+    l2_shared_cores:
+        Number of cores sharing one L2 slice (FT 2000+ clusters share a
+        2 MB L2 among 4 cores; 1 elsewhere).
+    stream_bw_gbs:
+        Sustained aggregate memory bandwidth (STREAM-like), all cores.
+    core_bw_gbs:
+        Bandwidth a single core can draw.
+    barrier_base_us, barrier_log_us:
+        Barrier cost model ``base + log2(T) * log_coef`` microseconds.
+    thread_spawn_us:
+        One-off cost of activating a worker thread.
+    numa_penalty:
+        Multiplicative bandwidth de-rating when data is interleaved
+        across NUMA nodes (1.0 = no penalty).
+    flops_per_cycle:
+        Sustainable double-precision FLOPs/cycle/core *in sparse code*
+        (far below the SIMD peak; gathers dominate).
+    baseline_slowdown:
+        Multiplier on the *baseline* pipeline's predicted time.  1.0 on
+        the ARM platforms, where the paper runs the same optimised SpMV
+        kernel in both pipelines; 1.13 on Xeon, where the baseline is
+        MKL and the paper reports its own kernel beating MKL by 13%
+        (Section IV-C).
+    """
+
+    name: str
+    cores: int
+    sockets: int
+    numa_nodes: int
+    freq_ghz: float
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    l2_shared_cores: int = 1
+    stream_bw_gbs: float = 100.0
+    core_bw_gbs: float = 12.0
+    barrier_base_us: float = 1.0
+    barrier_log_us: float = 0.8
+    thread_spawn_us: float = 5.0
+    numa_penalty: float = 1.0
+    flops_per_cycle: float = 2.0
+    baseline_slowdown: float = 1.0
+
+    def bandwidth_bytes_per_s(self, threads: int,
+                              spawned: int | None = None) -> float:
+        """Aggregate sustainable bandwidth for ``threads`` active cores.
+
+        Per-core draw saturates at two ceilings: the machine-wide STREAM
+        limit and — on multi-NUMA parts — the links of the *occupied*
+        nodes (compact thread placement fills nodes one by one, so a
+        4-thread run on FT 2000+ only has one of its eight memory links
+        active).  ``spawned`` is the number of threads the run created
+        (default: ``threads``): when a phase can only keep a subset busy
+        the idle threads still pin their nodes, so link availability
+        follows ``spawned`` while core draw follows ``threads``.
+        Interleaved allocation (the paper uses ``numactl`` interleaving,
+        Section IV-A) pays the remote-access de-rating whenever there is
+        more than one node.
+        """
+        threads = max(1, min(threads, self.cores))
+        spawned = threads if spawned is None else \
+            max(threads, min(spawned, self.cores))
+        bw = min(threads * self.core_bw_gbs, self.stream_bw_gbs)
+        if self.numa_nodes > 1:
+            cores_per_node = max(self.cores // self.numa_nodes, 1)
+            active_nodes = -(-spawned // cores_per_node)
+            node_bw = self.stream_bw_gbs / self.numa_nodes
+            bw = min(bw, active_nodes * node_bw)
+            bw *= self.numa_penalty
+        return bw * GB
+
+    def effective_cache_bytes(self, threads: int = 1) -> float:
+        """Cache capacity backing one thread's working set: its private
+        L2 share plus an equal share of L3."""
+        threads = max(1, min(threads, self.cores))
+        l2 = self.l2_bytes / max(self.l2_shared_cores, 1)
+        l3 = self.l3_bytes / threads
+        return l2 + l3
+
+    def total_last_level_bytes(self) -> float:
+        """Total last-level capacity (L3, or aggregate L2 slices when
+        there is no L3)."""
+        if self.l3_bytes:
+            return float(self.l3_bytes)
+        n_slices = self.cores // max(self.l2_shared_cores, 1)
+        return float(self.l2_bytes * n_slices)
+
+    def barrier_seconds(self, threads: int) -> float:
+        """Cost of one full barrier across ``threads`` threads."""
+        import math
+
+        threads = max(1, min(threads, self.cores))
+        return (self.barrier_base_us
+                + self.barrier_log_us * math.log2(threads + 1)) * 1e-6
+
+    def flops_per_s(self, threads: int) -> float:
+        """Aggregate sustainable sparse FLOP rate."""
+        threads = max(1, min(threads, self.cores))
+        return threads * self.freq_ghz * 1e9 * self.flops_per_cycle

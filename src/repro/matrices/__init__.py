@@ -1,0 +1,53 @@
+"""Evaluation matrices: Table II registry and synthetic stand-ins.
+
+The registry carries the paper-scale statistics for the analytic models;
+the generators build scale-reduced matrices with matching structural
+character for running the actual kernels (see DESIGN.md's substitution
+table for the rationale).
+"""
+
+from .generators import (
+    generate_cage_digraph,
+    generate_circuit,
+    generate_fem_shell,
+    generate_fem_solid,
+    generate_kkt,
+    generate_poisson2d,
+    generate_poisson3d,
+    generate_ship_structure,
+)
+from .registry import (
+    TABLE2,
+    MatrixInfo,
+    generate_standin,
+    get_matrix_info,
+    list_matrix_names,
+)
+from .loader import find_matrix_file, load_matrix, suitesparse_dir
+from .stats import MatrixStatsReport, analyze_matrix
+from .synth import banded_random, poisson2d, poisson3d, stencil27
+
+__all__ = [
+    "generate_cage_digraph",
+    "generate_circuit",
+    "generate_fem_shell",
+    "generate_fem_solid",
+    "generate_kkt",
+    "generate_poisson2d",
+    "generate_poisson3d",
+    "generate_ship_structure",
+    "TABLE2",
+    "MatrixInfo",
+    "generate_standin",
+    "get_matrix_info",
+    "list_matrix_names",
+    "find_matrix_file",
+    "load_matrix",
+    "suitesparse_dir",
+    "MatrixStatsReport",
+    "analyze_matrix",
+    "banded_random",
+    "poisson2d",
+    "poisson3d",
+    "stencil27",
+]

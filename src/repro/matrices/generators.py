@@ -1,0 +1,140 @@
+"""Domain-specific generators for the Table II stand-in matrices.
+
+The paper's inputs come from the SuiteSparse collection (52M-117M nnz
+files we cannot ship offline).  Each generator here builds a scale-reduced
+matrix with the same *structural character* — nnz/row, symmetry, locality
+profile — as its SuiteSparse counterpart, because those are the features
+the FBMPK analysis keys on (traffic is proportional to nnz; vector-access
+overhead to nnz/row; colouring behaviour to the connectivity pattern).
+
+``n_target`` is the requested number of rows; generators honour it
+approximately (grid generators round to the nearest grid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+from .synth import (
+    banded_random,
+    finalize_values,
+    poisson2d,
+    poisson3d,
+    random_rectangular,
+)
+
+__all__ = [
+    "generate_poisson2d",
+    "generate_poisson3d",
+    "generate_fem_shell",
+    "generate_fem_solid",
+    "generate_circuit",
+    "generate_cage_digraph",
+    "generate_kkt",
+    "generate_ship_structure",
+]
+
+
+def generate_poisson2d(nx: int, seed: int = 0) -> CSRMatrix:
+    """Re-export of the 5-point grid generator (quickstart matrix)."""
+    return poisson2d(nx, seed=seed)
+
+
+def generate_poisson3d(nx: int, seed: int = 0) -> CSRMatrix:
+    """Re-export of the 7-point grid generator."""
+    return poisson3d(nx, seed=seed)
+
+
+def generate_fem_shell(n_target: int, nnz_per_row: float = 35.0,
+                       seed: int = 0) -> CSRMatrix:
+    """Shell-element FEM stand-in (``af_shell10``, ``pwtk``-like).
+
+    Shell meshes are quasi-2-D: moderate nnz/row, bandwidth growing as
+    ``~sqrt(n)`` like a 2-D mesh numbered along one axis.
+    """
+    band = max(int(1.2 * n_target ** 0.5), 16)
+    return banded_random(n_target, nnz_per_row, band, symmetric=True,
+                         seed=seed)
+
+
+def generate_fem_solid(n_target: int, nnz_per_row: float = 75.0,
+                       seed: int = 0) -> CSRMatrix:
+    """Solid 3-D FEM stand-in (``audikw_1``, ``Flan_1565``, ``inline_1``,
+    ``Serena``...): high nnz/row from vector-valued 3-D elements, wider
+    bandwidth."""
+    band = max(int(n_target ** (2.0 / 3.0)), 32)
+    return banded_random(n_target, nnz_per_row, band, symmetric=True,
+                         seed=seed)
+
+
+def generate_circuit(n_target: int, seed: int = 0) -> CSRMatrix:
+    """Circuit-simulation stand-in (``G3_circuit``): a 2-D grid Laplacian
+    (~5 nnz/row) with a sprinkling of long-range connections for the
+    off-grid circuit elements."""
+    nx = max(int(round(np.sqrt(n_target))), 2)
+    base = poisson2d(nx, seed=seed)
+    n = base.n_rows
+    rng = np.random.default_rng(seed + 1)
+    extra = max(n // 50, 1)  # ~2% of rows get one long-range link
+    r = rng.integers(0, n, size=extra, dtype=np.int64)
+    c = rng.integers(0, n, size=extra, dtype=np.int64)
+    keep = r != c
+    r, c = r[keep], c[keep]
+    rows = np.concatenate([
+        np.repeat(np.arange(n, dtype=np.int64), base.row_nnz()), r, c,
+    ])
+    cols = np.concatenate([base.indices, c, r])
+    structure = COOMatrix(rows, cols, np.ones(rows.shape[0]), base.shape)
+    return finalize_values(structure, rng, symmetric=True)
+
+
+def generate_cage_digraph(n_target: int, nnz_per_row: float = 18.0,
+                          seed: int = 0) -> CSRMatrix:
+    """DNA-electrophoresis digraph stand-in (``cage14``): *unsymmetric*,
+    moderate nnz/row, banded locality from the cage model's state
+    numbering."""
+    band = max(int(3 * n_target ** (2.0 / 3.0)), 64)
+    return banded_random(n_target, nnz_per_row, band, symmetric=False,
+                         seed=seed)
+
+
+def generate_kkt(n_target: int, seed: int = 0) -> CSRMatrix:
+    """KKT saddle-point stand-in (``nlpkkt120``): symmetric
+    ``[[H, B^T], [B, 0]]`` with a banded Hessian block and a random sparse
+    constraint block — the two-population row structure of interior-point
+    systems."""
+    n_h = (2 * n_target) // 3
+    n_b = n_target - n_h
+    rng = np.random.default_rng(seed)
+    h = banded_random(n_h, 24.0, 96, symmetric=True, seed=seed)
+    b = random_rectangular(n_b, n_h, 8.0, seed=seed + 1)
+    n = n_h + n_b
+    h_rows = np.repeat(np.arange(n_h, dtype=np.int64), h.row_nnz())
+    rows = np.concatenate([h_rows, b.rows + n_h, b.cols])
+    cols = np.concatenate([h.indices, b.cols, b.rows + n_h])
+    structure = COOMatrix(rows, cols, np.ones(rows.shape[0]), (n, n))
+    return finalize_values(structure, rng, symmetric=True)
+
+
+def generate_ship_structure(n_target: int, nnz_per_row: float = 55.0,
+                            seed: int = 0) -> CSRMatrix:
+    """Ship/section structural stand-in (``shipsec1``, ``ldoor``,
+    ``Hook_1498``): stiffened-panel meshes — mid nnz/row, clustered
+    bandwidth with occasional stiffener jumps."""
+    band = max(int(n_target ** (2.0 / 3.0)), 64)
+    base = banded_random(n_target, nnz_per_row * 0.9, band, symmetric=True,
+                         seed=seed)
+    n = base.n_rows
+    rng = np.random.default_rng(seed + 7)
+    # Stiffener couplings: regular long-range links every ~200 rows.
+    stride = 200
+    r = np.arange(0, max(n - stride, 0), dtype=np.int64)
+    c = r + stride
+    rows = np.concatenate([
+        np.repeat(np.arange(n, dtype=np.int64), base.row_nnz()), r, c,
+    ])
+    cols = np.concatenate([base.indices, c, r])
+    structure = COOMatrix(rows, cols, np.ones(rows.shape[0]), base.shape)
+    return finalize_values(structure, rng, symmetric=True)

@@ -1,0 +1,168 @@
+"""Registry of the paper's Table II evaluation matrices.
+
+Each entry records the published statistics (rows, nnz, nnz/row,
+symmetry, domain) — used verbatim by the analytic traffic/performance
+models so that Fig 7/8/9-style results are computed at *paper scale* —
+and a generator producing a scale-reduced synthetic stand-in with the
+same structural character, used wherever actual kernels must run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..sparse.csr import CSRMatrix
+from . import generators as g
+
+__all__ = ["MatrixInfo", "TABLE2", "get_matrix_info", "generate_standin",
+           "list_matrix_names"]
+
+
+@dataclass(frozen=True)
+class MatrixInfo:
+    """One row of Table II plus reproduction metadata.
+
+    ``rows``/``nnz`` are the published full-scale numbers; ``generator``
+    builds the stand-in at a requested reduced size; ``domain`` is the
+    application area the paper lists for dataset diversity.
+
+    ``dim`` is the effective problem dimensionality used to estimate the
+    matrix bandwidth (the active vector window of the traffic model): a
+    ``d``-dimensional mesh numbered along its axes has bandwidth
+    ``~ n^((d-1)/d)``.  ``bandwidth_scale`` multiplies that estimate —
+    large for structures with long-range coupling (KKT constraint rows,
+    circuit nets), 1.0 for well-numbered meshes.
+    """
+
+    id: int
+    name: str
+    rows: int
+    nnz: int
+    symmetric: bool
+    domain: str
+    generator: Callable[[int, int], CSRMatrix]
+    dim: int = 3
+    bandwidth_scale: float = 1.0
+
+    @property
+    def nnz_per_row(self) -> float:
+        """Average stored entries per row (Table II's #nnz/N column)."""
+        return self.nnz / self.rows
+
+    def bandwidth_estimate(self, rows: int | None = None) -> float:
+        """Estimated matrix bandwidth at ``rows`` (paper scale default)."""
+        n = self.rows if rows is None else rows
+        return self.bandwidth_scale * float(n) ** ((self.dim - 1) / self.dim)
+
+    def traffic_stats(self, rows: int | None = None):
+        """Paper-scale (or rescaled) inputs for the analytic traffic
+        model (:class:`repro.memsim.traffic.MatrixTrafficStats`)."""
+        from ..memsim.traffic import MatrixTrafficStats
+
+        n = self.rows if rows is None else rows
+        nnz = int(round(self.nnz_per_row * n))
+        return MatrixTrafficStats(n=n, nnz=nnz,
+                                  bandwidth=self.bandwidth_estimate(n))
+
+    def generate(self, n_rows: int = 20_000, seed: int | None = None) -> CSRMatrix:
+        """Build the scale-reduced stand-in (~``n_rows`` rows)."""
+        return self.generator(n_rows, self.id if seed is None else seed)
+
+
+def _standin(fn: Callable, **kwargs) -> Callable[[int, int], CSRMatrix]:
+    def build(n_rows: int, seed: int) -> CSRMatrix:
+        return fn(n_rows, seed=seed, **kwargs)
+
+    return build
+
+
+def _standin_circuit() -> Callable[[int, int], CSRMatrix]:
+    def build(n_rows: int, seed: int) -> CSRMatrix:
+        return g.generate_circuit(n_rows, seed=seed)
+
+    return build
+
+
+#: The 14 evaluation inputs of Table II, in paper order.
+TABLE2: List[MatrixInfo] = [
+    MatrixInfo(1, "af_shell10", 1_508_065, 52_672_325, True,
+               "sheet metal forming (shell FEM)",
+               _standin(g.generate_fem_shell, nnz_per_row=34.93),
+               dim=2, bandwidth_scale=1.2),
+    MatrixInfo(2, "audikw_1", 943_695, 77_651_847, True,
+               "automotive crankshaft FEM",
+               _standin(g.generate_fem_solid, nnz_per_row=82.28),
+               dim=3, bandwidth_scale=2.0),
+    MatrixInfo(3, "cage14", 1_505_785, 27_130_349, False,
+               "DNA electrophoresis digraph",
+               _standin(g.generate_cage_digraph, nnz_per_row=18.02),
+               dim=3, bandwidth_scale=3.0),
+    MatrixInfo(4, "cant", 62_451, 4_007_383, True,
+               "FEM cantilever",
+               _standin(g.generate_fem_solid, nnz_per_row=64.17),
+               dim=3, bandwidth_scale=1.0),
+    MatrixInfo(5, "Flan_1565", 1_564_794, 117_406_044, True,
+               "3D steel flange FEM",
+               _standin(g.generate_fem_solid, nnz_per_row=75.03),
+               dim=3, bandwidth_scale=1.0),
+    MatrixInfo(6, "G3_circuit", 1_585_478, 7_660_826, True,
+               "circuit simulation",
+               _standin_circuit(),
+               dim=2, bandwidth_scale=1.0),
+    MatrixInfo(7, "Hook_1498", 1_498_023, 60_917_445, True,
+               "steel hook FEM",
+               _standin(g.generate_ship_structure, nnz_per_row=40.67),
+               dim=3, bandwidth_scale=1.0),
+    MatrixInfo(8, "inline_1", 503_712, 36_816_342, True,
+               "inline skater FEM",
+               _standin(g.generate_fem_solid, nnz_per_row=73.09),
+               dim=3, bandwidth_scale=2.0),
+    MatrixInfo(9, "ldoor", 952_203, 46_522_475, True,
+               "large door structural FEM",
+               _standin(g.generate_ship_structure, nnz_per_row=48.86),
+               dim=3, bandwidth_scale=1.0),
+    MatrixInfo(10, "ML_Geer", 1_504_002, 110_879_972, False,
+               "poroelastic model (unsymmetric)",
+               _standin(g.generate_cage_digraph, nnz_per_row=73.72),
+               dim=3, bandwidth_scale=1.0),
+    MatrixInfo(11, "nlpkkt120", 3_542_400, 96_845_792, True,
+               "nonlinear optimisation KKT system",
+               lambda n_rows, seed: g.generate_kkt(n_rows, seed=seed),
+               dim=3, bandwidth_scale=4.0),
+    MatrixInfo(12, "pwtk", 217_918, 11_634_424, True,
+               "pressurised wind tunnel FEM",
+               _standin(g.generate_fem_shell, nnz_per_row=53.39),
+               dim=2, bandwidth_scale=1.0),
+    MatrixInfo(13, "Serena", 1_391_349, 64_531_701, True,
+               "gas reservoir simulation FEM",
+               _standin(g.generate_fem_solid, nnz_per_row=46.38),
+               dim=3, bandwidth_scale=1.0),
+    MatrixInfo(14, "shipsec1", 140_874, 7_813_404, True,
+               "ship section structural FEM",
+               _standin(g.generate_ship_structure, nnz_per_row=55.46),
+               dim=3, bandwidth_scale=1.0),
+]
+
+_BY_NAME: Dict[str, MatrixInfo] = {m.name: m for m in TABLE2}
+
+
+def get_matrix_info(name: str) -> MatrixInfo:
+    """Look up a Table II entry by its paper name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def list_matrix_names() -> List[str]:
+    """All Table II matrix names in paper order."""
+    return [m.name for m in TABLE2]
+
+
+def generate_standin(name: str, n_rows: int = 20_000,
+                     seed: int | None = None) -> CSRMatrix:
+    """Generate the scale-reduced stand-in for a named Table II matrix."""
+    return get_matrix_info(name).generate(n_rows=n_rows, seed=seed)

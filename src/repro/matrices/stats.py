@@ -1,0 +1,104 @@
+"""Structural statistics of sparse matrices.
+
+The quantities the paper's analysis keys on, computed from an in-memory
+matrix: size/nnz/nnz-per-row (the Table II columns), bandwidth and its
+distribution (the vector-locality driver of the traffic model), symmetry
+degree, diagonal coverage, and a Gershgorin spectral enclosure.  Used by
+the CLI's ``info`` command and by the benches' stand-in validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix, reduce_rows
+
+__all__ = ["MatrixStatsReport", "analyze_matrix"]
+
+
+@dataclass(frozen=True)
+class MatrixStatsReport:
+    """Summary statistics of one square sparse matrix."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    nnz_per_row_mean: float
+    nnz_per_row_min: int
+    nnz_per_row_max: int
+    bandwidth: int
+    mean_offset: float
+    symmetric_pattern: bool
+    symmetric_values: bool
+    diagonal_nonzeros: int
+    gershgorin_lo: float
+    gershgorin_hi: float
+
+    @property
+    def density(self) -> float:
+        """Fraction of stored entries over the dense size."""
+        size = self.n_rows * self.n_cols
+        return self.nnz / size if size else 0.0
+
+    @property
+    def full_diagonal(self) -> bool:
+        """True when every diagonal entry is stored and nonzero."""
+        return self.diagonal_nonzeros == min(self.n_rows, self.n_cols)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict for table/JSON rendering."""
+        return {
+            "rows": self.n_rows,
+            "cols": self.n_cols,
+            "nnz": self.nnz,
+            "nnz/row (mean)": round(self.nnz_per_row_mean, 2),
+            "nnz/row (min..max)":
+                f"{self.nnz_per_row_min}..{self.nnz_per_row_max}",
+            "density": f"{self.density:.2e}",
+            "bandwidth": self.bandwidth,
+            "mean |i-j|": round(self.mean_offset, 1),
+            "symmetric pattern": self.symmetric_pattern,
+            "symmetric values": self.symmetric_values,
+            "full diagonal": self.full_diagonal,
+            "Gershgorin": f"[{self.gershgorin_lo:.4g}, "
+                          f"{self.gershgorin_hi:.4g}]",
+        }
+
+
+def analyze_matrix(a: CSRMatrix) -> MatrixStatsReport:
+    """Compute a :class:`MatrixStatsReport` for a square CSR matrix."""
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("analysis requires a square matrix")
+    n = a.n_rows
+    counts = a.row_nnz()
+    rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+    offsets = np.abs(rows - a.indices) if a.nnz else np.zeros(0, np.int64)
+    # Symmetry: compare sorted structure/values against the transpose.
+    t = a.transpose().sort_indices()
+    s = a.sort_indices()
+    sym_pattern = (np.array_equal(s.indptr, t.indptr)
+                   and np.array_equal(s.indices, t.indices))
+    sym_values = sym_pattern and bool(
+        np.allclose(s.data, t.data, rtol=1e-12, atol=1e-14))
+    on_diag = rows == a.indices
+    diag = np.zeros(n)
+    np.add.at(diag, rows[on_diag], a.data[on_diag])
+    radii = reduce_rows(np.where(on_diag, 0.0, np.abs(a.data)), a.indptr)
+    return MatrixStatsReport(
+        n_rows=n,
+        n_cols=a.n_cols,
+        nnz=a.nnz,
+        nnz_per_row_mean=a.nnz / max(n, 1),
+        nnz_per_row_min=int(counts.min()) if counts.size else 0,
+        nnz_per_row_max=int(counts.max()) if counts.size else 0,
+        bandwidth=int(offsets.max(initial=0)),
+        mean_offset=float(offsets.mean()) if offsets.size else 0.0,
+        symmetric_pattern=sym_pattern,
+        symmetric_values=sym_values,
+        diagonal_nonzeros=int(np.count_nonzero(diag)),
+        gershgorin_lo=float((diag - radii).min()) if n else 0.0,
+        gershgorin_hi=float((diag + radii).max()) if n else 0.0,
+    )

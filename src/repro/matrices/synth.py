@@ -1,0 +1,210 @@
+"""Low-level synthetic sparse-structure generators.
+
+These produce the building blocks the Table II stand-ins are assembled
+from: grid stencils (circuit/2-D/3-D problems), banded random structures
+(FEM meshes of shells, ships, engines) and random rectangular couplings
+(KKT constraint blocks).
+
+All generators:
+
+* are deterministic given ``seed``;
+* return :class:`repro.sparse.csr.CSRMatrix`;
+* make the matrix rows diagonally dominant, then scale by the inverse
+  infinity norm, so that ``A^k x`` stays bounded for the paper's powers
+  ``k = 3..9`` and CG-style solvers converge on the symmetric ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "stencil27",
+    "banded_random",
+    "random_rectangular",
+    "finalize_values",
+]
+
+
+def finalize_values(
+    coo: COOMatrix,
+    rng: np.random.Generator,
+    symmetric: bool,
+    scale_inf_norm: bool = True,
+) -> CSRMatrix:
+    """Assign values to a structure and condition the result.
+
+    Off-diagonal values are uniform in ``[-1, 1)``; the diagonal is set to
+    ``1 + sum |offdiag|`` per row, making the matrix strictly diagonally
+    dominant (and hence SPD when symmetric).  When ``scale_inf_norm`` the
+    whole matrix is divided by its infinity norm so the spectral radius is
+    at most 1 — powers of the matrix neither explode nor need
+    normalisation inside the kernels.
+    """
+    csr = coo.to_csr()
+    n = csr.n_rows
+    rows = np.repeat(np.arange(n, dtype=np.int64), csr.row_nnz())
+    off = rows != csr.indices
+    data = csr.data.copy()
+    data[off] = rng.uniform(-1.0, 1.0, size=int(off.sum()))
+    if symmetric:
+        # Re-symmetrise the off-diagonal values: keep the value drawn for
+        # the (min, max) orientation of each pair.
+        tmp = CSRMatrix(csr.indptr, csr.indices, data, csr.shape, check=False)
+        sym = tmp.transpose()
+        data = 0.5 * (data + _match_transpose_data(tmp, sym))
+    from ..sparse.csr import reduce_rows
+
+    off_abs = np.where(off, np.abs(data), 0.0)
+    rowsum = reduce_rows(off_abs, csr.indptr)
+    data[~off] = 0.0
+    diag_rows = np.arange(n, dtype=np.int64)
+    # Rebuild including a guaranteed full diagonal.
+    all_rows = np.concatenate([rows[off], diag_rows])
+    all_cols = np.concatenate([csr.indices[off], diag_rows])
+    all_vals = np.concatenate([data[off], 1.0 + rowsum])
+    out = CSRMatrix.from_coo_arrays(all_rows, all_cols, all_vals, csr.shape)
+    if scale_inf_norm:
+        row_abs = reduce_rows(np.abs(out.data), out.indptr)
+        inf_norm = float(row_abs.max(initial=1.0))
+        out = CSRMatrix(out.indptr, out.indices, out.data / inf_norm,
+                        out.shape, check=False)
+    return out
+
+
+def _match_transpose_data(a: CSRMatrix, at: CSRMatrix) -> np.ndarray:
+    """Data of ``A^T`` aligned to ``A``'s storage order, assuming the two
+    share a symmetric *pattern* (guaranteed by the structure generators
+    that request symmetry)."""
+    a_sorted = a.sort_indices()
+    at_sorted = at.sort_indices()
+    if not np.array_equal(a_sorted.indices, at_sorted.indices):
+        raise ValueError("pattern is not symmetric; cannot symmetrise values")
+    # Map back from sorted order to a's original order.
+    rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+    order = np.lexsort((a.indices, rows))
+    out = np.empty_like(a.data)
+    out[order] = at_sorted.data
+    return out
+
+
+def _grid_stencil(shape_dims, offsets) -> COOMatrix:
+    """Generic grid stencil assembly: nodes are grid points in row-major
+    order; each ``offsets`` tuple adds a neighbour coupling where the
+    neighbour stays on the grid."""
+    dims = tuple(int(d) for d in shape_dims)
+    n = int(np.prod(dims))
+    grids = np.meshgrid(*[np.arange(d) for d in dims], indexing="ij")
+    flat = np.arange(n, dtype=np.int64)
+    rows_list = [flat]  # diagonal
+    cols_list = [flat]
+    for off in offsets:
+        valid = np.ones(dims, dtype=bool)
+        for axis, o in enumerate(off):
+            coord = grids[axis] + o
+            valid &= (coord >= 0) & (coord < dims[axis])
+        neighbour = flat.reshape(dims)
+        idx = tuple(np.clip(grids[axis] + off[axis], 0, dims[axis] - 1)
+                    for axis in range(len(dims)))
+        rows_list.append(flat.reshape(dims)[valid].ravel())
+        cols_list.append(neighbour[idx][valid].ravel())
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return COOMatrix(rows, cols, np.ones(rows.shape[0]), (n, n))
+
+
+def poisson2d(nx: int, ny: int | None = None, seed: int = 0) -> CSRMatrix:
+    """5-point 2-D Laplacian-style matrix on an ``nx x ny`` grid.
+
+    At ~5 nnz/row this matches the sparsity character of ``G3_circuit``
+    (4.83 nnz/row), the sparsest Table II input.
+    """
+    ny = nx if ny is None else ny
+    rng = np.random.default_rng(seed)
+    offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    return finalize_values(_grid_stencil((nx, ny), offsets), rng,
+                           symmetric=True)
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None,
+              seed: int = 0) -> CSRMatrix:
+    """7-point 3-D Laplacian-style matrix on an ``nx x ny x nz`` grid."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    rng = np.random.default_rng(seed)
+    offsets = [(-1, 0, 0), (1, 0, 0), (0, -1, 0), (0, 1, 0),
+               (0, 0, -1), (0, 0, 1)]
+    return finalize_values(_grid_stencil((nx, ny, nz), offsets), rng,
+                           symmetric=True)
+
+
+def stencil27(nx: int, seed: int = 0) -> CSRMatrix:
+    """27-point 3-D stencil (full 3x3x3 neighbourhood) — the connectivity
+    of trilinear hexahedral FEM discretisations."""
+    rng = np.random.default_rng(seed)
+    offsets = [
+        (dx, dy, dz)
+        for dx in (-1, 0, 1)
+        for dy in (-1, 0, 1)
+        for dz in (-1, 0, 1)
+        if (dx, dy, dz) != (0, 0, 0)
+    ]
+    return finalize_values(_grid_stencil((nx, nx, nx), offsets), rng,
+                           symmetric=True)
+
+
+def banded_random(
+    n: int,
+    nnz_per_row: float,
+    bandwidth: int,
+    symmetric: bool = True,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Random banded structure: each row couples to ~``nnz_per_row``
+    columns drawn from a normal distribution of width ``bandwidth``
+    around the diagonal.
+
+    This mimics assembled FEM matrices (``audikw_1``, ``ldoor``,
+    ``cant``...): heavy short-range coupling with locality decided by the
+    mesh numbering.  ``symmetric=False`` yields a ``cage14``-like digraph.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    m = max(int(round(nnz_per_row)) - 1, 1)  # off-diagonals per row
+    if symmetric:
+        m = max(m // 2, 1)  # mirroring doubles them
+    rows = np.repeat(np.arange(n, dtype=np.int64), m)
+    offs = rng.normal(0.0, max(bandwidth, 1) / 2.0, size=n * m)
+    offs = np.round(offs).astype(np.int64)
+    offs[offs == 0] = 1
+    cols = np.clip(rows + offs, 0, n - 1)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    if symmetric:
+        rows, cols = (np.concatenate([rows, cols]),
+                      np.concatenate([cols, rows]))
+    # Deduplicate pattern through COO->CSR with unit values, then draw the
+    # final values.
+    pattern = COOMatrix(rows, cols, np.ones(rows.shape[0]), (n, n)).to_csr()
+    pat_rows = np.repeat(np.arange(n, dtype=np.int64), pattern.row_nnz())
+    structure = COOMatrix(pat_rows, pattern.indices,
+                          np.ones(pattern.nnz), (n, n))
+    return finalize_values(structure, rng, symmetric=symmetric)
+
+
+def random_rectangular(
+    n_rows: int, n_cols: int, nnz_per_row: float, seed: int = 0
+) -> COOMatrix:
+    """Uniform random rectangular coupling block (for KKT assembly)."""
+    rng = np.random.default_rng(seed)
+    m = max(int(round(nnz_per_row)), 1)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), m)
+    cols = rng.integers(0, n_cols, size=n_rows * m, dtype=np.int64)
+    vals = rng.uniform(-1.0, 1.0, size=n_rows * m)
+    return COOMatrix(rows, cols, vals, (n_rows, n_cols))

@@ -1,0 +1,40 @@
+"""Memory simulation: cache hierarchy, kernel traces, analytic traffic.
+
+Replaces the paper's LIKWID DRAM counters (Fig 9): the trace-driven
+simulator measures exact line traffic on scale-reduced matrices, and the
+analytic model extrapolates the same accounting to paper scale.
+"""
+
+from .cache import CacheConfig, CacheLevel, CacheStats
+from .hierarchy import DramTraffic, MemoryHierarchy
+from .trace import ArrayLayout, trace_fbmpk_pair, trace_mpk_standard, trace_spmv
+from .traffic import (
+    MatrixTrafficStats,
+    TrafficBreakdown,
+    TrafficParams,
+    fbmpk_traffic,
+    miss_fraction,
+    mpk_standard_traffic,
+    spmv_traffic,
+    traffic_ratio,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheLevel",
+    "CacheStats",
+    "DramTraffic",
+    "MemoryHierarchy",
+    "ArrayLayout",
+    "trace_fbmpk_pair",
+    "trace_mpk_standard",
+    "trace_spmv",
+    "MatrixTrafficStats",
+    "TrafficBreakdown",
+    "TrafficParams",
+    "fbmpk_traffic",
+    "miss_fraction",
+    "mpk_standard_traffic",
+    "spmv_traffic",
+    "traffic_ratio",
+]

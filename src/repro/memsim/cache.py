@@ -1,0 +1,133 @@
+"""Set-associative LRU cache simulator.
+
+The paper quantifies its win with LIKWID DRAM counters (Fig 9).  Offline
+we replace the counters with simulation: kernels emit address traces
+(:mod:`repro.memsim.trace`) that run through a configurable cache
+hierarchy; DRAM traffic is the miss volume at the last level.
+
+The simulator is deliberately simple and well-specified so its behaviour
+is testable: physical addresses are byte offsets in a flat space, lines
+are ``line_bytes`` wide, placement is modulo-indexed, replacement is true
+LRU per set, and stores are write-back/write-allocate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheConfig", "CacheLevel", "CacheStats"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "size must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses seen by this level."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio (0 when the level saw no traffic)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class CacheLevel:
+    """One set-associative LRU level with write-back/write-allocate.
+
+    :meth:`access` returns True on hit.  Dirty evictions are counted as
+    writebacks — the caller (the hierarchy) forwards them downstream.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        n_sets = config.n_sets
+        ways = config.associativity
+        # tags[set, way] = line tag (-1 empty); lru[set, way] = age rank
+        # (0 = most recent); dirty[set, way] marks written lines.
+        self._tags = np.full((n_sets, ways), -1, dtype=np.int64)
+        self._lru = np.tile(np.arange(ways, dtype=np.int64), (n_sets, 1))
+        self._dirty = np.zeros((n_sets, ways), dtype=bool)
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.config.line_bytes
+        return int(line % self.config.n_sets), int(line // self.config.n_sets)
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Touch the line containing ``addr``.  Returns True on hit.
+
+        On miss the line is allocated (evicting the LRU way); the evicted
+        line's dirtiness is recorded in ``stats.writebacks``.
+        """
+        set_idx, tag = self._locate(addr)
+        tags = self._tags[set_idx]
+        lru = self._lru[set_idx]
+        hit_ways = np.nonzero(tags == tag)[0]
+        if hit_ways.size:
+            way = int(hit_ways[0])
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            way = int(np.argmax(lru))  # the least recently used way
+            if tags[way] != -1:
+                self.stats.evictions += 1
+                if self._dirty[set_idx, way]:
+                    self.stats.writebacks += 1
+            tags[way] = tag
+            self._dirty[set_idx, way] = False
+        if write:
+            self._dirty[set_idx, way] = True
+        # Age everything younger than the touched way, then reset it.
+        lru[lru < lru[way]] += 1
+        lru[way] = 0
+        return bool(hit_ways.size)
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating lookup: is the line currently resident?"""
+        set_idx, tag = self._locate(addr)
+        return bool((self._tags[set_idx] == tag).any())
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines that
+        would have been written back."""
+        dirty = int(self._dirty.sum())
+        self.stats.writebacks += dirty
+        self._tags.fill(-1)
+        self._dirty.fill(False)
+        self._lru = np.tile(
+            np.arange(self.config.associativity, dtype=np.int64),
+            (self.config.n_sets, 1),
+        )
+        return dirty

@@ -1,0 +1,91 @@
+"""Multi-level cache hierarchy driving the trace simulation.
+
+Levels are checked in order (L1 first); a miss at one level propagates to
+the next, and a miss at the last level counts as DRAM traffic.  Dirty
+evictions at the last level add DRAM write traffic.  This mirrors what
+the LIKWID counters in the paper's Fig 9 measure: bytes moved between the
+last-level cache and memory, reads plus writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .cache import CacheConfig, CacheLevel
+
+__all__ = ["MemoryHierarchy", "DramTraffic"]
+
+
+@dataclass
+class DramTraffic:
+    """DRAM byte volumes accumulated over a trace."""
+
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Reads plus writes (the Fig 9 quantity)."""
+        return self.read_bytes + self.write_bytes
+
+
+class MemoryHierarchy:
+    """An ordered stack of :class:`CacheLevel` in front of DRAM.
+
+    ``access`` touches a single address; ``access_run`` touches a
+    contiguous byte range (element streams), advancing line by line so a
+    64-byte line of a value stream costs one fill regardless of how many
+    of its elements are consumed.
+    """
+
+    def __init__(self, configs: Sequence[CacheConfig]) -> None:
+        if not configs:
+            raise ValueError("hierarchy needs at least one level")
+        line = configs[0].line_bytes
+        for cfg in configs:
+            if cfg.line_bytes != line:
+                raise ValueError("all levels must share one line size")
+        self.levels: List[CacheLevel] = [CacheLevel(c) for c in configs]
+        self.line_bytes = line
+        self.dram = DramTraffic()
+
+    def access(self, addr: int, write: bool = False) -> int:
+        """Touch one address; returns the level index that hit
+        (``len(levels)`` means DRAM)."""
+        for i, level in enumerate(self.levels):
+            if level.access(addr, write=write and i == 0):
+                return i
+        self.dram.read_bytes += self.line_bytes
+        if write:
+            # Write-allocate: the line was fetched above; model the
+            # eventual writeback eagerly (steady-state equivalence).
+            self.dram.write_bytes += self.line_bytes
+        return len(self.levels)
+
+    def access_run(self, start: int, n_bytes: int, write: bool = False) -> None:
+        """Touch every line of the byte range ``[start, start + n_bytes)``."""
+        if n_bytes <= 0:
+            return
+        first = (start // self.line_bytes) * self.line_bytes
+        last = ((start + n_bytes - 1) // self.line_bytes) * self.line_bytes
+        for line_addr in range(first, last + 1, self.line_bytes):
+            self.access(line_addr, write=write)
+
+    def access_many(self, addrs: Iterable[int], write: bool = False) -> None:
+        """Touch a sequence of (possibly scattered) addresses in order."""
+        for a in addrs:
+            self.access(int(a), write=write)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (cache contents are kept)."""
+        self.dram = DramTraffic()
+        for level in self.levels:
+            level.stats.__init__()
+
+    def stats_table(self) -> List[Tuple[str, int, int, float]]:
+        """Per-level ``(name, hits, misses, miss_rate)`` rows."""
+        return [
+            (lv.config.name, lv.stats.hits, lv.stats.misses, lv.stats.miss_rate)
+            for lv in self.levels
+        ]

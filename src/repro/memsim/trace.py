@@ -1,0 +1,196 @@
+"""Kernel address-trace generators for the cache simulation.
+
+Each function walks a kernel exactly as the corresponding implementation
+does and drives a :class:`repro.memsim.hierarchy.MemoryHierarchy` with
+the resulting loads/stores.  A flat byte-address space is laid out per
+run:
+
+====================  =======================================
+array                 placement
+====================  =======================================
+``row_ptr`` streams   contiguous, int32/int64 per config
+``col_idx`` streams   contiguous
+``values`` streams    contiguous
+vectors               contiguous; BtB layout interleaves two
+====================  =======================================
+
+Traces are exact (every element access in program order) and therefore
+only practical for the scale-reduced stand-ins; the analytic model in
+:mod:`repro.memsim.traffic` extrapolates to paper scale and is validated
+against these traces in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.partition import TriangularPartition
+from ..sparse.csr import CSRMatrix
+from .hierarchy import DramTraffic, MemoryHierarchy
+
+__all__ = ["ArrayLayout", "trace_spmv", "trace_fbmpk_pair", "trace_mpk_standard"]
+
+
+@dataclass
+class ArrayLayout:
+    """Byte sizes used when laying out the traced arrays."""
+
+    value_bytes: int = 8
+    index_bytes: int = 4
+
+    def vector_bytes(self, n: int) -> int:
+        """Bytes of a dense length-``n`` value vector."""
+        return n * self.value_bytes
+
+
+class _Allocator:
+    """Bump allocator for the flat simulated address space, with
+    line-aligned placements so arrays never share cache lines."""
+
+    def __init__(self, line_bytes: int) -> None:
+        self._next = 0
+        self._line = line_bytes
+
+    def alloc(self, n_bytes: int) -> int:
+        addr = self._next
+        self._next += ((n_bytes + self._line - 1) // self._line) * self._line
+        return addr
+
+
+def trace_spmv(
+    a: CSRMatrix,
+    hierarchy: MemoryHierarchy,
+    layout: Optional[ArrayLayout] = None,
+) -> DramTraffic:
+    """Trace one CSR SpMV ``y = A x`` and return its DRAM traffic."""
+    layout = layout or ArrayLayout()
+    alloc = _Allocator(hierarchy.line_bytes)
+    vb, ib = layout.value_bytes, layout.index_bytes
+    base_ptr = alloc.alloc((a.n_rows + 1) * ib)
+    base_idx = alloc.alloc(a.nnz * ib)
+    base_val = alloc.alloc(a.nnz * vb)
+    base_x = alloc.alloc(a.n_cols * vb)
+    base_y = alloc.alloc(a.n_rows * vb)
+    hierarchy.reset_stats()
+    for i in range(a.n_rows):
+        hierarchy.access(base_ptr + (i + 1) * ib)
+        for p in range(int(a.indptr[i]), int(a.indptr[i + 1])):
+            hierarchy.access(base_idx + p * ib)
+            hierarchy.access(base_val + p * vb)
+            hierarchy.access(base_x + int(a.indices[p]) * vb)
+        hierarchy.access(base_y + i * vb, write=True)
+    return hierarchy.dram
+
+
+def trace_mpk_standard(
+    a: CSRMatrix,
+    k: int,
+    hierarchy: MemoryHierarchy,
+    layout: Optional[ArrayLayout] = None,
+) -> DramTraffic:
+    """Trace the standard MPK (Algorithm 1): ``k`` back-to-back SpMVs
+    ping-ponging between two vectors."""
+    layout = layout or ArrayLayout()
+    alloc = _Allocator(hierarchy.line_bytes)
+    vb, ib = layout.value_bytes, layout.index_bytes
+    base_ptr = alloc.alloc((a.n_rows + 1) * ib)
+    base_idx = alloc.alloc(a.nnz * ib)
+    base_val = alloc.alloc(a.nnz * vb)
+    vecs = [alloc.alloc(a.n_cols * vb), alloc.alloc(a.n_cols * vb)]
+    hierarchy.reset_stats()
+    for power in range(k):
+        src, dst = vecs[power % 2], vecs[(power + 1) % 2]
+        for i in range(a.n_rows):
+            hierarchy.access(base_ptr + (i + 1) * ib)
+            for p in range(int(a.indptr[i]), int(a.indptr[i + 1])):
+                hierarchy.access(base_idx + p * ib)
+                hierarchy.access(base_val + p * vb)
+                hierarchy.access(src + int(a.indices[p]) * vb)
+            hierarchy.access(dst + i * vb, write=True)
+    return hierarchy.dram
+
+
+def trace_fbmpk_pair(
+    part: TriangularPartition,
+    hierarchy: MemoryHierarchy,
+    btb: bool = True,
+    layout: Optional[ArrayLayout] = None,
+    include_head: bool = True,
+) -> DramTraffic:
+    """Trace one forward+backward FBMPK iteration (two powers).
+
+    ``btb`` selects the interleaved pair layout of Section III-C; with
+    ``btb=False`` the two live iterates are separate arrays, so each
+    row's pair of vector accesses touches two distinct cache lines.
+    ``include_head`` additionally traces the head ``U x0`` pass.
+    """
+    layout = layout or ArrayLayout()
+    alloc = _Allocator(hierarchy.line_bytes)
+    vb, ib = layout.value_bytes, layout.index_bytes
+    n = part.n
+    L, U = part.lower, part.upper
+    l_ptr = alloc.alloc((n + 1) * ib)
+    l_idx = alloc.alloc(L.nnz * ib)
+    l_val = alloc.alloc(L.nnz * vb)
+    u_ptr = alloc.alloc((n + 1) * ib)
+    u_idx = alloc.alloc(U.nnz * ib)
+    u_val = alloc.alloc(U.nnz * vb)
+    d_vec = alloc.alloc(n * vb)
+    tmp = alloc.alloc(n * vb)
+    if btb:
+        xy = alloc.alloc(2 * n * vb)
+
+        def addr_even(j: int) -> int:
+            return xy + (2 * j) * vb
+
+        def addr_odd(j: int) -> int:
+            return xy + (2 * j + 1) * vb
+
+    else:
+        x_even = alloc.alloc(n * vb)
+        x_odd = alloc.alloc(n * vb)
+
+        def addr_even(j: int) -> int:
+            return x_even + j * vb
+
+        def addr_odd(j: int) -> int:
+            return x_odd + j * vb
+
+    hierarchy.reset_stats()
+    if include_head:
+        # Head: tmp = U x_even.
+        for i in range(n):
+            hierarchy.access(u_ptr + (i + 1) * ib)
+            for p in range(int(U.indptr[i]), int(U.indptr[i + 1])):
+                hierarchy.access(u_idx + p * ib)
+                hierarchy.access(u_val + p * vb)
+                hierarchy.access(addr_even(int(U.indices[p])))
+            hierarchy.access(tmp + i * vb, write=True)
+    # Forward stage: one pass over L updating both iterates (Alg 2, 7-16).
+    for i in range(n):
+        hierarchy.access(l_ptr + (i + 1) * ib)
+        hierarchy.access(tmp + i * vb)
+        hierarchy.access(d_vec + i * vb)
+        hierarchy.access(addr_even(i))
+        for p in range(int(L.indptr[i]), int(L.indptr[i + 1])):
+            hierarchy.access(l_idx + p * ib)
+            hierarchy.access(l_val + p * vb)
+            j = int(L.indices[p])
+            hierarchy.access(addr_even(j))
+            hierarchy.access(addr_odd(j))
+        hierarchy.access(addr_odd(i), write=True)
+        hierarchy.access(tmp + i * vb, write=True)
+    # Backward stage: one pass over U (Alg 2, lines 19-28).
+    for i in range(n - 1, -1, -1):
+        hierarchy.access(u_ptr + (i + 1) * ib)
+        hierarchy.access(tmp + i * vb)
+        for p in range(int(U.indptr[i + 1]) - 1, int(U.indptr[i]) - 1, -1):
+            hierarchy.access(u_idx + p * ib)
+            hierarchy.access(u_val + p * vb)
+            j = int(U.indices[p])
+            hierarchy.access(addr_odd(j))
+            hierarchy.access(addr_even(j))
+        hierarchy.access(addr_even(i), write=True)
+        hierarchy.access(tmp + i * vb, write=True)
+    return hierarchy.dram

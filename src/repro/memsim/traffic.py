@@ -1,0 +1,273 @@
+"""Analytic DRAM-traffic model for MPK pipelines.
+
+The model does transparent per-array byte accounting for one pass of each
+kernel, with a single locality mechanism: a *miss fraction* for dense-
+vector gathers, derived from the matrix's active window (its bandwidth)
+versus the available last-level cache.  It is the paper-scale counterpart
+of the trace-driven simulator in :mod:`repro.memsim.trace` (the test
+suite cross-validates the two on small matrices) and feeds the machine
+performance model that regenerates Figs 7, 8, 9, 10 and 12.
+
+Accounting rules (per full pass over a matrix/triangle with ``nnz``
+stored entries and ``n`` rows):
+
+* matrix stream: ``nnz * (value_bytes + index_bytes) + (n+1) * index_bytes``
+  — always read in full (compulsory, streaming);
+* vector gathers: every distinct element once (compulsory, ``n * vb``)
+  plus a miss term ``miss_fraction * (nnz - n) * vb`` for re-fetches when
+  the active window exceeds the cache;
+* the **BtB layout** (Section III-C) halves the *miss term* of paired
+  gathers: the even/odd iterates share cache lines, so one fetch serves
+  both accesses;
+* writes cost ``n * vb`` plus an equal read-for-ownership when
+  ``write_allocate`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.plan import fbmpk_plan
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "TrafficParams",
+    "MatrixTrafficStats",
+    "TrafficBreakdown",
+    "miss_fraction",
+    "spmv_traffic",
+    "mpk_standard_traffic",
+    "fbmpk_traffic",
+    "traffic_ratio",
+]
+
+
+@dataclass(frozen=True)
+class TrafficParams:
+    """Byte-level constants of the modelled machine/kernel.
+
+    ``index_bytes`` defaults to 4 (the int32 indices of production C
+    kernels and MKL, which the paper's measurements reflect) even though
+    this library's in-memory arrays are int64.
+    """
+
+    value_bytes: int = 8
+    index_bytes: int = 4
+    line_bytes: int = 64
+    #: Charge a read-for-ownership for every written line.  Off by
+    #: default: the modelled kernels write their outputs as dense
+    #: sequential streams, which production kernels (and MKL) issue as
+    #: non-temporal/write-combining stores.
+    write_allocate: bool = False
+    cache_utilization: float = 0.8
+
+
+@dataclass(frozen=True)
+class MatrixTrafficStats:
+    """Structural inputs of the model for one matrix.
+
+    ``bandwidth`` is the half-width of the active column window a row
+    sweep drags through the source vector; for SuiteSparse-scale entries
+    it is estimated from the problem dimensionality (see
+    :meth:`repro.matrices.registry.MatrixInfo.bandwidth_estimate`).
+    """
+
+    n: int
+    nnz: int
+    bandwidth: float
+
+    @classmethod
+    def from_csr(cls, a: CSRMatrix) -> "MatrixTrafficStats":
+        """Measure the stats (exact bandwidth) from an in-memory matrix."""
+        from ..reorder.rcm import matrix_bandwidth
+
+        return cls(n=a.n_rows, nnz=a.nnz,
+                   bandwidth=float(max(matrix_bandwidth(a), 1)))
+
+    @property
+    def nnz_per_row(self) -> float:
+        """Average stored entries per row."""
+        return self.nnz / max(self.n, 1)
+
+
+@dataclass
+class TrafficBreakdown:
+    """DRAM bytes split by source."""
+
+    matrix_bytes: float = 0.0
+    vector_read_bytes: float = 0.0
+    vector_write_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """All DRAM traffic (the Fig 9 read+write volume)."""
+        return self.matrix_bytes + self.vector_read_bytes + self.vector_write_bytes
+
+    def __iadd__(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        self.matrix_bytes += other.matrix_bytes
+        self.vector_read_bytes += other.vector_read_bytes
+        self.vector_write_bytes += other.vector_write_bytes
+        return self
+
+
+def miss_fraction(working_set_bytes: float, cache_bytes: float,
+                  utilization: float = 0.8) -> float:
+    """Fraction of non-compulsory gathers that miss the last-level cache.
+
+    A smooth saturating form of "working set over cache": 0 while the
+    window fits in the usable cache, approaching 1 as the window dwarfs
+    it.  ``utilization`` discounts the cache for the streaming arrays and
+    other residents that share it.
+    """
+    usable = max(cache_bytes * utilization, 1.0)
+    if working_set_bytes <= usable:
+        return 0.0
+    return float(1.0 - usable / working_set_bytes)
+
+
+def _write_cost(n_elems: float, params: TrafficParams) -> float:
+    per = params.value_bytes * (2.0 if params.write_allocate else 1.0)
+    return n_elems * per
+
+
+def _gather_cost(unique: float, total_accesses: float, mf: float,
+                 params: TrafficParams, paired_btb: bool = False) -> float:
+    """Vector gather bytes: compulsory uniques + miss re-fetches.
+
+    ``paired_btb`` marks gathers of an interleaved pair: one line fetch
+    serves both elements of a pair, halving the miss term relative to two
+    split arrays.
+    """
+    extra = max(total_accesses - unique, 0.0) * mf * params.value_bytes
+    if paired_btb:
+        extra *= 0.5
+    return unique * params.value_bytes + extra
+
+
+def _matrix_stream(nnz: float, n: float, params: TrafficParams) -> float:
+    return nnz * (params.value_bytes + params.index_bytes) \
+        + (n + 1) * params.index_bytes
+
+
+def spmv_traffic(stats: MatrixTrafficStats, cache_bytes: float,
+                 params: Optional[TrafficParams] = None) -> TrafficBreakdown:
+    """One full SpMV pass ``y = A x`` from cold vectors."""
+    params = params or TrafficParams()
+    window = 2.0 * stats.bandwidth * params.value_bytes
+    mf = miss_fraction(window, cache_bytes, params.cache_utilization)
+    return TrafficBreakdown(
+        matrix_bytes=_matrix_stream(stats.nnz, stats.n, params),
+        vector_read_bytes=_gather_cost(stats.n, stats.nnz, mf, params),
+        vector_write_bytes=_write_cost(stats.n, params),
+    )
+
+
+def mpk_standard_traffic(stats: MatrixTrafficStats, k: int,
+                         cache_bytes: float,
+                         params: Optional[TrafficParams] = None,
+                         residency_cache_bytes: Optional[float] = None,
+                         ) -> TrafficBreakdown:
+    """Standard MPK: ``k`` SpMV passes ping-ponging two vectors.
+
+    The vectors only generate *per-pass* DRAM traffic to the extent the
+    live pair does not fit in the cache (``leak``): when it fits, the
+    whole run pays one compulsory read of ``x`` and one final writeback —
+    this is what makes measured ratios of very sparse matrices
+    (``G3_circuit``) worse than the matrix-only theory in Fig 9.
+    """
+    params = params or TrafficParams()
+    vb = params.value_bytes
+    residency = cache_bytes if residency_cache_bytes is None \
+        else residency_cache_bytes
+    window = 2.0 * stats.bandwidth * vb
+    mf = miss_fraction(window, cache_bytes, params.cache_utilization)
+    live_set = 2.0 * stats.n * vb  # the x/y ping-pong pair
+    leak = miss_fraction(live_set, residency, params.cache_utilization)
+    per_pass_read = _gather_cost(stats.n, stats.nnz, mf, params)
+    per_pass_write = _write_cost(stats.n, params)
+    return TrafficBreakdown(
+        matrix_bytes=_matrix_stream(stats.nnz, stats.n, params) * k,
+        vector_read_bytes=stats.n * vb + leak * per_pass_read * k,
+        vector_write_bytes=stats.n * vb + leak * per_pass_write * k,
+    )
+
+
+def fbmpk_traffic(stats: MatrixTrafficStats, k: int, cache_bytes: float,
+                  params: Optional[TrafficParams] = None,
+                  btb: bool = True,
+                  residency_cache_bytes: Optional[float] = None,
+                  ) -> TrafficBreakdown:
+    """FBMPK traffic for ``A^k x`` (Fig 3b pipeline).
+
+    Triangle pass counts come from :func:`repro.core.plan.fbmpk_plan`;
+    each forward/backward stage gathers *both* live iterates along one
+    triangle's pattern (hence the doubled gather count, halved again by
+    BtB in the miss term) and reads/writes the ``tmpvec`` and diagonal
+    streams.
+    """
+    params = params or TrafficParams()
+    if k == 0:
+        return TrafficBreakdown()
+    plan = fbmpk_plan(k)
+    n = float(stats.n)
+    vb = params.value_bytes
+    # Off-diagonal entries split between the triangles; the diagonal is a
+    # separate dense vector in the L+U+d layout.
+    tri_nnz = max((stats.nnz - stats.n) / 2.0, 0.0)
+    # The pair window covers both interleaved iterates.
+    window = 4.0 * stats.bandwidth * vb
+    mf = miss_fraction(window, cache_bytes, params.cache_utilization)
+    # FBMPK's live vector set is larger than the baseline's: the
+    # interleaved pair, tmpvec and the diagonal all stay hot.  The leak
+    # fraction converts per-stage streaming into actual DRAM traffic.
+    residency = cache_bytes if residency_cache_bytes is None \
+        else residency_cache_bytes
+    live_set = 4.0 * n * vb
+    leak = miss_fraction(live_set, residency, params.cache_utilization)
+
+    out = TrafficBreakdown()
+    # Triangle streams (plus their own row_ptr arrays).
+    out.matrix_bytes += plan.l_passes * _matrix_stream(tri_nnz, n, params)
+    out.matrix_bytes += plan.u_passes * _matrix_stream(tri_nnz, n, params)
+    # Diagonal stream: once per produced iterate, leaking like a vector.
+    out.matrix_bytes += leak * plan.d_passes * n * vb + n * vb
+
+    # One-time compulsory traffic: read x0, write back the result pair.
+    out.vector_read_bytes += n * vb
+    out.vector_write_bytes += n * vb
+
+    # Head (U x0): single-vector gathers into tmpvec.
+    out.vector_read_bytes += leak * _gather_cost(n, tri_nnz, mf, params)
+    out.vector_write_bytes += leak * _write_cost(n, params)
+    stages = k - 1 if k % 2 else k  # forward+backward stages in the loop
+    tail = 1 if k % 2 else 0
+    for _ in range(stages):
+        # Each stage gathers the iterate pair along one triangle
+        # (2 accesses per stored entry), reads tmpvec, writes tmpvec and
+        # one iterate.
+        out.vector_read_bytes += leak * _gather_cost(
+            2.0 * n, 2.0 * tri_nnz, mf, params, paired_btb=btb
+        )
+        out.vector_read_bytes += leak * n * vb  # tmpvec read
+        out.vector_write_bytes += leak * _write_cost(2.0 * n, params)
+    if tail:
+        # Tail: L x_even plus the three-way reduction into y.
+        out.vector_read_bytes += leak * _gather_cost(n, tri_nnz, mf, params)
+        out.vector_read_bytes += leak * 2.0 * n * vb  # tmp + d*x
+        out.vector_write_bytes += leak * _write_cost(n, params)
+    return out
+
+
+def traffic_ratio(stats: MatrixTrafficStats, k: int, cache_bytes: float,
+                  params: Optional[TrafficParams] = None,
+                  btb: bool = True,
+                  residency_cache_bytes: Optional[float] = None) -> float:
+    """FBMPK over standard-MPK DRAM volume — the Fig 9 quantity."""
+    params = params or TrafficParams()
+    fb = fbmpk_traffic(stats, k, cache_bytes, params, btb=btb,
+                       residency_cache_bytes=residency_cache_bytes).total_bytes
+    std = mpk_standard_traffic(
+        stats, k, cache_bytes, params,
+        residency_cache_bytes=residency_cache_bytes).total_bytes
+    return fb / std if std else float("nan")

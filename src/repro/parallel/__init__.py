@@ -1,0 +1,19 @@
+"""Parallel execution: colour-phase scheduling and simulated threading.
+
+The substitute for the paper's OpenMP runs (see DESIGN.md): block tasks
+are scheduled exactly as Section III-E describes, and a deterministic
+simulator computes the makespan a ``T``-thread execution would achieve.
+"""
+
+from .scheduler import BlockTask, Phase, assign_tasks, build_phases
+from .simthread import SimulatedRun, block_cost_model, simulate_phases
+
+__all__ = [
+    "BlockTask",
+    "Phase",
+    "assign_tasks",
+    "build_phases",
+    "SimulatedRun",
+    "block_cost_model",
+    "simulate_phases",
+]

@@ -1,0 +1,97 @@
+"""Colour-phase scheduling of ABMC blocks onto threads.
+
+Turns an :class:`repro.reorder.abmc.ABMCOrdering` into the phase/task
+structure the paper's parallel FBMPK executes: one *phase* per colour per
+sweep, each phase holding the colour's blocks as independent tasks;
+threads receive blocks by static assignment "allocated in advance"
+(Section III-E), either round-robin or nnz-balanced (LPT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Sequence
+
+import numpy as np
+
+from ..reorder.abmc import ABMCOrdering
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["BlockTask", "Phase", "build_phases", "assign_tasks"]
+
+
+@dataclass(frozen=True)
+class BlockTask:
+    """One block of rows processed by one thread without interruption."""
+
+    start: int
+    stop: int
+    nnz: int
+
+    @property
+    def rows(self) -> int:
+        """Number of rows in the block."""
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class Phase:
+    """All same-colour blocks — mutually independent, barrier at the end."""
+
+    color: int
+    tasks: List[BlockTask]
+
+    @property
+    def total_nnz(self) -> int:
+        """Work volume of the phase."""
+        return sum(t.nnz for t in self.tasks)
+
+
+def build_phases(ordering: ABMCOrdering, tri: CSRMatrix) -> List[Phase]:
+    """Phases for one sweep over triangle ``tri`` (rows in the *reordered*
+    numbering), in colour order.  The backward sweep uses the same phases
+    reversed."""
+    if tri.n_rows != ordering.n:
+        raise ValueError("triangle dimension does not match the ordering")
+    phases: List[Phase] = []
+    for color in range(ordering.n_colors):
+        tasks = [
+            BlockTask(start, stop,
+                      int(tri.indptr[stop] - tri.indptr[start]))
+            for start, stop in ordering.blocks_of_color(color)
+        ]
+        phases.append(Phase(color=color, tasks=tasks))
+    return phases
+
+
+def assign_tasks(
+    tasks: Sequence[BlockTask],
+    n_threads: int,
+    policy: Literal["round_robin", "lpt", "dynamic"] = "lpt",
+) -> List[List[BlockTask]]:
+    """Assign a phase's tasks to threads.
+
+    ``"round_robin"`` deals blocks out in order; ``"lpt"`` (longest
+    processing time first) greedily gives each block to the least loaded
+    thread, the classic static makespan heuristic; ``"dynamic"`` models
+    a work queue — tasks are taken in their original order by whichever
+    thread is least loaded (online list scheduling), the behaviour of an
+    OpenMP ``schedule(dynamic)`` loop.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be positive")
+    bins: List[List[BlockTask]] = [[] for _ in range(n_threads)]
+    if policy == "round_robin":
+        for i, t in enumerate(tasks):
+            bins[i % n_threads].append(t)
+    elif policy in ("lpt", "dynamic"):
+        ordered = (sorted(tasks, key=lambda t: -t.nnz)
+                   if policy == "lpt" else list(tasks))
+        loads = np.zeros(n_threads, dtype=np.int64)
+        for t in ordered:
+            target = int(np.argmin(loads))
+            bins[target].append(t)
+            loads[target] += max(t.nnz, 1)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return bins

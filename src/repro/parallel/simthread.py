@@ -1,0 +1,91 @@
+"""Deterministic simulated multi-threaded execution.
+
+Python on this host cannot time 64 OpenMP threads (GIL, single vCPU), so
+scalability experiments (Fig 12) run on a *schedule simulator*: given the
+phase structure of a kernel and a cost model for block work and barriers,
+it computes the critical-path makespan of a ``T``-thread execution.  The
+simulation is exact for the static schedules the paper describes ("the
+number of blocks for each thread task are allocated in advance") and
+deterministic, so results are reproducible and unit-testable.
+
+Two cost providers are included: a simple bytes/bandwidth model matched
+to a :class:`repro.machine.platform.Platform`, and an arbitrary
+user-supplied callable for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..machine.platform import Platform
+from .scheduler import BlockTask, Phase, assign_tasks
+
+__all__ = ["SimulatedRun", "simulate_phases", "block_cost_model"]
+
+BlockCost = Callable[[BlockTask], float]
+
+
+@dataclass
+class SimulatedRun:
+    """Outcome of a simulated parallel execution.
+
+    ``phase_times`` are the per-phase makespans (max thread load plus the
+    closing barrier); ``busy_time`` sums actual work, so
+    ``efficiency = busy / (threads * total)`` measures load balance.
+    """
+
+    n_threads: int
+    phase_times: List[float]
+    busy_time: float
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end makespan."""
+        return sum(self.phase_times)
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of thread-seconds spent doing useful work."""
+        denom = self.n_threads * self.total_time
+        return self.busy_time / denom if denom else 1.0
+
+
+def block_cost_model(platform: Platform, threads: int,
+                     bytes_per_nnz: float = 12.0,
+                     row_overhead_s: float = 2e-9) -> BlockCost:
+    """Cost of one block on one core of ``platform`` when ``threads``
+    cores are active: streaming its share of the matrix at the per-core
+    bandwidth (bandwidth shrinks as cores contend) plus a small per-row
+    loop overhead."""
+    per_core_bw = platform.bandwidth_bytes_per_s(threads) / max(threads, 1)
+
+    def cost(task: BlockTask) -> float:
+        return task.nnz * bytes_per_nnz / per_core_bw \
+            + task.rows * row_overhead_s
+
+    return cost
+
+
+def simulate_phases(
+    phases: Sequence[Phase],
+    n_threads: int,
+    cost: BlockCost,
+    barrier_s: float = 0.0,
+    policy: str = "lpt",
+) -> SimulatedRun:
+    """Simulate the phase sequence on ``n_threads`` threads.
+
+    Each phase: tasks are statically assigned, every thread runs its
+    blocks back to back, the phase ends when the slowest thread finishes,
+    then all threads cross a barrier of ``barrier_s`` seconds.
+    """
+    phase_times: List[float] = []
+    busy = 0.0
+    for phase in phases:
+        bins = assign_tasks(phase.tasks, n_threads, policy=policy)
+        loads = [sum(cost(t) for t in b) for b in bins]
+        busy += sum(loads)
+        phase_times.append(max(loads, default=0.0) + barrier_s)
+    return SimulatedRun(n_threads=n_threads, phase_times=phase_times,
+                        busy_time=busy)

@@ -1,0 +1,53 @@
+"""Matrix reordering toolkit: ABMC, RCM, colouring, levels, permutations.
+
+Implements the preprocessing side of the paper — Section III-D's ABMC
+multi-colour ordering (with its quotient-graph colouring, standing in for
+Colpack) plus the related orderings the paper cites: RCM for locality and
+level scheduling as the alternative parallelisation of Section VII.
+"""
+
+from .abmc import ABMCOrdering, abmc_ordering
+from .coloring import check_coloring, color_counts, greedy_coloring, luby_coloring
+from .graph import AdjacencyGraph, adjacency_from_matrix, quotient_graph
+from .levels import (
+    check_levels,
+    compute_levels,
+    levels_sequential,
+    levels_to_groups,
+    levels_vectorised,
+)
+from .permute import (
+    compose_permutations,
+    invert_permutation,
+    is_permutation,
+    permute_symmetric,
+    permute_vector,
+    unpermute_vector,
+)
+from .rcm import matrix_bandwidth, pseudo_peripheral_vertex, rcm_ordering
+
+__all__ = [
+    "ABMCOrdering",
+    "abmc_ordering",
+    "check_coloring",
+    "color_counts",
+    "greedy_coloring",
+    "luby_coloring",
+    "AdjacencyGraph",
+    "adjacency_from_matrix",
+    "quotient_graph",
+    "check_levels",
+    "compute_levels",
+    "levels_sequential",
+    "levels_to_groups",
+    "levels_vectorised",
+    "compose_permutations",
+    "invert_permutation",
+    "is_permutation",
+    "permute_symmetric",
+    "permute_vector",
+    "unpermute_vector",
+    "matrix_bandwidth",
+    "pseudo_peripheral_vertex",
+    "rcm_ordering",
+]

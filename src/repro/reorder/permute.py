@@ -1,0 +1,85 @@
+"""Permutation algebra for symmetric matrix reordering.
+
+Convention: a permutation is an int64 array ``perm`` with
+``perm[new_index] = old_index``.  Applying it to a matrix produces
+``B = P A P^T`` with ``B[i, j] = A[perm[i], perm[j]]`` — rows *and*
+columns are reordered together, which preserves the spectrum and hence
+every MPK result up to the same reordering of vector entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+
+__all__ = [
+    "is_permutation",
+    "invert_permutation",
+    "compose_permutations",
+    "permute_symmetric",
+    "permute_vector",
+    "unpermute_vector",
+]
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True when ``perm`` is a bijection of ``0..len(perm)-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        return False
+    n = perm.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    valid = (perm >= 0) & (perm < n)
+    if not valid.all():
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """The inverse map: ``inv[old_index] = new_index``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def compose_permutations(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Composition ``c`` with ``c[i] = inner[outer[i]]``.
+
+    Applying ``inner`` first and then ``outer`` to a matrix equals applying
+    ``c`` once.
+    """
+    outer = np.asarray(outer, dtype=np.int64)
+    inner = np.asarray(inner, dtype=np.int64)
+    return inner[outer]
+
+
+def permute_symmetric(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Symmetrically reorder a square CSR matrix: ``B = P A P^T``."""
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("symmetric permutation requires a square matrix")
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (a.n_rows,):
+        raise ValueError("permutation length must equal matrix dimension")
+    inv = invert_permutation(perm)
+    old_rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+    new_rows = inv[old_rows]
+    new_cols = inv[a.indices]
+    return CSRMatrix.from_coo_arrays(
+        new_rows, new_cols, a.data, a.shape, sum_duplicates=False
+    )
+
+
+def permute_vector(x: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Reorder a vector into the permuted numbering: ``y[i] = x[perm[i]]``."""
+    return np.asarray(x)[np.asarray(perm, dtype=np.int64)]
+
+
+def unpermute_vector(y: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Undo :func:`permute_vector`: returns ``x`` with ``x[perm[i]] = y[i]``."""
+    y = np.asarray(y)
+    x = np.empty_like(y)
+    x[np.asarray(perm, dtype=np.int64)] = y
+    return x

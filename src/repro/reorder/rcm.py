@@ -1,0 +1,103 @@
+"""Reverse Cuthill-McKee (RCM) bandwidth-reducing ordering.
+
+RCM is the classic locality-improving reordering the paper cites in
+Section II-C.  It is used here (a) as a preprocessing option before ABMC
+blocking — consecutive blocking works best when neighbouring rows are
+graph-adjacent — and (b) as a baseline reordering in the experiments.
+
+Implementation: BFS from a pseudo-peripheral vertex, visiting neighbours
+in ascending-degree order, then reversing the visit order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .graph import AdjacencyGraph, adjacency_from_matrix
+
+__all__ = ["rcm_ordering", "pseudo_peripheral_vertex", "matrix_bandwidth"]
+
+
+def pseudo_peripheral_vertex(graph: AdjacencyGraph, start: int = 0) -> int:
+    """Find a vertex of (near-)maximal eccentricity by repeated BFS.
+
+    The George-Liu heuristic: BFS from ``start``, move to a minimum-degree
+    vertex of the last level, repeat until the eccentricity stops growing.
+    """
+    if graph.n == 0:
+        raise ValueError("empty graph")
+    v = int(start)
+    last_ecc = -1
+    while True:
+        levels = _bfs_levels(graph, v)
+        ecc = int(levels.max(initial=0))
+        if ecc <= last_ecc:
+            return v
+        last_ecc = ecc
+        last_level = np.nonzero(levels == ecc)[0]
+        degrees = graph.degree()[last_level]
+        v = int(last_level[np.argmin(degrees)])
+
+
+def _bfs_levels(graph: AdjacencyGraph, root: int) -> np.ndarray:
+    """BFS distance from ``root``; unreachable vertices get level 0 so the
+    peripheral search stays within the root's component."""
+    levels = np.full(graph.n, -1, dtype=np.int64)
+    levels[root] = 0
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbours(v):
+            if levels[w] < 0:
+                levels[w] = levels[v] + 1
+                queue.append(int(w))
+    levels[levels < 0] = 0
+    return levels
+
+
+def rcm_ordering(a: CSRMatrix) -> np.ndarray:
+    """RCM permutation of a square matrix (``perm[new] = old``).
+
+    Disconnected components are processed in ascending order of their
+    smallest vertex id, each from its own pseudo-peripheral start.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("RCM requires a square matrix")
+    graph = adjacency_from_matrix(a)
+    n = graph.n
+    degree = graph.degree()
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    for seed in range(n):
+        if visited[seed]:
+            continue
+        root = pseudo_peripheral_vertex(graph, seed)
+        if visited[root]:  # peripheral search may land in a visited part
+            root = seed
+        visited[root] = True
+        queue = deque([root])
+        while queue:
+            v = queue.popleft()
+            order[pos] = v
+            pos += 1
+            neigh = graph.neighbours(v)
+            unvisited = neigh[~visited[neigh]]
+            # Ascending degree, ties by vertex id, per Cuthill-McKee.
+            for w in unvisited[np.lexsort((unvisited, degree[unvisited]))]:
+                if not visited[w]:
+                    visited[w] = True
+                    queue.append(int(w))
+    assert pos == n
+    return order[::-1].copy()
+
+
+def matrix_bandwidth(a: CSRMatrix) -> int:
+    """Maximum ``|i - j|`` over stored entries — what RCM minimises."""
+    if a.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+    return int(np.abs(rows - a.indices).max())

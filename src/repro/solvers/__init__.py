@@ -1,0 +1,66 @@
+"""Application-level solvers consuming the MPK/SSpMV kernels.
+
+The three workload classes the paper motivates FBMPK with (Section I):
+eigenvalue methods (power iteration, Lanczos, Chebyshev filters), linear
+solvers (CG, Chebyshev semi-iteration, s-step Krylov bases) and
+multigrid (polynomial-smoothed two-level V-cycles).
+"""
+
+from .amg import AMGLevel, MultilevelAMG
+from .cg import CGResult, conjugate_gradient
+from .chebyshev import (
+    chebyshev_apply_fbmpk,
+    chebyshev_apply_recurrence,
+    chebyshev_coefficients_monomial,
+    chebyshev_solve,
+)
+from .krylov import KrylovResult, bicgstab, gmres
+from .lanczos import lanczos, ritz_values, sstep_krylov_basis
+from .multigrid import TwoLevelMultigrid, aggregate_rows
+from .polynomial import (
+    NeumannPreconditioner,
+    PolynomialPreconditioner,
+    chebyshev_inverse_coefficients,
+)
+from .stationary import (
+    gauss_seidel,
+    jacobi,
+    richardson,
+    spectral_radius_jacobi,
+)
+from .subspace import subspace_iteration
+from .power import gershgorin_bounds, power_iteration, power_iteration_fbmpk
+from .symgs import SymgsSmoother, symgs_reference, symgs_sweep
+
+__all__ = [
+    "AMGLevel",
+    "MultilevelAMG",
+    "CGResult",
+    "conjugate_gradient",
+    "chebyshev_apply_fbmpk",
+    "chebyshev_apply_recurrence",
+    "chebyshev_coefficients_monomial",
+    "chebyshev_solve",
+    "KrylovResult",
+    "bicgstab",
+    "gmres",
+    "lanczos",
+    "ritz_values",
+    "sstep_krylov_basis",
+    "TwoLevelMultigrid",
+    "aggregate_rows",
+    "NeumannPreconditioner",
+    "PolynomialPreconditioner",
+    "chebyshev_inverse_coefficients",
+    "gershgorin_bounds",
+    "power_iteration",
+    "power_iteration_fbmpk",
+    "SymgsSmoother",
+    "symgs_reference",
+    "symgs_sweep",
+    "gauss_seidel",
+    "jacobi",
+    "richardson",
+    "spectral_radius_jacobi",
+    "subspace_iteration",
+]

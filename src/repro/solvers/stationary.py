@@ -1,0 +1,122 @@
+"""Classic stationary iterations: Richardson, Jacobi, Gauss-Seidel.
+
+The baseline relaxation methods SYMGS and the polynomial smoothers
+generalise.  They share the ``A = L + D + U`` partition with FBMPK and
+serve as reference smoothers/preconditioners and as teaching-grade
+comparisons in the examples.  Each returns the iterate history length
+and convergence flag in the same shape as the Krylov solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.partition import TriangularPartition, split_ldu
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["richardson", "jacobi", "gauss_seidel", "spectral_radius_jacobi"]
+
+
+def _prepare(a: CSRMatrix, b: np.ndarray, x0: Optional[np.ndarray]):
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (a.n_rows,):
+        raise ValueError("right-hand side dimension mismatch")
+    x = np.zeros(a.n_rows) if x0 is None \
+        else np.asarray(x0, dtype=np.float64).copy()
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    return b, x, b_norm
+
+
+def richardson(a: CSRMatrix, b: np.ndarray, omega: float,
+               x0: Optional[np.ndarray] = None, tol: float = 1e-8,
+               max_iter: int = 10_000) -> Tuple[np.ndarray, int, bool]:
+    """Damped Richardson iteration ``x <- x + omega (b - A x)``.
+
+    Converges for SPD ``A`` when ``0 < omega < 2 / lambda_max``.
+    """
+    if omega <= 0:
+        raise ValueError("omega must be positive")
+    b, x, b_norm = _prepare(a, b, x0)
+    for it in range(1, max_iter + 1):
+        r = b - a.matvec(x)
+        if float(np.linalg.norm(r)) <= tol * b_norm:
+            return x, it - 1, True
+        x += omega * r
+    return x, max_iter, float(np.linalg.norm(b - a.matvec(x))) \
+        <= tol * b_norm
+
+
+def jacobi(a: CSRMatrix, b: np.ndarray, omega: float = 1.0,
+           x0: Optional[np.ndarray] = None, tol: float = 1e-8,
+           max_iter: int = 10_000) -> Tuple[np.ndarray, int, bool]:
+    """(Weighted) Jacobi iteration ``x <- x + omega D^{-1} (b - A x)``.
+
+    Converges when the Jacobi iteration matrix has spectral radius < 1
+    (e.g. strictly diagonally dominant ``A``).
+    """
+    d = a.diagonal()
+    if (d == 0).any():
+        raise ValueError("Jacobi needs a full nonzero diagonal")
+    b, x, b_norm = _prepare(a, b, x0)
+    for it in range(1, max_iter + 1):
+        r = b - a.matvec(x)
+        if float(np.linalg.norm(r)) <= tol * b_norm:
+            return x, it - 1, True
+        x += omega * r / d
+    return x, max_iter, float(np.linalg.norm(b - a.matvec(x))) \
+        <= tol * b_norm
+
+
+def gauss_seidel(a: CSRMatrix, b: np.ndarray,
+                 x0: Optional[np.ndarray] = None, tol: float = 1e-8,
+                 max_iter: int = 10_000,
+                 part: Optional[TriangularPartition] = None
+                 ) -> Tuple[np.ndarray, int, bool]:
+    """Forward Gauss-Seidel sweeps over the ``L + D + U`` partition.
+
+    One sweep updates rows top-down with the latest values — the forward
+    half of SYMGS.  ``part`` may be supplied to reuse an existing split.
+    """
+    part = part if part is not None else split_ldu(a)
+    if (part.diag == 0).any():
+        raise ValueError("Gauss-Seidel needs a full nonzero diagonal")
+    b, x, b_norm = _prepare(a, b, x0)
+    L, U, d = part.lower, part.upper, part.diag
+    for it in range(1, max_iter + 1):
+        if float(np.linalg.norm(b - a.matvec(x))) <= tol * b_norm:
+            return x, it - 1, True
+        for i in range(part.n):
+            acc = b[i]
+            for p in range(L.indptr[i], L.indptr[i + 1]):
+                acc -= L.data[p] * x[L.indices[p]]
+            for p in range(U.indptr[i], U.indptr[i + 1]):
+                acc -= U.data[p] * x[U.indices[p]]
+            x[i] = acc / d[i]
+    return x, max_iter, float(np.linalg.norm(b - a.matvec(x))) \
+        <= tol * b_norm
+
+
+def spectral_radius_jacobi(a: CSRMatrix, iterations: int = 200,
+                           seed: int = 0) -> float:
+    """Estimate ``rho(I - D^{-1} A)`` (the Jacobi convergence factor) by
+    power iteration on the iteration matrix.
+
+    < 1 guarantees Jacobi (and Neumann preconditioning) converges.
+    """
+    d = a.diagonal()
+    if (d == 0).any():
+        raise ValueError("needs a full nonzero diagonal")
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(a.n_rows)
+    v /= np.linalg.norm(v)
+    rho = 0.0
+    for _ in range(iterations):
+        w = v - a.matvec(v) / d
+        norm = float(np.linalg.norm(w))
+        if norm == 0.0:
+            return 0.0
+        rho = norm
+        v = w / norm
+    return rho

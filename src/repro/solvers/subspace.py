@@ -1,0 +1,77 @@
+"""Block subspace iteration through the FBMPK block kernel.
+
+Subspace (simultaneous/orthogonal) iteration computes the dominant
+``m``-dimensional invariant subspace by repeatedly applying ``A^s`` to a
+block of vectors and re-orthonormalising — the block analogue of the
+Chebyshev-filtered eigensolvers the paper cites ([18], [19]).  The
+block power step uses :meth:`FBMPKOperator.power_block`, so one pass of
+the matrix advances *every* basis vector by one power: matrix reads per
+outer step are ``~(s+1)/2`` instead of ``m * s``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.fbmpk import FBMPKOperator, build_fbmpk_operator
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["subspace_iteration"]
+
+
+def subspace_iteration(
+    a: CSRMatrix,
+    n_eigs: int,
+    s: int = 2,
+    tol: float = 1e-9,
+    max_outer: int = 500,
+    seed: int = 0,
+    operator: Optional[FBMPKOperator] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Dominant eigenpairs of symmetric ``A`` by block power iteration.
+
+    Parameters
+    ----------
+    a:
+        Symmetric matrix.
+    n_eigs:
+        Number of dominant (largest ``|lambda|``) eigenpairs to compute.
+    s:
+        Powers applied per outer step (the MPK depth).
+    operator:
+        Optional prebuilt FBMPK operator (shares preprocessing).
+
+    Returns ``(eigenvalues, eigenvectors, outer_steps)`` with the
+    eigenvalues of largest magnitude in descending ``|lambda|`` order,
+    refined by Rayleigh-Ritz on the iterated block.
+    """
+    if n_eigs < 1 or n_eigs > a.n_rows:
+        raise ValueError("need 1 <= n_eigs <= n")
+    if s < 1:
+        raise ValueError("s must be positive")
+    op = operator if operator is not None else \
+        build_fbmpk_operator(a, strategy="abmc", block_size=1)
+    rng = np.random.default_rng(seed)
+    # Oversampled block for reliable separation of the wanted pairs.
+    m = min(n_eigs + 2, a.n_rows)
+    V, _ = np.linalg.qr(rng.standard_normal((a.n_rows, m)))
+    prev = np.zeros(n_eigs)
+    for outer in range(1, max_outer + 1):
+        V = op.power_block(V, s)
+        V, _ = np.linalg.qr(V)
+        # Rayleigh-Ritz projection.
+        AV = np.column_stack([a.matvec(V[:, j]) for j in range(m)])
+        H = V.T @ AV
+        H = 0.5 * (H + H.T)
+        evals, evecs = np.linalg.eigh(H)
+        order = np.argsort(-np.abs(evals))
+        ritz = evals[order][:n_eigs]
+        if np.abs(ritz - prev).max() <= tol * max(np.abs(ritz).max(), 1.0):
+            V = V @ evecs[:, order]
+            return ritz, V[:, :n_eigs], outer
+        prev = ritz
+        # Rotate the basis towards the Ritz vectors for faster settling.
+        V = V @ evecs[:, order]
+    return prev, V[:, :n_eigs], max_outer

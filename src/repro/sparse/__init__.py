@@ -1,0 +1,60 @@
+"""Sparse-matrix substrate: storage formats, conversions, I/O and kernels.
+
+This package is the foundation the FBMPK core (:mod:`repro.core`) runs on.
+It provides the CSR format of the paper's Section II-A plus the COO
+interchange format, the ELLPACK / SELL-C-sigma formats discussed as future
+work in Section VII, MatrixMarket I/O, and a tiered SpMV kernel collection.
+"""
+
+from .assembly import MatrixBuilder
+from .bsr import BSRMatrix
+from .coo import COOMatrix
+from .csr import CSRMatrix, reduce_rows
+from .ell import ELLMatrix
+from .sell import SellCSigmaMatrix, SellSlice
+from .convert import (
+    coo_to_csr,
+    csr_to_coo,
+    csr_to_ell,
+    csr_to_sell,
+    from_scipy,
+    to_scipy_csr,
+)
+from .io import read_matrix_market, write_matrix_market
+from .spgemm import matrix_power_explicit, spgemm, spgemm_product_count
+from .spmv import (
+    KERNELS,
+    spmm_vectorised,
+    spmv_blocked,
+    spmv_scalar,
+    spmv_scipy,
+    spmv_vectorised,
+)
+
+__all__ = [
+    "MatrixBuilder",
+    "BSRMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "SellCSigmaMatrix",
+    "SellSlice",
+    "reduce_rows",
+    "coo_to_csr",
+    "csr_to_coo",
+    "csr_to_ell",
+    "csr_to_sell",
+    "from_scipy",
+    "to_scipy_csr",
+    "read_matrix_market",
+    "write_matrix_market",
+    "matrix_power_explicit",
+    "spgemm",
+    "spgemm_product_count",
+    "KERNELS",
+    "spmm_vectorised",
+    "spmv_blocked",
+    "spmv_scalar",
+    "spmv_scipy",
+    "spmv_vectorised",
+]

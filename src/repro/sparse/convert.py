@@ -1,0 +1,69 @@
+"""Conversions between the library's sparse formats and scipy.
+
+Every compute format (CSR, ELLPACK, SELL-C-sigma) can round-trip through
+COO, and CSR bridges to ``scipy.sparse`` so the MKL-like baseline
+(:mod:`repro.baselines.mkl_like`) can run the same matrices through
+scipy's compiled kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .ell import ELLMatrix
+from .sell import SellCSigmaMatrix
+
+__all__ = [
+    "csr_to_coo",
+    "coo_to_csr",
+    "csr_to_ell",
+    "csr_to_sell",
+    "to_scipy_csr",
+    "from_scipy",
+]
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """Expand CSR row pointers into explicit row coordinates."""
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_nnz())
+    return COOMatrix(rows, csr.indices.copy(), csr.data.copy(), csr.shape)
+
+
+def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
+    """COO -> CSR with duplicate summation."""
+    return coo.to_csr()
+
+
+def csr_to_ell(csr: CSRMatrix) -> ELLMatrix:
+    """CSR -> ELLPACK panels."""
+    return ELLMatrix.from_csr(csr)
+
+
+def csr_to_sell(csr: CSRMatrix, c: int = 8, sigma: int = 64) -> SellCSigmaMatrix:
+    """CSR -> SELL-C-sigma with the given slice height and sort window."""
+    return SellCSigmaMatrix(csr, c=c, sigma=sigma)
+
+
+def to_scipy_csr(csr: CSRMatrix):
+    """Bridge to ``scipy.sparse.csr_matrix`` (shares no memory)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix(
+        (csr.data.copy(), csr.indices.copy(), csr.indptr.copy()),
+        shape=csr.shape,
+    )
+
+
+def from_scipy(mat) -> CSRMatrix:
+    """Import any scipy sparse matrix as our CSR type."""
+    m = mat.tocsr()
+    m.sum_duplicates()
+    return CSRMatrix(
+        np.asarray(m.indptr, dtype=np.int64),
+        np.asarray(m.indices, dtype=np.int64),
+        np.asarray(m.data, dtype=np.float64),
+        m.shape,
+        check=False,
+    )

@@ -1,0 +1,81 @@
+"""Coordinate (COO) sparse matrix format.
+
+COO is the interchange format of the library: MatrixMarket files load into
+COO, the synthetic generators emit COO, and conversions to the compute
+formats (CSR, ELLPACK, SELL-C-sigma) go through it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["COOMatrix"]
+
+
+class COOMatrix:
+    """A sparse matrix as parallel ``(row, col, value)`` arrays.
+
+    Duplicate coordinates are allowed and are summed on conversion to CSR,
+    following the usual assembly semantics of finite-element codes.
+    """
+
+    __slots__ = ("rows", "cols", "data", "shape")
+
+    def __init__(self, rows, cols, data, shape: Tuple[int, int]) -> None:
+        self.rows = np.ascontiguousarray(rows, dtype=np.int64)
+        self.cols = np.ascontiguousarray(cols, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if not (self.rows.shape == self.cols.shape == self.data.shape):
+            raise ValueError("rows, cols, data must have identical shapes")
+        if self.rows.size:
+            if self.rows.min() < 0 or self.rows.max() >= self.shape[0]:
+                raise ValueError("row index out of range")
+            if self.cols.min() < 0 or self.cols.max() >= self.shape[1]:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored (possibly duplicate) entries."""
+        return int(self.data.shape[0])
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense array, dropping exact zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        rows, cols = np.nonzero(dense)
+        return cls(rows, cols, dense[rows, cols], dense.shape)
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert to CSR, summing duplicate coordinates."""
+        return CSRMatrix.from_coo_arrays(
+            self.rows, self.cols, self.data, self.shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array (duplicates summed)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.data)
+        return dense
+
+    def transpose(self) -> "COOMatrix":
+        """Return the transpose (swaps the coordinate arrays)."""
+        return COOMatrix(self.cols, self.rows, self.data,
+                         (self.shape[1], self.shape[0]))
+
+    def symmetrized(self) -> "COOMatrix":
+        """Return ``(A + A^T) / 2`` structurally: stacks both coordinate
+        lists with halved values; duplicates merge on CSR conversion."""
+        return COOMatrix(
+            np.concatenate([self.rows, self.cols]),
+            np.concatenate([self.cols, self.rows]),
+            np.concatenate([self.data, self.data]) * 0.5,
+            self.shape,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,98 @@
+"""ELLPACK sparse storage format.
+
+Section VII of the paper names ELLPACK as a candidate replacement for CSR
+in the FBMPK submatrices because its fixed row width enables clean
+vectorisation.  We implement it as one of the interchangeable compute
+formats: column-major ``(n_rows, width)`` panels of values and column
+indices, padded with a sentinel column and zero values.
+
+The padding waste ``n_rows * width - nnz`` is exposed so format-selection
+heuristics (and the format-comparison bench) can reason about it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["ELLMatrix"]
+
+
+class ELLMatrix:
+    """ELLPACK matrix: dense ``(n_rows, width)`` panels.
+
+    ``indices[i, j]`` holds the column of the ``j``-th stored entry of row
+    ``i`` or ``-1`` for padding; ``data`` holds the value (0 for padding).
+    """
+
+    __slots__ = ("indices", "data", "shape", "width")
+
+    def __init__(self, indices: np.ndarray, data: np.ndarray, shape) -> None:
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data shapes differ")
+        if self.indices.ndim != 2 or self.indices.shape[0] != self.shape[0]:
+            raise ValueError("panel shape must be (n_rows, width)")
+        self.width = int(self.indices.shape[1])
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "ELLMatrix":
+        """Pack a CSR matrix into ELLPACK panels of width ``max row nnz``."""
+        n = csr.n_rows
+        counts = csr.row_nnz()
+        width = int(counts.max(initial=0))
+        indices = np.full((n, width), -1, dtype=np.int64)
+        data = np.zeros((n, width), dtype=np.float64)
+        if csr.nnz:
+            # Scatter each nonzero to (row, position-within-row).
+            rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+            pos = np.arange(csr.nnz, dtype=np.int64) - np.repeat(
+                csr.indptr[:-1], counts
+            )
+            indices[rows, pos] = csr.indices
+            data[rows, pos] = csr.data
+        return cls(indices, data, csr.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of genuine (non-padding) entries."""
+        return int((self.indices >= 0).sum())
+
+    @property
+    def padding(self) -> int:
+        """Number of padded slots, the ELLPACK storage waste."""
+        return self.indices.size - self.nnz
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` over the fixed-width panels.
+
+        Padding uses column 0 with a zero coefficient so no masking is
+        needed in the inner product — the same trick real ELL kernels use.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.shape[1]},)")
+        safe = np.where(self.indices >= 0, self.indices, 0)
+        return (self.data * x[safe]).sum(axis=1)
+
+    def to_csr(self) -> CSRMatrix:
+        """Unpack back to CSR (padding removed)."""
+        mask = self.indices >= 0
+        rows = np.nonzero(mask)[0]
+        return CSRMatrix.from_coo_arrays(
+            rows, self.indices[mask], self.data[mask], self.shape,
+            sum_duplicates=False,
+        )
+
+    def memory_bytes(self, index_bytes: int = 8, value_bytes: int = 8) -> int:
+        """Storage footprint including padding."""
+        return self.indices.size * index_bytes + self.data.size * value_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ELLMatrix(shape={self.shape}, width={self.width}, "
+            f"padding={self.padding})"
+        )

@@ -1,0 +1,140 @@
+"""SELL-C-sigma (sliced ELLPACK) sparse storage format.
+
+The second future-work format named in Section VII (Kreutzer et al.,
+"A unified sparse matrix data format...", SISC 2014).  Rows are grouped
+into slices of height ``C``; within a sorting window of ``sigma`` rows the
+rows are ordered by descending nnz so rows sharing a slice have similar
+lengths, which bounds padding while keeping rows near their original
+position (important for locality and for restoring the output order).
+Each slice is stored as an ELLPACK panel of its own width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["SellSlice", "SellCSigmaMatrix"]
+
+
+@dataclass(frozen=True)
+class SellSlice:
+    """One slice: ``rows`` are original row ids, panels are ``(C', width)``
+    where ``C'`` may be smaller than ``C`` for the trailing slice."""
+
+    rows: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    @property
+    def width(self) -> int:
+        """Panel width of this slice (max nnz among its rows)."""
+        return int(self.indices.shape[1])
+
+
+class SellCSigmaMatrix:
+    """SELL-C-sigma matrix built from CSR.
+
+    Parameters
+    ----------
+    csr:
+        Source matrix.
+    c:
+        Slice height (rows per slice); typical hardware values are the
+        SIMD width, e.g. 4-32.
+    sigma:
+        Sorting window; ``sigma = 1`` disables sorting (plain sliced ELL),
+        ``sigma >= n`` sorts globally.
+    """
+
+    __slots__ = ("slices", "shape", "c", "sigma", "_nnz")
+
+    def __init__(self, csr: CSRMatrix, c: int = 8, sigma: int = 64) -> None:
+        if c < 1 or sigma < 1:
+            raise ValueError("c and sigma must be positive")
+        self.shape = csr.shape
+        self.c = int(c)
+        self.sigma = int(sigma)
+        self._nnz = csr.nnz
+        counts = csr.row_nnz()
+        n = csr.n_rows
+        order = np.arange(n, dtype=np.int64)
+        # Sort each sigma-window by descending row length (stable so ties
+        # keep their original relative order).
+        for lo in range(0, n, self.sigma):
+            hi = min(lo + self.sigma, n)
+            window = order[lo:hi]
+            order[lo:hi] = window[np.argsort(-counts[window], kind="stable")]
+        self.slices: List[SellSlice] = []
+        for lo in range(0, n, self.c):
+            rows = order[lo : min(lo + self.c, n)]
+            width = int(counts[rows].max(initial=0))
+            idx = np.full((rows.size, max(width, 1)), -1, dtype=np.int64)
+            val = np.zeros((rows.size, max(width, 1)), dtype=np.float64)
+            for k, r in enumerate(rows):
+                s, e = int(csr.indptr[r]), int(csr.indptr[r + 1])
+                idx[k, : e - s] = csr.indices[s:e]
+                val[k, : e - s] = csr.data[s:e]
+            self.slices.append(SellSlice(rows.copy(), idx, val))
+
+    @property
+    def nnz(self) -> int:
+        """Number of genuine entries (excludes padding)."""
+        return self._nnz
+
+    @property
+    def padding(self) -> int:
+        """Total padded slots across all slices."""
+        stored = sum(s.indices.size for s in self.slices)
+        return stored - self._nnz
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` slice by slice, scattered back to original order."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.shape[1]},)")
+        y = np.zeros(self.shape[0], dtype=np.float64)
+        for sl in self.slices:
+            safe = np.where(sl.indices >= 0, sl.indices, 0)
+            y[sl.rows] = (sl.data * x[safe]).sum(axis=1)
+        return y
+
+    def to_csr(self) -> CSRMatrix:
+        """Unpack back to CSR in the original row order."""
+        rows_all, cols_all, vals_all = [], [], []
+        for sl in self.slices:
+            mask = sl.indices >= 0
+            local_rows = np.nonzero(mask)[0]
+            rows_all.append(sl.rows[local_rows])
+            cols_all.append(sl.indices[mask])
+            vals_all.append(sl.data[mask])
+        if rows_all:
+            rows = np.concatenate(rows_all)
+            cols = np.concatenate(cols_all)
+            vals = np.concatenate(vals_all)
+        else:  # pragma: no cover - zero-row matrix
+            rows = cols = np.empty(0, dtype=np.int64)
+            vals = np.empty(0, dtype=np.float64)
+        return CSRMatrix.from_coo_arrays(
+            rows, cols, vals, self.shape, sum_duplicates=False
+        )
+
+    def memory_bytes(self, index_bytes: int = 8, value_bytes: int = 8) -> int:
+        """Storage footprint including per-slice padding and row ids."""
+        total = 0
+        for sl in self.slices:
+            total += sl.indices.size * index_bytes
+            total += sl.data.size * value_bytes
+            total += sl.rows.size * index_bytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SellCSigmaMatrix(shape={self.shape}, C={self.c}, "
+            f"sigma={self.sigma}, slices={len(self.slices)}, "
+            f"padding={self.padding})"
+        )

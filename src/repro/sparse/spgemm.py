@@ -1,0 +1,89 @@
+"""Sparse general matrix-matrix multiplication (SpGEMM).
+
+Provides ``C = A @ B`` for CSR operands, fully vectorised (the expanded
+Gustavson formulation: every product ``A[i,k] * B[k,j]`` is materialised
+with repeat/gather index arithmetic and reduced through the COO->CSR
+duplicate summation).  Memory use is proportional to the *intermediate
+product count* ``sum_ik nnz(B[k,:])``, which the helper
+:func:`spgemm_product_count` exposes so callers can bound it first.
+
+The library uses SpGEMM to build the **explicit-power baseline** for MPK
+(:mod:`repro.baselines.explicit_power`): precomputing ``A^2`` also halves
+the number of matrix reads per power — the natural alternative to FBMPK
+— but pays ``nnz(A^2)`` storage/traffic, which fill-in usually makes a
+losing trade.  The comparison bench quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+__all__ = ["spgemm", "spgemm_product_count", "matrix_power_explicit"]
+
+
+def spgemm_product_count(a: CSRMatrix, b: CSRMatrix) -> int:
+    """Number of elementary products ``A[i,k] * B[k,j]`` the expanded
+    SpGEMM materialises — the peak intermediate size."""
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions do not match")
+    return int(b.row_nnz()[a.indices].sum())
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix,
+           max_products: int = 200_000_000) -> CSRMatrix:
+    """Compute ``C = A @ B`` in CSR.
+
+    Raises ``MemoryError`` before materialising more than
+    ``max_products`` intermediate entries (~24 bytes each).
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("inner dimensions do not match")
+    total = spgemm_product_count(a, b)
+    if total > max_products:
+        raise MemoryError(
+            f"SpGEMM would materialise {total} products "
+            f"(> max_products={max_products})")
+    if total == 0:
+        return CSRMatrix.zeros((a.n_rows, b.n_cols))
+    # One output product per (A entry, B entry in the matching row).
+    per_entry = b.row_nnz()[a.indices]            # products per A entry
+    a_rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_nnz())
+    out_rows = np.repeat(a_rows, per_entry)
+    a_vals = np.repeat(a.data, per_entry)
+    # Ranges-to-indices: positions into B's arrays for every product.
+    offsets = np.zeros(total, dtype=np.int64)
+    ends = np.cumsum(per_entry)
+    starts = ends - per_entry
+    nonempty = per_entry > 0
+    offsets = np.repeat(b.indptr[a.indices][nonempty] - starts[nonempty],
+                        per_entry[nonempty])
+    gather = np.arange(total, dtype=np.int64) + offsets
+    out_cols = b.indices[gather]
+    out_vals = a_vals * b.data[gather]
+    return CSRMatrix.from_coo_arrays(out_rows, out_cols, out_vals,
+                                     (a.n_rows, b.n_cols))
+
+
+def matrix_power_explicit(a: CSRMatrix, p: int,
+                          max_products: int = 200_000_000) -> CSRMatrix:
+    """Explicit sparse ``A^p`` by repeated squaring (``p >= 1``).
+
+    Fill-in grows quickly — callers should check
+    :meth:`CSRMatrix.nnz` of the result against the storage they can
+    afford.  Used by the explicit-power MPK baseline for ``p = 2``.
+    """
+    if p < 1:
+        raise ValueError("power must be >= 1")
+    result = None
+    base = a
+    e = p
+    while e:
+        if e & 1:
+            result = base if result is None else \
+                spgemm(result, base, max_products)
+        e >>= 1
+        if e:
+            base = spgemm(base, base, max_products)
+    return result

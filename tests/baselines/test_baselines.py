@@ -1,0 +1,104 @@
+"""Unit tests for the MKL-like and LB-MPK baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LevelBlockedMPK,
+    MklLikeMPK,
+    bfs_levels,
+    lbmpk,
+    lbmpk_traffic_estimate,
+    mpk_mkl_like,
+)
+from repro.core.mpk import mpk_reference_dense
+from repro.memsim.traffic import MatrixTrafficStats
+from repro.sparse import CSRMatrix
+
+
+class TestMklLike:
+    @pytest.mark.parametrize("k", [0, 1, 3, 5])
+    def test_matches_dense(self, any_matrix, rng, k):
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(mpk_mkl_like(any_matrix, x, k),
+                                   mpk_reference_dense(any_matrix, x, k),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_reusable_handle(self, grid, rng):
+        op = MklLikeMPK(grid)
+        for seed in range(3):
+            x = np.random.default_rng(seed).standard_normal(grid.n_rows)
+            np.testing.assert_allclose(op.power(x, 2),
+                                       mpk_reference_dense(grid, x, 2),
+                                       rtol=1e-9, atol=1e-11)
+
+    def test_sequence(self, grid, rng):
+        x = rng.standard_normal(grid.n_rows)
+        seq = MklLikeMPK(grid).sequence(x, 3)
+        assert len(seq) == 4
+        np.testing.assert_array_equal(seq[0], x)
+
+    def test_negative_k(self, grid):
+        with pytest.raises(ValueError):
+            MklLikeMPK(grid).power(np.zeros(grid.n_rows), -1)
+
+
+class TestLBMPK:
+    def test_bfs_levels_property(self, any_matrix):
+        levels = bfs_levels(any_matrix)
+        assert (levels >= 0).all()
+        # Level property: stored entries connect only adjacent levels.
+        rows = np.repeat(np.arange(any_matrix.n_rows, dtype=np.int64),
+                         any_matrix.row_nnz())
+        gap = np.abs(levels[rows] - levels[any_matrix.indices])
+        assert gap.max(initial=0) <= 1
+
+    def test_bfs_levels_disconnected(self):
+        dense = np.eye(4)
+        dense[0, 1] = dense[1, 0] = 1.0
+        levels = bfs_levels(CSRMatrix.from_dense(dense))
+        # Components get disjoint level ranges.
+        assert len(set(levels.tolist())) == 4 or levels.max() >= 2
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, 6])
+    def test_matches_dense(self, any_matrix, rng, k):
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(lbmpk(any_matrix, x, k),
+                                   mpk_reference_dense(any_matrix, x, k),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_reusable_and_validates(self, small_sym, rng):
+        op = LevelBlockedMPK(small_sym)
+        assert op._validate_levels()
+        x = rng.standard_normal(small_sym.n_rows)
+        np.testing.assert_allclose(op.power(x, 4),
+                                   mpk_reference_dense(small_sym, x, 4),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_input_validation(self, grid):
+        op = LevelBlockedMPK(grid)
+        with pytest.raises(ValueError):
+            op.power(np.zeros(grid.n_rows), -1)
+        with pytest.raises(ValueError):
+            op.power(np.zeros(3), 1)
+        with pytest.raises(ValueError):
+            LevelBlockedMPK(CSRMatrix.zeros((2, 3)))
+
+    def test_traffic_estimate_degrades_with_k(self):
+        stats = MatrixTrafficStats(n=1_000_000, nnz=60_000_000,
+                                   bandwidth=10_000)
+        cache = 32 * 2 ** 20
+        per_power = [
+            lbmpk_traffic_estimate(stats, k, cache).total_bytes / k
+            for k in (2, 4, 8, 12)
+        ]
+        # The per-power cost grows as the k-deep wavefront outgrows the
+        # cache — the scaling failure FBMPK avoids (Section VI).
+        assert per_power[-1] > per_power[0]
+
+    def test_traffic_estimate_hot_window_is_single_pass(self):
+        stats = MatrixTrafficStats(n=100_000, nnz=2_000_000, bandwidth=500)
+        huge = 1e12
+        t = lbmpk_traffic_estimate(stats, 8, huge)
+        single = stats.nnz * 12 + (stats.n + 1) * 4
+        assert t.matrix_bytes == pytest.approx(single)

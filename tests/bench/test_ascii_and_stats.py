@@ -1,0 +1,100 @@
+"""Unit tests for ASCII chart rendering and matrix statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bench.ascii_plot import bar_chart, line_chart
+from repro.matrices import banded_random, poisson2d
+from repro.matrices.stats import analyze_matrix
+from repro.sparse import CSRMatrix
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        assert "2.00" in lines[2]
+        # Full-scale bar fills the width.
+        assert lines[2].count("#") == 10
+
+    def test_reference_marker(self):
+        out = bar_chart(["x"], [2.0], width=10, reference=1.0)
+        assert "|" in out or "+" in out
+
+    def test_empty_and_errors(self):
+        assert bar_chart([], [], title="empty") == "empty"
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_values_clamped(self):
+        out = bar_chart(["neg"], [-1.0], width=8)
+        assert "#" not in out
+
+
+class TestLineChart:
+    def test_series_rendering(self):
+        out = line_chart([1, 2, 3], {"s1": [1.0, 2.0, 3.0],
+                                     "s2": [3.0, 2.0, 1.0]},
+                         height=6, width=20, title="sweep")
+        assert "sweep" in out
+        assert "* s1" in out and "o s2" in out
+        assert "3.00" in out and "1.00" in out
+
+    def test_constant_series(self):
+        out = line_chart([1, 2], {"flat": [5.0, 5.0]}, height=4, width=10)
+        assert "flat" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"bad": [1.0]})
+
+    def test_empty(self):
+        assert line_chart([], {}, title="t") == "t"
+
+
+class TestAnalyzeMatrix:
+    def test_symmetric_banded(self):
+        a = banded_random(200, 7, 10, symmetric=True, seed=1)
+        r = analyze_matrix(a)
+        assert r.n_rows == r.n_cols == 200
+        assert r.nnz == a.nnz
+        assert r.symmetric_pattern and r.symmetric_values
+        assert r.full_diagonal
+        assert 1 <= r.nnz_per_row_min <= r.nnz_per_row_mean \
+            <= r.nnz_per_row_max
+        assert r.gershgorin_hi >= r.gershgorin_lo
+        # Generated matrices are scaled to inf-norm 1.
+        assert r.gershgorin_hi <= 1.0 + 1e-9
+
+    def test_unsymmetric_detected(self):
+        a = banded_random(100, 5, 8, symmetric=False, seed=2)
+        r = analyze_matrix(a)
+        assert not r.symmetric_values
+
+    def test_pattern_symmetric_values_not(self):
+        dense = np.array([[1.0, 2.0], [3.0, 1.0]])
+        r = analyze_matrix(CSRMatrix.from_dense(dense))
+        assert r.symmetric_pattern and not r.symmetric_values
+
+    def test_bandwidth_and_density(self):
+        a = poisson2d(6)
+        r = analyze_matrix(a)
+        assert r.bandwidth == 6  # grid row stride
+        assert 0 < r.density < 1
+
+    def test_missing_diagonal(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        r = analyze_matrix(CSRMatrix.from_dense(dense))
+        assert r.diagonal_nonzeros == 0
+        assert not r.full_diagonal
+
+    def test_as_dict_keys(self):
+        r = analyze_matrix(poisson2d(4))
+        d = r.as_dict()
+        assert "bandwidth" in d and "Gershgorin" in d
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            analyze_matrix(CSRMatrix.zeros((2, 3)))

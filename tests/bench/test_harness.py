@@ -1,0 +1,48 @@
+"""Unit tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_rows, format_table, geomean
+from repro.bench.paper_data import (
+    FIG7_AVERAGE_SPEEDUP,
+    FIG9_MEAN_MEASURED_RATIO,
+    TABLE3_ABMC_RATIO,
+)
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        geomean([])
+    with pytest.raises(ValueError):
+        geomean([1.0, -1.0])
+
+
+def test_bench_rows_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert bench_rows(1234) == 1234
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "777")
+    assert bench_rows() == 777
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["a", 1.5], ["bb", 10.25]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "1.50" in out and "10.25" in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["h1", "h2"], [])
+    assert "h1" in out
+
+
+def test_paper_data_integrity():
+    assert set(FIG7_AVERAGE_SPEEDUP) == {
+        "FT 2000+", "Thunder X2", "KP 920", "Intel Xeon"}
+    assert len(TABLE3_ABMC_RATIO) == 14
+    assert FIG9_MEAN_MEASURED_RATIO[9] < FIG9_MEAN_MEASURED_RATIO[3]

@@ -1,0 +1,63 @@
+"""Unit tests for the remaining harness utilities (report tee, timer,
+matrix cache)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Timer, fbmpk_operator, standin, write_report
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_write_report_creates_file(capsys):
+    path = write_report("selftest_report", "hello\ntable")
+    out = capsys.readouterr().out
+    assert "hello" in out and str(path) in out
+    assert path.read_text() == "hello\ntable\n"
+    path.unlink()  # keep benchmarks/out tidy
+
+
+def test_standin_cache_returns_same_object():
+    a1 = standin("pwtk", 1000)
+    a2 = standin("pwtk", 1000)
+    assert a1 is a2  # lru_cache identity
+    a3 = standin("pwtk", 1200)
+    assert a3 is not a1
+
+
+def test_standin_respects_suitesparse_env(monkeypatch, tmp_path):
+    """When REPRO_SUITESPARSE_DIR holds the real file, the harness uses
+    it (verified through a tiny fake 'real' matrix)."""
+    from repro.matrices import poisson2d
+    from repro.sparse import write_matrix_market
+
+    fake = poisson2d(5, seed=9)
+    write_matrix_market(fake, str(tmp_path / "Serena.mtx"))
+    monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+    standin.cache_clear()
+    try:
+        a = standin("Serena", 4000)
+        assert a.n_rows == fake.n_rows  # the file won over the stand-in
+        np.testing.assert_allclose(a.to_dense(), fake.to_dense())
+    finally:
+        standin.cache_clear()
+
+
+def test_fbmpk_operator_cache(monkeypatch):
+    standin.cache_clear()
+    fbmpk_operator.cache_clear()
+    op1 = fbmpk_operator("G3_circuit", 900)
+    op2 = fbmpk_operator("G3_circuit", 900)
+    assert op1 is op2
+    x = np.ones(op1.n)
+    from repro.core import mpk_standard
+
+    np.testing.assert_allclose(op1.power(x, 3),
+                               mpk_standard(standin("G3_circuit", 900), x, 3),
+                               rtol=1e-9, atol=1e-11)

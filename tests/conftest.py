@@ -1,0 +1,35 @@
+"""Shared test fixtures: small deterministic matrices and RNGs."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import banded_random, poisson2d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_sym():
+    """Small symmetric diagonally-dominant matrix (120 rows)."""
+    return banded_random(120, 7, 12, symmetric=True, seed=3)
+
+
+@pytest.fixture
+def small_unsym():
+    """Small unsymmetric matrix (90 rows)."""
+    return banded_random(90, 5, 9, symmetric=False, seed=4)
+
+
+@pytest.fixture
+def grid():
+    """5-point grid matrix (64 rows)."""
+    return poisson2d(8, seed=1)
+
+
+@pytest.fixture(params=["sym", "unsym", "grid"])
+def any_matrix(request, small_sym, small_unsym, grid):
+    """Parametrised across the three structural families."""
+    return {"sym": small_sym, "unsym": small_unsym, "grid": grid}[request.param]

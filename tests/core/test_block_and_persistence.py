@@ -1,0 +1,75 @@
+"""Unit tests for the block power kernel and operator persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.fbmpk import FBMPKOperator, build_fbmpk_operator
+from repro.core.mpk import mpk_reference_dense
+
+
+class TestPowerBlock:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, 6])
+    @pytest.mark.parametrize("backend", ["numpy", "scipy"])
+    def test_matches_per_column_powers(self, any_matrix, rng, k, backend):
+        op = build_fbmpk_operator(any_matrix, strategy="abmc",
+                                  block_size=1, backend=backend)
+        X = rng.standard_normal((any_matrix.n_rows, 3))
+        Y = op.power_block(X, k)
+        for j in range(X.shape[1]):
+            np.testing.assert_allclose(
+                Y[:, j], mpk_reference_dense(any_matrix, X[:, j], k),
+                rtol=1e-9, atol=1e-11)
+
+    def test_single_column_block_equals_power(self, small_sym, rng):
+        op = build_fbmpk_operator(small_sym, strategy="levels")
+        x = rng.standard_normal(small_sym.n_rows)
+        np.testing.assert_allclose(op.power_block(x[:, None], 4)[:, 0],
+                                   op.power(x, 4), rtol=1e-12, atol=1e-13)
+
+    def test_validation(self, grid, rng):
+        op = build_fbmpk_operator(grid, strategy="levels")
+        with pytest.raises(ValueError):
+            op.power_block(rng.standard_normal((grid.n_rows, 2)), -1)
+        with pytest.raises(ValueError):
+            op.power_block(rng.standard_normal(grid.n_rows), 2)  # 1-D
+        with pytest.raises(ValueError):
+            op.power_block(rng.standard_normal((grid.n_rows + 1, 2)), 2)
+
+    def test_input_block_not_mutated(self, grid, rng):
+        op = build_fbmpk_operator(grid, strategy="abmc", block_size=1)
+        X = rng.standard_normal((grid.n_rows, 2))
+        X_copy = X.copy()
+        op.power_block(X, 3)
+        np.testing.assert_array_equal(X, X_copy)
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("strategy", ["abmc", "levels"])
+    def test_save_load_roundtrip(self, small_sym, rng, tmp_path, strategy):
+        op = build_fbmpk_operator(small_sym, strategy=strategy,
+                                  block_size=4)
+        path = tmp_path / "op.npz"
+        op.save(path)
+        x = rng.standard_normal(small_sym.n_rows)
+        for backend in ("numpy", "scipy"):
+            loaded = FBMPKOperator.load(path, backend=backend)
+            assert loaded.groups.origin == op.groups.origin
+            np.testing.assert_allclose(loaded.power(x, 5), op.power(x, 5),
+                                       rtol=1e-13, atol=1e-14)
+
+    def test_loaded_operator_metadata(self, grid, tmp_path):
+        op = build_fbmpk_operator(grid, strategy="abmc", block_size=1)
+        path = tmp_path / "grid.npz"
+        op.save(path)
+        loaded = FBMPKOperator.load(path)
+        assert loaded.n == op.n
+        assert loaded.groups.n_forward == op.groups.n_forward
+        assert (loaded.perm is None) == (op.perm is None)
+        if op.perm is not None:
+            np.testing.assert_array_equal(loaded.perm, op.perm)
+
+    def test_levels_operator_has_no_perm(self, grid, tmp_path):
+        op = build_fbmpk_operator(grid, strategy="levels")
+        path = tmp_path / "lv.npz"
+        op.save(path)
+        assert FBMPKOperator.load(path).perm is None

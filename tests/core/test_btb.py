@@ -1,0 +1,62 @@
+"""Unit tests for the back-to-back interleaved vector storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.btb import InterleavedPair, deinterleave, interleave
+
+
+def test_interleave_roundtrip(rng):
+    even = rng.standard_normal(17)
+    odd = rng.standard_normal(17)
+    xy = interleave(even, odd)
+    e, o = deinterleave(xy)
+    np.testing.assert_array_equal(e, even)
+    np.testing.assert_array_equal(o, odd)
+
+
+def test_physical_layout_is_interleaved():
+    xy = interleave(np.array([1.0, 2.0]), np.array([10.0, 20.0]))
+    np.testing.assert_array_equal(xy, [1.0, 10.0, 2.0, 20.0])
+
+
+def test_interleave_validation():
+    with pytest.raises(ValueError):
+        interleave(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        interleave(np.ones((2, 2)), np.ones((2, 2)))
+    with pytest.raises(ValueError):
+        deinterleave(np.ones(5))
+
+
+class TestInterleavedPair:
+    def test_from_initial_puts_x0_in_even_slots(self):
+        pair = InterleavedPair.from_initial(np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(pair.even, [3.0, 4.0])
+        np.testing.assert_array_equal(pair.odd, [0.0, 0.0])
+
+    def test_views_share_memory(self):
+        pair = InterleavedPair.from_initial(np.zeros(4))
+        pair.even[2] = 7.0
+        assert pair.xy[4] == 7.0
+        pair.odd[0] = -1.0
+        assert pair.xy[1] == -1.0
+
+    def test_as_matrix_is_c_contiguous_view(self):
+        pair = InterleavedPair.from_initial(np.arange(3.0))
+        m = pair.as_matrix()
+        assert m.flags["C_CONTIGUOUS"]
+        assert m.shape == (3, 2)
+        m[1, 1] = 42.0
+        assert pair.xy[3] == 42.0
+
+    def test_get_parity(self):
+        pair = InterleavedPair(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_array_equal(pair.get(0), [1.0, 3.0])
+        np.testing.assert_array_equal(pair.get(1), [2.0, 4.0])
+        with pytest.raises(ValueError):
+            pair.get(2)
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            InterleavedPair(np.ones(5))

@@ -1,0 +1,178 @@
+"""Edge-case and failure-injection tests across the core pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.fbmpk import (
+    FBMPKOperator,
+    KernelCounter,
+    build_fbmpk_operator,
+    fbmpk_reference,
+    fbmpk_unfused,
+    make_sweep_groups_levels,
+)
+from repro.core.mpk import mpk_reference_dense, mpk_standard
+from repro.core.partition import split_ldu
+from repro.sparse import CSRMatrix
+
+
+def op_for(dense, **kw):
+    a = CSRMatrix.from_dense(np.asarray(dense, dtype=float))
+    return a, build_fbmpk_operator(a, **kw)
+
+
+class TestDegenerateMatrices:
+    def test_one_by_one(self):
+        a, op = op_for([[3.0]])
+        assert np.allclose(op.power(np.array([2.0]), 4), [2.0 * 81.0])
+
+    def test_diagonal_only(self):
+        a, op = op_for(np.diag([1.0, 2.0, 3.0]))
+        x = np.ones(3)
+        np.testing.assert_allclose(op.power(x, 3), [1.0, 8.0, 27.0])
+        # No triangles: zero L/U passes regardless of k.
+        c = KernelCounter()
+        op.power(x, 5, counter=c)
+        assert c.l_entries == c.u_entries == 0
+
+    def test_zero_matrix(self):
+        a, op = op_for(np.zeros((4, 4)))
+        x = np.arange(4.0)
+        np.testing.assert_array_equal(op.power(x, 1), np.zeros(4))
+        np.testing.assert_array_equal(op.power(x, 0), x)
+
+    def test_strictly_lower_only(self):
+        dense = np.zeros((4, 4))
+        dense[2, 0] = 1.0
+        dense[3, 1] = 2.0
+        a, op = op_for(dense)
+        for k in (1, 2, 3):
+            np.testing.assert_allclose(op.power(np.ones(4), k),
+                                       mpk_reference_dense(a, np.ones(4),
+                                                           k))
+
+    def test_strictly_upper_only(self):
+        dense = np.zeros((4, 4))
+        dense[0, 2] = 1.0
+        dense[1, 3] = 2.0
+        a, op = op_for(dense)
+        for k in (1, 2, 3):
+            np.testing.assert_allclose(op.power(np.ones(4), k),
+                                       mpk_reference_dense(a, np.ones(4),
+                                                           k))
+
+    def test_permutation_matrix(self):
+        # A cyclic shift: powers rotate the vector.
+        n = 5
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[i, (i + 1) % n] = 1.0
+        a, op = op_for(dense)
+        x = np.arange(float(n))
+        y = op.power(x, n)  # full cycle returns x
+        np.testing.assert_allclose(y, x)
+
+    def test_disconnected_blocks(self):
+        dense = np.zeros((6, 6))
+        dense[:3, :3] = np.array([[2, 1, 0], [1, 2, 1], [0, 1, 2]])
+        dense[3:, 3:] = np.array([[1, 0, 1], [0, 1, 0], [1, 0, 1]])
+        a, op = op_for(dense / 4.0)
+        x = np.random.default_rng(0).standard_normal(6)
+        np.testing.assert_allclose(op.power(x, 4),
+                                   mpk_reference_dense(a, x, 4),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_dense_matrix(self, rng):
+        dense = rng.uniform(-0.2, 0.2, size=(12, 12))
+        a, op = op_for(dense)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(op.power(x, 5),
+                                   mpk_reference_dense(a, x, 5),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_explicit_stored_zeros(self):
+        """Stored zeros (common after assembly) flow through correctly."""
+        a = CSRMatrix([0, 2, 3], [0, 1, 1], [1.0, 0.0, 2.0], (2, 2))
+        op = build_fbmpk_operator(a, strategy="levels")
+        x = np.array([1.0, 1.0])
+        np.testing.assert_allclose(op.power(x, 2),
+                                   mpk_reference_dense(a, x, 2))
+
+
+class TestNumericalBehaviour:
+    def test_large_k_stays_bounded_for_contraction(self, grid):
+        """Generator matrices have spectral radius <= 1, so very long
+        power sequences must not blow up."""
+        op = build_fbmpk_operator(grid, strategy="abmc", block_size=1)
+        x = np.ones(grid.n_rows)
+        y = op.power(x, 50)
+        assert np.isfinite(y).all()
+        assert np.abs(y).max() <= np.abs(x).max() + 1e-9
+
+    def test_fbmpk_equals_standard_bit_level_structure(self, small_sym,
+                                                       rng):
+        """Not bit-identical (summation order differs), but far tighter
+        than the generic tolerance: relative agreement ~1e-13."""
+        x = rng.standard_normal(small_sym.n_rows)
+        part = split_ldu(small_sym)
+        y_ref = fbmpk_reference(part, x, 4)
+        y_unf = fbmpk_unfused(part, x, 4)
+        scale = np.abs(mpk_reference_dense(small_sym, x, 4)).max()
+        assert np.abs(y_ref - y_unf).max() < 1e-12 * max(scale, 1.0)
+
+    def test_nan_propagates_not_hides(self, grid):
+        """A NaN in the input must surface in the output (no silent
+        masking in the fused path)."""
+        op = build_fbmpk_operator(grid, strategy="abmc", block_size=1)
+        x = np.ones(grid.n_rows)
+        x[3] = np.nan
+        y = op.power(x, 2)
+        assert np.isnan(y).any()
+
+
+class TestCounterSemantics:
+    def test_partial_streams_roll_over(self):
+        c = KernelCounter()
+        c.count_l(30, 100)
+        c.count_l(50, 100)
+        assert c.l_passes == 0
+        c.count_l(40, 100)  # 120 total -> one pass + 20 carried
+        assert c.l_passes == 1
+        c.count_l(80, 100)
+        assert c.l_passes == 2
+        assert c.l_entries == 200
+
+    def test_zero_total_never_divides(self):
+        c = KernelCounter()
+        c.count_u(0, 0)
+        assert c.u_passes == 0
+
+
+class TestOperatorMisc:
+    def test_validate_false_skips_check(self, small_sym):
+        part = split_ldu(small_sym)
+        groups = make_sweep_groups_levels(part)
+        # validate=False accepts anything; correctness is the caller's
+        # problem (used by load()).
+        FBMPKOperator(part, groups, validate=False)
+
+    def test_groups_properties(self, small_sym):
+        part = split_ldu(small_sym)
+        g = make_sweep_groups_levels(part)
+        assert g.n_forward == len(g.forward)
+        assert g.n_backward == len(g.backward)
+
+    def test_standard_mpk_unaffected_by_operator_reuse(self, small_sym,
+                                                       rng):
+        """Interleaving operator calls with standard MPK calls cannot
+        contaminate either."""
+        op = build_fbmpk_operator(small_sym, strategy="abmc",
+                                  block_size=1)
+        x1 = rng.standard_normal(small_sym.n_rows)
+        x2 = rng.standard_normal(small_sym.n_rows)
+        a1 = op.power(x1, 3)
+        b1 = mpk_standard(small_sym, x2, 3)
+        a2 = op.power(x1, 3)
+        b2 = mpk_standard(small_sym, x2, 3)
+        np.testing.assert_array_equal(a1, a2)
+        np.testing.assert_array_equal(b1, b2)

@@ -1,0 +1,95 @@
+"""Unit tests for the symbolic SSpMV expression frontend."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import A, X, MatrixSymbol, SSpMVExpression, from_coefficients
+from repro.core.fbmpk import build_fbmpk_operator
+
+
+class TestAlgebra:
+    def test_basic_construction(self):
+        expr = A(A(X)) + 2 * A(X) + X
+        np.testing.assert_array_equal(expr.coefficients(), [1.0, 2.0, 1.0])
+        assert expr.degree == 2
+
+    def test_matmul_and_pow_syntax(self):
+        assert (A @ X) == A(X)
+        assert ((A ** 3) @ X) == A(A(A(X)))
+        assert ((A ** 2)(X)) == A(A(X))
+        assert (A ** 0) @ X == X
+
+    def test_subtraction_and_negation(self):
+        expr = A(X) - X
+        np.testing.assert_array_equal(expr.coefficients(), [-1.0, 1.0])
+        np.testing.assert_array_equal((-expr).coefficients(), [1.0, -1.0])
+
+    def test_scalar_ops(self):
+        expr = 3 * A(X) / 2
+        np.testing.assert_array_equal(expr.coefficients(), [0.0, 1.5])
+        assert (A(X) * 0 + X).degree == 0
+
+    def test_trailing_zero_trim(self):
+        expr = A(A(X)) - A(A(X)) + X
+        np.testing.assert_array_equal(expr.coefficients(), [1.0])
+        assert expr.degree == 0
+
+    def test_complex_coefficients(self):
+        expr = (1 + 2j) * A(X) + X
+        assert expr.coefficients().dtype == np.complex128
+        # Complex values that are actually real collapse to float64.
+        real = (1 + 0j) * X
+        assert real.coefficients().dtype == np.float64
+
+    def test_equality_and_hash(self):
+        assert A(X) + X == from_coefficients([1, 1])
+        assert A(X) != X
+        assert hash(A(X) + X) == hash(from_coefficients([1.0, 1.0]))
+
+    def test_repr(self):
+        assert "A^2" in repr(A(A(X)))
+        assert repr(X - X) == "0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSpMVExpression([])
+        with pytest.raises(ValueError):
+            MatrixSymbol(-1)
+        with pytest.raises(ValueError):
+            A ** -2
+        with pytest.raises(TypeError):
+            A(np.ones(3))
+        with pytest.raises(ValueError):
+            X.shifted(-1)
+
+
+class TestEvaluation:
+    @pytest.fixture()
+    def setup(self, small_sym, rng):
+        op = build_fbmpk_operator(small_sym, strategy="abmc", block_size=1)
+        x = rng.standard_normal(small_sym.n_rows)
+        return small_sym, op, x
+
+    def test_paper_intro_combination(self, setup):
+        """A^2 x + A x, the paper's introductory SSpMV example."""
+        a, op, x = setup
+        expr = A(A(X)) + A(X)
+        dense = a.to_dense()
+        np.testing.assert_allclose(expr.evaluate(op, x),
+                                   dense @ (dense @ x) + dense @ x,
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_pipelines_agree(self, setup):
+        a, op, x = setup
+        expr = 0.25 * ((A ** 4) @ X) - A(X) + 2 * X
+        np.testing.assert_allclose(expr.evaluate(op, x),
+                                   expr.evaluate_baseline(a, x),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_complex_evaluation(self, setup):
+        a, op, x = setup
+        expr = 1j * A(X) + X
+        y = expr.evaluate(op, x)
+        assert np.iscomplexobj(y)
+        np.testing.assert_allclose(y, x + 1j * a.matvec(x),
+                                   rtol=1e-10, atol=1e-12)

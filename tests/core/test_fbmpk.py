@@ -1,0 +1,239 @@
+"""Unit tests for the FBMPK kernel — the paper's core contribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.fbmpk import (
+    FBMPKOperator,
+    KernelCounter,
+    SweepGroups,
+    build_fbmpk_operator,
+    check_sweep_groups,
+    fbmpk_fused,
+    fbmpk_reference,
+    fbmpk_unfused,
+    make_sweep_groups_abmc,
+    make_sweep_groups_levels,
+)
+from repro.core.mpk import mpk_reference_dense
+from repro.core.partition import split_ldu
+from repro.core.plan import fbmpk_plan
+from repro.reorder import abmc_ordering, permute_symmetric
+
+KS = [0, 1, 2, 3, 4, 5, 6, 7]
+
+
+class TestReference:
+    """fbmpk_reference is the literal Algorithm 2 transcription."""
+
+    @pytest.mark.parametrize("k", KS)
+    def test_matches_dense_oracle(self, any_matrix, rng, k):
+        x = rng.standard_normal(any_matrix.n_rows)
+        part = split_ldu(any_matrix)
+        np.testing.assert_allclose(
+            fbmpk_reference(part, x, k),
+            mpk_reference_dense(any_matrix, x, k),
+            rtol=1e-9, atol=1e-11,
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_access_counts_match_plan(self, small_sym, rng, k):
+        part = split_ldu(small_sym)
+        counter = KernelCounter()
+        fbmpk_reference(part, rng.standard_normal(small_sym.n_rows), k,
+                        counter=counter)
+        plan = fbmpk_plan(k)
+        assert counter.l_passes == plan.l_passes
+        assert counter.u_passes == plan.u_passes
+
+    def test_on_iterate_yields_all_powers(self, grid, rng):
+        x = rng.standard_normal(grid.n_rows)
+        part = split_ldu(grid)
+        seen = {}
+        fbmpk_reference(part, x, 5,
+                        on_iterate=lambda i, xi: seen.setdefault(i, xi))
+        assert sorted(seen) == [1, 2, 3, 4, 5]
+        for i, xi in seen.items():
+            np.testing.assert_allclose(xi, mpk_reference_dense(grid, x, i),
+                                       rtol=1e-9, atol=1e-11)
+
+    def test_rejects_negative_k(self, grid):
+        with pytest.raises(ValueError):
+            fbmpk_reference(split_ldu(grid), np.zeros(grid.n_rows), -1)
+
+    def test_rejects_bad_shape(self, grid):
+        with pytest.raises(ValueError):
+            fbmpk_reference(split_ldu(grid), np.zeros(3), 2)
+
+    def test_k0_returns_copy(self, grid):
+        x = np.ones(grid.n_rows)
+        y = fbmpk_reference(split_ldu(grid), x, 0)
+        assert y is not x
+        np.testing.assert_array_equal(y, x)
+
+
+class TestUnfused:
+    @pytest.mark.parametrize("k", KS)
+    def test_matches_dense_oracle(self, any_matrix, rng, k):
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(
+            fbmpk_unfused(split_ldu(any_matrix), x, k),
+            mpk_reference_dense(any_matrix, x, k),
+            rtol=1e-9, atol=1e-11,
+        )
+
+    def test_on_iterate_matches_reference(self, small_sym, rng):
+        x = rng.standard_normal(small_sym.n_rows)
+        part = split_ldu(small_sym)
+        ref_seq, unf_seq = {}, {}
+        fbmpk_reference(part, x, 4,
+                        on_iterate=lambda i, xi: ref_seq.setdefault(i, xi))
+        fbmpk_unfused(part, x, 4,
+                      on_iterate=lambda i, xi: unf_seq.setdefault(i, xi))
+        assert sorted(ref_seq) == sorted(unf_seq)
+        for i in ref_seq:
+            np.testing.assert_allclose(ref_seq[i], unf_seq[i],
+                                       rtol=1e-9, atol=1e-12)
+
+
+class TestSweepGroups:
+    def test_levels_groups_valid(self, any_matrix):
+        part = split_ldu(any_matrix)
+        groups = make_sweep_groups_levels(part)
+        assert check_sweep_groups(part, groups)
+        assert groups.origin == "levels"
+
+    @pytest.mark.parametrize("block_size", [1, 4, 16])
+    def test_abmc_groups_valid(self, any_matrix, block_size):
+        ordering = abmc_ordering(any_matrix, block_size=block_size)
+        reordered = permute_symmetric(any_matrix, ordering.perm)
+        part = split_ldu(reordered)
+        groups = make_sweep_groups_abmc(ordering)
+        assert check_sweep_groups(part, groups)
+
+    def test_groups_partition_rows(self, small_sym):
+        part = split_ldu(small_sym)
+        groups = make_sweep_groups_levels(part)
+        fw = np.concatenate(groups.forward)
+        assert sorted(fw.tolist()) == list(range(small_sym.n_rows))
+        bw = np.concatenate(groups.backward)
+        assert sorted(bw.tolist()) == list(range(small_sym.n_rows))
+
+    def test_invalid_groups_rejected(self, small_sym):
+        part = split_ldu(small_sym)
+        n = small_sym.n_rows
+        # Single forward group: every L dependency becomes intra-group.
+        bad = SweepGroups(
+            forward=[np.arange(n)],
+            backward=make_sweep_groups_levels(part).backward,
+            origin="test",
+        )
+        assert not check_sweep_groups(part, bad)
+        with pytest.raises(ValueError, match="invalid sweep groups"):
+            FBMPKOperator(part, bad)
+
+    def test_overlapping_groups_rejected(self, small_sym):
+        part = split_ldu(small_sym)
+        good = make_sweep_groups_levels(part)
+        overlapping = SweepGroups(
+            forward=good.forward + [good.forward[0]],
+            backward=good.backward,
+            origin="test",
+        )
+        assert not check_sweep_groups(part, overlapping)
+
+    def test_incomplete_groups_rejected(self, small_sym):
+        part = split_ldu(small_sym)
+        good = make_sweep_groups_levels(part)
+        incomplete = SweepGroups(forward=good.forward[:-1],
+                                 backward=good.backward, origin="test")
+        assert not check_sweep_groups(part, incomplete)
+
+
+class TestFused:
+    @pytest.mark.parametrize("strategy,block_size", [
+        ("abmc", 1), ("abmc", 4), ("abmc", 32), ("levels", 1),
+    ])
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 5, 6])
+    def test_matches_dense_oracle(self, any_matrix, rng, strategy,
+                                  block_size, k):
+        op = build_fbmpk_operator(any_matrix, strategy=strategy,
+                                  block_size=block_size)
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(
+            op.power(x, k), mpk_reference_dense(any_matrix, x, k),
+            rtol=1e-9, atol=1e-11,
+        )
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 6])
+    def test_access_counts_match_plan(self, small_sym, rng, k):
+        op = build_fbmpk_operator(small_sym, strategy="abmc", block_size=1)
+        counter = KernelCounter()
+        op.power(rng.standard_normal(small_sym.n_rows), k, counter=counter)
+        plan = fbmpk_plan(k)
+        assert counter.l_passes == plan.l_passes
+        assert counter.u_passes == plan.u_passes
+        # The entry counters must cover every stored entry exactly
+        # pass-many times.
+        assert counter.l_entries == plan.l_passes * op.part.lower.nnz
+        assert counter.u_entries == plan.u_passes * op.part.upper.nnz
+
+    def test_on_iterate_in_original_numbering(self, small_sym, rng):
+        op = build_fbmpk_operator(small_sym, strategy="abmc", block_size=1)
+        x = rng.standard_normal(small_sym.n_rows)
+        seen = {}
+        op.power(x, 4, on_iterate=lambda i, xi: seen.setdefault(i, xi))
+        for i, xi in seen.items():
+            np.testing.assert_allclose(
+                xi, mpk_reference_dense(small_sym, x, i),
+                rtol=1e-9, atol=1e-11,
+            )
+
+    def test_fbmpk_fused_wrapper(self, grid, rng):
+        part = split_ldu(grid)
+        groups = make_sweep_groups_levels(part)
+        x = rng.standard_normal(grid.n_rows)
+        np.testing.assert_allclose(
+            fbmpk_fused(part, groups, x, 3),
+            mpk_reference_dense(grid, x, 3), rtol=1e-9, atol=1e-11,
+        )
+
+    def test_barriers_per_pair(self, small_sym):
+        op = build_fbmpk_operator(small_sym, strategy="abmc", block_size=1)
+        assert op.barriers_per_pair() == \
+            op.groups.n_forward + op.groups.n_backward
+
+    def test_power_input_validation(self, grid):
+        op = build_fbmpk_operator(grid, strategy="levels")
+        with pytest.raises(ValueError):
+            op.power(np.zeros(grid.n_rows), -2)
+        with pytest.raises(ValueError):
+            op.power(np.zeros(grid.n_rows + 1), 2)
+
+    def test_build_rejects_nonsquare(self):
+        from repro.sparse import CSRMatrix
+
+        with pytest.raises(ValueError, match="square"):
+            build_fbmpk_operator(CSRMatrix.zeros((2, 3)))
+
+    def test_build_rejects_unknown_strategy(self, grid):
+        with pytest.raises(ValueError, match="strategy"):
+            build_fbmpk_operator(grid, strategy="magic")
+
+    def test_repeated_use_is_consistent(self, small_sym, rng):
+        """The operator is reusable: repeated calls with different
+        vectors give independent, correct results (no state leaks)."""
+        op = build_fbmpk_operator(small_sym, strategy="abmc", block_size=1)
+        for seed in range(3):
+            x = np.random.default_rng(seed).standard_normal(small_sym.n_rows)
+            np.testing.assert_allclose(
+                op.power(x, 3), mpk_reference_dense(small_sym, x, 3),
+                rtol=1e-9, atol=1e-11,
+            )
+
+    def test_input_not_mutated(self, grid, rng):
+        op = build_fbmpk_operator(grid, strategy="abmc", block_size=1)
+        x = rng.standard_normal(grid.n_rows)
+        x_copy = x.copy()
+        op.power(x, 5)
+        np.testing.assert_array_equal(x, x_copy)

@@ -1,0 +1,129 @@
+"""Unit tests for the standard MPK, the access plan, and generic SSpMV."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpk import mpk_reference_dense, mpk_standard, mpk_standard_all
+from repro.core.plan import AccessPlan, fbmpk_plan, standard_plan, theoretical_ratio
+from repro.core.sspmv import SSpMVProblem, sspmv_fbmpk, sspmv_standard
+from repro.core.fbmpk import build_fbmpk_operator
+from repro.sparse.spmv import spmv_scalar, spmv_scipy
+
+
+class TestStandardMPK:
+    @pytest.mark.parametrize("k", [0, 1, 3, 6])
+    def test_matches_dense(self, any_matrix, rng, k):
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(mpk_standard(any_matrix, x, k),
+                                   mpk_reference_dense(any_matrix, x, k),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_kernel_plumbing(self, grid, rng):
+        x = rng.standard_normal(grid.n_rows)
+        for kernel in (spmv_scalar, spmv_scipy):
+            np.testing.assert_allclose(
+                mpk_standard(grid, x, 2, kernel=kernel),
+                mpk_reference_dense(grid, x, 2), rtol=1e-9, atol=1e-11)
+
+    def test_sequence(self, grid, rng):
+        x = rng.standard_normal(grid.n_rows)
+        seq = mpk_standard_all(grid, x, 3)
+        assert len(seq) == 4
+        np.testing.assert_array_equal(seq[0], x)
+        for i, xi in enumerate(seq):
+            np.testing.assert_allclose(xi, mpk_reference_dense(grid, x, i),
+                                       rtol=1e-9, atol=1e-11)
+
+    def test_negative_k_rejected(self, grid):
+        with pytest.raises(ValueError):
+            mpk_standard(grid, np.zeros(grid.n_rows), -1)
+        with pytest.raises(ValueError):
+            mpk_standard_all(grid, np.zeros(grid.n_rows), -1)
+
+
+class TestAccessPlan:
+    @pytest.mark.parametrize("k,l,u", [
+        # Section III-B: even k -> U: k/2+1, L: k/2; odd k -> both (k+1)/2.
+        (1, 1, 1), (2, 1, 2), (3, 2, 2), (4, 2, 3), (5, 3, 3),
+        (6, 3, 4), (7, 4, 4), (8, 4, 5), (9, 5, 5),
+    ])
+    def test_fbmpk_pass_counts(self, k, l, u):
+        plan = fbmpk_plan(k)
+        assert (plan.l_passes, plan.u_passes) == (l, u)
+
+    @pytest.mark.parametrize("k", range(1, 10))
+    def test_matrix_equivalents_are_half_k_plus_one(self, k):
+        assert fbmpk_plan(k).matrix_equivalents == pytest.approx((k + 1) / 2)
+        assert standard_plan(k).matrix_equivalents == pytest.approx(k)
+
+    @pytest.mark.parametrize("k", range(1, 10))
+    def test_theoretical_ratio(self, k):
+        assert theoretical_ratio(k) == pytest.approx((k + 1) / (2 * k))
+        assert fbmpk_plan(k).matrix_equivalents \
+            / standard_plan(k).matrix_equivalents \
+            == pytest.approx(theoretical_ratio(k))
+
+    def test_weighted_equivalents(self):
+        plan = AccessPlan(method="x", k=2, l_passes=1, u_passes=2,
+                          d_passes=2)
+        # l_nnz=10, u_nnz=20, d=5, total=35: (1*10 + 2*20 + 2*5)/35.
+        assert plan.weighted_equivalents(10, 20, 5, 35) \
+            == pytest.approx(60 / 35)
+        assert plan.weighted_equivalents(10, 20, 5, 0) == 0.0
+
+    def test_k0_and_errors(self):
+        assert fbmpk_plan(0).matrix_equivalents == 0.0
+        with pytest.raises(ValueError):
+            fbmpk_plan(-1)
+        with pytest.raises(ValueError):
+            standard_plan(-1)
+        with pytest.raises(ValueError):
+            theoretical_ratio(0)
+
+
+class TestSSpMV:
+    def _dense_poly(self, a, x, alphas):
+        dense = a.to_dense()
+        acc = np.zeros_like(x)
+        xi = x.copy()
+        for alpha in alphas:
+            acc += alpha * xi
+            xi = dense @ xi
+        return acc
+
+    @pytest.mark.parametrize("alphas", [
+        [1.0], [0.0, 1.0], [1.0, 2.0, 0.5], [1.0, 0.0, 0.0, -0.25],
+        [0.5, -1.0, 2.0, 0.0, 0.125, 1.0],
+    ])
+    def test_standard_and_fbmpk_match_dense(self, small_sym, rng, alphas):
+        x = rng.standard_normal(small_sym.n_rows)
+        expected = self._dense_poly(small_sym, x, alphas)
+        np.testing.assert_allclose(sspmv_standard(small_sym, x, alphas),
+                                   expected, rtol=1e-9, atol=1e-11)
+        op = build_fbmpk_operator(small_sym, strategy="abmc", block_size=1)
+        np.testing.assert_allclose(sspmv_fbmpk(op, x, alphas),
+                                   expected, rtol=1e-9, atol=1e-11)
+
+    def test_paper_intro_example(self, grid, rng):
+        """The paper's introduction example: A^2 x + A x."""
+        x = rng.standard_normal(grid.n_rows)
+        op = build_fbmpk_operator(grid, strategy="levels")
+        y = sspmv_fbmpk(op, x, [0.0, 1.0, 1.0])
+        dense = grid.to_dense()
+        np.testing.assert_allclose(y, dense @ x + dense @ (dense @ x),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_empty_alphas_rejected(self, grid):
+        with pytest.raises(ValueError):
+            sspmv_standard(grid, np.zeros(grid.n_rows), [])
+
+    def test_problem_wrapper(self, small_unsym, rng):
+        prob = SSpMVProblem(small_unsym, strategy="abmc", block_size=1)
+        x = rng.standard_normal(small_unsym.n_rows)
+        alphas = [1.0, -0.5, 0.25]
+        np.testing.assert_allclose(prob.evaluate(x, alphas),
+                                   prob.evaluate_baseline(x, alphas),
+                                   rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(
+            prob.power(x, 3), mpk_reference_dense(small_unsym, x, 3),
+            rtol=1e-9, atol=1e-11)

@@ -1,0 +1,79 @@
+"""Unit tests for the A = L + D + U partition (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import split_ldu
+from repro.sparse import CSRMatrix
+
+
+def test_split_shapes_and_triangularity(any_matrix):
+    part = split_ldu(any_matrix)
+    n = any_matrix.n_rows
+    assert part.n == n
+    # Strict triangularity of the parts.
+    rows_l = np.repeat(np.arange(n), part.lower.row_nnz())
+    assert (part.lower.indices < rows_l).all()
+    rows_u = np.repeat(np.arange(n), part.upper.row_nnz())
+    assert (part.upper.indices > rows_u).all()
+
+
+def test_split_reassembles_exactly(any_matrix):
+    part = split_ldu(any_matrix)
+    np.testing.assert_array_equal(part.reassemble().to_dense(),
+                                  any_matrix.to_dense())
+
+
+def test_partition_matvec(any_matrix, rng):
+    part = split_ldu(any_matrix)
+    x = rng.standard_normal(any_matrix.n_cols)
+    np.testing.assert_allclose(part.matvec(x), any_matrix.matvec(x),
+                               rtol=1e-12, atol=1e-13)
+
+
+def test_nnz_conservation(any_matrix):
+    part = split_ldu(any_matrix)
+    n_diag_stored = int(np.count_nonzero(any_matrix.diagonal()))
+    assert part.lower.nnz + part.upper.nnz + n_diag_stored \
+        == any_matrix.sort_indices().nnz
+
+
+def test_diagonal_extraction():
+    dense = np.array([[2.0, 1.0], [0.0, -3.0]])
+    part = split_ldu(CSRMatrix.from_dense(dense))
+    np.testing.assert_array_equal(part.diag, [2.0, -3.0])
+
+
+def test_missing_diagonal_entries_become_zero():
+    dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+    part = split_ldu(CSRMatrix.from_dense(dense))
+    np.testing.assert_array_equal(part.diag, [0.0, 0.0])
+    np.testing.assert_array_equal(part.reassemble().to_dense(), dense)
+
+
+def test_requires_square():
+    a = CSRMatrix.zeros((2, 3))
+    with pytest.raises(ValueError, match="square"):
+        split_ldu(a)
+
+
+class TestStorageReport:
+    def test_table4_formulas(self, small_sym):
+        part = split_ldu(small_sym)
+        r = part.storage_report()
+        n, nnz = small_sym.n_rows, small_sym.nnz
+        assert r.csr_col_ind == r.csr_values == nnz
+        assert r.csr_row_ptr == n + 1
+        assert r.csr_d == 0
+        assert r.ldu_row_ptr == 2 * (n + 1)
+        assert r.ldu_d == n
+        assert r.ldu_col_ind == r.ldu_values == part.lower.nnz + part.upper.nnz
+
+    def test_overhead_near_one(self, any_matrix):
+        ratio = split_ldu(any_matrix).storage_report().overhead_ratio()
+        assert 0.85 < ratio < 1.15
+
+    def test_as_rows_structure(self, grid):
+        rows = split_ldu(grid).storage_report().as_rows()
+        assert set(rows) == {"CSR", "L+U+d"}
+        assert set(rows["CSR"]) == {"col_ind", "row_ptr", "values", "d"}

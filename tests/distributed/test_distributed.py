@@ -1,0 +1,134 @@
+"""Unit tests for the distributed-memory MPK substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.mpk import mpk_reference_dense
+from repro.distributed import (
+    CommStats,
+    RowPartition,
+    distributed_mpk,
+    distributed_mpk_ca,
+    distributed_spmv,
+    partition_rows,
+)
+from repro.matrices import banded_random, poisson2d
+from repro.sparse import CSRMatrix
+
+
+class TestPartition:
+    def test_blocks_tile_rows(self, small_sym):
+        part = partition_rows(small_sym, 4)
+        assert part.blocks[0].row_start == 0
+        assert part.blocks[-1].row_stop == small_sym.n_rows
+        total = sum(b.n_local for b in part.blocks)
+        assert total == small_sym.n_rows
+
+    def test_halo_is_off_rank_only(self, small_sym):
+        part = partition_rows(small_sym, 3)
+        for b in part.blocks:
+            assert not ((b.halo_cols >= b.row_start)
+                        & (b.halo_cols < b.row_stop)).any()
+
+    def test_owner_of(self, small_sym):
+        part = partition_rows(small_sym, 4)
+        for b in part.blocks:
+            mid = (b.row_start + b.row_stop) // 2
+            assert part.owner_of(np.array([mid]))[0] == b.rank
+            assert b.owns(mid)
+
+    def test_halo_expansion_grows_monotonically(self, small_sym):
+        part = partition_rows(small_sym, 4)
+        sizes = [part.halo_expansion(1, h).size for h in range(4)]
+        assert sizes == sorted(sizes)
+        # hop 0 is exactly the owned range.
+        assert sizes[0] == part.blocks[1].n_local
+
+    def test_validation(self, small_sym):
+        with pytest.raises(ValueError):
+            partition_rows(small_sym, 0)
+        with pytest.raises(ValueError):
+            partition_rows(small_sym, small_sym.n_rows + 1)
+        with pytest.raises(ValueError):
+            partition_rows(CSRMatrix.zeros((2, 3)), 1)
+        part = partition_rows(small_sym, 2)
+        with pytest.raises(ValueError):
+            part.halo_expansion(0, -1)
+
+
+class TestSPMD:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 5])
+    def test_spmv_matches_serial(self, any_matrix, rng, n_ranks):
+        part = partition_rows(any_matrix, n_ranks)
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(distributed_spmv(part, x),
+                                   any_matrix.matvec(x),
+                                   rtol=1e-12, atol=1e-13)
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 4, 5])
+    @pytest.mark.parametrize("n_ranks", [2, 4])
+    def test_both_strategies_match_serial_mpk(self, any_matrix, rng, k,
+                                              n_ranks):
+        part = partition_rows(any_matrix, n_ranks)
+        x = rng.standard_normal(any_matrix.n_rows)
+        ref = mpk_reference_dense(any_matrix, x, k)
+        y_std, _ = distributed_mpk(part, x, k)
+        y_ca, _ = distributed_mpk_ca(part, x, k)
+        np.testing.assert_allclose(y_std, ref, rtol=1e-9, atol=1e-11)
+        np.testing.assert_allclose(y_ca, ref, rtol=1e-9, atol=1e-11)
+
+    def test_round_counts(self, small_sym, rng):
+        part = partition_rows(small_sym, 4)
+        x = rng.standard_normal(small_sym.n_rows)
+        _, s_std = distributed_mpk(part, x, 5)
+        _, s_ca = distributed_mpk_ca(part, x, 5)
+        assert s_std.rounds == 5
+        assert s_ca.rounds == 1
+
+    def test_ca_trades_volume_and_flops_for_rounds(self, rng):
+        a = banded_random(300, 6, 5, symmetric=True, seed=2)
+        part = partition_rows(a, 4)
+        x = rng.standard_normal(a.n_rows)
+        _, s_std = distributed_mpk(part, x, 6)
+        _, s_ca = distributed_mpk_ca(part, x, 6)
+        # CA pays redundant work and a (mildly) larger single shipment…
+        assert s_ca.redundant_flops > 0
+        assert s_ca.volume_doubles >= s_std.volume_doubles / 6
+        # …to win on latency-dominated links.
+        latency_heavy = dict(latency_s=1e-4, bw_doubles_per_s=1.25e9)
+        assert s_ca.time_seconds(**latency_heavy) \
+            < s_std.time_seconds(**latency_heavy)
+
+    def test_expander_defeats_ca_volume(self, rng):
+        """On a fast-expanding graph the k-hop ghost zone approaches the
+        whole vector, so CA's single shipment outweighs the standard
+        method's k thin exchanges — the structural limit of
+        communication avoidance (stencil-like matrices are where it
+        wins, cf. the paper's [46])."""
+        a = banded_random(240, 8, 120, symmetric=True, seed=7)  # wide band
+        part = partition_rows(a, 4)
+        x = rng.standard_normal(a.n_rows)
+        k = 4
+        _, s_std = distributed_mpk(part, x, k)
+        _, s_ca = distributed_mpk_ca(part, x, k)
+        # The k-hop halo has blown up to (almost) everything…
+        assert s_ca.volume_doubles > 0.5 * s_std.volume_doubles
+        # …while on a narrow band CA ships no more than the standard
+        # method's total.
+        banded = banded_random(240, 6, 4, symmetric=True, seed=8)
+        part_b = partition_rows(banded, 4)
+        _, b_std = distributed_mpk(part_b, x, k)
+        _, b_ca = distributed_mpk_ca(part_b, x, k)
+        assert b_ca.volume_doubles <= b_std.volume_doubles * 1.2
+
+    def test_stats_time_model(self):
+        s = CommStats(rounds=2, messages=4, volume_doubles=1000)
+        assert s.time_seconds(latency_s=1e-3, bw_doubles_per_s=1e6) \
+            == pytest.approx(2e-3 + 1e-3)
+
+    def test_negative_k_rejected(self, grid):
+        part = partition_rows(grid, 2)
+        with pytest.raises(ValueError):
+            distributed_mpk(part, np.zeros(grid.n_rows), -1)
+        with pytest.raises(ValueError):
+            distributed_mpk_ca(part, np.zeros(grid.n_rows), -1)

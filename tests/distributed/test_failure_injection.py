@@ -1,0 +1,57 @@
+"""Failure-injection tests: the SPMD simulator's guard rails must catch
+under-provisioned communication instead of silently computing garbage."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import partition_rows
+from repro.distributed.spmd import _exchange, CommStats, distributed_mpk_ca
+from repro.matrices import banded_random
+
+
+@pytest.fixture()
+def setup():
+    a = banded_random(120, 5, 6, symmetric=True, seed=3)
+    part = partition_rows(a, 3)
+    x = np.random.default_rng(0).standard_normal(a.n_rows)
+    return a, part, x
+
+
+def test_truncated_ghost_zone_is_caught(setup, monkeypatch):
+    """If the CA exchange ships a too-shallow ghost zone, the NaN guard
+    must fire rather than produce a wrong answer."""
+    a, part, x = setup
+    real_expansion = part.halo_expansion
+
+    def truncated(rank, hops):
+        # Ship only the 1-hop zone no matter how deep the request.
+        return real_expansion(rank, min(hops, 1))
+
+    monkeypatch.setattr(part, "halo_expansion", truncated)
+    with pytest.raises(AssertionError, match="ghost zone too small"):
+        distributed_mpk_ca(part, x, 4)
+
+
+def test_exchange_marks_unreceived_entries_nan(setup):
+    a, part, x = setup
+    stats = CommStats()
+    views = _exchange(part, x, [np.empty(0, dtype=np.int64)
+                                for _ in part.blocks], stats)
+    for block, view in zip(part.blocks, views):
+        own = view[block.row_start:block.row_stop]
+        assert not np.isnan(own).any()
+        outside = np.delete(view,
+                            np.arange(block.row_start, block.row_stop))
+        if outside.size:
+            assert np.isnan(outside).all()
+
+
+def test_exchange_accounting(setup):
+    a, part, x = setup
+    stats = CommStats()
+    needed = [b.halo_cols for b in part.blocks]
+    _exchange(part, x, needed, stats)
+    assert stats.rounds == 1
+    assert stats.volume_doubles == sum(b.halo_size for b in part.blocks)
+    # Every rank with a nonempty halo sends at least one message.
+    assert stats.messages >= sum(1 for b in part.blocks if b.halo_size)

@@ -1,0 +1,59 @@
+"""Integration tests for the ``python -m repro.bench`` runner and the
+API-doc generator tool."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestBenchRunner:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig7", "fig9", "table1"):
+            assert key in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "FT 2000+" in out and "None" in out  # FT has no L3
+
+    def test_fig9_with_reference_rows(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "mean (paper)" in out and "theory" not in out.lower() \
+            or "mean (model)" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig12",
+        }
+
+    def test_every_experiment_runs(self, capsys):
+        for name, fn in EXPERIMENTS.items():
+            out = fn()
+            assert isinstance(out, str) and len(out) > 50, name
+
+
+class TestApiDocTool:
+    def test_run_via_runpy(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "argv", ["gen_api_docs.py"])
+        with pytest.raises(SystemExit) as exc:
+            runpy.run_path("tools/gen_api_docs.py", run_name="__main__")
+        assert exc.value.code == 0
+        assert "api.md" in capsys.readouterr().out
+
+
+def test_api_doc_file_current():
+    """docs/api.md exists and mentions the headline classes."""
+    text = open("docs/api.md").read()
+    for name in ("FBMPKOperator", "CSRMatrix", "abmc_ordering",
+                 "predict_speedup", "MultilevelAMG"):
+        assert name in text, name

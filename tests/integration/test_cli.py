@@ -1,0 +1,86 @@
+"""Integration tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.matrices import generate_standin
+from repro.sparse import read_matrix_market, write_matrix_market
+
+
+@pytest.fixture()
+def mtx_file(tmp_path):
+    a = generate_standin("pwtk", n_rows=800)
+    path = tmp_path / "m.mtx"
+    write_matrix_market(a, str(path))
+    return str(path)
+
+
+def test_info_standin(capsys):
+    assert main(["info", "--standin", "G3_circuit", "--rows", "900"]) == 0
+    out = capsys.readouterr().out
+    assert "bandwidth" in out and "symmetric pattern" in out
+
+
+def test_info_file(mtx_file, capsys):
+    assert main(["info", mtx_file]) == 0
+    assert "nnz" in capsys.readouterr().out
+
+
+def test_power_methods_agree(mtx_file, capsys):
+    checksums = {}
+    for method in ("fbmpk", "standard", "mkl", "lbmpk", "explicit"):
+        assert main(["power", mtx_file, "-k", "4", "--method", method,
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        checksums[method] = out.split("checksum = ")[1].split()[0]
+    values = {float(v) for v in checksums.values()}
+    ref = float(checksums["standard"])
+    for v in values:
+        assert v == pytest.approx(ref, rel=1e-9)
+
+
+def test_power_reports_pass_counts(mtx_file, capsys):
+    assert main(["power", mtx_file, "-k", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "L x3, U x4" in out
+
+
+def test_preprocess_then_power(mtx_file, tmp_path, capsys):
+    op_path = str(tmp_path / "op.npz")
+    assert main(["preprocess", mtx_file, "-o", op_path]) == 0
+    assert "saved to" in capsys.readouterr().out
+    assert main(["power", "--operator", op_path, "-k", "5",
+                 "--seed", "3"]) == 0
+    out_op = capsys.readouterr().out
+    assert main(["power", mtx_file, "-k", "5", "--method", "standard",
+                 "--seed", "3"]) == 0
+    out_std = capsys.readouterr().out
+    c1 = float(out_op.split("checksum = ")[1].split()[0])
+    c2 = float(out_std.split("checksum = ")[1].split()[0])
+    assert c1 == pytest.approx(c2, rel=1e-9)
+
+
+@pytest.mark.parametrize("method", ["abmc", "rcm"])
+def test_reorder_roundtrip(mtx_file, tmp_path, capsys, method):
+    out_path = str(tmp_path / "re.mtx")
+    assert main(["reorder", mtx_file, "-o", out_path,
+                 "--method", method]) == 0
+    assert "bandwidth" in capsys.readouterr().out
+    original = read_matrix_market(mtx_file).to_csr()
+    reordered = read_matrix_market(out_path).to_csr()
+    assert reordered.nnz == original.nnz
+    # Symmetric permutation preserves the spectrum's trace.
+    assert float(reordered.diagonal().sum()) \
+        == pytest.approx(float(original.diagonal().sum()), rel=1e-12)
+
+
+def test_predict(capsys):
+    assert main(["predict", "cant"]) == 0
+    out = capsys.readouterr().out
+    assert "FT 2000+" in out and "speedup vs k" in out
+
+
+def test_missing_matrix_argument():
+    with pytest.raises(SystemExit):
+        main(["info"])

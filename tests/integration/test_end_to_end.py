@@ -1,0 +1,126 @@
+"""Integration tests: full workflows across subsystem boundaries."""
+
+import runpy
+import sys
+
+import numpy as np
+import pytest
+
+from repro import build_fbmpk_operator, mpk_standard
+from repro.baselines import LevelBlockedMPK, MklLikeMPK
+from repro.core.partition import split_ldu
+from repro.matrices import TABLE2, generate_standin
+from repro.memsim import (
+    CacheConfig,
+    MemoryHierarchy,
+    MatrixTrafficStats,
+    trace_mpk_standard,
+    traffic_ratio,
+)
+from repro.machine import PLATFORMS, predict_speedup
+from repro.parallel import block_cost_model, build_phases, simulate_phases
+from repro.reorder import abmc_ordering, permute_symmetric
+from repro.solvers import conjugate_gradient, gershgorin_bounds
+
+
+@pytest.mark.parametrize("name", ["cant", "G3_circuit", "cage14", "pwtk"])
+def test_standin_through_all_pipelines(name, rng):
+    """Registry stand-in -> every MPK pipeline agrees."""
+    a = generate_standin(name, n_rows=2500)
+    x = rng.standard_normal(a.n_rows)
+    k = 5
+    reference = mpk_standard(a, x, k)
+    op = build_fbmpk_operator(a, strategy="abmc", block_size=1)
+    np.testing.assert_allclose(op.power(x, k), reference,
+                               rtol=1e-8, atol=1e-10)
+    np.testing.assert_allclose(MklLikeMPK(a).power(x, k), reference,
+                               rtol=1e-8, atol=1e-10)
+    np.testing.assert_allclose(LevelBlockedMPK(a).power(x, k), reference,
+                               rtol=1e-8, atol=1e-10)
+
+
+def test_reordered_operator_feeds_solver(rng):
+    """ABMC-preprocessed operator inside a solver loop: CG on the
+    original numbering, with spectrum bounds from the same matrix."""
+    a = generate_standin("G3_circuit", n_rows=2500)
+    lo, hi = gershgorin_bounds(a)
+    assert lo >= -1e-9  # generators produce (near-)SPD matrices
+    x_true = rng.standard_normal(a.n_rows)
+    res = conjugate_gradient(a, a.matvec(x_true), tol=1e-10)
+    assert res.converged
+    np.testing.assert_allclose(res.x, x_true, rtol=1e-5, atol=1e-7)
+
+
+def test_model_and_simulation_agree_on_direction():
+    """The analytic model and the trace-driven simulator agree that
+    FBMPK reduces traffic, across two structurally different inputs."""
+    from repro.core.plan import theoretical_ratio
+
+    for name in ("cant", "pwtk"):
+        a = generate_standin(name, n_rows=500)
+        stats = MatrixTrafficStats.from_csr(a)
+        analytic = traffic_ratio(stats, 6, cache_bytes=8 * 1024)
+        assert theoretical_ratio(6) - 0.05 < analytic < 1.1
+
+
+def test_schedule_simulation_from_real_ordering():
+    """ABMC ordering -> phases -> simulated run on a platform model."""
+    a = generate_standin("shipsec1", n_rows=3000)
+    o = abmc_ordering(a, block_size=32)
+    part = split_ldu(permute_symmetric(a, o.perm))
+    phases = build_phases(o, part.lower)
+    for p in PLATFORMS:
+        run = simulate_phases(phases, 8, block_cost_model(p, 8),
+                              barrier_s=p.barrier_seconds(8))
+        assert run.total_time > 0
+        assert 0 < run.efficiency <= 1.0
+
+
+def test_full_figure_pipeline_smoke():
+    """Paper-scale stats -> model predictions for every platform/matrix
+    pair produce finite, positive speedups."""
+    for m in TABLE2:
+        stats = m.traffic_stats()
+        for p in PLATFORMS:
+            s = predict_speedup(p, stats, k=5)
+            assert np.isfinite(s) and s > 0.3
+
+
+class TestExamples:
+    """The shipped examples run end to end (reduced problem sizes)."""
+
+    def _run(self, path, argv, monkeypatch):
+        monkeypatch.setattr(sys, "argv", [path] + argv)
+        runpy.run_path(path, run_name="__main__")
+
+    def test_quickstart(self, monkeypatch, capsys):
+        self._run("examples/quickstart.py", ["2000", "4"], monkeypatch)
+        out = capsys.readouterr().out
+        assert "done." in out
+
+    def test_eigensolver(self, monkeypatch, capsys):
+        self._run("examples/eigensolver_chebyshev.py", ["24"], monkeypatch)
+        assert "both pipelines agree" in capsys.readouterr().out
+
+    def test_multigrid(self, monkeypatch, capsys):
+        self._run("examples/multigrid_poisson.py", ["24"], monkeypatch)
+        assert "multigrid pipeline verified" in capsys.readouterr().out
+
+    def test_sstep(self, monkeypatch, capsys):
+        self._run("examples/sstep_krylov.py", ["1200", "3", "4"],
+                  monkeypatch)
+        assert "s-step pipeline verified" in capsys.readouterr().out
+
+    def test_platform_study(self, monkeypatch, capsys):
+        self._run("examples/platform_study.py", ["pwtk"], monkeypatch)
+        assert "dataset-wide average speedups" in capsys.readouterr().out
+
+    def test_distributed(self, monkeypatch, capsys):
+        self._run("examples/distributed_mpk.py", ["1500", "4", "4"],
+                  monkeypatch)
+        assert "distributed pipeline verified" in capsys.readouterr().out
+
+    def test_preconditioned_gmres(self, monkeypatch, capsys):
+        self._run("examples/preconditioned_gmres.py", ["1500", "3"],
+                  monkeypatch)
+        assert "preconditioned pipeline verified" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Deeper tests of platform/bandwidth/model mechanics."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    A64FX,
+    FT2000P,
+    KP920,
+    PLATFORMS,
+    THUNDERX2,
+    XEON_6230R,
+    get_platform,
+    predict_mpk_time,
+    predict_speedup,
+)
+from repro.memsim.traffic import MatrixTrafficStats, TrafficParams
+
+STATS = MatrixTrafficStats(n=1_000_000, nnz=50_000_000, bandwidth=10_000)
+
+
+class TestBandwidthMechanics:
+    def test_single_node_gating_on_ft(self):
+        """4 compact threads on FT 2000+ see only one NUMA link."""
+        node_bw = FT2000P.stream_bw_gbs / FT2000P.numa_nodes
+        bw4 = FT2000P.bandwidth_bytes_per_s(4) / 1e9
+        assert bw4 <= node_bw * FT2000P.numa_penalty + 1e-9
+
+    def test_spawned_threads_open_links(self):
+        """Idle-but-spawned threads keep their nodes' links active."""
+        active_only = FT2000P.bandwidth_bytes_per_s(8)
+        with_spawned = FT2000P.bandwidth_bytes_per_s(8, spawned=64)
+        assert with_spawned > active_only
+
+    def test_spawned_never_below_threads(self):
+        # spawned < threads is clamped up.
+        a = FT2000P.bandwidth_bytes_per_s(16, spawned=2)
+        b = FT2000P.bandwidth_bytes_per_s(16)
+        assert a == b
+
+    def test_single_numa_platforms_unaffected(self):
+        for p in (THUNDERX2, KP920):
+            assert p.bandwidth_bytes_per_s(4, spawned=p.cores) \
+                == p.bandwidth_bytes_per_s(4)
+
+    def test_thread_clamping(self):
+        assert FT2000P.bandwidth_bytes_per_s(0) \
+            == FT2000P.bandwidth_bytes_per_s(1)
+        assert FT2000P.bandwidth_bytes_per_s(1000) \
+            == FT2000P.bandwidth_bytes_per_s(64)
+
+    def test_a64fx_registry(self):
+        assert get_platform("A64FX (what-if)") is A64FX
+        assert A64FX.stream_bw_gbs > 2.5 * max(p.stream_bw_gbs
+                                               for p in PLATFORMS)
+
+
+class TestModelConsistency:
+    def test_more_threads_never_slower_baseline(self):
+        for p in PLATFORMS:
+            times = [predict_mpk_time(p, STATS, 5, threads=t,
+                                      method="standard").total
+                     for t in (1, 2, 4, 8, 16)]
+            assert all(b <= a * 1.001 for a, b in zip(times, times[1:])), \
+                (p.name, times)
+
+    def test_time_scales_with_matrix_size(self):
+        small = MatrixTrafficStats(n=10_000, nnz=500_000, bandwidth=500)
+        t_small = predict_mpk_time(XEON_6230R, small, 5).total
+        t_big = predict_mpk_time(XEON_6230R, STATS, 5).total
+        assert t_big > 10 * t_small
+
+    def test_time_scales_with_k(self):
+        t3 = predict_mpk_time(FT2000P, STATS, 3).total
+        t9 = predict_mpk_time(FT2000P, STATS, 9).total
+        assert 2.0 < t9 / t3 < 4.0  # ~3x the passes, plus fixed costs
+
+    def test_custom_traffic_params_plumbed(self):
+        fat_indices = TrafficParams(index_bytes=8)
+        t_fat = predict_mpk_time(FT2000P, STATS, 5, params=fat_indices)
+        t_std = predict_mpk_time(FT2000P, STATS, 5)
+        assert t_fat.t_memory > t_std.t_memory
+
+    def test_speedup_threads_parameter(self):
+        s1 = predict_speedup(FT2000P, STATS, 5, threads=1)
+        s64 = predict_speedup(FT2000P, STATS, 5, threads=64)
+        # FBMPK helps at any thread count on a big matrix.
+        assert s1 > 1.0 and s64 > 1.0
+
+    def test_platform_immutability(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FT2000P.cores = 128

@@ -1,0 +1,49 @@
+"""Unit tests for the SuiteSparse-or-standin loader."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.matrices.loader import find_matrix_file, load_matrix, suitesparse_dir
+from repro.sparse import write_matrix_market
+
+
+def test_no_env_falls_back_to_standin(monkeypatch):
+    monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SUITESSPARSE_DIR", raising=False)
+    assert suitesparse_dir() is None
+    a, source = load_matrix("pwtk", n_rows=1500)
+    assert source == "standin"
+    assert a.n_rows == 1500
+
+
+def test_real_file_preferred(monkeypatch, tmp_path):
+    fake = poisson2d(6, seed=3)
+    write_matrix_market(fake, str(tmp_path / "pwtk.mtx"))
+    monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+    assert find_matrix_file("pwtk") == tmp_path / "pwtk.mtx"
+    a, source = load_matrix("pwtk")
+    assert source == "suitesparse"
+    np.testing.assert_allclose(a.to_dense(), fake.to_dense())
+
+
+def test_nested_layout(monkeypatch, tmp_path):
+    nested = tmp_path / "cant"
+    nested.mkdir()
+    write_matrix_market(poisson2d(4), str(nested / "cant.mtx"))
+    monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+    assert find_matrix_file("cant") == nested / "cant.mtx"
+    _, source = load_matrix("cant")
+    assert source == "suitesparse"
+
+
+def test_missing_file_falls_back(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SUITESPARSE_DIR", str(tmp_path))
+    a, source = load_matrix("ldoor", n_rows=1200)
+    assert source == "standin"
+
+
+def test_unknown_name_rejected(monkeypatch):
+    monkeypatch.delenv("REPRO_SUITESPARSE_DIR", raising=False)
+    with pytest.raises(KeyError):
+        load_matrix("not_a_matrix")

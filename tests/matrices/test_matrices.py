@@ -1,0 +1,167 @@
+"""Unit tests for synthetic generators and the Table II registry."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    TABLE2,
+    banded_random,
+    generate_cage_digraph,
+    generate_circuit,
+    generate_fem_shell,
+    generate_fem_solid,
+    generate_kkt,
+    generate_ship_structure,
+    generate_standin,
+    get_matrix_info,
+    list_matrix_names,
+    poisson2d,
+    poisson3d,
+    stencil27,
+)
+from repro.matrices.synth import random_rectangular
+from repro.sparse.csr import reduce_rows
+
+
+def assert_well_conditioned(a):
+    """Generator contract: full diagonal, diagonally dominant rows,
+    infinity norm <= 1 (so powers stay bounded)."""
+    n = a.n_rows
+    diag = a.diagonal()
+    assert (diag > 0).all()
+    rows = np.repeat(np.arange(n, dtype=np.int64), a.row_nnz())
+    off = rows != a.indices
+    off_sum = reduce_rows(np.where(off, np.abs(a.data), 0.0), a.indptr)
+    assert (diag >= off_sum - 1e-12).all(), "not diagonally dominant"
+    row_abs = reduce_rows(np.abs(a.data), a.indptr)
+    assert row_abs.max() <= 1.0 + 1e-12
+
+
+class TestGrids:
+    def test_poisson2d_structure(self):
+        a = poisson2d(5)
+        assert a.shape == (25, 25)
+        # Interior nodes have 5 entries, corners 3.
+        assert a.row_nnz().max() == 5
+        assert a.row_nnz().min() == 3
+        assert a.is_symmetric(tol=1e-12)
+        assert_well_conditioned(a)
+
+    def test_poisson2d_rectangular_grid(self):
+        assert poisson2d(3, 7).shape == (21, 21)
+
+    def test_poisson3d(self):
+        a = poisson3d(4)
+        assert a.shape == (64, 64)
+        assert a.row_nnz().max() == 7
+        assert a.is_symmetric(tol=1e-12)
+        assert_well_conditioned(a)
+
+    def test_stencil27(self):
+        a = stencil27(4)
+        assert a.shape == (64, 64)
+        assert a.row_nnz().max() == 27
+        assert a.is_symmetric(tol=1e-12)
+
+    def test_determinism(self):
+        a1, a2 = poisson2d(6, seed=5), poisson2d(6, seed=5)
+        np.testing.assert_array_equal(a1.data, a2.data)
+        a3 = poisson2d(6, seed=6)
+        assert not np.array_equal(a1.data, a3.data)
+
+
+class TestBandedRandom:
+    @pytest.mark.parametrize("symmetric", [True, False])
+    def test_basic_contract(self, symmetric):
+        a = banded_random(300, 9, 20, symmetric=symmetric, seed=1)
+        assert a.shape == (300, 300)
+        assert a.is_symmetric(tol=1e-12) == symmetric
+        assert_well_conditioned(a)
+
+    def test_nnz_per_row_near_target(self):
+        a = banded_random(2000, 20, 200, symmetric=True, seed=2)
+        assert a.nnz / a.n_rows == pytest.approx(20, rel=0.5)
+
+    def test_bandwidth_respected_statistically(self):
+        from repro.reorder.rcm import matrix_bandwidth
+
+        narrow = banded_random(500, 7, 5, symmetric=True, seed=3)
+        wide = banded_random(500, 7, 100, symmetric=True, seed=3)
+        assert matrix_bandwidth(narrow) < matrix_bandwidth(wide)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            banded_random(0, 5, 5)
+
+    def test_random_rectangular(self):
+        b = random_rectangular(10, 40, 3.0, seed=4)
+        assert b.shape == (10, 40)
+        assert b.nnz == 30
+
+
+class TestDomainGenerators:
+    @pytest.mark.parametrize("gen,symmetric", [
+        (generate_fem_shell, True),
+        (generate_fem_solid, True),
+        (generate_ship_structure, True),
+        (generate_cage_digraph, False),
+    ])
+    def test_symmetry_contract(self, gen, symmetric):
+        a = gen(1500, seed=0)
+        assert a.is_symmetric(tol=1e-12) == symmetric
+        assert_well_conditioned(a)
+
+    def test_circuit_sparsity(self):
+        a = generate_circuit(2500, seed=0)
+        assert a.nnz / a.n_rows < 8  # G3_circuit-like: very sparse
+        assert a.is_symmetric(tol=1e-12)
+
+    def test_kkt_saddle_structure(self):
+        a = generate_kkt(1500, seed=0)
+        assert a.is_symmetric(tol=1e-12)
+        n_h = (2 * 1500) // 3
+        # The (constraint, constraint) block is diagonal-only.
+        dense = a.to_dense()
+        cc = dense[n_h:, n_h:]
+        off_diag = cc - np.diag(np.diag(cc))
+        assert np.abs(off_diag).max() == 0.0
+
+
+class TestRegistry:
+    def test_fourteen_entries_in_paper_order(self):
+        assert list_matrix_names()[0] == "af_shell10"
+        assert list_matrix_names()[-1] == "shipsec1"
+        assert len(TABLE2) == 14
+
+    def test_published_statistics(self):
+        audikw = get_matrix_info("audikw_1")
+        assert audikw.rows == 943_695
+        assert audikw.nnz_per_row == pytest.approx(82.28, abs=0.01)
+        g3 = get_matrix_info("G3_circuit")
+        assert g3.nnz_per_row == pytest.approx(4.83, abs=0.01)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            get_matrix_info("not_a_matrix")
+
+    def test_traffic_stats_scaling(self):
+        info = get_matrix_info("pwtk")
+        full = info.traffic_stats()
+        assert full.n == info.rows
+        assert full.nnz_per_row == pytest.approx(info.nnz_per_row, rel=1e-6)
+        small = info.traffic_stats(rows=10_000)
+        assert small.n == 10_000
+        assert small.nnz_per_row == pytest.approx(info.nnz_per_row, rel=1e-3)
+        assert small.bandwidth < full.bandwidth
+
+    @pytest.mark.parametrize("name", ["cant", "G3_circuit", "cage14"])
+    def test_standins_match_character(self, name):
+        info = get_matrix_info(name)
+        a = generate_standin(name, n_rows=4000)
+        assert a.is_symmetric(tol=1e-12) == info.symmetric
+        assert a.nnz / a.n_rows == pytest.approx(info.nnz_per_row, rel=0.45)
+
+    def test_standin_determinism(self):
+        a1 = generate_standin("pwtk", n_rows=2000)
+        a2 = generate_standin("pwtk", n_rows=2000)
+        np.testing.assert_array_equal(a1.data, a2.data)

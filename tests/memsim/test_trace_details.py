@@ -1,0 +1,95 @@
+"""Deeper trace-simulation tests: layouts, index widths, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import split_ldu
+from repro.matrices import poisson2d
+from repro.memsim.cache import CacheConfig
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.trace import (
+    ArrayLayout,
+    trace_fbmpk_pair,
+    trace_mpk_standard,
+    trace_spmv,
+)
+
+
+def hierarchy(l2=2048):
+    return MemoryHierarchy([
+        CacheConfig(size_bytes=512, line_bytes=64, associativity=2,
+                    name="L1"),
+        CacheConfig(size_bytes=l2, line_bytes=64, associativity=4,
+                    name="L2"),
+    ])
+
+
+@pytest.fixture()
+def matrix():
+    return poisson2d(7, seed=1)  # 49 rows
+
+
+class TestArrayLayout:
+    def test_vector_bytes(self):
+        assert ArrayLayout().vector_bytes(10) == 80
+        assert ArrayLayout(value_bytes=4).vector_bytes(10) == 40
+
+    def test_int32_indices_reduce_traffic(self, matrix):
+        t64 = trace_spmv(matrix, hierarchy(),
+                         layout=ArrayLayout(index_bytes=8))
+        t32 = trace_spmv(matrix, hierarchy(),
+                         layout=ArrayLayout(index_bytes=4))
+        assert t32.total_bytes < t64.total_bytes
+
+
+class TestTraceProperties:
+    def test_spmv_traffic_deterministic(self, matrix):
+        t1 = trace_spmv(matrix, hierarchy())
+        t2 = trace_spmv(matrix, hierarchy())
+        assert t1.read_bytes == t2.read_bytes
+        assert t1.write_bytes == t2.write_bytes
+
+    def test_mpk_k0_is_free(self, matrix):
+        t = trace_mpk_standard(matrix, 0, hierarchy())
+        assert t.total_bytes == 0
+
+    def test_writes_recorded(self, matrix):
+        t = trace_spmv(matrix, hierarchy())
+        assert t.write_bytes > 0  # y writes leak through the tiny cache
+
+    def test_fbmpk_pair_without_head_cheaper(self, matrix):
+        part = split_ldu(matrix)
+        with_head = trace_fbmpk_pair(part, hierarchy(),
+                                     include_head=True).total_bytes
+        without = trace_fbmpk_pair(part, hierarchy(),
+                                   include_head=False).total_bytes
+        assert without < with_head
+
+    def test_bigger_cache_never_more_traffic(self, matrix):
+        small = trace_mpk_standard(matrix, 3, hierarchy(l2=1024))
+        large = trace_mpk_standard(matrix, 3, hierarchy(l2=64 * 1024))
+        assert large.total_bytes <= small.total_bytes
+
+    def test_ratio_approaches_theory_with_k(self, matrix):
+        """Longer power sequences amortise the head: the simulated
+        FBMPK/std ratio at larger k is at most the k=2 ratio."""
+        part = split_ldu(matrix)
+
+        def fb_total(pairs):
+            # head + `pairs` fwd/bwd iterations, fresh hierarchy.
+            h = hierarchy(l2=1024)
+            total = trace_fbmpk_pair(part, h, include_head=True).total_bytes
+            for _ in range(pairs - 1):
+                h2 = hierarchy(l2=1024)
+                total += trace_fbmpk_pair(part, h2,
+                                          include_head=False).total_bytes
+            return total
+
+        def std_total(k):
+            h = hierarchy(l2=1024)
+            return trace_mpk_standard(matrix, k, h).total_bytes
+
+        r2 = fb_total(1) / std_total(2)
+        r6 = fb_total(3) / std_total(6)
+        assert r6 <= r2 + 1e-9
+        assert r6 < 1.0

@@ -1,0 +1,115 @@
+"""Unit tests for the analytic traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import theoretical_ratio
+from repro.memsim.traffic import (
+    MatrixTrafficStats,
+    TrafficParams,
+    fbmpk_traffic,
+    miss_fraction,
+    mpk_standard_traffic,
+    spmv_traffic,
+    traffic_ratio,
+)
+
+BIG = MatrixTrafficStats(n=1_000_000, nnz=60_000_000, bandwidth=10_000)
+SPARSE = MatrixTrafficStats(n=1_000_000, nnz=5_000_000, bandwidth=1_000)
+MB32 = 32 * 2 ** 20
+
+
+class TestMissFraction:
+    def test_fits_means_zero(self):
+        assert miss_fraction(1000, 10_000) == 0.0
+
+    def test_saturates_towards_one(self):
+        assert 0.9 < miss_fraction(1e9, 1e6) < 1.0
+
+    def test_monotone_in_working_set(self):
+        cache = 1e6
+        vals = [miss_fraction(ws, cache) for ws in (1e5, 1e6, 1e7, 1e9)]
+        assert vals == sorted(vals)
+
+    def test_utilization_discount(self):
+        assert miss_fraction(900_000, 1_000_000, utilization=0.8) > 0.0
+        assert miss_fraction(900_000, 1_000_000, utilization=1.0) == 0.0
+
+
+class TestSpmv:
+    def test_matrix_stream_exact(self):
+        params = TrafficParams()
+        t = spmv_traffic(BIG, MB32, params)
+        expected = BIG.nnz * 12 + (BIG.n + 1) * 4
+        assert t.matrix_bytes == pytest.approx(expected)
+
+    def test_vector_reads_at_least_compulsory(self):
+        t = spmv_traffic(BIG, MB32)
+        assert t.vector_read_bytes >= BIG.n * 8
+
+    def test_from_csr(self, small_sym):
+        stats = MatrixTrafficStats.from_csr(small_sym)
+        assert stats.n == small_sym.n_rows
+        assert stats.nnz == small_sym.nnz
+        assert stats.bandwidth >= 1
+
+
+class TestPipelines:
+    @pytest.mark.parametrize("k", [1, 3, 5, 9])
+    def test_standard_matrix_scales_linearly(self, k):
+        one = mpk_standard_traffic(BIG, 1, MB32).matrix_bytes
+        assert mpk_standard_traffic(BIG, k, MB32).matrix_bytes \
+            == pytest.approx(k * one)
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 6, 9])
+    def test_ratio_between_theory_and_one(self, k):
+        r = traffic_ratio(BIG, k, MB32)
+        assert theoretical_ratio(k) - 0.02 <= r <= 1.05
+
+    def test_ratio_improves_with_k(self):
+        rs = [traffic_ratio(BIG, k, MB32) for k in (3, 5, 7, 9)]
+        assert rs == sorted(rs, reverse=True)
+
+    def test_sparse_matrix_has_worse_ratio(self):
+        # Vector overhead weighs more when nnz/row is small (G3_circuit
+        # vs ML_Geer in Fig 9).
+        assert traffic_ratio(SPARSE, 9, MB32) > traffic_ratio(BIG, 9, MB32)
+
+    def test_btb_helps_when_window_exceeds_cache(self):
+        tight_cache = 64 * 1024
+        wide = MatrixTrafficStats(n=1_000_000, nnz=60_000_000,
+                                  bandwidth=100_000)
+        with_btb = fbmpk_traffic(wide, 5, tight_cache, btb=True).total_bytes
+        without = fbmpk_traffic(wide, 5, tight_cache, btb=False).total_bytes
+        assert with_btb < without
+
+    def test_btb_irrelevant_when_cached(self):
+        huge_cache = 1e12
+        with_btb = fbmpk_traffic(BIG, 5, huge_cache, btb=True).total_bytes
+        without = fbmpk_traffic(BIG, 5, huge_cache, btb=False).total_bytes
+        assert with_btb == pytest.approx(without)
+
+    def test_k0_is_free(self):
+        assert fbmpk_traffic(BIG, 0, MB32).total_bytes == 0.0
+
+    def test_residency_cache_controls_leak(self):
+        # Same window cache, but a large residency cache suppresses the
+        # per-pass vector leak.
+        small_res = mpk_standard_traffic(BIG, 5, MB32,
+                                         residency_cache_bytes=1e6)
+        big_res = mpk_standard_traffic(BIG, 5, MB32,
+                                       residency_cache_bytes=1e12)
+        assert big_res.vector_read_bytes < small_res.vector_read_bytes
+
+    def test_write_allocate_doubles_writes(self):
+        wa = TrafficParams(write_allocate=True)
+        nwa = TrafficParams(write_allocate=False)
+        t_wa = mpk_standard_traffic(BIG, 3, 1e3, params=wa)
+        t_nwa = mpk_standard_traffic(BIG, 3, 1e3, params=nwa)
+        assert t_wa.vector_write_bytes > t_nwa.vector_write_bytes
+
+    def test_breakdown_iadd(self):
+        a = mpk_standard_traffic(BIG, 1, MB32)
+        total_before = a.total_bytes
+        a += mpk_standard_traffic(BIG, 1, MB32)
+        assert a.total_bytes == pytest.approx(2 * total_before)

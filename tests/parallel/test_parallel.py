@@ -1,0 +1,133 @@
+"""Unit tests for the scheduler and the simulated thread executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import split_ldu
+from repro.machine import FT2000P
+from repro.parallel.scheduler import BlockTask, Phase, assign_tasks, build_phases
+from repro.parallel.simthread import block_cost_model, simulate_phases
+from repro.reorder import abmc_ordering, permute_symmetric
+
+
+def make_tasks(nnzs):
+    start = 0
+    tasks = []
+    for nnz in nnzs:
+        tasks.append(BlockTask(start=start, stop=start + 10, nnz=nnz))
+        start += 10
+    return tasks
+
+
+class TestScheduler:
+    def test_build_phases_covers_all_blocks(self, small_sym):
+        o = abmc_ordering(small_sym, block_size=8)
+        part = split_ldu(permute_symmetric(small_sym, o.perm))
+        phases = build_phases(o, part.lower)
+        assert len(phases) == o.n_colors
+        total_rows = sum(t.rows for ph in phases for t in ph.tasks)
+        assert total_rows == small_sym.n_rows
+        total_nnz = sum(ph.total_nnz for ph in phases)
+        assert total_nnz == part.lower.nnz
+
+    def test_build_phases_dimension_check(self, small_sym, grid):
+        o = abmc_ordering(small_sym, block_size=8)
+        with pytest.raises(ValueError):
+            build_phases(o, split_ldu(grid).lower)
+
+    def test_round_robin_assignment(self):
+        tasks = make_tasks([5, 5, 5, 5, 5])
+        bins = assign_tasks(tasks, 2, policy="round_robin")
+        assert [len(b) for b in bins] == [3, 2]
+
+    def test_lpt_balances_skewed_loads(self):
+        tasks = make_tasks([100, 1, 1, 1, 1, 1])
+        lpt = assign_tasks(tasks, 2, policy="lpt")
+        rr = assign_tasks(tasks, 2, policy="round_robin")
+
+        def makespan(bins):
+            return max(sum(t.nnz for t in b) for b in bins)
+
+        assert makespan(lpt) <= makespan(rr)
+        assert makespan(lpt) == 100  # the big task alone on one thread
+
+    def test_assignment_errors(self):
+        with pytest.raises(ValueError):
+            assign_tasks([], 0)
+        with pytest.raises(ValueError):
+            assign_tasks(make_tasks([1]), 2, policy="nope")
+
+    def test_more_threads_than_tasks(self):
+        bins = assign_tasks(make_tasks([1, 2]), 8)
+        non_empty = [b for b in bins if b]
+        assert len(non_empty) == 2
+
+
+class TestSimThread:
+    def test_makespan_hand_computed(self):
+        # Phase with loads [3, 1] on 2 threads at cost = nnz seconds:
+        # makespan = 3 (LPT puts the 3 alone) + barrier.
+        phase = Phase(color=0, tasks=make_tasks([3, 1]))
+        run = simulate_phases([phase], 2, cost=lambda t: float(t.nnz),
+                              barrier_s=0.5)
+        assert run.total_time == pytest.approx(3.5)
+        assert run.busy_time == pytest.approx(4.0)
+        assert run.efficiency == pytest.approx(4.0 / (2 * 3.5))
+
+    def test_single_thread_serialises(self):
+        phase = Phase(color=0, tasks=make_tasks([2, 2, 2]))
+        run = simulate_phases([phase], 1, cost=lambda t: float(t.nnz))
+        assert run.total_time == pytest.approx(6.0)
+        assert run.efficiency == pytest.approx(1.0)
+
+    def test_barrier_accumulates_per_phase(self):
+        phases = [Phase(color=c, tasks=make_tasks([1])) for c in range(4)]
+        run = simulate_phases(phases, 2, cost=lambda t: 0.0, barrier_s=1.0)
+        assert run.total_time == pytest.approx(4.0)
+
+    def test_quantisation_inefficiency(self):
+        # 3 equal tasks on 2 threads: one thread does 2 -> efficiency 75%.
+        phase = Phase(color=0, tasks=make_tasks([1, 1, 1]))
+        run = simulate_phases([phase], 2, cost=lambda t: 1.0)
+        assert run.total_time == pytest.approx(2.0)
+        assert run.efficiency == pytest.approx(0.75)
+
+    def test_block_cost_model_scales(self):
+        cost1 = block_cost_model(FT2000P, threads=1)
+        cost64 = block_cost_model(FT2000P, threads=64)
+        task = BlockTask(0, 100, nnz=10_000)
+        # Per-core bandwidth shrinks under contention -> block costs more.
+        assert cost64(task) >= cost1(task) * 0.99
+
+    def test_empty_phase(self):
+        run = simulate_phases([Phase(color=0, tasks=[])], 4,
+                              cost=lambda t: 1.0, barrier_s=0.25)
+        assert run.total_time == pytest.approx(0.25)
+
+
+class TestDynamicPolicy:
+    def test_dynamic_preserves_arrival_order_per_thread(self):
+        tasks = make_tasks([1, 1, 1, 1])
+        bins = assign_tasks(tasks, 2, policy="dynamic")
+        # Online list scheduling with equal costs alternates threads.
+        assert [t.start for t in bins[0]] == [0, 20]
+        assert [t.start for t in bins[1]] == [10, 30]
+
+    def test_dynamic_vs_lpt_on_adversarial_order(self):
+        # Small tasks first, giant last: dynamic gets stuck with the
+        # giant on an already-loaded thread less often than round robin,
+        # but LPT (which sorts) is never worse.
+        tasks = make_tasks([1, 1, 1, 100])
+
+        def makespan(policy):
+            bins = assign_tasks(tasks, 2, policy=policy)
+            return max(sum(t.nnz for t in b) for b in bins)
+
+        assert makespan("lpt") <= makespan("dynamic") <= makespan(
+            "round_robin") + 100
+
+    def test_simulator_accepts_dynamic(self):
+        phase = Phase(color=0, tasks=make_tasks([3, 1, 2]))
+        run = simulate_phases([phase], 2, cost=lambda t: float(t.nnz),
+                              policy="dynamic")
+        assert run.total_time > 0

@@ -1,0 +1,61 @@
+"""Property-based tests: distributed MPK equals serial MPK for any
+partitioning, any power, any matrix."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mpk import mpk_reference_dense
+from repro.distributed import (
+    distributed_mpk,
+    distributed_mpk_ca,
+    distributed_spmv,
+    partition_rows,
+)
+from repro.sparse import CSRMatrix, matrix_power_explicit, spgemm
+
+
+@st.composite
+def square_csr_with_vector(draw, max_n=26):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-1.0, 1.0, size=(n, n))
+    dense = np.where(rng.random((n, n)) < density, dense, 0.0)
+    a = CSRMatrix.from_dense(dense)
+    x = rng.uniform(-1.0, 1.0, size=n)
+    return a, x
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=square_csr_with_vector(),
+       ranks=st.integers(min_value=1, max_value=6),
+       k=st.integers(min_value=0, max_value=5))
+def test_distributed_strategies_equal_serial(data, ranks, k):
+    a, x = data
+    ranks = min(ranks, a.n_rows)
+    part = partition_rows(a, ranks)
+    ref = mpk_reference_dense(a, x, k)
+    y_std, s_std = distributed_mpk(part, x, k)
+    y_ca, s_ca = distributed_mpk_ca(part, x, k)
+    np.testing.assert_allclose(y_std, ref, rtol=1e-9, atol=1e-11)
+    np.testing.assert_allclose(y_ca, ref, rtol=1e-9, atol=1e-11)
+    # Round accounting invariants.
+    assert s_std.rounds == k
+    assert s_ca.rounds == (1 if k else 0)
+    assert s_std.volume_doubles >= 0 and s_ca.volume_doubles >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=square_csr_with_vector(max_n=18))
+def test_spgemm_associativity_with_matvec(data):
+    """(A @ A) @ x == A @ (A @ x) — SpGEMM agrees with repeated SpMV."""
+    a, x = data
+    a2 = spgemm(a, a)
+    np.testing.assert_allclose(a2.matvec(x), a.matvec(a.matvec(x)),
+                               rtol=1e-9, atol=1e-11)
+    a3 = matrix_power_explicit(a, 3)
+    np.testing.assert_allclose(a3.matvec(x),
+                               a.matvec(a.matvec(a.matvec(x))),
+                               rtol=1e-9, atol=1e-11)

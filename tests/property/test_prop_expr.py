@@ -1,0 +1,84 @@
+"""Property-based tests of the expression algebra: the coefficient
+representation must satisfy the vector-space laws (up to floating-point
+rounding — coefficient addition is float addition) and evaluation must
+be linear in the expression."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expr import A, SSpMVExpression, from_coefficients
+
+coeff_lists = st.lists(
+    st.floats(min_value=-4.0, max_value=4.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=6,
+)
+
+
+def approx_equal(e1: SSpMVExpression, e2: SSpMVExpression) -> bool:
+    """Coefficient-wise comparison with FP tolerance (exact __eq__ is
+    intentionally strict; algebra laws only hold up to rounding)."""
+    a, b = e1.alphas, e2.alphas
+    n = max(a.shape[0], b.shape[0])
+    pa = np.zeros(n, dtype=np.result_type(a, b))
+    pb = np.zeros(n, dtype=np.result_type(a, b))
+    pa[: a.shape[0]] = a
+    pb[: b.shape[0]] = b
+    return bool(np.allclose(pa, pb, rtol=1e-12, atol=1e-12))
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=coeff_lists, b=coeff_lists, c=coeff_lists)
+def test_vector_space_laws(a, b, c):
+    ea, eb, ec = (from_coefficients(v) for v in (a, b, c))
+    assert approx_equal(ea + eb, eb + ea)                 # commutative
+    assert approx_equal((ea + eb) + ec, ea + (eb + ec))   # associative
+    assert approx_equal(ea - ea, from_coefficients([0.0]))
+    assert approx_equal(ea + from_coefficients([0.0]), ea)
+    assert approx_equal(-(-ea), ea)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=coeff_lists, s=st.floats(min_value=-3.0, max_value=3.0,
+                                  allow_nan=False),
+       t=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+def test_scalar_distributivity(a, s, t):
+    ea = from_coefficients(a)
+    assert approx_equal((s + t) * ea, s * ea + t * ea)
+    assert approx_equal(s * (t * ea), (s * t) * ea)
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=coeff_lists, b=coeff_lists)
+def test_matrix_application_is_linear(a, b):
+    ea, eb = from_coefficients(a), from_coefficients(b)
+    assert approx_equal(A(ea + eb), A(ea) + A(eb))
+    assert approx_equal(A(2.0 * ea), 2.0 * A(ea))
+    # Shifting twice equals A^2 application — exact (pure index shifts).
+    assert A(A(ea)) == (A ** 2) @ ea
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=coeff_lists)
+def test_exact_equality_for_identical_construction(a):
+    """Strict __eq__ is reliable for identically constructed values."""
+    assert from_coefficients(a) == from_coefficients(a)
+    assert A(from_coefficients(a)) == from_coefficients([0.0] + list(a))
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=coeff_lists, b=coeff_lists,
+       seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_evaluation_respects_algebra(a, b, seed):
+    """(p + q)(A) x == p(A) x + q(A) x through the FBMPK evaluator."""
+    from repro.core.fbmpk import build_fbmpk_operator
+    from repro.matrices import poisson2d
+
+    mat = poisson2d(5, seed=1)
+    op = build_fbmpk_operator(mat, strategy="levels")
+    x = np.random.default_rng(seed).standard_normal(mat.n_rows)
+    ea, eb = from_coefficients(a), from_coefficients(b)
+    combined = (ea + eb).evaluate(op, x)
+    separate = ea.evaluate(op, x) + eb.evaluate(op, x)
+    np.testing.assert_allclose(combined, separate, rtol=1e-9, atol=1e-10)

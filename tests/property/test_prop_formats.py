@@ -1,0 +1,82 @@
+"""Property-based fuzzing of the storage-format conversions: every
+format must reproduce the same dense matrix and the same SpMV result for
+arbitrary structures and format parameters."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CSRMatrix,
+    ELLMatrix,
+    SellCSigmaMatrix,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.sparse.bsr import BSRMatrix
+
+
+@st.composite
+def any_csr(draw, max_n=24):
+    rows = draw(st.integers(min_value=1, max_value=max_n))
+    cols = draw(st.integers(min_value=1, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.7))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-2.0, 2.0, size=(rows, cols))
+    dense = np.where(rng.random((rows, cols)) < density, dense, 0.0)
+    return CSRMatrix.from_dense(dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=any_csr(), c=st.integers(min_value=1, max_value=9),
+       sigma=st.integers(min_value=1, max_value=32),
+       seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_ell_sell_fuzz(a, c, sigma, seed):
+    dense = a.to_dense()
+    x = np.random.default_rng(seed).standard_normal(a.n_cols)
+    ell = ELLMatrix.from_csr(a)
+    sell = SellCSigmaMatrix(a, c=c, sigma=sigma)
+    np.testing.assert_array_equal(ell.to_csr().to_dense(), dense)
+    np.testing.assert_array_equal(sell.to_csr().to_dense(), dense)
+    expected = dense @ x
+    np.testing.assert_allclose(ell.matvec(x), expected, rtol=1e-9,
+                               atol=1e-10)
+    np.testing.assert_allclose(sell.matvec(x), expected, rtol=1e-9,
+                               atol=1e-10)
+    # Padding accounting is consistent.
+    assert ell.nnz == a.nnz
+    assert sell.nnz == a.nnz
+    assert sell.padding >= 0 and ell.padding >= 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(nodes=st.integers(min_value=1, max_value=8),
+       r=st.integers(min_value=1, max_value=4),
+       density=st.floats(min_value=0.0, max_value=0.8),
+       seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_bsr_fuzz(nodes, r, density, seed):
+    rng = np.random.default_rng(seed)
+    n = nodes * r
+    dense = rng.uniform(-1.0, 1.0, size=(n, n))
+    dense = np.where(rng.random((n, n)) < density, dense, 0.0)
+    a = CSRMatrix.from_dense(dense)
+    bsr = BSRMatrix.from_csr(a, r)
+    np.testing.assert_allclose(bsr.to_csr().to_dense(), dense, rtol=0,
+                               atol=0)
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(bsr.matvec(x), dense @ x, rtol=1e-9,
+                               atol=1e-10)
+    assert bsr.nnz >= a.nnz  # zero fill only adds
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=any_csr(max_n=16))
+def test_matrix_market_roundtrip_fuzz(a):
+    buf = io.StringIO()
+    write_matrix_market(a, buf)
+    buf.seek(0)
+    back = read_matrix_market(buf).to_csr()
+    np.testing.assert_array_equal(back.to_dense(), a.to_dense())

@@ -1,0 +1,78 @@
+"""Property-based tests on solver-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import split_ldu
+from repro.solvers import conjugate_gradient, gershgorin_bounds
+from repro.solvers.krylov import bicgstab, gmres
+from repro.solvers.symgs import symgs_reference
+from repro.sparse import CSRMatrix
+
+
+@st.composite
+def dd_system(draw, max_n=24):
+    """Random diagonally-dominant system (guaranteed solvable) with an
+    exact solution."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    symmetric = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-1.0, 1.0, size=(n, n))
+    dense = np.where(rng.random((n, n)) < 0.4, dense, 0.0)
+    if symmetric:
+        dense = 0.5 * (dense + dense.T)
+    np.fill_diagonal(dense, 0.0)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    a = CSRMatrix.from_dense(dense)
+    x_true = rng.uniform(-1.0, 1.0, size=n)
+    return a, x_true, symmetric
+
+
+@settings(max_examples=40, deadline=None)
+@given(system=dd_system())
+def test_krylov_solvers_recover_solution(system):
+    a, x_true, symmetric = system
+    b = a.matvec(x_true)
+    res_g = gmres(a, b, tol=1e-11, restart=min(30, a.n_rows))
+    assert res_g.converged
+    np.testing.assert_allclose(res_g.x, x_true, rtol=1e-6, atol=1e-8)
+    res_b = bicgstab(a, b, tol=1e-11)
+    if res_b.converged:  # BiCGSTAB may break down; then no claim
+        np.testing.assert_allclose(res_b.x, x_true, rtol=1e-5, atol=1e-7)
+    if symmetric:
+        res_c = conjugate_gradient(a, b, tol=1e-11)
+        assert res_c.converged
+        np.testing.assert_allclose(res_c.x, x_true, rtol=1e-6, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(system=dd_system())
+def test_symgs_is_contraction_on_dd_systems(system):
+    """For strictly diagonally dominant A, Gauss-Seidel (hence SYMGS)
+    contracts the error, and the true solution is a fixed point."""
+    a, x_true, _ = system
+    part = split_ldu(a)
+    b = a.matvec(x_true)
+    # Fixed point.
+    np.testing.assert_allclose(symgs_reference(part, b, x_true), x_true,
+                               rtol=1e-9, atol=1e-11)
+    # Contraction from zero.
+    x1 = symgs_reference(part, b)
+    x2 = symgs_reference(part, b, x1)
+    e0 = np.linalg.norm(x_true)
+    e1 = np.linalg.norm(x1 - x_true)
+    e2 = np.linalg.norm(x2 - x_true)
+    assert e1 <= e0 + 1e-12
+    assert e2 <= e1 + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(system=dd_system())
+def test_gershgorin_encloses_spectrum(system):
+    a, _, _ = system
+    lo, hi = gershgorin_bounds(a)
+    eigs = np.linalg.eigvals(a.to_dense())
+    assert eigs.real.min() >= lo - 1e-9
+    assert eigs.real.max() <= hi + 1e-9

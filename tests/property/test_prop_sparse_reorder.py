@@ -1,0 +1,114 @@
+"""Property-based tests of sparse-format and reordering invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reorder import (
+    abmc_ordering,
+    adjacency_from_matrix,
+    check_coloring,
+    compute_levels,
+    greedy_coloring,
+    invert_permutation,
+    is_permutation,
+    luby_coloring,
+    permute_symmetric,
+    permute_vector,
+    unpermute_vector,
+)
+from repro.reorder.levels import check_levels
+from repro.core.partition import split_ldu
+from repro.core.btb import deinterleave, interleave
+from repro.sparse import CSRMatrix, ELLMatrix, SellCSigmaMatrix
+
+
+@st.composite
+def square_csr(draw, max_n=28):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((n, n))
+    dense = np.where(rng.random((n, n)) < density, dense, 0.0)
+    return CSRMatrix.from_dense(dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=square_csr())
+def test_format_roundtrips_preserve_dense(a):
+    dense = a.to_dense()
+    np.testing.assert_array_equal(ELLMatrix.from_csr(a).to_csr().to_dense(),
+                                  dense)
+    np.testing.assert_array_equal(
+        SellCSigmaMatrix(a, c=4, sigma=8).to_csr().to_dense(), dense)
+    np.testing.assert_array_equal(a.transpose().transpose().to_dense(),
+                                  dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=square_csr(), seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_matvec_consistent_across_formats(a, seed):
+    x = np.random.default_rng(seed).standard_normal(a.n_cols)
+    reference = a.to_dense() @ x
+    np.testing.assert_allclose(a.matvec(x), reference, rtol=1e-9,
+                               atol=1e-10)
+    np.testing.assert_allclose(ELLMatrix.from_csr(a).matvec(x), reference,
+                               rtol=1e-9, atol=1e-10)
+    np.testing.assert_allclose(SellCSigmaMatrix(a, c=4).matvec(x),
+                               reference, rtol=1e-9, atol=1e-10)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=square_csr())
+def test_partition_is_exact_decomposition(a):
+    part = split_ldu(a)
+    np.testing.assert_array_equal(part.reassemble().to_dense(),
+                                  a.to_dense())
+    assert check_levels(part.lower, compute_levels(part.lower, "forward"))
+    assert check_levels(part.upper, compute_levels(part.upper, "backward"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=square_csr(),
+       block_size=st.integers(min_value=1, max_value=10))
+def test_abmc_produces_valid_ordering(a, block_size):
+    o = abmc_ordering(a, block_size=block_size)
+    assert is_permutation(o.perm)
+    # Reordering twice with the inverse restores the matrix.
+    b = permute_symmetric(a, o.perm)
+    back = permute_symmetric(b, invert_permutation(o.perm))
+    np.testing.assert_array_equal(back.to_dense(), a.to_dense())
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=square_csr(), seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_colorings_always_valid(a, seed):
+    g = adjacency_from_matrix(a)
+    assert check_coloring(g, greedy_coloring(g))
+    assert check_coloring(g, luby_coloring(g, seed=seed % 100))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 31),
+       n=st.integers(min_value=1, max_value=64))
+def test_permutation_and_btb_roundtrips(seed, n):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    x = rng.standard_normal(n)
+    np.testing.assert_array_equal(
+        unpermute_vector(permute_vector(x, perm), perm), x)
+    even, odd = rng.standard_normal(n), rng.standard_normal(n)
+    e, o = deinterleave(interleave(even, odd))
+    np.testing.assert_array_equal(e, even)
+    np.testing.assert_array_equal(o, odd)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=square_csr(), seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_select_rows_any_subset(a, seed):
+    rng = np.random.default_rng(seed)
+    size = rng.integers(0, a.n_rows + 1)
+    rows = rng.integers(0, a.n_rows, size=size)
+    sub = a.select_rows(rows)
+    np.testing.assert_array_equal(sub.to_dense(), a.to_dense()[rows])

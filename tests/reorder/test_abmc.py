@@ -1,0 +1,98 @@
+"""Unit tests for the ABMC ordering (Section III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.reorder.abmc import abmc_ordering
+from repro.reorder.graph import adjacency_from_matrix
+from repro.reorder.permute import is_permutation, permute_symmetric
+
+
+@pytest.mark.parametrize("block_size", [1, 4, 16, 1000])
+@pytest.mark.parametrize("strategy", ["consecutive", "bfs"])
+def test_ordering_invariants(any_matrix, block_size, strategy):
+    o = abmc_ordering(any_matrix, block_size=block_size, strategy=strategy)
+    n = any_matrix.n_rows
+    assert is_permutation(o.perm)
+    # Colour ranges tile [0, n) in order.
+    assert o.color_ranges[0][0] == 0
+    assert o.color_ranges[-1][1] == n
+    for (a0, a1), (b0, b1) in zip(o.color_ranges, o.color_ranges[1:]):
+        assert a1 == b0
+    # Block ranges tile [0, n).
+    assert o.block_ranges[0][0] == 0
+    assert o.block_ranges[-1][1] == n
+    assert sum(e - s for s, e in o.block_ranges) == n
+    # blocks_of_color covers everything exactly once.
+    covered = sorted(
+        rng for c in range(o.n_colors) for rng in o.blocks_of_color(c)
+    )
+    assert covered == sorted(o.block_ranges)
+
+
+def test_same_color_blocks_are_independent(small_sym):
+    """The parallel-safety property: no matrix entry connects two
+    different blocks of the same colour."""
+    o = abmc_ordering(small_sym, block_size=8)
+    reordered = permute_symmetric(small_sym, o.perm)
+    n = small_sym.n_rows
+    # Map each new row to (colour, block id in new numbering).
+    block_id = np.empty(n, dtype=np.int64)
+    for b, (s, e) in enumerate(o.block_ranges):
+        block_id[s:e] = b
+    g = adjacency_from_matrix(reordered)
+    src = np.repeat(np.arange(n), g.degree())
+    dst = g.indices
+    color_of_row = np.empty(n, dtype=np.int64)
+    for c, (s, e) in enumerate(o.color_ranges):
+        color_of_row[s:e] = c
+    same_color_cross_block = (
+        (color_of_row[src] == color_of_row[dst])
+        & (block_id[src] != block_id[dst])
+    )
+    assert not same_color_cross_block.any()
+
+
+def test_block_size_one_is_point_coloring(grid):
+    o = abmc_ordering(grid, block_size=1)
+    assert o.n_blocks == grid.n_rows
+    assert all(e - s == 1 for s, e in o.block_ranges)
+    # The 5-point grid is bipartite: exactly two colours.
+    assert o.n_colors == 2
+
+
+def test_max_parallel_blocks(small_sym):
+    o = abmc_ordering(small_sym, block_size=4)
+    counts = np.bincount(o.color_of_block)
+    assert o.max_parallel_blocks() == counts.max()
+
+
+def test_single_block_degenerate(grid):
+    o = abmc_ordering(grid, block_size=grid.n_rows)
+    assert o.n_blocks == 1
+    assert o.n_colors == 1
+    np.testing.assert_array_equal(o.perm, np.arange(grid.n_rows))
+
+
+def test_validation(grid):
+    with pytest.raises(ValueError, match="square"):
+        from repro.sparse import CSRMatrix
+
+        abmc_ordering(CSRMatrix.zeros((2, 3)))
+    with pytest.raises(ValueError, match="positive"):
+        abmc_ordering(grid, block_size=0)
+    with pytest.raises(ValueError, match="strategy"):
+        abmc_ordering(grid, strategy="nope")
+
+
+def test_bfs_blocking_groups_neighbours(small_sym):
+    """BFS blocking must produce blocks that are connected more often
+    than random chunking of a shuffled matrix would be."""
+    from repro.reorder.permute import invert_permutation
+
+    rng = np.random.default_rng(0)
+    shuffle = rng.permutation(small_sym.n_rows)
+    shuffled = permute_symmetric(small_sym, shuffle)
+    o = abmc_ordering(shuffled, block_size=8, strategy="bfs")
+    assert is_permutation(o.perm)
+    assert o.n_colors >= 2

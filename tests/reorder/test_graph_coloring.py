@@ -1,0 +1,116 @@
+"""Unit tests for adjacency graphs and colouring."""
+
+import numpy as np
+import pytest
+
+from repro.reorder.coloring import (
+    check_coloring,
+    color_counts,
+    greedy_coloring,
+    luby_coloring,
+)
+from repro.reorder.graph import adjacency_from_matrix, quotient_graph
+from repro.sparse import CSRMatrix
+
+
+def path_graph_matrix(n):
+    """Tridiagonal matrix whose adjacency is the n-path."""
+    dense = np.eye(n) * 2
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = -1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestAdjacency:
+    def test_symmetrised_no_self_loops(self, small_unsym):
+        g = adjacency_from_matrix(small_unsym)
+        src = np.repeat(np.arange(g.n), g.degree())
+        assert not (src == g.indices).any(), "self-loop found"
+        # Every edge appears in both directions.
+        edges = set(zip(src.tolist(), g.indices.tolist()))
+        assert all((b, a) in edges for a, b in edges)
+
+    def test_matches_dense_pattern(self, grid):
+        g = adjacency_from_matrix(grid)
+        dense = grid.to_dense()
+        pattern = (dense != 0) | (dense.T != 0)
+        np.fill_diagonal(pattern, False)
+        assert g.indices.shape[0] == int(pattern.sum())
+
+    def test_path_graph_degrees(self):
+        g = adjacency_from_matrix(path_graph_matrix(5))
+        np.testing.assert_array_equal(g.degree(), [1, 2, 2, 2, 1])
+        assert g.n_edges == 4
+        assert g.max_degree() == 2
+        np.testing.assert_array_equal(g.neighbours(2), [1, 3])
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            adjacency_from_matrix(CSRMatrix.zeros((2, 3)))
+
+
+class TestQuotient:
+    def test_path_blocks(self):
+        g = adjacency_from_matrix(path_graph_matrix(6))
+        q = quotient_graph(g, np.array([0, 0, 1, 1, 2, 2]), 3)
+        # Blocks form a path 0-1-2.
+        assert q.n == 3
+        np.testing.assert_array_equal(q.degree(), [1, 2, 1])
+
+    def test_intra_block_edges_vanish(self):
+        g = adjacency_from_matrix(path_graph_matrix(4))
+        q = quotient_graph(g, np.zeros(4, dtype=np.int64), 1)
+        assert q.n_edges == 0
+
+    def test_validation(self, grid):
+        g = adjacency_from_matrix(grid)
+        with pytest.raises(ValueError, match="length"):
+            quotient_graph(g, np.zeros(3, dtype=np.int64), 1)
+        with pytest.raises(ValueError, match="out of range"):
+            quotient_graph(g, np.full(g.n, 5, dtype=np.int64), 2)
+
+
+class TestColoring:
+    @pytest.mark.parametrize("order", ["natural", "largest_first"])
+    def test_greedy_valid(self, any_matrix, order):
+        g = adjacency_from_matrix(any_matrix)
+        colors = greedy_coloring(g, order=order)
+        assert check_coloring(g, colors)
+        assert colors.max() <= g.max_degree()
+
+    def test_greedy_path_uses_two_colors(self):
+        g = adjacency_from_matrix(path_graph_matrix(10))
+        assert greedy_coloring(g).max() + 1 == 2
+
+    def test_greedy_unknown_order(self, grid):
+        with pytest.raises(ValueError):
+            greedy_coloring(adjacency_from_matrix(grid), order="nope")
+
+    def test_luby_valid_and_deterministic(self, any_matrix):
+        g = adjacency_from_matrix(any_matrix)
+        c1 = luby_coloring(g, seed=7)
+        c2 = luby_coloring(g, seed=7)
+        assert check_coloring(g, c1)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_luby_different_seeds_both_valid(self, small_sym):
+        g = adjacency_from_matrix(small_sym)
+        for seed in range(3):
+            assert check_coloring(g, luby_coloring(g, seed=seed))
+
+    def test_check_coloring_negatives(self, grid):
+        g = adjacency_from_matrix(grid)
+        assert not check_coloring(g, np.zeros(g.n, dtype=np.int64))  # clash
+        assert not check_coloring(g, np.full(g.n, -1))               # unset
+        assert not check_coloring(g, np.zeros(3, dtype=np.int64))    # shape
+
+    def test_color_counts(self):
+        np.testing.assert_array_equal(
+            color_counts(np.array([0, 1, 1, 2, 0])), [2, 2, 1])
+        assert color_counts(np.array([], dtype=np.int64)).size == 0
+
+    def test_empty_graph(self):
+        g = adjacency_from_matrix(CSRMatrix.zeros((5, 5)))
+        colors = greedy_coloring(g)
+        assert check_coloring(g, colors)
+        assert colors.max() == 0  # all vertices share one colour

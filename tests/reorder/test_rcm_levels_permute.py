@@ -1,0 +1,155 @@
+"""Unit tests for RCM, level scheduling and permutation algebra."""
+
+import numpy as np
+import pytest
+
+from repro.reorder.levels import (
+    check_levels,
+    compute_levels,
+    levels_sequential,
+    levels_to_groups,
+    levels_vectorised,
+)
+from repro.reorder.permute import (
+    compose_permutations,
+    invert_permutation,
+    is_permutation,
+    permute_symmetric,
+    permute_vector,
+    unpermute_vector,
+)
+from repro.reorder.rcm import matrix_bandwidth, rcm_ordering
+from repro.core.partition import split_ldu
+from repro.sparse import CSRMatrix
+
+
+class TestPermute:
+    def test_is_permutation(self):
+        assert is_permutation(np.array([2, 0, 1]))
+        assert not is_permutation(np.array([0, 0, 1]))
+        assert not is_permutation(np.array([0, 3, 1]))
+        assert not is_permutation(np.array([[0, 1]]))
+
+    def test_invert(self, rng):
+        perm = rng.permutation(20)
+        inv = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], np.arange(20))
+        np.testing.assert_array_equal(inv[perm], np.arange(20))
+
+    def test_compose(self, rng):
+        p = rng.permutation(15)
+        q = rng.permutation(15)
+        x = rng.standard_normal(15)
+        two_step = permute_vector(permute_vector(x, q), p)
+        one_step = permute_vector(x, compose_permutations(p, q))
+        np.testing.assert_array_equal(two_step, one_step)
+
+    def test_vector_roundtrip(self, rng):
+        perm = rng.permutation(10)
+        x = rng.standard_normal(10)
+        np.testing.assert_array_equal(
+            unpermute_vector(permute_vector(x, perm), perm), x)
+
+    def test_symmetric_permutation_commutes_with_matvec(self, any_matrix,
+                                                        rng):
+        """P A P^T (P x) == P (A x): the identity FBMPK's perm handling
+        relies on."""
+        perm = rng.permutation(any_matrix.n_rows)
+        b = permute_symmetric(any_matrix, perm)
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(
+            b.matvec(permute_vector(x, perm)),
+            permute_vector(any_matrix.matvec(x), perm),
+            rtol=1e-12, atol=1e-13,
+        )
+
+    def test_symmetric_permutation_validation(self, grid):
+        with pytest.raises(ValueError, match="square"):
+            permute_symmetric(CSRMatrix.zeros((2, 3)), np.array([0, 1]))
+        with pytest.raises(ValueError, match="length"):
+            permute_symmetric(grid, np.arange(3))
+
+
+class TestRCM:
+    def test_reduces_bandwidth_of_shuffled_banded(self, rng):
+        from repro.matrices import banded_random
+
+        a = banded_random(150, 5, 6, symmetric=True, seed=8)
+        shuffled = permute_symmetric(a, rng.permutation(a.n_rows))
+        bw_shuffled = matrix_bandwidth(shuffled)
+        perm = rcm_ordering(shuffled)
+        assert is_permutation(perm)
+        bw_rcm = matrix_bandwidth(permute_symmetric(shuffled, perm))
+        assert bw_rcm < bw_shuffled / 2
+
+    def test_handles_disconnected_components(self):
+        dense = np.zeros((6, 6))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[4, 5] = dense[5, 4] = 1.0
+        np.fill_diagonal(dense, 2.0)
+        perm = rcm_ordering(CSRMatrix.from_dense(dense))
+        assert is_permutation(perm)
+
+    def test_bandwidth_of_diagonal_is_zero(self):
+        assert matrix_bandwidth(CSRMatrix.identity(5)) == 0
+        assert matrix_bandwidth(CSRMatrix.zeros((4, 4))) == 0
+
+
+class TestLevels:
+    @pytest.mark.parametrize("direction", ["forward", "backward"])
+    def test_sequential_equals_vectorised(self, any_matrix, direction):
+        part = split_ldu(any_matrix)
+        tri = part.lower if direction == "forward" else part.upper
+        seq = levels_sequential(tri, direction)
+        vec = levels_vectorised(tri, direction)
+        np.testing.assert_array_equal(seq, vec)
+        assert check_levels(tri, seq)
+
+    def test_chain_has_n_levels(self):
+        # Strictly-lower bidiagonal: a pure dependency chain.
+        n = 10
+        dense = np.zeros((n, n))
+        for i in range(1, n):
+            dense[i, i - 1] = 1.0
+        tri = CSRMatrix.from_dense(dense)
+        levels = levels_sequential(tri, "forward")
+        np.testing.assert_array_equal(levels, np.arange(n))
+
+    def test_vectorised_round_budget(self):
+        n = 50
+        dense = np.zeros((n, n))
+        for i in range(1, n):
+            dense[i, i - 1] = 1.0
+        tri = CSRMatrix.from_dense(dense)
+        with pytest.raises(RuntimeError, match="converge"):
+            levels_vectorised(tri, "forward", max_rounds=5)
+        # compute_levels falls back to sequential transparently.
+        np.testing.assert_array_equal(compute_levels(tri), np.arange(n))
+
+    def test_levels_to_groups_partition(self, small_sym):
+        part = split_ldu(small_sym)
+        levels = compute_levels(part.lower)
+        groups = levels_to_groups(levels)
+        flat = np.concatenate(groups)
+        assert sorted(flat.tolist()) == list(range(small_sym.n_rows))
+        # Groups ordered by ascending level.
+        for g, rows in enumerate(groups):
+            assert (levels[rows] == levels[groups[g][0]]).all()
+
+    def test_empty(self):
+        assert levels_to_groups(np.array([], dtype=np.int64)) == []
+        tri = CSRMatrix.zeros((3, 3))
+        np.testing.assert_array_equal(levels_vectorised(tri), [0, 0, 0])
+
+    def test_direction_validation(self, grid):
+        part = split_ldu(grid)
+        with pytest.raises(ValueError):
+            levels_sequential(part.lower, "sideways")
+        with pytest.raises(ValueError):
+            levels_vectorised(part.lower, "sideways")
+
+    def test_check_levels_negative(self, small_sym):
+        part = split_ldu(small_sym)
+        if part.lower.nnz:
+            bad = np.zeros(small_sym.n_rows, dtype=np.int64)
+            assert not check_levels(part.lower, bad)

@@ -1,0 +1,115 @@
+"""Additional reordering behaviours: RCM quality, ABMC options,
+permutation algebra laws."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import banded_random, poisson2d
+from repro.reorder import (
+    abmc_ordering,
+    adjacency_from_matrix,
+    compose_permutations,
+    greedy_coloring,
+    invert_permutation,
+    is_permutation,
+    matrix_bandwidth,
+    permute_symmetric,
+    pseudo_peripheral_vertex,
+    rcm_ordering,
+)
+
+
+class TestRCMQuality:
+    def test_grid_bandwidth_near_optimal(self):
+        """RCM on an nx x nx grid should land near the optimal bandwidth
+        nx (level sets of the grid)."""
+        nx = 12
+        a = poisson2d(nx, seed=0)
+        perm = rcm_ordering(a)
+        bw = matrix_bandwidth(permute_symmetric(a, perm))
+        assert bw <= 2 * nx
+
+    def test_idempotent_quality(self):
+        """Applying RCM twice should not make bandwidth worse."""
+        a = banded_random(150, 5, 40, symmetric=True, seed=4)
+        p1 = rcm_ordering(a)
+        b = permute_symmetric(a, p1)
+        p2 = rcm_ordering(b)
+        c = permute_symmetric(b, p2)
+        assert matrix_bandwidth(c) <= matrix_bandwidth(b) * 1.3
+
+    def test_pseudo_peripheral_on_path(self):
+        # Path graph: the peripheral vertex from the middle is an end.
+        n = 15
+        dense = np.eye(n) * 2
+        for i in range(n - 1):
+            dense[i, i + 1] = dense[i + 1, i] = -1.0
+        from repro.sparse import CSRMatrix
+
+        g = adjacency_from_matrix(CSRMatrix.from_dense(dense))
+        v = pseudo_peripheral_vertex(g, start=n // 2)
+        assert v in (0, n - 1)
+
+
+class TestABMCOptions:
+    def test_largest_first_color_order(self, small_sym):
+        o = abmc_ordering(small_sym, block_size=4,
+                          color_order="largest_first")
+        assert is_permutation(o.perm)
+        assert o.n_colors >= 2
+
+    def test_color_count_shrinks_with_block_size(self, small_sym):
+        """Bigger blocks -> denser quotient but far fewer vertices; the
+        colour count stays small either way and the block count drops."""
+        o1 = abmc_ordering(small_sym, block_size=2)
+        o2 = abmc_ordering(small_sym, block_size=30)
+        assert o2.n_blocks < o1.n_blocks
+
+    def test_reordering_preserves_spectrum(self, small_sym):
+        o = abmc_ordering(small_sym, block_size=8)
+        b = permute_symmetric(small_sym, o.perm)
+        e1 = np.sort(np.linalg.eigvalsh(small_sym.to_dense()))
+        e2 = np.sort(np.linalg.eigvalsh(b.to_dense()))
+        np.testing.assert_allclose(e1, e2, rtol=1e-9, atol=1e-11)
+
+
+class TestPermutationLaws:
+    def test_identity_composition(self, rng):
+        n = 17
+        p = rng.permutation(n)
+        ident = np.arange(n)
+        np.testing.assert_array_equal(compose_permutations(p, ident), p)
+        np.testing.assert_array_equal(compose_permutations(ident, p), p)
+
+    def test_inverse_composition_is_identity(self, rng):
+        p = rng.permutation(23)
+        inv = invert_permutation(p)
+        np.testing.assert_array_equal(compose_permutations(p, inv),
+                                      np.arange(23))
+        np.testing.assert_array_equal(compose_permutations(inv, p),
+                                      np.arange(23))
+
+    def test_double_symmetric_permutation(self, grid, rng):
+        p = rng.permutation(grid.n_rows)
+        q = rng.permutation(grid.n_rows)
+        two_step = permute_symmetric(permute_symmetric(grid, q), p)
+        one_step = permute_symmetric(grid, compose_permutations(p, q))
+        np.testing.assert_array_equal(two_step.to_dense(),
+                                      one_step.to_dense())
+
+
+class TestColoringQuality:
+    def test_greedy_on_dense_clique(self):
+        from repro.sparse import CSRMatrix
+
+        n = 6
+        dense = np.ones((n, n))
+        g = adjacency_from_matrix(CSRMatrix.from_dense(dense))
+        colors = greedy_coloring(g)
+        # A clique needs exactly n colours.
+        assert colors.max() + 1 == n
+
+    def test_greedy_color_count_bounded_by_degree(self, small_unsym):
+        g = adjacency_from_matrix(small_unsym)
+        colors = greedy_coloring(g)
+        assert colors.max() + 1 <= g.max_degree() + 1

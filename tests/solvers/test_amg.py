@@ -1,0 +1,103 @@
+"""Unit tests for the multilevel AMG hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import poisson2d
+from repro.solvers import conjugate_gradient
+from repro.solvers.amg import MultilevelAMG
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return poisson2d(16, seed=2)  # 256 rows
+
+
+class TestHierarchy:
+    def test_builds_multiple_levels(self, spd):
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16)
+        assert amg.n_levels >= 3
+        sizes = [lv.a.n_rows for lv in amg.levels]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] <= 16
+
+    def test_galerkin_coarse_operators(self, spd):
+        """A_{l+1} = P^T A_l P at every level."""
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16)
+        for fine, coarse in zip(amg.levels, amg.levels[1:]):
+            p = fine.prolong.to_dense()
+            expected = p.T @ fine.a.to_dense() @ p
+            np.testing.assert_allclose(coarse.a.to_dense(), expected,
+                                       rtol=1e-10, atol=1e-12)
+
+    def test_coarse_levels_stay_spd(self, spd):
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16)
+        for lv in amg.levels:
+            eigs = np.linalg.eigvalsh(lv.a.to_dense())
+            assert eigs.min() > -1e-10
+
+    def test_operator_complexity_reasonable(self, spd):
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16)
+        assert 1.0 <= amg.operator_complexity() < 2.5
+
+    def test_max_levels_cap(self, spd):
+        amg = MultilevelAMG(spd, aggregate_size=2, max_levels=2,
+                            coarse_size=4)
+        assert amg.n_levels == 2
+
+    def test_validation(self, spd):
+        with pytest.raises(ValueError):
+            MultilevelAMG(CSRMatrix.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            MultilevelAMG(spd, aggregate_size=1)
+        with pytest.raises(ValueError):
+            MultilevelAMG(spd, cycle=3)
+
+
+class TestCycles:
+    @pytest.mark.parametrize("smoother", ["jacobi", "chebyshev"])
+    @pytest.mark.parametrize("cycle", [1, 2])
+    def test_solve_converges(self, spd, rng, smoother, cycle):
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16,
+                            smoother=smoother, cycle=cycle)
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        x, cycles, ok = amg.solve(b, tol=1e-9)
+        assert ok, f"{smoother}/{cycle} failed"
+        np.testing.assert_allclose(x, x_true, rtol=1e-5, atol=1e-7)
+
+    def test_w_cycle_needs_no_more_cycles_than_v(self, spd, rng):
+        b = rng.standard_normal(spd.n_rows)
+        v = MultilevelAMG(spd, aggregate_size=4, coarse_size=16, cycle=1)
+        w = MultilevelAMG(spd, aggregate_size=4, coarse_size=16, cycle=2)
+        _, cycles_v, ok_v = v.solve(b, tol=1e-9)
+        _, cycles_w, ok_w = w.solve(b, tol=1e-9)
+        assert ok_v and ok_w
+        assert cycles_w <= cycles_v
+
+    def test_single_cycle_contracts(self, spd, rng):
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16)
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        x = amg.vcycle(b)
+        assert np.linalg.norm(b - spd.matvec(x)) \
+            < 0.7 * np.linalg.norm(b)
+
+    def test_as_cg_preconditioner(self, spd, rng):
+        b = rng.standard_normal(spd.n_rows)
+        plain = conjugate_gradient(spd, b, tol=1e-10)
+        amg = MultilevelAMG(spd, aggregate_size=4, coarse_size=16)
+        pcg = conjugate_gradient(spd, b, tol=1e-10,
+                                 preconditioner=amg.as_preconditioner())
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations
+
+    def test_small_matrix_direct(self):
+        a = poisson2d(3, seed=1)  # 9 rows < coarse_size
+        amg = MultilevelAMG(a, coarse_size=64)
+        assert amg.n_levels == 1
+        b = np.ones(a.n_rows)
+        x, cycles, ok = amg.solve(b, tol=1e-12)
+        assert ok and cycles == 1
+        np.testing.assert_allclose(a.matvec(x), b, rtol=1e-9, atol=1e-11)

@@ -1,0 +1,128 @@
+"""Unit tests for polynomial preconditioning through FBMPK."""
+
+import numpy as np
+import pytest
+
+from repro.core.fbmpk import build_fbmpk_operator
+from repro.matrices import poisson2d
+from repro.solvers import conjugate_gradient, gershgorin_bounds
+from repro.solvers.krylov import bicgstab, gmres
+from repro.solvers.polynomial import (
+    NeumannPreconditioner,
+    PolynomialPreconditioner,
+    chebyshev_inverse_coefficients,
+)
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return poisson2d(12, seed=4)
+
+
+class TestChebyshevInverse:
+    def test_approximates_reciprocal(self):
+        coeffs = chebyshev_inverse_coefficients(8, 0.5, 2.0)
+        t = np.linspace(0.5, 2.0, 100)
+        p = sum(c * t ** i for i, c in enumerate(coeffs))
+        assert np.abs(p - 1.0 / t).max() < 1e-3
+
+    def test_degree_zero(self):
+        coeffs = chebyshev_inverse_coefficients(0, 1.0, 3.0)
+        assert coeffs.shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chebyshev_inverse_coefficients(3, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            chebyshev_inverse_coefficients(3, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            chebyshev_inverse_coefficients(-1, 0.5, 1.0)
+
+
+class TestPolynomialPreconditioner:
+    def test_apply_is_polynomial_in_a(self, spd, rng):
+        coeffs = [0.5, -0.25, 0.125]
+        pre = PolynomialPreconditioner(a=spd, coefficients=coeffs)
+        r = rng.standard_normal(spd.n_rows)
+        dense = spd.to_dense()
+        expected = (coeffs[0] * r + coeffs[1] * dense @ r
+                    + coeffs[2] * dense @ (dense @ r))
+        np.testing.assert_allclose(pre.apply(r), expected,
+                                   rtol=1e-9, atol=1e-11)
+        assert pre.degree == 2
+        assert pre.matrix_reads_per_apply() == pytest.approx(1.5)
+
+    def test_chebyshev_poly_accelerates_cg(self, spd, rng):
+        lo, hi = gershgorin_bounds(spd)
+        lo = max(lo, hi / 100.0)
+        coeffs = chebyshev_inverse_coefficients(6, lo, hi)
+        pre = PolynomialPreconditioner(a=spd, coefficients=coeffs)
+        b = rng.standard_normal(spd.n_rows)
+        plain = conjugate_gradient(spd, b, tol=1e-10)
+        pcg = conjugate_gradient(spd, b, tol=1e-10, preconditioner=pre)
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations
+
+    def test_shared_operator(self, spd, rng):
+        op = build_fbmpk_operator(spd, strategy="abmc", block_size=1)
+        pre = PolynomialPreconditioner(coefficients=[1.0, 1.0],
+                                       operator=op)
+        r = rng.standard_normal(spd.n_rows)
+        np.testing.assert_allclose(pre(r), r + spd.matvec(r),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_validation(self, spd):
+        with pytest.raises(ValueError):
+            PolynomialPreconditioner(a=spd, coefficients=None)
+        with pytest.raises(ValueError):
+            PolynomialPreconditioner(a=spd, coefficients=[])
+        with pytest.raises(ValueError):
+            PolynomialPreconditioner(coefficients=[1.0])
+
+
+class TestNeumann:
+    def test_matches_truncated_series(self, spd, rng):
+        m = 3
+        pre = NeumannPreconditioner(spd, degree=m)
+        r = rng.standard_normal(spd.n_rows)
+        d = spd.diagonal()
+        dense_b = spd.to_dense() / d[:, None]
+        N = np.eye(spd.n_rows) - dense_b
+        expected = np.zeros_like(r)
+        term = r / d
+        for _ in range(m + 1):
+            expected += term
+            term = N @ term
+        np.testing.assert_allclose(pre(r), expected, rtol=1e-9,
+                                   atol=1e-11)
+
+    def test_improves_with_degree(self, spd, rng):
+        """Higher-degree Neumann gets closer to A^{-1} on diagonally
+        dominant systems."""
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        errs = []
+        for m in (1, 3, 7):
+            pre = NeumannPreconditioner(spd, degree=m)
+            errs.append(np.linalg.norm(pre(b) - x_true))
+        assert errs[2] < errs[1] < errs[0]
+
+    def test_accelerates_unsymmetric_krylov(self, rng):
+        from repro.matrices import banded_random
+
+        a = banded_random(250, 7, 12, symmetric=False, seed=6)
+        b = rng.standard_normal(a.n_rows)
+        pre = NeumannPreconditioner(a, degree=3)
+        # Right-preconditioned operator A M^{-1}.
+        res = gmres(lambda v: a.matvec(pre(v)), b, tol=1e-9, restart=30)
+        assert res.converged
+        x = pre(res.x)
+        assert np.linalg.norm(a.matvec(x) - b) <= 1e-7 * np.linalg.norm(b)
+        plain = gmres(a, b, tol=1e-9, restart=30)
+        assert res.iterations <= plain.iterations
+
+    def test_requires_full_diagonal(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            NeumannPreconditioner(a)

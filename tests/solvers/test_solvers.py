@@ -1,0 +1,233 @@
+"""Unit tests for the application-level solvers."""
+
+import numpy as np
+import pytest
+
+from repro import build_fbmpk_operator
+from repro.matrices import poisson2d
+from repro.solvers import (
+    TwoLevelMultigrid,
+    aggregate_rows,
+    chebyshev_apply_fbmpk,
+    chebyshev_apply_recurrence,
+    chebyshev_coefficients_monomial,
+    chebyshev_solve,
+    conjugate_gradient,
+    gershgorin_bounds,
+    lanczos,
+    power_iteration,
+    power_iteration_fbmpk,
+    ritz_values,
+    sstep_krylov_basis,
+)
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return poisson2d(12, seed=4)  # 144 rows, SPD by construction
+
+
+@pytest.fixture(scope="module")
+def spd_op(spd):
+    return build_fbmpk_operator(spd, strategy="abmc", block_size=1)
+
+
+class TestCG:
+    def test_solves_spd(self, spd, rng):
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        res = conjugate_gradient(spd, b, tol=1e-12)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-6, atol=1e-8)
+        assert res.final_residual <= 1e-12 * np.linalg.norm(b) * 10
+
+    def test_residual_history_decreases_overall(self, spd, rng):
+        b = rng.standard_normal(spd.n_rows)
+        res = conjugate_gradient(spd, b, tol=1e-10)
+        assert res.residual_norms[-1] < res.residual_norms[0]
+
+    def test_zero_rhs(self, spd):
+        res = conjugate_gradient(spd, np.zeros(spd.n_rows))
+        assert res.converged and res.iterations == 0
+
+    def test_warm_start(self, spd, rng):
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        res = conjugate_gradient(spd, b, x0=x_true, tol=1e-10)
+        assert res.iterations <= 1
+
+    def test_max_iter_cutoff(self, spd, rng):
+        b = rng.standard_normal(spd.n_rows)
+        res = conjugate_gradient(spd, b, tol=1e-14, max_iter=2)
+        assert not res.converged and res.iterations == 2
+
+    def test_dimension_error(self, spd):
+        with pytest.raises(ValueError):
+            conjugate_gradient(spd, np.zeros(3))
+
+    def test_non_spd_bails_cleanly(self, rng):
+        from repro.sparse import CSRMatrix
+
+        indefinite = CSRMatrix.from_dense(np.diag([1.0, -1.0, 1.0]))
+        res = conjugate_gradient(indefinite, np.array([1.0, 1.0, 1.0]),
+                                 max_iter=10)
+        assert not res.converged
+
+
+class TestChebyshev:
+    def test_monomial_coefficients(self):
+        # T_0..T_4 against the textbook forms.
+        np.testing.assert_array_equal(chebyshev_coefficients_monomial(0),
+                                      [1])
+        np.testing.assert_array_equal(chebyshev_coefficients_monomial(1),
+                                      [0, 1])
+        np.testing.assert_array_equal(chebyshev_coefficients_monomial(2),
+                                      [-1, 0, 2])
+        np.testing.assert_array_equal(chebyshev_coefficients_monomial(3),
+                                      [0, -3, 0, 4])
+        np.testing.assert_array_equal(chebyshev_coefficients_monomial(4),
+                                      [1, 0, -8, 0, 8])
+
+    def test_coefficients_match_numpy_chebyshev(self):
+        for deg in range(8):
+            ours = chebyshev_coefficients_monomial(deg)
+            ref = np.polynomial.chebyshev.cheb2poly(
+                np.eye(deg + 1)[deg])
+            np.testing.assert_allclose(ours, ref, rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("degree", [0, 1, 2, 5, 8, 11])
+    def test_recurrence_equals_fbmpk(self, spd, spd_op, rng, degree):
+        lo, hi = gershgorin_bounds(spd)
+        interval = (lo - 0.1, hi + 0.1)
+        x = rng.standard_normal(spd.n_rows)
+        y_rec = chebyshev_apply_recurrence(spd, x, degree, interval)
+        y_fb = chebyshev_apply_fbmpk(spd_op, x, degree, interval)
+        np.testing.assert_allclose(y_fb, y_rec, rtol=1e-7, atol=1e-9)
+
+    def test_interval_validation(self, spd, spd_op):
+        with pytest.raises(ValueError):
+            chebyshev_apply_recurrence(spd, np.zeros(spd.n_rows), 3, (1, 1))
+        with pytest.raises(ValueError):
+            chebyshev_apply_fbmpk(spd_op, np.zeros(spd.n_rows), 3, (2, 1))
+
+    def test_chebyshev_solve(self, spd, rng):
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        dense_eigs = np.linalg.eigvalsh(spd.to_dense())
+        x, it, ok = chebyshev_solve(spd, b,
+                                    (dense_eigs[0] * 0.9,
+                                     dense_eigs[-1] * 1.1), tol=1e-10)
+        assert ok
+        np.testing.assert_allclose(x, x_true, rtol=1e-5, atol=1e-7)
+
+    def test_chebyshev_solve_bounds_validation(self, spd):
+        with pytest.raises(ValueError):
+            chebyshev_solve(spd, np.zeros(spd.n_rows), (0.0, 1.0))
+
+
+class TestPower:
+    def test_gershgorin_contains_spectrum(self, any_matrix):
+        lo, hi = gershgorin_bounds(any_matrix)
+        eigs = np.linalg.eigvals(any_matrix.to_dense())
+        assert eigs.real.min() >= lo - 1e-9
+        assert eigs.real.max() <= hi + 1e-9
+
+    def test_power_iteration_finds_dominant(self, spd):
+        lam, v, _ = power_iteration(spd, tol=1e-12, max_iter=20_000)
+        dense = np.linalg.eigvalsh(spd.to_dense())
+        # Dominant |eigenvalue| of an SPD matrix is lambda_max.
+        assert lam == pytest.approx(dense[-1], rel=1e-6)
+        # v is an eigenvector.
+        np.testing.assert_allclose(spd.matvec(v), lam * v, rtol=0,
+                                   atol=1e-5)
+
+    def test_power_iteration_fbmpk_agrees(self, spd, spd_op):
+        lam_plain, _, _ = power_iteration(spd, tol=1e-12, max_iter=20_000)
+        lam_blk, _, _ = power_iteration_fbmpk(spd_op, spd, s=4, tol=1e-12,
+                                              max_iter=5_000)
+        assert lam_blk == pytest.approx(lam_plain, rel=1e-6)
+
+    def test_power_fbmpk_validates_s(self, spd, spd_op):
+        with pytest.raises(ValueError):
+            power_iteration_fbmpk(spd_op, spd, s=0)
+
+
+class TestLanczos:
+    def test_orthonormal_basis(self, spd):
+        Q, alpha, beta = lanczos(spd, 25, seed=3)
+        gram = Q.T @ Q
+        np.testing.assert_allclose(gram, np.eye(Q.shape[1]), atol=1e-10)
+        assert alpha.shape[0] == Q.shape[1]
+
+    def test_ritz_extremes_converge(self, spd):
+        Q, alpha, beta = lanczos(spd, 40, seed=1)
+        ritz = ritz_values(alpha, beta)
+        dense = np.linalg.eigvalsh(spd.to_dense())
+        assert ritz.max() == pytest.approx(dense[-1], rel=1e-6)
+        assert ritz.min() == pytest.approx(dense[0], rel=1e-2, abs=1e-4)
+
+    def test_sstep_basis_spans_krylov(self, spd, spd_op, rng):
+        q0 = rng.standard_normal(spd.n_rows)
+        B = sstep_krylov_basis(spd_op, q0, 4)
+        # Orthonormal columns…
+        np.testing.assert_allclose(B.T @ B, np.eye(B.shape[1]), atol=1e-8)
+        # …spanning the monomial Krylov block.
+        dense = spd.to_dense()
+        v = q0 / np.linalg.norm(q0)
+        for _ in range(4):
+            v = dense @ v
+        residual = v - B @ (B.T @ v)
+        assert np.linalg.norm(residual) < 1e-6 * np.linalg.norm(v)
+
+    def test_sstep_validates_s(self, spd_op, rng):
+        with pytest.raises(ValueError):
+            sstep_krylov_basis(spd_op, rng.standard_normal(spd_op.n), 0)
+
+
+class TestMultigrid:
+    def test_aggregates(self):
+        np.testing.assert_array_equal(aggregate_rows(7, 3), [0, 0, 0, 1, 1, 1, 2])
+        with pytest.raises(ValueError):
+            aggregate_rows(4, 0)
+
+    @pytest.mark.parametrize("smoother", ["jacobi", "chebyshev"])
+    def test_vcycle_contracts_error(self, spd, rng, smoother):
+        mg = TwoLevelMultigrid(spd, aggregate_size=12, smoother=smoother)
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        x = mg.vcycle(b)
+        r0 = np.linalg.norm(b)
+        r1 = np.linalg.norm(b - spd.matvec(x))
+        assert r1 < 0.7 * r0
+
+    def test_solve_converges(self, spd, rng):
+        mg = TwoLevelMultigrid(spd, aggregate_size=12)
+        b = rng.standard_normal(spd.n_rows)
+        x, cycles, ok = mg.solve(b, tol=1e-9)
+        assert ok
+        assert np.linalg.norm(b - spd.matvec(x)) <= 1e-8 * np.linalg.norm(b) * 10
+
+    def test_preconditioned_cg_faster(self, spd, rng):
+        b = rng.standard_normal(spd.n_rows)
+        plain = conjugate_gradient(spd, b, tol=1e-10)
+        mg = TwoLevelMultigrid(spd, aggregate_size=12)
+        pcg = conjugate_gradient(spd, b, tol=1e-10,
+                                 preconditioner=mg.as_preconditioner())
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations
+
+    def test_restrict_prolong_adjoint(self, spd, rng):
+        mg = TwoLevelMultigrid(spd, aggregate_size=8)
+        r = rng.standard_normal(spd.n_rows)
+        e = rng.standard_normal(mg._h.n_coarse)
+        # <P^T r, e> == <r, P e> (transfer operators are adjoint).
+        assert mg.restrict(r) @ e == pytest.approx(r @ mg.prolong(e))
+
+    def test_validation(self, rng):
+        from repro.sparse import CSRMatrix
+
+        with pytest.raises(ValueError, match="square"):
+            TwoLevelMultigrid(CSRMatrix.zeros((2, 3)))
+        with pytest.raises(ValueError, match="diagonal"):
+            TwoLevelMultigrid(CSRMatrix.from_dense(
+                np.array([[0.0, 1.0], [1.0, 0.0]])))

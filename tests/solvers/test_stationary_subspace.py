@@ -1,0 +1,129 @@
+"""Unit tests for stationary iterations and block subspace iteration."""
+
+import numpy as np
+import pytest
+
+from repro.core.fbmpk import build_fbmpk_operator
+from repro.core.partition import split_ldu
+from repro.matrices import banded_random, poisson2d
+from repro.solvers.stationary import (
+    gauss_seidel,
+    jacobi,
+    richardson,
+    spectral_radius_jacobi,
+)
+from repro.solvers.subspace import subspace_iteration
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return poisson2d(10, seed=3)  # 100 rows, SPD, diag dominant
+
+
+class TestStationary:
+    def test_jacobi_converges_on_dd(self, spd, rng):
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        x, its, ok = jacobi(spd, b, tol=1e-10)
+        assert ok
+        np.testing.assert_allclose(x, x_true, rtol=1e-6, atol=1e-8)
+
+    def test_richardson_with_good_omega(self, spd, rng):
+        lam_max = float(np.linalg.eigvalsh(spd.to_dense())[-1])
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        x, its, ok = richardson(spd, b, omega=1.0 / lam_max, tol=1e-9)
+        assert ok
+        np.testing.assert_allclose(x, x_true, rtol=1e-5, atol=1e-7)
+
+    def test_richardson_diverges_with_bad_omega(self, spd, rng):
+        lam_max = float(np.linalg.eigvalsh(spd.to_dense())[-1])
+        b = rng.standard_normal(spd.n_rows)
+        x, its, ok = richardson(spd, b, omega=3.0 / lam_max * 2,
+                                tol=1e-9, max_iter=200)
+        assert not ok
+
+    def test_gauss_seidel_converges_faster_than_jacobi(self, spd, rng):
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        _, its_j, ok_j = jacobi(spd, b, tol=1e-8)
+        _, its_gs, ok_gs = gauss_seidel(spd, b, tol=1e-8)
+        assert ok_j and ok_gs
+        assert its_gs < its_j  # classic result for consistently ordered A
+
+    def test_gauss_seidel_reuses_partition(self, spd, rng):
+        part = split_ldu(spd)
+        b = rng.standard_normal(spd.n_rows)
+        x1, _, _ = gauss_seidel(spd, b, tol=1e-9)
+        x2, _, _ = gauss_seidel(spd, b, tol=1e-9, part=part)
+        np.testing.assert_allclose(x1, x2, rtol=1e-12, atol=1e-13)
+
+    def test_spectral_radius_estimate(self, spd):
+        rho = spectral_radius_jacobi(spd)
+        dense = spd.to_dense()
+        exact = np.abs(np.linalg.eigvals(
+            np.eye(spd.n_rows) - dense / np.diag(dense)[:, None])).max()
+        assert rho == pytest.approx(exact, rel=0.05)
+        assert rho < 1.0  # diagonally dominant -> Jacobi converges
+
+    def test_validation(self, spd):
+        with pytest.raises(ValueError):
+            richardson(spd, np.zeros(spd.n_rows), omega=0.0)
+        hollow = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            jacobi(hollow, np.ones(2))
+        with pytest.raises(ValueError):
+            gauss_seidel(hollow, np.ones(2))
+        with pytest.raises(ValueError):
+            spectral_radius_jacobi(hollow)
+        with pytest.raises(ValueError):
+            jacobi(spd, np.ones(3))
+
+
+class TestSubspaceIteration:
+    def test_finds_dominant_pairs(self, spd):
+        vals, vecs, steps = subspace_iteration(spd, n_eigs=3, s=3,
+                                               tol=1e-11)
+        dense = np.linalg.eigvalsh(spd.to_dense())
+        dominant = dense[np.argsort(-np.abs(dense))][:3]
+        np.testing.assert_allclose(np.sort(np.abs(vals)),
+                                   np.sort(np.abs(dominant)),
+                                   rtol=1e-6)
+        # Residuals ||A v - lambda v|| small.
+        for j in range(3):
+            r = spd.matvec(vecs[:, j]) - vals[j] * vecs[:, j]
+            assert np.linalg.norm(r) < 1e-5
+
+    def test_shares_operator(self, spd):
+        op = build_fbmpk_operator(spd, strategy="abmc", block_size=1)
+        vals1, _, _ = subspace_iteration(spd, n_eigs=2, operator=op)
+        vals2, _, _ = subspace_iteration(spd, n_eigs=2)
+        np.testing.assert_allclose(np.abs(vals1), np.abs(vals2),
+                                   rtol=1e-6)
+
+    def test_unsymmetric_magnitude_ordering(self):
+        # Works for symmetric matrices only by contract; sanity-check the
+        # validation instead.
+        a = poisson2d(6)
+        with pytest.raises(ValueError):
+            subspace_iteration(a, n_eigs=0)
+        with pytest.raises(ValueError):
+            subspace_iteration(a, n_eigs=a.n_rows + 1)
+        with pytest.raises(ValueError):
+            subspace_iteration(a, n_eigs=1, s=0)
+
+    def test_matrix_reads_advantage(self, spd):
+        """One outer step advances the whole block with ~(s+1)/2 matrix
+        reads — verified through the operator's counters."""
+        from repro.core.fbmpk import KernelCounter
+        from repro.core.plan import fbmpk_plan
+
+        op = build_fbmpk_operator(spd, strategy="abmc", block_size=1)
+        V = np.random.default_rng(0).standard_normal((spd.n_rows, 4))
+        # power_block has no counter hook; spot-check via power() on one
+        # column — the plan is identical per block step.
+        c = KernelCounter()
+        op.power(V[:, 0], 4, counter=c)
+        plan = fbmpk_plan(4)
+        assert (c.l_passes, c.u_passes) == (plan.l_passes, plan.u_passes)

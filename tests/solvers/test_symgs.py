@@ -1,0 +1,128 @@
+"""Unit tests for SYMGS over the FBMPK partition (Section VII link)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fbmpk import build_fbmpk_operator
+from repro.core.partition import split_ldu
+from repro.matrices import poisson2d
+from repro.reorder import permute_symmetric
+from repro.solvers import conjugate_gradient
+from repro.solvers.symgs import SymgsSmoother, symgs_reference, symgs_sweep
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return poisson2d(10, seed=6)  # SPD, full diagonal
+
+
+def dense_symgs(a, b, x0=None):
+    """Independent oracle: (D+L) x* = b - U x ; (D+U) x** = b - L x*."""
+    dense = a.to_dense()
+    n = dense.shape[0]
+    low = np.tril(dense)          # D + L
+    up = np.triu(dense)           # D + U
+    strict_up = np.triu(dense, 1)
+    strict_low = np.tril(dense, -1)
+    x = np.zeros(n) if x0 is None else x0.copy()
+    from scipy.linalg import solve_triangular
+
+    x = solve_triangular(low, b - strict_up @ x, lower=True)
+    x = solve_triangular(up, b - strict_low @ x, lower=False)
+    return x
+
+
+class TestReference:
+    def test_matches_dense_oracle(self, spd, rng):
+        part = split_ldu(spd)
+        b = rng.standard_normal(spd.n_rows)
+        np.testing.assert_allclose(symgs_reference(part, b),
+                                   dense_symgs(spd, b),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_warm_start(self, spd, rng):
+        part = split_ldu(spd)
+        b = rng.standard_normal(spd.n_rows)
+        x0 = rng.standard_normal(spd.n_rows)
+        np.testing.assert_allclose(symgs_reference(part, b, x0),
+                                   dense_symgs(spd, b, x0),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_fixed_point_is_solution(self, spd, rng):
+        """The exact solution is a fixed point of the sweep."""
+        part = split_ldu(spd)
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        np.testing.assert_allclose(symgs_reference(part, b, x_true),
+                                   x_true, rtol=1e-10, atol=1e-12)
+
+    def test_zero_diagonal_rejected(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError, match="diagonal"):
+            symgs_reference(split_ldu(a), np.ones(2))
+
+    def test_dimension_error(self, spd):
+        with pytest.raises(ValueError):
+            symgs_reference(split_ldu(spd), np.ones(3))
+
+
+class TestGroupSweep:
+    def test_abmc_groups_match_sequential(self, spd, rng):
+        """On the ABMC-reordered system the group-wise sweep is exactly
+        the sequential sweep (valid sweep groups preserve Gauss-Seidel's
+        new/old value discipline)."""
+        op = build_fbmpk_operator(spd, strategy="abmc", block_size=1)
+        reordered_part = op.part
+        b = rng.standard_normal(spd.n_rows)
+        seq = symgs_reference(reordered_part, b)
+        grp = symgs_sweep(reordered_part, op.groups, b)
+        np.testing.assert_allclose(grp, seq, rtol=1e-12, atol=1e-13)
+
+    def test_iteration_converges(self, spd, rng):
+        part = split_ldu(spd)
+        x_true = rng.standard_normal(spd.n_rows)
+        b = spd.matvec(x_true)
+        x = None
+        for _ in range(60):
+            x = symgs_reference(part, b, x)
+        np.testing.assert_allclose(x, x_true, rtol=1e-6, atol=1e-8)
+
+
+class TestSmoother:
+    def test_matches_reference_in_original_numbering(self, spd, rng):
+        op = build_fbmpk_operator(spd, strategy="abmc", block_size=1)
+        sm = SymgsSmoother(operator=op)
+        b = rng.standard_normal(spd.n_rows)
+        # Reference computed in the reordered space, mapped back.
+        perm = op.perm
+        ref_perm = symgs_reference(op.part, b[perm])
+        ref = np.empty_like(ref_perm)
+        ref[perm] = ref_perm
+        np.testing.assert_allclose(sm.smooth(b), ref, rtol=1e-12,
+                                   atol=1e-13)
+
+    def test_build_from_matrix(self, spd, rng):
+        sm = SymgsSmoother(a=spd)
+        b = rng.standard_normal(spd.n_rows)
+        x = sm.smooth(b, iterations=30)
+        assert np.linalg.norm(b - spd.matvec(x)) \
+            < 0.05 * np.linalg.norm(b)
+
+    def test_as_cg_preconditioner(self, spd, rng):
+        b = rng.standard_normal(spd.n_rows)
+        plain = conjugate_gradient(spd, b, tol=1e-10)
+        sm = SymgsSmoother(a=spd)
+        pcg = conjugate_gradient(spd, b, tol=1e-10,
+                                 preconditioner=sm.as_preconditioner())
+        assert pcg.converged
+        assert pcg.iterations < plain.iterations
+
+    def test_validation(self, spd):
+        with pytest.raises(ValueError, match="matrix or an operator"):
+            SymgsSmoother()
+        sm = SymgsSmoother(a=spd)
+        with pytest.raises(ValueError):
+            sm.smooth(np.ones(spd.n_rows), iterations=0)
+        with pytest.raises(ValueError):
+            sm.smooth(np.ones(3))

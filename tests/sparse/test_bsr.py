@@ -1,0 +1,98 @@
+"""Unit tests for the BSR block format."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import banded_random, poisson2d
+from repro.sparse import CSRMatrix
+from repro.sparse.bsr import BSRMatrix
+
+
+def block_structured_matrix(n_nodes=30, r=3, seed=0):
+    """FEM-like matrix with genuine r x r block structure."""
+    rng = np.random.default_rng(seed)
+    base = banded_random(n_nodes, 5, 6, symmetric=True, seed=seed)
+    dense_nodes = base.to_dense()
+    n = n_nodes * r
+    dense = np.zeros((n, n))
+    for i, j in zip(*np.nonzero(dense_nodes)):
+        dense[i * r:(i + 1) * r, j * r:(j + 1) * r] = \
+            rng.standard_normal((r, r))
+    return CSRMatrix.from_dense(dense)
+
+
+class TestBSR:
+    @pytest.mark.parametrize("r", [1, 2, 3])
+    def test_roundtrip(self, r):
+        a = block_structured_matrix(r=max(r, 1))
+        bsr = BSRMatrix.from_csr(a, r)
+        np.testing.assert_allclose(bsr.to_csr().to_dense(), a.to_dense(),
+                                   rtol=0, atol=0)
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 6])
+    def test_matvec(self, r):
+        a = block_structured_matrix(n_nodes=24, r=3)
+        if a.shape[0] % r:
+            pytest.skip("dimension not divisible")
+        bsr = BSRMatrix.from_csr(a, r)
+        x = np.random.default_rng(1).standard_normal(a.n_cols)
+        np.testing.assert_allclose(bsr.matvec(x), a.matvec(x),
+                                   rtol=1e-11, atol=1e-12)
+
+    def test_block_structure_has_low_fill(self):
+        a = block_structured_matrix(r=3)
+        bsr = BSRMatrix.from_csr(a, 3)
+        # Dense 3x3 node blocks: fill ratio == 1 exactly.
+        assert bsr.fill_ratio(a.nnz) == pytest.approx(1.0)
+
+    def test_unstructured_matrix_pays_fill(self):
+        a = poisson2d(8)  # point structure, 64 rows
+        bsr = BSRMatrix.from_csr(a, 2)
+        assert bsr.fill_ratio(a.nnz) > 1.2
+        # Still numerically exact.
+        x = np.random.default_rng(0).standard_normal(a.n_cols)
+        np.testing.assert_allclose(bsr.matvec(x), a.matvec(x),
+                                   rtol=1e-11, atol=1e-12)
+
+    def test_index_traffic_reduction(self):
+        a = block_structured_matrix(r=3)
+        bsr = BSRMatrix.from_csr(a, 3)
+        # One index per 3x3 block: ~9x fewer column indices than CSR.
+        assert bsr.indices.size * 9 == pytest.approx(a.nnz, rel=0.01)
+
+    def test_r1_equals_csr(self):
+        a = poisson2d(5)
+        bsr = BSRMatrix.from_csr(a, 1)
+        assert bsr.nnz == a.nnz
+        x = np.ones(a.n_cols)
+        np.testing.assert_allclose(bsr.matvec(x), a.matvec(x))
+
+    def test_empty_matrix(self):
+        bsr = BSRMatrix.from_csr(CSRMatrix.zeros((6, 6)), 3)
+        assert bsr.nnz_blocks == 0
+        np.testing.assert_array_equal(bsr.matvec(np.ones(6)), np.zeros(6))
+        assert bsr.to_csr().nnz == 0
+
+    def test_validation(self):
+        a = poisson2d(5)  # 25 rows
+        with pytest.raises(ValueError, match="multiples"):
+            BSRMatrix.from_csr(a, 2)
+        with pytest.raises(ValueError, match="positive"):
+            BSRMatrix.from_csr(a, 0)
+        with pytest.raises(ValueError, match="blocks"):
+            BSRMatrix(np.array([0, 1]), np.array([0]),
+                      np.ones((1, 2, 3)), (2, 2))
+
+    def test_matvec_dimension_error(self):
+        bsr = BSRMatrix.from_csr(block_structured_matrix(), 3)
+        with pytest.raises(ValueError):
+            bsr.matvec(np.ones(bsr.shape[1] + 1))
+
+    def test_memory_accounting(self):
+        a = block_structured_matrix(r=3)
+        bsr = BSRMatrix.from_csr(a, 3)
+        expected = (bsr.indptr.size + bsr.indices.size) * 8 \
+            + bsr.blocks.size * 8
+        assert bsr.memory_bytes() == expected
+        # For perfectly blocked matrices BSR stores fewer bytes than CSR.
+        assert bsr.memory_bytes() < a.memory_bytes()

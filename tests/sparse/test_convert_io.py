@@ -1,0 +1,107 @@
+"""Unit tests for format conversions and MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    coo_to_csr,
+    csr_to_coo,
+    csr_to_ell,
+    csr_to_sell,
+    from_scipy,
+    read_matrix_market,
+    to_scipy_csr,
+    write_matrix_market,
+)
+
+
+class TestConversions:
+    def test_all_conversions_preserve_values(self, any_matrix):
+        dense = any_matrix.to_dense()
+        np.testing.assert_array_equal(
+            coo_to_csr(csr_to_coo(any_matrix)).to_dense(), dense)
+        np.testing.assert_array_equal(
+            csr_to_ell(any_matrix).to_csr().to_dense(), dense)
+        np.testing.assert_array_equal(
+            csr_to_sell(any_matrix).to_csr().to_dense(), dense)
+
+    def test_scipy_bridge_roundtrip(self, any_matrix, rng):
+        sp = to_scipy_csr(any_matrix)
+        x = rng.standard_normal(any_matrix.n_cols)
+        np.testing.assert_allclose(sp @ x, any_matrix.matvec(x),
+                                   rtol=1e-12, atol=1e-13)
+        back = from_scipy(sp)
+        np.testing.assert_array_equal(back.to_dense(), any_matrix.to_dense())
+
+    def test_from_scipy_accepts_coo(self, grid):
+        import scipy.sparse as sp
+
+        coo = to_scipy_csr(grid).tocoo()
+        np.testing.assert_array_equal(from_scipy(coo).to_dense(),
+                                      grid.to_dense())
+
+
+class TestMatrixMarket:
+    def test_roundtrip_general(self, small_unsym):
+        buf = io.StringIO()
+        write_matrix_market(small_unsym, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf).to_csr()
+        np.testing.assert_allclose(back.to_dense(), small_unsym.to_dense(),
+                                   rtol=0, atol=0)
+
+    def test_symmetric_expansion(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 4.0
+"""
+        coo = read_matrix_market(io.StringIO(text))
+        dense = coo.to_dense()
+        assert dense[0, 1] == dense[1, 0] == -1.0
+        assert dense[0, 0] == 2.0 and dense[2, 2] == 4.0
+
+    def test_skew_symmetric_expansion(self):
+        text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+"""
+        dense = read_matrix_market(io.StringIO(text)).to_dense()
+        assert dense[1, 0] == 3.0 and dense[0, 1] == -3.0
+
+    def test_pattern_field(self):
+        text = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+"""
+        dense = read_matrix_market(io.StringIO(text)).to_dense()
+        np.testing.assert_array_equal(dense, np.eye(2))
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(io.StringIO("nope\n1 1 0\n"))
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(io.StringIO(
+                "%%MatrixMarket matrix array real general\n1 1\n1.0\n"))
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(io.StringIO(
+                "%%MatrixMarket matrix coordinate complex general\n"
+                "1 1 1\n1 1 1.0 0.0\n"))
+
+    def test_rejects_wrong_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(ValueError, match="expected 2 entries"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_file_roundtrip(self, tmp_path, grid):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(grid, str(path), comment="grid test")
+        back = read_matrix_market(str(path)).to_csr()
+        np.testing.assert_allclose(back.to_dense(), grid.to_dense())
+        assert "grid test" in path.read_text()

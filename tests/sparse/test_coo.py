@@ -1,0 +1,51 @@
+"""Unit tests for the COO interchange format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def test_roundtrip_dense(rng):
+    dense = rng.standard_normal((6, 4))
+    dense[np.abs(dense) < 0.5] = 0.0
+    coo = COOMatrix.from_dense(dense)
+    np.testing.assert_array_equal(coo.to_dense(), dense)
+    np.testing.assert_array_equal(coo.to_csr().to_dense(), dense)
+
+
+def test_duplicates_sum_on_conversion():
+    coo = COOMatrix([0, 0], [0, 0], [1.0, 2.0], (1, 1))
+    assert coo.nnz == 2
+    assert coo.to_csr().nnz == 1
+    assert coo.to_dense()[0, 0] == 3.0
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="identical shapes"):
+        COOMatrix([0, 1], [0], [1.0], (2, 2))
+    with pytest.raises(ValueError, match="row index"):
+        COOMatrix([5], [0], [1.0], (2, 2))
+    with pytest.raises(ValueError, match="column index"):
+        COOMatrix([0], [5], [1.0], (2, 2))
+
+
+def test_transpose():
+    coo = COOMatrix([0, 1], [1, 0], [2.0, 3.0], (2, 3))
+    t = coo.transpose()
+    assert t.shape == (3, 2)
+    np.testing.assert_array_equal(t.to_dense(), coo.to_dense().T)
+
+
+def test_symmetrized():
+    coo = COOMatrix([0], [1], [4.0], (2, 2))
+    sym = coo.symmetrized().to_csr()
+    dense = sym.to_dense()
+    assert dense[0, 1] == dense[1, 0] == 2.0
+
+
+def test_csr_coo_csr_roundtrip(small_sym):
+    from repro.sparse.convert import csr_to_coo
+
+    back = csr_to_coo(small_sym).to_csr()
+    np.testing.assert_array_equal(back.to_dense(), small_sym.to_dense())

@@ -1,0 +1,256 @@
+"""Unit tests for the CSR container and its kernels."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix, reduce_rows
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.standard_normal((7, 5))
+        dense[dense < 0.3] = 0.0
+        a = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(a.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CSRMatrix.from_dense(np.ones(4))
+
+    def test_from_coo_sums_duplicates(self):
+        a = CSRMatrix.from_coo_arrays([0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0],
+                                      (2, 2))
+        assert a.nnz == 2
+        assert a.to_dense()[0, 1] == 5.0
+
+    def test_from_coo_keeps_duplicates_when_asked(self):
+        a = CSRMatrix.from_coo_arrays([0, 0], [1, 1], [2.0, 3.0], (2, 2),
+                                      sum_duplicates=False)
+        assert a.nnz == 2
+        assert a.to_dense()[0, 1] == 5.0  # to_dense still accumulates
+
+    def test_from_coo_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRMatrix.from_coo_arrays([0], [5], [1.0], (2, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            CSRMatrix.from_coo_arrays([-1], [0], [1.0], (2, 2))
+
+    def test_from_coo_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            CSRMatrix.from_coo_arrays([0, 1], [0], [1.0], (2, 2))
+
+    def test_validation_catches_bad_indptr(self):
+        with pytest.raises(ValueError, match="indptr"):
+            CSRMatrix([0, 2], [0], [1.0], (2, 2))
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRMatrix([1, 1, 1], [], [], (2, 2))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRMatrix([0, 2, 1], [0, 1], [1.0, 1.0], (2, 2))
+
+    def test_validation_catches_bad_columns(self):
+        with pytest.raises(ValueError, match="column index"):
+            CSRMatrix([0, 1, 1], [9], [1.0], (2, 2))
+
+    def test_identity_and_zeros(self):
+        eye = CSRMatrix.identity(4)
+        np.testing.assert_array_equal(eye.to_dense(), np.eye(4))
+        z = CSRMatrix.zeros((3, 5))
+        assert z.nnz == 0
+        assert z.to_dense().shape == (3, 5)
+
+    def test_paper_fig1_example(self):
+        """The exact CSR example of the paper's Fig 1."""
+        dense = np.array([
+            [1.0, 0, 2.0, 0],   # a b
+            [0, 0, 0, 0],
+            [3.0, 4.0, 0, 5.0],  # c d e
+            [0, 0, 6.0, 7.0],   # f g
+        ])
+        a = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(a.indptr, [0, 2, 2, 5, 7])
+        np.testing.assert_array_equal(a.indices, [0, 2, 0, 1, 3, 2, 3])
+        np.testing.assert_array_equal(a.data, [1, 2, 3, 4, 5, 6, 7])
+
+
+class TestKernels:
+    def test_matvec_matches_scalar_reference(self, any_matrix, rng):
+        x = rng.standard_normal(any_matrix.n_cols)
+        np.testing.assert_allclose(
+            any_matrix.matvec(x), any_matrix.matvec_scalar(x),
+            rtol=1e-13, atol=1e-14,
+        )
+
+    def test_matvec_matches_dense(self, any_matrix, rng):
+        x = rng.standard_normal(any_matrix.n_cols)
+        np.testing.assert_allclose(
+            any_matrix.matvec(x), any_matrix.to_dense() @ x,
+            rtol=1e-10, atol=1e-12,
+        )
+
+    def test_matvec_out_parameter(self, grid, rng):
+        x = rng.standard_normal(grid.n_cols)
+        out = np.empty(grid.n_rows)
+        y = grid.matvec(x, out=out)
+        assert y is out
+        np.testing.assert_allclose(out, grid.to_dense() @ x)
+
+    def test_matvec_dimension_error(self, grid):
+        with pytest.raises(ValueError, match="shape"):
+            grid.matvec(np.ones(grid.n_cols + 1))
+
+    def test_matmat_fused_two_columns(self, any_matrix, rng):
+        X = rng.standard_normal((any_matrix.n_cols, 2))
+        np.testing.assert_allclose(
+            any_matrix.matmat(X), any_matrix.to_dense() @ X,
+            rtol=1e-10, atol=1e-12,
+        )
+
+    def test_matmat_rejects_wrong_shape(self, grid):
+        with pytest.raises(ValueError):
+            grid.matmat(np.ones((grid.n_cols + 1, 2)))
+        with pytest.raises(ValueError):
+            grid.matmat(np.ones(grid.n_cols))
+
+    def test_matmul_operator(self, grid, rng):
+        x = rng.standard_normal(grid.n_cols)
+        np.testing.assert_allclose(grid @ x, grid.matvec(x))
+        X = rng.standard_normal((grid.n_cols, 3))
+        np.testing.assert_allclose(grid @ X, grid.matmat(X))
+
+    def test_empty_rows_produce_zero(self):
+        a = CSRMatrix([0, 0, 1, 1], [2], [5.0], (3, 3))
+        y = a.matvec(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(y, [0.0, 15.0, 0.0])
+
+    def test_all_empty_matrix(self):
+        a = CSRMatrix.zeros((4, 4))
+        np.testing.assert_array_equal(a.matvec(np.ones(4)), np.zeros(4))
+        np.testing.assert_array_equal(a.matmat(np.ones((4, 2))),
+                                      np.zeros((4, 2)))
+
+
+class TestReduceRows:
+    def test_basic(self):
+        products = np.array([1.0, 2.0, 3.0, 4.0])
+        indptr = np.array([0, 2, 2, 4])
+        np.testing.assert_array_equal(reduce_rows(products, indptr),
+                                      [3.0, 0.0, 7.0])
+
+    def test_2d_products(self):
+        products = np.arange(8, dtype=float).reshape(4, 2)
+        indptr = np.array([0, 1, 4])
+        np.testing.assert_array_equal(
+            reduce_rows(products, indptr),
+            [[0.0, 1.0], [2 + 4 + 6, 3 + 5 + 7]],
+        )
+
+    def test_empty_products(self):
+        out = reduce_rows(np.empty(0), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0])
+
+    def test_zero_rows(self):
+        out = reduce_rows(np.empty(0), np.array([0]))
+        assert out.shape == (0,)
+
+    def test_trailing_empty_rows(self):
+        out = reduce_rows(np.array([1.0, 1.0]), np.array([0, 2, 2, 2]))
+        np.testing.assert_array_equal(out, [2.0, 0.0, 0.0])
+
+
+class TestStructure:
+    def test_row_slice_view_semantics(self, small_sym):
+        sub = small_sym.row_slice(10, 20)
+        assert sub.shape == (10, small_sym.n_cols)
+        np.testing.assert_array_equal(sub.to_dense(),
+                                      small_sym.to_dense()[10:20])
+        # Views: mutating the slice's data mutates the parent.
+        if sub.nnz:
+            old = small_sym.data[int(small_sym.indptr[10])]
+            sub.data[0] = old + 1.0
+            assert small_sym.data[int(small_sym.indptr[10])] == old + 1.0
+            sub.data[0] = old
+
+    def test_row_slice_bounds(self, grid):
+        with pytest.raises(IndexError):
+            grid.row_slice(-1, 3)
+        with pytest.raises(IndexError):
+            grid.row_slice(0, grid.n_rows + 1)
+
+    def test_select_rows_matches_dense(self, any_matrix, rng):
+        rows = rng.permutation(any_matrix.n_rows)[:10]
+        sub = any_matrix.select_rows(rows)
+        np.testing.assert_array_equal(sub.to_dense(),
+                                      any_matrix.to_dense()[rows])
+
+    def test_select_rows_empty(self, grid):
+        sub = grid.select_rows(np.array([], dtype=np.int64))
+        assert sub.shape == (0, grid.n_cols)
+        assert sub.nnz == 0
+
+    def test_select_rows_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.select_rows(np.array([grid.n_rows]))
+
+    def test_select_rows_duplicates_allowed(self, grid):
+        sub = grid.select_rows(np.array([3, 3]))
+        np.testing.assert_array_equal(sub.to_dense()[0], sub.to_dense()[1])
+
+    def test_transpose(self, any_matrix):
+        np.testing.assert_array_equal(any_matrix.transpose().to_dense(),
+                                      any_matrix.to_dense().T)
+
+    def test_transpose_involution(self, small_unsym):
+        twice = small_unsym.transpose().transpose()
+        np.testing.assert_array_equal(twice.to_dense(),
+                                      small_unsym.to_dense())
+
+    def test_diagonal(self, any_matrix):
+        np.testing.assert_allclose(any_matrix.diagonal(),
+                                   np.diag(any_matrix.to_dense()))
+
+    def test_is_symmetric(self, small_sym, small_unsym):
+        assert small_sym.is_symmetric(tol=1e-12)
+        assert not small_unsym.is_symmetric(tol=1e-12)
+
+    def test_sort_indices(self):
+        a = CSRMatrix([0, 2], [1, 0], [2.0, 1.0], (1, 2), check=True)
+        assert not a.has_sorted_indices()
+        s = a.sort_indices()
+        assert s.has_sorted_indices()
+        np.testing.assert_array_equal(s.to_dense(), a.to_dense())
+
+    def test_copy_is_deep(self, grid):
+        c = grid.copy()
+        c.data[0] += 1.0
+        assert grid.data[0] != c.data[0]
+
+    def test_memory_bytes(self, grid):
+        expected = (grid.indptr.size + grid.indices.size) * 8 \
+            + grid.data.size * 8
+        assert grid.memory_bytes() == expected
+        assert grid.memory_bytes(index_bytes=4) < expected
+
+    def test_row_nnz(self, grid):
+        assert grid.row_nnz().sum() == grid.nnz
+
+
+class TestMatmatPaths:
+    """Both matmat code paths (narrow <=4 columns and wide) agree."""
+
+    def test_zero_column_block(self, grid):
+        out = grid.matmat(np.zeros((grid.n_cols, 0)))
+        assert out.shape == (grid.n_rows, 0)
+
+    def test_narrow_and_wide_paths_agree(self, small_sym, rng):
+        X = rng.standard_normal((small_sym.n_cols, 8))
+        wide = small_sym.matmat(X)
+        narrow = np.column_stack([
+            small_sym.matmat(X[:, j:j + 2]) for j in (0, 2, 4, 6)
+        ])
+        np.testing.assert_allclose(wide, narrow, rtol=1e-13, atol=1e-14)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 7])
+    def test_every_width_matches_dense(self, grid, rng, m):
+        X = rng.standard_normal((grid.n_cols, m))
+        np.testing.assert_allclose(grid.matmat(X), grid.to_dense() @ X,
+                                   rtol=1e-11, atol=1e-12)

@@ -1,0 +1,85 @@
+"""Unit tests for ELLPACK and SELL-C-sigma formats (Section VII)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, ELLMatrix, SellCSigmaMatrix
+
+
+class TestELL:
+    def test_roundtrip(self, any_matrix):
+        ell = ELLMatrix.from_csr(any_matrix)
+        np.testing.assert_array_equal(ell.to_csr().to_dense(),
+                                      any_matrix.to_dense())
+
+    def test_matvec(self, any_matrix, rng):
+        ell = ELLMatrix.from_csr(any_matrix)
+        x = rng.standard_normal(any_matrix.n_cols)
+        np.testing.assert_allclose(ell.matvec(x), any_matrix.matvec(x),
+                                   rtol=1e-12, atol=1e-13)
+
+    def test_padding_accounting(self):
+        # Rows of nnz 3 and 1 -> width 3, padding 2.
+        a = CSRMatrix.from_dense(np.array([[1., 2., 3.], [0., 4., 0.]]))
+        ell = ELLMatrix.from_csr(a)
+        assert ell.width == 3
+        assert ell.nnz == 4
+        assert ell.padding == 2
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_csr(CSRMatrix.zeros((3, 3)))
+        assert ell.width == 0
+        np.testing.assert_array_equal(ell.matvec(np.ones(3)), np.zeros(3))
+
+    def test_memory_bytes_includes_padding(self):
+        a = CSRMatrix.from_dense(np.array([[1., 2., 3.], [0., 4., 0.]]))
+        ell = ELLMatrix.from_csr(a)
+        assert ell.memory_bytes() == 2 * 3 * (8 + 8)
+
+    def test_matvec_dimension_error(self, grid):
+        ell = ELLMatrix.from_csr(grid)
+        with pytest.raises(ValueError):
+            ell.matvec(np.ones(grid.n_cols + 2))
+
+
+class TestSELL:
+    @pytest.mark.parametrize("c,sigma", [(1, 1), (4, 16), (8, 64), (32, 1)])
+    def test_roundtrip(self, any_matrix, c, sigma):
+        sell = SellCSigmaMatrix(any_matrix, c=c, sigma=sigma)
+        np.testing.assert_array_equal(sell.to_csr().to_dense(),
+                                      any_matrix.to_dense())
+
+    @pytest.mark.parametrize("c,sigma", [(4, 16), (8, 64)])
+    def test_matvec(self, any_matrix, rng, c, sigma):
+        sell = SellCSigmaMatrix(any_matrix, c=c, sigma=sigma)
+        x = rng.standard_normal(any_matrix.n_cols)
+        np.testing.assert_allclose(sell.matvec(x), any_matrix.matvec(x),
+                                   rtol=1e-12, atol=1e-13)
+
+    def test_sigma_sorting_reduces_padding(self):
+        # Alternating long/short rows: plain slicing pads heavily, a
+        # sorting window groups similar lengths together.
+        n = 64
+        dense = np.zeros((n, n))
+        for i in range(n):
+            width = 12 if i % 2 == 0 else 1
+            dense[i, :width] = 1.0
+        a = CSRMatrix.from_dense(dense)
+        unsorted_ = SellCSigmaMatrix(a, c=8, sigma=1)
+        sorted_ = SellCSigmaMatrix(a, c=8, sigma=64)
+        assert sorted_.padding < unsorted_.padding
+
+    def test_nnz_preserved(self, small_sym):
+        sell = SellCSigmaMatrix(small_sym, c=8, sigma=32)
+        assert sell.nnz == small_sym.nnz
+
+    def test_invalid_params(self, grid):
+        with pytest.raises(ValueError):
+            SellCSigmaMatrix(grid, c=0)
+        with pytest.raises(ValueError):
+            SellCSigmaMatrix(grid, sigma=0)
+
+    def test_matvec_dimension_error(self, grid):
+        sell = SellCSigmaMatrix(grid)
+        with pytest.raises(ValueError):
+            sell.matvec(np.ones(grid.n_cols + 1))

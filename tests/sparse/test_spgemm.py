@@ -1,0 +1,100 @@
+"""Unit tests for SpGEMM and explicit sparse powers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ExplicitPowerMPK
+from repro.core.mpk import mpk_reference_dense
+from repro.sparse import (
+    CSRMatrix,
+    matrix_power_explicit,
+    spgemm,
+    spgemm_product_count,
+)
+
+
+class TestSpGEMM:
+    def test_matches_dense(self, any_matrix):
+        c = spgemm(any_matrix, any_matrix)
+        dense = any_matrix.to_dense()
+        np.testing.assert_allclose(c.to_dense(), dense @ dense,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_rectangular(self, rng):
+        a = CSRMatrix.from_dense(
+            np.where(rng.random((6, 9)) < 0.4, rng.standard_normal((6, 9)),
+                     0.0))
+        b = CSRMatrix.from_dense(
+            np.where(rng.random((9, 4)) < 0.4, rng.standard_normal((9, 4)),
+                     0.0))
+        np.testing.assert_allclose(spgemm(a, b).to_dense(),
+                                   a.to_dense() @ b.to_dense(),
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_identity_is_neutral(self, grid):
+        eye = CSRMatrix.identity(grid.n_rows)
+        np.testing.assert_allclose(spgemm(eye, grid).to_dense(),
+                                   grid.to_dense(), rtol=0, atol=0)
+        np.testing.assert_allclose(spgemm(grid, eye).to_dense(),
+                                   grid.to_dense(), rtol=0, atol=0)
+
+    def test_zero_operands(self):
+        z = CSRMatrix.zeros((3, 3))
+        assert spgemm(z, z).nnz == 0
+        assert spgemm_product_count(z, z) == 0
+
+    def test_dimension_mismatch(self, grid):
+        with pytest.raises(ValueError):
+            spgemm(grid, CSRMatrix.zeros((grid.n_cols + 1, 2)))
+        with pytest.raises(ValueError):
+            spgemm_product_count(grid, CSRMatrix.zeros((grid.n_cols + 1, 2)))
+
+    def test_product_count_matches_expansion(self, small_sym):
+        count = spgemm_product_count(small_sym, small_sym)
+        # Independent computation from the dense pattern.
+        pattern = (small_sym.to_dense() != 0).astype(np.int64)
+        expected = int((pattern.sum(axis=0) * pattern.sum(axis=1)).sum())
+        # sum_ik nnz(B[k,:]) with A=B: sum_k (col-count of k in A) * nnz(A[k,:])
+        cols = np.bincount(small_sym.indices,
+                           minlength=small_sym.n_cols)
+        expected2 = int((cols * small_sym.row_nnz()).sum())
+        assert count == expected2
+        assert count == expected
+
+    def test_memory_guard(self, small_sym):
+        with pytest.raises(MemoryError):
+            spgemm(small_sym, small_sym, max_products=10)
+
+    def test_matrix_power(self, grid):
+        dense = grid.to_dense()
+        for p in (1, 2, 3, 4, 5):
+            np.testing.assert_allclose(
+                matrix_power_explicit(grid, p).to_dense(),
+                np.linalg.matrix_power(dense, p), rtol=1e-9, atol=1e-11)
+        with pytest.raises(ValueError):
+            matrix_power_explicit(grid, 0)
+
+
+class TestExplicitPowerBaseline:
+    @pytest.mark.parametrize("k", [0, 1, 2, 4, 5])
+    def test_matches_mpk(self, any_matrix, rng, k):
+        op = ExplicitPowerMPK(any_matrix)
+        x = rng.standard_normal(any_matrix.n_rows)
+        np.testing.assert_allclose(op.power(x, k),
+                                   mpk_reference_dense(any_matrix, x, k),
+                                   rtol=1e-9, atol=1e-11)
+
+    def test_fill_in_makes_it_lose_to_fbmpk(self, small_sym):
+        """The design contrast: the explicit square also halves passes,
+        but fill-in makes every pass stream >1x nnz(A), so FBMPK
+        streams fewer entries for the same k."""
+        op = ExplicitPowerMPK(small_sym)
+        assert op.fill_in > 1.5
+        for k in (4, 6, 8):
+            assert op.entries_vs_fbmpk(k) > 1.0
+
+    def test_cost_accounting(self, grid):
+        op = ExplicitPowerMPK(grid)
+        c = op.cost(5)
+        assert (c.passes_a2, c.passes_a) == (2, 1)
+        assert c.entries_streamed == 2 * op.a2.nnz + grid.nnz

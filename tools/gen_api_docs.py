@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Generate docs/api.md from the package's public surface.
+
+Walks every ``repro`` subpackage, collects ``__all__`` with each item's
+signature and first docstring line, and writes a markdown index.  Run
+after changing the public API:
+
+    python tools/gen_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+PACKAGES = [
+    "repro.core",
+    "repro.sparse",
+    "repro.reorder",
+    "repro.memsim",
+    "repro.machine",
+    "repro.parallel",
+    "repro.matrices",
+    "repro.distributed",
+    "repro.baselines",
+    "repro.solvers",
+    "repro.bench",
+]
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    line = doc.split("\n", 1)[0].strip()
+    return line
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def document_package(name: str) -> str:
+    mod = importlib.import_module(name)
+    lines = [f"## `{name}`", ""]
+    pkg_doc = first_line(mod)
+    if pkg_doc:
+        lines += [pkg_doc, ""]
+    exported = getattr(mod, "__all__", [])
+    rows = []
+    for item_name in exported:
+        obj = getattr(mod, item_name, None)
+        if obj is None:
+            continue
+        kind = ("class" if inspect.isclass(obj)
+                else "function" if callable(obj)
+                else "data")
+        sig = signature_of(obj) if kind == "function" else ""
+        rows.append((item_name, kind, sig, first_line(obj)))
+    lines.append("| name | kind | summary |")
+    lines.append("|---|---|---|")
+    for item_name, kind, sig, summary in rows:
+        shown = f"`{item_name}{sig}`" if sig and len(sig) < 60 \
+            else f"`{item_name}`"
+        lines.append(f"| {shown} | {kind} | {summary} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    out = Path(__file__).resolve().parents[1] / "docs" / "api.md"
+    parts = [
+        "# API reference (generated)",
+        "",
+        "One line per public item; regenerate with "
+        "`python tools/gen_api_docs.py`. Full documentation lives in the "
+        "docstrings (`help(repro.core.FBMPKOperator)` etc.).",
+        "",
+    ]
+    for pkg in PACKAGES:
+        parts.append(document_package(pkg))
+    out.write_text("\n".join(parts))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
