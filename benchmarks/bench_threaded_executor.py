@@ -1,0 +1,129 @@
+"""Real threaded colour-phase executor vs the schedule simulator.
+
+The companion experiment to Fig 12: where ``bench_fig12_scalability``
+*simulates* thread scalability at paper scale, this bench actually runs
+the ABMC phase schedule on the :class:`ThreadedPhaseExecutor` and lays
+the observed per-phase wall times next to ``simulate_phases``
+predictions for the *same* schedule.  Absolute times are incomparable
+(the model predicts an FT 2000+, the run happens on this host), so the
+report compares the *shape*: each phase's share of its sweep, which is
+determined by load balance and is what the simulator claims to predict.
+
+Every timed run is also checked bit-for-bit against the serial fused
+pipeline — a benchmark that silently computes the wrong thing would be
+worse than no benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_rows, format_table, standin, write_report
+from repro.core import build_fbmpk_operator
+from repro.machine import FT2000P
+from repro.parallel import block_cost_model, simulate_phases
+
+K = 4
+MATRIX = "cant"
+THREADS = [1, 2, 4]
+POLICIES = ["round_robin", "lpt", "dynamic"]
+BLOCK = 256
+
+
+@pytest.fixture(scope="module")
+def setup():
+    a = standin(MATRIX, min(bench_rows(), 20_000))
+    op = build_fbmpk_operator(a, block_size=BLOCK, executor="threads",
+                              n_threads=1)
+    x = np.random.default_rng(7).standard_normal(a.n_rows)
+    y_serial = build_fbmpk_operator(a, block_size=BLOCK).power(x, K)
+    yield a, op, x, y_serial
+    op.close()
+
+
+@pytest.mark.benchmark(group="threaded-executor")
+@pytest.mark.parametrize("n_threads", THREADS)
+def test_threaded_power_scaling(benchmark, setup, n_threads):
+    """Wall time of ``A^4 x`` on the real executor across thread counts
+    (preprocessing amortised: one operator, reconfigured pools)."""
+    _, op, x, y_serial = setup
+    op.configure_executor(n_threads=n_threads, assign_policy="lpt")
+    y = benchmark(lambda: op.power(x, K))
+    np.testing.assert_array_equal(y, y_serial)
+
+
+@pytest.mark.benchmark(group="threaded-executor")
+@pytest.mark.parametrize("policy", POLICIES)
+def test_threaded_power_policies(benchmark, setup, policy):
+    """Assignment-policy sweep at a fixed thread count."""
+    _, op, x, y_serial = setup
+    op.configure_executor(n_threads=4, assign_policy=policy)
+    y = benchmark(lambda: op.power(x, K))
+    np.testing.assert_array_equal(y, y_serial)
+
+
+def test_observed_vs_simulated_phase_shape(setup):
+    """Per-phase observability: the executor's measured forward-sweep
+    phase times, printed next to the simulator's prediction for the
+    identical schedule."""
+    _, op, x, y_serial = setup
+    n_threads = 4
+    op.configure_executor(n_threads=n_threads, assign_policy="lpt")
+    fw_phases, bw_phases = op.block_phases()
+
+    # Repeat the run and keep each phase's fastest observation: the
+    # minimum filters out OS-scheduler noise that would swamp the
+    # sub-millisecond phases of a reduced-scale stand-in.
+    best = None
+    for _ in range(5):
+        y = op.power(x, K)
+        np.testing.assert_array_equal(y, y_serial)
+        stats = op.last_stats
+        # One barrier per colour per sweep, k//2 forward+backward pairs.
+        assert stats.barriers == (len(fw_phases) + len(bw_phases)) * (K // 2)
+        stage = stats.phases[:len(fw_phases)]
+        best = stage if best is None else [
+            a if a.wall_s <= b.wall_s else b for a, b in zip(best, stage)]
+    observed = best
+    sim = simulate_phases(fw_phases, n_threads,
+                          block_cost_model(FT2000P, n_threads),
+                          policy="lpt")
+    obs_total = sum(p.wall_s for p in observed) or 1.0
+    sim_total = sum(sim.phase_times) or 1.0
+    rows = []
+    for ph, rec, pred in zip(fw_phases, observed, sim.phase_times):
+        rows.append([
+            ph.color, len(ph.tasks), ph.total_nnz,
+            f"{rec.wall_s * 1e3:.3f}", f"{rec.wall_s / obs_total:.1%}",
+            f"{pred * 1e6:.3f}", f"{pred / sim_total:.1%}",
+        ])
+    rows.append(["total", sum(len(p.tasks) for p in fw_phases),
+                 sum(p.total_nnz for p in fw_phases),
+                 f"{obs_total * 1e3:.3f}", "100%",
+                 f"{sim_total * 1e6:.3f}", "100%"])
+    table = format_table(
+        ["colour", "blocks", "nnz", "observed ms", "share",
+         "predicted us (FT2000+)", "share"],
+        rows,
+        title=f"forward-sweep phases, real run ({n_threads} threads) vs "
+              f"simulator, {MATRIX} stand-in, block={BLOCK}",
+    )
+    summary = (f"run: {stats.barriers} barriers, "
+               f"wall {stats.total_wall_s * 1e3:.2f} ms, "
+               f"busy {stats.busy_s * 1e3:.2f} ms, "
+               f"efficiency {stats.efficiency:.1%} | "
+               f"simulated efficiency {sim.efficiency:.1%}")
+    write_report("threaded_executor", table + "\n\n" + summary)
+    print()
+    print(table)
+    print(summary)
+
+    # Both views must agree on the dominant phase's share ordering: the
+    # heaviest-nnz colour is the largest share in the prediction and is
+    # a top-2 share in the observation (interpreter noise allows one
+    # inversion on tiny phases).
+    heaviest = max(range(len(fw_phases)),
+                   key=lambda i: fw_phases[i].total_nnz)
+    assert sim.phase_times[heaviest] == max(sim.phase_times)
+    obs_rank = sorted(range(len(observed)),
+                      key=lambda i: -observed[i].wall_s)
+    assert heaviest in obs_rank[:2]

@@ -80,10 +80,17 @@ def cmd_power(args) -> int:
          else np.random.default_rng(args.seed).standard_normal(n))
     t0 = time.perf_counter()
     if args.operator or args.method == "fbmpk":
-        if not args.operator:
+        if args.operator:
+            op.configure_executor(executor=args.executor,
+                                  n_threads=args.threads,
+                                  assign_policy=args.policy)
+        else:
             op = build_fbmpk_operator(a, strategy=args.strategy,
                                       block_size=args.block_size,
-                                      backend=args.backend)
+                                      backend=args.backend,
+                                      executor=args.executor,
+                                      n_threads=args.threads,
+                                      assign_policy=args.policy)
         counter = KernelCounter()
         y = op.power(x, args.k, counter=counter)
     elif args.method == "standard":
@@ -104,6 +111,18 @@ def cmd_power(args) -> int:
     if counter is not None:
         print(f"matrix passes: L x{counter.l_passes}, U x{counter.u_passes} "
               f"(standard MPK would stream A x{args.k})")
+        stats = getattr(op, "last_stats", None)
+        if stats is not None:
+            print(f"executor=threads n_threads={stats.n_threads} "
+                  f"policy={stats.policy}: {stats.barriers} barriers, "
+                  f"phase wall {stats.total_wall_s * 1e3:.2f} ms, "
+                  f"busy {stats.busy_s * 1e3:.2f} ms, "
+                  f"efficiency {stats.efficiency:.1%}")
+            slowest = max(stats.phases, key=lambda p: p.wall_s)
+            print(f"slowest phase: colour {slowest.color} "
+                  f"({slowest.n_tasks} blocks, {slowest.nnz} nnz, "
+                  f"{slowest.wall_s * 1e3:.2f} ms)")
+        op.close()
     return 0
 
 
@@ -176,6 +195,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", type=int, default=1)
     p.add_argument("--backend", default="numpy",
                    choices=["numpy", "scipy"])
+    p.add_argument("--executor", default="serial",
+                   choices=["serial", "threads"],
+                   help="run FBMPK sweeps serially or on the real "
+                        "colour-phase thread pool")
+    p.add_argument("--threads", type=int, default=None,
+                   help="worker count for --executor threads "
+                        "(default: all cores)")
+    p.add_argument("--policy", default="lpt",
+                   choices=["round_robin", "lpt", "dynamic"],
+                   help="block-to-thread assignment policy")
     p.add_argument("--operator", help="load a saved .npz operator")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ones", action="store_true",

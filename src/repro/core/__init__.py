@@ -5,6 +5,7 @@ vector storage (III-C), the ABMC-grouped fused executor (III-D/E), the
 analytic access plan, and the generic ``sum alpha_i A^i x`` front end.
 """
 
+from ..parallel.executor import ExecutionStats, ThreadedPhaseExecutor
 from .btb import InterleavedPair, deinterleave, interleave
 from .expr import A, MatrixSymbol, SSpMVExpression, X, from_coefficients
 from .fbmpk import (
@@ -25,6 +26,8 @@ from .plan import AccessPlan, fbmpk_plan, standard_plan, theoretical_ratio
 from .sspmv import SSpMVProblem, sspmv_fbmpk, sspmv_standard
 
 __all__ = [
+    "ExecutionStats",
+    "ThreadedPhaseExecutor",
     "InterleavedPair",
     "deinterleave",
     "interleave",

@@ -30,14 +30,25 @@ permutation bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Literal, Optional, Sequence
+from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..parallel.executor import (
+    ExecutionStats,
+    ThreadedPhaseExecutor,
+    check_phases,
+)
+from ..parallel.scheduler import (
+    BlockTask,
+    Phase,
+    build_phases,
+    phases_from_groups,
+)
 from ..reorder.abmc import ABMCOrdering, abmc_ordering
 from ..reorder.levels import compute_levels, levels_to_groups
 from ..reorder.permute import permute_symmetric, permute_vector, unpermute_vector
-from ..sparse.csr import CSRMatrix
+from ..sparse.csr import CSRMatrix, reduce_rows
 from .btb import InterleavedPair
 from .partition import TriangularPartition, split_ldu
 
@@ -335,6 +346,7 @@ class _SweepPart:
 
 
 Backend = Literal["numpy", "scipy"]
+ExecutorKind = Literal["serial", "threads"]
 
 
 def _inverse_rows(perm: np.ndarray) -> np.ndarray:
@@ -375,6 +387,70 @@ def _extract_parts(tri: CSRMatrix, groups: Sequence[np.ndarray],
     return parts
 
 
+class _BlockKernel:
+    """Per-block compute of the threaded executor (one task, one thread).
+
+    Processes a contiguous row range ``[start, stop)`` of one triangle in
+    two vectorised steps per stage.  Step 1 finishes the new iterate for
+    the whole block from values that are stable during the stage (the
+    even slots and ``tmp`` for the forward sweep, the odd slots and
+    ``tmp`` for the backward one); step 2 re-streams the block's rows
+    against the freshly written slots to leave ``tmp`` for the next
+    stage.  Intra-block dependencies are honoured because step 2 only
+    reads values written either in earlier phases (protected by the
+    colour barrier) or by step 1 of this very block, and same-colour
+    blocks share no matrix entries, so concurrently running blocks touch
+    disjoint vector elements — element-wise disjoint NumPy writes are
+    race-free.  The per-row reduction (:func:`reduce_rows`) performs the
+    same summation as the serial fused sweeps, which makes threaded and
+    serial results bit-identical.
+    """
+
+    __slots__ = ("rows", "indptr", "cols", "data", "nnz")
+
+    def __init__(self, tri: CSRMatrix, task: BlockTask) -> None:
+        start, stop = task.start, task.stop
+        lo, hi = int(tri.indptr[start]), int(tri.indptr[stop])
+        self.rows = slice(start, stop)
+        self.indptr = tri.indptr[start:stop + 1] - lo
+        self.cols = tri.indices[lo:hi]
+        self.data = tri.data[lo:hi]
+        self.nnz = hi - lo
+
+    def forward(self, XY: np.ndarray, tmp: np.ndarray,
+                d: np.ndarray) -> None:
+        """Forward-stage block update: finish the odd iterate for this
+        block and leave ``tmp = L x_odd + D x_odd`` on its rows."""
+        r = self.rows
+        new_odd = tmp[r] + d[r] * XY[r, 0] \
+            + reduce_rows(self.data * XY[self.cols, 0], self.indptr)
+        XY[r, 1] = new_odd
+        tmp[r] = reduce_rows(self.data * XY[self.cols, 1], self.indptr) \
+            + d[r] * new_odd
+
+    def backward(self, XY: np.ndarray, tmp: np.ndarray) -> None:
+        """Backward-stage block update: finish the even iterate for this
+        block and leave ``tmp = U x_even`` on its rows."""
+        r = self.rows
+        XY[r, 0] = tmp[r] \
+            + reduce_rows(self.data * XY[self.cols, 1], self.indptr)
+        tmp[r] = reduce_rows(self.data * XY[self.cols, 0], self.indptr)
+
+
+@dataclass
+class _ThreadedState:
+    """Lazily built artefacts of the ``"threads"`` execution backend."""
+
+    fw_phases: List[Phase]
+    bw_phases: List[Phase]
+    fw_kernels: Dict[BlockTask, _BlockKernel]
+    bw_kernels: Dict[BlockTask, _BlockKernel]
+    pool: ThreadedPhaseExecutor
+
+
+PhasePlan = Tuple[List[Phase], List[Phase]]
+
+
 def fbmpk_fused(
     part: TriangularPartition,
     groups: SweepGroups,
@@ -409,15 +485,31 @@ class FBMPKOperator:
         perm: Optional[np.ndarray] = None,
         validate: bool = True,
         backend: Backend = "numpy",
+        executor: ExecutorKind = "serial",
+        n_threads: Optional[int] = None,
+        assign_policy: str = "lpt",
+        phase_plan: Optional[PhasePlan] = None,
     ) -> None:
         if validate and not check_sweep_groups(part, groups):
             raise ValueError("invalid sweep groups for this partition")
         if backend not in ("numpy", "scipy"):
             raise ValueError(f"unknown backend {backend!r}")
+        if executor not in ("serial", "threads"):
+            raise ValueError(f"unknown executor {executor!r}")
         self.part = part
         self.groups = groups
         self.backend = backend
         self.perm = None if perm is None else np.asarray(perm, dtype=np.int64)
+        self.executor = executor
+        self.n_threads = n_threads
+        self.assign_policy = assign_policy
+        #: :class:`~repro.parallel.executor.ExecutionStats` of the most
+        #: recent ``power`` call that ran on the threaded backend; None
+        #: after serial runs.
+        self.last_stats: Optional[ExecutionStats] = None
+        self._phase_plan = phase_plan
+        self._validate_phases = validate
+        self._threaded: Optional[_ThreadedState] = None
         self._fw = _extract_parts(part.lower, groups.forward, backend)
         self._bw = _extract_parts(part.upper, groups.backward, backend)
         self._lower_matvec = _make_matvec(part.lower, backend)
@@ -427,6 +519,85 @@ class FBMPKOperator:
     def n(self) -> int:
         """Matrix dimension."""
         return self.part.n
+
+    # -- execution backend ---------------------------------------------
+    def configure_executor(
+        self,
+        executor: Optional[ExecutorKind] = None,
+        n_threads: Optional[int] = None,
+        assign_policy: Optional[str] = None,
+    ) -> "FBMPKOperator":
+        """Re-point the operator at a different execution backend.
+
+        Phases and block kernels are preprocessing artefacts and are
+        kept; only the worker pool is recreated, so a benchmark can
+        sweep thread counts and policies over one amortised
+        preprocessing pass (Section V-F).  Returns ``self`` for
+        chaining.
+        """
+        if executor is not None:
+            if executor not in ("serial", "threads"):
+                raise ValueError(f"unknown executor {executor!r}")
+            self.executor = executor
+        if n_threads is not None:
+            self.n_threads = n_threads
+        if assign_policy is not None:
+            self.assign_policy = assign_policy
+        if self._threaded is not None:
+            self._threaded.pool.close()
+            self._threaded.pool = ThreadedPhaseExecutor(
+                self.n_threads, self.assign_policy)
+        return self
+
+    def _ensure_threaded(self) -> _ThreadedState:
+        """Build the block phases, per-block kernels and worker pool on
+        first threaded use (lazy so serial operators pay nothing)."""
+        if self._threaded is None:
+            if self._phase_plan is not None:
+                fw, bw = self._phase_plan
+            else:
+                fw = phases_from_groups(self.part.lower,
+                                        self.groups.forward)
+                bw = phases_from_groups(self.part.upper,
+                                        self.groups.backward)
+            if self._validate_phases and (
+                    not check_phases(self.part.lower, fw)
+                    or not check_phases(self.part.upper, bw)):
+                raise ValueError(
+                    "phases are not executable with one barrier each")
+            fw_kernels = {t: _BlockKernel(self.part.lower, t)
+                          for ph in fw for t in ph.tasks}
+            bw_kernels = {t: _BlockKernel(self.part.upper, t)
+                          for ph in bw for t in ph.tasks}
+            self._threaded = _ThreadedState(
+                fw_phases=fw, bw_phases=bw,
+                fw_kernels=fw_kernels, bw_kernels=bw_kernels,
+                pool=ThreadedPhaseExecutor(self.n_threads,
+                                           self.assign_policy))
+        return self._threaded
+
+    def block_phases(self) -> PhasePlan:
+        """The ``(forward, backward)`` block-phase schedule the threaded
+        backend executes (built lazily on first access).  Useful for
+        feeding the very same schedule to
+        :func:`repro.parallel.simulate_phases` and comparing predictions
+        against :attr:`last_stats`."""
+        state = self._ensure_threaded()
+        return state.fw_phases, state.bw_phases
+
+    def close(self) -> None:
+        """Shut down the threaded backend's worker pool (idempotent;
+        the operator remains usable and will respawn workers on the
+        next threaded call)."""
+        if self._threaded is not None:
+            self._threaded.pool.close()
+            self._threaded = None
+
+    def __enter__(self) -> "FBMPKOperator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- sweeps --------------------------------------------------------
     def _forward_sweep(self, XY: np.ndarray, tmp: np.ndarray,
@@ -464,12 +635,21 @@ class FBMPKOperator:
         on_iterate: Optional[IterateCallback] = None,
         counter: Optional[KernelCounter] = None,
     ) -> np.ndarray:
-        """Compute ``A^k x`` with the fused forward-backward pipeline."""
+        """Compute ``A^k x`` with the fused forward-backward pipeline.
+
+        With ``executor="threads"`` the forward/backward stages run on
+        the real colour-phase executor (same-colour blocks concurrently,
+        one barrier per colour); the result is bit-identical to the
+        serial backend, and the run's timings land in
+        :attr:`last_stats`.  The head/tail full-triangle SpMVs are plain
+        vectorised kernels either way.
+        """
         if k < 0:
             raise ValueError("power k must be non-negative")
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n,):
             raise ValueError(f"x has shape {x.shape}, expected ({self.n},)")
+        self.last_stats = None
         if self.perm is not None:
             x = permute_vector(x, self.perm)
         if k == 0:
@@ -481,13 +661,37 @@ class FBMPKOperator:
         tmp = self._upper_matvec(x)
         if counter:
             counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
+        threaded = self.executor == "threads"
+        if threaded:
+            state = self._ensure_threaded()
+            stats = ExecutionStats(n_threads=state.pool.n_threads,
+                                   policy=state.pool.policy)
+            self.last_stats = stats
         power = 0
         for _ in range(k // 2):
-            self._forward_sweep(XY, tmp, d, counter)
+            if threaded:
+                state.pool.run_phases(
+                    state.fw_phases,
+                    lambda t: state.fw_kernels[t].forward(XY, tmp, d),
+                    stats)
+                if counter:
+                    counter.count_l(self.part.lower.nnz,
+                                    self.part.lower.nnz)
+            else:
+                self._forward_sweep(XY, tmp, d, counter)
             power += 1
             if on_iterate:
                 on_iterate(power, self._out(pair.odd))
-            self._backward_sweep(XY, tmp, counter)
+            if threaded:
+                state.pool.run_phases(
+                    state.bw_phases,
+                    lambda t: state.bw_kernels[t].backward(XY, tmp),
+                    stats)
+                if counter:
+                    counter.count_u(self.part.upper.nnz,
+                                    self.part.upper.nnz)
+            else:
+                self._backward_sweep(XY, tmp, counter)
             power += 1
             if on_iterate:
                 on_iterate(power, self._out(pair.even))
@@ -607,8 +811,17 @@ class FBMPKOperator:
         np.savez_compressed(path, **payload)
 
     @classmethod
-    def load(cls, path, backend: Backend = "numpy") -> "FBMPKOperator":
-        """Rebuild an operator persisted with :meth:`save`."""
+    def load(cls, path, backend: Backend = "numpy",
+             executor: ExecutorKind = "serial",
+             n_threads: Optional[int] = None,
+             assign_policy: str = "lpt") -> "FBMPKOperator":
+        """Rebuild an operator persisted with :meth:`save`.
+
+        The block-phase plan is not persisted; a loaded operator using
+        ``executor="threads"`` derives its phases from the stored sweep
+        groups (one phase per group), which is correct but carries one
+        barrier per wave/level rather than per colour.
+        """
         with np.load(path) as z:
             n = z["diag"].shape[0]
             lower = CSRMatrix(z["l_indptr"], z["l_indices"], z["l_data"],
@@ -623,7 +836,9 @@ class FBMPKOperator:
                 origin=bytes(z["origin"]).decode(),
             )
             perm = z["perm"] if bool(z["has_perm"]) else None
-        return cls(part, groups, perm=perm, validate=False, backend=backend)
+        return cls(part, groups, perm=perm, validate=False, backend=backend,
+                   executor=executor, n_threads=n_threads,
+                   assign_policy=assign_policy)
 
     def barriers_per_pair(self) -> int:
         """Synchronisation phases per forward+backward iteration — the
@@ -637,6 +852,9 @@ def build_fbmpk_operator(
     block_size: int = 1,
     blocking: Literal["consecutive", "bfs"] = "consecutive",
     backend: Backend = "numpy",
+    executor: ExecutorKind = "serial",
+    n_threads: Optional[int] = None,
+    assign_policy: str = "lpt",
 ) -> FBMPKOperator:
     """One-off preprocessing: split, (optionally) reorder, group, extract.
 
@@ -650,6 +868,15 @@ def build_fbmpk_operator(
     compute kernels for the sweeps: ``"numpy"`` (self-contained reduceat
     kernels) or ``"scipy"`` (compiled CSR kernels, the faster wall-clock
     choice on this substrate).
+
+    ``executor`` selects how sweeps run: ``"serial"`` (the fused
+    single-thread pipeline) or ``"threads"`` (the real colour-phase
+    executor of :mod:`repro.parallel.executor`, ``n_threads`` workers,
+    blocks dealt out by ``assign_policy``).  With ``strategy="abmc"``
+    the threaded backend gets the paper's true block phases — one phase
+    per colour, one task per block, intra-block rows handled inside the
+    task — so a k=2 pair costs ``2 * n_colors`` barriers regardless of
+    block size; with ``strategy="levels"`` each level is one phase.
     """
     if a.shape[0] != a.shape[1]:
         raise ValueError("FBMPK requires a square matrix")
@@ -658,10 +885,20 @@ def build_fbmpk_operator(
         reordered = permute_symmetric(a, ordering.perm)
         part = split_ldu(reordered)
         groups = make_sweep_groups_abmc(ordering)
+        # Colour-block phases for the threaded backend: forward walks
+        # colours ascending, backward descending (same blocks, other
+        # triangle).
+        phase_plan = (build_phases(ordering, part.lower),
+                      list(reversed(build_phases(ordering, part.upper))))
         return FBMPKOperator(part, groups, perm=ordering.perm,
-                             backend=backend)
+                             backend=backend, executor=executor,
+                             n_threads=n_threads,
+                             assign_policy=assign_policy,
+                             phase_plan=phase_plan)
     if strategy == "levels":
         part = split_ldu(a)
         groups = make_sweep_groups_levels(part)
-        return FBMPKOperator(part, groups, perm=None, backend=backend)
+        return FBMPKOperator(part, groups, perm=None, backend=backend,
+                             executor=executor, n_threads=n_threads,
+                             assign_policy=assign_policy)
     raise ValueError(f"unknown strategy {strategy!r}")

@@ -1,11 +1,29 @@
-"""Parallel execution: colour-phase scheduling and simulated threading.
+"""Parallel execution: colour-phase scheduling, simulated and real threads.
 
-The substitute for the paper's OpenMP runs (see DESIGN.md): block tasks
-are scheduled exactly as Section III-E describes, and a deterministic
-simulator computes the makespan a ``T``-thread execution would achieve.
+Three layers (see DESIGN.md "Execution backends"):
+
+* :mod:`~repro.parallel.scheduler` — turns orderings into the
+  phase/task structure of Section III-E (blocks "allocated in advance");
+* :mod:`~repro.parallel.simthread` — deterministic makespan *simulator*
+  for scalability studies beyond this host's core count (Fig 12);
+* :mod:`~repro.parallel.executor` — a real
+  :class:`~concurrent.futures.ThreadPoolExecutor` backend that actually
+  runs each phase's blocks concurrently with one barrier per colour.
 """
 
-from .scheduler import BlockTask, Phase, assign_tasks, build_phases
+from .executor import (
+    ExecutionStats,
+    PhaseRecord,
+    ThreadedPhaseExecutor,
+    check_phases,
+)
+from .scheduler import (
+    BlockTask,
+    Phase,
+    assign_tasks,
+    build_phases,
+    phases_from_groups,
+)
 from .simthread import SimulatedRun, block_cost_model, simulate_phases
 
 __all__ = [
@@ -13,7 +31,12 @@ __all__ = [
     "Phase",
     "assign_tasks",
     "build_phases",
+    "phases_from_groups",
     "SimulatedRun",
     "block_cost_model",
     "simulate_phases",
+    "ExecutionStats",
+    "PhaseRecord",
+    "ThreadedPhaseExecutor",
+    "check_phases",
 ]

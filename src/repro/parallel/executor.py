@@ -1,0 +1,226 @@
+"""Real shared-memory execution of colour phases (Section III-D/E).
+
+Where :mod:`repro.parallel.simthread` *predicts* what a ``T``-thread
+execution of a phase schedule would cost, this module actually *runs*
+one: each phase's block tasks are dealt to a persistent
+:class:`concurrent.futures.ThreadPoolExecutor` using the same static
+assignment policies as the simulator (``round_robin``/``lpt``/
+``dynamic``), every worker processes its blocks back to back, and the
+phase ends with one barrier — exactly the "allocated in advance" OpenMP
+structure of the paper's parallel FBMPK.
+
+Python threads are real OS threads here: the NumPy gather/reduce kernels
+that do the per-block work drop the GIL for their inner loops, so
+same-colour blocks genuinely overlap on multicore hosts.  On a single
+vCPU (or for tiny blocks, where interpreter overhead dominates) the
+executor still runs the *true* concurrent schedule — which is what the
+differential tests need in order to flush ordering and barrier bugs that
+a simulator can never exhibit.
+
+Observability is first class: :class:`ExecutionStats` records per-phase
+wall time, per-thread busy time and the barrier count of a run, in the
+same shape as :class:`repro.parallel.simthread.SimulatedRun`, so a real
+run can be laid next to a ``simulate_phases`` prediction
+(``benchmarks/bench_threaded_executor.py`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..sparse.csr import CSRMatrix
+from .scheduler import BlockTask, Phase, assign_tasks
+
+__all__ = [
+    "PhaseRecord",
+    "ExecutionStats",
+    "ThreadedPhaseExecutor",
+    "check_phases",
+]
+
+TaskRunner = Callable[[BlockTask], None]
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Timing record of one executed phase (colour)."""
+
+    color: int
+    n_tasks: int
+    nnz: int
+    wall_s: float
+
+
+@dataclass
+class ExecutionStats:
+    """Observed timings of a real threaded run.
+
+    The counterpart of :class:`repro.parallel.simthread.SimulatedRun`:
+    ``phase_wall_s`` are measured per-phase makespans (work plus the
+    closing barrier), ``thread_busy_s[i]`` accumulates the time *bin*
+    ``i`` of the static assignment spent inside block kernels (bins map
+    one-to-one onto the simulator's threads; the pool may hand a bin to
+    any free OS thread), and ``barriers`` counts phase-end
+    synchronisations.
+    """
+
+    n_threads: int
+    policy: str
+    phases: List[PhaseRecord] = field(default_factory=list)
+    thread_busy_s: List[float] = field(default_factory=list)
+    barriers: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.thread_busy_s:
+            self.thread_busy_s = [0.0] * self.n_threads
+
+    @property
+    def phase_wall_s(self) -> List[float]:
+        """Per-phase wall times, in execution order."""
+        return [p.wall_s for p in self.phases]
+
+    @property
+    def total_wall_s(self) -> float:
+        """End-to-end makespan of the recorded phases."""
+        return sum(p.wall_s for p in self.phases)
+
+    @property
+    def busy_s(self) -> float:
+        """Total thread-seconds spent inside block kernels."""
+        return float(sum(self.thread_busy_s))
+
+    @property
+    def efficiency(self) -> float:
+        """Busy thread-seconds over available thread-seconds (load
+        balance measure, directly comparable to
+        :attr:`SimulatedRun.efficiency`)."""
+        denom = self.n_threads * self.total_wall_s
+        return self.busy_s / denom if denom else 1.0
+
+
+def check_phases(tri: CSRMatrix, phases: Sequence[Phase]) -> bool:
+    """Validate that ``phases`` can be executed with one barrier each.
+
+    Requirements (the executability invariant of the block executor):
+
+    * the tasks partition the rows of ``tri`` exactly (no overlap, no
+      gap);
+    * every stored entry ``(i, j)`` of ``tri`` points to a strictly
+      earlier phase **or** to a row of the same task — cross-task
+      dependencies inside one phase would race.
+
+    ABMC colour phases satisfy this by construction (same-colour blocks
+    share no entries; cross-colour entries point backwards); level/wave
+    phases satisfy it with no intra-task dependencies at all.
+    """
+    n = tri.n_rows
+    phase_of = np.full(n, -1, dtype=np.int64)
+    task_of = np.full(n, -1, dtype=np.int64)
+    tid = 0
+    for pi, phase in enumerate(phases):
+        for t in phase.tasks:
+            if not (0 <= t.start <= t.stop <= n):
+                return False
+            if (phase_of[t.start:t.stop] != -1).any():
+                return False  # overlapping tasks
+            phase_of[t.start:t.stop] = pi
+            task_of[t.start:t.stop] = tid
+            tid += 1
+    if (phase_of < 0).any():
+        return False  # rows not covered
+    rows = np.repeat(np.arange(n, dtype=np.int64), tri.row_nnz())
+    cols = tri.indices
+    ok = (phase_of[cols] < phase_of[rows]) | (task_of[cols] == task_of[rows])
+    return bool(ok.all())
+
+
+class ThreadedPhaseExecutor:
+    """Persistent thread pool running colour phases with one barrier each.
+
+    The pool is created once and reused across sweeps and ``power``
+    calls (worker spin-up is a preprocessing cost, like the paper's
+    OpenMP runtime warm-up).  Within a phase, tasks are statically
+    assigned to ``n_threads`` bins by :func:`assign_tasks`, every
+    non-empty bin becomes one pool submission, and the phase returns
+    only when all bins have finished — the barrier.  Worker exceptions
+    propagate to the caller at the barrier.
+    """
+
+    def __init__(self, n_threads: Optional[int] = None,
+                 policy: str = "lpt") -> None:
+        if n_threads is None:
+            n_threads = os.cpu_count() or 1
+        if n_threads < 1:
+            raise ValueError("n_threads must be positive")
+        self.n_threads = int(n_threads)
+        self.policy = policy
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_threads, thread_name_prefix="fbmpk")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ThreadedPhaseExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+    @staticmethod
+    def _run_bin(tasks: Sequence[BlockTask], run_task: TaskRunner,
+                 busy: List[float], slot: int) -> None:
+        t0 = time.perf_counter()
+        for task in tasks:
+            run_task(task)
+        busy[slot] += time.perf_counter() - t0
+
+    def run_phases(
+        self,
+        phases: Sequence[Phase],
+        run_task: TaskRunner,
+        stats: Optional[ExecutionStats] = None,
+    ) -> ExecutionStats:
+        """Execute ``phases`` in order, calling ``run_task`` once per
+        block, with a barrier after every phase.
+
+        ``stats`` may be passed to accumulate several sweeps (e.g. the
+        forward and backward stages of one ``power`` call) into a single
+        record; a fresh one is created otherwise.
+        """
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_threads,
+                                   policy=self.policy)
+        pool = self._ensure_pool()
+        for phase in phases:
+            t0 = time.perf_counter()
+            bins = assign_tasks(phase.tasks, self.n_threads,
+                                policy=self.policy)
+            futures = [
+                pool.submit(self._run_bin, b, run_task,
+                            stats.thread_busy_s, i)
+                for i, b in enumerate(bins) if b
+            ]
+            for f in futures:
+                f.result()  # barrier; re-raises worker exceptions
+            stats.barriers += 1
+            stats.phases.append(PhaseRecord(
+                color=phase.color, n_tasks=len(phase.tasks),
+                nnz=phase.total_nnz,
+                wall_s=time.perf_counter() - t0))
+        return stats

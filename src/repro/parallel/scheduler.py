@@ -17,7 +17,8 @@ import numpy as np
 from ..reorder.abmc import ABMCOrdering
 from ..sparse.csr import CSRMatrix
 
-__all__ = ["BlockTask", "Phase", "build_phases", "assign_tasks"]
+__all__ = ["BlockTask", "Phase", "build_phases", "phases_from_groups",
+           "assign_tasks"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,35 @@ def build_phases(ordering: ABMCOrdering, tri: CSRMatrix) -> List[Phase]:
             for start, stop in ordering.blocks_of_color(color)
         ]
         phases.append(Phase(color=color, tasks=tasks))
+    return phases
+
+
+def phases_from_groups(
+    tri: CSRMatrix, groups: Sequence[np.ndarray]
+) -> List[Phase]:
+    """Phases for one sweep from generic sweep groups (levels or waves).
+
+    Each group becomes one phase; its tasks are the maximal runs of
+    consecutive row indices, so contiguous level sets turn into few fat
+    blocks while scattered ones degrade gracefully to thin tasks.  Valid
+    whenever the groups satisfy the sweep-group invariant (every
+    dependency in a strictly earlier group): rows inside one group are
+    then mutually independent, so any split into tasks is race-free.
+    This is the executor's fallback when no ABMC block structure is
+    available (``strategy="levels"``, or operators rebuilt from disk).
+    """
+    phases: List[Phase] = []
+    for gi, rows in enumerate(groups):
+        rows = np.sort(np.asarray(rows, dtype=np.int64))
+        tasks: List[BlockTask] = []
+        if rows.size:
+            breaks = np.nonzero(np.diff(rows) != 1)[0] + 1
+            for run in np.split(rows, breaks):
+                start, stop = int(run[0]), int(run[-1]) + 1
+                tasks.append(BlockTask(
+                    start, stop,
+                    int(tri.indptr[stop] - tri.indptr[start])))
+        phases.append(Phase(color=gi, tasks=tasks))
     return phases
 
 

@@ -1,0 +1,115 @@
+"""Property-based tests of the block-to-thread assignment policies.
+
+The invariant every policy must hold: :func:`assign_tasks` is a pure
+*partition* of the phase's tasks — the union of the per-thread bins is
+exactly the input multiset, nothing dropped, nothing duplicated.  A
+violation would make the threaded executor silently skip (or re-run)
+blocks, which the differential tests would catch only probabilistically;
+here it is checked directly on arbitrary task lists.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import BlockTask, assign_tasks
+
+POLICIES = ["round_robin", "lpt", "dynamic"]
+
+
+@st.composite
+def task_lists(draw, max_tasks=40):
+    """Arbitrary task lists: row ranges need not tile [0, n) here —
+    assign_tasks only reads nnz — but duplicates of an identical task
+    are allowed and must survive as duplicates."""
+    n_tasks = draw(st.integers(min_value=0, max_value=max_tasks))
+    tasks = []
+    for _ in range(n_tasks):
+        start = draw(st.integers(min_value=0, max_value=10_000))
+        rows = draw(st.integers(min_value=1, max_value=512))
+        nnz = draw(st.integers(min_value=0, max_value=100_000))
+        tasks.append(BlockTask(start, start + rows, nnz))
+    return tasks
+
+
+policy_st = st.sampled_from(POLICIES)
+threads_st = st.integers(min_value=1, max_value=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tasks=task_lists(), n_threads=threads_st, policy=policy_st)
+def test_bins_partition_the_task_multiset(tasks, n_threads, policy):
+    bins = assign_tasks(tasks, n_threads, policy=policy)
+    assert len(bins) == n_threads
+    assigned = [t for b in bins for t in b]
+    # BlockTask is frozen/hashable, so Counter compares true multisets.
+    assert Counter(assigned) == Counter(tasks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tasks=task_lists(), n_threads=threads_st, policy=policy_st)
+def test_no_thread_starves_while_another_hoards(tasks, n_threads, policy):
+    """Static assignment spreads work: with ``t`` tasks, exactly
+    ``min(t, n_threads)`` bins are non-empty (round-robin by
+    construction; lpt/dynamic because an empty bin has load 0 and argmin
+    would pick it before any loaded bin)."""
+    bins = assign_tasks(tasks, n_threads, policy=policy)
+    non_empty = sum(1 for b in bins if b)
+    assert non_empty == min(len(tasks), n_threads)
+
+
+@settings(max_examples=100, deadline=None)
+@given(tasks=task_lists(), n_threads=threads_st)
+def test_round_robin_layout(tasks, n_threads):
+    bins = assign_tasks(tasks, n_threads, policy="round_robin")
+    for i, t in enumerate(tasks):
+        assert bins[i % n_threads][i // n_threads] == t
+
+
+@settings(max_examples=100, deadline=None)
+@given(tasks=task_lists(), n_threads=threads_st,
+       policy=st.sampled_from(["round_robin", "dynamic"]))
+def test_order_preserved_within_bins(tasks, n_threads, policy):
+    """round_robin and dynamic consume tasks in input order, so each
+    bin's tasks appear in their original relative order (lpt is exempt:
+    it sorts by descending nnz first)."""
+    def is_subsequence(sub, seq):
+        it = iter(seq)
+        return all(any(t == s for s in it) for t in sub)
+
+    for b in assign_tasks(tasks, n_threads, policy=policy):
+        assert is_subsequence(b, tasks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_threads=threads_st, policy=policy_st)
+def test_empty_phase(n_threads, policy):
+    bins = assign_tasks([], n_threads, policy=policy)
+    assert bins == [[] for _ in range(n_threads)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_threads=threads_st, policy=policy_st,
+       nnz=st.integers(min_value=0, max_value=1000))
+def test_single_task_phase(n_threads, policy, nnz):
+    task = BlockTask(0, 8, nnz)
+    bins = assign_tasks([task], n_threads, policy=policy)
+    assert sum(len(b) for b in bins) == 1
+    assert [t for b in bins for t in b] == [task]
+
+
+@settings(max_examples=100, deadline=None)
+@given(tasks=task_lists(max_tasks=20), policy=policy_st)
+def test_one_thread_gets_everything(tasks, policy):
+    (bin0,) = assign_tasks(tasks, 1, policy=policy)
+    assert Counter(bin0) == Counter(tasks)
+
+
+def test_unknown_policy_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="policy"):
+        assign_tasks([BlockTask(0, 1, 1)], 2, policy="guided")
+    with pytest.raises(ValueError, match="n_threads"):
+        assign_tasks([BlockTask(0, 1, 1)], 0)
