@@ -37,6 +37,14 @@ from .core import (
     standard_plan,
     theoretical_ratio,
 )
+from .robust import (
+    MatrixMarketError,
+    NonFiniteError,
+    PhaseExecutionError,
+    ReproError,
+    ValidationError,
+    validate_csr,
+)
 from .sparse import COOMatrix, CSRMatrix
 
 __version__ = "1.0.0"
@@ -57,5 +65,11 @@ __all__ = [
     "theoretical_ratio",
     "COOMatrix",
     "CSRMatrix",
+    "ReproError",
+    "ValidationError",
+    "NonFiniteError",
+    "MatrixMarketError",
+    "PhaseExecutionError",
+    "validate_csr",
     "__version__",
 ]

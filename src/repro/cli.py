@@ -17,11 +17,20 @@ A user-facing front end over the library:
 ``predict``
     Machine-model predictions (Fig 7/8-style) for a Table II matrix
     across the Table I platforms, with an ASCII chart.
+``solve``
+    Run CG/BiCGSTAB/GMRES on a matrix and report the structured
+    convergence status.
+
+Failures map onto one-line ``error:`` messages and distinct exit codes
+(see ``EXIT_*``): 3 for unreadable/malformed input files, 4 for
+validation and non-finite failures, 5 for crashed parallel phases, 6
+for solver breakdown/divergence/non-convergence.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 
 import numpy as np
@@ -35,17 +44,41 @@ from .machine import PLATFORMS, predict_speedup
 from .matrices import generate_standin, get_matrix_info, list_matrix_names
 from .matrices.stats import analyze_matrix
 from .reorder import abmc_ordering, permute_symmetric, rcm_ordering
+from .robust import (
+    MatrixMarketError,
+    PhaseExecutionError,
+    ValidationError,
+    validate_csr,
+)
+from .solvers import bicgstab, conjugate_gradient, gmres
 from .sparse import CSRMatrix, read_matrix_market, write_matrix_market
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_OK", "EXIT_IO", "EXIT_VALIDATION",
+           "EXIT_EXECUTION", "EXIT_SOLVER"]
+
+#: Exit codes of the typed-error mapping (argparse keeps 2 for usage).
+EXIT_OK = 0
+EXIT_IO = 3
+EXIT_VALIDATION = 4
+EXIT_EXECUTION = 5
+EXIT_SOLVER = 6
 
 
 def _load_matrix(args) -> CSRMatrix:
     if getattr(args, "standin", None):
-        return generate_standin(args.standin, n_rows=args.rows)
-    if getattr(args, "matrix", None):
-        return read_matrix_market(args.matrix).to_csr()
-    raise SystemExit("provide a MatrixMarket file or --standin NAME")
+        a = generate_standin(args.standin, n_rows=args.rows)
+    elif getattr(args, "matrix", None):
+        a = read_matrix_market(args.matrix).to_csr()
+    else:
+        raise SystemExit("provide a MatrixMarket file or --standin NAME")
+    if getattr(args, "validate", False):
+        name = args.matrix or f"{args.standin} stand-in"
+        report = validate_csr(a, name=str(name))
+        for issue in report.warnings:
+            print(f"warning[{issue.code}]: {issue.message}",
+                  file=sys.stderr)
+        report.raise_if_failed()
+    return a
 
 
 def _add_matrix_args(p: argparse.ArgumentParser) -> None:
@@ -55,6 +88,9 @@ def _add_matrix_args(p: argparse.ArgumentParser) -> None:
                         "a file")
     p.add_argument("--rows", type=int, default=20_000,
                    help="stand-in size (rows)")
+    p.add_argument("--validate", action="store_true",
+                   help="run the structural validators on the loaded "
+                        "matrix (exit 4 on failure)")
 
 
 def cmd_info(args) -> int:
@@ -83,16 +119,19 @@ def cmd_power(args) -> int:
         if args.operator:
             op.configure_executor(executor=args.executor,
                                   n_threads=args.threads,
-                                  assign_policy=args.policy)
+                                  assign_policy=args.policy,
+                                  on_failure=args.on_failure)
         else:
             op = build_fbmpk_operator(a, strategy=args.strategy,
                                       block_size=args.block_size,
                                       backend=args.backend,
                                       executor=args.executor,
                                       n_threads=args.threads,
-                                      assign_policy=args.policy)
+                                      assign_policy=args.policy,
+                                      on_failure=args.on_failure)
         counter = KernelCounter()
-        y = op.power(x, args.k, counter=counter)
+        y = op.power(x, args.k, counter=counter,
+                     check_finite=args.check_finite)
     elif args.method == "standard":
         y = mpk_standard(a, x, args.k)
     elif args.method == "mkl":
@@ -155,6 +194,35 @@ def cmd_reorder(args) -> int:
     return 0
 
 
+def cmd_solve(args) -> int:
+    a = _load_matrix(args)
+    rng = np.random.default_rng(args.seed)
+    x_true = rng.standard_normal(a.n_rows)
+    b = a.matvec(x_true)
+    t0 = time.perf_counter()
+    if args.solver == "cg":
+        result = conjugate_gradient(a, b, tol=args.tol,
+                                    max_iter=args.max_iter,
+                                    check_finite=args.check_finite)
+    elif args.solver == "bicgstab":
+        result = bicgstab(a, b, tol=args.tol, max_iter=args.max_iter,
+                          check_finite=args.check_finite)
+    else:
+        result = gmres(a, b, tol=args.tol, max_iter=args.max_iter,
+                       check_finite=args.check_finite)
+    elapsed = time.perf_counter() - t0
+    print(f"solver={args.solver} n={a.n_rows} status={result.status} "
+          f"iterations={result.iterations} "
+          f"residual={result.final_residual:.3e} time={elapsed:.3f}s")
+    if result.status != "converged":
+        print(f"error: {args.solver} did not converge "
+              f"(status={result.status} after {result.iterations} "
+              f"iterations, residual {result.final_residual:.3e})",
+              file=sys.stderr)
+        return EXIT_SOLVER
+    return 0
+
+
 def cmd_predict(args) -> int:
     info = get_matrix_info(args.name)
     stats = info.traffic_stats()
@@ -205,6 +273,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="lpt",
                    choices=["round_robin", "lpt", "dynamic"],
                    help="block-to-thread assignment policy")
+    p.add_argument("--on-failure", default="raise",
+                   choices=["raise", "fallback_serial"],
+                   help="what a crashed threaded phase does: raise a "
+                        "PhaseExecutionError (exit 5) or recompute the "
+                        "power serially")
+    p.add_argument("--check-finite", action="store_true",
+                   help="check input and every iterate for NaN/Inf "
+                        "(exit 4 on the first hit)")
     p.add_argument("--operator", help="load a saved .npz operator")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ones", action="store_true",
@@ -228,6 +304,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-size", type=int, default=64)
     p.set_defaults(func=cmd_reorder)
 
+    p = sub.add_parser("solve",
+                       help="run an iterative solver, report its status")
+    _add_matrix_args(p)
+    p.add_argument("--solver", default="cg",
+                   choices=["cg", "bicgstab", "gmres"])
+    p.add_argument("--tol", type=float, default=1e-8)
+    p.add_argument("--max-iter", type=int, default=None)
+    p.add_argument("--check-finite", action="store_true",
+                   help="validate matrix/rhs for NaN/Inf up front "
+                        "(exit 4 on the first hit)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the manufactured solution")
+    p.set_defaults(func=cmd_solve)
+
     p = sub.add_parser("predict",
                        help="machine-model speedup predictions")
     p.add_argument("name", choices=list_matrix_names())
@@ -237,8 +327,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    """Parse and dispatch; map typed failures to exit codes.
+
+    ``MatrixMarketError``/``OSError`` (unreadable or malformed input
+    file) → 3, ``ValidationError`` (structural defects, NaN/Inf caught
+    by ``--validate``/``--check-finite``) → 4, ``PhaseExecutionError``
+    (crashed parallel phase) → 5.  Solver non-convergence returns 6
+    from :func:`cmd_solve` directly.  Each failure is a single
+    ``error:`` line on stderr, not a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except MatrixMarketError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_IO
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION
+    except PhaseExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_IO
 
 
 if __name__ == "__main__":  # pragma: no cover

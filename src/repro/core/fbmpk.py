@@ -29,6 +29,7 @@ permutation bookkeeping.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
@@ -36,9 +37,11 @@ import numpy as np
 
 from ..parallel.executor import (
     ExecutionStats,
+    PhaseExecutionError,
     ThreadedPhaseExecutor,
     check_phases,
 )
+from ..robust.validate import ensure_finite
 from ..parallel.scheduler import (
     BlockTask,
     Phase,
@@ -349,6 +352,23 @@ Backend = Literal["numpy", "scipy"]
 ExecutorKind = Literal["serial", "threads"]
 
 
+def _snapshot_counter(counter: Optional[KernelCounter]):
+    """Capture a :class:`KernelCounter`'s fields so an aborted threaded
+    attempt can be rolled back before the serial fallback recounts."""
+    if counter is None:
+        return None
+    return (counter.l_passes, counter.u_passes, counter.l_entries,
+            counter.u_entries, counter._partial_l, counter._partial_u)
+
+
+def _restore_counter(counter: Optional[KernelCounter], snap) -> None:
+    """Undo the counts of an aborted attempt (see :func:`_snapshot_counter`)."""
+    if counter is None or snap is None:
+        return
+    (counter.l_passes, counter.u_passes, counter.l_entries,
+     counter.u_entries, counter._partial_l, counter._partial_u) = snap
+
+
 def _inverse_rows(perm: np.ndarray) -> np.ndarray:
     """Row gather that undoes ``X[perm]`` (used by the block kernels)."""
     inv = np.empty_like(perm)
@@ -489,6 +509,7 @@ class FBMPKOperator:
         n_threads: Optional[int] = None,
         assign_policy: str = "lpt",
         phase_plan: Optional[PhasePlan] = None,
+        on_failure: str = "raise",
     ) -> None:
         if validate and not check_sweep_groups(part, groups):
             raise ValueError("invalid sweep groups for this partition")
@@ -496,6 +517,8 @@ class FBMPKOperator:
             raise ValueError(f"unknown backend {backend!r}")
         if executor not in ("serial", "threads"):
             raise ValueError(f"unknown executor {executor!r}")
+        if on_failure not in ("raise", "fallback_serial"):
+            raise ValueError(f"unknown on_failure policy {on_failure!r}")
         self.part = part
         self.groups = groups
         self.backend = backend
@@ -503,6 +526,12 @@ class FBMPKOperator:
         self.executor = executor
         self.n_threads = n_threads
         self.assign_policy = assign_policy
+        #: What a crashed threaded phase does to ``power``: ``"raise"``
+        #: propagates the :class:`PhaseExecutionError`; with
+        #: ``"fallback_serial"`` the operator closes the pool, warns, and
+        #: recomputes the whole call with the serial fused sweeps — the
+        #: result is bit-identical to a clean serial run.
+        self.on_failure = on_failure
         #: :class:`~repro.parallel.executor.ExecutionStats` of the most
         #: recent ``power`` call that ran on the threaded backend; None
         #: after serial runs.
@@ -526,6 +555,7 @@ class FBMPKOperator:
         executor: Optional[ExecutorKind] = None,
         n_threads: Optional[int] = None,
         assign_policy: Optional[str] = None,
+        on_failure: Optional[str] = None,
     ) -> "FBMPKOperator":
         """Re-point the operator at a different execution backend.
 
@@ -543,6 +573,11 @@ class FBMPKOperator:
             self.n_threads = n_threads
         if assign_policy is not None:
             self.assign_policy = assign_policy
+        if on_failure is not None:
+            if on_failure not in ("raise", "fallback_serial"):
+                raise ValueError(
+                    f"unknown on_failure policy {on_failure!r}")
+            self.on_failure = on_failure
         if self._threaded is not None:
             self._threaded.pool.close()
             self._threaded.pool = ThreadedPhaseExecutor(
@@ -634,6 +669,7 @@ class FBMPKOperator:
         k: int,
         on_iterate: Optional[IterateCallback] = None,
         counter: Optional[KernelCounter] = None,
+        check_finite: bool = False,
     ) -> np.ndarray:
         """Compute ``A^k x`` with the fused forward-backward pipeline.
 
@@ -643,25 +679,82 @@ class FBMPKOperator:
         serial backend, and the run's timings land in
         :attr:`last_stats`.  The head/tail full-triangle SpMVs are plain
         vectorised kernels either way.
+
+        ``check_finite=True`` guards the computation against NaN/Inf:
+        the input vector and every produced iterate are checked, and a
+        :class:`~repro.robust.errors.NonFiniteError` names the first
+        power at which a non-finite value appeared — instead of silently
+        propagating garbage through the remaining sweeps.
+
+        Failure containment: if a sweep raises mid-call on the threaded
+        backend, the worker pool is shut down before the exception
+        leaves this method (no leaked threads).  With
+        ``on_failure="fallback_serial"`` a
+        :class:`~repro.robust.errors.PhaseExecutionError` is not raised
+        at all — the operator warns and recomputes the whole call with
+        the serial fused sweeps from the original input, bit-identical
+        to a clean serial run.  (``on_iterate`` callbacks observed
+        before the crash fire again during the rerun.)
         """
         if k < 0:
             raise ValueError("power k must be non-negative")
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n,):
             raise ValueError(f"x has shape {x.shape}, expected ({self.n},)")
+        if check_finite:
+            ensure_finite(x, "input vector x")
         self.last_stats = None
         if self.perm is not None:
             x = permute_vector(x, self.perm)
         if k == 0:
             y = x.copy()
             return unpermute_vector(y, self.perm) if self.perm is not None else y
+        threaded = self.executor == "threads"
+        if not threaded:
+            return self._power_body(x, k, on_iterate, counter,
+                                    check_finite, threaded=False)
+        fallback = self.on_failure == "fallback_serial"
+        x_saved = x.copy() if fallback else None
+        counter_saved = _snapshot_counter(counter) if fallback else None
+        try:
+            return self._power_body(x, k, on_iterate, counter,
+                                    check_finite, threaded=True)
+        except PhaseExecutionError:
+            self.close()
+            if not fallback:
+                raise
+            warnings.warn(
+                "threaded FBMPK phase crashed; recomputing serially "
+                "(on_failure='fallback_serial')", RuntimeWarning,
+                stacklevel=2)
+            _restore_counter(counter, counter_saved)
+            self.last_stats = None
+            return self._power_body(x_saved, k, on_iterate, counter,
+                                    check_finite, threaded=False)
+        except BaseException:
+            # Any other mid-sweep failure (a NonFiniteError between
+            # stages, a raising on_iterate callback, ...) must not leak
+            # the worker pool either.
+            self.close()
+            raise
+
+    def _power_body(
+        self,
+        x: np.ndarray,
+        k: int,
+        on_iterate: Optional[IterateCallback],
+        counter: Optional[KernelCounter],
+        check_finite: bool,
+        threaded: bool,
+    ) -> np.ndarray:
+        """The sweep pipeline proper; ``x`` is already permuted and
+        ``k >= 1`` validated by :meth:`power`."""
         d = self.part.diag
         pair = InterleavedPair.from_initial(x)
         XY = pair.as_matrix()
         tmp = self._upper_matvec(x)
         if counter:
             counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
-        threaded = self.executor == "threads"
         if threaded:
             state = self._ensure_threaded()
             stats = ExecutionStats(n_threads=state.pool.n_threads,
@@ -680,6 +773,8 @@ class FBMPKOperator:
             else:
                 self._forward_sweep(XY, tmp, d, counter)
             power += 1
+            if check_finite:
+                ensure_finite(pair.odd, f"iterate A^{power} x")
             if on_iterate:
                 on_iterate(power, self._out(pair.odd))
             if threaded:
@@ -693,6 +788,8 @@ class FBMPKOperator:
             else:
                 self._backward_sweep(XY, tmp, counter)
             power += 1
+            if check_finite:
+                ensure_finite(pair.even, f"iterate A^{power} x")
             if on_iterate:
                 on_iterate(power, self._out(pair.even))
         if k % 2:
@@ -700,13 +797,16 @@ class FBMPKOperator:
             y = self._lower_matvec(even) + tmp + d * even
             if counter:
                 counter.count_l(self.part.lower.nnz, self.part.lower.nnz)
+            if check_finite:
+                ensure_finite(y, f"iterate A^{k} x")
             if on_iterate:
                 on_iterate(k, self._out(y))
             return self._out(y)
         return self._out(XY[:, 0])
 
     def power_block(self, X: np.ndarray, k: int,
-                    counter: Optional[KernelCounter] = None) -> np.ndarray:
+                    counter: Optional[KernelCounter] = None,
+                    check_finite: bool = False) -> np.ndarray:
         """Compute ``A^k X`` for a dense block ``X`` of shape ``(n, m)``.
 
         Block version of :meth:`power` for subspace methods (Chebyshev
@@ -717,13 +817,16 @@ class FBMPKOperator:
 
         The working buffer interleaves each column's even/odd iterates
         (columns ``2j``/``2j + 1``), the block generalisation of the BtB
-        layout.
+        layout.  ``check_finite=True`` validates the input block and
+        every completed stage pair (see :meth:`power`).
         """
         if k < 0:
             raise ValueError("power k must be non-negative")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[0] != self.n:
             raise ValueError(f"X has shape {X.shape}, expected ({self.n}, m)")
+        if check_finite:
+            ensure_finite(X, "input block X")
         if self.perm is not None:
             X = X[self.perm]
         if k == 0:
@@ -739,6 +842,7 @@ class FBMPKOperator:
             counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
         l_total = self.part.lower.nnz
         u_total = self.part.upper.nnz
+        stage = 0
         for _ in range(k // 2):
             for p in self._fw:
                 rows = p.rows
@@ -756,11 +860,16 @@ class FBMPKOperator:
                 tmp[rows] = prod[:, 0::2]
                 if counter:
                     counter.count_u(p.nnz, u_total)
+            stage += 2
+            if check_finite:
+                ensure_finite(XY, f"block iterates through A^{stage} X")
         if k % 2:
             even = XY[:, 0::2]
             Y = self.part.lower.matmat(even) + tmp + d * even
             if counter:
                 counter.count_l(l_total, l_total)
+            if check_finite:
+                ensure_finite(Y, f"block iterate A^{k} X")
         else:
             Y = XY[:, 0::2].copy()
         if self.perm is not None:
@@ -855,6 +964,7 @@ def build_fbmpk_operator(
     executor: ExecutorKind = "serial",
     n_threads: Optional[int] = None,
     assign_policy: str = "lpt",
+    on_failure: str = "raise",
 ) -> FBMPKOperator:
     """One-off preprocessing: split, (optionally) reorder, group, extract.
 
@@ -894,11 +1004,13 @@ def build_fbmpk_operator(
                              backend=backend, executor=executor,
                              n_threads=n_threads,
                              assign_policy=assign_policy,
-                             phase_plan=phase_plan)
+                             phase_plan=phase_plan,
+                             on_failure=on_failure)
     if strategy == "levels":
         part = split_ldu(a)
         groups = make_sweep_groups_levels(part)
         return FBMPKOperator(part, groups, perm=None, backend=backend,
                              executor=executor, n_threads=n_threads,
-                             assign_policy=assign_policy)
+                             assign_policy=assign_policy,
+                             on_failure=on_failure)
     raise ValueError(f"unknown strategy {strategy!r}")

@@ -16,11 +16,12 @@ Resolution order:
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 from typing import Optional, Tuple
 
 from ..sparse.csr import CSRMatrix
-from ..sparse.io import read_matrix_market
+from ..sparse.io import MatrixMarketError, read_matrix_market
 from .registry import get_matrix_info
 
 __all__ = ["suitesparse_dir", "find_matrix_file", "load_matrix"]
@@ -51,15 +52,30 @@ def find_matrix_file(name: str, base: Optional[Path] = None
 
 
 def load_matrix(name: str, n_rows: int = 20_000,
-                seed: Optional[int] = None) -> Tuple[CSRMatrix, str]:
+                seed: Optional[int] = None,
+                strict: bool = False) -> Tuple[CSRMatrix, str]:
     """Load a Table II matrix: the real file when configured, the
     synthetic stand-in otherwise.
 
     Returns ``(matrix, source)`` with ``source`` one of ``"suitesparse"``
     or ``"standin"`` so harnesses can label their outputs.
+
+    A configured ``.mtx`` file that fails to parse (corrupt download,
+    truncated extraction, permission error) does not abort the harness:
+    by default a :class:`RuntimeWarning` is emitted and the synthetic
+    stand-in is used instead.  Pass ``strict=True`` to re-raise the
+    underlying :class:`~repro.sparse.io.MatrixMarketError`/``OSError``.
     """
     info = get_matrix_info(name)  # validates the name
     path = find_matrix_file(name)
     if path is not None:
-        return read_matrix_market(str(path)).to_csr(), "suitesparse"
+        try:
+            return read_matrix_market(str(path)).to_csr(), "suitesparse"
+        except (MatrixMarketError, OSError, ValueError) as exc:
+            if strict:
+                raise
+            warnings.warn(
+                f"failed to load SuiteSparse file {path} ({exc}); "
+                f"falling back to the synthetic {name!r} stand-in",
+                RuntimeWarning, stacklevel=2)
     return info.generate(n_rows=n_rows, seed=seed), "standin"

@@ -13,6 +13,7 @@ Three layers (see DESIGN.md "Execution backends"):
 
 from .executor import (
     ExecutionStats,
+    PhaseExecutionError,
     PhaseRecord,
     ThreadedPhaseExecutor,
     check_phases,
@@ -36,6 +37,7 @@ __all__ = [
     "block_cost_model",
     "simulate_phases",
     "ExecutionStats",
+    "PhaseExecutionError",
     "PhaseRecord",
     "ThreadedPhaseExecutor",
     "check_phases",

@@ -22,6 +22,18 @@ wall time, per-thread busy time and the barrier count of a run, in the
 same shape as :class:`repro.parallel.simthread.SimulatedRun`, so a real
 run can be laid next to a ``simulate_phases`` prediction
 (``benchmarks/bench_threaded_executor.py`` does exactly that).
+
+Failure containment: a crashed block task aborts its phase with a typed
+:class:`~repro.robust.errors.PhaseExecutionError` carrying the full
+scheduling context (phase, colour, block row range, thread bin).  The
+barrier *always* drains — every submitted bin is awaited before the
+error propagates — and the pool is shut down before raising, so a failed
+run can never leak worker threads or deadlock a barrier.  The
+``on_failure="fallback_serial"`` policy additionally re-runs the whole
+call serially from a caller-provided state snapshot, bit-identical to a
+clean serial run.  Each task is preceded by the ``"executor.task"``
+chaos hook of :mod:`repro.robust.faults`, which the fault-injection
+suite uses to crash and delay workers on demand.
 """
 
 from __future__ import annotations
@@ -34,12 +46,15 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..robust.errors import PhaseExecutionError
+from ..robust.faults import fire as _fire_fault
 from ..sparse.csr import CSRMatrix
 from .scheduler import BlockTask, Phase, assign_tasks
 
 __all__ = [
     "PhaseRecord",
     "ExecutionStats",
+    "PhaseExecutionError",
     "ThreadedPhaseExecutor",
     "check_phases",
 ]
@@ -140,6 +155,17 @@ def check_phases(tri: CSRMatrix, phases: Sequence[Phase]) -> bool:
     return bool(ok.all())
 
 
+class _TaskFailure(Exception):
+    """Internal wrapper identifying *which* task of a bin crashed."""
+
+    def __init__(self, task: BlockTask, slot: int,
+                 cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.task = task
+        self.slot = slot
+        self.cause = cause
+
+
 class ThreadedPhaseExecutor:
     """Persistent thread pool running colour phases with one barrier each.
 
@@ -148,18 +174,38 @@ class ThreadedPhaseExecutor:
     OpenMP runtime warm-up).  Within a phase, tasks are statically
     assigned to ``n_threads`` bins by :func:`assign_tasks`, every
     non-empty bin becomes one pool submission, and the phase returns
-    only when all bins have finished — the barrier.  Worker exceptions
-    propagate to the caller at the barrier.
+    only when all bins have finished — the barrier.
+
+    A worker exception aborts the run at that barrier: the remaining
+    bins are drained (no orphaned writers), the pool is shut down
+    (``shutdown(wait=True)``, no leaked threads), and what happens next
+    is the ``on_failure`` policy:
+
+    ``"raise"`` (default)
+        A :class:`PhaseExecutionError` with the failed task's phase,
+        colour, row range and thread bin propagates; the original
+        exception is chained as ``__cause__``.
+    ``"fallback_serial"``
+        If the caller provided a ``reset`` callback to
+        :meth:`run_phases`, the state is rolled back and every phase is
+        re-executed serially in the calling thread — bit-identical to a
+        clean serial run (same task order, same kernels, no concurrency).
+        Without ``reset`` the executor cannot roll back caller state and
+        raises exactly like ``"raise"``.
     """
 
     def __init__(self, n_threads: Optional[int] = None,
-                 policy: str = "lpt") -> None:
+                 policy: str = "lpt",
+                 on_failure: str = "raise") -> None:
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if n_threads < 1:
             raise ValueError("n_threads must be positive")
+        if on_failure not in ("raise", "fallback_serial"):
+            raise ValueError(f"unknown on_failure policy {on_failure!r}")
         self.n_threads = int(n_threads)
         self.policy = policy
+        self.on_failure = on_failure
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- lifecycle ------------------------------------------------------
@@ -184,17 +230,52 @@ class ThreadedPhaseExecutor:
     # -- execution ------------------------------------------------------
     @staticmethod
     def _run_bin(tasks: Sequence[BlockTask], run_task: TaskRunner,
-                 busy: List[float], slot: int) -> None:
+                 busy: List[float], slot: int, phase_index: int,
+                 color: int) -> None:
         t0 = time.perf_counter()
-        for task in tasks:
-            run_task(task)
-        busy[slot] += time.perf_counter() - t0
+        try:
+            for task in tasks:
+                try:
+                    _fire_fault("executor.task", phase_index=phase_index,
+                                color=color, start=task.start,
+                                stop=task.stop, thread=slot)
+                    run_task(task)
+                except BaseException as exc:
+                    raise _TaskFailure(task, slot, exc) from exc
+        finally:
+            busy[slot] += time.perf_counter() - t0
+
+    def run_serial(
+        self,
+        phases: Sequence[Phase],
+        run_task: TaskRunner,
+        stats: Optional[ExecutionStats] = None,
+    ) -> ExecutionStats:
+        """Execute ``phases`` serially in the calling thread, tasks in
+        declared order — the executor's safe mode (no pool, no chaos
+        hooks) and the reference the threaded path must be bit-identical
+        to.  Busy time accrues to bin 0."""
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_threads,
+                                   policy=self.policy)
+        for phase in phases:
+            t0 = time.perf_counter()
+            for task in phase.tasks:
+                run_task(task)
+            elapsed = time.perf_counter() - t0
+            stats.thread_busy_s[0] += elapsed
+            stats.barriers += 1
+            stats.phases.append(PhaseRecord(
+                color=phase.color, n_tasks=len(phase.tasks),
+                nnz=phase.total_nnz, wall_s=elapsed))
+        return stats
 
     def run_phases(
         self,
         phases: Sequence[Phase],
         run_task: TaskRunner,
         stats: Optional[ExecutionStats] = None,
+        reset: Optional[Callable[[], None]] = None,
     ) -> ExecutionStats:
         """Execute ``phases`` in order, calling ``run_task`` once per
         block, with a barrier after every phase.
@@ -202,25 +283,69 @@ class ThreadedPhaseExecutor:
         ``stats`` may be passed to accumulate several sweeps (e.g. the
         forward and backward stages of one ``power`` call) into a single
         record; a fresh one is created otherwise.
+
+        ``reset`` is the rollback hook of the ``"fallback_serial"``
+        failure policy: a zero-argument callable restoring the caller's
+        state to what it was when this call started.  On a worker crash
+        the executor drains the phase, shuts the pool down, rolls the
+        stats and caller state back, and re-runs everything via
+        :meth:`run_serial`.
         """
         if stats is None:
             stats = ExecutionStats(n_threads=self.n_threads,
                                    policy=self.policy)
+        # Snapshot for the fallback path: stats must not double-count the
+        # aborted attempt.
+        snap = (len(stats.phases), stats.barriers,
+                list(stats.thread_busy_s))
         pool = self._ensure_pool()
-        for phase in phases:
+        for pi, phase in enumerate(phases):
             t0 = time.perf_counter()
             bins = assign_tasks(phase.tasks, self.n_threads,
                                 policy=self.policy)
             futures = [
                 pool.submit(self._run_bin, b, run_task,
-                            stats.thread_busy_s, i)
+                            stats.thread_busy_s, i, pi, phase.color)
                 for i, b in enumerate(bins) if b
             ]
+            # Barrier.  Always drain *every* submitted bin, even after a
+            # failure — otherwise still-running workers would write into
+            # caller state behind our back.
+            failure: Optional[BaseException] = None
             for f in futures:
-                f.result()  # barrier; re-raises worker exceptions
+                try:
+                    f.result()
+                except BaseException as exc:
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                self.close()  # no leaked threads, ever
+                if self.on_failure == "fallback_serial" and reset is not None:
+                    stats.phases[:] = stats.phases[:snap[0]]
+                    stats.barriers = snap[1]
+                    stats.thread_busy_s[:] = snap[2]
+                    reset()
+                    return self.run_serial(phases, run_task, stats)
+                raise self._wrap_failure(failure, pi, phase) from (
+                    failure.cause if isinstance(failure, _TaskFailure)
+                    else failure)
             stats.barriers += 1
             stats.phases.append(PhaseRecord(
                 color=phase.color, n_tasks=len(phase.tasks),
                 nnz=phase.total_nnz,
                 wall_s=time.perf_counter() - t0))
         return stats
+
+    @staticmethod
+    def _wrap_failure(failure: BaseException, phase_index: int,
+                      phase: Phase) -> PhaseExecutionError:
+        """Build the typed, context-carrying error for a crashed phase."""
+        if isinstance(failure, _TaskFailure):
+            return PhaseExecutionError(
+                f"block task crashed: {failure.cause!r}",
+                phase_index=phase_index, color=phase.color,
+                block=(failure.task.start, failure.task.stop),
+                thread=failure.slot)
+        return PhaseExecutionError(
+            f"phase execution failed: {failure!r}",
+            phase_index=phase_index, color=phase.color)

@@ -1,0 +1,67 @@
+"""Robustness layer: error taxonomy, structural validation, fault injection.
+
+The FBMPK pipeline (split -> fused sweeps -> colour phases -> threads)
+computes garbage silently when fed a corrupt matrix, a NaN iterate or a
+crashed worker.  This package makes the failure modes *typed* and
+*testable*:
+
+* :mod:`~repro.robust.errors` — the exception taxonomy every layer maps
+  its failures onto (and the CLI maps onto exit codes);
+* :mod:`~repro.robust.validate` — structural validators for CSR/COO
+  matrices, sweep groups and phase plans, plus the ``ensure_finite``
+  guard surfaced as ``check_finite=`` through the operator and solvers;
+* :mod:`~repro.robust.faults` — a deterministic, seedable fault injector
+  (corrupt entries, poisoned vectors, raise-in-worker, delay-a-block)
+  with a chaos-hook registry the executor honours.
+
+See the "Failure modes & robustness" section of the README for the
+policy matrix (what raises, what degrades, what falls back).
+"""
+
+from .errors import (
+    InjectedFault,
+    MatrixMarketError,
+    NonFiniteError,
+    PhaseExecutionError,
+    ReproError,
+    SolverBreakdownError,
+    ValidationError,
+)
+from .faults import (
+    DelayFault,
+    FaultInjector,
+    RaiseFault,
+    active_injectors,
+    fire,
+)
+from .validate import (
+    Issue,
+    ValidationReport,
+    ensure_finite,
+    validate_coo,
+    validate_csr,
+    validate_phases,
+    validate_sweep_groups,
+)
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NonFiniteError",
+    "MatrixMarketError",
+    "PhaseExecutionError",
+    "SolverBreakdownError",
+    "InjectedFault",
+    "FaultInjector",
+    "RaiseFault",
+    "DelayFault",
+    "fire",
+    "active_injectors",
+    "Issue",
+    "ValidationReport",
+    "ensure_finite",
+    "validate_csr",
+    "validate_coo",
+    "validate_sweep_groups",
+    "validate_phases",
+]

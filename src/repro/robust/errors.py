@@ -1,0 +1,143 @@
+"""Typed error taxonomy of the robustness layer.
+
+Every failure the library can *detect* maps onto one of these classes, so
+callers (and the CLI's exit-code mapping) can tell apart:
+
+* malformed input files        -> :class:`MatrixMarketError`
+* broken matrix/plan structure -> :class:`ValidationError`
+* NaN/Inf payloads or iterates -> :class:`NonFiniteError`
+* crashed parallel phases      -> :class:`PhaseExecutionError`
+* deliberately injected faults -> :class:`InjectedFault`
+
+The classes double-inherit from the builtin exception the pre-robustness
+code used to raise (``ValueError``/``RuntimeError``), so existing
+``except ValueError`` call sites keep working while new code can catch
+the precise type.  This module is deliberately dependency-free (not even
+numpy) so any layer of the package may import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NonFiniteError",
+    "MatrixMarketError",
+    "PhaseExecutionError",
+    "SolverBreakdownError",
+    "InjectedFault",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error the library raises deliberately."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A structural invariant of a matrix, plan or vector is violated.
+
+    ``issues`` (when present) carries the individual findings of a
+    :class:`repro.robust.validate.ValidationReport`.
+    """
+
+    def __init__(self, message: str, issues: Optional[list] = None) -> None:
+        super().__init__(message)
+        self.issues = issues or []
+
+
+class NonFiniteError(ValidationError):
+    """A NaN or Inf was found where only finite values are allowed.
+
+    ``where`` names the offending array (e.g. ``"input vector x"`` or
+    ``"iterate A^3 x"``); ``count`` is the number of non-finite entries
+    and ``first_index`` the flat index of the first one.
+    """
+
+    def __init__(self, where: str, count: int = 0,
+                 first_index: Optional[int] = None) -> None:
+        msg = f"non-finite values in {where}"
+        if count:
+            msg += f" ({count} entries, first at index {first_index})"
+        super().__init__(msg)
+        self.where = where
+        self.count = count
+        self.first_index = first_index
+
+
+class MatrixMarketError(ReproError, ValueError):
+    """A MatrixMarket file could not be parsed.
+
+    ``source`` is the file name (or ``"<stream>"``), ``line`` the 1-based
+    line number the problem was detected at; both are baked into
+    ``str(exc)`` so the CLI's one-line message is self-contained.
+    """
+
+    def __init__(self, message: str, *, source: Optional[str] = None,
+                 line: Optional[int] = None) -> None:
+        prefix = ""
+        if source is not None:
+            prefix = f"{source}:"
+            if line is not None:
+                prefix += f"{line}:"
+            prefix += " "
+        elif line is not None:
+            prefix = f"line {line}: "
+        super().__init__(prefix + message)
+        self.source = source
+        self.line = line
+
+
+class PhaseExecutionError(ReproError, RuntimeError):
+    """A block task crashed inside the threaded colour-phase executor.
+
+    Carries the full scheduling context of the failed task: the phase's
+    position in the sweep (``phase_index``), its colour, the block's row
+    range, and the static thread bin it was assigned to.  The original
+    worker exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *,
+                 phase_index: Optional[int] = None,
+                 color: Optional[int] = None,
+                 block: Optional[Tuple[int, int]] = None,
+                 thread: Optional[int] = None) -> None:
+        ctx = []
+        if phase_index is not None:
+            ctx.append(f"phase {phase_index}")
+        if color is not None:
+            ctx.append(f"colour {color}")
+        if block is not None:
+            ctx.append(f"block rows [{block[0]}, {block[1]})")
+        if thread is not None:
+            ctx.append(f"thread bin {thread}")
+        if ctx:
+            message = f"{message} ({', '.join(ctx)})"
+        super().__init__(message)
+        self.phase_index = phase_index
+        self.color = color
+        self.block = block
+        self.thread = thread
+
+
+class SolverBreakdownError(ReproError, RuntimeError):
+    """Raised only when a caller explicitly asks a solver wrapper to turn
+    a structured failure status into an exception (the solvers themselves
+    return statuses; see ``CGResult.status`` / ``KrylovResult.status``)."""
+
+    def __init__(self, message: str, status: str = "breakdown") -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """Default exception raised by :class:`repro.robust.faults.RaiseFault`.
+
+    Distinct from every organic error type so tests can assert that a
+    failure truly originated from the injection registry.
+    """
+
+    def __init__(self, site: str, message: str = "") -> None:
+        super().__init__(message or f"injected fault at site {site!r}")
+        self.site = site

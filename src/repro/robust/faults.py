@@ -1,0 +1,234 @@
+"""Deterministic, seedable fault injection.
+
+Two complementary facilities, both driven by the fault-injection test
+suite (``tests/robust``) and exposed to users through the library API:
+
+**Data corruption** — :class:`FaultInjector` methods that return
+*corrupted copies* of matrices and vectors (NaN/Inf payloads, huge
+values, out-of-range column indices).  All randomness flows from the
+injector's seeded generator, so a corruption is reproducible from
+``(seed, call sequence)`` alone.
+
+**Chaos hooks** — an injection *registry* mapping site names (e.g.
+``"executor.task"``) to fault actions (:class:`RaiseFault`,
+:class:`DelayFault`).  Production code calls :func:`fire` at its hook
+points; the call is a no-op attribute check unless an injector has been
+activated (``with injector: ...``), so the hooks cost nothing in normal
+operation — the usual chaos-engineering deal.
+
+Hook sites currently wired up:
+
+``"executor.task"``
+    Fired by :class:`repro.parallel.executor.ThreadedPhaseExecutor`
+    before each block task runs, with context ``phase_index``, ``color``,
+    ``start``, ``stop``, ``thread``.  A :class:`RaiseFault` here models a
+    crashed worker; a :class:`DelayFault` models a straggler block.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .errors import InjectedFault
+
+__all__ = [
+    "Fault",
+    "RaiseFault",
+    "DelayFault",
+    "FaultInjector",
+    "fire",
+    "active_injectors",
+]
+
+Fault = Callable[[str, dict], None]
+
+
+def _matches(match: Optional[dict], ctx: dict) -> bool:
+    """A fault with a ``match`` dict fires only when every key-value pair
+    is present in the hook's context (subset match)."""
+    if not match:
+        return True
+    return all(ctx.get(k) == v for k, v in match.items())
+
+
+class _CountedFault:
+    """Shared bookkeeping: thread-safe firing budget + context matching."""
+
+    def __init__(self, times: Optional[int], match: Optional[dict]) -> None:
+        self.times = times
+        self.match = match
+        self.fired = 0
+        self._lock = threading.Lock()
+
+    def _should_fire(self, ctx: dict) -> bool:
+        if not _matches(self.match, ctx):
+            return False
+        with self._lock:
+            if self.times is not None and self.fired >= self.times:
+                return False
+            self.fired += 1
+            return True
+
+
+class RaiseFault(_CountedFault):
+    """Raise an exception at a hook site (models a crashed worker).
+
+    ``exc`` may be an exception instance, an exception class, or ``None``
+    (raises :class:`~repro.robust.errors.InjectedFault`).  ``times``
+    bounds how often the fault fires (default once — so a
+    ``fallback_serial`` rerun of the same code path succeeds); ``match``
+    restricts firing to hook contexts containing the given key-value
+    pairs, e.g. ``match={"color": 2}``.
+    """
+
+    def __init__(self, exc=None, times: Optional[int] = 1,
+                 match: Optional[dict] = None) -> None:
+        super().__init__(times, match)
+        self.exc = exc
+
+    def __call__(self, site: str, ctx: dict) -> None:
+        if not self._should_fire(ctx):
+            return
+        exc = self.exc
+        if exc is None:
+            raise InjectedFault(site)
+        if isinstance(exc, type):
+            raise exc(f"injected fault at site {site!r}")
+        raise exc
+
+
+class DelayFault(_CountedFault):
+    """Sleep at a hook site (models a straggler block / slow worker).
+
+    Containment requirement: a delayed block must slow the phase down,
+    never hang it or change the result.
+    """
+
+    def __init__(self, seconds: float, times: Optional[int] = None,
+                 match: Optional[dict] = None) -> None:
+        super().__init__(times, match)
+        self.seconds = float(seconds)
+
+    def __call__(self, site: str, ctx: dict) -> None:
+        if self._should_fire(ctx):
+            time.sleep(self.seconds)
+
+
+# ---------------------------------------------------------------------------
+# the injector
+# ---------------------------------------------------------------------------
+_ACTIVE: List["FaultInjector"] = []
+
+
+def active_injectors() -> List["FaultInjector"]:
+    """The currently activated injectors (normally empty)."""
+    return list(_ACTIVE)
+
+
+def fire(site: str, **ctx) -> None:
+    """Hook-point entry: dispatch ``site`` to every active injector.
+
+    Near-zero cost when no injector is active (one truthiness check on a
+    module-level list), so production code may call it unconditionally.
+    """
+    if not _ACTIVE:
+        return
+    for injector in _ACTIVE:
+        injector.fire(site, **ctx)
+
+
+class FaultInjector:
+    """Seedable source of corruptions and registry of chaos faults.
+
+    Use as a context manager to activate the registry::
+
+        injector = FaultInjector(seed=7)
+        injector.install("executor.task", RaiseFault(match={"color": 1}))
+        with injector:
+            op.power(x, k)        # the matching block task raises
+
+    Data-corruption helpers never mutate their argument — they return a
+    corrupted copy, drawing entry positions from the injector's seeded
+    generator so every corruption is reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+        self._sites: Dict[str, List[Fault]] = {}
+
+    # -- registry -------------------------------------------------------
+    def install(self, site: str, fault: Fault) -> "FaultInjector":
+        """Attach ``fault`` to ``site`` (chainable)."""
+        self._sites.setdefault(site, []).append(fault)
+        return self
+
+    def clear(self, site: Optional[str] = None) -> None:
+        """Remove the faults of one site, or all of them."""
+        if site is None:
+            self._sites.clear()
+        else:
+            self._sites.pop(site, None)
+
+    def fire(self, site: str, **ctx) -> None:
+        """Run every fault installed at ``site`` with the hook context."""
+        for fault in self._sites.get(site, ()):
+            fault(site, ctx)
+
+    def activate(self) -> "FaultInjector":
+        """Register this injector with the global :func:`fire` dispatch."""
+        if self not in _ACTIVE:
+            _ACTIVE.append(self)
+        return self
+
+    def deactivate(self) -> None:
+        """Unregister from the global dispatch (idempotent)."""
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+
+    def __enter__(self) -> "FaultInjector":
+        return self.activate()
+
+    def __exit__(self, *exc) -> None:
+        self.deactivate()
+
+    # -- data corruption ------------------------------------------------
+    def _pick(self, size: int, n: int) -> np.ndarray:
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        return self.rng.choice(size, size=min(n, size), replace=False)
+
+    def corrupt_values(self, a, n: int = 1, kind: str = "nan"):
+        """Corrupted copy of a CSR-like matrix: ``n`` stored values become
+        NaN (``kind="nan"``), Inf (``"inf"``) or ``1e300`` (``"huge"``)."""
+        payload = {"nan": np.nan, "inf": np.inf, "huge": 1e300}
+        if kind not in payload:
+            raise ValueError(f"unknown corruption kind {kind!r}")
+        out = a.copy()
+        out.data[self._pick(out.data.shape[0], n)] = payload[kind]
+        return out
+
+    def corrupt_indices(self, a, n: int = 1):
+        """Corrupted copy of a CSR-like matrix: ``n`` column indices are
+        pushed out of range (``>= n_cols``), the classic symptom of a
+        truncated or mis-indexed file."""
+        out = a.copy()
+        pos = self._pick(out.indices.shape[0], n)
+        out.indices[pos] = out.shape[1] + np.arange(pos.shape[0])
+        return out
+
+    def poison_vector(self, x: np.ndarray, n: int = 1,
+                      kind: str = "nan") -> np.ndarray:
+        """Poisoned copy of a dense vector/block: ``n`` entries become
+        NaN or Inf."""
+        payload = {"nan": np.nan, "inf": np.inf}
+        if kind not in payload:
+            raise ValueError(f"unknown poison kind {kind!r}")
+        out = np.array(x, dtype=np.float64, copy=True)
+        flat = out.reshape(-1)
+        flat[self._pick(flat.shape[0], n)] = payload[kind]
+        return out

@@ -1,0 +1,334 @@
+"""Structural validators for matrices, sweep plans and vectors.
+
+Every FBMPK layer trusts its inputs: a CSR matrix with an out-of-range
+column index silently gathers garbage, a sweep group that breaks the
+dependency invariant produces wrong-but-finite results, and a single NaN
+propagates through ``k`` powers unnoticed.  These validators make those
+assumptions checkable — cheaply enough to run on load (``repro --validate``)
+and thoroughly enough that the fault-injection suite can corrupt any
+field of a matrix and watch the right issue surface.
+
+Validators return a :class:`ValidationReport` (a list of
+:class:`Issue` findings with severities) rather than raising on first
+fault, so a harness can log everything wrong with a file at once;
+``report.raise_if_failed()`` converts error-level findings into a
+:class:`~repro.robust.errors.ValidationError`.
+
+The functions deliberately duck-type their arguments (anything with
+``indptr``/``indices``/``data``/``shape`` works) and re-check invariants
+the constructors may have been told to skip (``check=False``), because
+the whole point is to distrust the object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from .errors import NonFiniteError, ValidationError
+
+__all__ = [
+    "Issue",
+    "ValidationReport",
+    "validate_csr",
+    "validate_coo",
+    "validate_sweep_groups",
+    "validate_phases",
+    "ensure_finite",
+]
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding.
+
+    ``code`` is a stable machine-readable slug (tests key on it),
+    ``severity`` is ``"error"`` for invariant violations and
+    ``"warning"`` for legal-but-suspicious structure (duplicates,
+    unsorted rows).
+    """
+
+    code: str
+    message: str
+    severity: str = "error"
+
+
+@dataclass
+class ValidationReport:
+    """Findings of one validator run over one object."""
+
+    subject: str
+    issues: List[Issue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-level issue was found."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    @property
+    def errors(self) -> List[Issue]:
+        """The error-level findings."""
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Issue]:
+        """The warning-level findings."""
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def add(self, code: str, message: str, severity: str = "error") -> None:
+        """Record a finding."""
+        self.issues.append(Issue(code=code, message=message,
+                                 severity=severity))
+
+    def raise_if_failed(self) -> "ValidationReport":
+        """Raise :class:`ValidationError` when error-level issues exist;
+        return ``self`` otherwise (chainable)."""
+        bad = self.errors
+        if bad:
+            lines = "; ".join(f"[{i.code}] {i.message}" for i in bad)
+            raise ValidationError(
+                f"{self.subject} failed validation: {lines}", issues=bad)
+        return self
+
+    def __str__(self) -> str:
+        if not self.issues:
+            return f"{self.subject}: ok"
+        lines = [f"{self.subject}: {len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        lines += [f"  {i.severity}[{i.code}]: {i.message}"
+                  for i in self.issues]
+        return "\n".join(lines)
+
+
+def ensure_finite(arr, where: str = "array") -> None:
+    """Raise :class:`NonFiniteError` unless every entry of ``arr`` is
+    finite.  One vectorised pass; the error reports how many entries are
+    bad and where the first one sits."""
+    arr = np.asarray(arr)
+    if arr.size == 0:
+        return
+    finite = np.isfinite(arr)
+    if finite.all():
+        return
+    bad = ~finite.ravel()
+    raise NonFiniteError(where, count=int(bad.sum()),
+                         first_index=int(np.argmax(bad)))
+
+
+# ---------------------------------------------------------------------------
+# matrix validators
+# ---------------------------------------------------------------------------
+def validate_csr(a, name: str = "CSR matrix") -> ValidationReport:
+    """Check every structural invariant of a CSR matrix.
+
+    Findings (error level unless noted): ``indptr-length``,
+    ``indptr-start``, ``indptr-monotone``, ``indptr-end``,
+    ``array-length``, ``col-range``, ``non-finite``; warning level:
+    ``unsorted-row``, ``duplicate-entry``.
+    """
+    rep = ValidationReport(subject=name)
+    indptr = np.asarray(a.indptr)
+    indices = np.asarray(a.indices)
+    data = np.asarray(a.data)
+    n_rows, n_cols = int(a.shape[0]), int(a.shape[1])
+    if indptr.shape[0] != n_rows + 1:
+        rep.add("indptr-length",
+                f"indptr has length {indptr.shape[0]}, "
+                f"expected n_rows + 1 = {n_rows + 1}")
+        return rep  # row structure unusable; later checks would misreport
+    if indptr.size and indptr[0] != 0:
+        rep.add("indptr-start", f"indptr[0] is {int(indptr[0])}, expected 0")
+    diffs = np.diff(indptr)
+    if (diffs < 0).any():
+        row = int(np.argmax(diffs < 0))
+        rep.add("indptr-monotone",
+                f"indptr decreases at row {row} "
+                f"({int(indptr[row])} -> {int(indptr[row + 1])})")
+    if int(indptr[-1]) != indices.shape[0]:
+        rep.add("indptr-end",
+                f"indptr[-1] = {int(indptr[-1])} but {indices.shape[0]} "
+                f"column indices are stored")
+    if indices.shape[0] != data.shape[0]:
+        rep.add("array-length",
+                f"{indices.shape[0]} indices vs {data.shape[0]} values")
+    if indices.size:
+        out = (indices < 0) | (indices >= n_cols)
+        if out.any():
+            k = int(np.argmax(out))
+            rep.add("col-range",
+                    f"{int(out.sum())} column indices outside [0, {n_cols}) "
+                    f"(first: entry {k} has column {int(indices[k])})")
+    if data.size:
+        finite = np.isfinite(data)
+        if not finite.all():
+            k = int(np.argmax(~finite))
+            rep.add("non-finite",
+                    f"{int((~finite).sum())} non-finite stored values "
+                    f"(first: entry {k} = {data.ravel()[k]!r})")
+    # Row-local structure (only meaningful when the row pointers are sane).
+    if rep.ok and indices.size and (diffs >= 0).all():
+        row_of = np.repeat(np.arange(n_rows, dtype=np.int64), diffs)
+        same_row = row_of[1:] == row_of[:-1]
+        steps = np.diff(indices)
+        if (same_row & (steps < 0)).any():
+            row = int(row_of[1:][same_row & (steps < 0)][0])
+            rep.add("unsorted-row",
+                    f"column indices of row {row} are not sorted",
+                    severity="warning")
+        if (same_row & (steps == 0)).any():
+            row = int(row_of[1:][same_row & (steps == 0)][0])
+            rep.add("duplicate-entry",
+                    f"row {row} stores the same column twice",
+                    severity="warning")
+    return rep
+
+
+def validate_coo(a, name: str = "COO matrix") -> ValidationReport:
+    """Check the invariants of a COO matrix (parallel arrays, index
+    ranges, finite payload); duplicates are a warning (legal assembly
+    semantics, summed on CSR conversion)."""
+    rep = ValidationReport(subject=name)
+    rows = np.asarray(a.rows)
+    cols = np.asarray(a.cols)
+    data = np.asarray(a.data)
+    n_rows, n_cols = int(a.shape[0]), int(a.shape[1])
+    if not (rows.shape == cols.shape == data.shape):
+        rep.add("array-length",
+                f"rows/cols/data shapes differ: {rows.shape}, "
+                f"{cols.shape}, {data.shape}")
+        return rep
+    if rows.size:
+        bad_r = (rows < 0) | (rows >= n_rows)
+        if bad_r.any():
+            k = int(np.argmax(bad_r))
+            rep.add("row-range",
+                    f"{int(bad_r.sum())} row indices outside [0, {n_rows}) "
+                    f"(first: entry {k} = {int(rows[k])})")
+        bad_c = (cols < 0) | (cols >= n_cols)
+        if bad_c.any():
+            k = int(np.argmax(bad_c))
+            rep.add("col-range",
+                    f"{int(bad_c.sum())} column indices outside "
+                    f"[0, {n_cols}) (first: entry {k} = {int(cols[k])})")
+        finite = np.isfinite(data)
+        if not finite.all():
+            k = int(np.argmax(~finite))
+            rep.add("non-finite",
+                    f"{int((~finite).sum())} non-finite values "
+                    f"(first: entry {k} = {data[k]!r})")
+        if rep.ok:
+            key = rows.astype(np.int64) * n_cols + cols
+            uniq = np.unique(key)
+            if uniq.shape[0] != key.shape[0]:
+                rep.add("duplicate-entry",
+                        f"{key.shape[0] - uniq.shape[0]} duplicate "
+                        f"coordinates (summed on CSR conversion)",
+                        severity="warning")
+    return rep
+
+
+# ---------------------------------------------------------------------------
+# plan validators
+# ---------------------------------------------------------------------------
+def _validate_one_sweep(tri, groups: Sequence[np.ndarray], sweep: str,
+                        rep: ValidationReport) -> None:
+    """Partition-of-rows plus dependency-direction check for one sweep.
+
+    Mirrors :func:`repro.core.fbmpk.check_sweep_groups` but reports *what*
+    is wrong instead of a bare bool.
+    """
+    n = int(tri.shape[0])
+    rank = np.full(n, -1, dtype=np.int64)
+    for g, rows in enumerate(groups):
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and ((rows < 0) | (rows >= n)).any():
+            rep.add(f"{sweep}-row-range",
+                    f"{sweep} group {g} references rows outside [0, {n})")
+            return
+        taken = rank[rows] != -1
+        if taken.any():
+            rep.add(f"{sweep}-overlap",
+                    f"{sweep} group {g} re-uses row "
+                    f"{int(rows[np.argmax(taken)])} "
+                    f"already claimed by group "
+                    f"{int(rank[rows[np.argmax(taken)]])}")
+            return
+        rank[rows] = g
+    missing = rank < 0
+    if missing.any():
+        rep.add(f"{sweep}-coverage",
+                f"{int(missing.sum())} rows not covered by any {sweep} "
+                f"group (first: row {int(np.argmax(missing))})")
+        return
+    row_nnz = np.diff(np.asarray(tri.indptr))
+    rows_exp = np.repeat(np.arange(n, dtype=np.int64), row_nnz)
+    cols = np.asarray(tri.indices)
+    forward_dep = rank[cols] >= rank[rows_exp]
+    if forward_dep.any():
+        k = int(np.argmax(forward_dep))
+        rep.add(f"{sweep}-dependency",
+                f"{sweep} sweep entry ({int(rows_exp[k])}, {int(cols[k])}) "
+                f"depends on group {int(rank[cols[k]])} which does not "
+                f"precede group {int(rank[rows_exp[k]])}")
+
+
+def validate_sweep_groups(part, groups,
+                          name: str = "sweep groups") -> ValidationReport:
+    """Validate a :class:`~repro.core.fbmpk.SweepGroups` against both
+    triangles of an ``L + D + U`` partition: each sweep's groups must
+    partition the rows and every stored dependency must point to a
+    strictly earlier group of that sweep."""
+    rep = ValidationReport(subject=name)
+    _validate_one_sweep(part.lower, groups.forward, "forward", rep)
+    _validate_one_sweep(part.upper, groups.backward, "backward", rep)
+    return rep
+
+
+def validate_phases(tri, phases, name: str = "phase plan") -> ValidationReport:
+    """Validate a block-phase schedule for one triangle.
+
+    The executability invariant of
+    :class:`~repro.parallel.executor.ThreadedPhaseExecutor`: tasks
+    partition the rows, and every stored entry points to a strictly
+    earlier phase or stays within its own task (same-phase cross-task
+    dependencies would race).
+    """
+    rep = ValidationReport(subject=name)
+    n = int(tri.shape[0])
+    phase_of = np.full(n, -1, dtype=np.int64)
+    task_of = np.full(n, -1, dtype=np.int64)
+    tid = 0
+    for pi, phase in enumerate(phases):
+        for t in phase.tasks:
+            if not (0 <= t.start <= t.stop <= n):
+                rep.add("task-range",
+                        f"phase {pi} task [{t.start}, {t.stop}) is outside "
+                        f"[0, {n})")
+                return rep
+            if (phase_of[t.start:t.stop] != -1).any():
+                rep.add("task-overlap",
+                        f"phase {pi} task [{t.start}, {t.stop}) overlaps "
+                        f"rows of an earlier task")
+                return rep
+            phase_of[t.start:t.stop] = pi
+            task_of[t.start:t.stop] = tid
+            tid += 1
+    missing = phase_of < 0
+    if missing.any():
+        rep.add("coverage",
+                f"{int(missing.sum())} rows not covered by any task "
+                f"(first: row {int(np.argmax(missing))})")
+        return rep
+    rows_exp = np.repeat(np.arange(n, dtype=np.int64),
+                         np.diff(np.asarray(tri.indptr)))
+    cols = np.asarray(tri.indices)
+    races = ~((phase_of[cols] < phase_of[rows_exp])
+              | (task_of[cols] == task_of[rows_exp]))
+    if races.any():
+        k = int(np.argmax(races))
+        rep.add("dependency",
+                f"entry ({int(rows_exp[k])}, {int(cols[k])}) crosses tasks "
+                f"within phase {int(phase_of[rows_exp[k]])} — would race")
+    return rep

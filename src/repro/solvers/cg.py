@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..robust.validate import ensure_finite
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["CGResult", "conjugate_gradient"]
@@ -21,12 +22,30 @@ __all__ = ["CGResult", "conjugate_gradient"]
 
 @dataclass
 class CGResult:
-    """Solution and convergence record of a CG run."""
+    """Solution and convergence record of a CG run.
+
+    ``status`` classifies how the run ended — the structured failure
+    signal of the robustness layer:
+
+    ``"converged"``
+        ``||r|| <= tol * ||b||`` was reached (``converged`` is True).
+    ``"max_iter"``
+        The iteration budget ran out.
+    ``"breakdown"``
+        ``p^T A p <= 0`` — the matrix is not SPD (or the recurrence
+        broke down); iterating further would be meaningless.
+    ``"diverged"``
+        The residual grew past ``divergence_limit * ||b||``.
+    ``"non_finite"``
+        A NaN/Inf appeared in the residual — garbage in the matrix,
+        the right-hand side, or overflow en route.
+    """
 
     x: np.ndarray
     iterations: int
     converged: bool
     residual_norms: list
+    status: str = "unknown"
 
     @property
     def final_residual(self) -> float:
@@ -41,17 +60,31 @@ def conjugate_gradient(
     tol: float = 1e-8,
     max_iter: Optional[int] = None,
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    check_finite: bool = False,
+    divergence_limit: float = 1e8,
 ) -> CGResult:
     """Solve ``A x = b`` for symmetric positive-definite ``A``.
 
     ``preconditioner`` applies ``M^{-1}`` (e.g. a Jacobi or multigrid
     V-cycle from :mod:`repro.solvers.multigrid`); convergence is declared
     at ``||r|| <= tol * ||b||``.
+
+    Robustness guards: ``check_finite=True`` validates the matrix
+    payload, right-hand side and initial guess up front (raising
+    :class:`~repro.robust.errors.NonFiniteError`); regardless of the
+    flag, a NaN residual or one exceeding ``divergence_limit * ||b||``
+    stops the iteration with ``status="non_finite"``/``"diverged"``
+    instead of silently iterating on garbage.
     """
     b = np.asarray(b, dtype=np.float64)
     n = a.n_rows
     if b.shape != (n,):
         raise ValueError("right-hand side dimension mismatch")
+    if check_finite:
+        ensure_finite(a.data, "matrix values")
+        ensure_finite(b, "right-hand side b")
+        if x0 is not None:
+            ensure_finite(x0, "initial guess x0")
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     max_iter = 10 * n if max_iter is None else max_iter
     r = b - a.matvec(x)
@@ -60,26 +93,38 @@ def conjugate_gradient(
     rz = float(r @ z)
     b_norm = float(np.linalg.norm(b)) or 1.0
     norms = [float(np.linalg.norm(r))]
+    if not np.isfinite(norms[0]):
+        return CGResult(x=x, iterations=0, converged=False,
+                        residual_norms=norms, status="non_finite")
     if norms[0] <= tol * b_norm:
         return CGResult(x=x, iterations=0, converged=True,
-                        residual_norms=norms)
+                        residual_norms=norms, status="converged")
     for it in range(1, max_iter + 1):
         ap = a.matvec(p)
         pap = float(p @ ap)
+        if not np.isfinite(pap):
+            return CGResult(x=x, iterations=it - 1, converged=False,
+                            residual_norms=norms, status="non_finite")
         if pap <= 0:
             # Not SPD (or breakdown): stop with what we have.
             return CGResult(x=x, iterations=it - 1, converged=False,
-                            residual_norms=norms)
+                            residual_norms=norms, status="breakdown")
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap
         norms.append(float(np.linalg.norm(r)))
+        if not np.isfinite(norms[-1]):
+            return CGResult(x=x, iterations=it, converged=False,
+                            residual_norms=norms, status="non_finite")
         if norms[-1] <= tol * b_norm:
             return CGResult(x=x, iterations=it, converged=True,
-                            residual_norms=norms)
+                            residual_norms=norms, status="converged")
+        if norms[-1] > divergence_limit * b_norm:
+            return CGResult(x=x, iterations=it, converged=False,
+                            residual_norms=norms, status="diverged")
         z = preconditioner(r) if preconditioner else r
         rz_new = float(r @ z)
         p = z + (rz_new / rz) * p
         rz = rz_new
     return CGResult(x=x, iterations=max_iter, converged=False,
-                    residual_norms=norms)
+                    residual_norms=norms, status="max_iter")

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..robust.validate import ensure_finite
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["KrylovResult", "gmres", "bicgstab"]
@@ -28,12 +29,19 @@ __all__ = ["KrylovResult", "gmres", "bicgstab"]
 
 @dataclass
 class KrylovResult:
-    """Solution and convergence record of a Krylov run."""
+    """Solution and convergence record of a Krylov run.
+
+    ``status`` is the structured failure signal: ``"converged"``,
+    ``"max_iter"``, ``"breakdown"`` (rho/omega/denominator collapse in
+    BiCGSTAB), ``"diverged"`` (residual blew past the divergence limit),
+    or ``"non_finite"`` (NaN/Inf residual).
+    """
 
     x: np.ndarray
     iterations: int
     converged: bool
     residual_norms: List[float]
+    status: str = "unknown"
 
     @property
     def final_residual(self) -> float:
@@ -56,19 +64,29 @@ def gmres(
     restart: int = 30,
     tol: float = 1e-8,
     max_iter: Optional[int] = None,
+    check_finite: bool = False,
 ) -> KrylovResult:
     """Restarted GMRES(m) for ``A x = b`` (A square, possibly
     unsymmetric).
 
     ``a`` may be a :class:`CSRMatrix` or any callable ``x -> A x``.
     Convergence is ``||r|| <= tol * ||b||``; ``max_iter`` counts total
-    inner iterations (default ``10 n``).
+    inner iterations (default ``10 n``).  A NaN/Inf residual (at a
+    restart head or inside the Arnoldi loop) returns
+    ``status="non_finite"`` instead of iterating on garbage;
+    ``check_finite=True`` additionally validates the inputs up front.
     """
     apply_a = _as_apply(a)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
         raise ValueError("restart must be positive")
+    if check_finite:
+        if isinstance(a, CSRMatrix):
+            ensure_finite(a.data, "matrix values")
+        ensure_finite(b, "right-hand side b")
+        if x0 is not None:
+            ensure_finite(x0, "initial guess x0")
     max_iter = 10 * n if max_iter is None else max_iter
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     b_norm = float(np.linalg.norm(b)) or 1.0
@@ -78,12 +96,15 @@ def gmres(
         r = b - apply_a(x)
         beta = float(np.linalg.norm(r))
         norms.append(beta)
+        if not np.isfinite(beta):
+            return KrylovResult(x=x, iterations=total, converged=False,
+                                residual_norms=norms, status="non_finite")
         if beta <= tol * b_norm:
             return KrylovResult(x=x, iterations=total, converged=True,
-                                residual_norms=norms)
+                                residual_norms=norms, status="converged")
         if total >= max_iter:
             return KrylovResult(x=x, iterations=total, converged=False,
-                                residual_norms=norms)
+                                residual_norms=norms, status="max_iter")
         m = restart
         # Arnoldi with modified Gram-Schmidt.
         V = np.zeros((n, m + 1))
@@ -139,15 +160,27 @@ def bicgstab(
     x0: Optional[np.ndarray] = None,
     tol: float = 1e-8,
     max_iter: Optional[int] = None,
+    check_finite: bool = False,
+    divergence_limit: float = 1e8,
 ) -> KrylovResult:
     """BiCGSTAB for ``A x = b`` (two SpMVs per iteration).
 
     Returns on convergence (``||r|| <= tol ||b||``), on the iteration
-    budget, or on rho/omega breakdown (``converged=False``).
+    budget (``status="max_iter"``), on rho/omega/denominator breakdown
+    (``status="breakdown"``), on residual blow-up past
+    ``divergence_limit * ||b||`` (``status="diverged"``), or on a NaN/Inf
+    residual (``status="non_finite"``).  ``check_finite=True`` validates
+    the inputs up front.
     """
     apply_a = _as_apply(a)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
+    if check_finite:
+        if isinstance(a, CSRMatrix):
+            ensure_finite(a.data, "matrix values")
+        ensure_finite(b, "right-hand side b")
+        if x0 is not None:
+            ensure_finite(x0, "initial guess x0")
     max_iter = 10 * n if max_iter is None else max_iter
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     r = b - apply_a(x)
@@ -157,43 +190,61 @@ def bicgstab(
     p = np.zeros(n)
     b_norm = float(np.linalg.norm(b)) or 1.0
     norms = [float(np.linalg.norm(r))]
+    if not np.isfinite(norms[0]):
+        return KrylovResult(x=x, iterations=0, converged=False,
+                            residual_norms=norms, status="non_finite")
     if norms[0] <= tol * b_norm:
         return KrylovResult(x=x, iterations=0, converged=True,
-                            residual_norms=norms)
+                            residual_norms=norms, status="converged")
     for it in range(1, max_iter + 1):
         rho_new = float(r_hat @ r)
+        if not np.isfinite(rho_new):
+            return KrylovResult(x=x, iterations=it - 1, converged=False,
+                                residual_norms=norms, status="non_finite")
         if abs(rho_new) < 1e-300:
             return KrylovResult(x=x, iterations=it - 1, converged=False,
-                                residual_norms=norms)
+                                residual_norms=norms, status="breakdown")
         beta = (rho_new / rho) * (alpha / omega)
         rho = rho_new
         p = r + beta * (p - omega * v)
         v = apply_a(p)
         denom = float(r_hat @ v)
+        if not np.isfinite(denom):
+            return KrylovResult(x=x, iterations=it - 1, converged=False,
+                                residual_norms=norms, status="non_finite")
         if abs(denom) < 1e-300:
             return KrylovResult(x=x, iterations=it - 1, converged=False,
-                                residual_norms=norms)
+                                residual_norms=norms, status="breakdown")
         alpha = rho / denom
         s = r - alpha * v
         if float(np.linalg.norm(s)) <= tol * b_norm:
             x += alpha * p
             norms.append(float(np.linalg.norm(s)))
             return KrylovResult(x=x, iterations=it, converged=True,
-                                residual_norms=norms)
+                                residual_norms=norms, status="converged")
         t = apply_a(s)
         tt = float(t @ t)
+        if not np.isfinite(tt):
+            return KrylovResult(x=x, iterations=it - 1, converged=False,
+                                residual_norms=norms, status="non_finite")
         if tt < 1e-300:
             return KrylovResult(x=x, iterations=it - 1, converged=False,
-                                residual_norms=norms)
+                                residual_norms=norms, status="breakdown")
         omega = float(t @ s) / tt
         if abs(omega) < 1e-300:
             return KrylovResult(x=x, iterations=it - 1, converged=False,
-                                residual_norms=norms)
+                                residual_norms=norms, status="breakdown")
         x += alpha * p + omega * s
         r = s - omega * t
         norms.append(float(np.linalg.norm(r)))
+        if not np.isfinite(norms[-1]):
+            return KrylovResult(x=x, iterations=it, converged=False,
+                                residual_norms=norms, status="non_finite")
         if norms[-1] <= tol * b_norm:
             return KrylovResult(x=x, iterations=it, converged=True,
-                                residual_norms=norms)
+                                residual_norms=norms, status="converged")
+        if norms[-1] > divergence_limit * b_norm:
+            return KrylovResult(x=x, iterations=it, converged=False,
+                                residual_norms=norms, status="diverged")
     return KrylovResult(x=x, iterations=max_iter, converged=False,
-                        residual_norms=norms)
+                        residual_norms=norms, status="max_iter")

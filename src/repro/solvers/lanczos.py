@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.fbmpk import FBMPKOperator
+from ..robust.validate import ensure_finite
 from ..sparse.csr import CSRMatrix
 
 __all__ = ["lanczos", "sstep_krylov_basis", "ritz_values"]
@@ -27,21 +28,32 @@ def lanczos(
     q0: Optional[np.ndarray] = None,
     seed: int = 0,
     reorthogonalize: bool = True,
+    check_finite: bool = True,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``m``-step Lanczos on symmetric ``A``.
 
     Returns ``(Q, alpha, beta)``: ``Q`` is ``n x m'`` with orthonormal
     columns (``m' <= m``; early termination on breakdown), ``alpha`` the
     tridiagonal diagonal, ``beta`` the ``m' - 1`` off-diagonals.
+
+    ``check_finite`` (on by default — Lanczos has no residual that would
+    flag garbage later) raises
+    :class:`~repro.robust.errors.NonFiniteError` the moment a NaN/Inf
+    enters the recurrence, naming the offending step; otherwise a single
+    bad matrix entry silently poisons every Ritz value.
     """
     n = a.n_rows
     q = (np.random.default_rng(seed).standard_normal(n)
          if q0 is None else np.asarray(q0, dtype=np.float64).copy())
+    if check_finite:
+        ensure_finite(q, "Lanczos start vector")
     q /= np.linalg.norm(q)
     qs = [q]
     alphas, betas = [], []
     for j in range(m):
         w = a.matvec(qs[j])
+        if check_finite:
+            ensure_finite(w, f"Lanczos iterate A q_{j}")
         alpha = float(qs[j] @ w)
         alphas.append(alpha)
         w -= alpha * qs[j]
@@ -62,6 +74,7 @@ def sstep_krylov_basis(
     op: FBMPKOperator,
     q0: np.ndarray,
     s: int,
+    check_finite: bool = False,
 ) -> np.ndarray:
     """Orthonormal basis of ``span{q0, A q0, ..., A^s q0}`` from one
     FBMPK call.
@@ -70,6 +83,11 @@ def sstep_krylov_basis(
     extra matrix reads) and orthonormalised by thin QR.  Returns an
     ``n x r`` matrix with ``r <= s + 1`` (rank deficiency trimmed, as
     monomial bases lose independence for large ``s``).
+
+    ``check_finite`` is forwarded to :meth:`FBMPKOperator.power`, so a
+    poisoned start vector or corrupt operator surfaces as a
+    :class:`~repro.robust.errors.NonFiniteError` at the exact power
+    instead of a silently garbage basis.
     """
     if s < 1:
         raise ValueError("s must be positive")
@@ -80,7 +98,8 @@ def sstep_krylov_basis(
     def collect(i: int, xi: np.ndarray) -> None:
         block[:, i] = xi
 
-    op.power(block[:, 0].copy(), s, on_iterate=collect)
+    op.power(block[:, 0].copy(), s, on_iterate=collect,
+             check_finite=check_finite)
     q_fact, r_fact = np.linalg.qr(block)
     # Trim columns whose diagonal R entry has collapsed (numerical rank).
     keep = np.abs(np.diag(r_fact)) > 1e-10 * max(abs(r_fact[0, 0]), 1e-300)

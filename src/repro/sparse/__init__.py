@@ -20,7 +20,7 @@ from .convert import (
     from_scipy,
     to_scipy_csr,
 )
-from .io import read_matrix_market, write_matrix_market
+from .io import MatrixMarketError, read_matrix_market, write_matrix_market
 from .spgemm import matrix_power_explicit, spgemm, spgemm_product_count
 from .spmv import (
     KERNELS,
@@ -46,6 +46,7 @@ __all__ = [
     "csr_to_sell",
     "from_scipy",
     "to_scipy_csr",
+    "MatrixMarketError",
     "read_matrix_market",
     "write_matrix_market",
     "matrix_power_explicit",

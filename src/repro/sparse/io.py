@@ -5,6 +5,12 @@ this module lets users feed the real files to the library when they have
 them, and is used by the test suite to round-trip the synthetic stand-ins.
 Supports the ``matrix coordinate real/integer/pattern
 general/symmetric/skew-symmetric`` subset, which covers all of Table II.
+
+Parsing failures raise :class:`~repro.robust.errors.MatrixMarketError`
+(a ``ValueError`` subclass) naming the file and the 1-based line number:
+truncated files, non-numeric tokens, and 1-based indices outside
+``[1, n]`` are all caught *before* they turn into garbage reads from the
+pre-allocated entry arrays.
 """
 
 from __future__ import annotations
@@ -15,10 +21,11 @@ from typing import TextIO, Union
 
 import numpy as np
 
+from ..robust.errors import MatrixMarketError
 from .coo import COOMatrix
 from .csr import CSRMatrix
 
-__all__ = ["read_matrix_market", "write_matrix_market"]
+__all__ = ["MatrixMarketError", "read_matrix_market", "write_matrix_market"]
 
 _Readable = Union[str, Path, TextIO]
 
@@ -29,49 +36,103 @@ def _open(source: _Readable, mode: str):
     return source, False
 
 
+def _source_name(source: _Readable) -> str:
+    if isinstance(source, (str, Path)):
+        return str(source)
+    return getattr(source, "name", "<stream>")
+
+
 def read_matrix_market(source: _Readable) -> COOMatrix:
     """Parse a MatrixMarket coordinate file into a :class:`COOMatrix`.
 
     Symmetric and skew-symmetric files are expanded to full storage (the
     mirrored entries are materialised), matching how the paper's kernels
     consume general CSR.
+
+    Raises :class:`MatrixMarketError` — with the source name and 1-based
+    line number baked into the message — on malformed headers, size
+    lines, entry lines, out-of-range indices, and truncated files.
     """
+    name = _source_name(source)
+
+    def fail(message: str, line_no: int) -> MatrixMarketError:
+        return MatrixMarketError(message, source=name, line=line_no)
+
     fh, owned = _open(source, "r")
     try:
+        lineno = 1
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
-            raise ValueError("not a MatrixMarket file (missing header)")
+            raise fail("not a MatrixMarket file (missing %%MatrixMarket "
+                       "header)", lineno)
         parts = header.strip().split()
         if len(parts) < 5:
-            raise ValueError(f"malformed MatrixMarket header: {header!r}")
+            raise fail(f"malformed MatrixMarket header: {header.strip()!r} "
+                       f"(expected 5 fields)", lineno)
         _, obj, fmt, field, symmetry = parts[:5]
         if obj.lower() != "matrix" or fmt.lower() != "coordinate":
-            raise ValueError("only 'matrix coordinate' files are supported")
+            raise fail("only 'matrix coordinate' files are supported "
+                       f"(got {obj!r} {fmt!r})", lineno)
         field = field.lower()
         symmetry = symmetry.lower()
         if field not in ("real", "integer", "pattern"):
-            raise ValueError(f"unsupported field type {field!r}")
+            raise fail(f"unsupported field type {field!r}", lineno)
         if symmetry not in ("general", "symmetric", "skew-symmetric"):
-            raise ValueError(f"unsupported symmetry {symmetry!r}")
+            raise fail(f"unsupported symmetry {symmetry!r}", lineno)
         line = fh.readline()
-        while line.startswith("%") or not line.strip():
+        lineno += 1
+        while line and (line.startswith("%") or not line.strip()):
             line = fh.readline()
-        n_rows, n_cols, nnz = (int(t) for t in line.split())
+            lineno += 1
+        if not line:
+            raise fail("file ends before the size line", lineno)
+        toks = line.split()
+        if len(toks) != 3:
+            raise fail(f"size line must be 'rows cols nnz', got "
+                       f"{line.strip()!r}", lineno)
+        try:
+            n_rows, n_cols, nnz = (int(t) for t in toks)
+        except ValueError:
+            raise fail(f"non-numeric token in size line {line.strip()!r}",
+                       lineno) from None
+        if n_rows < 0 or n_cols < 0 or nnz < 0:
+            raise fail(f"negative dimension in size line "
+                       f"({n_rows} {n_cols} {nnz})", lineno)
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         vals = np.empty(nnz, dtype=np.float64)
         k = 0
+        need_value = field != "pattern"
         for line in fh:
-            line = line.strip()
-            if not line or line.startswith("%"):
+            lineno += 1
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
                 continue
-            toks = line.split()
-            rows[k] = int(toks[0]) - 1
-            cols[k] = int(toks[1]) - 1
-            vals[k] = 1.0 if field == "pattern" else float(toks[2])
+            if k >= nnz:
+                raise fail(f"more than the declared {nnz} entries", lineno)
+            toks = stripped.split()
+            if len(toks) < (3 if need_value else 2):
+                raise fail(f"entry line needs "
+                           f"{'row col value' if need_value else 'row col'},"
+                           f" got {stripped!r}", lineno)
+            try:
+                r = int(toks[0])
+                c = int(toks[1])
+                v = float(toks[2]) if need_value else 1.0
+            except ValueError:
+                raise fail(f"non-numeric token in entry line {stripped!r}",
+                           lineno) from None
+            if not (1 <= r <= n_rows):
+                raise fail(f"row index {r} outside [1, {n_rows}]", lineno)
+            if not (1 <= c <= n_cols):
+                raise fail(f"column index {c} outside [1, {n_cols}]", lineno)
+            rows[k] = r - 1
+            cols[k] = c - 1
+            vals[k] = v
             k += 1
         if k != nnz:
-            raise ValueError(f"expected {nnz} entries, found {k}")
+            raise fail(f"truncated file: expected {nnz} entries, found {k}",
+                       lineno)
     finally:
         if owned:
             fh.close()

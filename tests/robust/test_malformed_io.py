@@ -1,0 +1,169 @@
+"""A corpus of broken MatrixMarket files: every defect must surface as a
+:class:`MatrixMarketError` naming the file and the 1-based line number —
+and reach CLI users as a one-line message with exit code 3/4.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import (
+    EXIT_IO,
+    EXIT_SOLVER,
+    EXIT_VALIDATION,
+    main,
+)
+from repro.robust import MatrixMarketError
+from repro.sparse import read_matrix_market
+
+GOOD = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+2 2 3.0
+3 3 4.0
+1 3 0.5
+"""
+
+# (test id, file text, expected message fragment, expected 1-based line)
+CORPUS = [
+    ("missing-header",
+     "3 3 1\n1 1 2.0\n",
+     "missing %%MatrixMarket header", 1),
+    ("short-header",
+     "%%MatrixMarket matrix coordinate\n3 3 1\n1 1 2.0\n",
+     "expected 5 fields", 1),
+    ("wrong-format",
+     "%%MatrixMarket matrix array real general\n3 3 1\n1 1 2.0\n",
+     "only 'matrix coordinate'", 1),
+    ("bad-field",
+     "%%MatrixMarket matrix coordinate complex general\n3 3 1\n1 1 2.0\n",
+     "unsupported field type", 1),
+    ("bad-symmetry",
+     "%%MatrixMarket matrix coordinate real hermitian\n3 3 1\n1 1 2.0\n",
+     "unsupported symmetry", 1),
+    ("no-size-line",
+     "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+     "ends before the size line", 3),
+    ("short-size-line",
+     "%%MatrixMarket matrix coordinate real general\n3 3\n",
+     "size line must be", 2),
+    ("non-numeric-size",
+     "%%MatrixMarket matrix coordinate real general\n3 three 1\n1 1 2.0\n",
+     "non-numeric token in size line", 2),
+    ("negative-size",
+     "%%MatrixMarket matrix coordinate real general\n3 -3 1\n1 1 2.0\n",
+     "negative dimension", 2),
+    ("short-entry",
+     "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1\n",
+     "entry line needs", 3),
+    ("non-numeric-entry",
+     "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 two\n",
+     "non-numeric token in entry line", 3),
+    ("row-zero",
+     "%%MatrixMarket matrix coordinate real general\n3 3 1\n0 1 2.0\n",
+     "row index 0 outside [1, 3]", 3),
+    ("row-too-big",
+     "%%MatrixMarket matrix coordinate real general\n3 3 1\n4 1 2.0\n",
+     "row index 4 outside [1, 3]", 3),
+    ("col-too-big",
+     "%%MatrixMarket matrix coordinate real general\n3 3 2\n"
+     "1 1 2.0\n2 7 1.0\n",
+     "column index 7 outside [1, 3]", 4),
+    ("too-many-entries",
+     "%%MatrixMarket matrix coordinate real general\n3 3 1\n"
+     "1 1 2.0\n2 2 3.0\n",
+     "more than the declared 1 entries", 4),
+    ("truncated",
+     "%%MatrixMarket matrix coordinate real general\n3 3 4\n1 1 2.0\n",
+     "truncated file: expected 4 entries, found 1", 3),
+]
+
+
+@pytest.mark.parametrize("text,fragment,line",
+                         [c[1:] for c in CORPUS],
+                         ids=[c[0] for c in CORPUS])
+def test_each_defect_names_file_and_line(tmp_path, text, fragment, line):
+    path = tmp_path / "broken.mtx"
+    path.write_text(text)
+    with pytest.raises(MatrixMarketError) as ei:
+        read_matrix_market(path)
+    msg = str(ei.value)
+    assert fragment in msg
+    assert f"broken.mtx:{line}:" in msg
+    assert isinstance(ei.value, ValueError)  # backward-compat
+
+
+def test_good_file_still_parses(tmp_path):
+    path = tmp_path / "good.mtx"
+    path.write_text(GOOD)
+    a = read_matrix_market(path).to_csr()
+    assert a.shape == (3, 3)
+    assert a.nnz == 4
+
+
+def test_stream_source_named_in_error():
+    with pytest.raises(MatrixMarketError, match=r"<stream>:1:"):
+        read_matrix_market(io.StringIO("garbage\n"))
+
+
+# ---------------------------------------------------------------------------
+# the CLI error mapping (satellite: typed errors -> exit codes)
+# ---------------------------------------------------------------------------
+class TestCLIExitCodes:
+    def test_malformed_file_exits_3(self, tmp_path, capsys):
+        path = tmp_path / "broken.mtx"
+        path.write_text(CORPUS[0][1])
+        assert main(["info", str(path)]) == EXIT_IO
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "broken.mtx:1:" in err
+
+    def test_missing_file_exits_3(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nope.mtx")]) == EXIT_IO
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_flag_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "nan.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "3 3 2\n1 1 nan\n2 2 1.0\n")
+        assert main(["info", str(path), "--validate"]) == EXIT_VALIDATION
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_check_finite_power_exits_4(self, tmp_path, capsys):
+        path = tmp_path / "inf.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n"
+                        "2 2 3\n1 1 1.0\n1 2 inf\n2 2 1.0\n")
+        code = main(["power", str(path), "-k", "2", "--ones",
+                     "--check-finite"])
+        assert code == EXIT_VALIDATION
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_solver_nonconvergence_exits_6(self, capsys):
+        code = main(["solve", "--standin", "Serena", "--rows", "300",
+                     "--max-iter", "2"])
+        assert code == EXIT_SOLVER
+        out = capsys.readouterr()
+        assert "status=max_iter" in out.out
+        assert "did not converge" in out.err
+
+    def test_crashed_phase_exits_5(self, capsys):
+        from repro.cli import EXIT_EXECUTION
+        from repro.robust import FaultInjector, RaiseFault
+
+        inj = FaultInjector().install("executor.task",
+                                      RaiseFault(times=None))
+        with inj:
+            code = main(["power", "--standin", "Serena", "--rows", "300",
+                         "--executor", "threads", "--threads", "2",
+                         "-k", "2", "--ones"])
+        assert code == EXIT_EXECUTION
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "phase" in err
+
+    def test_clean_run_exits_0(self, capsys):
+        assert main(["solve", "--standin", "Serena", "--rows", "300",
+                     "--validate"]) == 0
+        assert "status=converged" in capsys.readouterr().out

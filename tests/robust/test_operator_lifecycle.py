@@ -1,0 +1,91 @@
+"""Operator lifecycle under failure: whatever goes wrong inside
+``power``, the executor pool must be shut down — no leaked worker
+threads, ever (the regression behind ``FBMPKOperator.close()``'s
+guaranteed-cleanup contract).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import build_fbmpk_operator
+from repro.matrices import banded_random
+from repro.robust import FaultInjector, NonFiniteError, RaiseFault
+
+
+def _fbmpk_threads():
+    return [t for t in threading.enumerate() if t.name.startswith("fbmpk")]
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_threads():
+    assert not _fbmpk_threads()
+    yield
+    assert not _fbmpk_threads(), "leaked fbmpk worker threads"
+
+
+@pytest.fixture
+def a():
+    return banded_random(96, 5, 9, symmetric=True, seed=8)
+
+
+def _threaded_op(a, **kw):
+    return build_fbmpk_operator(a, strategy="abmc", block_size=8,
+                                executor="threads", n_threads=2, **kw)
+
+
+def test_on_iterate_raise_mid_power_closes_pool(a):
+    """A crash in *user* callback code between stages must not leak the
+    pool either — the close() guarantee covers the whole power call."""
+    op = _threaded_op(a)
+    x = np.ones(a.n_rows)
+    op.power(x.copy(), 2)  # warm the pool up
+    assert _fbmpk_threads()
+
+    class UserBug(Exception):
+        pass
+
+    def cb(i, xi):
+        raise UserBug("callback exploded")
+
+    with pytest.raises(UserBug):
+        op.power(x, 3, on_iterate=cb)
+    # the autouse fixture asserts the pool threads are gone
+
+
+def test_non_finite_error_mid_power_closes_pool(a):
+    bad = FaultInjector(seed=3).corrupt_values(a, n=1, kind="nan")
+    op = _threaded_op(bad)
+    with pytest.raises(NonFiniteError):
+        op.power(np.ones(bad.n_rows), 3, check_finite=True)
+
+
+def test_context_manager_closes(a):
+    with _threaded_op(a) as op:
+        op.power(np.ones(a.n_rows), 2)
+        assert _fbmpk_threads()
+    assert not _fbmpk_threads()
+
+
+def test_close_is_idempotent(a):
+    op = _threaded_op(a)
+    op.power(np.ones(a.n_rows), 2)
+    op.close()
+    op.close()
+
+
+def test_pool_reusable_across_powers(a):
+    """Failure in one call must not poison the next: the operator
+    rebuilds its pool lazily after a close()."""
+    op = _threaded_op(a)
+    x = np.ones(a.n_rows)
+    inj = FaultInjector().install("executor.task", RaiseFault())
+    with inj, pytest.raises(Exception):
+        op.power(x.copy(), 3)
+    assert not _fbmpk_threads()
+    want = build_fbmpk_operator(a, strategy="abmc", block_size=8).power(
+        x.copy(), 3)
+    got = op.power(x.copy(), 3)
+    op.close()
+    assert np.array_equal(got, want)

@@ -1,0 +1,153 @@
+"""Solver breakdown/divergence/non-finite guards: corrupt inputs must
+end a run with a structured status (or a typed error under
+``check_finite``), never with an endless iteration on garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_fbmpk_operator
+from repro.matrices import banded_random, poisson2d
+from repro.robust import FaultInjector, NonFiniteError
+from repro.solvers import bicgstab, conjugate_gradient, gmres
+from repro.solvers.lanczos import lanczos, sstep_krylov_basis
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def spd():
+    return poisson2d(10, seed=1)  # 100 rows, SPD
+
+
+@pytest.fixture
+def unsym():
+    return banded_random(80, 4, 7, symmetric=False, seed=5)
+
+
+def _rhs(a, seed=0):
+    return a.matvec(np.random.default_rng(seed).standard_normal(a.n_rows))
+
+
+class TestCG:
+    def test_clean_run_converges(self, spd):
+        res = conjugate_gradient(spd, _rhs(spd), check_finite=True)
+        assert res.converged
+        assert res.status == "converged"
+
+    def test_breakdown_on_indefinite_matrix(self):
+        # -I is symmetric but negative definite: p^T A p < 0 at once.
+        n = 16
+        idx = np.arange(n, dtype=np.int64)
+        a = CSRMatrix.from_coo_arrays(idx, idx, -np.ones(n), (n, n))
+        res = conjugate_gradient(a, np.ones(n))
+        assert not res.converged
+        assert res.status == "breakdown"
+        assert res.iterations == 0
+
+    def test_nan_rhs_check_finite_raises(self, spd):
+        b = FaultInjector(seed=1).poison_vector(_rhs(spd), n=1)
+        with pytest.raises(NonFiniteError, match="right-hand side"):
+            conjugate_gradient(spd, b, check_finite=True)
+
+    def test_nan_rhs_unchecked_reports_non_finite(self, spd):
+        b = FaultInjector(seed=1).poison_vector(_rhs(spd), n=1)
+        res = conjugate_gradient(spd, b)
+        assert res.status == "non_finite"
+        assert res.iterations == 0
+
+    def test_corrupt_matrix_reports_non_finite(self, spd):
+        bad = FaultInjector(seed=2).corrupt_values(spd, n=1, kind="nan")
+        res = conjugate_gradient(bad, np.ones(bad.n_rows))
+        assert res.status == "non_finite"
+
+    def test_corrupt_matrix_check_finite_raises(self, spd):
+        bad = FaultInjector(seed=2).corrupt_values(spd, n=1, kind="nan")
+        with pytest.raises(NonFiniteError, match="matrix values"):
+            conjugate_gradient(bad, np.ones(bad.n_rows), check_finite=True)
+
+    def test_divergence_guard(self, spd):
+        # An absurdly tight limit turns the first non-converged residual
+        # into a divergence stop — exercising the guard deterministically.
+        res = conjugate_gradient(spd, _rhs(spd), tol=1e-30,
+                                 divergence_limit=1e-16)
+        assert res.status == "diverged"
+        assert not res.converged
+
+    def test_max_iter_status(self, spd):
+        res = conjugate_gradient(spd, _rhs(spd), max_iter=2, tol=1e-14)
+        assert res.status == "max_iter"
+        assert res.iterations == 2
+
+    def test_nan_x0_check_finite_raises(self, spd):
+        x0 = np.full(spd.n_rows, np.nan)
+        with pytest.raises(NonFiniteError, match="initial guess"):
+            conjugate_gradient(spd, _rhs(spd), x0=x0, check_finite=True)
+
+
+class TestBiCGSTAB:
+    def test_clean_run_converges(self, unsym):
+        res = bicgstab(unsym, _rhs(unsym), check_finite=True)
+        assert res.status == "converged"
+
+    def test_nan_rhs(self, unsym):
+        b = FaultInjector(seed=1).poison_vector(_rhs(unsym), n=2)
+        assert bicgstab(unsym, b).status == "non_finite"
+        with pytest.raises(NonFiniteError):
+            bicgstab(unsym, b, check_finite=True)
+
+    def test_corrupt_matrix(self, unsym):
+        bad = FaultInjector(seed=2).corrupt_values(unsym, n=1, kind="inf")
+        with np.errstate(invalid="ignore"):  # inf * 0 inside the SpMV
+            res = bicgstab(bad, _rhs(unsym))
+        assert res.status == "non_finite"
+
+    def test_max_iter(self, unsym):
+        res = bicgstab(unsym, _rhs(unsym), max_iter=1, tol=1e-14)
+        assert res.status in ("max_iter", "converged")
+        if res.status == "max_iter":
+            assert not res.converged
+
+
+class TestGMRES:
+    def test_clean_run_converges(self, unsym):
+        res = gmres(unsym, _rhs(unsym), check_finite=True)
+        assert res.status == "converged"
+
+    def test_nan_rhs(self, unsym):
+        b = FaultInjector(seed=1).poison_vector(_rhs(unsym), n=1)
+        assert gmres(unsym, b).status == "non_finite"
+        with pytest.raises(NonFiniteError):
+            gmres(unsym, b, check_finite=True)
+
+    def test_corrupt_matrix(self, unsym):
+        bad = FaultInjector(seed=2).corrupt_values(unsym, n=2, kind="nan")
+        assert gmres(bad, _rhs(unsym)).status == "non_finite"
+
+    def test_max_iter(self, unsym):
+        res = gmres(unsym, _rhs(unsym), max_iter=2, tol=1e-14)
+        assert res.status == "max_iter"
+        assert not res.converged
+
+
+class TestLanczos:
+    def test_poisoned_start_vector(self, spd):
+        q0 = FaultInjector(seed=1).poison_vector(np.ones(spd.n_rows), n=1)
+        with pytest.raises(NonFiniteError, match="start vector"):
+            lanczos(spd, 5, q0=q0)
+
+    def test_corrupt_matrix_named_step(self, spd):
+        bad = FaultInjector(seed=2).corrupt_values(spd, n=1, kind="nan")
+        with pytest.raises(NonFiniteError, match=r"A q_0"):
+            lanczos(bad, 5)
+
+    def test_guard_can_be_disabled(self, spd):
+        bad = FaultInjector(seed=2).corrupt_values(spd, n=1, kind="nan")
+        q, alpha, beta = lanczos(bad, 3, check_finite=False)
+        assert np.isnan(alpha).any() or np.isnan(q).any()
+
+    def test_sstep_basis_forwards_check_finite(self, spd):
+        bad = FaultInjector(seed=2).corrupt_values(spd, n=1, kind="nan")
+        op = build_fbmpk_operator(bad)
+        q0 = np.ones(bad.n_rows)
+        with pytest.raises(NonFiniteError):
+            sstep_krylov_basis(op, q0, 3, check_finite=True)

@@ -1,0 +1,254 @@
+"""Every structural corruption is caught by the right validator issue.
+
+The strategy: take a known-good object, corrupt exactly one invariant,
+and assert the report contains the matching issue code — so each
+validator check is pinned to the defect class it exists for.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core import build_fbmpk_operator
+from repro.matrices import banded_random
+from repro.parallel.scheduler import BlockTask, Phase
+from repro.robust import (
+    FaultInjector,
+    NonFiniteError,
+    ValidationError,
+    ensure_finite,
+    validate_coo,
+    validate_csr,
+    validate_phases,
+    validate_sweep_groups,
+)
+from repro.sparse import CSRMatrix
+from repro.sparse.convert import csr_to_coo
+
+
+def _loose(a: CSRMatrix) -> SimpleNamespace:
+    """Mutable duck-typed copy that bypasses constructor validation —
+    the validators must distrust exactly such objects."""
+    return SimpleNamespace(indptr=a.indptr.copy(), indices=a.indices.copy(),
+                           data=a.data.copy(), shape=a.shape)
+
+
+@pytest.fixture
+def a():
+    return banded_random(60, 4, 7, symmetric=True, seed=11)
+
+
+def _codes(report):
+    return {i.code for i in report.issues}
+
+
+class TestValidateCSR:
+    def test_clean_matrix_is_ok(self, a):
+        report = validate_csr(a)
+        assert report.ok
+        assert not report.issues
+        assert "ok" in str(report)
+
+    def test_indptr_length(self, a):
+        m = _loose(a)
+        m.indptr = m.indptr[:-2]
+        report = validate_csr(m)
+        assert not report.ok
+        assert "indptr-length" in _codes(report)
+
+    def test_indptr_start(self, a):
+        m = _loose(a)
+        m.indptr[0] = 3
+        assert "indptr-start" in _codes(validate_csr(m))
+
+    def test_indptr_monotone(self, a):
+        m = _loose(a)
+        m.indptr[5] = m.indptr[7]  # row 5 now "ends" after row 6 starts
+        assert "indptr-monotone" in _codes(validate_csr(m))
+
+    def test_indptr_end(self, a):
+        m = _loose(a)
+        m.indptr[-1] += 4
+        assert "indptr-end" in _codes(validate_csr(m))
+
+    def test_array_length(self, a):
+        m = _loose(a)
+        m.data = m.data[:-1]
+        assert "array-length" in _codes(validate_csr(m))
+
+    def test_col_range(self, a):
+        bad = FaultInjector(seed=5).corrupt_indices(a, n=3)
+        report = validate_csr(bad)
+        assert not report.ok
+        assert "col-range" in _codes(report)
+        assert "3 column indices" in report.errors[0].message
+
+    def test_non_finite_values(self, a):
+        bad = FaultInjector(seed=5).corrupt_values(a, n=2, kind="nan")
+        assert "non-finite" in _codes(validate_csr(bad))
+
+    def test_unsorted_row_is_warning(self, a):
+        m = _loose(a)
+        s, e = m.indptr[4], m.indptr[5]
+        assert e - s >= 2
+        m.indices[s:e] = m.indices[s:e][::-1]
+        report = validate_csr(m)
+        assert report.ok  # warning, not error
+        assert any(i.code == "unsorted-row" for i in report.warnings)
+
+    def test_duplicate_entry_is_warning(self, a):
+        m = _loose(a)
+        s, e = m.indptr[4], m.indptr[5]
+        m.indices[s + 1] = m.indices[s]
+        report = validate_csr(m)
+        assert any(i.code == "duplicate-entry" for i in report.warnings)
+
+    def test_raise_if_failed(self, a):
+        bad = FaultInjector(seed=5).corrupt_indices(a, n=1)
+        report = validate_csr(bad, name="bad.mtx")
+        with pytest.raises(ValidationError, match="bad.mtx") as ei:
+            report.raise_if_failed()
+        assert ei.value.issues  # structured findings travel with the error
+        assert isinstance(ei.value, ValueError)  # backward-compat
+
+    def test_raise_if_failed_passes_clean(self, a):
+        assert validate_csr(a).raise_if_failed().ok
+
+
+class TestValidateCOO:
+    def test_clean(self, a):
+        assert validate_coo(csr_to_coo(a)).ok
+
+    def test_row_range(self, a):
+        coo = csr_to_coo(a)
+        m = SimpleNamespace(rows=coo.rows.copy(), cols=coo.cols.copy(),
+                            data=coo.data.copy(), shape=coo.shape)
+        m.rows[0] = coo.shape[0] + 9
+        assert "row-range" in _codes(validate_coo(m))
+
+    def test_col_range(self, a):
+        coo = csr_to_coo(a)
+        m = SimpleNamespace(rows=coo.rows.copy(), cols=coo.cols.copy(),
+                            data=coo.data.copy(), shape=coo.shape)
+        m.cols[-1] = -2
+        assert "col-range" in _codes(validate_coo(m))
+
+    def test_non_finite(self, a):
+        coo = csr_to_coo(a)
+        m = SimpleNamespace(rows=coo.rows, cols=coo.cols,
+                            data=coo.data.copy(), shape=coo.shape)
+        m.data[3] = np.inf
+        assert "non-finite" in _codes(validate_coo(m))
+
+    def test_duplicates_warn(self, a):
+        coo = csr_to_coo(a)
+        m = SimpleNamespace(rows=np.append(coo.rows, coo.rows[0]),
+                            cols=np.append(coo.cols, coo.cols[0]),
+                            data=np.append(coo.data, 1.0), shape=coo.shape)
+        report = validate_coo(m)
+        assert report.ok
+        assert any(i.code == "duplicate-entry" for i in report.warnings)
+
+
+class TestEnsureFinite:
+    def test_passes_finite(self):
+        ensure_finite(np.arange(5.0), "x")  # no raise
+
+    def test_reports_count_and_position(self):
+        x = np.ones(10)
+        x[3] = np.nan
+        x[7] = np.inf
+        with pytest.raises(NonFiniteError) as ei:
+            ensure_finite(x, "iterate")
+        assert ei.value.count == 2
+        assert ei.value.first_index == 3
+        assert "iterate" in str(ei.value)
+        assert isinstance(ei.value, ValidationError)
+
+    def test_empty_ok(self):
+        ensure_finite(np.empty(0), "empty")
+
+
+class TestSweepGroupValidation:
+    def test_real_operator_plans_are_valid(self, a):
+        op = build_fbmpk_operator(a, strategy="abmc", block_size=4)
+        assert validate_sweep_groups(op.part, op.groups).ok
+        op2 = build_fbmpk_operator(a, strategy="levels")
+        assert validate_sweep_groups(op2.part, op2.groups).ok
+
+    def _groups(self, op):
+        return SimpleNamespace(forward=[g.copy() for g in op.groups.forward],
+                               backward=[g.copy()
+                                         for g in op.groups.backward])
+
+    def test_missing_rows(self, a):
+        op = build_fbmpk_operator(a, strategy="abmc", block_size=4)
+        g = self._groups(op)
+        g.forward[0] = g.forward[0][:-1]  # drop a row from group 0
+        report = validate_sweep_groups(op.part, g)
+        assert "forward-coverage" in _codes(report)
+
+    def test_duplicated_row(self, a):
+        op = build_fbmpk_operator(a, strategy="abmc", block_size=4)
+        g = self._groups(op)
+        g.backward[-1] = np.append(g.backward[-1], g.backward[0][0])
+        assert "backward-overlap" in _codes(
+            validate_sweep_groups(op.part, g))
+
+    def test_out_of_range_row(self, a):
+        op = build_fbmpk_operator(a, strategy="abmc", block_size=4)
+        g = self._groups(op)
+        g.forward[0] = np.append(g.forward[0], a.n_rows + 5)
+        assert "forward-row-range" in _codes(
+            validate_sweep_groups(op.part, g))
+
+    def test_reversed_groups_break_dependencies(self, a):
+        op = build_fbmpk_operator(a, strategy="levels")
+        g = self._groups(op)
+        g.forward = g.forward[::-1]
+        report = validate_sweep_groups(op.part, g)
+        assert "forward-dependency" in _codes(report)
+
+
+class TestPhaseValidation:
+    def _chain(self, n):
+        """Strictly-lower bidiagonal: row i depends on row i-1."""
+        rows = np.arange(1, n, dtype=np.int64)
+        cols = np.arange(0, n - 1, dtype=np.int64)
+        return CSRMatrix.from_coo_arrays(rows, cols, np.ones(n - 1), (n, n))
+
+    def test_single_task_is_valid(self):
+        tri = self._chain(16)
+        phases = [Phase(color=0, tasks=[BlockTask(0, 16, 15)])]
+        assert validate_phases(tri, phases).ok
+
+    def test_cross_task_race_detected(self):
+        tri = self._chain(16)
+        phases = [Phase(color=0, tasks=[BlockTask(0, 8, 7),
+                                        BlockTask(8, 16, 8)])]
+        report = validate_phases(tri, phases)
+        assert "dependency" in _codes(report)
+        assert "race" in report.errors[0].message
+
+    def test_sequential_phases_are_valid(self):
+        tri = self._chain(16)
+        phases = [Phase(color=0, tasks=[BlockTask(0, 8, 7)]),
+                  Phase(color=1, tasks=[BlockTask(8, 16, 8)])]
+        assert validate_phases(tri, phases).ok
+
+    def test_gap_detected(self):
+        tri = self._chain(16)
+        phases = [Phase(color=0, tasks=[BlockTask(0, 8, 7)])]
+        assert "coverage" in _codes(validate_phases(tri, phases))
+
+    def test_overlap_detected(self):
+        tri = self._chain(16)
+        phases = [Phase(color=0, tasks=[BlockTask(0, 10, 9)]),
+                  Phase(color=1, tasks=[BlockTask(8, 16, 8)])]
+        assert "task-overlap" in _codes(validate_phases(tri, phases))
+
+    def test_out_of_range_task(self):
+        tri = self._chain(16)
+        phases = [Phase(color=0, tasks=[BlockTask(0, 20, 19)])]
+        assert "task-range" in _codes(validate_phases(tri, phases))
