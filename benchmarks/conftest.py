@@ -12,8 +12,19 @@ runtime.
 import numpy as np
 import pytest
 
+from repro.obs import Telemetry
+
 
 @pytest.fixture(scope="session")
 def rng():
     """Session-wide deterministic RNG for benchmark inputs."""
     return np.random.default_rng(2023)
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry():
+    """Fresh telemetry session per bench, so every
+    :func:`repro.bench.harness.write_report` call emits a RunReport
+    scoped to exactly that bench's metrics and spans."""
+    with Telemetry() as tel:
+        yield tel

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..sparse.csr import CSRMatrix
 from ..sparse.spgemm import spgemm
 
@@ -51,11 +52,17 @@ class ExplicitPowerMPK:
         pass over ``A`` when ``k`` is odd."""
         if k < 0:
             raise ValueError("power k must be non-negative")
-        y = np.asarray(x, dtype=np.float64).copy()
-        for _ in range(k // 2):
-            y = self.a2.matvec(y)
-        if k % 2:
-            y = self.a.matvec(y)
+        with obs.span("mpk.explicit_power", k=k, n=self.a.n_rows):
+            y = np.asarray(x, dtype=np.float64).copy()
+            for _ in range(k // 2):
+                y = self.a2.matvec(y)
+            if k % 2:
+                y = self.a.matvec(y)
+        # In units of "one full read of A": each A^2 pass streams
+        # fill_in times the entries of A.
+        obs.add_counter("mpk_explicit.matrix_read_equivalents",
+                        self.cost(k).entries_streamed / max(self.a.nnz, 1),
+                        unit="A-reads")
         return y
 
     def cost(self, k: int) -> _Costs:

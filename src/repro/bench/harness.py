@@ -4,6 +4,13 @@ Provides the scale knob (``REPRO_BENCH_SCALE`` environment variable), a
 process-wide stand-in matrix cache (generation and ABMC preprocessing are
 one-off costs, as in the paper), table formatting, and a tee that writes
 every reproduced table to ``benchmarks/out/`` for EXPERIMENTS.md.
+
+Every table written through :func:`write_report` is accompanied by a
+schema-versioned RunReport (``<name>.report.json``, see
+:mod:`repro.obs.report`): the active telemetry session's metric snapshot
+and span summary when one is live, an empty-but-valid report otherwise —
+so benchmark trajectories are machine-diffable with
+``python -m repro report A B``.
 """
 
 from __future__ import annotations
@@ -12,10 +19,11 @@ import os
 import time
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.fbmpk import FBMPKOperator, build_fbmpk_operator
 from ..matrices.registry import TABLE2, MatrixInfo, get_matrix_info
 from ..sparse.csr import CSRMatrix
@@ -27,6 +35,7 @@ __all__ = [
     "geomean",
     "format_table",
     "write_report",
+    "emit_run_report",
     "Timer",
 ]
 
@@ -103,20 +112,48 @@ def _is_num(s: str) -> bool:
         return False
 
 
-def write_report(name: str, content: str) -> Path:
-    """Print a reproduced table and persist it under ``benchmarks/out/``."""
-    out_dir = Path(__file__).resolve()
+def _out_dir() -> Path:
+    """``benchmarks/out/`` of the repository this module lives in."""
+    here = Path(__file__).resolve()
     # Walk up to the repository root (the directory holding benchmarks/).
-    for parent in out_dir.parents:
+    for parent in here.parents:
         if (parent / "benchmarks").is_dir():
-            out_dir = parent / "benchmarks" / "out"
-            break
-    else:  # pragma: no cover - installed without the benchmarks tree
-        out_dir = Path.cwd() / "benchmarks_out"
+            return parent / "benchmarks" / "out"
+    # pragma: no cover - installed without the benchmarks tree
+    return Path.cwd() / "benchmarks_out"
+
+
+def write_report(name: str, content: str) -> Path:
+    """Print a reproduced table, persist it under ``benchmarks/out/``,
+    and emit the run's RunReport next to it."""
+    out_dir = _out_dir()
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{name}.txt"
     path.write_text(content + "\n")
     print(f"\n{content}\n[written to {path}]")
+    emit_run_report(name)
+    return path
+
+
+def emit_run_report(name: str, config: Optional[Dict] = None) -> Path:
+    """Write ``benchmarks/out/<name>.report.json``.
+
+    The report freezes the active :class:`repro.obs.Telemetry` session's
+    metrics and span summary (an empty-but-schema-valid report when no
+    session is live), stamped with the bench scale so two trajectories
+    are comparable only when their scales match.
+    """
+    out_dir = _out_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}.report.json"
+    tel = obs.current()
+    full_config = {"bench": name, "scale_rows": bench_rows()}
+    full_config.update(config or {})
+    report = obs.build_run_report(
+        tel.metrics if tel else None,
+        tel.recorder if tel else None,
+        command=f"bench:{name}", config=full_config)
+    obs.write_report_file(report, path)
     return path
 
 

@@ -20,11 +20,21 @@ A user-facing front end over the library:
 ``solve``
     Run CG/BiCGSTAB/GMRES on a matrix and report the structured
     convergence status.
+``report``
+    Validate and pretty-print a RunReport produced by ``--report``, or
+    diff two of them.
+
+Telemetry: the run commands accept ``--trace FILE`` (Chrome trace-event
+JSON of the run's spans), ``--metrics FILE`` (metrics snapshot) and
+``--report FILE`` (schema-versioned RunReport); any of them activates a
+:class:`repro.obs.Telemetry` session around the command.
 
 Failures map onto one-line ``error:`` messages and distinct exit codes
 (see ``EXIT_*``): 3 for unreadable/malformed input files, 4 for
 validation and non-finite failures, 5 for crashed parallel phases, 6
-for solver breakdown/divergence/non-convergence.
+for solver breakdown/divergence/non-convergence, 7 for telemetry-export
+I/O failures (an unwritable ``--trace``/``--metrics``/``--report``
+path).
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import time
 
 import numpy as np
 
+from . import obs
 from .baselines import ExplicitPowerMPK, LevelBlockedMPK, MklLikeMPK
 from .bench.ascii_plot import line_chart
 from .bench.harness import format_table
@@ -54,7 +65,7 @@ from .solvers import bicgstab, conjugate_gradient, gmres
 from .sparse import CSRMatrix, read_matrix_market, write_matrix_market
 
 __all__ = ["main", "EXIT_OK", "EXIT_IO", "EXIT_VALIDATION",
-           "EXIT_EXECUTION", "EXIT_SOLVER"]
+           "EXIT_EXECUTION", "EXIT_SOLVER", "EXIT_TELEMETRY"]
 
 #: Exit codes of the typed-error mapping (argparse keeps 2 for usage).
 EXIT_OK = 0
@@ -62,6 +73,7 @@ EXIT_IO = 3
 EXIT_VALIDATION = 4
 EXIT_EXECUTION = 5
 EXIT_SOLVER = 6
+EXIT_TELEMETRY = 7
 
 
 def _load_matrix(args) -> CSRMatrix:
@@ -91,6 +103,36 @@ def _add_matrix_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--validate", action="store_true",
                    help="run the structural validators on the loaded "
                         "matrix (exit 4 on failure)")
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the run's spans as Chrome trace-event "
+                        "JSON (load in chrome://tracing or Perfetto)")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write the run's metrics snapshot as JSON")
+    p.add_argument("--report", metavar="FILE",
+                   help="write a schema-versioned RunReport (validate "
+                        "with tools/check_report.py, inspect with the "
+                        "report subcommand)")
+
+
+def _export_telemetry(tel: "obs.Telemetry", args) -> None:
+    """Write the requested telemetry artefacts (``OSError`` escapes to
+    the exit-code-7 handler in :func:`main`)."""
+    if getattr(args, "trace", None):
+        tel.write_trace(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        tel.write_metrics(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if getattr(args, "report", None):
+        config = {k: v for k, v in vars(args).items()
+                  if k not in ("func", "command", "trace", "metrics",
+                               "report") and v is not None}
+        report = tel.run_report(command=args.command, config=config)
+        obs.write_report_file(report, args.report)
+        print(f"run report written to {args.report}", file=sys.stderr)
 
 
 def cmd_info(args) -> int:
@@ -223,6 +265,30 @@ def cmd_solve(args) -> int:
     return 0
 
 
+def _load_validated_report(path):
+    """Load + schema-check one report file; raises ``ValidationError``
+    with the collected problems on schema violations."""
+    try:
+        report = obs.load_report(path)
+    except ValueError as exc:
+        raise MatrixMarketError(f"{path}: not valid JSON ({exc})") from exc
+    errors = obs.validate_report(report)
+    if errors:
+        raise ValidationError(
+            f"{path}: not a valid RunReport: " + "; ".join(errors))
+    return report
+
+
+def cmd_report(args) -> int:
+    a = _load_validated_report(args.file)
+    if args.other:
+        b = _load_validated_report(args.other)
+        print(obs.diff_reports(a, b))
+    else:
+        print(obs.format_report(a))
+    return 0
+
+
 def cmd_predict(args) -> int:
     info = get_matrix_info(args.name)
     stats = info.traffic_stats()
@@ -285,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ones", action="store_true",
                    help="use x = ones instead of a random vector")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_power)
 
     p = sub.add_parser("preprocess",
@@ -316,12 +383,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "(exit 4 on the first hit)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the manufactured solution")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_solve)
 
     p = sub.add_parser("predict",
                        help="machine-model speedup predictions")
     p.add_argument("name", choices=list_matrix_names())
     p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("report",
+                       help="validate and pretty-print a RunReport, or "
+                            "diff two of them")
+    p.add_argument("file", help="RunReport JSON (from --report)")
+    p.add_argument("other", nargs="?",
+                   help="second report: print a diff instead")
+    p.set_defaults(func=cmd_report)
 
     return parser
 
@@ -333,24 +409,46 @@ def main(argv=None) -> int:
     file) → 3, ``ValidationError`` (structural defects, NaN/Inf caught
     by ``--validate``/``--check-finite``) → 4, ``PhaseExecutionError``
     (crashed parallel phase) → 5.  Solver non-convergence returns 6
-    from :func:`cmd_solve` directly.  Each failure is a single
-    ``error:`` line on stderr, not a traceback.
+    from :func:`cmd_solve` directly.  A failure writing the requested
+    ``--trace``/``--metrics``/``--report`` artefacts → 7 (the command
+    itself succeeded; a command failure keeps its own code — telemetry
+    of a failed run is still exported when possible, it is often the
+    most useful kind).  Each failure is a single ``error:`` line on
+    stderr, not a traceback.
     """
     args = build_parser().parse_args(argv)
+    wants_obs = any(getattr(args, flag, None)
+                    for flag in ("trace", "metrics", "report"))
+    tel = obs.Telemetry() if wants_obs else None
+    if tel is not None:
+        tel.activate()
+    code = EXIT_OK
     try:
-        return args.func(args)
+        code = args.func(args)
     except MatrixMarketError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return EXIT_IO
+        code = EXIT_IO
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return EXIT_VALIDATION
+        code = EXIT_VALIDATION
     except PhaseExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return EXIT_EXECUTION
+        code = EXIT_EXECUTION
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return EXIT_IO
+        code = EXIT_IO
+    finally:
+        if tel is not None:
+            tel.deactivate()
+    if tel is not None:
+        try:
+            _export_telemetry(tel, args)
+        except OSError as exc:
+            print(f"error: telemetry export failed: {exc}",
+                  file=sys.stderr)
+            if code == EXIT_OK:
+                code = EXIT_TELEMETRY
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..parallel.executor import (
     ExecutionStats,
     PhaseExecutionError,
@@ -69,6 +70,12 @@ __all__ = [
 ]
 
 IterateCallback = Callable[[int, np.ndarray], None]
+
+#: Last-level cache size assumed by the per-run DRAM traffic estimate
+#: published to telemetry (a generic server-class 32 MiB LLC; the
+#: machine models in :mod:`repro.machine` carry the platform-accurate
+#: values for the paper's figures).
+MODEL_CACHE_BYTES = 32 * 1024 * 1024
 
 
 @dataclass
@@ -539,6 +546,7 @@ class FBMPKOperator:
         self._phase_plan = phase_plan
         self._validate_phases = validate
         self._threaded: Optional[_ThreadedState] = None
+        self._tstats = None  # lazy MatrixTrafficStats for telemetry
         self._fw = _extract_parts(part.lower, groups.forward, backend)
         self._bw = _extract_parts(part.upper, groups.backward, backend)
         self._lower_matvec = _make_matvec(part.lower, backend)
@@ -710,33 +718,49 @@ class FBMPKOperator:
             y = x.copy()
             return unpermute_vector(y, self.perm) if self.perm is not None else y
         threaded = self.executor == "threads"
-        if not threaded:
-            return self._power_body(x, k, on_iterate, counter,
-                                    check_finite, threaded=False)
-        fallback = self.on_failure == "fallback_serial"
-        x_saved = x.copy() if fallback else None
-        counter_saved = _snapshot_counter(counter) if fallback else None
-        try:
-            return self._power_body(x, k, on_iterate, counter,
-                                    check_finite, threaded=True)
-        except PhaseExecutionError:
-            self.close()
-            if not fallback:
+        # Telemetry bookkeeping: when a session is active we always keep
+        # pass counts (in the caller's counter if given, an internal one
+        # otherwise) so the run's matrix-read equivalents can be
+        # published; deltas are taken against a snapshot because a
+        # caller-provided counter may accumulate several runs.
+        telemetry = obs.current() is not None
+        if telemetry and counter is None:
+            counter = KernelCounter()
+        obs_snap = _snapshot_counter(counter) if telemetry else None
+        with obs.span("fbmpk.power", k=k, n=self.n,
+                      executor=self.executor, backend=self.backend,
+                      origin=self.groups.origin):
+            if not threaded:
+                y = self._power_body(x, k, on_iterate, counter,
+                                     check_finite, threaded=False)
+                self._publish_power_telemetry(k, counter, obs_snap)
+                return y
+            fallback = self.on_failure == "fallback_serial"
+            x_saved = x.copy() if fallback else None
+            counter_saved = _snapshot_counter(counter) if fallback else None
+            try:
+                y = self._power_body(x, k, on_iterate, counter,
+                                     check_finite, threaded=True)
+            except PhaseExecutionError:
+                self.close()
+                if not fallback:
+                    raise
+                warnings.warn(
+                    "threaded FBMPK phase crashed; recomputing serially "
+                    "(on_failure='fallback_serial')", RuntimeWarning,
+                    stacklevel=2)
+                _restore_counter(counter, counter_saved)
+                self.last_stats = None
+                y = self._power_body(x_saved, k, on_iterate, counter,
+                                     check_finite, threaded=False)
+            except BaseException:
+                # Any other mid-sweep failure (a NonFiniteError between
+                # stages, a raising on_iterate callback, ...) must not
+                # leak the worker pool either.
+                self.close()
                 raise
-            warnings.warn(
-                "threaded FBMPK phase crashed; recomputing serially "
-                "(on_failure='fallback_serial')", RuntimeWarning,
-                stacklevel=2)
-            _restore_counter(counter, counter_saved)
-            self.last_stats = None
-            return self._power_body(x_saved, k, on_iterate, counter,
-                                    check_finite, threaded=False)
-        except BaseException:
-            # Any other mid-sweep failure (a NonFiniteError between
-            # stages, a raising on_iterate callback, ...) must not leak
-            # the worker pool either.
-            self.close()
-            raise
+            self._publish_power_telemetry(k, counter, obs_snap)
+            return y
 
     def _power_body(
         self,
@@ -752,7 +776,8 @@ class FBMPKOperator:
         d = self.part.diag
         pair = InterleavedPair.from_initial(x)
         XY = pair.as_matrix()
-        tmp = self._upper_matvec(x)
+        with obs.span("fbmpk.head", sweep="head"):
+            tmp = self._upper_matvec(x)
         if counter:
             counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
         if threaded:
@@ -762,47 +787,107 @@ class FBMPKOperator:
             self.last_stats = stats
         power = 0
         for _ in range(k // 2):
-            if threaded:
-                state.pool.run_phases(
-                    state.fw_phases,
-                    lambda t: state.fw_kernels[t].forward(XY, tmp, d),
-                    stats)
-                if counter:
-                    counter.count_l(self.part.lower.nnz,
-                                    self.part.lower.nnz)
-            else:
-                self._forward_sweep(XY, tmp, d, counter)
+            with obs.span("fbmpk.sweep", sweep="forward",
+                          power_step=power + 1):
+                if threaded:
+                    state.pool.run_phases(
+                        state.fw_phases,
+                        lambda t: state.fw_kernels[t].forward(XY, tmp, d),
+                        stats)
+                    if counter:
+                        counter.count_l(self.part.lower.nnz,
+                                        self.part.lower.nnz)
+                else:
+                    self._forward_sweep(XY, tmp, d, counter)
             power += 1
+            obs.event("fbmpk.iterate", power_step=power)
             if check_finite:
                 ensure_finite(pair.odd, f"iterate A^{power} x")
             if on_iterate:
                 on_iterate(power, self._out(pair.odd))
-            if threaded:
-                state.pool.run_phases(
-                    state.bw_phases,
-                    lambda t: state.bw_kernels[t].backward(XY, tmp),
-                    stats)
-                if counter:
-                    counter.count_u(self.part.upper.nnz,
-                                    self.part.upper.nnz)
-            else:
-                self._backward_sweep(XY, tmp, counter)
+            with obs.span("fbmpk.sweep", sweep="backward",
+                          power_step=power + 1):
+                if threaded:
+                    state.pool.run_phases(
+                        state.bw_phases,
+                        lambda t: state.bw_kernels[t].backward(XY, tmp),
+                        stats)
+                    if counter:
+                        counter.count_u(self.part.upper.nnz,
+                                        self.part.upper.nnz)
+                else:
+                    self._backward_sweep(XY, tmp, counter)
             power += 1
+            obs.event("fbmpk.iterate", power_step=power)
             if check_finite:
                 ensure_finite(pair.even, f"iterate A^{power} x")
             if on_iterate:
                 on_iterate(power, self._out(pair.even))
         if k % 2:
             even = XY[:, 0]
-            y = self._lower_matvec(even) + tmp + d * even
+            with obs.span("fbmpk.tail", sweep="tail", power_step=k):
+                y = self._lower_matvec(even) + tmp + d * even
             if counter:
                 counter.count_l(self.part.lower.nnz, self.part.lower.nnz)
+            obs.event("fbmpk.iterate", power_step=k)
             if check_finite:
                 ensure_finite(y, f"iterate A^{k} x")
             if on_iterate:
                 on_iterate(k, self._out(y))
             return self._out(y)
         return self._out(XY[:, 0])
+
+    # -- telemetry ------------------------------------------------------
+    def _traffic_stats(self):
+        """Lazy :class:`~repro.memsim.traffic.MatrixTrafficStats` of the
+        operator's matrix (bandwidth measured over both triangles),
+        built only when a telemetry session asks for the DRAM model."""
+        if self._tstats is None:
+            from ..memsim.traffic import MatrixTrafficStats
+
+            bw = 1
+            for tri in (self.part.lower, self.part.upper):
+                if tri.nnz:
+                    rows = np.repeat(
+                        np.arange(tri.n_rows, dtype=np.int64),
+                        tri.row_nnz())
+                    bw = max(bw, int(np.abs(rows - tri.indices).max()))
+            self._tstats = MatrixTrafficStats(
+                n=self.n, nnz=self.part.source_nnz, bandwidth=float(bw))
+        return self._tstats
+
+    def _publish_power_telemetry(self, k: int,
+                                 counter: Optional[KernelCounter],
+                                 snap) -> None:
+        """Publish one completed ``power``/``power_block`` call to the
+        active telemetry session: instrumented pass counts (as deltas
+        against ``snap``), the matrix-read equivalents that make the
+        paper's ``(k+1)/2`` claim observable per run, and the modelled
+        DRAM byte volumes from :mod:`repro.memsim.traffic`."""
+        tel = obs.current()
+        if tel is None or counter is None or snap is None:
+            return
+        l_entries = counter.l_entries - snap[2]
+        u_entries = counter.u_entries - snap[3]
+        nnz = max(self.part.source_nnz, 1)
+        # Diagonal contributions: one stream of d per produced iterate.
+        equivalents = (l_entries + u_entries + k * self.n) / nnz
+        obs.add_counter("fbmpk.powers")
+        obs.add_counter("fbmpk.l_passes", counter.l_passes - snap[0])
+        obs.add_counter("fbmpk.u_passes", counter.u_passes - snap[1])
+        obs.add_counter("fbmpk.matrix_read_equivalents", equivalents,
+                        unit="A-reads")
+        obs.add_counter("fbmpk.standard_matrix_reads", k, unit="A-reads")
+        from ..memsim.traffic import fbmpk_traffic, mpk_standard_traffic
+
+        stats = self._traffic_stats()
+        fb = fbmpk_traffic(stats, k, MODEL_CACHE_BYTES).total_bytes
+        std = mpk_standard_traffic(stats, k, MODEL_CACHE_BYTES).total_bytes
+        obs.add_counter("fbmpk.model.dram_bytes", fb, unit="bytes")
+        obs.add_counter("fbmpk.model.baseline_dram_bytes", std,
+                        unit="bytes")
+        if std:
+            obs.set_gauge("fbmpk.model.traffic_ratio", fb / std)
 
     def power_block(self, X: np.ndarray, k: int,
                     counter: Optional[KernelCounter] = None,
@@ -834,44 +919,55 @@ class FBMPKOperator:
             return out[_inverse_rows(self.perm)] if self.perm is not None \
                 else out
         m = X.shape[1]
-        d = self.part.diag[:, None]
-        XY = np.zeros((self.n, 2 * m), dtype=np.float64)
-        XY[:, 0::2] = X
-        tmp = self.part.upper.matmat(X)
-        if counter:
-            counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
-        l_total = self.part.lower.nnz
-        u_total = self.part.upper.nnz
-        stage = 0
-        for _ in range(k // 2):
-            for p in self._fw:
-                rows = p.rows
-                prod = p.apply(XY)
-                new_odd = tmp[rows] + d[rows] * XY[rows, 0::2] \
-                    + prod[:, 0::2]
-                XY[rows, 1::2] = new_odd
-                tmp[rows] = prod[:, 1::2] + d[rows] * new_odd
-                if counter:
-                    counter.count_l(p.nnz, l_total)
-            for p in self._bw:
-                rows = p.rows
-                prod = p.apply(XY)
-                XY[rows, 0::2] = tmp[rows] + prod[:, 1::2]
-                tmp[rows] = prod[:, 0::2]
-                if counter:
-                    counter.count_u(p.nnz, u_total)
-            stage += 2
-            if check_finite:
-                ensure_finite(XY, f"block iterates through A^{stage} X")
-        if k % 2:
-            even = XY[:, 0::2]
-            Y = self.part.lower.matmat(even) + tmp + d * even
+        telemetry = obs.current() is not None
+        if telemetry and counter is None:
+            counter = KernelCounter()
+        obs_snap = _snapshot_counter(counter) if telemetry else None
+        with obs.span("fbmpk.power_block", k=k, n=self.n, m=m):
+            d = self.part.diag[:, None]
+            XY = np.zeros((self.n, 2 * m), dtype=np.float64)
+            XY[:, 0::2] = X
+            tmp = self.part.upper.matmat(X)
             if counter:
-                counter.count_l(l_total, l_total)
-            if check_finite:
-                ensure_finite(Y, f"block iterate A^{k} X")
-        else:
-            Y = XY[:, 0::2].copy()
+                counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
+            l_total = self.part.lower.nnz
+            u_total = self.part.upper.nnz
+            stage = 0
+            for _ in range(k // 2):
+                with obs.span("fbmpk.sweep", sweep="forward",
+                              power_step=stage + 1):
+                    for p in self._fw:
+                        rows = p.rows
+                        prod = p.apply(XY)
+                        new_odd = tmp[rows] + d[rows] * XY[rows, 0::2] \
+                            + prod[:, 0::2]
+                        XY[rows, 1::2] = new_odd
+                        tmp[rows] = prod[:, 1::2] + d[rows] * new_odd
+                        if counter:
+                            counter.count_l(p.nnz, l_total)
+                with obs.span("fbmpk.sweep", sweep="backward",
+                              power_step=stage + 2):
+                    for p in self._bw:
+                        rows = p.rows
+                        prod = p.apply(XY)
+                        XY[rows, 0::2] = tmp[rows] + prod[:, 1::2]
+                        tmp[rows] = prod[:, 0::2]
+                        if counter:
+                            counter.count_u(p.nnz, u_total)
+                stage += 2
+                if check_finite:
+                    ensure_finite(XY, f"block iterates through A^{stage} X")
+            if k % 2:
+                even = XY[:, 0::2]
+                with obs.span("fbmpk.tail", sweep="tail", power_step=k):
+                    Y = self.part.lower.matmat(even) + tmp + d * even
+                if counter:
+                    counter.count_l(l_total, l_total)
+                if check_finite:
+                    ensure_finite(Y, f"block iterate A^{k} X")
+            else:
+                Y = XY[:, 0::2].copy()
+        self._publish_power_telemetry(k, counter, obs_snap)
         if self.perm is not None:
             Y = Y[_inverse_rows(self.perm)]
         return Y

@@ -12,6 +12,7 @@ from typing import Callable, List
 
 import numpy as np
 
+from .. import obs
 from ..sparse.csr import CSRMatrix
 from ..sparse.spmv import spmv_vectorised
 
@@ -35,9 +36,13 @@ def mpk_standard(
     """
     if k < 0:
         raise ValueError("power k must be non-negative")
-    y = np.asarray(x, dtype=np.float64).copy()
-    for _ in range(k):
-        y = kernel(a, y)
+    with obs.span("mpk.standard", k=k, n=a.n_rows):
+        y = np.asarray(x, dtype=np.float64).copy()
+        for _ in range(k):
+            y = kernel(a, y)
+    # Every power is one full stream over A — the baseline read count
+    # FBMPK's (k+1)/2 equivalents are compared against in a RunReport.
+    obs.add_counter("mpk.matrix_read_equivalents", k, unit="A-reads")
     return y
 
 

@@ -1,0 +1,248 @@
+"""Unified telemetry: structured tracing, metrics, exportable RunReports.
+
+The package gives the library one instrumentation surface connecting the
+quantities the paper argues about — per-phase timings from the threaded
+executor, FBMPK matrix-pass counters and modelled DRAM traffic, solver
+convergence histories — so a single run can *demonstrate* the
+``(k+1)/2`` matrix-reads claim instead of asserting it.
+
+Usage::
+
+    from repro.obs import Telemetry
+
+    with Telemetry() as tel:
+        op.power(x, k=4)                   # instrumented transparently
+    tel.write_trace("run.trace.json")      # chrome://tracing
+    report = tel.run_report(command="power", config={"k": 4})
+
+Design contract — **zero overhead by default**: no telemetry session is
+active unless one has been entered, and every instrumentation point in
+the library goes through the module-level helpers below (:func:`span`,
+:func:`event`, :func:`add_counter`, ...), which reduce to a global load
+and an early return when inactive.  :func:`span` returns the shared
+:data:`~repro.obs.tracing.NULL_SPAN` singleton when disabled, so hot
+loops allocate nothing.  The guard tests in ``tests/obs`` verify both
+the no-allocation property and that enabling telemetry changes no
+numerical result bit.
+
+Sessions nest (an inner ``with Telemetry()`` shadows the outer one until
+it exits) and are process-global rather than thread-local on purpose:
+executor worker threads must record into the session of the run that
+spawned them.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, List, Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_TIME_BUCKETS,
+)
+from .report import (
+    RUN_REPORT_SCHEMA,
+    RUN_REPORT_SCHEMA_VERSION,
+    build_run_report,
+    diff_reports,
+    format_report,
+    load_report,
+    platform_info,
+    validate_report,
+    write_report_file,
+)
+from .tracing import (
+    NULL_SPAN,
+    NullSpan,
+    SpanRecord,
+    TraceRecorder,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Telemetry",
+    "current",
+    "span",
+    "event",
+    "add_counter",
+    "set_gauge",
+    "observe",
+    "instrument_solver",
+    "TraceRecorder",
+    "SpanRecord",
+    "NullSpan",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+    "RUN_REPORT_SCHEMA",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "build_run_report",
+    "validate_report",
+    "format_report",
+    "diff_reports",
+    "load_report",
+    "write_report_file",
+    "platform_info",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+#: Stack of activated sessions; the innermost one receives telemetry.
+_ACTIVE: List["Telemetry"] = []
+
+
+class Telemetry:
+    """One telemetry session: a trace recorder plus a metrics registry.
+
+    Activate with ``with tel:`` (or :meth:`activate`/:meth:`deactivate`)
+    to make the session the process-wide sink of the library's
+    instrumentation points, then export through :meth:`write_trace`,
+    :meth:`write_trace_jsonl`, :meth:`write_metrics` or
+    :meth:`run_report`.
+    """
+
+    def __init__(self) -> None:
+        self.recorder = TraceRecorder()
+        self.metrics = MetricsRegistry()
+
+    # -- lifecycle ------------------------------------------------------
+    def activate(self) -> "Telemetry":
+        """Push this session onto the active stack (idempotent)."""
+        if self not in _ACTIVE:
+            _ACTIVE.append(self)
+        return self
+
+    def deactivate(self) -> None:
+        """Remove this session from the active stack (idempotent)."""
+        if self in _ACTIVE:
+            _ACTIVE.remove(self)
+
+    def __enter__(self) -> "Telemetry":
+        return self.activate()
+
+    def __exit__(self, *exc) -> None:
+        self.deactivate()
+
+    # -- exports --------------------------------------------------------
+    def write_trace(self, path) -> None:
+        """Write the Chrome trace-event JSON for this session."""
+        write_chrome_trace(self.recorder, path)
+
+    def write_trace_jsonl(self, path) -> None:
+        """Write the span/event stream as JSON lines."""
+        write_jsonl(self.recorder, path)
+
+    def write_metrics(self, path) -> None:
+        """Write the metrics snapshot as indented JSON."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.metrics.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def run_report(self, command: str = "",
+                   config: Optional[Dict[str, Any]] = None
+                   ) -> Dict[str, Any]:
+        """Assemble the schema-versioned RunReport of this session."""
+        return build_run_report(self.metrics, self.recorder,
+                                command=command, config=config)
+
+
+def current() -> Optional[Telemetry]:
+    """The innermost active session, or None (telemetry disabled)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+# ---------------------------------------------------------------------------
+# hot-path helpers (the library's only instrumentation entry points)
+# ---------------------------------------------------------------------------
+def span(name: str, **attrs):
+    """Open a span on the active session; :data:`NULL_SPAN` if none."""
+    if not _ACTIVE:
+        return NULL_SPAN
+    return _ACTIVE[-1].recorder.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an instant event on the active session (no-op if none)."""
+    if _ACTIVE:
+        _ACTIVE[-1].recorder.event(name, **attrs)
+
+
+def add_counter(name: str, value: float = 1.0, unit: str = "") -> None:
+    """Increment a counter on the active session (no-op if none)."""
+    if _ACTIVE:
+        _ACTIVE[-1].metrics.counter(name, unit=unit).inc(value)
+
+
+def set_gauge(name: str, value: float, unit: str = "") -> None:
+    """Set a gauge on the active session (no-op if none)."""
+    if _ACTIVE:
+        _ACTIVE[-1].metrics.gauge(name, unit=unit).set(value)
+
+
+def observe(name: str, value: float, unit: str = "") -> None:
+    """Record a histogram observation on the active session."""
+    if _ACTIVE:
+        _ACTIVE[-1].metrics.histogram(name, unit=unit).observe(value)
+
+
+def instrument_solver(name: str):
+    """Decorator adding convergence telemetry to an iterative solver.
+
+    The wrapped function must return a result carrying ``iterations``,
+    ``residual_norms`` and ``status`` (the structured-status convention
+    of :mod:`repro.solvers`).  When a session is active the solve runs
+    inside a ``solver.<name>`` span, each recorded residual becomes a
+    ``solver.residual`` event (the convergence history), and the
+    iteration count / final residual / status land in the metrics
+    registry.  When no session is active the only cost is one wrapper
+    call and a global check — the solver body is untouched either way,
+    which is what keeps results bit-identical with telemetry on and off.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _ACTIVE:
+                return fn(*args, **kwargs)
+            tel = _ACTIVE[-1]
+            with tel.recorder.span(f"solver.{name}"):
+                result = fn(*args, **kwargs)
+            record_convergence(name, result)
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+def record_convergence(name: str, result) -> None:
+    """Publish a solver result's convergence history to the active
+    session (used by :func:`instrument_solver` and the Chebyshev solver,
+    whose tuple return predates the structured results)."""
+    if not _ACTIVE:
+        return
+    tel = _ACTIVE[-1]
+    norms = list(getattr(result, "residual_norms", None) or [])
+    iterations = getattr(result, "iterations", None)
+    status = getattr(result, "status", None)
+    for i, rn in enumerate(norms):
+        tel.recorder.event("solver.residual", solver=name, iteration=i,
+                           residual=float(rn))
+    tel.metrics.counter(f"solver.{name}.runs").inc()
+    if iterations is not None:
+        tel.metrics.counter(f"solver.{name}.iterations").inc(iterations)
+    if norms:
+        tel.metrics.gauge(f"solver.{name}.final_residual").set(norms[-1])
+    if status:
+        tel.metrics.counter(f"solver.{name}.status.{status}").inc()

@@ -1,0 +1,338 @@
+"""RunReport: the schema-versioned JSON artifact of an instrumented run.
+
+A RunReport freezes one CLI/bench invocation into a machine-diffable
+document: the metric snapshot (executor barriers, matrix-pass counters,
+modelled DRAM bytes, solver convergence), a per-name span summary, the
+platform the run executed on, and the configuration that produced it.
+Benchmark trajectories then become data — ``python -m repro report A B``
+diffs two runs, and ``tools/check_report.py`` (used by CI and the
+``report`` subcommand) validates any report against the schema below.
+
+Schema (version 1)::
+
+    {
+      "schema": "repro.run_report",
+      "schema_version": 1,
+      "created_unix": <float, seconds since the epoch>,
+      "command": <str, e.g. "power">,
+      "config": <object, JSON-safe invocation parameters>,
+      "platform": {"python": str, "implementation": str, "os": str,
+                   "machine": str, "cpu_count": int, "numpy": str,
+                   "repro_version": str},
+      "metrics": {"counters": {name: {"value": num, "unit": str}},
+                  "gauges": {name: {"value": num|null, "unit": str}},
+                  "histograms": {name: {"unit": str, "buckets": [num...],
+                                        "counts": [int...],  # len+1
+                                        "sum": num, "count": int}}},
+      "spans": {"total": int,
+                "summary": {name: {"count": int, "total_s": num,
+                                   "max_s": num}}}
+    }
+
+The validator is hand-rolled (no ``jsonschema`` dependency) and returns
+*all* problems it finds, in the spirit of
+:class:`repro.robust.validate.ValidationReport`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import time
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .tracing import TraceRecorder, _json_safe
+
+__all__ = [
+    "RUN_REPORT_SCHEMA",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "build_run_report",
+    "platform_info",
+    "validate_report",
+    "load_report",
+    "write_report_file",
+    "format_report",
+    "diff_reports",
+]
+
+RUN_REPORT_SCHEMA = "repro.run_report"
+RUN_REPORT_SCHEMA_VERSION = 1
+
+
+def platform_info() -> Dict[str, Any]:
+    """Machine/interpreter identification embedded in every report."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    try:
+        from .. import __version__ as repro_version
+    except Exception:  # pragma: no cover - partial installs
+        repro_version = "unknown"
+    return {
+        "python": _platform.python_version(),
+        "implementation": _platform.python_implementation(),
+        "os": f"{_platform.system()} {_platform.release()}",
+        "machine": _platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version,
+        "repro_version": repro_version,
+    }
+
+
+def build_run_report(
+    metrics: Optional[MetricsRegistry] = None,
+    recorder: Optional[TraceRecorder] = None,
+    command: str = "",
+    config: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble a schema-valid RunReport dict from a telemetry session."""
+    snapshot = (metrics or MetricsRegistry()).snapshot()
+    if recorder is not None:
+        spans = {"total": len(recorder), "summary": recorder.summary()}
+    else:
+        spans = {"total": 0, "summary": {}}
+    config = {str(k): _json_safe(v) for k, v in (config or {}).items()}
+    return {
+        "schema": RUN_REPORT_SCHEMA,
+        "schema_version": RUN_REPORT_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "command": str(command),
+        "config": config,
+        "platform": platform_info(),
+        "metrics": snapshot,
+        "spans": spans,
+    }
+
+
+def write_report_file(report: Dict[str, Any], path) -> None:
+    """Serialise ``report`` as indented JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path) -> Dict[str, Any]:
+    """Read a report file; raises ``OSError``/``ValueError`` on failure."""
+    with open(path) as fh:
+        obj = json.load(fh)
+    if not isinstance(obj, dict):
+        raise ValueError(f"{path}: report root must be a JSON object")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+def _is_num(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _check_instruments(section: Any, kind: str, errors: List[str]) -> None:
+    if not isinstance(section, dict):
+        errors.append(f"metrics.{kind}: expected object")
+        return
+    for name, inst in section.items():
+        where = f"metrics.{kind}[{name!r}]"
+        if not isinstance(inst, dict):
+            errors.append(f"{where}: expected object")
+            continue
+        if not isinstance(inst.get("unit", ""), str):
+            errors.append(f"{where}.unit: expected string")
+        if kind == "histograms":
+            buckets = inst.get("buckets")
+            counts = inst.get("counts")
+            if not (isinstance(buckets, list) and all(map(_is_num, buckets))):
+                errors.append(f"{where}.buckets: expected number list")
+                continue
+            if any(b <= a for a, b in zip(buckets[:-1], buckets[1:])):
+                errors.append(f"{where}.buckets: not strictly increasing")
+            if not (isinstance(counts, list)
+                    and all(isinstance(c, int) and not isinstance(c, bool)
+                            and c >= 0 for c in counts)):
+                errors.append(f"{where}.counts: expected non-negative "
+                              f"integer list")
+            elif len(counts) != len(buckets) + 1:
+                errors.append(f"{where}.counts: expected "
+                              f"{len(buckets) + 1} slots, got {len(counts)}")
+            if not _is_num(inst.get("sum")):
+                errors.append(f"{where}.sum: expected number")
+            if not (isinstance(inst.get("count"), int)
+                    and inst.get("count", -1) >= 0):
+                errors.append(f"{where}.count: expected non-negative int")
+        else:
+            value = inst.get("value")
+            if kind == "gauges" and value is None:
+                continue  # never-set gauge
+            if not _is_num(value):
+                errors.append(f"{where}.value: expected number")
+            elif kind == "counters" and value < 0:
+                errors.append(f"{where}.value: counter cannot be negative")
+
+
+def validate_report(report: Any) -> List[str]:
+    """Validate a RunReport object; returns all schema violations
+    (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return ["report root must be a JSON object"]
+    if report.get("schema") != RUN_REPORT_SCHEMA:
+        errors.append(f"schema: expected {RUN_REPORT_SCHEMA!r}, "
+                      f"got {report.get('schema')!r}")
+    version = report.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        errors.append("schema_version: expected integer")
+    elif version > RUN_REPORT_SCHEMA_VERSION:
+        errors.append(f"schema_version: {version} is newer than the "
+                      f"supported {RUN_REPORT_SCHEMA_VERSION}")
+    if not _is_num(report.get("created_unix")):
+        errors.append("created_unix: expected number")
+    if not isinstance(report.get("command"), str):
+        errors.append("command: expected string")
+    if not isinstance(report.get("config"), dict):
+        errors.append("config: expected object")
+    plat = report.get("platform")
+    if not isinstance(plat, dict):
+        errors.append("platform: expected object")
+    else:
+        for key in ("python", "os", "machine"):
+            if not isinstance(plat.get(key), str):
+                errors.append(f"platform.{key}: expected string")
+        if not isinstance(plat.get("cpu_count"), int):
+            errors.append("platform.cpu_count: expected integer")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("metrics: expected object")
+    else:
+        for kind in ("counters", "gauges", "histograms"):
+            if kind not in metrics:
+                errors.append(f"metrics.{kind}: missing")
+            else:
+                _check_instruments(metrics[kind], kind, errors)
+    spans = report.get("spans")
+    if not isinstance(spans, dict):
+        errors.append("spans: expected object")
+    else:
+        if not (isinstance(spans.get("total"), int)
+                and spans.get("total", -1) >= 0):
+            errors.append("spans.total: expected non-negative integer")
+        summary = spans.get("summary")
+        if not isinstance(summary, dict):
+            errors.append("spans.summary: expected object")
+        else:
+            for name, agg in summary.items():
+                where = f"spans.summary[{name!r}]"
+                if not isinstance(agg, dict):
+                    errors.append(f"{where}: expected object")
+                    continue
+                count = agg.get("count")
+                if not (isinstance(count, int) and count >= 1):
+                    errors.append(f"{where}.count: expected positive int")
+                for key in ("total_s", "max_s"):
+                    if not (_is_num(agg.get(key)) and agg.get(key) >= 0):
+                        errors.append(f"{where}.{key}: expected "
+                                      f"non-negative number")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# pretty-printing and diffing
+# ---------------------------------------------------------------------------
+def _fmt_num(v: Optional[float]) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, int) or float(v).is_integer():
+        return f"{int(v)}"
+    return f"{v:.6g}"
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a RunReport."""
+    lines = [
+        f"RunReport v{report.get('schema_version')} — "
+        f"command `{report.get('command') or '?'}`",
+    ]
+    plat = report.get("platform", {})
+    lines.append(
+        f"platform: python {plat.get('python', '?')} / "
+        f"numpy {plat.get('numpy', '?')} on {plat.get('os', '?')} "
+        f"({plat.get('machine', '?')}, {plat.get('cpu_count', '?')} cpus)")
+    config = report.get("config", {})
+    if config:
+        shown = ", ".join(f"{k}={config[k]}" for k in sorted(config)
+                          if config[k] is not None)
+        lines.append(f"config: {shown}")
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if counters or gauges:
+        lines.append("")
+        lines.append("metrics:")
+        for name in sorted(counters):
+            inst = counters[name]
+            unit = f" {inst.get('unit')}" if inst.get("unit") else ""
+            lines.append(f"  {name} = {_fmt_num(inst.get('value'))}{unit}")
+        for name in sorted(gauges):
+            inst = gauges[name]
+            unit = f" {inst.get('unit')}" if inst.get("unit") else ""
+            lines.append(f"  {name} = {_fmt_num(inst.get('value'))}{unit}")
+    histograms = metrics.get("histograms", {})
+    for name in sorted(histograms):
+        inst = histograms[name]
+        count = inst.get("count", 0)
+        mean = inst.get("sum", 0.0) / count if count else 0.0
+        lines.append(f"  {name}: n={count} mean={mean:.3g}"
+                     f"{' ' + inst.get('unit') if inst.get('unit') else ''}")
+    summary = report.get("spans", {}).get("summary", {})
+    if summary:
+        lines.append("")
+        lines.append("spans:")
+        for name in sorted(summary):
+            agg = summary[name]
+            lines.append(
+                f"  {name}: x{agg.get('count')} "
+                f"total {agg.get('total_s', 0.0) * 1e3:.2f} ms "
+                f"(max {agg.get('max_s', 0.0) * 1e3:.2f} ms)")
+    return "\n".join(lines)
+
+
+def diff_reports(a: Dict[str, Any], b: Dict[str, Any]) -> str:
+    """Line-per-metric comparison of two reports (``b`` relative to
+    ``a``); the machine-diffable view of a benchmark trajectory."""
+    lines = [
+        f"diff: {a.get('command') or '?'} -> {b.get('command') or '?'}",
+    ]
+    for kind in ("counters", "gauges"):
+        av = a.get("metrics", {}).get(kind, {})
+        bv = b.get("metrics", {}).get(kind, {})
+        for name in sorted(set(av) | set(bv)):
+            x = av.get(name, {}).get("value")
+            y = bv.get(name, {}).get("value")
+            if x == y:
+                continue
+            if x is not None and y is not None and _is_num(x) and _is_num(y):
+                delta = y - x
+                rel = f" ({delta / x:+.1%})" if x else ""
+                lines.append(f"  {name}: {_fmt_num(x)} -> {_fmt_num(y)} "
+                             f"[{delta:+.6g}{rel}]")
+            else:
+                lines.append(f"  {name}: {_fmt_num(x) if x is not None else 'absent'} -> "
+                             f"{_fmt_num(y) if y is not None else 'absent'}")
+    asum = a.get("spans", {}).get("summary", {})
+    bsum = b.get("spans", {}).get("summary", {})
+    for name in sorted(set(asum) | set(bsum)):
+        x = asum.get(name, {}).get("total_s")
+        y = bsum.get(name, {}).get("total_s")
+        if x is None or y is None:
+            lines.append(f"  span {name}: "
+                         f"{'absent' if x is None else _fmt_num(x)} -> "
+                         f"{'absent' if y is None else _fmt_num(y)}")
+        elif x != y:
+            lines.append(f"  span {name}: total {x * 1e3:.2f} ms -> "
+                         f"{y * 1e3:.2f} ms")
+    if len(lines) == 1:
+        lines.append("  (no metric differences)")
+    return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""Structured tracing core: nestable spans, a thread-safe recorder, and
+exporters to JSONL and the Chrome ``chrome://tracing`` trace-event format.
+
+The design mirrors the fault-injection registry of
+:mod:`repro.robust.faults`: instrumented code calls the module-level
+helpers in :mod:`repro.obs` unconditionally, and they dispatch to an
+active :class:`TraceRecorder` only when a telemetry session has been
+activated — otherwise they return the shared :data:`NULL_SPAN` singleton,
+so tracing costs one global load plus a no-op context manager on the hot
+path (the zero-overhead-by-default guarantee the guard tests pin down).
+
+Span semantics:
+
+* spans nest per thread — each recording thread keeps its own stack, so
+  a span started inside an executor worker parents correctly to spans of
+  that worker, never to a span of another thread;
+* attributes are free-form key/value pairs; the conventional keys used
+  by the library are ``phase``, ``colour``, ``block``, ``thread``,
+  ``sweep`` and ``power_step`` (see the span taxonomy in README);
+* timestamps come from :func:`time.perf_counter` relative to the
+  recorder's construction, so ``ts``/``dur`` are non-negative and a
+  child's ``[ts, ts + dur]`` interval always nests inside its parent's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "NullSpan",
+    "NULL_SPAN",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (or instant event, when ``dur == 0.0`` and
+    ``kind == "event"``).
+
+    ``ts``/``dur`` are seconds relative to the owning recorder's epoch;
+    ``thread`` is the OS thread ident the span ran on; ``span_id`` and
+    ``parent_id`` encode the per-thread nesting (``parent_id`` is None
+    for roots).
+    """
+
+    name: str
+    ts: float
+    dur: float
+    thread: int
+    span_id: int
+    parent_id: Optional[int]
+    kind: str = "span"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class NullSpan:
+    """No-op context manager returned when no recorder is active.
+
+    A single shared instance (:data:`NULL_SPAN`) serves every disabled
+    call site — entering it allocates nothing, which is what keeps
+    instrumentation free when telemetry is off.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """Attribute updates are discarded."""
+
+
+#: The shared disabled-span singleton (identity-checked by the guard
+#: tests: repeated disabled calls must not allocate).
+NULL_SPAN = NullSpan()
+
+
+class _Span:
+    """Live span handle; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_rec", "name", "attrs", "_t0", "span_id", "parent_id")
+
+    def __init__(self, rec: "TraceRecorder", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._rec = rec
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+
+    def set(self, **attrs) -> None:
+        """Attach/overwrite attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._rec._now()
+        self.span_id, self.parent_id = self._rec._push()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur = self._rec._now() - self._t0
+        self._rec._pop(self, dur)
+        return False
+
+
+class TraceRecorder:
+    """Thread-safe in-memory span recorder.
+
+    Spans are appended on completion (exit order); :meth:`records`
+    returns them sorted by start time so exports read chronologically.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- internal clock / stack ----------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self) -> tuple:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        stack.append(span_id)
+        return span_id, parent
+
+    def _pop(self, span: _Span, dur: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit (defensive)
+            try:
+                stack.remove(span.span_id)
+            except ValueError:
+                pass
+        record = SpanRecord(
+            name=span.name, ts=span._t0, dur=max(dur, 0.0),
+            thread=threading.get_ident(), span_id=span.span_id,
+            parent_id=span.parent_id, kind="span", attrs=dict(span.attrs))
+        with self._lock:
+            self._records.append(record)
+
+    # -- public API -----------------------------------------------------
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a span context manager; attributes may be passed here or
+        via :meth:`_Span.set` while the span is open."""
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-duration instant event at the current time."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            self._records.append(SpanRecord(
+                name=name, ts=self._now(), dur=0.0,
+                thread=threading.get_ident(), span_id=span_id,
+                parent_id=parent, kind="event", attrs=dict(attrs)))
+
+    def records(self) -> List[SpanRecord]:
+        """Snapshot of all finished spans/events, sorted by start time."""
+        with self._lock:
+            out = list(self._records)
+        out.sort(key=lambda r: (r.ts, r.span_id))
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate per span name: occurrence count, total and max
+        duration (the RunReport's ``spans`` section)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records():
+            if r.kind != "span":
+                continue
+            agg = out.setdefault(r.name,
+                                 {"count": 0, "total_s": 0.0, "max_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += r.dur
+            agg["max_s"] = max(agg["max_s"], r.dur)
+        return out
+
+
+def _json_safe(value):
+    """Coerce attribute values to JSON-serialisable scalars."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - exotic array-likes
+            pass
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def _safe_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    return {str(k): _json_safe(v) for k, v in attrs.items()}
+
+
+def chrome_trace_events(recorder: TraceRecorder) -> Dict[str, Any]:
+    """Render the recorder as a ``chrome://tracing`` trace-event object.
+
+    Spans become complete (``"X"``) events with microsecond ``ts``/``dur``
+    and instant events become ``"i"`` events; the list is sorted by
+    ``ts``, so any trace viewer (and the property tests) see monotonic
+    non-negative timestamps.
+    """
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = []
+    for r in recorder.records():
+        ev: Dict[str, Any] = {
+            "name": r.name,
+            "cat": "repro",
+            "ph": "X" if r.kind == "span" else "i",
+            "ts": max(r.ts, 0.0) * 1e6,
+            "pid": pid,
+            "tid": r.thread,
+            "args": _safe_attrs(r.attrs),
+        }
+        if r.kind == "span":
+            ev["dur"] = max(r.dur, 0.0) * 1e6
+        else:
+            ev["s"] = "t"  # thread-scoped instant
+        events.append(ev)
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder: TraceRecorder, path) -> None:
+    """Write the Chrome trace-event JSON for ``recorder`` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace_events(recorder), fh)
+        fh.write("\n")
+
+
+def write_jsonl(recorder: TraceRecorder, path) -> None:
+    """Write one JSON object per span/event (machine-grep-friendly)."""
+    with open(path, "w") as fh:
+        for r in recorder.records():
+            fh.write(json.dumps({
+                "name": r.name,
+                "kind": r.kind,
+                "ts": r.ts,
+                "dur": r.dur,
+                "thread": r.thread,
+                "span_id": r.span_id,
+                "parent_id": r.parent_id,
+                "attrs": _safe_attrs(r.attrs),
+            }))
+            fh.write("\n")

@@ -21,7 +21,14 @@ Observability is first class: :class:`ExecutionStats` records per-phase
 wall time, per-thread busy time and the barrier count of a run, in the
 same shape as :class:`repro.parallel.simthread.SimulatedRun`, so a real
 run can be laid next to a ``simulate_phases`` prediction
-(``benchmarks/bench_threaded_executor.py`` does exactly that).
+(``benchmarks/bench_threaded_executor.py`` does exactly that).  When a
+:class:`repro.obs.Telemetry` session is active, every executed phase
+additionally emits an ``executor.phase`` span (attributes ``phase``,
+``colour``, ``n_tasks``, ``nnz``, ``mode``) and the
+``executor.barriers``/``executor.tasks``/``executor.phase_wall_s``
+metrics; :class:`ExecutionStats` remains the derived per-run view.
+Injected chaos delays are excluded from ``thread_busy_s`` and booked
+under the ``faults.injected_delay_s`` counter instead.
 
 Failure containment: a crashed block task aborts its phase with a typed
 :class:`~repro.robust.errors.PhaseExecutionError` carrying the full
@@ -46,8 +53,9 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..robust.errors import PhaseExecutionError
-from ..robust.faults import fire as _fire_fault
+from ..robust.faults import fire_timed as _fire_fault_timed
 from ..sparse.csr import CSRMatrix
 from .scheduler import BlockTask, Phase, assign_tasks
 
@@ -233,17 +241,26 @@ class ThreadedPhaseExecutor:
                  busy: List[float], slot: int, phase_index: int,
                  color: int) -> None:
         t0 = time.perf_counter()
+        # Chaos-hook time is *not* work: injected delays are measured
+        # separately, subtracted from the bin's busy time, and booked
+        # under the faults.injected_delay_s counter, so fault-injection
+        # runs stay comparable to clean runs.
+        fault_s = 0.0
         try:
             for task in tasks:
                 try:
-                    _fire_fault("executor.task", phase_index=phase_index,
-                                color=color, start=task.start,
-                                stop=task.stop, thread=slot)
+                    fault_s += _fire_fault_timed(
+                        "executor.task", phase_index=phase_index,
+                        color=color, start=task.start,
+                        stop=task.stop, thread=slot)
                     run_task(task)
                 except BaseException as exc:
                     raise _TaskFailure(task, slot, exc) from exc
         finally:
-            busy[slot] += time.perf_counter() - t0
+            busy[slot] += time.perf_counter() - t0 - fault_s
+            if fault_s:
+                obs.add_counter("faults.injected_delay_s", fault_s,
+                                unit="s")
 
     def run_serial(
         self,
@@ -258,16 +275,20 @@ class ThreadedPhaseExecutor:
         if stats is None:
             stats = ExecutionStats(n_threads=self.n_threads,
                                    policy=self.policy)
-        for phase in phases:
-            t0 = time.perf_counter()
-            for task in phase.tasks:
-                run_task(task)
-            elapsed = time.perf_counter() - t0
+        for pi, phase in enumerate(phases):
+            with obs.span("executor.phase", phase=pi, colour=phase.color,
+                          n_tasks=len(phase.tasks), nnz=phase.total_nnz,
+                          mode="serial"):
+                t0 = time.perf_counter()
+                for task in phase.tasks:
+                    run_task(task)
+                elapsed = time.perf_counter() - t0
             stats.thread_busy_s[0] += elapsed
             stats.barriers += 1
             stats.phases.append(PhaseRecord(
                 color=phase.color, n_tasks=len(phase.tasks),
                 nnz=phase.total_nnz, wall_s=elapsed))
+            self._record_phase(phase, elapsed)
         return stats
 
     def run_phases(
@@ -300,26 +321,31 @@ class ThreadedPhaseExecutor:
                 list(stats.thread_busy_s))
         pool = self._ensure_pool()
         for pi, phase in enumerate(phases):
-            t0 = time.perf_counter()
-            bins = assign_tasks(phase.tasks, self.n_threads,
-                                policy=self.policy)
-            futures = [
-                pool.submit(self._run_bin, b, run_task,
-                            stats.thread_busy_s, i, pi, phase.color)
-                for i, b in enumerate(bins) if b
-            ]
-            # Barrier.  Always drain *every* submitted bin, even after a
-            # failure — otherwise still-running workers would write into
-            # caller state behind our back.
-            failure: Optional[BaseException] = None
-            for f in futures:
-                try:
-                    f.result()
-                except BaseException as exc:
-                    if failure is None:
-                        failure = exc
+            with obs.span("executor.phase", phase=pi, colour=phase.color,
+                          n_tasks=len(phase.tasks), nnz=phase.total_nnz,
+                          mode="threads"):
+                t0 = time.perf_counter()
+                bins = assign_tasks(phase.tasks, self.n_threads,
+                                    policy=self.policy)
+                futures = [
+                    pool.submit(self._run_bin, b, run_task,
+                                stats.thread_busy_s, i, pi, phase.color)
+                    for i, b in enumerate(bins) if b
+                ]
+                # Barrier.  Always drain *every* submitted bin, even
+                # after a failure — otherwise still-running workers
+                # would write into caller state behind our back.
+                failure: Optional[BaseException] = None
+                for f in futures:
+                    try:
+                        f.result()
+                    except BaseException as exc:
+                        if failure is None:
+                            failure = exc
+                elapsed = time.perf_counter() - t0
             if failure is not None:
                 self.close()  # no leaked threads, ever
+                obs.add_counter("executor.failed_phases")
                 if self.on_failure == "fallback_serial" and reset is not None:
                     stats.phases[:] = stats.phases[:snap[0]]
                     stats.barriers = snap[1]
@@ -332,9 +358,20 @@ class ThreadedPhaseExecutor:
             stats.barriers += 1
             stats.phases.append(PhaseRecord(
                 color=phase.color, n_tasks=len(phase.tasks),
-                nnz=phase.total_nnz,
-                wall_s=time.perf_counter() - t0))
+                nnz=phase.total_nnz, wall_s=elapsed))
+            self._record_phase(phase, elapsed)
         return stats
+
+    @staticmethod
+    def _record_phase(phase: Phase, wall_s: float) -> None:
+        """Publish one executed phase to the active telemetry session
+        (counters + wall-time histogram); no-op when telemetry is off."""
+        if obs.current() is None:
+            return
+        obs.add_counter("executor.barriers")
+        obs.add_counter("executor.tasks", len(phase.tasks))
+        obs.add_counter("executor.phase_nnz", phase.total_nnz)
+        obs.observe("executor.phase_wall_s", wall_s, unit="s")
 
     @staticmethod
     def _wrap_failure(failure: BaseException, phase_index: int,

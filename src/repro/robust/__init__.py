@@ -33,6 +33,7 @@ from .faults import (
     RaiseFault,
     active_injectors,
     fire,
+    fire_timed,
 )
 from .validate import (
     Issue,
@@ -56,6 +57,7 @@ __all__ = [
     "RaiseFault",
     "DelayFault",
     "fire",
+    "fire_timed",
     "active_injectors",
     "Issue",
     "ValidationReport",

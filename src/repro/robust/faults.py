@@ -41,6 +41,7 @@ __all__ = [
     "DelayFault",
     "FaultInjector",
     "fire",
+    "fire_timed",
     "active_injectors",
 ]
 
@@ -139,6 +140,27 @@ def fire(site: str, **ctx) -> None:
         return
     for injector in _ACTIVE:
         injector.fire(site, **ctx)
+
+
+def fire_timed(site: str, **ctx) -> float:
+    """Like :func:`fire`, but returns the seconds spent inside the
+    dispatched faults (0.0 — without touching the clock — when no
+    injector is active).
+
+    Timing-sensitive hook points use this to keep injected chaos out of
+    their own measurements: the executor subtracts the returned delay
+    from ``thread_busy_s`` and books it under the
+    ``faults.injected_delay_s`` counter instead, so chaos runs remain
+    comparable to clean runs.  A fault that *raises* propagates before
+    the elapsed time can be returned; that is fine — the run it aborts
+    is discarded, not compared.
+    """
+    if not _ACTIVE:
+        return 0.0
+    t0 = time.perf_counter()
+    for injector in _ACTIVE:
+        injector.fire(site, **ctx)
+    return time.perf_counter() - t0
 
 
 class FaultInjector:

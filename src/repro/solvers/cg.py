@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs import instrument_solver
 from ..robust.validate import ensure_finite
 from ..sparse.csr import CSRMatrix
 
@@ -53,6 +54,7 @@ class CGResult:
         return self.residual_norms[-1] if self.residual_norms else float("inf")
 
 
+@instrument_solver("cg")
 def conjugate_gradient(
     a: CSRMatrix,
     b: np.ndarray,

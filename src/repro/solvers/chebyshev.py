@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.fbmpk import FBMPKOperator
 from ..core.sspmv import sspmv_fbmpk
 from ..sparse.csr import CSRMatrix
@@ -144,15 +145,34 @@ def chebyshev_solve(
     delta = (hi - lo) / 2.0
     sigma1 = theta / delta
     rho = 1.0 / sigma1
-    r = b - a.matvec(x)
-    d = r / theta
-    b_norm = float(np.linalg.norm(b)) or 1.0
-    for it in range(1, max_iter + 1):
-        x += d
-        r -= a.matvec(d)
-        if float(np.linalg.norm(r)) <= tol * b_norm:
-            return x, it, True
-        rho_new = 1.0 / (2.0 * sigma1 - rho)
-        d = rho_new * rho * d + (2.0 * rho_new / delta) * r
-        rho = rho_new
+    with obs.span("solver.chebyshev", n=b.shape[0]):
+        r = b - a.matvec(x)
+        d = r / theta
+        b_norm = float(np.linalg.norm(b)) or 1.0
+        for it in range(1, max_iter + 1):
+            x += d
+            r -= a.matvec(d)
+            res = float(np.linalg.norm(r))
+            obs.event("solver.residual", solver="chebyshev", iteration=it,
+                      residual=res)
+            if res <= tol * b_norm:
+                _record_chebyshev(it, res, True)
+                return x, it, True
+            rho_new = 1.0 / (2.0 * sigma1 - rho)
+            d = rho_new * rho * d + (2.0 * rho_new / delta) * r
+            rho = rho_new
+        _record_chebyshev(max_iter, float(np.linalg.norm(r)), False)
     return x, max_iter, False
+
+
+def _record_chebyshev(iterations: int, residual: float,
+                      converged: bool) -> None:
+    """Metrics of one finished Chebyshev solve (no-op when telemetry is
+    off); the span/event stream is emitted inline by the solver."""
+    if obs.current() is None:
+        return
+    obs.add_counter("solver.chebyshev.runs")
+    obs.add_counter("solver.chebyshev.iterations", iterations)
+    obs.set_gauge("solver.chebyshev.final_residual", residual)
+    status = "converged" if converged else "max_iter"
+    obs.add_counter(f"solver.chebyshev.status.{status}")

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..obs import instrument_solver
 from ..robust.validate import ensure_finite
 from ..sparse.csr import CSRMatrix
 
@@ -57,6 +58,7 @@ def _as_apply(a) -> Callable[[np.ndarray], np.ndarray]:
     raise TypeError("operator must be a CSRMatrix or a callable")
 
 
+@instrument_solver("gmres")
 def gmres(
     a,
     b: np.ndarray,
@@ -154,6 +156,7 @@ def gmres(
             continue
 
 
+@instrument_solver("bicgstab")
 def bicgstab(
     a,
     b: np.ndarray,

@@ -20,7 +20,13 @@ def test_write_report_creates_file(capsys):
     out = capsys.readouterr().out
     assert "hello" in out and str(path) in out
     assert path.read_text() == "hello\ntable\n"
+    # Every table comes with a schema-valid RunReport next to it.
+    report_path = path.with_name("selftest_report.report.json")
+    from repro.obs import load_report, validate_report
+
+    assert validate_report(load_report(report_path)) == []
     path.unlink()  # keep benchmarks/out tidy
+    report_path.unlink()
 
 
 def test_standin_cache_returns_same_object():

@@ -1,0 +1,148 @@
+"""CLI telemetry surface: ``--trace``/``--metrics``/``--report`` flags,
+the ``report`` subcommand, and the exit-code-7 contract for export
+failures.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_IO,
+    EXIT_TELEMETRY,
+    EXIT_VALIDATION,
+    main,
+)
+from repro.obs import load_report, validate_report
+
+POWER = ["power", "--standin", "pwtk", "--rows", "600", "-k", "4", "--ones"]
+
+
+@pytest.fixture
+def artefacts(tmp_path):
+    return {
+        "trace": tmp_path / "run.trace.json",
+        "metrics": tmp_path / "run.metrics.json",
+        "report": tmp_path / "run.report.json",
+    }
+
+
+class TestFlags:
+    def test_power_writes_all_three_artefacts(self, artefacts, capsys):
+        rc = main(POWER + ["--trace", str(artefacts["trace"]),
+                           "--metrics", str(artefacts["metrics"]),
+                           "--report", str(artefacts["report"])])
+        assert rc == 0
+        err = capsys.readouterr().err
+        for kind, path in artefacts.items():
+            assert path.exists(), kind
+            assert str(path) in err  # one confirmation line each
+
+        trace = json.loads(artefacts["trace"].read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "fbmpk.power" in names
+        assert "fbmpk.sweep" in names
+
+        metrics = json.loads(artefacts["metrics"].read_text())
+        assert "fbmpk.powers" in metrics["counters"]
+
+        report = load_report(artefacts["report"])
+        assert validate_report(report) == []
+        assert report["command"] == "power"
+        assert report["config"]["k"] == 4
+        # The acceptance number: k=4 FBMPK streams <= 3.5 matrix-read
+        # equivalents where standard MPK streams 4.
+        fb = report["metrics"]["counters"][
+            "fbmpk.matrix_read_equivalents"]["value"]
+        assert fb <= 3.5
+
+    def test_threaded_power_report_has_executor_metrics(self, tmp_path):
+        report = tmp_path / "r.json"
+        rc = main(POWER + ["--executor", "threads", "--threads", "2",
+                           "--report", str(report)])
+        assert rc == 0
+        counters = load_report(report)["metrics"]["counters"]
+        assert counters["executor.barriers"]["value"] > 0
+        assert "faults.injected_delay_s" not in counters
+
+    def test_solve_report_has_convergence_history(self, tmp_path):
+        report = tmp_path / "r.json"
+        trace = tmp_path / "t.json"
+        rc = main(["solve", "--standin", "pwtk", "--rows", "400",
+                   "--solver", "cg", "--report", str(report),
+                   "--trace", str(trace)])
+        assert rc == 0
+        rep = load_report(report)
+        assert validate_report(rep) == []
+        counters = rep["metrics"]["counters"]
+        assert counters["solver.cg.runs"]["value"] == 1
+        assert counters["solver.cg.iterations"]["value"] >= 1
+        events = json.loads(trace.read_text())["traceEvents"]
+        residuals = [e for e in events if e["name"] == "solver.residual"]
+        assert len(residuals) >= 1  # per-iteration convergence events
+
+    def test_no_flags_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(POWER) == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestExportFailure:
+    def test_unwritable_trace_path_exits_7(self, capsys):
+        rc = main(POWER + ["--trace", "/nonexistent_dir/t.json"])
+        assert rc == EXIT_TELEMETRY
+        err = capsys.readouterr().err
+        assert "telemetry export failed" in err
+
+    def test_command_failure_beats_export_failure(self, tmp_path):
+        # A failing command keeps its own exit code even when the
+        # export path is also broken.
+        rc = main(["power", str(tmp_path / "missing.mtx"),
+                   "--trace", "/nonexistent_dir/t.json"])
+        assert rc == EXIT_IO
+
+
+class TestReportSubcommand:
+    def _write_report(self, tmp_path, name="a.json"):
+        path = tmp_path / name
+        rc = main(POWER + ["--report", str(path)])
+        assert rc == 0
+        return path
+
+    def test_pretty_print(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "RunReport v1" in out
+        assert "fbmpk.matrix_read_equivalents" in out
+
+    def test_diff_two_reports(self, tmp_path, capsys):
+        a = self._write_report(tmp_path, "a.json")
+        b = tmp_path / "b.json"
+        rc = main(["power", "--standin", "pwtk", "--rows", "600", "-k",
+                   "6", "--ones", "--report", str(b)])
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["report", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "diff:" in out
+        assert "fbmpk.standard_matrix_reads: 4 -> 6" in out
+
+    def test_missing_file_exits_3(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == EXIT_IO
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_json_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["report", str(bad)]) == EXIT_IO
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_schema_violation_exits_4(self, tmp_path, capsys):
+        path = self._write_report(tmp_path)
+        rep = json.loads(path.read_text())
+        rep["schema_version"] = 99
+        path.write_text(json.dumps(rep))
+        assert main(["report", str(path)]) == EXIT_VALIDATION
+        assert "newer than" in capsys.readouterr().err

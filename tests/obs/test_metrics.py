@@ -1,0 +1,114 @@
+"""Metrics registry: instrument semantics, thread safety, snapshot shape."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_concurrent_increments(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(1.0)
+        g.set(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0, 0.1):
+            h.observe(v)
+        # counts: <=1, <=10, <=100, overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(555.6)
+
+    def test_edge_value_lands_in_its_bucket(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_default_buckets_are_valid(self):
+        # Regression: the strictly-increasing validation was inverted
+        # and rejected every valid bucket list, including the default.
+        h = Histogram("h")
+        assert h.buckets == DEFAULT_TIME_BUCKETS
+
+    def test_rejects_non_increasing_buckets(self):
+        for bad in [(), (1.0, 1.0), (2.0, 1.0), (1.0, 3.0, 2.0)]:
+            with pytest.raises(ValueError, match="strictly increasing"):
+                Histogram("h", buckets=bad)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", unit="s").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", unit="s").observe(0.05)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["c"] == {"value": 2.0, "unit": "s"}
+        assert snap["gauges"]["g"] == {"value": 1.5, "unit": ""}
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(0.05)
+        assert len(hist["counts"]) == len(hist["buckets"]) + 1
+        assert sum(hist["counts"]) == 1
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g")  # never set -> null
+        reg.histogram("h").observe(1.0)
+        json.dumps(reg.snapshot())  # must not raise

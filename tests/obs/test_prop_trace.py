@@ -1,0 +1,100 @@
+"""Property-based tests: the Chrome trace export is well-formed for
+*arbitrary* span trees.
+
+For randomized nested span/event programs executed against a live
+recorder, the exported ``chrome://tracing`` document must always be
+valid JSON whose events have monotonically non-decreasing, non-negative
+microsecond timestamps, valid phase codes (``"X"`` complete events with
+a non-negative ``dur``, ``"i"`` instants), and child spans whose
+duration never exceeds their parent's — the structural invariants any
+trace viewer assumes.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import TraceRecorder, chrome_trace_events
+
+# A span-tree program: each node is (has_event, [children]).  Recursive
+# strategy bounded to keep executions fast.
+span_trees = st.recursive(
+    st.tuples(st.booleans(), st.just([])),
+    lambda node: st.tuples(st.booleans(), st.lists(node, max_size=3)),
+    max_leaves=12,
+)
+
+
+def _execute(rec, node, depth=0, index=0):
+    has_event, children = node
+    with rec.span(f"n{depth}.{index}", depth=depth):
+        if has_event:
+            rec.event(f"e{depth}.{index}", depth=depth)
+        for i, child in enumerate(children):
+            _execute(rec, child, depth + 1, i)
+
+
+def _run_program(forest):
+    rec = TraceRecorder()
+    for i, tree in enumerate(forest):
+        _execute(rec, tree, 0, i)
+    return rec
+
+
+@given(st.lists(span_trees, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_chrome_export_is_wellformed(forest):
+    rec = _run_program(forest)
+    doc = chrome_trace_events(rec)
+
+    # Valid JSON end to end.
+    doc = json.loads(json.dumps(doc))
+    events = doc["traceEvents"]
+    assert len(events) == len(rec.records())
+
+    last_ts = 0.0
+    for ev in events:
+        assert ev["ph"] in ("X", "i")
+        assert ev["ts"] >= 0.0
+        assert ev["ts"] >= last_ts  # sorted
+        last_ts = ev["ts"]
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["pid"], int)
+        assert isinstance(ev["tid"], int)
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0.0
+        else:
+            assert ev["s"] == "t"
+            assert "dur" not in ev
+
+
+@given(st.lists(span_trees, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_children_nest_inside_parents(forest):
+    rec = _run_program(forest)
+    records = rec.records()
+    by_id = {r.span_id: r for r in records}
+    for r in records:
+        if r.parent_id is None:
+            continue
+        parent = by_id[r.parent_id]
+        assert parent.kind == "span"
+        assert r.ts >= parent.ts
+        if r.kind == "span":
+            assert r.dur <= parent.dur
+            assert r.ts + r.dur <= parent.ts + parent.dur
+        else:
+            assert r.ts <= parent.ts + parent.dur
+
+
+@given(st.lists(span_trees, min_size=1, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_span_ids_unique_and_parents_exist(forest):
+    rec = _run_program(forest)
+    records = rec.records()
+    ids = [r.span_id for r in records]
+    assert len(ids) == len(set(ids))
+    known = set(ids)
+    for r in records:
+        assert r.parent_id is None or r.parent_id in known

@@ -1,0 +1,147 @@
+"""RunReport: build/validate/write/load roundtrip, formatting, diffing."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RUN_REPORT_SCHEMA,
+    RUN_REPORT_SCHEMA_VERSION,
+    MetricsRegistry,
+    Telemetry,
+    TraceRecorder,
+    build_run_report,
+    diff_reports,
+    format_report,
+    load_report,
+    platform_info,
+    validate_report,
+    write_report_file,
+)
+
+
+def _session_report(command="power", config=None):
+    tel = Telemetry()
+    with tel:
+        import repro.obs as obs
+
+        with obs.span("fbmpk.power", k=4):
+            obs.add_counter("fbmpk.powers")
+            obs.observe("executor.phase_wall_s", 0.002, unit="s")
+        obs.set_gauge("fbmpk.model.traffic_ratio", 0.62)
+    return tel.run_report(command=command, config=config or {"k": 4})
+
+
+class TestBuild:
+    def test_fresh_report_is_schema_valid(self):
+        rep = _session_report()
+        assert validate_report(rep) == []
+        assert rep["schema"] == RUN_REPORT_SCHEMA
+        assert rep["schema_version"] == RUN_REPORT_SCHEMA_VERSION
+        assert rep["metrics"]["counters"]["fbmpk.powers"]["value"] == 1.0
+        assert rep["spans"]["summary"]["fbmpk.power"]["count"] == 1
+
+    def test_empty_report_is_schema_valid(self):
+        # The bench harness emits reports with no live session.
+        rep = build_run_report(None, None, command="bench:fig9")
+        assert validate_report(rep) == []
+        assert rep["spans"] == {"total": 0, "summary": {}}
+
+    def test_report_is_json_serialisable(self):
+        json.dumps(_session_report(config={"rows": 2000, "ones": True}))
+
+    def test_platform_info_fields(self):
+        info = platform_info()
+        for key in ("python", "implementation", "os", "machine",
+                    "cpu_count", "numpy", "repro_version"):
+            assert key in info
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        rep = _session_report()
+        path = tmp_path / "run.report.json"
+        write_report_file(rep, path)
+        back = load_report(path)
+        assert validate_report(back) == []
+        assert back["metrics"] == rep["metrics"]
+
+    def test_load_rejects_non_object_root(self, tmp_path):
+        path = tmp_path / "arr.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_report(path)
+
+    def test_load_missing_file_is_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_report(tmp_path / "nope.json")
+
+
+class TestValidate:
+    def test_wrong_schema_id(self):
+        rep = _session_report()
+        rep["schema"] = "other"
+        assert any("schema: expected" in e for e in validate_report(rep))
+
+    def test_newer_version_rejected(self):
+        rep = _session_report()
+        rep["schema_version"] = RUN_REPORT_SCHEMA_VERSION + 1
+        assert any("newer than" in e for e in validate_report(rep))
+
+    def test_all_problems_reported(self):
+        errors = validate_report({})
+        # Every top-level section should be flagged, not just the first.
+        assert len(errors) >= 6
+
+    def test_non_dict_root(self):
+        assert validate_report([1]) == ["report root must be a JSON object"]
+
+    def test_negative_counter_rejected(self):
+        rep = _session_report()
+        rep["metrics"]["counters"]["fbmpk.powers"]["value"] = -1
+        assert any("cannot be negative" in e for e in validate_report(rep))
+
+    def test_histogram_counts_length_checked(self):
+        rep = _session_report()
+        hist = rep["metrics"]["histograms"]["executor.phase_wall_s"]
+        hist["counts"] = hist["counts"][:-1]
+        assert any("slots" in e for e in validate_report(rep))
+
+    def test_histogram_bucket_order_checked(self):
+        rep = _session_report()
+        hist = rep["metrics"]["histograms"]["executor.phase_wall_s"]
+        hist["buckets"] = list(reversed(hist["buckets"]))
+        assert any("strictly increasing" in e for e in validate_report(rep))
+
+    def test_never_set_gauge_is_valid(self):
+        tel = Telemetry()
+        tel.metrics.gauge("g")
+        rep = tel.run_report()
+        assert validate_report(rep) == []
+
+
+class TestFormatAndDiff:
+    def test_format_mentions_command_and_metrics(self):
+        text = format_report(_session_report())
+        assert "command `power`" in text
+        assert "fbmpk.powers = 1" in text
+        assert "fbmpk.power: x1" in text
+
+    def test_diff_reports_changed_counter(self):
+        a = _session_report()
+        tel = Telemetry()
+        with tel:
+            import repro.obs as obs
+
+            obs.add_counter("fbmpk.powers", 3)
+        b = tel.run_report(command="power")
+        text = diff_reports(a, b)
+        assert "fbmpk.powers: 1 -> 3" in text
+
+    def test_diff_identical_reports(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        rec = TraceRecorder()
+        a = build_run_report(reg, rec, command="x")
+        b = build_run_report(reg, rec, command="x")
+        assert "(no metric differences)" in diff_reports(a, b)

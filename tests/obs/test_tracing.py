@@ -1,0 +1,176 @@
+"""Tracing core: recorder semantics, nesting, thread safety, exporters."""
+
+import json
+import threading
+
+from repro.obs import (
+    NULL_SPAN,
+    TraceRecorder,
+    chrome_trace_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestRecorder:
+    def test_span_records_on_exit(self):
+        rec = TraceRecorder()
+        with rec.span("outer", phase=1):
+            pass
+        assert len(rec) == 1
+        (r,) = rec.records()
+        assert r.name == "outer"
+        assert r.kind == "span"
+        assert r.attrs == {"phase": 1}
+        assert r.ts >= 0.0 and r.dur >= 0.0
+        assert r.parent_id is None
+
+    def test_nesting_sets_parent_ids(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        by_name = {r.name: r for r in rec.records()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_child_interval_nests_in_parent(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        by_name = {r.name: r for r in rec.records()}
+        o, i = by_name["outer"], by_name["inner"]
+        assert i.ts >= o.ts
+        assert i.ts + i.dur <= o.ts + o.dur
+        assert i.dur <= o.dur
+
+    def test_set_attaches_attrs_to_open_span(self):
+        rec = TraceRecorder()
+        with rec.span("s", a=1) as sp:
+            sp.set(b=2, a=3)
+        (r,) = rec.records()
+        assert r.attrs == {"a": 3, "b": 2}
+
+    def test_event_is_instant_and_parented(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            rec.event("tick", i=0)
+        by_name = {r.name: r for r in rec.records()}
+        ev = by_name["tick"]
+        assert ev.kind == "event"
+        assert ev.dur == 0.0
+        assert ev.parent_id == by_name["outer"].span_id
+
+    def test_records_sorted_by_start_time(self):
+        rec = TraceRecorder()
+        with rec.span("a"):
+            with rec.span("b"):
+                pass
+        # Exit order is b, a; records() must re-sort by start time.
+        names = [r.name for r in rec.records()]
+        assert names == ["a", "b"]
+
+    def test_sibling_spans_share_parent(self):
+        rec = TraceRecorder()
+        with rec.span("root"):
+            with rec.span("s1"):
+                pass
+            with rec.span("s2"):
+                pass
+        by_name = {r.name: r for r in rec.records()}
+        root = by_name["root"]
+        assert by_name["s1"].parent_id == root.span_id
+        assert by_name["s2"].parent_id == root.span_id
+
+    def test_threads_have_independent_stacks(self):
+        rec = TraceRecorder()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with rec.span(name):
+                barrier.wait()  # both spans open concurrently
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = rec.records()
+        assert len(recs) == 2
+        # Concurrent spans in different threads must not parent each
+        # other, whatever the interleaving.
+        assert all(r.parent_id is None for r in recs)
+        assert len({r.thread for r in recs}) == 2
+
+    def test_summary_aggregates_per_name(self):
+        rec = TraceRecorder()
+        for _ in range(3):
+            with rec.span("phase"):
+                pass
+        rec.event("marker")
+        s = rec.summary()
+        assert s["phase"]["count"] == 3
+        assert s["phase"]["total_s"] >= s["phase"]["max_s"] >= 0.0
+        assert "marker" not in s  # events excluded from span summary
+
+
+class TestNullSpan:
+    def test_shared_singleton_noop(self):
+        with NULL_SPAN as sp:
+            sp.set(anything="goes")
+        assert sp is NULL_SPAN
+
+
+class TestExporters:
+    def _recorder(self):
+        rec = TraceRecorder()
+        with rec.span("outer", colour=2):
+            rec.event("iterate", power_step=1)
+            with rec.span("inner", block=0):
+                pass
+        return rec
+
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace_events(self._recorder())
+        evs = doc["traceEvents"]
+        assert len(evs) == 3
+        assert all(e["ph"] in ("X", "i") for e in evs)
+        assert all(e["ts"] >= 0 for e in evs)
+        ts = [e["ts"] for e in evs]
+        assert ts == sorted(ts)
+        for e in evs:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+            else:
+                assert e["s"] == "t"
+
+    def test_write_chrome_trace_roundtrips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._recorder(), path)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == 3
+
+    def test_write_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(self._recorder(), path)
+        lines = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert {ln["name"] for ln in lines} == {"outer", "inner", "iterate"}
+        assert all("span_id" in ln for ln in lines)
+
+    def test_non_json_attrs_are_coerced(self, tmp_path):
+        import numpy as np
+
+        rec = TraceRecorder()
+        with rec.span("s", count=np.int64(3), obj=object(),
+                      seq=(np.float64(1.5), "x")):
+            pass
+        doc = chrome_trace_events(rec)
+        # Must be serialisable as-is.
+        text = json.dumps(doc)
+        args = json.loads(text)["traceEvents"][0]["args"]
+        assert args["count"] == 3
+        assert isinstance(args["obj"], str)
+        assert args["seq"] == [1.5, "x"]

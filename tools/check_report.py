@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Validate RunReport files against the repro.obs schema.
+
+Usage::
+
+    python tools/check_report.py REPORT.json [REPORT2.json ...]
+
+Exit status 0 when every file is a schema-valid RunReport, 1 otherwise;
+one line per problem on stderr.  This is the same validator the
+``python -m repro report`` subcommand runs — CI uses this script so a
+malformed telemetry artefact fails the build even without pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import load_report, validate_report  # noqa: E402
+
+
+def check(path: str) -> int:
+    try:
+        report = load_report(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_report(report)
+    for err in errors:
+        print(f"error: {path}: {err}", file=sys.stderr)
+    if errors:
+        return 1
+    counters = len(report["metrics"]["counters"])
+    spans = report["spans"]["total"]
+    print(f"ok: {path} (schema v{report['schema_version']}, "
+          f"{counters} counters, {spans} spans)")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return max(check(path) for path in argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.solvers",
     "repro.robust",
+    "repro.obs",
     "repro.bench",
 ]
 
