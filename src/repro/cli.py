@@ -20,6 +20,12 @@ A user-facing front end over the library:
 ``solve``
     Run CG/BiCGSTAB/GMRES on a matrix and report the structured
     convergence status.
+``tune``
+    OSKI-style empirical autotuning: time the candidate execution plans
+    on the actual matrix, pick the fastest bit-identical one, and
+    persist it in the plan cache (``~/.cache/repro/plans`` or
+    ``--plan-cache-dir``/``$REPRO_PLAN_CACHE_DIR``) so later runs —
+    including ``power --tuned`` and ``solve --tuned`` — skip the search.
 ``report``
     Validate and pretty-print a RunReport produced by ``--report``, or
     diff two of them.
@@ -163,6 +169,13 @@ def cmd_power(args) -> int:
                                   n_threads=args.threads,
                                   assign_policy=args.policy,
                                   on_failure=args.on_failure)
+        elif getattr(args, "tuned", False):
+            from . import tune
+
+            op, tres = tune.autotune_power(
+                a, k=args.k, cache=args.plan_cache_dir)
+            print(f"tuned plan: {tres.plan.label} "
+                  f"(source: {tres.source})", file=sys.stderr)
         else:
             op = build_fbmpk_operator(a, strategy=args.strategy,
                                       block_size=args.block_size,
@@ -245,13 +258,19 @@ def cmd_solve(args) -> int:
     if args.solver == "cg":
         result = conjugate_gradient(a, b, tol=args.tol,
                                     max_iter=args.max_iter,
-                                    check_finite=args.check_finite)
+                                    check_finite=args.check_finite,
+                                    tuned=args.tuned,
+                                    plan_cache_dir=args.plan_cache_dir)
     elif args.solver == "bicgstab":
         result = bicgstab(a, b, tol=args.tol, max_iter=args.max_iter,
-                          check_finite=args.check_finite)
+                          check_finite=args.check_finite,
+                          tuned=args.tuned,
+                          plan_cache_dir=args.plan_cache_dir)
     else:
         result = gmres(a, b, tol=args.tol, max_iter=args.max_iter,
-                       check_finite=args.check_finite)
+                       check_finite=args.check_finite,
+                       tuned=args.tuned,
+                       plan_cache_dir=args.plan_cache_dir)
     elapsed = time.perf_counter() - t0
     print(f"solver={args.solver} n={a.n_rows} status={result.status} "
           f"iterations={result.iterations} "
@@ -262,6 +281,46 @@ def cmd_solve(args) -> int:
               f"iterations, residual {result.final_residual:.3e})",
               file=sys.stderr)
         return EXIT_SOLVER
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from . import tune
+
+    a = _load_matrix(args)
+    t0 = time.perf_counter()
+    if args.kind == "power":
+        handle, result = tune.autotune_power(
+            a, k=args.k, cache=args.plan_cache_dir,
+            repeats=args.repeats, force=args.force,
+            max_candidates=args.max_candidates)
+        handle.close()
+    else:
+        _, result = tune.autotune_spmv(
+            a, cache=args.plan_cache_dir, repeats=args.repeats,
+            force=args.force)
+    elapsed = time.perf_counter() - t0
+    if result.trials:
+        rows = [[t.plan.label,
+                 f"{t.time_s * 1e3:.3f}" if t.time_s is not None else "-",
+                 {True: "yes", False: "NO", None: "-"}[t.identical],
+                 "win" if t.plan == result.plan else
+                 ("error" if t.error else
+                  ("" if t.accepted else
+                   ("not eligible" if t.identical else "rejected")))]
+                for t in result.trials]
+        print(format_table(["plan", "time (ms)", "bit-identical", ""],
+                           rows, title=f"{args.kind} candidates "
+                                       f"({a.n_rows:,} rows, "
+                                       f"{a.nnz:,} nnz)"))
+    print(f"winner: {result.plan.label} (source: {result.source}, "
+          f"{elapsed:.2f}s)")
+    if result.source == "search" and result.speedup is not None:
+        print(f"tuned/default speedup: {result.speedup:.2f}x "
+              f"({result.default_time_s * 1e3:.3f} -> "
+              f"{result.best_time_s * 1e3:.3f} ms)")
+    if result.cache_path is not None:
+        print(f"plan cached at {result.cache_path}", file=sys.stderr)
     return 0
 
 
@@ -351,6 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--ones", action="store_true",
                    help="use x = ones instead of a random vector")
+    p.add_argument("--tuned", action="store_true",
+                   help="use the autotuned execution plan (tuning or "
+                        "loading it from the plan cache as needed; "
+                        "overrides --strategy/--backend/--executor)")
+    p.add_argument("--plan-cache-dir", default=None,
+                   help="plan cache directory for --tuned (default: "
+                        "$REPRO_PLAN_CACHE_DIR or ~/.cache/repro/plans)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_power)
 
@@ -383,8 +449,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "(exit 4 on the first hit)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the manufactured solution")
+    p.add_argument("--tuned", action="store_true",
+                   help="route the solver's SpMVs through the autotuned "
+                        "kernel (bit-identical iterates by the tuner's "
+                        "acceptance gate)")
+    p.add_argument("--plan-cache-dir", default=None,
+                   help="plan cache directory for --tuned (default: "
+                        "$REPRO_PLAN_CACHE_DIR or ~/.cache/repro/plans)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("tune",
+                       help="autotune an execution plan and persist it "
+                            "in the plan cache")
+    _add_matrix_args(p)
+    p.add_argument("--kind", default="power", choices=["power", "spmv"],
+                   help="workload to tune: the FBMPK A^k x pipeline or "
+                        "a single SpMV kernel")
+    p.add_argument("-k", type=int, default=8,
+                   help="power for --kind power (default 8)")
+    p.add_argument("--repeats", type=int, default=5,
+                   help="timed repeats per candidate (trimmed mean)")
+    p.add_argument("--max-candidates", type=int, default=None,
+                   help="truncate the (analytically pre-ordered) "
+                        "candidate list; the default plan always stays")
+    p.add_argument("--force", action="store_true",
+                   help="re-run the search even on a cache hit")
+    p.add_argument("--plan-cache-dir", default=None,
+                   help="plan cache directory (default: "
+                        "$REPRO_PLAN_CACHE_DIR or ~/.cache/repro/plans)")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_tune)
 
     p = sub.add_parser("predict",
                        help="machine-model speedup predictions")

@@ -22,7 +22,13 @@ from .fbmpk import (
 )
 from .mpk import mpk_reference_dense, mpk_standard, mpk_standard_all
 from .partition import StorageReport, TriangularPartition, split_ldu
-from .plan import AccessPlan, fbmpk_plan, standard_plan, theoretical_ratio
+from .plan import (
+    AccessPlan,
+    execution_cost_hint,
+    fbmpk_plan,
+    standard_plan,
+    theoretical_ratio,
+)
 from .sspmv import SSpMVProblem, sspmv_fbmpk, sspmv_standard
 
 __all__ = [
@@ -53,6 +59,7 @@ __all__ = [
     "TriangularPartition",
     "split_ldu",
     "AccessPlan",
+    "execution_cost_hint",
     "fbmpk_plan",
     "standard_plan",
     "theoretical_ratio",

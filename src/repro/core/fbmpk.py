@@ -383,6 +383,16 @@ def _inverse_rows(perm: np.ndarray) -> np.ndarray:
     return inv
 
 
+def _as_float64(x: np.ndarray) -> np.ndarray:
+    """``np.asarray(x, float64)`` with an explicit no-copy fast path: a
+    float64 ndarray passes through untouched (the input is written
+    straight into the operator's persistent BtB buffer, so no defensive
+    copy is needed either)."""
+    if isinstance(x, np.ndarray) and x.dtype == np.float64:
+        return x
+    return np.asarray(x, dtype=np.float64)
+
+
 def _make_matmat(sub: CSRMatrix, backend: Backend) -> Callable[[np.ndarray], np.ndarray]:
     if backend == "scipy":
         from ..sparse.convert import to_scipy_csr
@@ -503,6 +513,11 @@ class FBMPKOperator:
     :func:`build_fbmpk_operator` with ABMC, the operator also owns the row
     permutation and transparently maps inputs/outputs to the original
     numbering.
+
+    The operator retains its BtB iterate buffer and sweep temporary
+    between calls (outputs are always copied out), so one instance must
+    not execute overlapping ``power``/``power_block`` calls from
+    multiple threads; create one operator per concurrent caller.
     """
 
     def __init__(
@@ -547,6 +562,16 @@ class FBMPKOperator:
         self._validate_phases = validate
         self._threaded: Optional[_ThreadedState] = None
         self._tstats = None  # lazy MatrixTrafficStats for telemetry
+        # Persistent working buffers, allocated on first use and reused
+        # across power calls: the 2n BtB iterate buffer and the length-n
+        # sweep temporary.  Reusing them removes two O(n) allocations
+        # from every A^k x call — which matters exactly in the
+        # many-repeated-calls regime FBMPK exists for.  One consequence:
+        # a single operator instance must not run concurrent power
+        # calls (serial reuse was always the intended pattern).
+        self._xy_buf: Optional[np.ndarray] = None
+        self._tmp_buf: Optional[np.ndarray] = None
+        self._blk_buf: Optional[np.ndarray] = None
         self._fw = _extract_parts(part.lower, groups.forward, backend)
         self._bw = _extract_parts(part.upper, groups.backward, backend)
         self._lower_matvec = _make_matvec(part.lower, backend)
@@ -642,6 +667,29 @@ class FBMPKOperator:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- working buffers -----------------------------------------------
+    def _acquire_pair(self, x: np.ndarray) -> InterleavedPair:
+        """The persistent BtB buffer, loaded with ``x`` in the even slots
+        and zeros in the odd ones (allocated on first use, reused by
+        every later ``power`` call)."""
+        if self._xy_buf is None:
+            self._xy_buf = np.empty(2 * self.n, dtype=np.float64)
+        xy = self._xy_buf
+        xy[0::2] = x
+        xy[1::2] = 0.0
+        return InterleavedPair(xy)
+
+    def _acquire_tmp(self, head: np.ndarray) -> np.ndarray:
+        """The persistent sweep temporary, loaded with the head product
+        ``U x``.  The first call adopts the product's own allocation;
+        later calls copy into the retained buffer instead of keeping a
+        fresh array per call."""
+        if self._tmp_buf is None:
+            self._tmp_buf = np.ascontiguousarray(head, dtype=np.float64)
+        else:
+            np.copyto(self._tmp_buf, head)
+        return self._tmp_buf
+
     # -- sweeps --------------------------------------------------------
     def _forward_sweep(self, XY: np.ndarray, tmp: np.ndarray,
                        d: np.ndarray, counter: Optional[KernelCounter]) -> None:
@@ -706,7 +754,7 @@ class FBMPKOperator:
         """
         if k < 0:
             raise ValueError("power k must be non-negative")
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float64(x)
         if x.shape != (self.n,):
             raise ValueError(f"x has shape {x.shape}, expected ({self.n},)")
         if check_finite:
@@ -774,10 +822,10 @@ class FBMPKOperator:
         """The sweep pipeline proper; ``x`` is already permuted and
         ``k >= 1`` validated by :meth:`power`."""
         d = self.part.diag
-        pair = InterleavedPair.from_initial(x)
+        pair = self._acquire_pair(x)
         XY = pair.as_matrix()
         with obs.span("fbmpk.head", sweep="head"):
-            tmp = self._upper_matvec(x)
+            tmp = self._acquire_tmp(self._upper_matvec(x))
         if counter:
             counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
         if threaded:
@@ -907,7 +955,7 @@ class FBMPKOperator:
         """
         if k < 0:
             raise ValueError("power k must be non-negative")
-        X = np.asarray(X, dtype=np.float64)
+        X = _as_float64(X)
         if X.ndim != 2 or X.shape[0] != self.n:
             raise ValueError(f"X has shape {X.shape}, expected ({self.n}, m)")
         if check_finite:
@@ -925,8 +973,11 @@ class FBMPKOperator:
         obs_snap = _snapshot_counter(counter) if telemetry else None
         with obs.span("fbmpk.power_block", k=k, n=self.n, m=m):
             d = self.part.diag[:, None]
-            XY = np.zeros((self.n, 2 * m), dtype=np.float64)
+            if self._blk_buf is None or self._blk_buf.shape[1] != 2 * m:
+                self._blk_buf = np.zeros((self.n, 2 * m), dtype=np.float64)
+            XY = self._blk_buf
             XY[:, 0::2] = X
+            XY[:, 1::2] = 0.0
             tmp = self.part.upper.matmat(X)
             if counter:
                 counter.count_u(self.part.upper.nnz, self.part.upper.nnz)

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["AccessPlan", "standard_plan", "fbmpk_plan", "theoretical_ratio"]
+__all__ = ["AccessPlan", "standard_plan", "fbmpk_plan", "theoretical_ratio",
+           "execution_cost_hint"]
 
 
 @dataclass(frozen=True)
@@ -89,3 +90,33 @@ def theoretical_ratio(k: int) -> float:
     if k <= 0:
         raise ValueError("power k must be positive")
     return (k + 1) / (2.0 * k)
+
+
+def execution_cost_hint(
+    k: int,
+    n: int,
+    nnz: int,
+    method: str = "fbmpk",
+    n_groups: int = 1,
+    n_threads: int = 1,
+    barrier_weight: float = 2048.0,
+) -> float:
+    """Dimensionless modelled cost of one candidate execution plan.
+
+    :mod:`repro.tune` uses this to *pre-order* its candidate plans so
+    the empirical search tries the analytically promising ones first
+    (and a truncated search still covers them).  It is deliberately
+    crude — a traffic term from the access plans above divided by the
+    thread count, plus a per-sweep synchronisation term charging
+    ``barrier_weight`` matrix entries for each of the ``n_groups``
+    barriers a sweep crosses — and is never used for correctness or
+    acceptance decisions; only the measured wall clock decides those.
+    """
+    if n_threads < 1:
+        raise ValueError("n_threads must be positive")
+    plan = fbmpk_plan(k) if method == "fbmpk" else standard_plan(k)
+    traffic = plan.matrix_equivalents * nnz + plan.d_passes * n
+    sweeps = plan.l_passes + plan.u_passes
+    sync = sweeps * max(n_groups, 1) * barrier_weight if n_threads > 1 \
+        else 0.0
+    return traffic / n_threads + sync

@@ -16,7 +16,7 @@ from .perfmodel import (
     predict_mpk_time,
     predict_speedup,
 )
-from .platform import GB, KB, MB, Platform
+from .platform import GB, KB, MB, Platform, host_platform_tag
 from .registry import (
     A64FX,
     FT2000P,
@@ -40,6 +40,7 @@ __all__ = [
     "KB",
     "MB",
     "Platform",
+    "host_platform_tag",
     "A64FX",
     "FT2000P",
     "KP920",

@@ -12,11 +12,34 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Platform"]
+__all__ = ["Platform", "host_platform_tag"]
 
 KB = 1024
 MB = 1024 * 1024
 GB = 1000 ** 3  # bandwidth vendors use decimal GB
+
+
+def host_platform_tag() -> str:
+    """Stable identifier of the machine the process is running on.
+
+    Used as the platform component of :mod:`repro.tune` plan-cache keys:
+    an empirically tuned execution plan is only trustworthy on hardware
+    and a software stack comparable to where it was measured, so the tag
+    folds in the OS, the ISA, the Python minor version, the numpy minor
+    version (kernel implementations — and therefore the bit patterns a
+    plan was validated against — can change between releases) and the
+    core count.  Example: ``linux-x86_64-py3.11-np1.26-c8``.
+    """
+    import os
+    import platform as _platform
+    import sys
+
+    import numpy as np
+
+    np_minor = ".".join(np.__version__.split(".")[:2])
+    return (f"{sys.platform}-{_platform.machine() or 'unknown'}"
+            f"-py{sys.version_info[0]}.{sys.version_info[1]}"
+            f"-np{np_minor}-c{os.cpu_count() or 1}")
 
 
 @dataclass(frozen=True)

@@ -54,6 +54,17 @@ class CGResult:
         return self.residual_norms[-1] if self.residual_norms else float("inf")
 
 
+def _resolve_matvec(a: CSRMatrix, tuned: bool,
+                    plan_cache_dir) -> Callable[[np.ndarray], np.ndarray]:
+    """The solver's ``x -> A x``: the plain kernel, or the autotuned one
+    (bit-identical by the tuner's acceptance gate, so ``tuned=True``
+    cannot change a solve's iterates — only its wall clock)."""
+    if not tuned:
+        return a.matvec
+    from ..tune import tuned_matvec
+    return tuned_matvec(a, cache=plan_cache_dir)
+
+
 @instrument_solver("cg")
 def conjugate_gradient(
     a: CSRMatrix,
@@ -64,12 +75,19 @@ def conjugate_gradient(
     preconditioner: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     check_finite: bool = False,
     divergence_limit: float = 1e8,
+    tuned: bool = False,
+    plan_cache_dir=None,
 ) -> CGResult:
     """Solve ``A x = b`` for symmetric positive-definite ``A``.
 
     ``preconditioner`` applies ``M^{-1}`` (e.g. a Jacobi or multigrid
     V-cycle from :mod:`repro.solvers.multigrid`); convergence is declared
     at ``||r|| <= tol * ||b||``.
+
+    ``tuned=True`` routes every SpMV through the plan selected by
+    :func:`repro.tune.tuned_matvec` (cached under ``plan_cache_dir``,
+    default ``~/.cache/repro/plans``); the tuner only accepts plans
+    bit-identical to ``a.matvec``, so the iterate sequence is unchanged.
 
     Robustness guards: ``check_finite=True`` validates the matrix
     payload, right-hand side and initial guess up front (raising
@@ -78,6 +96,7 @@ def conjugate_gradient(
     stops the iteration with ``status="non_finite"``/``"diverged"``
     instead of silently iterating on garbage.
     """
+    matvec = _resolve_matvec(a, tuned, plan_cache_dir)
     b = np.asarray(b, dtype=np.float64)
     n = a.n_rows
     if b.shape != (n,):
@@ -89,7 +108,7 @@ def conjugate_gradient(
             ensure_finite(x0, "initial guess x0")
     x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     max_iter = 10 * n if max_iter is None else max_iter
-    r = b - a.matvec(x)
+    r = b - matvec(x)
     z = preconditioner(r) if preconditioner else r
     p = z.copy()
     rz = float(r @ z)
@@ -102,7 +121,7 @@ def conjugate_gradient(
         return CGResult(x=x, iterations=0, converged=True,
                         residual_norms=norms, status="converged")
     for it in range(1, max_iter + 1):
-        ap = a.matvec(p)
+        ap = matvec(p)
         pap = float(p @ ap)
         if not np.isfinite(pap):
             return CGResult(x=x, iterations=it - 1, converged=False,

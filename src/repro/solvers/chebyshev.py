@@ -129,16 +129,26 @@ def chebyshev_solve(
     tol: float = 1e-8,
     max_iter: int = 1000,
     x0: Optional[np.ndarray] = None,
+    tuned: bool = False,
+    plan_cache_dir=None,
 ) -> Tuple[np.ndarray, int, bool]:
     """Chebyshev semi-iteration for SPD ``A x = b``.
 
     ``eig_bounds = (lambda_min, lambda_max)`` must enclose the spectrum
-    (see :func:`repro.solvers.power.gershgorin_bounds`).  Returns
-    ``(x, iterations, converged)``.
+    (see :func:`repro.solvers.power.gershgorin_bounds`).  ``tuned=True``
+    routes the per-iteration SpMV through the plan selected by
+    :func:`repro.tune.tuned_matvec` (cached under ``plan_cache_dir``);
+    the tuner's bit-identity gate keeps the iterate sequence unchanged.
+    Returns ``(x, iterations, converged)``.
     """
     lo, hi = eig_bounds
     if not (0 < lo < hi):
         raise ValueError("need 0 < lambda_min < lambda_max for SPD solve")
+    if tuned:
+        from ..tune import tuned_matvec
+        matvec = tuned_matvec(a, cache=plan_cache_dir)
+    else:
+        matvec = a.matvec
     b = np.asarray(b, dtype=np.float64)
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, np.float64).copy()
     theta = (hi + lo) / 2.0
@@ -146,12 +156,12 @@ def chebyshev_solve(
     sigma1 = theta / delta
     rho = 1.0 / sigma1
     with obs.span("solver.chebyshev", n=b.shape[0]):
-        r = b - a.matvec(x)
+        r = b - matvec(x)
         d = r / theta
         b_norm = float(np.linalg.norm(b)) or 1.0
         for it in range(1, max_iter + 1):
             x += d
-            r -= a.matvec(d)
+            r -= matvec(d)
             res = float(np.linalg.norm(r))
             obs.event("solver.residual", solver="chebyshev", iteration=it,
                       residual=res)

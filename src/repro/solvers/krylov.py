@@ -50,11 +50,17 @@ class KrylovResult:
         return self.residual_norms[-1] if self.residual_norms else float("inf")
 
 
-def _as_apply(a) -> Callable[[np.ndarray], np.ndarray]:
+def _as_apply(a, tuned: bool = False,
+              plan_cache_dir=None) -> Callable[[np.ndarray], np.ndarray]:
     if isinstance(a, CSRMatrix):
+        if tuned:
+            # Bit-identical to a.matvec by the tuner's acceptance gate,
+            # so the Krylov iterate sequence is unchanged.
+            from ..tune import tuned_matvec
+            return tuned_matvec(a, cache=plan_cache_dir)
         return a.matvec
     if callable(a):
-        return a
+        return a  # tuning needs the matrix structure; callables pass through
     raise TypeError("operator must be a CSRMatrix or a callable")
 
 
@@ -67,18 +73,22 @@ def gmres(
     tol: float = 1e-8,
     max_iter: Optional[int] = None,
     check_finite: bool = False,
+    tuned: bool = False,
+    plan_cache_dir=None,
 ) -> KrylovResult:
     """Restarted GMRES(m) for ``A x = b`` (A square, possibly
     unsymmetric).
 
     ``a`` may be a :class:`CSRMatrix` or any callable ``x -> A x``.
     Convergence is ``||r|| <= tol * ||b||``; ``max_iter`` counts total
-    inner iterations (default ``10 n``).  A NaN/Inf residual (at a
-    restart head or inside the Arnoldi loop) returns
-    ``status="non_finite"`` instead of iterating on garbage;
+    inner iterations (default ``10 n``).  ``tuned=True`` routes SpMVs
+    through :func:`repro.tune.tuned_matvec` when ``a`` is a matrix
+    (ignored for callables); the gate keeps iterates bit-identical.
+    A NaN/Inf residual (at a restart head or inside the Arnoldi loop)
+    returns ``status="non_finite"`` instead of iterating on garbage;
     ``check_finite=True`` additionally validates the inputs up front.
     """
-    apply_a = _as_apply(a)
+    apply_a = _as_apply(a, tuned=tuned, plan_cache_dir=plan_cache_dir)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if restart < 1:
@@ -165,6 +175,8 @@ def bicgstab(
     max_iter: Optional[int] = None,
     check_finite: bool = False,
     divergence_limit: float = 1e8,
+    tuned: bool = False,
+    plan_cache_dir=None,
 ) -> KrylovResult:
     """BiCGSTAB for ``A x = b`` (two SpMVs per iteration).
 
@@ -173,9 +185,11 @@ def bicgstab(
     (``status="breakdown"``), on residual blow-up past
     ``divergence_limit * ||b||`` (``status="diverged"``), or on a NaN/Inf
     residual (``status="non_finite"``).  ``check_finite=True`` validates
-    the inputs up front.
+    the inputs up front; ``tuned=True`` routes SpMVs through
+    :func:`repro.tune.tuned_matvec` when ``a`` is a matrix (ignored for
+    callables), keeping iterates bit-identical.
     """
-    apply_a = _as_apply(a)
+    apply_a = _as_apply(a, tuned=tuned, plan_cache_dir=plan_cache_dir)
     b = np.asarray(b, dtype=np.float64)
     n = b.shape[0]
     if check_finite:

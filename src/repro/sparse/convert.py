@@ -46,14 +46,44 @@ def csr_to_sell(csr: CSRMatrix, c: int = 8, sigma: int = 64) -> SellCSigmaMatrix
     return SellCSigmaMatrix(csr, c=c, sigma=sigma)
 
 
-def to_scipy_csr(csr: CSRMatrix):
-    """Bridge to ``scipy.sparse.csr_matrix`` (shares no memory)."""
+def to_scipy_csr(csr: CSRMatrix, cache: bool = True):
+    """Bridge to ``scipy.sparse.csr_matrix``, memoised on the matrix.
+
+    The conversion is O(nnz); paying it once per SpMV made the
+    scipy-backed baseline kernel (:func:`repro.sparse.spmv.spmv_scipy`)
+    a conversion benchmark rather than an SpMV one.  The handle is
+    cached on the :class:`CSRMatrix` together with the identity of the
+    three CSR arrays it was built from: replacing ``indptr``,
+    ``indices`` or ``data`` (the supported mutation pattern — e.g. the
+    fault injector builds new arrays) invalidates the cache.  The
+    handle's ``data`` array shares memory with ``csr.data`` where scipy
+    allows, so in-place *value* edits are reflected too; in-place
+    *index* edits are not a supported mutation.
+
+    ``cache=False`` forces a fresh, fully copied handle (the old
+    behaviour) and leaves the memo untouched.
+    """
     import scipy.sparse as sp
 
-    return sp.csr_matrix(
-        (csr.data.copy(), csr.indices.copy(), csr.indptr.copy()),
-        shape=csr.shape,
+    if not cache:
+        return sp.csr_matrix(
+            (csr.data.copy(), csr.indices.copy(), csr.indptr.copy()),
+            shape=csr.shape,
+        )
+    memo = getattr(csr, "_scipy_handle", None)
+    if memo is not None:
+        indptr, indices, data, handle = memo
+        if (indptr is csr.indptr and indices is csr.indices
+                and data is csr.data):
+            return handle
+    handle = sp.csr_matrix(
+        (csr.data, csr.indices, csr.indptr), shape=csr.shape, copy=False
     )
+    try:
+        csr._scipy_handle = (csr.indptr, csr.indices, csr.data, handle)
+    except AttributeError:  # pragma: no cover - foreign CSR-likes
+        pass
+    return handle
 
 
 def from_scipy(mat) -> CSRMatrix:

@@ -73,7 +73,7 @@ class CSRMatrix:
         When true (default) the invariants above are validated eagerly.
     """
 
-    __slots__ = ("indptr", "indices", "data", "shape")
+    __slots__ = ("indptr", "indices", "data", "shape", "_scipy_handle")
 
     def __init__(
         self,
@@ -88,6 +88,11 @@ class CSRMatrix:
         self.indices = np.ascontiguousarray(indices, dtype=_INDEX_DTYPE)
         self.data = np.ascontiguousarray(data, dtype=_VALUE_DTYPE)
         self.shape = (int(shape[0]), int(shape[1]))
+        # Memoised scipy.sparse handle (see repro.sparse.convert): a
+        # (indptr, indices, data, handle) tuple whose first three slots
+        # record the exact array objects the handle was built from, so
+        # replacing any CSR array invalidates it.
+        self._scipy_handle = None
         if check:
             self._validate()
 

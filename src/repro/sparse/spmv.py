@@ -54,7 +54,12 @@ def spmm_vectorised(a: CSRMatrix, xs: np.ndarray) -> np.ndarray:
 
 
 def spmv_scipy(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
-    """SpMV through scipy.sparse's compiled CSR kernel (the MKL stand-in)."""
+    """SpMV through scipy.sparse's compiled CSR kernel (the MKL stand-in).
+
+    The compiled handle is memoised on ``a`` (see
+    :func:`repro.sparse.convert.to_scipy_csr`), so repeated calls pay
+    only the kernel — not an O(nnz) format conversion per SpMV.
+    """
     from .convert import to_scipy_csr
 
     return to_scipy_csr(a) @ np.asarray(x, dtype=np.float64)

@@ -1,0 +1,403 @@
+"""Empirical autotuning with bit-identity gating.
+
+The OSKI-style loop: enumerate candidate execution plans
+(:mod:`repro.tune.registry`), time each on the *actual* matrix with
+warmup + trimmed-mean repeats, and accept a candidate only if it passes
+a two-part bit-identity gate: its output must be **bit-identical**
+(``np.array_equal``, not ``allclose``) to the library's default path on
+three independent probe vectors, *and* the plan must perform the same
+floating-point arithmetic by construction
+(:func:`repro.tune.registry.plan_is_bit_identical_by_design` — no
+finite probe set can rule out a rounding coincidence on a small
+matrix).  The winner is the fastest accepted candidate — with ties
+going to the default — so the tuned path can never be
+slower-by-selection or numerically different from the untuned one.  Winning plans (plus, for fused FBMPK winners, the
+preprocessed operator artefact) are persisted through
+:class:`repro.tune.cache.PlanCache`, so a later process skips both the
+search and the recomputable preprocessing: the amortisation the paper's
+Fig. 11 argues for, moved from per-process to per-matrix.
+
+Telemetry (all no-ops without an active :class:`repro.obs.Telemetry`):
+``tune.autotune`` / ``tune.candidate`` spans, ``tune.candidates`` /
+``tune.rejected_not_identical`` / ``tune.errors`` counters, and
+``tune.default_time_s`` / ``tune.best_time_s`` gauges.  Cache lookups
+emit ``plan_cache.{hit,miss,corrupt,store}`` (see
+:mod:`repro.tune.cache`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .. import obs
+from ..core.fbmpk import FBMPKOperator
+from ..sparse.csr import CSRMatrix
+from .cache import PlanCache
+from .fingerprint import StructureFingerprint, fingerprint_matrix
+from .plan import ExecutionPlan
+from .registry import (
+    instantiate_power,
+    instantiate_spmv,
+    order_power_candidates,
+    plan_is_bit_identical_by_design,
+    power_candidates,
+    spmv_candidates,
+)
+
+__all__ = [
+    "trimmed_mean",
+    "Trial",
+    "TuningResult",
+    "autotune_power",
+    "autotune_spmv",
+    "tuned_matvec",
+]
+
+#: ``cache`` argument accepted by the autotune entry points: ``None``
+#: (default persistent cache), a :class:`PlanCache`, a directory path,
+#: or ``False`` to disable persistence entirely.
+CacheArg = Union[None, bool, str, Path, PlanCache]
+
+
+def trimmed_mean(values: Sequence[float]) -> float:
+    """Mean with the single min and max dropped (when three or more
+    samples exist) — the repeat aggregator used for every timing here.
+    One preempted repeat on a noisy machine must not crown or dethrone
+    a candidate."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        raise ValueError("trimmed_mean of no samples")
+    if len(vals) >= 3:
+        vals = vals[1:-1]
+    return sum(vals) / len(vals)
+
+
+@dataclass
+class Trial:
+    """One measured candidate."""
+
+    plan: ExecutionPlan
+    time_s: Optional[float] = None
+    build_time_s: Optional[float] = None
+    identical: Optional[bool] = None
+    by_design: Optional[bool] = None
+    error: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        """Eligible to win: ran without error, matched the default path
+        bit-for-bit on every probe, *and* shares the default's
+        floating-point arithmetic by construction
+        (:func:`repro.tune.registry.plan_is_bit_identical_by_design`) —
+        probes alone cannot rule out a rounding coincidence on small
+        matrices."""
+        return self.error is None and bool(self.identical) \
+            and bool(self.by_design)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one autotune call (search or cache hit)."""
+
+    kind: str
+    fingerprint: StructureFingerprint
+    plan: ExecutionPlan
+    source: str  # "search" | "cache"
+    trials: List[Trial] = field(default_factory=list)
+    default_time_s: Optional[float] = None
+    best_time_s: Optional[float] = None
+    cache_path: Optional[Path] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Default over winner time ratio; None on a cache hit (nothing
+        was measured) or a degenerate measurement."""
+        if not self.default_time_s or not self.best_time_s:
+            return None
+        return self.default_time_s / self.best_time_s
+
+
+def _resolve_cache(cache: CacheArg) -> Optional[PlanCache]:
+    if cache is False:
+        return None
+    if cache is None or cache is True:
+        return PlanCache()
+    if isinstance(cache, PlanCache):
+        return cache
+    return PlanCache(cache)
+
+
+def _time_candidate(run: Callable[[], np.ndarray], repeats: int,
+                    warmup: int) -> Tuple[float, np.ndarray]:
+    """Trimmed-mean wall-clock of ``run`` and its (last) output."""
+    for _ in range(warmup):
+        y = run()
+    samples = []
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        y = run()
+        samples.append(time.perf_counter() - t0)
+    return trimmed_mean(samples), y
+
+
+def autotune_power(
+    a: CSRMatrix,
+    k: int = 8,
+    cache: CacheArg = None,
+    repeats: int = 5,
+    warmup: int = 1,
+    force: bool = False,
+    candidates: Optional[Sequence[ExecutionPlan]] = None,
+    max_candidates: Optional[int] = None,
+    seed: int = 0,
+):
+    """Tune the ``A^k x`` pipeline for ``a``.
+
+    Returns ``(operator, TuningResult)``.
+
+    On a cache hit (same structure fingerprint, ``force=False``) the
+    stored plan — and its preprocessed-operator artefact when present —
+    is instantiated directly: no candidate is timed and, with the
+    artefact, no splitting/colouring/grouping is recomputed.  Otherwise
+    the candidate space (``candidates`` or
+    :func:`repro.tune.registry.power_candidates`, analytically
+    pre-ordered, optionally truncated to ``max_candidates`` — the
+    default plan always survives truncation) is measured and gated as
+    described in the module docstring, and the winner is persisted.
+
+    The probe vectors are drawn from ``default_rng(seed)`` so reruns of
+    the search are reproducible.  The returned operator owns resources
+    (thread pools); call ``close()`` or use it as a context manager.
+    """
+    store = _resolve_cache(cache)
+    fp = fingerprint_matrix(a, kind="power")
+    with obs.span("tune.autotune", kind="power", k=k, key=fp.key()):
+        if store is not None and not force:
+            entry = store.load(fp)
+            if entry is not None:
+                try:
+                    op = instantiate_power(entry.plan, a,
+                                           operator_path=entry.operator_path)
+                except Exception as exc:
+                    # Stored plan no longer instantiable (e.g. knob
+                    # removed): drop it and fall through to a search.
+                    obs.event("tune.cache_plan_unusable", error=repr(exc))
+                    store.invalidate(fp)
+                else:
+                    return op, TuningResult(
+                        kind="power", fingerprint=fp, plan=entry.plan,
+                        source="cache", cache_path=store.entry_path(fp))
+        return _search_power(a, k, fp, store, repeats, warmup,
+                             candidates, max_candidates, seed)
+
+
+def _search_power(a, k, fp, store, repeats, warmup, candidates,
+                  max_candidates, seed):
+    plans = list(candidates) if candidates is not None \
+        else power_candidates()
+    plans = order_power_candidates(plans, a, k)
+    if max_candidates is not None and max_candidates >= 1:
+        plans = plans[:max_candidates]
+    rng = np.random.default_rng(seed)
+    # The identity gate checks THREE independent probe vectors, not one:
+    # on small matrices a numerically different candidate (e.g. the
+    # unfused variant) can match the default bit-for-bit on a single
+    # input by rounding coincidence while differing on others.  Timing
+    # uses the first probe; the extra probes cost one power call each.
+    probes = [rng.standard_normal(a.n_rows) for _ in range(3)]
+
+    trials: List[Trial] = []
+    refs: Optional[List[np.ndarray]] = None
+    best: Optional[Tuple[Trial, Any]] = None  # (trial, operator)
+    for i, plan in enumerate(plans):
+        trial = Trial(plan=plan,
+                      by_design=plan_is_bit_identical_by_design(plan))
+        trials.append(trial)
+        obs.add_counter("tune.candidates")
+        with obs.span("tune.candidate", plan=plan.label):
+            op = None
+            try:
+                t0 = time.perf_counter()
+                op = instantiate_power(plan, a)
+                trial.build_time_s = time.perf_counter() - t0
+                trial.time_s, y0 = _time_candidate(
+                    lambda: op.power(probes[0], k), repeats, warmup)
+                ys = [y0] + [op.power(x, k) for x in probes[1:]]
+            except Exception as exc:
+                trial.error = repr(exc)
+                obs.add_counter("tune.errors")
+                if op is not None:
+                    op.close()
+                continue
+            if i == 0:
+                # Candidate 0 is the default plan by construction: it
+                # defines the reference outputs and is always accepted.
+                refs = ys
+                trial.identical = True
+            else:
+                trial.identical = all(
+                    np.array_equal(y, r) for y, r in zip(ys, refs))
+                if not trial.identical:
+                    obs.add_counter("tune.rejected_not_identical")
+                elif not trial.by_design:
+                    obs.event("tune.identical_but_not_by_design",
+                              plan=plan.label)
+            if trial.accepted and (best is None
+                                   or trial.time_s < best[0].time_s):
+                if best is not None:
+                    best[1].close()
+                best = (trial, op)
+            else:
+                op.close()
+
+    if best is None:
+        raise RuntimeError(
+            "autotune_power: no candidate ran successfully (not even the "
+            "default plan); first error: "
+            + next((t.error for t in trials if t.error), "none recorded"))
+    win_trial, win_op = best
+    default_time = trials[0].time_s
+    result = TuningResult(
+        kind="power", fingerprint=fp, plan=win_trial.plan, source="search",
+        trials=trials, default_time_s=default_time,
+        best_time_s=win_trial.time_s)
+    if default_time is not None:
+        obs.set_gauge("tune.default_time_s", default_time, unit="s")
+    obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
+    if store is not None:
+        meta: Dict[str, Any] = {
+            "k": k,
+            "repeats": repeats,
+            "time_s": win_trial.time_s,
+            "default_time_s": default_time,
+            "candidates": len(trials),
+        }
+        operator = win_op if isinstance(win_op, FBMPKOperator) else None
+        result.cache_path = store.store(fp, win_trial.plan, meta=meta,
+                                        operator=operator)
+    return win_op, result
+
+
+def autotune_spmv(
+    a: CSRMatrix,
+    cache: CacheArg = None,
+    repeats: int = 5,
+    warmup: int = 1,
+    force: bool = False,
+    candidates: Optional[Sequence[ExecutionPlan]] = None,
+    seed: int = 0,
+):
+    """Tune a single-SpMV kernel for ``a``.
+
+    Returns ``(matvec_callable, TuningResult)``.
+
+    Same protocol as :func:`autotune_power` (including the three-probe
+    bit-identity gate — one vector is too easy to match by rounding
+    coincidence on small matrices), except no operator artefact is
+    stored: format conversions are cheap relative to a tuning search.
+    """
+    store = _resolve_cache(cache)
+    fp = fingerprint_matrix(a, kind="spmv")
+    with obs.span("tune.autotune", kind="spmv", key=fp.key()):
+        if store is not None and not force:
+            entry = store.load(fp)
+            if entry is not None:
+                try:
+                    fn = instantiate_spmv(entry.plan, a)
+                except Exception as exc:
+                    obs.event("tune.cache_plan_unusable", error=repr(exc))
+                    store.invalidate(fp)
+                else:
+                    return fn, TuningResult(
+                        kind="spmv", fingerprint=fp, plan=entry.plan,
+                        source="cache", cache_path=store.entry_path(fp))
+
+        plans = list(candidates) if candidates is not None \
+            else spmv_candidates()
+        rng = np.random.default_rng(seed)
+        xs = [rng.standard_normal(a.n_cols) for _ in range(3)]
+
+        trials: List[Trial] = []
+        refs: Optional[List[np.ndarray]] = None
+        best: Optional[Tuple[Trial, Callable]] = None
+        for i, plan in enumerate(plans):
+            trial = Trial(plan=plan,
+                          by_design=plan_is_bit_identical_by_design(plan))
+            trials.append(trial)
+            obs.add_counter("tune.candidates")
+            with obs.span("tune.candidate", plan=plan.label):
+                try:
+                    t0 = time.perf_counter()
+                    fn = instantiate_spmv(plan, a)
+                    trial.build_time_s = time.perf_counter() - t0
+                    times, outs = [], []
+                    for x in xs:
+                        t, y = _time_candidate(lambda: fn(x),
+                                               repeats, warmup)
+                        times.append(t)
+                        outs.append(y)
+                    trial.time_s = sum(times) / len(times)
+                except Exception as exc:
+                    trial.error = repr(exc)
+                    obs.add_counter("tune.errors")
+                    continue
+                if i == 0:
+                    refs = outs
+                    trial.identical = True
+                else:
+                    trial.identical = all(
+                        np.array_equal(y, r)
+                        for y, r in zip(outs, refs))
+                    if not trial.identical:
+                        obs.add_counter("tune.rejected_not_identical")
+                    elif not trial.by_design:
+                        obs.event("tune.identical_but_not_by_design",
+                                  plan=plan.label)
+                if trial.accepted and (best is None
+                                       or trial.time_s < best[0].time_s):
+                    best = (trial, fn)
+
+        if best is None:
+            raise RuntimeError(
+                "autotune_spmv: no candidate ran successfully; first "
+                "error: "
+                + next((t.error for t in trials if t.error),
+                       "none recorded"))
+        win_trial, win_fn = best
+        default_time = trials[0].time_s
+        result = TuningResult(
+            kind="spmv", fingerprint=fp, plan=win_trial.plan,
+            source="search", trials=trials, default_time_s=default_time,
+            best_time_s=win_trial.time_s)
+        if default_time is not None:
+            obs.set_gauge("tune.default_time_s", default_time, unit="s")
+        obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
+        if store is not None:
+            result.cache_path = store.store(fp, win_trial.plan, meta={
+                "repeats": repeats,
+                "time_s": win_trial.time_s,
+                "default_time_s": default_time,
+                "candidates": len(trials),
+            })
+        return win_fn, result
+
+
+def tuned_matvec(
+    a: CSRMatrix,
+    cache: CacheArg = None,
+    force: bool = False,
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Convenience for solvers: the tuned ``x -> A @ x`` callable for
+    ``a`` (bit-identical to ``a.matvec`` by the acceptance gate), tuning
+    or cache-loading as needed.  This is what the ``tuned=True`` paths
+    of :mod:`repro.solvers` call."""
+    fn, _ = autotune_spmv(a, cache=cache, force=force, repeats=repeats,
+                          warmup=warmup)
+    return fn

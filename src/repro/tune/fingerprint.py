@@ -1,0 +1,102 @@
+"""Structure fingerprints: the plan cache's key space.
+
+A tuned plan is only valid for the matrix *structure* it was measured
+on (sweep groupings, colourings, kernel efficiency all key on the
+sparsity pattern) and the platform it was measured on.  The fingerprint
+therefore folds in:
+
+* shape and nnz — the cheap coarse discriminators;
+* a SHA-256 over the ``indptr`` and ``indices`` byte streams — the
+  exact sparsity pattern, so any structural perturbation is a miss;
+* the value dtype — kernels specialise on it (everything in this
+  library is float64 today, but the key must not collide if that
+  changes);
+* the host platform tag (:func:`repro.machine.host_platform_tag`) —
+  timings measured on one machine/software stack say nothing about
+  another;
+* the plan kind — a ``power`` plan and an ``spmv`` plan for the same
+  matrix live in different cache slots.
+
+Numerical *values* are deliberately excluded: two matrices with the
+same pattern and different values execute identically, which is what
+lets a time-stepping application reuse one tuned plan while its
+coefficients evolve (the paper's SSpMV-sequence setting).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+from ..machine.platform import host_platform_tag
+from ..sparse.csr import CSRMatrix
+
+__all__ = ["StructureFingerprint", "fingerprint_matrix"]
+
+
+@dataclass(frozen=True)
+class StructureFingerprint:
+    """Identity of (matrix structure, workload kind, platform)."""
+
+    kind: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    dtype: str
+    structure_hash: str
+    platform: str
+
+    def key(self) -> str:
+        """Filesystem-safe cache key: SHA-256 over the canonical field
+        rendering, truncated to 32 hex chars (128 bits — collision-safe
+        for any realistic cache population)."""
+        canon = "|".join([
+            self.kind, str(self.n_rows), str(self.n_cols), str(self.nnz),
+            self.dtype, self.structure_hash, self.platform,
+        ])
+        return hashlib.sha256(canon.encode()).hexdigest()[:32]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (stored inside cache entries so a hit
+        can be verified field-by-field, not just by file name)."""
+        return {
+            "kind": self.kind,
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "nnz": self.nnz,
+            "dtype": self.dtype,
+            "structure_hash": self.structure_hash,
+            "platform": self.platform,
+        }
+
+    def matches(self, payload: Mapping[str, Any]) -> bool:
+        """Whether a stored fingerprint dict equals this fingerprint."""
+        try:
+            return all(payload.get(k) == v
+                       for k, v in self.to_dict().items())
+        except Exception:  # non-mapping-ish payloads
+            return False
+
+
+def fingerprint_matrix(
+    a: CSRMatrix,
+    kind: str = "power",
+    platform: Optional[str] = None,
+) -> StructureFingerprint:
+    """Fingerprint ``a`` for workload ``kind`` on ``platform`` (default:
+    the running host).  Cost is one pass over the index arrays —
+    negligible next to a single SpMV and paid once per tuning/cache
+    lookup, not per execution."""
+    h = hashlib.sha256()
+    h.update(a.indptr.tobytes())
+    h.update(a.indices.tobytes())
+    return StructureFingerprint(
+        kind=kind,
+        n_rows=a.n_rows,
+        n_cols=a.n_cols,
+        nnz=a.nnz,
+        dtype=str(a.data.dtype),
+        structure_hash=h.hexdigest(),
+        platform=host_platform_tag() if platform is None else platform,
+    )

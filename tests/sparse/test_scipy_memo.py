@@ -1,0 +1,58 @@
+"""Memoised scipy-CSR bridge: repeated conversions return the cached
+handle, array replacement invalidates it, in-place value edits flow
+through (the handle shares the data buffer)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import to_scipy_csr
+from repro.sparse.csr import CSRMatrix
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+
+def test_repeated_conversion_returns_same_handle(grid):
+    assert to_scipy_csr(grid) is to_scipy_csr(grid)
+
+
+def test_handle_computes_correctly(grid, rng):
+    x = rng.standard_normal(grid.n_cols)
+    assert np.allclose(to_scipy_csr(grid) @ x, grid.matvec(x))
+
+
+def test_replacing_data_array_invalidates(grid):
+    h1 = to_scipy_csr(grid)
+    grid.data = grid.data * 2.0  # new array object
+    h2 = to_scipy_csr(grid)
+    assert h2 is not h1
+    x = np.ones(grid.n_cols)
+    assert np.allclose(h2 @ x, grid.matvec(x))
+
+
+def test_replacing_index_array_invalidates(grid):
+    h1 = to_scipy_csr(grid)
+    grid.indices = grid.indices.copy()
+    assert to_scipy_csr(grid) is not h1
+
+
+def test_inplace_value_edit_reflected(grid):
+    """The memoised handle shares the value buffer, so the supported
+    in-place mutation pattern stays coherent without invalidation."""
+    h = to_scipy_csr(grid)
+    grid.data[0] += 7.5
+    x = np.ones(grid.n_cols)
+    assert np.allclose(h @ x, grid.matvec(x))
+
+
+def test_cache_false_returns_independent_copy(grid):
+    h = to_scipy_csr(grid, cache=False)
+    assert h is not to_scipy_csr(grid, cache=False)
+    h.data[0] += 1.0  # must not alias the matrix
+    assert grid.data[0] != h.data[0]
+
+
+def test_memo_survives_pickle_roundtrip_absence(grid):
+    """A CSRMatrix built fresh (no memo yet) still converts."""
+    twin = CSRMatrix(grid.indptr, grid.indices, grid.data, grid.shape)
+    x = np.ones(grid.n_cols)
+    assert np.allclose(to_scipy_csr(twin) @ x, grid.matvec(x))

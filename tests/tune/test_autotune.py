@@ -1,0 +1,271 @@
+"""The autotuner loop: winner selection, the bit-identity gate, cache
+amortisation (second call skips the search), trimmed-mean timing."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import build_fbmpk_operator
+from repro.tune import (
+    ExecutionPlan,
+    PlanCache,
+    autotune_power,
+    autotune_spmv,
+    default_power_plan,
+    power_candidates,
+    trimmed_mean,
+    tuned_matvec,
+)
+
+# A small candidate set keeping search-path tests fast: the default,
+# a serial alternative, and a threaded plan (the executor dimension).
+FAST_POWER_CANDIDATES = [
+    default_power_plan(),
+    ExecutionPlan("power", {"variant": "fused", "strategy": "levels",
+                            "block_size": 1, "backend": "numpy",
+                            "executor": "serial"}),
+    ExecutionPlan("power", {"variant": "fused", "strategy": "abmc",
+                            "block_size": 1, "backend": "numpy",
+                            "executor": "threads", "n_threads": 2}),
+]
+
+
+def _tune(a, k=4, **kw):
+    kw.setdefault("cache", False)
+    kw.setdefault("repeats", 1)
+    kw.setdefault("warmup", 0)
+    kw.setdefault("candidates", FAST_POWER_CANDIDATES)
+    return autotune_power(a, k=k, **kw)
+
+
+# -- trimmed mean ----------------------------------------------------------
+def test_trimmed_mean_drops_extremes():
+    assert trimmed_mean([1.0, 100.0, 2.0, 3.0, 0.0]) == 2.0
+
+
+def test_trimmed_mean_small_samples():
+    assert trimmed_mean([4.0]) == 4.0
+    assert trimmed_mean([2.0, 4.0]) == 3.0
+    with pytest.raises(ValueError):
+        trimmed_mean([])
+
+
+# -- search protocol -------------------------------------------------------
+def test_search_measures_default_and_winner_not_slower(grid):
+    op, res = _tune(grid, repeats=3)
+    try:
+        assert res.source == "search"
+        assert res.trials[0].plan == default_power_plan()
+        assert res.trials[0].accepted
+        assert res.best_time_s <= res.default_time_s
+    finally:
+        op.close()
+
+
+def test_winner_is_bit_identical_to_default(grid, rng):
+    op, res = _tune(grid)
+    ref = build_fbmpk_operator(grid)
+    try:
+        x = rng.standard_normal(grid.n_rows)
+        assert np.array_equal(op.power(x, 4), ref.power(x, 4))
+    finally:
+        op.close()
+        ref.close()
+
+
+def test_non_identical_candidates_are_rejected(grid):
+    unfused = ExecutionPlan("power", {"variant": "unfused",
+                                      "strategy": "none", "block_size": 1,
+                                      "backend": "numpy",
+                                      "executor": "serial"})
+    op, res = _tune(grid, candidates=[default_power_plan(), unfused])
+    try:
+        trial = next(t for t in res.trials if t.plan == unfused)
+        # The unfused variant's summation order differs; the gate must
+        # catch that empirically and keep it from winning.
+        assert trial.identical is False
+        assert not trial.accepted
+        assert res.plan == default_power_plan()
+    finally:
+        op.close()
+
+
+@pytest.mark.parametrize("params, expected", [
+    ({"variant": "fused", "strategy": "abmc", "block_size": 1,
+      "backend": "numpy", "executor": "serial"}, True),
+    # The executor dimension reschedules, never re-rounds.
+    ({"variant": "fused", "strategy": "abmc", "block_size": 1,
+      "backend": "numpy", "executor": "threads", "n_threads": 2}, True),
+    # A different grouping permutes the matrix and with it every row's
+    # accumulation order.
+    ({"variant": "fused", "strategy": "levels", "block_size": 1,
+      "backend": "numpy", "executor": "serial"}, False),
+    ({"variant": "fused", "strategy": "abmc", "block_size": 256,
+      "backend": "numpy", "executor": "serial"}, False),
+    ({"variant": "fused", "strategy": "abmc", "block_size": 1,
+      "backend": "scipy", "executor": "serial"}, False),
+    ({"variant": "unfused", "strategy": "none", "block_size": 1,
+      "backend": "numpy", "executor": "serial"}, False),
+])
+def test_power_plan_design_identity_classification(params, expected):
+    from repro.tune import plan_is_bit_identical_by_design
+    assert plan_is_bit_identical_by_design(
+        ExecutionPlan("power", params)) is expected
+
+
+@pytest.mark.parametrize("params, expected", [
+    ({"kernel": "vectorised"}, True),
+    ({"kernel": "blocked", "block_rows": 4096}, True),
+    ({"kernel": "scipy"}, False),
+    ({"kernel": "sell", "c": 8, "sigma": 64}, False),
+    ({"kernel": "bsr", "r": 2}, False),
+])
+def test_spmv_plan_design_identity_classification(params, expected):
+    from repro.tune import plan_is_bit_identical_by_design
+    assert plan_is_bit_identical_by_design(
+        ExecutionPlan("spmv", params)) is expected
+
+
+def test_probe_coincidence_cannot_win():
+    """A plan that happens to match the default on every probe but does
+    not share its arithmetic by construction (e.g. the unfused variant
+    on a tiny matrix — the rounding coincidence the property suite
+    found) must still be ineligible."""
+    from repro.tune import Trial
+
+    unfused = ExecutionPlan("power", {"variant": "unfused",
+                                      "strategy": "none", "block_size": 1,
+                                      "backend": "numpy",
+                                      "executor": "serial"})
+    trial = Trial(plan=unfused, time_s=0.0, identical=True,
+                  by_design=False)
+    assert not trial.accepted
+
+
+def test_broken_candidate_recorded_not_fatal(grid):
+    broken = ExecutionPlan("power", {"variant": "fused",
+                                     "strategy": "no-such-strategy",
+                                     "block_size": 1, "backend": "numpy",
+                                     "executor": "serial"})
+    op, res = _tune(grid, candidates=[default_power_plan(), broken])
+    try:
+        trial = next(t for t in res.trials if t.plan == broken)
+        assert trial.error is not None
+        assert res.plan == default_power_plan()
+    finally:
+        op.close()
+
+
+def test_full_candidate_space_runs(grid):
+    """The real (untrimmed) enumeration must survive end to end."""
+    op, res = autotune_power(grid, k=3, cache=False, repeats=1, warmup=0)
+    try:
+        assert len(res.trials) == len(power_candidates())
+        assert res.trials[0].accepted
+    finally:
+        op.close()
+
+
+def test_max_candidates_keeps_default(grid):
+    op, res = _tune(grid, candidates=None, max_candidates=2)
+    try:
+        assert len(res.trials) == 2
+        assert res.trials[0].plan == default_power_plan()
+    finally:
+        op.close()
+
+
+# -- cache amortisation ----------------------------------------------------
+def test_second_call_hits_cache(tmp_path, grid, rng):
+    cache = PlanCache(tmp_path)
+    op1, res1 = _tune(grid, cache=cache)
+    assert res1.source == "search"
+    x = rng.standard_normal(grid.n_rows)
+    y1 = op1.power(x, 4)
+    op1.close()
+
+    with obs.Telemetry() as tel:
+        op2, res2 = _tune(grid, cache=cache)
+    counters = {name: c["value"] for name, c
+                in tel.metrics.snapshot()["counters"].items()}
+    try:
+        assert res2.source == "cache"
+        assert res2.plan == res1.plan
+        assert res2.trials == []  # no candidate was re-measured
+        assert counters["plan_cache.hit"] == 1
+        assert "tune.candidates" not in counters
+        assert np.array_equal(op2.power(x, 4), y1)
+    finally:
+        op2.close()
+
+
+def test_force_reruns_search(tmp_path, grid):
+    cache = PlanCache(tmp_path)
+    op1, _ = _tune(grid, cache=cache)
+    op1.close()
+    op2, res2 = _tune(grid, cache=cache, force=True)
+    try:
+        assert res2.source == "search"
+    finally:
+        op2.close()
+
+
+def test_cache_dir_as_path_argument(tmp_path, grid):
+    op1, res1 = _tune(grid, cache=str(tmp_path))
+    op1.close()
+    assert res1.cache_path is not None
+    op2, res2 = _tune(grid, cache=str(tmp_path))
+    op2.close()
+    assert res2.source == "cache"
+
+
+def test_unusable_cached_plan_falls_back_to_search(tmp_path, grid):
+    """A stored plan that no longer instantiates must trigger a fresh
+    search, not an error."""
+    import json
+
+    cache = PlanCache(tmp_path)
+    op1, _ = _tune(grid, cache=cache)
+    op1.close()
+    from repro.tune import fingerprint_matrix
+    fp = fingerprint_matrix(grid)
+    payload = json.loads(cache.entry_path(fp).read_text())
+    payload["plan"]["params"]["variant"] = "retired-variant"
+    cache.entry_path(fp).write_text(json.dumps(payload))
+    op2, res2 = _tune(grid, cache=cache)
+    try:
+        assert res2.source == "search"
+    finally:
+        op2.close()
+
+
+# -- spmv ------------------------------------------------------------------
+def test_autotune_spmv_identical_and_cached(tmp_path, grid, rng):
+    cache = PlanCache(tmp_path)
+    fn, res = autotune_spmv(grid, cache=cache, repeats=1, warmup=0)
+    assert res.source == "search"
+    x = rng.standard_normal(grid.n_cols)
+    assert np.array_equal(fn(x), grid.matvec(x))
+    fn2, res2 = autotune_spmv(grid, cache=cache)
+    assert res2.source == "cache"
+    assert np.array_equal(fn2(x), grid.matvec(x))
+
+
+def test_tuned_matvec_bit_identical(grid, rng):
+    fn = tuned_matvec(grid, cache=False, repeats=1, warmup=0)
+    for _ in range(3):
+        x = rng.standard_normal(grid.n_cols)
+        assert np.array_equal(fn(x), grid.matvec(x))
+
+
+def test_tune_telemetry_counters(grid):
+    with obs.Telemetry() as tel:
+        op, res = _tune(grid)
+        op.close()
+    snap = tel.metrics.snapshot()
+    counters = {name: c["value"] for name, c in snap["counters"].items()}
+    assert counters["tune.candidates"] == len(res.trials)
+    assert "tune.best_time_s" in snap["gauges"]
+    span_names = {r.name for r in tel.recorder.records()}
+    assert "tune.autotune" in span_names
+    assert "tune.candidate" in span_names

@@ -1,0 +1,70 @@
+"""Structure fingerprints: same structure hits, perturbed structure
+misses, value changes don't matter, platform and kind partition keys."""
+
+import numpy as np
+
+from repro.matrices import banded_random, poisson2d
+from repro.tune import StructureFingerprint, fingerprint_matrix
+from repro.sparse.csr import CSRMatrix
+
+
+def test_same_structure_same_key(grid):
+    assert fingerprint_matrix(grid).key() == fingerprint_matrix(grid).key()
+
+
+def test_identical_structure_different_object(grid):
+    twin = CSRMatrix(grid.indptr.copy(), grid.indices.copy(),
+                     grid.data.copy(), grid.shape)
+    assert fingerprint_matrix(twin).key() == fingerprint_matrix(grid).key()
+
+
+def test_value_change_same_key(grid):
+    scaled = CSRMatrix(grid.indptr, grid.indices, grid.data * 3.5,
+                       grid.shape)
+    # The SSpMV-sequence setting: coefficients evolve, plan survives.
+    assert fingerprint_matrix(scaled).key() == fingerprint_matrix(grid).key()
+
+
+def test_perturbed_indices_different_key(grid):
+    indices = grid.indices.copy()
+    # Swap two column indices inside one row: same shape, same nnz,
+    # different pattern.
+    row = np.argmax(np.diff(grid.indptr) >= 2)
+    lo = grid.indptr[row]
+    indices[lo], indices[lo + 1] = indices[lo + 1], indices[lo]
+    other = CSRMatrix(grid.indptr, indices, grid.data, grid.shape,
+                      check=False)
+    assert fingerprint_matrix(other).key() != fingerprint_matrix(grid).key()
+
+
+def test_different_matrices_different_keys():
+    a = poisson2d(8, seed=1)
+    b = banded_random(64, 3, 7, symmetric=True, seed=2)
+    assert fingerprint_matrix(a).key() != fingerprint_matrix(b).key()
+
+
+def test_kind_partitions_key_space(grid):
+    assert fingerprint_matrix(grid, kind="power").key() \
+        != fingerprint_matrix(grid, kind="spmv").key()
+
+
+def test_platform_partitions_key_space(grid):
+    here = fingerprint_matrix(grid)
+    there = fingerprint_matrix(grid, platform="elsewhere-x86_64")
+    assert here.platform != "elsewhere-x86_64"
+    assert here.key() != there.key()
+
+
+def test_matches_roundtrip_and_rejects(grid):
+    fp = fingerprint_matrix(grid)
+    assert fp.matches(fp.to_dict())
+    tampered = dict(fp.to_dict(), nnz=fp.nnz + 1)
+    assert not fp.matches(tampered)
+    assert not fp.matches({})
+    assert not fp.matches(None)
+
+
+def test_key_is_filesystem_safe(grid):
+    key = fingerprint_matrix(grid).key()
+    assert len(key) == 32
+    assert all(c in "0123456789abcdef" for c in key)

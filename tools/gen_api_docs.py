@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.distributed",
     "repro.baselines",
     "repro.solvers",
+    "repro.tune",
     "repro.robust",
     "repro.obs",
     "repro.bench",
