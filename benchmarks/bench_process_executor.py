@@ -1,0 +1,144 @@
+"""Process pool vs thread pool vs serial on the FBMPK colour phases.
+
+The experiment the shared-memory backend exists for: CPython's GIL
+serialises the numpy-slicing portions of the threaded block kernels, so
+on a multi-core host the process executor — same schedule, same
+arithmetic, zero-copy operands in ``multiprocessing.shared_memory`` —
+should win on the small-block schedules where per-task Python overhead
+dominates.  Every timed run is checked bit-for-bit against the serial
+fused pipeline first; a fast wrong answer is worth nothing.
+
+Numbers land in ``BENCH_process_executor.json`` at the repo root with
+enough host metadata (``cpu_count``, platform) to interpret them: the
+1.5x-over-threads acceptance bound is only asserted on hosts with at
+least 4 cores, because on a 1-core container *no* parallel backend can
+beat anything and the recorded numbers just document the overheads.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_rows, format_table, standin, write_report
+from repro.core import build_fbmpk_operator
+from repro.tune import trimmed_mean
+
+K = 8
+REPEATS = 5
+WARMUP = 1
+MATRIX = "cant"
+BLOCK_SIZES = [16, 64, 256]
+N_WORKERS = max(2, min(4, os.cpu_count() or 1))
+#: The speedup bound is only meaningful where the host can actually run
+#: the workers concurrently.
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = ROOT / "BENCH_process_executor.json"
+
+_RESULTS = {}
+
+
+def _timed(*runnables):
+    """Trimmed-mean times, samples interleaved across all runnables so
+    clock drift and cache state on a shared host bias none of them."""
+    for _ in range(WARMUP):
+        for run in runnables:
+            run()
+    samples = [[] for _ in runnables]
+    for _ in range(REPEATS):
+        for bucket, run in zip(samples, runnables):
+            t0 = time.perf_counter()
+            run()
+            bucket.append(time.perf_counter() - t0)
+    return [trimmed_mean(s) for s in samples]
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_processes_vs_threads_vs_serial(block_size, rng):
+    a = standin(MATRIX, min(bench_rows(), 20_000))
+    x = rng.standard_normal(a.n_rows)
+
+    serial_op = build_fbmpk_operator(a, block_size=block_size)
+    threads_op = build_fbmpk_operator(a, block_size=block_size,
+                                      executor="threads",
+                                      n_threads=N_WORKERS)
+    procs_op = build_fbmpk_operator(a, block_size=block_size,
+                                    executor="processes",
+                                    n_threads=N_WORKERS)
+    try:
+        y_serial = serial_op.power(x, K)
+        np.testing.assert_array_equal(threads_op.power(x, K), y_serial)
+        np.testing.assert_array_equal(procs_op.power(x, K), y_serial)
+
+        serial_s, threads_s, procs_s = _timed(
+            lambda: serial_op.power(x, K),
+            lambda: threads_op.power(x, K),
+            lambda: procs_op.power(x, K))
+
+        stats = procs_op.last_stats
+        _RESULTS[str(block_size)] = {
+            "rows": a.n_rows,
+            "nnz": a.nnz,
+            "serial_s": serial_s,
+            "threads_s": threads_s,
+            "processes_s": procs_s,
+            "speedup_vs_serial": serial_s / procs_s,
+            "speedup_vs_threads": threads_s / procs_s,
+            "barriers": stats.barriers,
+            "efficiency": stats.efficiency,
+        }
+        if MULTICORE and block_size <= 64:
+            # The tentpole's acceptance bound: with real cores and a
+            # small-block schedule, shared-memory processes must beat
+            # the GIL-bound thread pool clearly.
+            assert procs_s * 1.5 <= threads_s, (
+                f"block={block_size}: processes {procs_s * 1e3:.3f} ms "
+                f"not 1.5x faster than threads {threads_s * 1e3:.3f} ms")
+    finally:
+        serial_op.close()
+        threads_op.close()
+        procs_op.close()
+
+
+def test_write_results():
+    """Persist the numbers (runs last: file order)."""
+    assert _RESULTS, "no benchmark results collected"
+    payload = {
+        "bench": "process_executor",
+        "matrix": MATRIX,
+        "k": K,
+        "repeats": REPEATS,
+        "n_workers": N_WORKERS,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "multicore_bound_asserted": MULTICORE,
+        },
+        "block_sizes": _RESULTS,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+    rows = [[bs, r["rows"],
+             f"{r['serial_s'] * 1e3:.3f}", f"{r['threads_s'] * 1e3:.3f}",
+             f"{r['processes_s'] * 1e3:.3f}",
+             f"{r['speedup_vs_serial']:.2f}x",
+             f"{r['speedup_vs_threads']:.2f}x",
+             f"{r['efficiency']:.1%}"]
+            for bs, r in _RESULTS.items()]
+    table = format_table(
+        ["block", "rows", "serial (ms)", "threads (ms)", "processes (ms)",
+         "vs serial", "vs threads", "proc efficiency"],
+        rows,
+        title=f"A^{K} x executor comparison, {MATRIX} stand-in, "
+              f"{N_WORKERS} workers, {os.cpu_count()} cores "
+              f"(trimmed mean of {REPEATS})")
+    write_report("process_executor", table)
+    print()
+    print(table)

@@ -153,6 +153,8 @@ def cmd_info(args) -> int:
 
 def cmd_power(args) -> int:
     counter = None
+    if getattr(args, "workers", None) is not None:
+        args.threads = args.workers
     if args.operator:
         op = FBMPKOperator.load(args.operator, backend=args.backend)
         n = op.n
@@ -207,7 +209,7 @@ def cmd_power(args) -> int:
               f"(standard MPK would stream A x{args.k})")
         stats = getattr(op, "last_stats", None)
         if stats is not None:
-            print(f"executor=threads n_threads={stats.n_threads} "
+            print(f"executor={op.executor} n_workers={stats.n_threads} "
                   f"policy={stats.policy}: {stats.barriers} barriers, "
                   f"phase wall {stats.total_wall_s * 1e3:.2f} ms, "
                   f"busy {stats.busy_s * 1e3:.2f} ms, "
@@ -389,18 +391,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="numpy",
                    choices=["numpy", "scipy"])
     p.add_argument("--executor", default="serial",
-                   choices=["serial", "threads"],
-                   help="run FBMPK sweeps serially or on the real "
-                        "colour-phase thread pool")
+                   choices=["serial", "threads", "processes"],
+                   help="run FBMPK sweeps serially, on the real "
+                        "colour-phase thread pool, or on the "
+                        "shared-memory process pool (GIL-free)")
     p.add_argument("--threads", type=int, default=None,
                    help="worker count for --executor threads "
                         "(default: all cores)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for --executor processes "
+                        "(alias for --threads; default: all cores)")
     p.add_argument("--policy", default="lpt",
                    choices=["round_robin", "lpt", "dynamic"],
                    help="block-to-thread assignment policy")
     p.add_argument("--on-failure", default="raise",
                    choices=["raise", "fallback_serial"],
-                   help="what a crashed threaded phase does: raise a "
+                   help="what a crashed parallel phase does: raise a "
                         "PhaseExecutionError (exit 5) or recompute the "
                         "power serially")
     p.add_argument("--check-finite", action="store_true",

@@ -31,12 +31,22 @@ def interleave(even: np.ndarray, odd: np.ndarray) -> np.ndarray:
     return xy
 
 
-def deinterleave(xy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Split a BtB array back into ``(even, odd)`` copies."""
+def deinterleave(xy: np.ndarray,
+                 copy: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """Split a BtB array back into ``(even, odd)``.
+
+    By default the halves are independent copies.  ``copy=False``
+    returns strided views sharing the BtB buffer's memory — free to
+    produce, but writes through them (or later sweeps over the buffer)
+    are visible in both directions.
+    """
     xy = np.asarray(xy, dtype=np.float64)
     if xy.ndim != 1 or xy.shape[0] % 2:
         raise ValueError("BtB array must be 1-D with even length")
-    return xy[0::2].copy(), xy[1::2].copy()
+    even, odd = xy[0::2], xy[1::2]
+    if copy:
+        return even.copy(), odd.copy()
+    return even, odd
 
 
 class InterleavedPair:

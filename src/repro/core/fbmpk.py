@@ -42,6 +42,7 @@ from ..parallel.executor import (
     ThreadedPhaseExecutor,
     check_phases,
 )
+from ..parallel.procexec import ProcessPhaseExecutor
 from ..robust.validate import ensure_finite
 from ..parallel.scheduler import (
     BlockTask,
@@ -356,7 +357,12 @@ class _SweepPart:
 
 
 Backend = Literal["numpy", "scipy"]
-ExecutorKind = Literal["serial", "threads"]
+ExecutorKind = Literal["serial", "threads", "processes"]
+
+#: Valid values of ``FBMPKOperator.executor`` (the ``"processes"``
+#: backend is the shared-memory worker pool of
+#: :mod:`repro.parallel.procexec`).
+EXECUTOR_KINDS = ("serial", "threads", "processes")
 
 
 def _snapshot_counter(counter: Optional[KernelCounter]):
@@ -485,6 +491,21 @@ class _ThreadedState:
     pool: ThreadedPhaseExecutor
 
 
+@dataclass
+class _ProcState:
+    """Lazily built artefacts of the ``"processes"`` execution backend.
+
+    The pool owns the shared-memory arena holding the triangles and the
+    working buffers; the operator's ``_xy_buf``/``_tmp_buf`` are bound
+    to the arena's segments while this state is live, so the sweeps
+    write straight into memory every worker has mapped.
+    """
+
+    fw_phases: List[Phase]
+    bw_phases: List[Phase]
+    pool: ProcessPhaseExecutor
+
+
 PhasePlan = Tuple[List[Phase], List[Phase]]
 
 
@@ -537,7 +558,7 @@ class FBMPKOperator:
             raise ValueError("invalid sweep groups for this partition")
         if backend not in ("numpy", "scipy"):
             raise ValueError(f"unknown backend {backend!r}")
-        if executor not in ("serial", "threads"):
+        if executor not in EXECUTOR_KINDS:
             raise ValueError(f"unknown executor {executor!r}")
         if on_failure not in ("raise", "fallback_serial"):
             raise ValueError(f"unknown on_failure policy {on_failure!r}")
@@ -560,7 +581,13 @@ class FBMPKOperator:
         self.last_stats: Optional[ExecutionStats] = None
         self._phase_plan = phase_plan
         self._validate_phases = validate
+        self._phases_checked = False
         self._threaded: Optional[_ThreadedState] = None
+        self._procs: Optional[_ProcState] = None
+        # True while _xy_buf/_tmp_buf/_blk_buf are views into the
+        # process pool's shared-memory arena (they must be dropped when
+        # the arena is unlinked).
+        self._shm_bound = False
         self._tstats = None  # lazy MatrixTrafficStats for telemetry
         # Persistent working buffers, allocated on first use and reused
         # across power calls: the 2n BtB iterate buffer and the length-n
@@ -593,13 +620,13 @@ class FBMPKOperator:
         """Re-point the operator at a different execution backend.
 
         Phases and block kernels are preprocessing artefacts and are
-        kept; only the worker pool is recreated, so a benchmark can
+        kept; only the worker pools are recreated, so a benchmark can
         sweep thread counts and policies over one amortised
         preprocessing pass (Section V-F).  Returns ``self`` for
         chaining.
         """
         if executor is not None:
-            if executor not in ("serial", "threads"):
+            if executor not in EXECUTOR_KINDS:
                 raise ValueError(f"unknown executor {executor!r}")
             self.executor = executor
         if n_threads is not None:
@@ -615,24 +642,32 @@ class FBMPKOperator:
             self._threaded.pool.close()
             self._threaded.pool = ThreadedPhaseExecutor(
                 self.n_threads, self.assign_policy)
+        self._close_procs()  # next processes call rebuilds with new knobs
         return self
+
+    def _built_phase_plan(self) -> PhasePlan:
+        """The ``(forward, backward)`` block-phase schedule both parallel
+        backends execute: the constructor-provided plan if any, otherwise
+        one phase per sweep group.  Built and validated once, shared by
+        the ``"threads"`` and ``"processes"`` states."""
+        if self._phase_plan is None:
+            self._phase_plan = (
+                phases_from_groups(self.part.lower, self.groups.forward),
+                phases_from_groups(self.part.upper, self.groups.backward))
+        fw, bw = self._phase_plan
+        if self._validate_phases and not self._phases_checked:
+            if not check_phases(self.part.lower, fw) \
+                    or not check_phases(self.part.upper, bw):
+                raise ValueError(
+                    "phases are not executable with one barrier each")
+            self._phases_checked = True
+        return fw, bw
 
     def _ensure_threaded(self) -> _ThreadedState:
         """Build the block phases, per-block kernels and worker pool on
         first threaded use (lazy so serial operators pay nothing)."""
         if self._threaded is None:
-            if self._phase_plan is not None:
-                fw, bw = self._phase_plan
-            else:
-                fw = phases_from_groups(self.part.lower,
-                                        self.groups.forward)
-                bw = phases_from_groups(self.part.upper,
-                                        self.groups.backward)
-            if self._validate_phases and (
-                    not check_phases(self.part.lower, fw)
-                    or not check_phases(self.part.upper, bw)):
-                raise ValueError(
-                    "phases are not executable with one barrier each")
+            fw, bw = self._built_phase_plan()
             fw_kernels = {t: _BlockKernel(self.part.lower, t)
                           for ph in fw for t in ph.tasks}
             bw_kernels = {t: _BlockKernel(self.part.upper, t)
@@ -644,6 +679,38 @@ class FBMPKOperator:
                                            self.assign_policy))
         return self._threaded
 
+    def _ensure_procs(self) -> _ProcState:
+        """Build the process pool (and its shared-memory arena) on first
+        ``"processes"`` use, and bind the operator's persistent working
+        buffers to the arena segments — the sweeps then write directly
+        into memory every worker has mapped, so dispatch ships no array
+        data.  The binding happens *before* ``_acquire_pair`` /
+        ``_acquire_tmp`` run, which makes those reuse the shared
+        segments instead of allocating private memory."""
+        if self._procs is None:
+            fw, bw = self._built_phase_plan()
+            pool = ProcessPhaseExecutor(
+                self.part, n_workers=self.n_threads,
+                policy=self.assign_policy)
+            self._procs = _ProcState(fw_phases=fw, bw_phases=bw, pool=pool)
+        self._xy_buf = self._procs.pool.xy
+        self._tmp_buf = self._procs.pool.tmp
+        self._shm_bound = True
+        return self._procs
+
+    def _close_procs(self) -> None:
+        """Tear the process backend down: stop the workers, unlink the
+        shared-memory segments, and drop any operator buffers that were
+        views into them (idempotent)."""
+        if self._procs is not None:
+            self._procs.pool.close()
+            self._procs = None
+        if self._shm_bound:
+            self._xy_buf = None
+            self._tmp_buf = None
+            self._blk_buf = None
+            self._shm_bound = False
+
     def block_phases(self) -> PhasePlan:
         """The ``(forward, backward)`` block-phase schedule the threaded
         backend executes (built lazily on first access).  Useful for
@@ -654,12 +721,14 @@ class FBMPKOperator:
         return state.fw_phases, state.bw_phases
 
     def close(self) -> None:
-        """Shut down the threaded backend's worker pool (idempotent;
-        the operator remains usable and will respawn workers on the
-        next threaded call)."""
+        """Shut down the parallel backends: the threaded worker pool,
+        and the process pool with its shared-memory segments
+        (idempotent; the operator remains usable and will respawn
+        workers — and re-create segments — on the next parallel call)."""
         if self._threaded is not None:
             self._threaded.pool.close()
             self._threaded = None
+        self._close_procs()
 
     def __enter__(self) -> "FBMPKOperator":
         return self
@@ -726,15 +795,25 @@ class FBMPKOperator:
         on_iterate: Optional[IterateCallback] = None,
         counter: Optional[KernelCounter] = None,
         check_finite: bool = False,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Compute ``A^k x`` with the fused forward-backward pipeline.
 
         With ``executor="threads"`` the forward/backward stages run on
         the real colour-phase executor (same-colour blocks concurrently,
-        one barrier per colour); the result is bit-identical to the
-        serial backend, and the run's timings land in
-        :attr:`last_stats`.  The head/tail full-triangle SpMVs are plain
-        vectorised kernels either way.
+        one barrier per colour); with ``executor="processes"`` they run
+        on the shared-memory worker pool of
+        :mod:`repro.parallel.procexec` (same phases, GIL-free).  Either
+        way the result is bit-identical to the serial backend and the
+        run's timings land in :attr:`last_stats`.  The head/tail
+        full-triangle SpMVs are plain vectorised kernels in the calling
+        process regardless of backend.
+
+        ``out``, if given, receives the result (a float64 array of
+        shape ``(n,)``) instead of a fresh allocation — the repeated-
+        call regime FBMPK exists for can then run allocation-free.  The
+        returned array *is* ``out``.  Iterates passed to ``on_iterate``
+        are always freshly allocated (they must outlive the call).
 
         ``check_finite=True`` guards the computation against NaN/Inf:
         the input vector and every produced iterate are checked, and a
@@ -742,30 +821,37 @@ class FBMPKOperator:
         power at which a non-finite value appeared — instead of silently
         propagating garbage through the remaining sweeps.
 
-        Failure containment: if a sweep raises mid-call on the threaded
+        Failure containment: if a sweep raises mid-call on a parallel
         backend, the worker pool is shut down before the exception
-        leaves this method (no leaked threads).  With
-        ``on_failure="fallback_serial"`` a
+        leaves this method (no leaked threads or processes, no leaked
+        shared memory).  With ``on_failure="fallback_serial"`` a
         :class:`~repro.robust.errors.PhaseExecutionError` is not raised
         at all — the operator warns and recomputes the whole call with
         the serial fused sweeps from the original input, bit-identical
-        to a clean serial run.  (``on_iterate`` callbacks observed
-        before the crash fire again during the rerun.)
+        to a clean serial run.  This containment also covers a worker
+        process killed mid-phase (detected by the pool's liveness
+        polling).  (``on_iterate`` callbacks observed before the crash
+        fire again during the rerun.)
         """
         if k < 0:
             raise ValueError("power k must be non-negative")
         x = _as_float64(x)
         if x.shape != (self.n,):
             raise ValueError(f"x has shape {x.shape}, expected ({self.n},)")
+        out = self._check_out(out, (self.n,))
         if check_finite:
             ensure_finite(x, "input vector x")
         self.last_stats = None
         if self.perm is not None:
             x = permute_vector(x, self.perm)
         if k == 0:
-            y = x.copy()
-            return unpermute_vector(y, self.perm) if self.perm is not None else y
-        threaded = self.executor == "threads"
+            if self.perm is not None:
+                return unpermute_vector(x, self.perm, out=out)
+            if out is not None:
+                np.copyto(out, x)
+                return out
+            return x.copy()
+        mode = self.executor
         # Telemetry bookkeeping: when a session is active we always keep
         # pass counts (in the caller's counter if given, an internal one
         # otherwise) so the run's matrix-read equivalents can be
@@ -778,9 +864,9 @@ class FBMPKOperator:
         with obs.span("fbmpk.power", k=k, n=self.n,
                       executor=self.executor, backend=self.backend,
                       origin=self.groups.origin):
-            if not threaded:
+            if mode == "serial":
                 y = self._power_body(x, k, on_iterate, counter,
-                                     check_finite, threaded=False)
+                                     check_finite, mode="serial", out=out)
                 self._publish_power_telemetry(k, counter, obs_snap)
                 return y
             fallback = self.on_failure == "fallback_serial"
@@ -788,19 +874,19 @@ class FBMPKOperator:
             counter_saved = _snapshot_counter(counter) if fallback else None
             try:
                 y = self._power_body(x, k, on_iterate, counter,
-                                     check_finite, threaded=True)
+                                     check_finite, mode=mode, out=out)
             except PhaseExecutionError:
                 self.close()
                 if not fallback:
                     raise
                 warnings.warn(
-                    "threaded FBMPK phase crashed; recomputing serially "
+                    f"{mode} FBMPK phase crashed; recomputing serially "
                     "(on_failure='fallback_serial')", RuntimeWarning,
                     stacklevel=2)
                 _restore_counter(counter, counter_saved)
                 self.last_stats = None
                 y = self._power_body(x_saved, k, on_iterate, counter,
-                                     check_finite, threaded=False)
+                                     check_finite, mode="serial", out=out)
             except BaseException:
                 # Any other mid-sweep failure (a NonFiniteError between
                 # stages, a raising on_iterate callback, ...) must not
@@ -810,6 +896,20 @@ class FBMPKOperator:
             self._publish_power_telemetry(k, counter, obs_snap)
             return y
 
+    def _check_out(self, out: Optional[np.ndarray],
+                   shape: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """Validate a caller-provided result buffer: float64, C-order,
+        exact shape — the contract that lets the pipeline write into it
+        without conversions."""
+        if out is None:
+            return None
+        if not isinstance(out, np.ndarray) or out.dtype != np.float64:
+            raise TypeError("out must be a float64 ndarray")
+        if out.shape != shape:
+            raise ValueError(
+                f"out has shape {out.shape}, expected {shape}")
+        return out
+
     def _power_body(
         self,
         x: np.ndarray,
@@ -817,11 +917,20 @@ class FBMPKOperator:
         on_iterate: Optional[IterateCallback],
         counter: Optional[KernelCounter],
         check_finite: bool,
-        threaded: bool,
+        mode: str,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """The sweep pipeline proper; ``x`` is already permuted and
-        ``k >= 1`` validated by :meth:`power`."""
+        ``k >= 1`` validated by :meth:`power`.  ``mode`` is the resolved
+        execution backend for this attempt (``power`` may retry a failed
+        parallel attempt with ``mode="serial"``)."""
         d = self.part.diag
+        threaded = mode == "threads"
+        procs = mode == "processes"
+        if procs:
+            # Must run before _acquire_pair/_acquire_tmp: binds the
+            # persistent buffers to the pool's shared-memory segments.
+            pstate = self._ensure_procs()
         pair = self._acquire_pair(x)
         XY = pair.as_matrix()
         with obs.span("fbmpk.head", sweep="head"):
@@ -833,6 +942,10 @@ class FBMPKOperator:
             stats = ExecutionStats(n_threads=state.pool.n_threads,
                                    policy=state.pool.policy)
             self.last_stats = stats
+        elif procs:
+            stats = ExecutionStats(n_threads=pstate.pool.n_workers,
+                                   policy=pstate.pool.policy)
+            self.last_stats = stats
         power = 0
         for _ in range(k // 2):
             with obs.span("fbmpk.sweep", sweep="forward",
@@ -842,11 +955,14 @@ class FBMPKOperator:
                         state.fw_phases,
                         lambda t: state.fw_kernels[t].forward(XY, tmp, d),
                         stats)
-                    if counter:
-                        counter.count_l(self.part.lower.nnz,
-                                        self.part.lower.nnz)
+                elif procs:
+                    pstate.pool.run_phases(pstate.fw_phases, "forward",
+                                           stats)
                 else:
                     self._forward_sweep(XY, tmp, d, counter)
+                if (threaded or procs) and counter:
+                    counter.count_l(self.part.lower.nnz,
+                                    self.part.lower.nnz)
             power += 1
             obs.event("fbmpk.iterate", power_step=power)
             if check_finite:
@@ -860,11 +976,14 @@ class FBMPKOperator:
                         state.bw_phases,
                         lambda t: state.bw_kernels[t].backward(XY, tmp),
                         stats)
-                    if counter:
-                        counter.count_u(self.part.upper.nnz,
-                                        self.part.upper.nnz)
+                elif procs:
+                    pstate.pool.run_phases(pstate.bw_phases, "backward",
+                                           stats)
                 else:
                     self._backward_sweep(XY, tmp, counter)
+                if (threaded or procs) and counter:
+                    counter.count_u(self.part.upper.nnz,
+                                    self.part.upper.nnz)
             power += 1
             obs.event("fbmpk.iterate", power_step=power)
             if check_finite:
@@ -882,8 +1001,8 @@ class FBMPKOperator:
                 ensure_finite(y, f"iterate A^{k} x")
             if on_iterate:
                 on_iterate(k, self._out(y))
-            return self._out(y)
-        return self._out(XY[:, 0])
+            return self._out(y, out)
+        return self._out(XY[:, 0], out)
 
     # -- telemetry ------------------------------------------------------
     def _traffic_stats(self):
@@ -939,7 +1058,8 @@ class FBMPKOperator:
 
     def power_block(self, X: np.ndarray, k: int,
                     counter: Optional[KernelCounter] = None,
-                    check_finite: bool = False) -> np.ndarray:
+                    check_finite: bool = False,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
         """Compute ``A^k X`` for a dense block ``X`` of shape ``(n, m)``.
 
         Block version of :meth:`power` for subspace methods (Chebyshev
@@ -950,7 +1070,13 @@ class FBMPKOperator:
 
         The working buffer interleaves each column's even/odd iterates
         (columns ``2j``/``2j + 1``), the block generalisation of the BtB
-        layout.  ``check_finite=True`` validates the input block and
+        layout.  With ``executor="processes"`` the sweeps run on the
+        shared-memory worker pool (the interleaved block buffer lives in
+        a shared segment), bit-identical to the serial path and with the
+        same :class:`PhaseExecutionError` containment as :meth:`power`;
+        any other executor runs the serial fused sweeps.  ``out``, if
+        given, receives the ``(n, m)`` result instead of a fresh
+        allocation.  ``check_finite=True`` validates the input block and
         every completed stage pair (see :meth:`power`).
         """
         if k < 0:
@@ -958,76 +1084,184 @@ class FBMPKOperator:
         X = _as_float64(X)
         if X.ndim != 2 or X.shape[0] != self.n:
             raise ValueError(f"X has shape {X.shape}, expected ({self.n}, m)")
+        out = self._check_out(out, X.shape)
         if check_finite:
             ensure_finite(X, "input block X")
         if self.perm is not None:
             X = X[self.perm]
         if k == 0:
-            out = X.copy()
-            return out[_inverse_rows(self.perm)] if self.perm is not None \
-                else out
+            return self._finish_block(X, out, owned=False)
         m = X.shape[1]
         telemetry = obs.current() is not None
         if telemetry and counter is None:
             counter = KernelCounter()
         obs_snap = _snapshot_counter(counter) if telemetry else None
-        with obs.span("fbmpk.power_block", k=k, n=self.n, m=m):
-            d = self.part.diag[:, None]
-            if self._blk_buf is None or self._blk_buf.shape[1] != 2 * m:
-                self._blk_buf = np.zeros((self.n, 2 * m), dtype=np.float64)
-            XY = self._blk_buf
-            XY[:, 0::2] = X
-            XY[:, 1::2] = 0.0
-            tmp = self.part.upper.matmat(X)
-            if counter:
-                counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
-            l_total = self.part.lower.nnz
-            u_total = self.part.upper.nnz
-            stage = 0
-            for _ in range(k // 2):
-                with obs.span("fbmpk.sweep", sweep="forward",
-                              power_step=stage + 1):
-                    for p in self._fw:
-                        rows = p.rows
-                        prod = p.apply(XY)
-                        new_odd = tmp[rows] + d[rows] * XY[rows, 0::2] \
-                            + prod[:, 0::2]
-                        XY[rows, 1::2] = new_odd
-                        tmp[rows] = prod[:, 1::2] + d[rows] * new_odd
-                        if counter:
-                            counter.count_l(p.nnz, l_total)
-                with obs.span("fbmpk.sweep", sweep="backward",
-                              power_step=stage + 2):
-                    for p in self._bw:
-                        rows = p.rows
-                        prod = p.apply(XY)
-                        XY[rows, 0::2] = tmp[rows] + prod[:, 1::2]
-                        tmp[rows] = prod[:, 0::2]
-                        if counter:
-                            counter.count_u(p.nnz, u_total)
-                stage += 2
-                if check_finite:
-                    ensure_finite(XY, f"block iterates through A^{stage} X")
-            if k % 2:
-                even = XY[:, 0::2]
-                with obs.span("fbmpk.tail", sweep="tail", power_step=k):
-                    Y = self.part.lower.matmat(even) + tmp + d * even
-                if counter:
-                    counter.count_l(l_total, l_total)
-                if check_finite:
-                    ensure_finite(Y, f"block iterate A^{k} X")
+        mode = "processes" if self.executor == "processes" else "serial"
+        with obs.span("fbmpk.power_block", k=k, n=self.n, m=m,
+                      executor=mode):
+            if mode == "serial":
+                Y, owned = self._power_block_body(X, k, counter,
+                                                  check_finite)
             else:
-                Y = XY[:, 0::2].copy()
+                fallback = self.on_failure == "fallback_serial"
+                counter_saved = _snapshot_counter(counter) if fallback \
+                    else None
+                try:
+                    Y, owned = self._power_block_procs(X, k, counter,
+                                                       check_finite)
+                except PhaseExecutionError:
+                    self.close()
+                    if not fallback:
+                        raise
+                    warnings.warn(
+                        "processes FBMPK block phase crashed; recomputing "
+                        "serially (on_failure='fallback_serial')",
+                        RuntimeWarning, stacklevel=2)
+                    _restore_counter(counter, counter_saved)
+                    self.last_stats = None
+                    Y, owned = self._power_block_body(X, k, counter,
+                                                      check_finite)
+                except BaseException:
+                    # Mid-call NonFiniteError etc. must not leak the
+                    # worker pool or its shared segments.
+                    self.close()
+                    raise
         self._publish_power_telemetry(k, counter, obs_snap)
-        if self.perm is not None:
-            Y = Y[_inverse_rows(self.perm)]
-        return Y
+        return self._finish_block(Y, out, owned=owned)
 
-    def _out(self, y: np.ndarray) -> np.ndarray:
-        """Copy out of the working buffer, undoing any ABMC permutation."""
+    def _power_block_body(self, X: np.ndarray, k: int,
+                          counter: Optional[KernelCounter],
+                          check_finite: bool
+                          ) -> Tuple[np.ndarray, bool]:
+        """Serial fused block sweeps over the persistent interleaved
+        buffer; returns ``(Y, owned)`` in the operator's numbering,
+        ``owned=False`` meaning ``Y`` aliases the working buffer."""
+        m = X.shape[1]
+        d = self.part.diag[:, None]
+        if self._blk_buf is None or self._blk_buf.shape[1] != 2 * m:
+            self._blk_buf = np.zeros((self.n, 2 * m), dtype=np.float64)
+        XY = self._blk_buf
+        XY[:, 0::2] = X
+        XY[:, 1::2] = 0.0
+        tmp = self.part.upper.matmat(X)
+        if counter:
+            counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
+        l_total = self.part.lower.nnz
+        u_total = self.part.upper.nnz
+        stage = 0
+        for _ in range(k // 2):
+            with obs.span("fbmpk.sweep", sweep="forward",
+                          power_step=stage + 1):
+                for p in self._fw:
+                    rows = p.rows
+                    prod = p.apply(XY)
+                    new_odd = tmp[rows] + d[rows] * XY[rows, 0::2] \
+                        + prod[:, 0::2]
+                    XY[rows, 1::2] = new_odd
+                    tmp[rows] = prod[:, 1::2] + d[rows] * new_odd
+                    if counter:
+                        counter.count_l(p.nnz, l_total)
+            with obs.span("fbmpk.sweep", sweep="backward",
+                          power_step=stage + 2):
+                for p in self._bw:
+                    rows = p.rows
+                    prod = p.apply(XY)
+                    XY[rows, 0::2] = tmp[rows] + prod[:, 1::2]
+                    tmp[rows] = prod[:, 0::2]
+                    if counter:
+                        counter.count_u(p.nnz, u_total)
+            stage += 2
+            if check_finite:
+                ensure_finite(XY, f"block iterates through A^{stage} X")
+        if k % 2:
+            even = XY[:, 0::2]
+            with obs.span("fbmpk.tail", sweep="tail", power_step=k):
+                Y = self.part.lower.matmat(even) + tmp + d * even
+            if counter:
+                counter.count_l(l_total, l_total)
+            if check_finite:
+                ensure_finite(Y, f"block iterate A^{k} X")
+            return Y, True
+        return XY[:, 0::2], False
+
+    def _power_block_procs(self, X: np.ndarray, k: int,
+                           counter: Optional[KernelCounter],
+                           check_finite: bool
+                           ) -> Tuple[np.ndarray, bool]:
+        """Block sweeps on the process pool: the interleaved block
+        buffer and the block temporary live in shared segments, dispatch
+        ships only block descriptors.  Same return contract as
+        :meth:`_power_block_body`."""
+        pstate = self._ensure_procs()
+        m = X.shape[1]
+        XY, tmp = pstate.pool.ensure_block(m)
+        self._blk_buf = XY
+        d = self.part.diag[:, None]
+        XY[:, 0::2] = X
+        XY[:, 1::2] = 0.0
+        np.copyto(tmp, self.part.upper.matmat(X))
+        if counter:
+            counter.count_u(self.part.upper.nnz, self.part.upper.nnz)
+        stats = ExecutionStats(n_threads=pstate.pool.n_workers,
+                               policy=pstate.pool.policy)
+        self.last_stats = stats
+        stage = 0
+        for _ in range(k // 2):
+            with obs.span("fbmpk.sweep", sweep="forward",
+                          power_step=stage + 1):
+                pstate.pool.run_phases(pstate.fw_phases, "forward_block",
+                                       stats)
+                if counter:
+                    counter.count_l(self.part.lower.nnz,
+                                    self.part.lower.nnz)
+            with obs.span("fbmpk.sweep", sweep="backward",
+                          power_step=stage + 2):
+                pstate.pool.run_phases(pstate.bw_phases, "backward_block",
+                                       stats)
+                if counter:
+                    counter.count_u(self.part.upper.nnz,
+                                    self.part.upper.nnz)
+            stage += 2
+            if check_finite:
+                ensure_finite(XY, f"block iterates through A^{stage} X")
+        if k % 2:
+            even = XY[:, 0::2]
+            with obs.span("fbmpk.tail", sweep="tail", power_step=k):
+                Y = self.part.lower.matmat(even) + tmp + d * even
+            if counter:
+                counter.count_l(self.part.lower.nnz, self.part.lower.nnz)
+            if check_finite:
+                ensure_finite(Y, f"block iterate A^{k} X")
+            return Y, True
+        return XY[:, 0::2], False
+
+    def _finish_block(self, Y: np.ndarray, out: Optional[np.ndarray],
+                      owned: bool) -> np.ndarray:
+        """Map a result block from the operator's numbering back to the
+        caller's, landing in ``out`` when provided.  ``owned=False``
+        marks ``Y`` as aliasing a working buffer (it must be copied
+        before returning)."""
+        if out is not None:
+            if self.perm is not None:
+                out[self.perm] = Y
+            else:
+                np.copyto(out, Y)
+            return out
+        if self.perm is not None:
+            return Y[_inverse_rows(self.perm)]
+        return Y if owned else Y.copy()
+
+    def _out(self, y: np.ndarray,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy out of the working buffer, undoing any ABMC permutation;
+        with ``out`` the copy lands in the caller's buffer instead of a
+        fresh allocation."""
         y = np.asarray(y, dtype=np.float64)
         if self.perm is not None:
-            return unpermute_vector(y, self.perm)
+            return unpermute_vector(y, self.perm, out=out)
+        if out is not None:
+            np.copyto(out, y)
+            return out
         return y.copy()
 
     # -- persistence ----------------------------------------------------
@@ -1127,9 +1361,12 @@ def build_fbmpk_operator(
     choice on this substrate).
 
     ``executor`` selects how sweeps run: ``"serial"`` (the fused
-    single-thread pipeline) or ``"threads"`` (the real colour-phase
+    single-thread pipeline), ``"threads"`` (the real colour-phase
     executor of :mod:`repro.parallel.executor`, ``n_threads`` workers,
-    blocks dealt out by ``assign_policy``).  With ``strategy="abmc"``
+    blocks dealt out by ``assign_policy``) or ``"processes"`` (the
+    shared-memory worker pool of :mod:`repro.parallel.procexec`, same
+    phases and policies but GIL-free — ``n_threads`` then counts worker
+    processes).  With ``strategy="abmc"``
     the threaded backend gets the paper's true block phases — one phase
     per colour, one task per block, intra-block rows handled inside the
     task — so a k=2 pair costs ``2 * n_colors`` barriers regardless of

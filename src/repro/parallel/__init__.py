@@ -8,7 +8,11 @@ Three layers (see DESIGN.md "Execution backends"):
   for scalability studies beyond this host's core count (Fig 12);
 * :mod:`~repro.parallel.executor` — a real
   :class:`~concurrent.futures.ThreadPoolExecutor` backend that actually
-  runs each phase's blocks concurrently with one barrier per colour.
+  runs each phase's blocks concurrently with one barrier per colour;
+* :mod:`~repro.parallel.procexec` — a persistent *process* pool over
+  :mod:`multiprocessing.shared_memory` (zero-copy matrix and iterate
+  segments, descriptor-only dispatch) for the small-block regime where
+  CPython's GIL serialises the thread backend.
 """
 
 from .executor import (
@@ -18,6 +22,7 @@ from .executor import (
     ThreadedPhaseExecutor,
     check_phases,
 )
+from .procexec import ProcessPhaseExecutor, SharedArena
 from .scheduler import (
     BlockTask,
     Phase,
@@ -41,4 +46,6 @@ __all__ = [
     "PhaseRecord",
     "ThreadedPhaseExecutor",
     "check_phases",
+    "ProcessPhaseExecutor",
+    "SharedArena",
 ]

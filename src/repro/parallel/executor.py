@@ -122,9 +122,12 @@ class ExecutionStats:
     def efficiency(self) -> float:
         """Busy thread-seconds over available thread-seconds (load
         balance measure, directly comparable to
-        :attr:`SimulatedRun.efficiency`)."""
+        :attr:`SimulatedRun.efficiency`).  A run with no recorded wall
+        time (empty phase list) has used no thread-seconds, so its
+        efficiency is defined as 0.0 rather than risking a division by
+        zero."""
         denom = self.n_threads * self.total_wall_s
-        return self.busy_s / denom if denom else 1.0
+        return self.busy_s / denom if denom else 0.0
 
 
 def check_phases(tri: CSRMatrix, phases: Sequence[Phase]) -> bool:

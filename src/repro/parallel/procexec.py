@@ -1,0 +1,721 @@
+"""Zero-copy shared-memory process-parallel backend for FBMPK colour phases.
+
+The threaded executor (:mod:`repro.parallel.executor`) runs the paper's
+colour-phase schedule on real OS threads, but CPython only lets those
+threads overlap where the NumPy kernels drop the GIL — for small blocks
+the interpreter serialises the schedule.  This module provides the
+backend that sidesteps the GIL entirely: a persistent pool of worker
+*processes* over :mod:`multiprocessing.shared_memory`.
+
+The design is zero-copy by construction.  At pool construction the CSR
+triangles (``indptr``/``indices``/``data`` of L and U), the diagonal,
+the BtB interleaved iterate buffer and the sweep temporary are placed in
+named shared-memory segments; every worker maps the same segments and
+builds plain numpy views over them.  Dispatching a phase therefore ships
+only tiny descriptors — ``(sweep, phase, colour, block row ranges,
+slot)`` tuples over a queue — never array payloads, exactly as the
+distributed matrix-power kernels of Alappat et al. ship halo metadata
+rather than matrix data.
+
+Execution semantics are identical to the threaded backend: tasks are
+statically assigned to ``n_workers`` bins by
+:func:`~repro.parallel.scheduler.assign_tasks` (``round_robin``/
+``lpt``/``dynamic``), each non-empty bin is one message to its worker,
+and the phase returns only when every dispatched bin has acknowledged —
+the barrier.  Per-row arithmetic in the workers is the same
+``reduce_rows`` reduction the serial and threaded paths use, so results
+are **bit-identical** to a serial run.
+
+Failure containment matches :class:`ThreadedPhaseExecutor` and extends
+it with dead-worker detection: a worker exception crosses the process
+boundary as a pickled cause chained into a typed
+:class:`~repro.robust.errors.PhaseExecutionError`; a SIGKILL'd worker is
+detected by liveness polling while the barrier drains.  Either way every
+still-live bin is awaited, the pool is torn down (a later call respawns
+it), and ``on_failure="fallback_serial"`` re-runs the phases in the
+calling process from a caller-provided ``reset`` snapshot.  The
+``"executor.task"`` chaos hook fires in the parent at dispatch time so
+the fault-injection suite drives this backend exactly like the threaded
+one.
+
+Shared-memory lifecycle is leak-proof: segments are unlinked by
+``close()``/context-manager exit, by a ``weakref.finalize`` finaliser
+(which doubles as an ``atexit`` hook), and unlinking is decoupled from
+buffer release so even live outstanding views cannot keep a name in
+``/dev/shm``.  ``tests/parallel/test_process_executor.py`` asserts no
+residue survives the crash paths.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue as _queue
+import secrets
+import time
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..robust.errors import PhaseExecutionError
+from ..robust.faults import fire_timed as _fire_fault_timed
+from ..sparse.csr import reduce_rows
+from .executor import ExecutionStats, PhaseRecord
+from .scheduler import Phase, assign_tasks
+
+__all__ = [
+    "SHM_PREFIX",
+    "SWEEPS",
+    "SharedArena",
+    "ProcessPhaseExecutor",
+]
+
+#: Prefix of every shared-memory segment this backend creates; the leak
+#: tests (and the CI ``/dev/shm`` check) grep for it.
+SHM_PREFIX = "repro-shm-"
+
+#: The named kernels a worker can execute.  ``forward``/``backward`` are
+#: the vector (BtB pair) sweeps of ``power``; the ``*_block`` variants
+#: operate on the interleaved ``(n, 2m)`` block buffer of
+#: ``power_block``.
+SWEEPS = ("forward", "backward", "forward_block", "backward_block")
+
+_SegmentSpec = Tuple[str, str, Tuple[int, ...]]  # (shm name, dtype, shape)
+
+
+def _release_segments(owned: List[shared_memory.SharedMemory]) -> None:
+    """Close and unlink every owned segment (idempotent, exception-proof).
+
+    ``close()`` can raise ``BufferError`` while numpy views are still
+    alive; unlinking is attempted regardless so the ``/dev/shm`` name
+    always disappears — the mapping itself is freed when the last view
+    dies, which is the POSIX contract.
+    """
+    for shm in owned:
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        except OSError:
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:
+            pass
+    owned.clear()
+
+
+def _disable_shm_tracking() -> None:
+    """Stop this process's resource tracker from adopting *attached*
+    segments.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment
+    even when merely attaching (bpo-38119).  Under the default ``fork``
+    start method the workers share the parent's tracker process, so a
+    worker's spurious registration (or a compensating ``unregister``)
+    would corrupt the parent's own bookkeeping for segments it owns.
+    Workers never create segments, so the clean fix is to make
+    ``register`` a no-op for the worker's lifetime — ownership and
+    unlinking stay entirely with the creating process.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        def _noop_register(name, rtype):
+            if rtype != "shared_memory":
+                _orig_register(name, rtype)
+
+        _orig_register = resource_tracker.register
+        resource_tracker.register = _noop_register
+    except Exception:
+        pass
+
+
+class SharedArena:
+    """A set of named shared-memory segments with leak-proof teardown.
+
+    The creating process calls :meth:`add` per array; workers rebuild
+    views from :attr:`spec` via :func:`attach_views`.  Teardown runs on
+    :meth:`close`, on garbage collection and at interpreter exit
+    (``weakref.finalize`` registers an ``atexit`` hook), whichever comes
+    first.
+    """
+
+    def __init__(self) -> None:
+        self._owned: List[shared_memory.SharedMemory] = []
+        self._by_tag: Dict[str, shared_memory.SharedMemory] = {}
+        self._views: Dict[str, np.ndarray] = {}
+        #: ``tag -> (shm name, dtype str, shape)``; picklable, this is
+        #: what crosses the process boundary instead of array payloads.
+        self.spec: Dict[str, _SegmentSpec] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._owned)
+
+    def add(self, tag: str, arr: np.ndarray) -> np.ndarray:
+        """Create a segment holding a copy of ``arr``; returns the
+        shared view (the arena's canonical array for ``tag``)."""
+        arr = np.ascontiguousarray(arr)
+        name = f"{SHM_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}-{tag}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, arr.nbytes))
+        self._owned.append(shm)
+        self._by_tag[tag] = shm
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        self._views[tag] = view
+        self.spec[tag] = (shm.name, arr.dtype.str, tuple(arr.shape))
+        return view
+
+    def view(self, tag: str) -> np.ndarray:
+        """The canonical shared view for ``tag``."""
+        return self._views[tag]
+
+    def drop(self, tags: Sequence[str]) -> None:
+        """Unlink specific segments early (block-buffer rebinds)."""
+        for tag in tags:
+            shm = self._by_tag.pop(tag, None)
+            if shm is None:
+                continue
+            self._views.pop(tag, None)
+            self.spec.pop(tag, None)
+            if shm in self._owned:
+                self._owned.remove(shm)
+            _release_segments([shm])
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent)."""
+        self._views.clear()
+        self._by_tag.clear()
+        self.spec.clear()
+        self._finalizer()
+
+
+# ---------------------------------------------------------------------------
+# kernels (run identically in workers and in the serial fallback)
+# ---------------------------------------------------------------------------
+def _matmat_rows(vals: np.ndarray, cols: np.ndarray, indptr: np.ndarray,
+                 X: np.ndarray) -> np.ndarray:
+    """Row-segment SpMM mirroring :meth:`CSRMatrix.matmat` branch for
+    branch, so block sweeps stay bit-identical to the serial fused
+    pipeline's per-row sums."""
+    w = X.shape[1]
+    if w <= 4:
+        gathered = X[cols]
+        out_cols = [reduce_rows(vals * gathered[:, j], indptr)
+                    for j in range(w)]
+        if not out_cols:
+            return np.zeros((indptr.shape[0] - 1, 0), dtype=np.float64)
+        return np.stack(out_cols, axis=1)
+    return reduce_rows(vals[:, None] * X[cols], indptr)
+
+
+class _Views:
+    """Numpy views over the arena segments plus the four sweep kernels.
+
+    Built directly over the creating process's views, or re-attached in
+    a worker from the picklable spec.  All kernels slice the shared
+    arrays — zero copies on any hot path.
+    """
+
+    CORE_TAGS = ("l_indptr", "l_indices", "l_data",
+                 "u_indptr", "u_indices", "u_data",
+                 "diag", "xy", "tmp")
+
+    def __init__(self, get: Callable[[str], np.ndarray]) -> None:
+        (self.l_indptr, self.l_indices, self.l_data,
+         self.u_indptr, self.u_indices, self.u_data,
+         self.diag, self.xy, self.tmp) = (get(t) for t in self.CORE_TAGS)
+        self.xy2 = self.xy.reshape(-1, 2)
+        self.xyb: Optional[np.ndarray] = None
+        self.tmpb: Optional[np.ndarray] = None
+
+    def bind_block(self, xyb: Optional[np.ndarray],
+                   tmpb: Optional[np.ndarray]) -> None:
+        self.xyb = xyb
+        self.tmpb = tmpb
+
+    # -- sweep kernels --------------------------------------------------
+    def _tri(self, lower: bool, start: int, stop: int):
+        ip = self.l_indptr if lower else self.u_indptr
+        lo, hi = int(ip[start]), int(ip[stop])
+        local = ip[start:stop + 1] - lo
+        if lower:
+            return local, self.l_indices[lo:hi], self.l_data[lo:hi]
+        return local, self.u_indices[lo:hi], self.u_data[lo:hi]
+
+    def run(self, sweep: str, start: int, stop: int) -> None:
+        """Execute one block task (same arithmetic as the serial fused
+        sweeps and the threaded ``_BlockKernel``)."""
+        r = slice(start, stop)
+        if sweep == "forward":
+            ipl, c, v = self._tri(True, start, stop)
+            XY, tmp, d = self.xy2, self.tmp, self.diag
+            new_odd = tmp[r] + d[r] * XY[r, 0] \
+                + reduce_rows(v * XY[c, 0], ipl)
+            XY[r, 1] = new_odd
+            tmp[r] = reduce_rows(v * XY[c, 1], ipl) + d[r] * new_odd
+        elif sweep == "backward":
+            ipl, c, v = self._tri(False, start, stop)
+            XY, tmp = self.xy2, self.tmp
+            XY[r, 0] = tmp[r] + reduce_rows(v * XY[c, 1], ipl)
+            tmp[r] = reduce_rows(v * XY[c, 0], ipl)
+        elif sweep == "forward_block":
+            # The odd-slot product must be gathered AFTER the new odd
+            # iterate is written: intra-block dependencies read values
+            # step 1 of this very block produced (same two-step
+            # discipline as the vector kernel above).
+            ipl, c, v = self._tri(True, start, stop)
+            XYB, TMPB, d = self.xyb, self.tmpb, self.diag
+            dcol = d[r][:, None]
+            new_odd = TMPB[r] + dcol * XYB[r, 0::2] \
+                + _matmat_rows(v, c, ipl, XYB[:, 0::2])
+            XYB[r, 1::2] = new_odd
+            TMPB[r] = _matmat_rows(v, c, ipl, XYB[:, 1::2]) \
+                + dcol * new_odd
+        elif sweep == "backward_block":
+            ipl, c, v = self._tri(False, start, stop)
+            XYB, TMPB = self.xyb, self.tmpb
+            XYB[r, 0::2] = TMPB[r] + _matmat_rows(v, c, ipl, XYB[:, 1::2])
+            TMPB[r] = _matmat_rows(v, c, ipl, XYB[:, 0::2])
+        else:  # pragma: no cover - dispatch validates sweeps
+            raise ValueError(f"unknown sweep {sweep!r}")
+
+
+class _AttachedSegments:
+    """Worker-side attachment: maps the named segments read-only-cheap
+    (same physical pages) and yields numpy views."""
+
+    def __init__(self, spec: Dict[str, _SegmentSpec]) -> None:
+        self._shms: List[shared_memory.SharedMemory] = []
+        self._views: Dict[str, np.ndarray] = {}
+        for tag, (name, dtype, shape) in spec.items():
+            shm = shared_memory.SharedMemory(name=name)
+            self._shms.append(shm)
+            self._views[tag] = np.ndarray(shape, dtype=np.dtype(dtype),
+                                          buffer=shm.buf)
+
+    def view(self, tag: str) -> np.ndarray:
+        return self._views[tag]
+
+    def close(self) -> None:
+        self._views.clear()
+        for shm in self._shms:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+        self._shms.clear()
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
+                 block_spec: Optional[Dict[str, _SegmentSpec]],
+                 inq, outq, task_hook) -> None:
+    """Worker loop: attach once, then execute ``(phase, colour, blocks,
+    slot)`` descriptors until told to stop.  Never touches a queue with
+    array data — all arrays live in the mapped segments."""
+    _disable_shm_tracking()
+    core = _AttachedSegments(core_spec)
+    views = _Views(core.view)
+    blk: Optional[_AttachedSegments] = None
+
+    def bind(spec: Optional[Dict[str, _SegmentSpec]]) -> None:
+        nonlocal blk
+        views.bind_block(None, None)
+        if blk is not None:
+            blk.close()
+            blk = None
+        if spec is not None:
+            blk = _AttachedSegments(spec)
+            views.bind_block(blk.view("xyb"), blk.view("tmpb"))
+
+    bind(block_spec)
+    try:
+        while True:
+            msg = inq.get()
+            if msg is None:
+                break
+            if msg[0] == "block":
+                bind(msg[1])
+                continue
+            # ("phase", sweep, phase_index, color, [(start, stop)...], slot)
+            _, sweep, pi, color, blocks, slot = msg
+            t0 = time.perf_counter()
+            start = stop = -1
+            try:
+                for start, stop in blocks:
+                    if task_hook is not None:
+                        task_hook(sweep=sweep, phase_index=pi, color=color,
+                                  start=start, stop=stop, worker=slot)
+                    views.run(sweep, start, stop)
+                outq.put(("ok", slot, time.perf_counter() - t0))
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                try:  # only picklable causes may cross the boundary
+                    pickle.dumps(exc)
+                except Exception:
+                    exc = RuntimeError(repr(exc))
+                outq.put(("err", slot, pi, color, (start, stop), exc,
+                          time.perf_counter() - t0))
+    finally:
+        if blk is not None:
+            blk.close()
+        core.close()
+
+
+def _picklable_hook_check(task_hook) -> None:
+    if task_hook is None:
+        return
+    try:
+        pickle.dumps(task_hook)
+    except Exception as exc:
+        raise ValueError(
+            "task_hook must be picklable (module-level callable), got "
+            f"{task_hook!r}") from exc
+
+
+# ---------------------------------------------------------------------------
+# the executor
+# ---------------------------------------------------------------------------
+@dataclass
+class _PoolState:
+    workers: List
+    inqs: List
+    outq: object
+
+
+class ProcessPhaseExecutor:
+    """Persistent process pool running colour phases over shared memory.
+
+    One barrier closes each phase, exactly as in the threaded executor;
+    all operands live in a zero-copy :class:`SharedArena`.
+
+    Parameters
+    ----------
+    part:
+        The ``L + D + U`` :class:`~repro.core.partition.TriangularPartition`
+        whose triangles, diagonal and working buffers are shared.
+    n_workers, policy:
+        Static-assignment parameters, identical in meaning to the
+        threaded executor's (bins map one-to-one onto workers).
+    on_failure:
+        ``"raise"`` propagates a :class:`PhaseExecutionError`;
+        ``"fallback_serial"`` (with a ``reset`` callback passed to
+        :meth:`run_phases`) rolls back and re-runs the phases in the
+        calling process — bit-identical to a clean serial run.
+    mp_context:
+        Start method (default: ``"fork"`` where available, else
+        ``"spawn"``).
+    task_hook:
+        Optional picklable callable invoked in the *worker* before every
+        block task (test instrumentation / in-worker chaos); the
+        standard ``"executor.task"`` chaos hook additionally fires in
+        the parent at dispatch time.
+    """
+
+    def __init__(self, part, n_workers: Optional[int] = None,
+                 policy: str = "lpt", on_failure: str = "raise",
+                 mp_context: Optional[str] = None,
+                 task_hook=None) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be positive")
+        if on_failure not in ("raise", "fallback_serial"):
+            raise ValueError(f"unknown on_failure policy {on_failure!r}")
+        _picklable_hook_check(task_hook)
+        self.n_workers = int(n_workers)
+        self.policy = policy
+        self.on_failure = on_failure
+        self.task_hook = task_hook
+        if mp_context is None:
+            mp_context = ("fork" if "fork" in mp.get_all_start_methods()
+                          else "spawn")
+        self._ctx = mp.get_context(mp_context)
+        self.n = int(part.diag.shape[0])
+        self.arena = SharedArena()
+        self.arena.add("l_indptr", part.lower.indptr)
+        self.arena.add("l_indices", part.lower.indices)
+        self.arena.add("l_data", part.lower.data)
+        self.arena.add("u_indptr", part.upper.indptr)
+        self.arena.add("u_indices", part.upper.indices)
+        self.arena.add("u_data", part.upper.data)
+        self.arena.add("diag", part.diag)
+        self.arena.add("xy", np.zeros(2 * self.n, dtype=np.float64))
+        self.arena.add("tmp", np.zeros(self.n, dtype=np.float64))
+        self._views: Optional[_Views] = _Views(self.arena.view)
+        self._pool: Optional[_PoolState] = None
+        self._blk_m: Optional[int] = None
+
+    # -- shared buffers -------------------------------------------------
+    @property
+    def xy(self) -> np.ndarray:
+        """The shared length-``2n`` BtB iterate buffer."""
+        return self.arena.view("xy")
+
+    @property
+    def tmp(self) -> np.ndarray:
+        """The shared length-``n`` sweep temporary."""
+        return self.arena.view("tmp")
+
+    def ensure_block(self, m: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The shared block buffers for ``power_block`` with ``m``
+        columns: the ``(n, 2m)`` interleaved iterate block and the
+        ``(n, m)`` temporary.  (Re)allocated only when ``m`` changes;
+        running workers are rebound in-band, so descriptor ordering
+        guarantees they never touch a stale segment."""
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        if self._blk_m != m:
+            self.arena.drop(("xyb", "tmpb"))
+            xyb = self.arena.add(
+                "xyb", np.zeros((self.n, 2 * m), dtype=np.float64))
+            tmpb = self.arena.add(
+                "tmpb", np.zeros((self.n, m), dtype=np.float64))
+            self._views.bind_block(xyb, tmpb)
+            self._blk_m = m
+            if self._pool is not None:
+                spec = self._block_spec()
+                for q in self._pool.inqs:
+                    q.put(("block", spec))
+        return self._views.xyb, self._views.tmpb
+
+    def _block_spec(self) -> Optional[Dict[str, _SegmentSpec]]:
+        if self._blk_m is None:
+            return None
+        return {t: self.arena.spec[t] for t in ("xyb", "tmpb")}
+
+    # -- lifecycle ------------------------------------------------------
+    def _ensure_pool(self) -> _PoolState:
+        if self._pool is None:
+            core = {t: self.arena.spec[t] for t in _Views.CORE_TAGS}
+            outq = self._ctx.Queue()
+            inqs = [self._ctx.SimpleQueue()
+                    for _ in range(self.n_workers)]
+            workers = []
+            for i in range(self.n_workers):
+                w = self._ctx.Process(
+                    target=_worker_main,
+                    args=(i, core, self._block_spec(), inqs[i], outq,
+                          self.task_hook),
+                    name=f"fbmpk-proc-{i}", daemon=True)
+                w.start()
+                workers.append(w)
+            self._pool = _PoolState(workers=workers, inqs=inqs, outq=outq)
+            obs.add_counter("procexec.pool_spawns")
+        return self._pool
+
+    def start(self) -> List[int]:
+        """Spawn the pool eagerly; returns the worker PIDs (used by the
+        fault-injection tests to SIGKILL a live worker)."""
+        pool = self._ensure_pool()
+        return [w.pid for w in pool.workers]
+
+    def _shutdown_pool(self) -> None:
+        """Stop every worker and discard the queues (idempotent).  The
+        arena survives — a later dispatch respawns the pool over the
+        same segments."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for w, q in zip(pool.workers, pool.inqs):
+            if w.is_alive():
+                try:
+                    q.put(None)
+                except (OSError, ValueError):
+                    pass
+        for w in pool.workers:
+            w.join(timeout=2.0)
+        for w in pool.workers:
+            if w.is_alive():
+                w.terminate()
+                w.join(timeout=2.0)
+        for q in pool.inqs:
+            q.close()
+        pool.outq.close()
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment
+        (idempotent).  Buffers obtained from :attr:`xy`/:attr:`tmp`/
+        :meth:`ensure_block` must not be used afterwards."""
+        self._shutdown_pool()
+        self._views = None
+        self._blk_m = None
+        self.arena.close()
+
+    def __enter__(self) -> "ProcessPhaseExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ------------------------------------------------------
+    def run_serial(self, phases: Sequence[Phase], sweep: str,
+                   stats: Optional[ExecutionStats] = None
+                   ) -> ExecutionStats:
+        """Execute ``phases`` in the calling process, tasks in declared
+        order, over the same shared buffers — the reference the
+        dispatched path must be bit-identical to, and the
+        ``fallback_serial`` target.  Busy time accrues to bin 0."""
+        if sweep not in SWEEPS:
+            raise ValueError(f"unknown sweep {sweep!r}")
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_workers,
+                                   policy=self.policy)
+        views = self._views
+        for pi, phase in enumerate(phases):
+            with obs.span("executor.phase", phase=pi, colour=phase.color,
+                          n_tasks=len(phase.tasks), nnz=phase.total_nnz,
+                          mode="serial"):
+                t0 = time.perf_counter()
+                for task in phase.tasks:
+                    views.run(sweep, task.start, task.stop)
+                elapsed = time.perf_counter() - t0
+            stats.thread_busy_s[0] += elapsed
+            self._finish_phase(stats, phase, elapsed)
+        return stats
+
+    def run_phases(self, phases: Sequence[Phase], sweep: str,
+                   stats: Optional[ExecutionStats] = None,
+                   reset: Optional[Callable[[], None]] = None
+                   ) -> ExecutionStats:
+        """Execute ``phases`` on the worker pool with a barrier after
+        every phase, dispatching only descriptors.
+
+        ``reset`` is the rollback hook of ``on_failure=
+        "fallback_serial"``: on any failure (worker exception, injected
+        dispatch fault, or a killed worker) the barrier drains every
+        live bin, the pool is torn down, ``reset`` restores the shared
+        buffers, and :meth:`run_serial` re-runs everything in-process.
+        """
+        if sweep not in SWEEPS:
+            raise ValueError(f"unknown sweep {sweep!r}")
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_workers,
+                                   policy=self.policy)
+        snap = (len(stats.phases), stats.barriers,
+                list(stats.thread_busy_s))
+        pool = self._ensure_pool()
+        for pi, phase in enumerate(phases):
+            with obs.span("executor.phase", phase=pi, colour=phase.color,
+                          n_tasks=len(phase.tasks), nnz=phase.total_nnz,
+                          mode="processes"):
+                t0 = time.perf_counter()
+                bins = assign_tasks(phase.tasks, self.n_workers,
+                                    policy=self.policy)
+                failure = self._dispatch_and_drain(pool, bins, sweep, pi,
+                                                   phase, stats)
+                elapsed = time.perf_counter() - t0
+            if failure is not None:
+                self._shutdown_pool()
+                obs.add_counter("executor.failed_phases")
+                if self.on_failure == "fallback_serial" \
+                        and reset is not None:
+                    stats.phases[:] = stats.phases[:snap[0]]
+                    stats.barriers = snap[1]
+                    stats.thread_busy_s[:] = snap[2]
+                    reset()
+                    return self.run_serial(phases, sweep, stats)
+                raise failure
+            self._finish_phase(stats, phase, elapsed)
+        return stats
+
+    def _dispatch_and_drain(self, pool: _PoolState, bins, sweep: str,
+                            pi: int, phase: Phase, stats: ExecutionStats
+                            ) -> Optional[PhaseExecutionError]:
+        """Send each non-empty bin to its worker and await one ack per
+        dispatched bin — the phase barrier.  Returns the first failure
+        (never raises before the barrier has drained every live bin)."""
+        failure: Optional[PhaseExecutionError] = None
+        fault_s = 0.0
+        dispatched: List[int] = []
+        for i, b in enumerate(bins):
+            if not b:
+                continue
+            if failure is None:
+                task = None
+                try:
+                    for task in b:
+                        fault_s += _fire_fault_timed(
+                            "executor.task", phase_index=pi,
+                            color=phase.color, start=task.start,
+                            stop=task.stop, thread=i)
+                except BaseException as exc:  # injected dispatch fault
+                    failure = PhaseExecutionError(
+                        f"injected fault at dispatch: {exc!r}",
+                        phase_index=pi, color=phase.color,
+                        block=(task.start, task.stop) if task else None,
+                        thread=i)
+                    failure.__cause__ = exc
+                    continue  # later bins stay undispatched
+                pool.inqs[i].put(
+                    ("phase", sweep, pi, phase.color,
+                     [(t.start, t.stop) for t in b], i))
+                dispatched.append(i)
+        if fault_s:
+            obs.add_counter("faults.injected_delay_s", fault_s, unit="s")
+        drain_failure = self._await_acks(pool, dispatched, pi, phase,
+                                         stats)
+        return failure if failure is not None else drain_failure
+
+    def _await_acks(self, pool: _PoolState, dispatched: List[int],
+                    pi: int, phase: Phase, stats: ExecutionStats
+                    ) -> Optional[PhaseExecutionError]:
+        pending = set(dispatched)
+        failure: Optional[PhaseExecutionError] = None
+        while pending:
+            try:
+                msg = pool.outq.get(timeout=0.2)
+            except _queue.Empty:
+                for i in sorted(pending):
+                    w = pool.workers[i]
+                    if w.is_alive():
+                        continue
+                    pending.discard(i)
+                    if failure is None:
+                        failure = PhaseExecutionError(
+                            f"worker {i} died before completing its bin "
+                            f"(exitcode {w.exitcode})",
+                            phase_index=pi, color=phase.color, thread=i)
+                continue
+            if msg[0] == "ok":
+                _, slot, busy = msg
+                stats.thread_busy_s[slot] += busy
+                pending.discard(slot)
+            elif msg[0] == "err":
+                _, slot, epi, ecolor, block, exc, busy = msg
+                stats.thread_busy_s[slot] += busy
+                pending.discard(slot)
+                if failure is None:
+                    failure = PhaseExecutionError(
+                        f"block task crashed in worker {slot}: {exc!r}",
+                        phase_index=epi, color=ecolor, block=block,
+                        thread=slot)
+                    failure.__cause__ = exc
+        return failure
+
+    @staticmethod
+    def _finish_phase(stats: ExecutionStats, phase: Phase,
+                      wall_s: float) -> None:
+        stats.barriers += 1
+        stats.phases.append(PhaseRecord(
+            color=phase.color, n_tasks=len(phase.tasks),
+            nnz=phase.total_nnz, wall_s=wall_s))
+        if obs.current() is None:
+            return
+        obs.add_counter("executor.barriers")
+        obs.add_counter("executor.tasks", len(phase.tasks))
+        obs.add_counter("executor.phase_nnz", phase.total_nnz)
+        obs.observe("executor.phase_wall_s", wall_s, unit="s")

@@ -77,9 +77,14 @@ def permute_vector(x: np.ndarray, perm: np.ndarray) -> np.ndarray:
     return np.asarray(x)[np.asarray(perm, dtype=np.int64)]
 
 
-def unpermute_vector(y: np.ndarray, perm: np.ndarray) -> np.ndarray:
-    """Undo :func:`permute_vector`: returns ``x`` with ``x[perm[i]] = y[i]``."""
+def unpermute_vector(y: np.ndarray, perm: np.ndarray,
+                     out: np.ndarray = None) -> np.ndarray:
+    """Undo :func:`permute_vector`: returns ``x`` with ``x[perm[i]] = y[i]``.
+
+    ``out``, if given, receives the result in place of a fresh
+    allocation (it must have ``y``'s shape and dtype) and is returned.
+    """
     y = np.asarray(y)
-    x = np.empty_like(y)
+    x = np.empty_like(y) if out is None else out
     x[np.asarray(perm, dtype=np.int64)] = y
     return x

@@ -95,7 +95,10 @@ class PhaseExecutionError(ReproError, RuntimeError):
     Carries the full scheduling context of the failed task: the phase's
     position in the sweep (``phase_index``), its colour, the block's row
     range, and the static thread bin it was assigned to.  The original
-    worker exception is chained as ``__cause__``.
+    worker exception is chained as ``__cause__`` — and, unlike plain
+    exceptions, the chain survives pickling (the process executor ships
+    these across ``multiprocessing`` queues, where default pickling
+    would silently drop the cause).
     """
 
     def __init__(self, message: str, *,
@@ -119,6 +122,18 @@ class PhaseExecutionError(ReproError, RuntimeError):
         self.color = color
         self.block = block
         self.thread = thread
+
+    def __reduce__(self):
+        cls, args = type(self), self.args
+        state = dict(self.__dict__)
+        state["_pickled_cause"] = self.__cause__
+        return cls, args, state
+
+    def __setstate__(self, state):
+        cause = state.pop("_pickled_cause", None)
+        self.__dict__.update(state)
+        if cause is not None:
+            self.__cause__ = cause
 
 
 class SolverBreakdownError(ReproError, RuntimeError):

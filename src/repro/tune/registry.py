@@ -14,7 +14,7 @@ Two candidate spaces exist, matching :data:`repro.tune.plan.PLAN_KINDS`:
   staging with BtB off), ``strategy`` (``"abmc"``/``"levels"``),
   ``block_size`` (ABMC rows per block), ``backend``
   (``"numpy"``/``"scipy"`` sweep kernels), ``executor``
-  (``"serial"``/``"threads"``) and ``n_threads``.
+  (``"serial"``/``"threads"``/``"processes"``) and ``n_threads``.
 * ``spmv`` — one sparse matrix-vector product.  Knobs: ``kernel``
   (:data:`repro.sparse.spmv.KERNELS` plus the ``sell`` and ``bsr``
   format conversions) and the kernel's own parameters.
@@ -66,8 +66,9 @@ __all__ = [
 _SPMV_KERNELS_BY_DESIGN = frozenset({"vectorised", "blocked"})
 
 #: Power-plan knobs that only reschedule independent row updates and so
-#: cannot change a result bit: the threaded executor is bitwise-equal to
-#: serial by the differential test layer, for the *same* built operator.
+#: cannot change a result bit: the threaded and process executors are
+#: bitwise-equal to serial by the differential test layer, for the
+#: *same* built operator.
 #: Everything else — variant, backend, and notably ``strategy`` /
 #: ``block_size``, whose grouping permutes the matrix and therefore the
 #: per-row accumulation order — changes the floating-point arithmetic.
@@ -172,15 +173,16 @@ def power_candidates(
             })
             if fused != default:
                 plans.append(fused)
-            for n_threads in thread_counts:
-                plans.append(ExecutionPlan("power", {
-                    "variant": "fused",
-                    "strategy": strategy,
-                    "block_size": block_size,
-                    "backend": backend,
-                    "executor": "threads",
-                    "n_threads": int(n_threads),
-                }))
+            for parallel_exec in ("threads", "processes"):
+                for n_threads in thread_counts:
+                    plans.append(ExecutionPlan("power", {
+                        "variant": "fused",
+                        "strategy": strategy,
+                        "block_size": block_size,
+                        "backend": backend,
+                        "executor": parallel_exec,
+                        "n_threads": int(n_threads),
+                    }))
     if include_unfused:
         plans.append(ExecutionPlan("power", {
             "variant": "unfused",

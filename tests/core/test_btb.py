@@ -15,6 +15,21 @@ def test_interleave_roundtrip(rng):
     np.testing.assert_array_equal(o, odd)
 
 
+def test_deinterleave_copy_semantics(rng):
+    xy = interleave(rng.standard_normal(9), rng.standard_normal(9))
+    e_copy, o_copy = deinterleave(xy)
+    assert not np.shares_memory(e_copy, xy)
+    assert not np.shares_memory(o_copy, xy)
+    e_view, o_view = deinterleave(xy, copy=False)
+    assert np.shares_memory(e_view, xy)
+    assert np.shares_memory(o_view, xy)
+    np.testing.assert_array_equal(e_view, e_copy)
+    np.testing.assert_array_equal(o_view, o_copy)
+    xy[0] = 42.0  # visible through the views, not the copies
+    assert e_view[0] == 42.0
+    assert e_copy[0] != 42.0
+
+
 def test_physical_layout_is_interleaved():
     xy = interleave(np.array([1.0, 2.0]), np.array([10.0, 20.0]))
     np.testing.assert_array_equal(xy, [1.0, 10.0, 2.0, 20.0])

@@ -3,6 +3,7 @@ reuse the BtB pair and sweep temporary without changing a single bit of
 any result, and the fast float64 input path skips the defensive copy."""
 
 import numpy as np
+import pytest
 
 from repro.core import build_fbmpk_operator
 from repro.core.fbmpk import _as_float64
@@ -67,6 +68,69 @@ def test_power_block_reuse_bit_stable(grid, rng):
     try:
         for _ in range(3):
             X = rng.standard_normal((grid.n_rows, 3))
+            assert np.array_equal(op.power_block(X, 4),
+                                  fresh.power_block(X, 4))
+    finally:
+        op.close()
+        fresh.close()
+
+
+def test_power_out_param(grid, rng):
+    op = build_fbmpk_operator(grid)
+    try:
+        x = rng.standard_normal(grid.n_rows)
+        expected = op.power(x, 5)
+        out = np.empty(grid.n_rows)
+        y = op.power(x, 5, out=out)
+        assert y is out
+        assert np.array_equal(out, expected)
+        # k = 0 honours out too (identity copy).
+        y0 = op.power(x, 0, out=out)
+        assert y0 is out
+        assert np.array_equal(out, x)
+    finally:
+        op.close()
+
+
+def test_power_block_out_param(grid, rng):
+    op = build_fbmpk_operator(grid)
+    try:
+        X = rng.standard_normal((grid.n_rows, 3))
+        expected = op.power_block(X, 4)
+        out = np.empty_like(X)
+        Y = op.power_block(X, 4, out=out)
+        assert Y is out
+        assert np.array_equal(out, expected)
+        Y0 = op.power_block(X, 0, out=out)
+        assert Y0 is out
+        assert np.array_equal(out, X)
+    finally:
+        op.close()
+
+
+def test_out_param_rejects_bad_arrays(grid, rng):
+    op = build_fbmpk_operator(grid)
+    try:
+        x = rng.standard_normal(grid.n_rows)
+        with pytest.raises(ValueError):
+            op.power(x, 2, out=np.empty(grid.n_rows + 1))
+        with pytest.raises(TypeError):
+            op.power(x, 2, out=np.empty(grid.n_rows, dtype=np.float32))
+        with pytest.raises(TypeError):
+            op.power(x, 2, out=[0.0] * grid.n_rows)
+    finally:
+        op.close()
+
+
+def test_power_block_shrink_then_regrow(grid, rng):
+    """The cached block buffer must be resized when m changes in either
+    direction; a stale wider buffer silently reused for a narrower (or
+    regrown) call would corrupt the interleaved layout."""
+    op = build_fbmpk_operator(grid)
+    fresh = build_fbmpk_operator(grid)
+    try:
+        for m in (5, 2, 5, 1, 4):
+            X = rng.standard_normal((grid.n_rows, m))
             assert np.array_equal(op.power_block(X, 4),
                                   fresh.power_block(X, 4))
     finally:

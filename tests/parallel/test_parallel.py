@@ -5,9 +5,25 @@ import pytest
 
 from repro.core.partition import split_ldu
 from repro.machine import FT2000P
+from repro.parallel import ExecutionStats
 from repro.parallel.scheduler import BlockTask, Phase, assign_tasks, build_phases
 from repro.parallel.simthread import block_cost_model, simulate_phases
 from repro.reorder import abmc_ordering, permute_symmetric
+
+
+class TestExecutionStats:
+    def test_efficiency_zero_without_phases(self):
+        """An executor that never ran a phase (e.g. k=0, or stats
+        snapshotted before the first barrier) has zero wall time; the
+        efficiency ratio must degrade to 0.0, not divide by zero."""
+        stats = ExecutionStats(n_threads=4, policy="lpt")
+        assert stats.total_wall_s == 0.0
+        assert stats.efficiency == 0.0
+
+    def test_efficiency_zero_wall_time_with_busy(self):
+        stats = ExecutionStats(n_threads=2, policy="lpt")
+        stats.thread_busy_s[0] = 1.0  # busy but no recorded phases
+        assert stats.efficiency == 0.0
 
 
 def make_tasks(nnzs):

@@ -1,0 +1,54 @@
+"""Library errors must survive pickling with their context intact.
+
+The process executor ships worker exceptions across a
+``multiprocessing`` queue and the parent re-wraps them into
+:class:`~repro.robust.errors.PhaseExecutionError`; that error itself may
+then cross a further process boundary (e.g. a pytest-xdist worker or a
+spawned autotuner probe).  A pickle round-trip must preserve both the
+message and every scheduling-context attribute.
+"""
+
+import pickle
+
+import pytest
+
+from repro.robust.errors import PhaseExecutionError
+
+
+def _roundtrip(err):
+    return pickle.loads(pickle.dumps(err))
+
+
+def test_phase_execution_error_roundtrip_full_context():
+    err = PhaseExecutionError("block task crashed", phase_index=3,
+                              color=1, block=(128, 256), thread=2)
+    clone = _roundtrip(err)
+    assert isinstance(clone, PhaseExecutionError)
+    assert str(clone) == str(err)
+    assert clone.phase_index == 3
+    assert clone.color == 1
+    assert clone.block == (128, 256)
+    assert clone.thread == 2
+
+
+def test_phase_execution_error_roundtrip_partial_context():
+    err = PhaseExecutionError("worker died", thread=0)
+    clone = _roundtrip(err)
+    assert clone.phase_index is None
+    assert clone.color is None
+    assert clone.block is None
+    assert clone.thread == 0
+    assert "thread bin 0" in str(clone)
+
+
+def test_phase_execution_error_roundtrip_preserves_cause():
+    err = PhaseExecutionError("crash", phase_index=0, color=0)
+    err.__cause__ = RuntimeError("boom")
+    clone = _roundtrip(err)
+    assert isinstance(clone.__cause__, RuntimeError)
+    assert str(clone.__cause__) == "boom"
+
+
+def test_phase_execution_error_is_runtime_error():
+    with pytest.raises(RuntimeError):
+        raise PhaseExecutionError("x")
