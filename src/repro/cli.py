@@ -29,6 +29,13 @@ A user-facing front end over the library:
 ``report``
     Validate and pretty-print a RunReport produced by ``--report``, or
     diff two of them.
+``serve``
+    Run the multi-tenant solve service: newline-delimited JSON over
+    TCP, resident autotuned operators keyed by structure, and a
+    gather-window batching queue that stacks concurrent requests for
+    the same ``(matrix, k)`` into one multi-RHS sweep (see
+    :mod:`repro.serve`).  ``tools/serve_client.py`` is the matching
+    client.
 
 Telemetry: the run commands accept ``--trace FILE`` (Chrome trace-event
 JSON of the run's spans), ``--metrics FILE`` (metrics snapshot) and
@@ -46,6 +53,7 @@ path).
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 
@@ -326,6 +334,44 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import ServeConfig, SolveServer, SolveService
+
+    try:
+        config = ServeConfig(
+            gather_window_s=args.gather_window_ms / 1000.0,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            max_pending=args.max_pending,
+            max_rows=args.max_rows,
+            allow_paths=args.allow_paths,
+            max_resident=args.max_resident,
+            tune=args.tune,
+            tune_k=args.tune_k,
+            plan_cache_dir=args.plan_cache_dir,
+            allow_shutdown=not args.no_remote_shutdown,
+        ).validate()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    async def _run() -> None:
+        service = SolveService(config)
+        server = SolveServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w") as fh:
+                fh.write(str(server.port))
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print("server drained and stopped", file=sys.stderr)
+    return 0
+
+
 def _load_validated_report(path):
     """Load + schema-check one report file; raises ``ValidationError``
     with the collected problems on schema violations."""
@@ -486,6 +532,49 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_PLAN_CACHE_DIR or ~/.cache/repro/plans)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("serve",
+                       help="run the multi-tenant solve service "
+                            "(NDJSON over TCP, batched sweeps)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7654,
+                   help="TCP port (0 binds an ephemeral port; pair "
+                        "with --port-file)")
+    p.add_argument("--port-file", default=None,
+                   help="write the bound port to this file once "
+                        "listening (lets scripts use --port 0)")
+    p.add_argument("--gather-window-ms", type=float, default=2.0,
+                   help="how long the first request for a (matrix, k) "
+                        "waits for companions before its batch is "
+                        "sealed (latency traded for batching)")
+    p.add_argument("--max-batch", type=int, default=32,
+                   help="seal a batch early at this many RHS vectors")
+    p.add_argument("--max-queue", type=int, default=256,
+                   help="per-(matrix, k) queue bound; beyond it "
+                        "requests get a structured queue_full "
+                        "rejection")
+    p.add_argument("--max-pending", type=int, default=4096,
+                   help="global bound on queued requests")
+    p.add_argument("--max-rows", type=int, default=200_000,
+                   help="reject matrix specs larger than this")
+    p.add_argument("--max-resident", type=int, default=4,
+                   help="resident operator cap (LRU eviction beyond)")
+    p.add_argument("--allow-paths", action="store_true",
+                   help="let requests name MatrixMarket files on this "
+                        "machine (off by default)")
+    p.add_argument("--tune", default="full", choices=["off", "full"],
+                   help="autotune first requests through the plan "
+                        "cache ('full') or build the default operator "
+                        "directly ('off')")
+    p.add_argument("--tune-k", type=int, default=4,
+                   help="power used when tuning a new structure")
+    p.add_argument("--plan-cache-dir", default=None,
+                   help="plan cache directory (default: "
+                        "$REPRO_PLAN_CACHE_DIR or ~/.cache/repro/plans)")
+    p.add_argument("--no-remote-shutdown", action="store_true",
+                   help="ignore shutdown requests from clients")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("predict",
                        help="machine-model speedup predictions")

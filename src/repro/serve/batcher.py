@@ -1,0 +1,222 @@
+"""The batching queue: many users' RHS vectors, one read of A.
+
+Concurrent ``power`` requests for the same ``(matrix, k)`` that arrive
+within a short *gather window* are stacked into one ``(n, m)`` block and
+advanced by a single multi-RHS
+:meth:`~repro.core.fbmpk.FBMPKOperator.power_block` sweep — each
+triangle of A is streamed once per stage *for the whole batch*, so the
+paper's ``(k+1)/2`` traffic win is multiplied again by the batch width.
+The block result is then de-interleaved back to the individual callers.
+
+Bit-identity: on the ``numpy`` backend every ``power_block`` column is
+computed with exactly the per-vector ``power`` arithmetic (same
+``reduce_rows`` accumulation per row, column count changes nothing), so
+a batched client receives *the identical bits* an unbatched serial call
+would have produced — the differential suite in ``tests/property``
+proves it across dtypes, k values and executors.  Entries that cannot
+make that guarantee (``can_batch`` False) are served per-request inside
+the same queue machinery instead.
+
+Aliasing contract: responses are handed out as **owned copies**
+(:func:`split_block`), never as views of the shared gather buffer or of
+the operator's persistent block buffer — a later batch reusing those
+buffers cannot mutate a response already sent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..robust.errors import NonFiniteError
+from .config import BATCH_WIDTH_BUCKETS, ServeConfig
+from .protocol import ProtocolError, QueueFullError, ServiceClosedError
+from .registry import ResidentOperator
+
+__all__ = ["Batcher", "split_block"]
+
+
+def split_block(Y: np.ndarray) -> List[np.ndarray]:
+    """Split a ``(n, m)`` result block into ``m`` owned column vectors.
+
+    ``Y[:, j]`` alone is a strided *view* into the block — handing that
+    to a caller would alias the batch buffer (and, for ``m == 1``, even
+    ``np.ascontiguousarray`` would pass the view through un-copied).
+    ``.copy()`` is unconditional: every returned vector owns its data.
+    """
+    return [Y[:, j].copy() for j in range(Y.shape[1])]
+
+
+@dataclass
+class _Pending:
+    """One queued request: its RHS and the future its caller awaits."""
+
+    x: np.ndarray
+    #: Resolved with ``(y, batch_width)`` or a :class:`ProtocolError`.
+    future: "asyncio.Future"
+    tenant: str
+
+
+@dataclass
+class _Queue:
+    """Requests gathering for one ``(operator, k)`` batch."""
+
+    entry: ResidentOperator
+    k: int
+    items: List[_Pending] = field(default_factory=list)
+    timer: Optional[asyncio.TimerHandle] = None
+
+
+class Batcher:
+    """Gather-window batching with admission control."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self._queues: Dict[Tuple[int, int], _Queue] = {}
+        self._inflight: Set[asyncio.Task] = set()
+        self._pending = 0
+        self._max_width = 0
+        self._closing = False
+        # Aliasing-audit hooks (held only with debug_keep_last).
+        self.last_gather: Optional[np.ndarray] = None
+        self.last_block: Optional[np.ndarray] = None
+        self.last_outputs: Optional[List[np.ndarray]] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet sealed into a batch."""
+        return self._pending
+
+    @property
+    def inflight_batches(self) -> int:
+        """Sealed batches currently executing."""
+        return len(self._inflight)
+
+    # -- submission ------------------------------------------------------
+    async def submit(self, entry: ResidentOperator, x: np.ndarray,
+                     k: int) -> Tuple[np.ndarray, int]:
+        """Queue one RHS for ``entry``; returns ``(y, batch_width)``.
+
+        Raises :class:`QueueFullError` when admission control turns the
+        request away, :class:`ServiceClosedError` during drain, and
+        whatever the sweep raised (mapped to a :class:`ProtocolError`)
+        on compute failure.  Cancelling the awaiting coroutine simply
+        abandons the slot — the batch still runs for everyone else.
+        """
+        if self._closing:
+            raise ServiceClosedError()
+        if self._pending >= self.config.max_pending:
+            raise QueueFullError(
+                f"server is saturated ({self._pending} requests pending)")
+        qk = (id(entry), k)
+        q = self._queues.get(qk)
+        if q is None:
+            q = self._queues[qk] = _Queue(entry=entry, k=k)
+        if len(q.items) >= self.config.max_queue:
+            raise QueueFullError(
+                f"queue for {entry.spec.describe()} k={k} is full "
+                f"({len(q.items)} waiting)")
+        loop = asyncio.get_running_loop()
+        fut: "asyncio.Future" = loop.create_future()
+        q.items.append(_Pending(x=x, future=fut, tenant="-"))
+        self._pending += 1
+        if len(q.items) >= self.config.max_batch:
+            self._flush(qk)
+        elif q.timer is None:
+            q.timer = loop.call_later(self.config.gather_window_s,
+                                      self._flush, qk)
+        return await fut
+
+    # -- batch execution -------------------------------------------------
+    def _flush(self, qk: Tuple[int, int]) -> None:
+        """Seal the queue: move its requests into one executing batch."""
+        q = self._queues.pop(qk, None)
+        if q is None:
+            return
+        if q.timer is not None:
+            q.timer.cancel()
+        self._pending -= len(q.items)
+        live = [p for p in q.items if not p.future.done()]
+        dropped = len(q.items) - len(live)
+        if dropped:
+            obs.add_counter("serve.requests.cancelled", dropped)
+        if not live:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(q.entry, q.k, live))
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(self, entry: ResidentOperator, k: int,
+                         items: List[_Pending]) -> None:
+        m = len(items)
+        obs.add_counter("serve.batches")
+        tel = obs.current()
+        if tel is not None:
+            # First creation fixes the buckets, so register the width
+            # histogram explicitly rather than inheriting time buckets.
+            tel.metrics.histogram("serve.batch.width",
+                                  buckets=BATCH_WIDTH_BUCKETS).observe(m)
+        if m > self._max_width:
+            self._max_width = m
+            obs.set_gauge("serve.batch.width.max", m)
+        obs.add_counter(
+            "serve.batched_requests" if entry.can_batch and m >= 1
+            else "serve.unbatched_requests", m)
+        loop = asyncio.get_running_loop()
+        with obs.span("serve.batch", width=m, k=k,
+                      matrix=entry.spec.key(), batched=entry.can_batch):
+            X = np.stack([p.x for p in items], axis=1)
+            try:
+                Y = await loop.run_in_executor(
+                    None, self._compute, entry, X, k)
+            except NonFiniteError as exc:
+                self._fail(items, ProtocolError("non_finite", str(exc)))
+                return
+            except ProtocolError as exc:
+                self._fail(items, exc)
+                return
+            except Exception as exc:
+                self._fail(items, ProtocolError(
+                    "internal", f"batched sweep failed: {exc!r}"))
+                return
+        outputs = split_block(Y)
+        if self.config.debug_keep_last:
+            self.last_gather = X
+            self.last_block = Y
+            self.last_outputs = outputs
+        for p, y in zip(items, outputs):
+            if not p.future.done():
+                p.future.set_result((y, m))
+
+    def _compute(self, entry: ResidentOperator, X: np.ndarray,
+                 k: int) -> np.ndarray:
+        """Run the sweep in a worker thread, serialised per operator."""
+        with entry.compute_lock:
+            if entry.can_batch:
+                return entry.op.power_block(X, k, check_finite=True)
+            cols = [entry.op.power(X[:, j].copy(), k, check_finite=True)
+                    for j in range(X.shape[1])]
+            return np.stack(cols, axis=1)
+
+    @staticmethod
+    def _fail(items: List[_Pending], exc: ProtocolError) -> None:
+        for p in items:
+            if not p.future.done():
+                p.future.set_exception(exc)
+
+    # -- lifecycle -------------------------------------------------------
+    async def drain(self) -> None:
+        """Seal every open queue immediately and wait for all executing
+        batches; new submissions are rejected from the first await on."""
+        self._closing = True
+        for qk in list(self._queues):
+            self._flush(qk)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight),
+                                 return_exceptions=True)

@@ -1,0 +1,101 @@
+"""Serving-layer configuration.
+
+One :class:`ServeConfig` instance parameterises the whole service
+stack — admission control, the batching gather window, operator
+residency, tuning policy — so embedding code, the ``serve`` CLI
+subcommand and the tests all speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["ServeConfig", "BATCH_WIDTH_BUCKETS"]
+
+#: Histogram buckets for the ``serve.batch.width`` metric (requests per
+#: ``power_block`` sweep; the last slot counts wider batches).
+BATCH_WIDTH_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of the multi-tenant solve service.
+
+    Batching
+        ``gather_window_s`` is how long the first request for a
+        ``(matrix, k)`` pair waits for companions before its batch is
+        sealed; ``max_batch`` seals a batch early once that many RHS
+        vectors are queued.  The window is the latency the service
+        trades for amortising one read of A over the whole batch.
+    Admission control
+        ``max_queue`` bounds one ``(matrix, k)`` queue; ``max_pending``
+        bounds requests waiting across all queues.  Beyond either, new
+        requests receive a structured ``queue_full`` rejection instead
+        of unbounded buffering.
+    Residency
+        ``max_resident`` caps pinned :class:`FBMPKOperator` instances;
+        the least-recently-used one is evicted (and closed once its
+        in-flight requests drain) to admit a new structure.
+    Tuning
+        ``tune="full"`` routes first requests through
+        :func:`repro.tune.autotune_power` — the plan cache makes warm
+        structures skip both search and preprocessing; ``tune="off"``
+        builds the default operator directly.  Tuned winners are
+        execution-only variations of the default plan (the bit-identity
+        gate guarantees it), so they always stay batchable.
+    """
+
+    # batching
+    gather_window_s: float = 0.002
+    max_batch: int = 32
+    # admission control
+    max_queue: int = 256
+    max_pending: int = 4096
+    # matrix admission
+    max_rows: int = 200_000
+    allow_paths: bool = False
+    # operator residency
+    max_resident: int = 4
+    # execution (tune="off" build path)
+    strategy: str = "abmc"
+    block_size: int = 1
+    executor: str = "serial"
+    n_workers: Optional[int] = None
+    on_failure: str = "fallback_serial"
+    # tuning
+    tune: str = "full"
+    tune_k: int = 4
+    tune_repeats: int = 2
+    tune_max_candidates: Optional[int] = 4
+    plan_cache_dir: Optional[str] = None
+    # protocol / lifecycle
+    allow_shutdown: bool = True
+    max_line_bytes: int = 16 * 1024 * 1024
+    # test hook: retain references to the last gather/result buffers so
+    # aliasing audits can assert responses share memory with neither.
+    debug_keep_last: bool = field(default=False, repr=False)
+
+    def validate(self) -> "ServeConfig":
+        """Raise ``ValueError`` on out-of-range fields; returns self."""
+        if self.gather_window_s < 0:
+            raise ValueError("gather_window_s must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_resident < 1:
+            raise ValueError("max_resident must be >= 1")
+        if self.max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        if self.tune not in ("off", "full"):
+            raise ValueError(f"unknown tune mode {self.tune!r}")
+        if self.strategy not in ("abmc", "levels"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.executor not in ("serial", "threads", "processes"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.on_failure not in ("raise", "fallback_serial"):
+            raise ValueError(f"unknown on_failure {self.on_failure!r}")
+        return self

@@ -1,0 +1,170 @@
+"""Transport-agnostic solve service: parse → acquire → batch → respond.
+
+:class:`SolveService` is the whole serving brain with no sockets in it:
+:meth:`handle` takes one decoded request object and returns one
+response object.  The TCP server (:mod:`repro.serve.server`) is a thin
+framing shell around it, and the concurrency tests drive the service
+directly on an event loop without any networking.
+
+Request lifecycle for ``power``:
+
+1. validate (:func:`repro.serve.protocol.parse_request`) — including a
+   per-request finiteness check on ``x``, so one tenant's NaN input is
+   rejected *before* it can poison a shared batch;
+2. borrow the resident operator (:class:`OperatorRegistry.acquire` —
+   first request per structure builds/tunes it, later ones hit);
+3. queue the RHS on the batcher and await the batched result;
+4. release the borrow (this is what lets LRU eviction close an
+   operator only after its last in-flight request finishes).
+
+Every failure path returns a structured error envelope; nothing in
+:meth:`handle` raises except ``CancelledError`` (a disconnected
+client's request is simply abandoned — its batch slot is dropped at
+flush time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .. import obs
+from .batcher import Batcher
+from .config import ServeConfig
+from .protocol import (
+    ControlRequest,
+    PowerRequest,
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .registry import OperatorRegistry
+from .spec import MatrixSpec
+
+__all__ = ["SolveService"]
+
+
+class SolveService:
+    """Multi-tenant solve service over one registry and one batcher."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = (config or ServeConfig()).validate()
+        self.registry = OperatorRegistry(self.config)
+        self.batcher = Batcher(self.config)
+        #: Set by an authorised ``shutdown`` request; the server waits
+        #: on it to begin the drain.
+        self.shutdown_requested = asyncio.Event()
+        self._closed = False
+
+    # -- core compute path ----------------------------------------------
+    async def power(self, spec: MatrixSpec, x: np.ndarray, k: int
+                    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Compute ``A^k x`` through the resident operator and the
+        batching queue; returns ``(y, meta)``.
+
+        This is the embedding/test entry point; :meth:`handle` wraps it
+        with protocol envelopes.  Raises :class:`ProtocolError`
+        subclasses on rejection or failure.
+        """
+        entry = await self.registry.acquire(spec)
+        try:
+            if x.shape[0] != entry.n:
+                raise ProtocolError(
+                    "bad_request",
+                    f"x: expected {entry.n} entries for "
+                    f"{spec.describe()}, got {x.shape[0]}")
+            y, width = await self.batcher.submit(entry, x, k)
+            meta = {
+                "n": entry.n,
+                "k": k,
+                "plan_source": entry.source,
+                "fingerprint": entry.fingerprint_key,
+                "batched": entry.can_batch,
+                "batch_width": width,
+            }
+            return y, meta
+        finally:
+            self.registry.release(entry)
+
+    # -- protocol dispatch ----------------------------------------------
+    async def handle(self, obj: Any) -> Dict[str, Any]:
+        """Serve one decoded request object; always returns a response
+        object (never raises, except ``CancelledError``)."""
+        rid = obj.get("id") if isinstance(obj, Mapping) else None
+        try:
+            req = parse_request(obj, max_rows=self.config.max_rows,
+                                allow_paths=self.config.allow_paths)
+        except ProtocolError as exc:
+            obs.add_counter("serve.requests.failed")
+            return error_response(rid, exc.code, exc.message)
+        obs.add_counter("serve.requests")
+        obs.add_counter(f"serve.tenant.{req.tenant}.requests")
+        if isinstance(req, ControlRequest):
+            return await self._handle_control(req)
+        return await self._handle_power(req)
+
+    async def _handle_power(self, req: PowerRequest) -> Dict[str, Any]:
+        if not np.isfinite(req.x).all():
+            obs.add_counter("serve.requests.failed")
+            return error_response(req.id, "non_finite",
+                                  "x contains NaN/Inf entries")
+        try:
+            with obs.span("serve.request", tenant=req.tenant,
+                          matrix=req.spec.key(), k=req.k):
+                y, meta = await self.power(req.spec, req.x, req.k)
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            if exc.code in ("queue_full", "shutting_down"):
+                obs.add_counter("serve.requests.rejected")
+            else:
+                obs.add_counter("serve.requests.failed")
+            return error_response(req.id, exc.code, exc.message)
+        except Exception as exc:  # defensive: nothing below should leak
+            obs.add_counter("serve.requests.failed")
+            return error_response(req.id, "internal", repr(exc))
+        obs.add_counter("serve.requests.completed")
+        return ok_response(req.id, y=y.tolist(), meta=meta)
+
+    async def _handle_control(self, req: ControlRequest
+                              ) -> Dict[str, Any]:
+        if req.op == "ping":
+            return ok_response(req.id, pong=True)
+        if req.op == "stats":
+            return ok_response(req.id, stats=self.stats())
+        # req.op == "shutdown"
+        if not self.config.allow_shutdown:
+            obs.add_counter("serve.requests.failed")
+            return error_response(
+                req.id, "bad_request",
+                "shutdown over the wire is disabled on this server")
+        self.shutdown_requested.set()
+        return ok_response(req.id, draining=True)
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Live service state plus a metrics snapshot (when a telemetry
+        session is active)."""
+        tel = obs.current()
+        return {
+            "residents": self.registry.residents,
+            "resident_keys": self.registry.resident_keys(),
+            "pending": self.batcher.pending,
+            "inflight_batches": self.batcher.inflight_batches,
+            "draining": self.shutdown_requested.is_set() or self._closed,
+            "metrics": tel.metrics.snapshot() if tel is not None else None,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    async def close(self) -> None:
+        """Drain: seal open queues, finish in-flight batches, then close
+        every resident operator.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shutdown_requested.set()
+        await self.batcher.drain()
+        self.registry.close()

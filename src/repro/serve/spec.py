@@ -1,0 +1,93 @@
+"""Matrix specifications: how a request names the matrix it solves on.
+
+Clients do not upload matrices; they name one the server can
+materialise — a Table II stand-in (``{"standin": "cant", "rows": 2000,
+"seed": 0}``) or, when the server allows it, a MatrixMarket file on the
+server's filesystem (``{"path": "a.mtx"}``).  The spec's canonical key
+deduplicates concurrent first-requests *before* the matrix exists; the
+structure fingerprint (:func:`repro.tune.fingerprint.fingerprint_matrix`)
+then keys the tuned-plan cache once it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..matrices import generate_standin, list_matrix_names
+from ..sparse import CSRMatrix, read_matrix_market
+
+__all__ = ["MatrixSpec", "SpecError"]
+
+
+class SpecError(ValueError):
+    """A request's matrix description is unusable (unknown stand-in,
+    oversized, or a path when paths are disabled)."""
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Canonical description of one servable matrix."""
+
+    standin: Optional[str] = None
+    rows: int = 2000
+    seed: int = 0
+    path: Optional[str] = None
+
+    def key(self) -> str:
+        """Registry key: canonical, collision-free per distinct spec."""
+        if self.path is not None:
+            return f"path:{self.path}"
+        return f"standin:{self.standin}:{self.rows}:{self.seed}"
+
+    def describe(self) -> str:
+        """Human-readable name for logs and error messages."""
+        if self.path is not None:
+            return self.path
+        return f"{self.standin} stand-in ({self.rows} rows)"
+
+    def load(self) -> CSRMatrix:
+        """Materialise the matrix (CPU-bound; run off the event loop)."""
+        if self.path is not None:
+            return read_matrix_market(self.path).to_csr()
+        return generate_standin(self.standin, n_rows=self.rows,
+                                seed=self.seed)
+
+    @classmethod
+    def from_payload(cls, obj: Any, max_rows: int = 200_000,
+                     allow_paths: bool = False) -> "MatrixSpec":
+        """Parse and validate the ``matrix`` field of a request.
+
+        Every rejection is a :class:`SpecError` naming the offending
+        field, so the protocol layer can map it to a structured
+        ``bad_request`` response.
+        """
+        if not isinstance(obj, Mapping):
+            raise SpecError("matrix: expected an object")
+        path = obj.get("path")
+        standin = obj.get("standin")
+        if path is not None:
+            if not allow_paths:
+                raise SpecError(
+                    "matrix.path: file-backed matrices are disabled on "
+                    "this server")
+            if not isinstance(path, str) or not path:
+                raise SpecError("matrix.path: expected a non-empty string")
+            return cls(path=path)
+        if not isinstance(standin, str):
+            raise SpecError("matrix: provide 'standin' (or 'path')")
+        if standin not in list_matrix_names():
+            raise SpecError(
+                f"matrix.standin: unknown stand-in {standin!r} "
+                f"(known: {', '.join(list_matrix_names())})")
+        rows = obj.get("rows", 2000)
+        if not isinstance(rows, int) or isinstance(rows, bool) or rows < 1:
+            raise SpecError("matrix.rows: expected a positive integer")
+        if rows > max_rows:
+            raise SpecError(
+                f"matrix.rows: {rows} exceeds this server's cap of "
+                f"{max_rows}")
+        seed = obj.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SpecError("matrix.seed: expected an integer")
+        return cls(standin=standin, rows=rows, seed=seed)

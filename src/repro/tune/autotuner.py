@@ -177,23 +177,44 @@ def autotune_power(
     store = _resolve_cache(cache)
     fp = fingerprint_matrix(a, kind="power")
     with obs.span("tune.autotune", kind="power", k=k, key=fp.key()):
-        if store is not None and not force:
-            entry = store.load(fp)
-            if entry is not None:
-                try:
-                    op = instantiate_power(entry.plan, a,
-                                           operator_path=entry.operator_path)
-                except Exception as exc:
-                    # Stored plan no longer instantiable (e.g. knob
-                    # removed): drop it and fall through to a search.
-                    obs.event("tune.cache_plan_unusable", error=repr(exc))
-                    store.invalidate(fp)
-                else:
-                    return op, TuningResult(
-                        kind="power", fingerprint=fp, plan=entry.plan,
-                        source="cache", cache_path=store.entry_path(fp))
-        return _search_power(a, k, fp, store, repeats, warmup,
-                             candidates, max_candidates, seed)
+        if store is None or force:
+            return _search_power(a, k, fp, store, repeats, warmup,
+                                 candidates, max_candidates, seed)
+        hit = _load_power_entry(store, fp, a)
+        if hit is not None:
+            return hit
+        # Miss: serialise the search on the entry's file lock so
+        # concurrent first-tuners of the same structure (threads or
+        # separate processes) do not both pay it.  Double-checked: the
+        # race's loser blocks here, then finds the winner's entry on
+        # the in-lock re-check and instantiates it instead.
+        with store.lock(fp):
+            hit = _load_power_entry(store, fp, a)
+            if hit is not None:
+                return hit
+            return _search_power(a, k, fp, store, repeats, warmup,
+                                 candidates, max_candidates, seed)
+
+
+def _load_power_entry(store, fp, a):
+    """Cache-hit path: ``(operator, TuningResult)`` or None on a miss
+    (including an entry whose stored plan no longer instantiates — that
+    entry is dropped so a search can replace it)."""
+    entry = store.load(fp)
+    if entry is None:
+        return None
+    try:
+        op = instantiate_power(entry.plan, a,
+                               operator_path=entry.operator_path)
+    except Exception as exc:
+        # Stored plan no longer instantiable (e.g. knob removed):
+        # drop it and fall through to a search.
+        obs.event("tune.cache_plan_unusable", error=repr(exc))
+        store.invalidate(fp)
+        return None
+    return op, TuningResult(
+        kind="power", fingerprint=fp, plan=entry.plan,
+        source="cache", cache_path=store.entry_path(fp))
 
 
 def _search_power(a, k, fp, store, repeats, warmup, candidates,
@@ -304,87 +325,107 @@ def autotune_spmv(
     store = _resolve_cache(cache)
     fp = fingerprint_matrix(a, kind="spmv")
     with obs.span("tune.autotune", kind="spmv", key=fp.key()):
-        if store is not None and not force:
-            entry = store.load(fp)
-            if entry is not None:
-                try:
-                    fn = instantiate_spmv(entry.plan, a)
-                except Exception as exc:
-                    obs.event("tune.cache_plan_unusable", error=repr(exc))
-                    store.invalidate(fp)
-                else:
-                    return fn, TuningResult(
-                        kind="spmv", fingerprint=fp, plan=entry.plan,
-                        source="cache", cache_path=store.entry_path(fp))
+        if store is None or force:
+            return _search_spmv(a, fp, store, repeats, warmup,
+                                candidates, seed)
+        hit = _load_spmv_entry(store, fp, a)
+        if hit is not None:
+            return hit
+        # Same double-checked locking as autotune_power: only one
+        # concurrent first-tuner pays the search.
+        with store.lock(fp):
+            hit = _load_spmv_entry(store, fp, a)
+            if hit is not None:
+                return hit
+            return _search_spmv(a, fp, store, repeats, warmup,
+                                candidates, seed)
 
-        plans = list(candidates) if candidates is not None \
-            else spmv_candidates()
-        rng = np.random.default_rng(seed)
-        xs = [rng.standard_normal(a.n_cols) for _ in range(3)]
 
-        trials: List[Trial] = []
-        refs: Optional[List[np.ndarray]] = None
-        best: Optional[Tuple[Trial, Callable]] = None
-        for i, plan in enumerate(plans):
-            trial = Trial(plan=plan,
-                          by_design=plan_is_bit_identical_by_design(plan))
-            trials.append(trial)
-            obs.add_counter("tune.candidates")
-            with obs.span("tune.candidate", plan=plan.label):
-                try:
-                    t0 = time.perf_counter()
-                    fn = instantiate_spmv(plan, a)
-                    trial.build_time_s = time.perf_counter() - t0
-                    times, outs = [], []
-                    for x in xs:
-                        t, y = _time_candidate(lambda: fn(x),
-                                               repeats, warmup)
-                        times.append(t)
-                        outs.append(y)
-                    trial.time_s = sum(times) / len(times)
-                except Exception as exc:
-                    trial.error = repr(exc)
-                    obs.add_counter("tune.errors")
-                    continue
-                if i == 0:
-                    refs = outs
-                    trial.identical = True
-                else:
-                    trial.identical = all(
-                        np.array_equal(y, r)
-                        for y, r in zip(outs, refs))
-                    if not trial.identical:
-                        obs.add_counter("tune.rejected_not_identical")
-                    elif not trial.by_design:
-                        obs.event("tune.identical_but_not_by_design",
-                                  plan=plan.label)
-                if trial.accepted and (best is None
-                                       or trial.time_s < best[0].time_s):
-                    best = (trial, fn)
+def _load_spmv_entry(store, fp, a):
+    """Cache-hit path for :func:`autotune_spmv`; None on a miss."""
+    entry = store.load(fp)
+    if entry is None:
+        return None
+    try:
+        fn = instantiate_spmv(entry.plan, a)
+    except Exception as exc:
+        obs.event("tune.cache_plan_unusable", error=repr(exc))
+        store.invalidate(fp)
+        return None
+    return fn, TuningResult(
+        kind="spmv", fingerprint=fp, plan=entry.plan,
+        source="cache", cache_path=store.entry_path(fp))
 
-        if best is None:
-            raise RuntimeError(
-                "autotune_spmv: no candidate ran successfully; first "
-                "error: "
-                + next((t.error for t in trials if t.error),
-                       "none recorded"))
-        win_trial, win_fn = best
-        default_time = trials[0].time_s
-        result = TuningResult(
-            kind="spmv", fingerprint=fp, plan=win_trial.plan,
-            source="search", trials=trials, default_time_s=default_time,
-            best_time_s=win_trial.time_s)
-        if default_time is not None:
-            obs.set_gauge("tune.default_time_s", default_time, unit="s")
-        obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
-        if store is not None:
-            result.cache_path = store.store(fp, win_trial.plan, meta={
-                "repeats": repeats,
-                "time_s": win_trial.time_s,
-                "default_time_s": default_time,
-                "candidates": len(trials),
-            })
-        return win_fn, result
+
+def _search_spmv(a, fp, store, repeats, warmup, candidates, seed):
+    plans = list(candidates) if candidates is not None \
+        else spmv_candidates()
+    rng = np.random.default_rng(seed)
+    xs = [rng.standard_normal(a.n_cols) for _ in range(3)]
+
+    trials: List[Trial] = []
+    refs: Optional[List[np.ndarray]] = None
+    best: Optional[Tuple[Trial, Callable]] = None
+    for i, plan in enumerate(plans):
+        trial = Trial(plan=plan,
+                      by_design=plan_is_bit_identical_by_design(plan))
+        trials.append(trial)
+        obs.add_counter("tune.candidates")
+        with obs.span("tune.candidate", plan=plan.label):
+            try:
+                t0 = time.perf_counter()
+                fn = instantiate_spmv(plan, a)
+                trial.build_time_s = time.perf_counter() - t0
+                times, outs = [], []
+                for x in xs:
+                    t, y = _time_candidate(lambda: fn(x),
+                                           repeats, warmup)
+                    times.append(t)
+                    outs.append(y)
+                trial.time_s = sum(times) / len(times)
+            except Exception as exc:
+                trial.error = repr(exc)
+                obs.add_counter("tune.errors")
+                continue
+            if i == 0:
+                refs = outs
+                trial.identical = True
+            else:
+                trial.identical = all(
+                    np.array_equal(y, r)
+                    for y, r in zip(outs, refs))
+                if not trial.identical:
+                    obs.add_counter("tune.rejected_not_identical")
+                elif not trial.by_design:
+                    obs.event("tune.identical_but_not_by_design",
+                              plan=plan.label)
+            if trial.accepted and (best is None
+                                   or trial.time_s < best[0].time_s):
+                best = (trial, fn)
+
+    if best is None:
+        raise RuntimeError(
+            "autotune_spmv: no candidate ran successfully; first "
+            "error: "
+            + next((t.error for t in trials if t.error),
+                   "none recorded"))
+    win_trial, win_fn = best
+    default_time = trials[0].time_s
+    result = TuningResult(
+        kind="spmv", fingerprint=fp, plan=win_trial.plan,
+        source="search", trials=trials, default_time_s=default_time,
+        best_time_s=win_trial.time_s)
+    if default_time is not None:
+        obs.set_gauge("tune.default_time_s", default_time, unit="s")
+    obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
+    if store is not None:
+        result.cache_path = store.store(fp, win_trial.plan, meta={
+            "repeats": repeats,
+            "time_s": win_trial.time_s,
+            "default_time_s": default_time,
+            "candidates": len(trials),
+        })
+    return win_fn, result
 
 
 def tuned_matvec(

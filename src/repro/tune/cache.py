@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -192,6 +193,48 @@ class PlanCache:
             if os.path.exists(tmp):  # write or replace failed midway
                 os.unlink(tmp)
 
+    # -- concurrency ----------------------------------------------------
+    @contextmanager
+    def lock(self, fp: StructureFingerprint):
+        """Advisory exclusive lock for ``fp``'s entry (``<key>.lock``).
+
+        Serialises the tune-search critical section across processes
+        *and* threads (``flock`` locks the open file description, and
+        every ``with`` opens its own descriptor), so two concurrent
+        first-tuners of the same structure cannot both pay the search
+        or interleave their stores: the loser blocks, then finds the
+        winner's entry on its in-lock re-check (double-checked
+        locking — see :func:`repro.tune.autotune_power`).
+
+        Best-effort by design: on platforms without ``fcntl`` or on
+        any locking failure this degrades to an unlocked section.
+        Atomic stores keep that *correct* (last writer wins, entries
+        are never torn) — the lock only removes duplicated work.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - POSIX-only fallback
+            yield
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fh = open(self.root / f"{fp.key()}.lock", "a+")
+        except OSError:  # pragma: no cover - unwritable cache dir
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            except OSError:  # pragma: no cover - e.g. NFS without locks
+                pass
+            yield
+        finally:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover
+                pass
+            fh.close()
+
     # -- maintenance ----------------------------------------------------
     def invalidate(self, fp: StructureFingerprint) -> None:
         """Drop the entry (and artefact) for ``fp``, if present."""
@@ -208,7 +251,8 @@ class PlanCache:
         if not self.root.is_dir():
             return removed
         for path in list(self.root.glob("*.json")) + \
-                list(self.root.glob("*.op.npz")):
+                list(self.root.glob("*.op.npz")) + \
+                list(self.root.glob("*.lock")):
             try:
                 path.unlink()
                 removed += 1

@@ -1,0 +1,118 @@
+"""Differential tests of the serving path's batching invariant: a
+stacked multi-RHS ``power_block`` sweep must be **bitwise identical**,
+column for column, to per-request ``power`` calls — across input
+dtypes, k values, batch widths and all three executors.  This is the
+property that lets the solve service batch concurrent tenants' requests
+without changing a single bit of anyone's answer.
+
+Restricted to the ``numpy`` backend: that is exactly the set of
+operators the service batches (``ResidentOperator.can_batch``), and
+the tuner's bit-identical-by-design gate guarantees every tuned
+serving plan lands in it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fbmpk import build_fbmpk_operator
+from repro.matrices.generators import banded_random, poisson2d
+from repro.sparse import CSRMatrix
+
+EXECUTORS = ["serial", "threads", "processes"]
+K_VALUES = [0, 1, 2, 3, 5, 8]
+
+
+def _block_matches_per_vector(op, X, k):
+    Y = op.power_block(X.copy(), k)
+    for j in range(X.shape[1]):
+        y = op.power(X[:, j].copy(), k)
+        if not np.array_equal(Y[:, j], y):
+            return False, j
+    return True, None
+
+
+@pytest.fixture(scope="module")
+def mat():
+    return banded_random(140, bandwidth=6, nnz_per_row=9,
+                         symmetric=True, seed=11)
+
+
+# -- executors × k ---------------------------------------------------------
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_block_bitwise_identical_per_executor(mat, executor, k):
+    kwargs = {"n_threads": 2} if executor != "serial" else {}
+    op = build_fbmpk_operator(mat, backend="numpy", executor=executor,
+                              **kwargs)
+    try:
+        rng = np.random.default_rng(k)
+        X = rng.standard_normal((mat.n_rows, 5))
+        ok, col = _block_matches_per_vector(op, X, k)
+        assert ok, f"column {col} differs (executor={executor}, k={k})"
+    finally:
+        op.close()
+
+
+# -- strategies and widths -------------------------------------------------
+@pytest.mark.parametrize("strategy", ["abmc", "levels"])
+@pytest.mark.parametrize("width", [1, 2, 3, 7])
+def test_block_bitwise_identical_per_strategy_and_width(strategy, width):
+    a = poisson2d(7, seed=2)
+    op = build_fbmpk_operator(a, strategy=strategy, backend="numpy")
+    try:
+        X = np.random.default_rng(width).standard_normal(
+            (a.n_rows, width))
+        ok, col = _block_matches_per_vector(op, X, 4)
+        assert ok, f"column {col} differs (strategy={strategy})"
+    finally:
+        op.close()
+
+
+# -- input dtypes ----------------------------------------------------------
+@pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int32])
+def test_block_bitwise_identical_across_input_dtypes(mat, dtype):
+    """Inputs of any dtype are converted to float64 once, identically
+    on both paths — a float32 or integer RHS batches bit-exactly too."""
+    op = build_fbmpk_operator(mat, backend="numpy")
+    try:
+        rng = np.random.default_rng(0)
+        if np.issubdtype(dtype, np.integer):
+            X = rng.integers(-5, 5, size=(mat.n_rows, 4)).astype(dtype)
+        else:
+            X = rng.standard_normal((mat.n_rows, 4)).astype(dtype)
+        Y = op.power_block(X, 3)
+        assert Y.dtype == np.float64
+        for j in range(X.shape[1]):
+            y = op.power(np.asarray(X[:, j], dtype=np.float64), 3)
+            assert np.array_equal(Y[:, j], y)
+    finally:
+        op.close()
+
+
+# -- hypothesis sweep ------------------------------------------------------
+@st.composite
+def square_csr(draw, max_n=20):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-1.0, 1.0, size=(n, n))
+    mask = rng.random((n, n)) < density
+    return CSRMatrix.from_dense(np.where(mask, dense, 0.0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=square_csr(), k=st.integers(min_value=0, max_value=6),
+       width=st.integers(min_value=1, max_value=6),
+       seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_block_bitwise_identical_arbitrary_matrices(a, k, width, seed):
+    op = build_fbmpk_operator(a, backend="numpy")
+    try:
+        X = np.random.default_rng(seed).uniform(
+            -1.0, 1.0, size=(a.n_rows, width))
+        ok, col = _block_matches_per_vector(op, X, k)
+        assert ok, f"column {col} differs (n={a.n_rows}, k={k})"
+    finally:
+        op.close()

@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.solvers",
     "repro.tune",
+    "repro.serve",
     "repro.robust",
     "repro.obs",
     "repro.bench",
