@@ -47,7 +47,8 @@ Failures map onto one-line ``error:`` messages and distinct exit codes
 validation and non-finite failures, 5 for crashed parallel phases, 6
 for solver breakdown/divergence/non-convergence, 7 for telemetry-export
 I/O failures (an unwritable ``--trace``/``--metrics``/``--report``
-path).
+path), 8 for a blown deadline/budget
+(:class:`~repro.robust.errors.DeadlineExceededError`).
 """
 
 from __future__ import annotations
@@ -70,6 +71,7 @@ from .matrices import generate_standin, get_matrix_info, list_matrix_names
 from .matrices.stats import analyze_matrix
 from .reorder import abmc_ordering, permute_symmetric, rcm_ordering
 from .robust import (
+    DeadlineExceededError,
     MatrixMarketError,
     PhaseExecutionError,
     ValidationError,
@@ -79,7 +81,8 @@ from .solvers import bicgstab, conjugate_gradient, gmres
 from .sparse import CSRMatrix, read_matrix_market, write_matrix_market
 
 __all__ = ["main", "EXIT_OK", "EXIT_IO", "EXIT_VALIDATION",
-           "EXIT_EXECUTION", "EXIT_SOLVER", "EXIT_TELEMETRY"]
+           "EXIT_EXECUTION", "EXIT_SOLVER", "EXIT_TELEMETRY",
+           "EXIT_DEADLINE"]
 
 #: Exit codes of the typed-error mapping (argparse keeps 2 for usage).
 EXIT_OK = 0
@@ -88,6 +91,7 @@ EXIT_VALIDATION = 4
 EXIT_EXECUTION = 5
 EXIT_SOLVER = 6
 EXIT_TELEMETRY = 7
+EXIT_DEADLINE = 8
 
 
 def _load_matrix(args) -> CSRMatrix:
@@ -350,6 +354,10 @@ def cmd_serve(args) -> int:
             tune_k=args.tune_k,
             plan_cache_dir=args.plan_cache_dir,
             allow_shutdown=not args.no_remote_shutdown,
+            tune_budget_s=args.tune_budget_s,
+            tune_breaker=not args.no_tune_breaker,
+            hang_timeout_s=args.hang_timeout_s,
+            drain_timeout_s=args.drain_timeout_s,
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -573,6 +581,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "$REPRO_PLAN_CACHE_DIR or ~/.cache/repro/plans)")
     p.add_argument("--no-remote-shutdown", action="store_true",
                    help="ignore shutdown requests from clients")
+    p.add_argument("--tune-budget-s", type=float, default=None,
+                   help="per-search time budget for autotuning a new "
+                        "structure; a blown budget counts as a tune "
+                        "circuit-breaker failure")
+    p.add_argument("--no-tune-breaker", action="store_true",
+                   help="disable the tune circuit breaker (repeated "
+                        "search failures then keep re-paying the "
+                        "search instead of serving the default plan)")
+    p.add_argument("--hang-timeout-s", type=float, default=None,
+                   help="arm the executor watchdogs: a pool worker "
+                        "silent for this long is killed and the sweep "
+                        "falls back serially")
+    p.add_argument("--drain-timeout-s", type=float, default=30.0,
+                   help="bound on the shutdown drain; batches still "
+                        "executing past it are abandoned with "
+                        "structured errors")
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -598,7 +622,8 @@ def main(argv=None) -> int:
     ``MatrixMarketError``/``OSError`` (unreadable or malformed input
     file) → 3, ``ValidationError`` (structural defects, NaN/Inf caught
     by ``--validate``/``--check-finite``) → 4, ``PhaseExecutionError``
-    (crashed parallel phase) → 5.  Solver non-convergence returns 6
+    (crashed parallel phase) → 5, ``DeadlineExceededError`` (a blown
+    deadline/budget) → 8.  Solver non-convergence returns 6
     from :func:`cmd_solve` directly.  A failure writing the requested
     ``--trace``/``--metrics``/``--report`` artefacts → 7 (the command
     itself succeeded; a command failure keeps its own code — telemetry
@@ -624,6 +649,9 @@ def main(argv=None) -> int:
     except PhaseExecutionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = EXIT_EXECUTION
+    except DeadlineExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        code = EXIT_DEADLINE
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = EXIT_IO

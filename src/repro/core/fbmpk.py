@@ -364,6 +364,10 @@ ExecutorKind = Literal["serial", "threads", "processes"]
 #: :mod:`repro.parallel.procexec`).
 EXECUTOR_KINDS = ("serial", "threads", "processes")
 
+#: Sentinel distinguishing "keep the current value" from an explicit
+#: None in configure_executor (None disables the hang watchdog).
+_KEEP = object()
+
 
 def _snapshot_counter(counter: Optional[KernelCounter]):
     """Capture a :class:`KernelCounter`'s fields so an aborted threaded
@@ -553,6 +557,7 @@ class FBMPKOperator:
         assign_policy: str = "lpt",
         phase_plan: Optional[PhasePlan] = None,
         on_failure: str = "raise",
+        hang_timeout: Optional[float] = None,
     ) -> None:
         if validate and not check_sweep_groups(part, groups):
             raise ValueError("invalid sweep groups for this partition")
@@ -575,6 +580,12 @@ class FBMPKOperator:
         #: recomputes the whole call with the serial fused sweeps — the
         #: result is bit-identical to a clean serial run.
         self.on_failure = on_failure
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive (or None)")
+        #: Hung-worker bound forwarded to both parallel backends: the
+        #: process executor's per-heartbeat watchdog and the threaded
+        #: executor's per-phase barrier timeout (None disables both).
+        self.hang_timeout = hang_timeout
         #: :class:`~repro.parallel.executor.ExecutionStats` of the most
         #: recent ``power`` call that ran on the threaded backend; None
         #: after serial runs.
@@ -616,6 +627,7 @@ class FBMPKOperator:
         n_threads: Optional[int] = None,
         assign_policy: Optional[str] = None,
         on_failure: Optional[str] = None,
+        hang_timeout: object = _KEEP,
     ) -> "FBMPKOperator":
         """Re-point the operator at a different execution backend.
 
@@ -638,10 +650,18 @@ class FBMPKOperator:
                 raise ValueError(
                     f"unknown on_failure policy {on_failure!r}")
             self.on_failure = on_failure
+        if hang_timeout is not _KEEP:
+            # None is a meaningful value here (disable the watchdog),
+            # hence the sentinel default instead of None-means-keep.
+            if hang_timeout is not None and hang_timeout <= 0:
+                raise ValueError(
+                    "hang_timeout must be positive (or None)")
+            self.hang_timeout = hang_timeout
         if self._threaded is not None:
             self._threaded.pool.close()
             self._threaded.pool = ThreadedPhaseExecutor(
-                self.n_threads, self.assign_policy)
+                self.n_threads, self.assign_policy,
+                hang_timeout=self.hang_timeout)
         self._close_procs()  # next processes call rebuilds with new knobs
         return self
 
@@ -676,7 +696,8 @@ class FBMPKOperator:
                 fw_phases=fw, bw_phases=bw,
                 fw_kernels=fw_kernels, bw_kernels=bw_kernels,
                 pool=ThreadedPhaseExecutor(self.n_threads,
-                                           self.assign_policy))
+                                           self.assign_policy,
+                                           hang_timeout=self.hang_timeout))
         return self._threaded
 
     def _ensure_procs(self) -> _ProcState:
@@ -691,7 +712,8 @@ class FBMPKOperator:
             fw, bw = self._built_phase_plan()
             pool = ProcessPhaseExecutor(
                 self.part, n_workers=self.n_threads,
-                policy=self.assign_policy)
+                policy=self.assign_policy,
+                hang_timeout=self.hang_timeout)
             self._procs = _ProcState(fw_phases=fw, bw_phases=bw, pool=pool)
         self._xy_buf = self._procs.pool.xy
         self._tmp_buf = self._procs.pool.tmp
@@ -710,6 +732,17 @@ class FBMPKOperator:
             self._tmp_buf = None
             self._blk_buf = None
             self._shm_bound = False
+
+    def worker_health(self) -> Dict[str, object]:
+        """Liveness snapshot of the parallel backends, for health
+        endpoints: the configured executor plus one alive-bool per
+        process-pool worker slot (``None`` until a pool is spawned)."""
+        health: Dict[str, object] = {"executor": self.executor,
+                                     "hang_timeout_s": self.hang_timeout,
+                                     "process_workers": None}
+        if self._procs is not None:
+            health["process_workers"] = self._procs.pool.worker_liveness()
+        return health
 
     def block_phases(self) -> PhasePlan:
         """The ``(forward, backward)`` block-phase schedule the threaded
@@ -877,6 +910,12 @@ class FBMPKOperator:
                                      check_finite, mode=mode, out=out)
             except PhaseExecutionError:
                 self.close()
+                # A hung worker thread cannot be killed, only abandoned
+                # with its pool; it still holds references to the sweep
+                # buffers via its bin closure.  Drop ours so any zombie
+                # writes land in orphaned arrays — the rerun (and every
+                # later call) allocates fresh ones.
+                self._xy_buf = self._tmp_buf = self._blk_buf = None
                 if not fallback:
                     raise
                 warnings.warn(
@@ -1111,6 +1150,8 @@ class FBMPKOperator:
                                                        check_finite)
                 except PhaseExecutionError:
                     self.close()
+                    # Same zombie-writer defence as power(): see there.
+                    self._xy_buf = self._tmp_buf = self._blk_buf = None
                     if not fallback:
                         raise
                     warnings.warn(
@@ -1346,6 +1387,7 @@ def build_fbmpk_operator(
     n_threads: Optional[int] = None,
     assign_policy: str = "lpt",
     on_failure: str = "raise",
+    hang_timeout: Optional[float] = None,
 ) -> FBMPKOperator:
     """One-off preprocessing: split, (optionally) reorder, group, extract.
 
@@ -1389,12 +1431,14 @@ def build_fbmpk_operator(
                              n_threads=n_threads,
                              assign_policy=assign_policy,
                              phase_plan=phase_plan,
-                             on_failure=on_failure)
+                             on_failure=on_failure,
+                             hang_timeout=hang_timeout)
     if strategy == "levels":
         part = split_ldu(a)
         groups = make_sweep_groups_levels(part)
         return FBMPKOperator(part, groups, perm=None, backend=backend,
                              executor=executor, n_threads=n_threads,
                              assign_policy=assign_policy,
-                             on_failure=on_failure)
+                             on_failure=on_failure,
+                             hang_timeout=hang_timeout)
     raise ValueError(f"unknown strategy {strategy!r}")

@@ -190,10 +190,20 @@ def set_gauge(name: str, value: float, unit: str = "") -> None:
         _ACTIVE[-1].metrics.gauge(name, unit=unit).set(value)
 
 
-def observe(name: str, value: float, unit: str = "") -> None:
-    """Record a histogram observation on the active session."""
+def observe(name: str, value: float, unit: str = "",
+            buckets=None) -> None:
+    """Record a histogram observation on the active session.
+
+    ``buckets`` (optional) sets the bucket boundaries if this call
+    creates the histogram; an existing histogram keeps the buckets it
+    was created with (first creation fixes them)."""
     if _ACTIVE:
-        _ACTIVE[-1].metrics.histogram(name, unit=unit).observe(value)
+        metrics = _ACTIVE[-1].metrics
+        if buckets is None:
+            metrics.histogram(name, unit=unit).observe(value)
+        else:
+            metrics.histogram(name, unit=unit,
+                              buckets=buckets).observe(value)
 
 
 def instrument_solver(name: str):

@@ -46,8 +46,10 @@ suite uses to crash and delay workers on demand.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -65,6 +67,7 @@ __all__ = [
     "PhaseExecutionError",
     "ThreadedPhaseExecutor",
     "check_phases",
+    "spawn_daemon_pool",
 ]
 
 TaskRunner = Callable[[BlockTask], None]
@@ -166,6 +169,36 @@ def check_phases(tri: CSRMatrix, phases: Sequence[Phase]) -> bool:
     return bool(ok.all())
 
 
+def spawn_daemon_pool(max_workers: int,
+                      thread_name_prefix: str = "") -> ThreadPoolExecutor:
+    """A :class:`ThreadPoolExecutor` whose workers are *daemon* threads.
+
+    A pool that may be **abandoned** on a hang (``shutdown(wait=False)``
+    with a worker wedged mid-task) must not use ordinary workers:
+    ``threading._shutdown`` joins every non-daemon thread at interpreter
+    exit, so the process would stall on the very hang the caller refused
+    to wait for.  Worker daemon-ness is inherited from the thread that
+    spawns them and the executor spawns lazily from whoever submits, so
+    this pre-spawns all ``max_workers`` workers from a short-lived
+    daemon thread: each seed task blocks until every worker exists
+    (an idle worker would absorb later seeds and suppress spawning).
+    """
+    pool = ThreadPoolExecutor(max_workers=max_workers,
+                              thread_name_prefix=thread_name_prefix)
+    release = threading.Event()
+
+    def _seed() -> None:
+        for _ in range(max_workers):
+            pool.submit(release.wait)
+
+    spawner = threading.Thread(target=_seed, daemon=True,
+                               name=f"{thread_name_prefix}-spawner")
+    spawner.start()
+    spawner.join()
+    release.set()
+    return pool
+
+
 class _TaskFailure(Exception):
     """Internal wrapper identifying *which* task of a bin crashed."""
 
@@ -203,27 +236,50 @@ class ThreadedPhaseExecutor:
         clean serial run (same task order, same kernels, no concurrency).
         Without ``reset`` the executor cannot roll back caller state and
         raises exactly like ``"raise"``.
+
+    ``hang_timeout`` bounds each phase's barrier wait: if any bin has
+    not finished ``hang_timeout`` seconds after the barrier was entered,
+    the phase fails with a :class:`PhaseExecutionError` and the pool is
+    *abandoned* (``shutdown(wait=False)``) rather than joined — Python
+    threads cannot be killed, so a wedged worker is left to die with its
+    daemon pool instead of wedging the caller too.  Callers on the
+    fallback path must therefore stop sharing state with the abandoned
+    pool (see ``FBMPKOperator.power``, which drops its sweep buffers so
+    a zombie writer scribbles only on orphaned arrays).  Unlike the
+    process executor's per-heartbeat timeout this bounds the *whole
+    phase*, so choose it well above the slowest legitimate phase.
     """
 
     def __init__(self, n_threads: Optional[int] = None,
                  policy: str = "lpt",
-                 on_failure: str = "raise") -> None:
+                 on_failure: str = "raise",
+                 hang_timeout: Optional[float] = None) -> None:
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if n_threads < 1:
             raise ValueError("n_threads must be positive")
         if on_failure not in ("raise", "fallback_serial"):
             raise ValueError(f"unknown on_failure policy {on_failure!r}")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive (or None)")
         self.n_threads = int(n_threads)
         self.policy = policy
         self.on_failure = on_failure
+        self.hang_timeout = None if hang_timeout is None \
+            else float(hang_timeout)
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- lifecycle ------------------------------------------------------
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_threads, thread_name_prefix="fbmpk")
+            if self.hang_timeout is not None:
+                # Only a daemon pool can be abandoned on a hang without
+                # the zombie worker stalling interpreter exit.
+                self._pool = spawn_daemon_pool(
+                    self.n_threads, thread_name_prefix="fbmpk")
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_threads, thread_name_prefix="fbmpk")
         return self._pool
 
     def close(self) -> None:
@@ -231,6 +287,30 @@ class ThreadedPhaseExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def _abandon_pool(self) -> None:
+        """Discard a pool believed to contain a hung worker without
+        joining it (joining would inherit the hang).  Pending bins are
+        cancelled; the hung thread keeps its references until it dies
+        with the process.  The pool's threads are also de-registered
+        from concurrent.futures' interpreter-exit join, which would
+        otherwise stall process shutdown on the very hang we just
+        refused to wait for."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        pool.shutdown(wait=False, cancel_futures=True)
+        for t in getattr(pool, "_threads", ()):
+            # Abandoned zombies are no longer *this executor's* workers:
+            # rename them so thread dumps (and the test suites' no-leaked-
+            # pool assertions) can tell them from a live pool.
+            t.name = f"abandoned-{t.name}"
+        try:
+            from concurrent.futures import thread as _cf_thread
+            for t in getattr(pool, "_threads", ()):
+                _cf_thread._threads_queues.pop(t, None)
+        except Exception:  # pragma: no cover - private-API drift
+            pass
 
     def __enter__(self) -> "ThreadedPhaseExecutor":
         return self
@@ -337,17 +417,35 @@ class ThreadedPhaseExecutor:
                 ]
                 # Barrier.  Always drain *every* submitted bin, even
                 # after a failure — otherwise still-running workers
-                # would write into caller state behind our back.
+                # would write into caller state behind our back.  With a
+                # hang_timeout the drain itself is bounded: a bin that
+                # misses it marks the phase hung and the pool is
+                # abandoned, not joined.
                 failure: Optional[BaseException] = None
-                for f in futures:
+                hung = False
+                done, not_done = _futures_wait(futures,
+                                               timeout=self.hang_timeout)
+                for f in done:
                     try:
                         f.result()
                     except BaseException as exc:
                         if failure is None:
                             failure = exc
+                if not_done:
+                    hung = True
+                    obs.add_counter("executor.hung_phases")
+                    if failure is None:
+                        failure = PhaseExecutionError(
+                            f"{len(not_done)} bin(s) still running "
+                            f"{self.hang_timeout}s after the phase "
+                            f"barrier was entered",
+                            phase_index=pi, color=phase.color)
                 elapsed = time.perf_counter() - t0
             if failure is not None:
-                self.close()  # no leaked threads, ever
+                if hung:
+                    self._abandon_pool()  # joining would hang us too
+                else:
+                    self.close()  # no leaked threads, ever
                 obs.add_counter("executor.failed_phases")
                 if self.on_failure == "fallback_serial" and reset is not None:
                     stats.phases[:] = stats.phases[:snap[0]]
@@ -355,7 +453,10 @@ class ThreadedPhaseExecutor:
                     stats.thread_busy_s[:] = snap[2]
                     reset()
                     return self.run_serial(phases, run_task, stats)
-                raise self._wrap_failure(failure, pi, phase) from (
+                wrapped = self._wrap_failure(failure, pi, phase)
+                if wrapped is failure:  # already typed (hang timeout)
+                    raise wrapped
+                raise wrapped from (
                     failure.cause if isinstance(failure, _TaskFailure)
                     else failure)
             stats.barriers += 1
@@ -380,6 +481,8 @@ class ThreadedPhaseExecutor:
     def _wrap_failure(failure: BaseException, phase_index: int,
                       phase: Phase) -> PhaseExecutionError:
         """Build the typed, context-carrying error for a crashed phase."""
+        if isinstance(failure, PhaseExecutionError):
+            return failure
         if isinstance(failure, _TaskFailure):
             return PhaseExecutionError(
                 f"block task crashed: {failure.cause!r}",

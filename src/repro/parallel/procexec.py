@@ -27,16 +27,23 @@ the barrier.  Per-row arithmetic in the workers is the same
 are **bit-identical** to a serial run.
 
 Failure containment matches :class:`ThreadedPhaseExecutor` and extends
-it with dead-worker detection: a worker exception crosses the process
-boundary as a pickled cause chained into a typed
+it with dead-worker *and hung-worker* detection: a worker exception
+crosses the process boundary as a pickled cause chained into a typed
 :class:`~repro.robust.errors.PhaseExecutionError`; a SIGKILL'd worker is
-detected by liveness polling while the barrier drains.  Either way every
-still-live bin is awaited, the pool is torn down (a later call respawns
-it), and ``on_failure="fallback_serial"`` re-runs the phases in the
-calling process from a caller-provided ``reset`` snapshot.  The
-``"executor.task"`` chaos hook fires in the parent at dispatch time so
-the fault-injection suite drives this backend exactly like the threaded
-one.
+detected by liveness polling while the barrier drains; and — when a
+``hang_timeout`` is set — a worker that is alive but silent (SIGSTOP'd,
+wedged in a syscall, spinning) is caught by a heartbeat watchdog.
+Workers stamp a shared-memory heartbeat slab before every block task;
+the dispatcher scans the slab while the barrier drains and SIGKILLs any
+pending worker whose heartbeat has not moved within ``hang_timeout``,
+converting the hang into the ordinary dead-worker failure.  Either way
+every still-live bin is awaited, the pool is torn down (a later call
+respawns it), and ``on_failure="fallback_serial"`` re-runs the phases in
+the calling process from a caller-provided ``reset`` snapshot.  The
+``"executor.task"`` chaos hook fires in the parent at dispatch time and
+``"procexec.heartbeat"`` fires in the worker per block (inherited across
+``fork``), so the fault-injection suite can stall a worker without
+stalling the parent.
 
 Shared-memory lifecycle is leak-proof: segments are unlinked by
 ``close()``/context-manager exit, by a ``weakref.finalize`` finaliser
@@ -63,6 +70,7 @@ import numpy as np
 
 from .. import obs
 from ..robust.errors import PhaseExecutionError
+from ..robust.faults import fire as _fire_fault
 from ..robust.faults import fire_timed as _fire_fault_timed
 from ..sparse.csr import reduce_rows
 from .executor import ExecutionStats, PhaseRecord
@@ -330,6 +338,11 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
     _disable_shm_tracking()
     core = _AttachedSegments(core_spec)
     views = _Views(core.view)
+    # The heartbeat slab rides in the core spec but is not a _Views tag:
+    # it is watchdog bookkeeping, not sweep data.  CLOCK_MONOTONIC is
+    # system-wide on the platforms with shared memory, so the parent can
+    # compare these stamps against its own clock.
+    hb = core.view("hb") if "hb" in core_spec else None
     blk: Optional[_AttachedSegments] = None
 
     def bind(spec: Optional[Dict[str, _SegmentSpec]]) -> None:
@@ -357,6 +370,14 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
             start = stop = -1
             try:
                 for start, stop in blocks:
+                    if hb is not None:
+                        hb[worker_id] = time.monotonic()
+                    # Fires in the *worker* (injector inherited across
+                    # fork): a HangFault here freezes this heartbeat
+                    # while the parent stays live — the exact condition
+                    # the watchdog exists to catch.
+                    _fire_fault("procexec.heartbeat", worker=worker_id,
+                                phase_index=pi, color=color)
                     if task_hook is not None:
                         task_hook(sweep=sweep, phase_index=pi, color=color,
                                   start=start, stop=stop, worker=slot)
@@ -415,6 +436,14 @@ class ProcessPhaseExecutor:
         ``"fallback_serial"`` (with a ``reset`` callback passed to
         :meth:`run_phases`) rolls back and re-runs the phases in the
         calling process — bit-identical to a clean serial run.
+    hang_timeout:
+        Seconds a dispatched worker may go without stamping its
+        heartbeat before the watchdog SIGKILLs it (None — the default —
+        disables the watchdog; barriers then wait indefinitely, the
+        pre-watchdog behaviour).  A killed worker follows the ordinary
+        dead-worker failure path, so ``fallback_serial`` still yields a
+        correct answer.  SIGKILL is deliberate: it is the only signal a
+        SIGSTOP'd process cannot ignore or defer.
     mp_context:
         Start method (default: ``"fork"`` where available, else
         ``"spawn"``).
@@ -428,18 +457,23 @@ class ProcessPhaseExecutor:
     def __init__(self, part, n_workers: Optional[int] = None,
                  policy: str = "lpt", on_failure: str = "raise",
                  mp_context: Optional[str] = None,
-                 task_hook=None) -> None:
+                 task_hook=None,
+                 hang_timeout: Optional[float] = None) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
             raise ValueError("n_workers must be positive")
         if on_failure not in ("raise", "fallback_serial"):
             raise ValueError(f"unknown on_failure policy {on_failure!r}")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive (or None)")
         _picklable_hook_check(task_hook)
         self.n_workers = int(n_workers)
         self.policy = policy
         self.on_failure = on_failure
         self.task_hook = task_hook
+        self.hang_timeout = None if hang_timeout is None \
+            else float(hang_timeout)
         if mp_context is None:
             mp_context = ("fork" if "fork" in mp.get_all_start_methods()
                           else "spawn")
@@ -455,6 +489,10 @@ class ProcessPhaseExecutor:
         self.arena.add("diag", part.diag)
         self.arena.add("xy", np.zeros(2 * self.n, dtype=np.float64))
         self.arena.add("tmp", np.zeros(self.n, dtype=np.float64))
+        # Heartbeat slab: workers stamp hb[i] = monotonic() per block;
+        # the watchdog in _await_acks compares against its own clock.
+        self._hb = self.arena.add(
+            "hb", np.zeros(self.n_workers, dtype=np.float64))
         self._views: Optional[_Views] = _Views(self.arena.view)
         self._pool: Optional[_PoolState] = None
         self._blk_m: Optional[int] = None
@@ -500,7 +538,8 @@ class ProcessPhaseExecutor:
     # -- lifecycle ------------------------------------------------------
     def _ensure_pool(self) -> _PoolState:
         if self._pool is None:
-            core = {t: self.arena.spec[t] for t in _Views.CORE_TAGS}
+            core = {t: self.arena.spec[t]
+                    for t in _Views.CORE_TAGS + ("hb",)}
             outq = self._ctx.Queue()
             inqs = [self._ctx.SimpleQueue()
                     for _ in range(self.n_workers)]
@@ -523,10 +562,23 @@ class ProcessPhaseExecutor:
         pool = self._ensure_pool()
         return [w.pid for w in pool.workers]
 
+    def worker_liveness(self) -> Optional[List[bool]]:
+        """Per-worker liveness snapshot for health endpoints: None when
+        no pool is running, else one bool per worker slot."""
+        pool = self._pool
+        if pool is None:
+            return None
+        return [w.is_alive() for w in pool.workers]
+
     def _shutdown_pool(self) -> None:
         """Stop every worker and discard the queues (idempotent).  The
         arena survives — a later dispatch respawns the pool over the
-        same segments."""
+        same segments.
+
+        Escalation ladder so shutdown can never hang on a stuck worker:
+        sentinel + 2 s cooperative join, then ``terminate()`` (SIGTERM)
+        + 2 s, then ``kill()`` (SIGKILL, which even a SIGSTOP'd process
+        cannot survive) + final join to reap."""
         pool, self._pool = self._pool, None
         if pool is None:
             return
@@ -542,6 +594,11 @@ class ProcessPhaseExecutor:
             if w.is_alive():
                 w.terminate()
                 w.join(timeout=2.0)
+        for w in pool.workers:
+            if w.is_alive():
+                obs.add_counter("procexec.shutdown_kills")
+                w.kill()
+                w.join(timeout=2.0)
         for q in pool.inqs:
             q.close()
         pool.outq.close()
@@ -549,11 +606,16 @@ class ProcessPhaseExecutor:
     def close(self) -> None:
         """Shut the pool down and unlink every shared segment
         (idempotent).  Buffers obtained from :attr:`xy`/:attr:`tmp`/
-        :meth:`ensure_block` must not be used afterwards."""
-        self._shutdown_pool()
-        self._views = None
-        self._blk_m = None
-        self.arena.close()
+        :meth:`ensure_block` must not be used afterwards.  The arena is
+        unlinked even if pool teardown raises — ``/dev/shm`` hygiene
+        must not depend on worker cooperation."""
+        try:
+            self._shutdown_pool()
+        finally:
+            self._views = None
+            self._hb = None
+            self._blk_m = None
+            self.arena.close()
 
     def __enter__(self) -> "ProcessPhaseExecutor":
         return self
@@ -675,20 +737,22 @@ class ProcessPhaseExecutor:
                     ) -> Optional[PhaseExecutionError]:
         pending = set(dispatched)
         failure: Optional[PhaseExecutionError] = None
+        t_dispatch = time.monotonic()
+        last_scan = t_dispatch
         while pending:
             try:
                 msg = pool.outq.get(timeout=0.2)
             except _queue.Empty:
-                for i in sorted(pending):
-                    w = pool.workers[i]
-                    if w.is_alive():
-                        continue
-                    pending.discard(i)
-                    if failure is None:
-                        failure = PhaseExecutionError(
-                            f"worker {i} died before completing its bin "
-                            f"(exitcode {w.exitcode})",
-                            phase_index=pi, color=phase.color, thread=i)
+                msg = None
+            # Scan on every Empty and at least every 0.2 s even while
+            # acks are flowing, so one chatty worker cannot starve the
+            # watchdog of a silent one.
+            now = time.monotonic()
+            if msg is None or now - last_scan >= 0.2:
+                last_scan = now
+                failure = self._scan_pending(pool, pending, pi, phase,
+                                             t_dispatch, now, failure)
+            if msg is None:
                 continue
             if msg[0] == "ok":
                 _, slot, busy = msg
@@ -704,6 +768,42 @@ class ProcessPhaseExecutor:
                         phase_index=epi, color=ecolor, block=block,
                         thread=slot)
                     failure.__cause__ = exc
+        return failure
+
+    def _scan_pending(self, pool: _PoolState, pending: set, pi: int,
+                      phase: Phase, t_dispatch: float, now: float,
+                      failure: Optional[PhaseExecutionError]
+                      ) -> Optional[PhaseExecutionError]:
+        """One watchdog pass over the still-pending bins: collect dead
+        workers and — when a ``hang_timeout`` is armed — SIGKILL any
+        alive worker whose heartbeat has not moved since dispatch."""
+        for i in sorted(pending):
+            w = pool.workers[i]
+            if not w.is_alive():
+                pending.discard(i)
+                if failure is None:
+                    failure = PhaseExecutionError(
+                        f"worker {i} died before completing its bin "
+                        f"(exitcode {w.exitcode})",
+                        phase_index=pi, color=phase.color, thread=i)
+                continue
+            if self.hang_timeout is None:
+                continue
+            # max() with t_dispatch: a worker that never reached its
+            # first stamp (hung in queue pickup, heartbeat still at a
+            # previous phase's value or 0) is measured from dispatch.
+            silent_s = now - max(float(self._hb[i]), t_dispatch)
+            if silent_s <= self.hang_timeout:
+                continue
+            w.kill()  # SIGKILL: the only signal a SIGSTOP'd worker obeys
+            w.join(timeout=2.0)
+            pending.discard(i)
+            obs.add_counter("procexec.watchdog_kills")
+            if failure is None:
+                failure = PhaseExecutionError(
+                    f"watchdog killed worker {i}: no heartbeat for "
+                    f"{silent_s:.2f}s (hang_timeout={self.hang_timeout}s)",
+                    phase_index=pi, color=phase.color, thread=i)
         return failure
 
     @staticmethod

@@ -11,14 +11,20 @@ crashed worker.  This package makes the failure modes *typed* and
   matrices, sweep groups and phase plans, plus the ``ensure_finite``
   guard surfaced as ``check_finite=`` through the operator and solvers;
 * :mod:`~repro.robust.faults` — a deterministic, seedable fault injector
-  (corrupt entries, poisoned vectors, raise-in-worker, delay-a-block)
-  with a chaos-hook registry the executor honours.
+  (corrupt entries, poisoned vectors, raise-in-worker, delay-a-block,
+  hang-a-worker) with a chaos-hook registry the executor, process pool
+  and solve service honour;
+* :mod:`~repro.robust.resilience` — time-bounding primitives: request
+  :class:`~repro.robust.resilience.Deadline` propagation, retry with
+  full-jitter exponential backoff, and the circuit breaker that sheds
+  autotune searches under repeated failure.
 
 See the "Failure modes & robustness" section of the README for the
 policy matrix (what raises, what degrades, what falls back).
 """
 
 from .errors import (
+    DeadlineExceededError,
     InjectedFault,
     MatrixMarketError,
     NonFiniteError,
@@ -30,10 +36,17 @@ from .errors import (
 from .faults import (
     DelayFault,
     FaultInjector,
+    HangFault,
     RaiseFault,
     active_injectors,
     fire,
     fire_timed,
+)
+from .resilience import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
 )
 from .validate import (
     Issue,
@@ -52,10 +65,16 @@ __all__ = [
     "MatrixMarketError",
     "PhaseExecutionError",
     "SolverBreakdownError",
+    "DeadlineExceededError",
     "InjectedFault",
     "FaultInjector",
     "RaiseFault",
     "DelayFault",
+    "HangFault",
+    "Deadline",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BREAKER_STATES",
     "fire",
     "fire_timed",
     "active_injectors",

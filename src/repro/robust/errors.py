@@ -7,6 +7,7 @@ callers (and the CLI's exit-code mapping) can tell apart:
 * broken matrix/plan structure -> :class:`ValidationError`
 * NaN/Inf payloads or iterates -> :class:`NonFiniteError`
 * crashed parallel phases      -> :class:`PhaseExecutionError`
+* blown deadlines / budgets    -> :class:`DeadlineExceededError`
 * deliberately injected faults -> :class:`InjectedFault`
 
 The classes double-inherit from the builtin exception the pre-robustness
@@ -27,6 +28,7 @@ __all__ = [
     "MatrixMarketError",
     "PhaseExecutionError",
     "SolverBreakdownError",
+    "DeadlineExceededError",
     "InjectedFault",
 ]
 
@@ -144,6 +146,27 @@ class SolverBreakdownError(ReproError, RuntimeError):
     def __init__(self, message: str, status: str = "breakdown") -> None:
         super().__init__(message)
         self.status = status
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """Work was refused or abandoned because its deadline expired.
+
+    ``what`` names the operation that ran out of time (baked into
+    ``str(exc)``); ``overrun_s``, when known, is how far past the
+    deadline the check happened.  Raised by
+    :meth:`repro.robust.resilience.Deadline.require` and mapped by the
+    serving layer onto the ``deadline_exceeded`` wire status and by the
+    CLI onto its own exit code.
+    """
+
+    def __init__(self, what: str = "operation",
+                 overrun_s: Optional[float] = None) -> None:
+        msg = f"deadline exceeded for {what}"
+        if overrun_s is not None:
+            msg += f" (overran by {max(0.0, overrun_s):.3f}s)"
+        super().__init__(msg)
+        self.what = what
+        self.overrun_s = overrun_s
 
 
 class InjectedFault(ReproError, RuntimeError):

@@ -22,7 +22,28 @@ Hook sites currently wired up:
     Fired by :class:`repro.parallel.executor.ThreadedPhaseExecutor`
     before each block task runs, with context ``phase_index``, ``color``,
     ``start``, ``stop``, ``thread``.  A :class:`RaiseFault` here models a
-    crashed worker; a :class:`DelayFault` models a straggler block.
+    crashed worker; a :class:`DelayFault` models a straggler block; a
+    :class:`HangFault` models a worker that stops making progress
+    entirely (the watchdog's prey).
+
+``"procexec.heartbeat"``
+    Fired inside a :class:`repro.parallel.procexec.ProcessPhaseExecutor`
+    *worker process* just before it stamps its heartbeat for a block,
+    with context ``worker``, ``phase_index``, ``color``.  Because the
+    injector is inherited across ``fork``, a :class:`HangFault` here
+    stalls the worker without stalling the parent — exactly the
+    alive-but-silent condition the heartbeat watchdog must convert into
+    a SIGKILL + serial fallback.
+
+``"serve.request"``
+    Fired by :class:`repro.serve.service.SolveService` for each accepted
+    ``power`` request, with context ``tenant``, ``rid``.
+
+``"serve.batch"``
+    Fired by the batcher's compute worker thread just before a sealed
+    batch runs its sweep, with context ``tenant``, ``width``.  Hangs
+    here stall a batch without stalling the event loop, so deadlines
+    and health checks stay live — the soak test's favourite site.
 """
 
 from __future__ import annotations
@@ -39,6 +60,7 @@ __all__ = [
     "Fault",
     "RaiseFault",
     "DelayFault",
+    "HangFault",
     "FaultInjector",
     "fire",
     "fire_timed",
@@ -117,6 +139,42 @@ class DelayFault(_CountedFault):
     def __call__(self, site: str, ctx: dict) -> None:
         if self._should_fire(ctx):
             time.sleep(self.seconds)
+
+
+class HangFault(_CountedFault):
+    """Stall at a hook site (models a worker that is alive but silent).
+
+    Unlike :class:`DelayFault` — a bounded straggler the pipeline must
+    merely *wait out* — a hang is a liveness failure the pipeline must
+    *detect and kill*: ``seconds=None`` stalls essentially forever (the
+    watchdog or test harness is expected to SIGKILL the hung process),
+    while a bounded ``seconds`` models a stall long enough to trip a
+    ``hang_timeout`` but short enough for an unsupervised test run to
+    eventually finish if detection fails.
+
+    The stall sleeps in 50 ms slices and re-raises nothing, matching
+    the signature of a worker wedged in a syscall: no exception, no
+    progress, heartbeat frozen.
+    """
+
+    #: "Indefinite" stall bound — long enough that only an external
+    #: SIGKILL ends it in practice, finite so a failed watchdog cannot
+    #: wedge a CI job forever.
+    INDEFINITE_S = 3600.0
+
+    def __init__(self, seconds: Optional[float] = None,
+                 times: Optional[int] = 1,
+                 match: Optional[dict] = None) -> None:
+        super().__init__(times, match)
+        self.seconds = self.INDEFINITE_S if seconds is None \
+            else float(seconds)
+
+    def __call__(self, site: str, ctx: dict) -> None:
+        if not self._should_fire(ctx):
+            return
+        end = time.monotonic() + self.seconds
+        while time.monotonic() < end:
+            time.sleep(min(0.05, max(0.0, end - time.monotonic())))
 
 
 # ---------------------------------------------------------------------------

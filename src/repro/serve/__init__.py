@@ -38,7 +38,7 @@ from .protocol import (
 from .registry import OperatorRegistry, ResidentOperator
 from .server import SolveServer
 from .service import SolveService
-from .spec import MatrixSpec, SpecError
+from .spec import MatrixSpec, SpecError, TooLargeError
 
 __all__ = [
     "BATCH_WIDTH_BUCKETS",
@@ -56,6 +56,7 @@ __all__ = [
     "SolveServer",
     "SolveService",
     "SpecError",
+    "TooLargeError",
     "encode_line",
     "error_response",
     "ok_response",

@@ -32,7 +32,10 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from .. import obs
+from ..parallel.executor import spawn_daemon_pool
 from ..robust.errors import NonFiniteError
+from ..robust.faults import fire as _fire_fault
+from ..robust.resilience import Deadline
 from .config import BATCH_WIDTH_BUCKETS, ServeConfig
 from .protocol import ProtocolError, QueueFullError, ServiceClosedError
 from .registry import ResidentOperator
@@ -59,6 +62,9 @@ class _Pending:
     #: Resolved with ``(y, batch_width)`` or a :class:`ProtocolError`.
     future: "asyncio.Future"
     tenant: str
+    #: The request's latency budget; checked again at flush time so an
+    #: expired request is never admitted into a batch.
+    deadline: Deadline = field(default_factory=Deadline.never)
 
 
 @dataclass
@@ -81,6 +87,12 @@ class Batcher:
         self._pending = 0
         self._max_width = 0
         self._closing = False
+        # Sweeps run on a dedicated pool of *daemon* threads, not the
+        # event loop's default executor: asyncio.run joins the default
+        # executor at shutdown, so a sweep wedged by a hung kernel
+        # would wedge interpreter exit with it.  Daemon workers let the
+        # bounded drain abandon a stuck batch and still exit cleanly.
+        self._pool = None
         # Aliasing-audit hooks (held only with debug_keep_last).
         self.last_gather: Optional[np.ndarray] = None
         self.last_block: Optional[np.ndarray] = None
@@ -99,17 +111,24 @@ class Batcher:
 
     # -- submission ------------------------------------------------------
     async def submit(self, entry: ResidentOperator, x: np.ndarray,
-                     k: int) -> Tuple[np.ndarray, int]:
+                     k: int, deadline: Optional[Deadline] = None,
+                     tenant: str = "-") -> Tuple[np.ndarray, int]:
         """Queue one RHS for ``entry``; returns ``(y, batch_width)``.
 
         Raises :class:`QueueFullError` when admission control turns the
         request away, :class:`ServiceClosedError` during drain, and
         whatever the sweep raised (mapped to a :class:`ProtocolError`)
-        on compute failure.  Cancelling the awaiting coroutine simply
-        abandons the slot — the batch still runs for everyone else.
+        on compute failure.  An already-expired ``deadline`` raises
+        :class:`~repro.robust.errors.DeadlineExceededError` before the
+        request is queued; one that expires while gathering is rejected
+        at flush time, and the batch runs without it.  Cancelling the
+        awaiting coroutine simply abandons the slot — the batch still
+        runs for everyone else.
         """
         if self._closing:
             raise ServiceClosedError()
+        if deadline is not None:
+            deadline.require("batch admission")
         if self._pending >= self.config.max_pending:
             raise QueueFullError(
                 f"server is saturated ({self._pending} requests pending)")
@@ -123,7 +142,8 @@ class Batcher:
                 f"({len(q.items)} waiting)")
         loop = asyncio.get_running_loop()
         fut: "asyncio.Future" = loop.create_future()
-        q.items.append(_Pending(x=x, future=fut, tenant="-"))
+        q.items.append(_Pending(x=x, future=fut, tenant=tenant,
+                                deadline=deadline or Deadline.never()))
         self._pending += 1
         if len(q.items) >= self.config.max_batch:
             self._flush(qk)
@@ -141,10 +161,23 @@ class Batcher:
         if q.timer is not None:
             q.timer.cancel()
         self._pending -= len(q.items)
-        live = [p for p in q.items if not p.future.done()]
-        dropped = len(q.items) - len(live)
+        undone = [p for p in q.items if not p.future.done()]
+        dropped = len(q.items) - len(undone)
         if dropped:
             obs.add_counter("serve.requests.cancelled", dropped)
+        # A request whose deadline passed while gathering is rejected
+        # here, before the batch is sealed: the sweep proceeds for
+        # everyone else and never spends a column on a result nobody
+        # can use any more.
+        live: List[_Pending] = []
+        for p in undone:
+            if p.deadline.expired():
+                obs.add_counter("serve.requests.expired_in_queue")
+                p.future.set_exception(ProtocolError(
+                    "deadline_exceeded",
+                    "deadline expired while the request was queued"))
+            else:
+                live.append(p)
         if not live:
             return
         task = asyncio.get_running_loop().create_task(
@@ -174,7 +207,14 @@ class Batcher:
             X = np.stack([p.x for p in items], axis=1)
             try:
                 Y = await loop.run_in_executor(
-                    None, self._compute, entry, X, k)
+                    self._ensure_pool(), self._compute, entry, X, k)
+            except asyncio.CancelledError:
+                # Bounded drain abandoned this batch: its callers still
+                # deserve a terminal response, not a forever-pending
+                # future.
+                self._fail(items, ServiceClosedError(
+                    "server drain abandoned the batch"))
+                raise
             except NonFiniteError as exc:
                 self._fail(items, ProtocolError("non_finite", str(exc)))
                 return
@@ -194,9 +234,17 @@ class Batcher:
             if not p.future.done():
                 p.future.set_result((y, m))
 
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = spawn_daemon_pool(
+                max_workers=4, thread_name_prefix="serve-batch")
+        return self._pool
+
     def _compute(self, entry: ResidentOperator, X: np.ndarray,
                  k: int) -> np.ndarray:
         """Run the sweep in a worker thread, serialised per operator."""
+        _fire_fault("serve.batch", width=X.shape[1], k=k,
+                    matrix=entry.spec.key())
         with entry.compute_lock:
             if entry.can_batch:
                 return entry.op.power_block(X, k, check_finite=True)
@@ -211,12 +259,34 @@ class Batcher:
                 p.future.set_exception(exc)
 
     # -- lifecycle -------------------------------------------------------
-    async def drain(self) -> None:
+    async def drain(self, timeout_s: Optional[float] = None) -> None:
         """Seal every open queue immediately and wait for all executing
-        batches; new submissions are rejected from the first await on."""
+        batches; new submissions are rejected from the first await on.
+
+        ``timeout_s`` bounds the wait: batches still executing past it
+        are abandoned (their requests get structured ``shutting_down``
+        errors, their daemon worker threads die with the process)
+        instead of wedging shutdown behind a hung sweep.
+        """
         self._closing = True
         for qk in list(self._queues):
             self._flush(qk)
+        deadline = Deadline.after(timeout_s) if timeout_s is not None \
+            else Deadline.never()
         while self._inflight:
-            await asyncio.gather(*list(self._inflight),
-                                 return_exceptions=True)
+            done, pending = await asyncio.wait(
+                list(self._inflight),
+                timeout=deadline.remaining_or(None))
+            if pending and deadline.expired():
+                obs.add_counter("serve.drain.abandoned_batches",
+                                len(pending))
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                break
+        if self._pool is not None:
+            # Daemon workers: never join (a hung sweep would block
+            # exit); cancel what never started and let the rest die
+            # with the process.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

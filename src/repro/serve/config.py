@@ -44,6 +44,17 @@ class ServeConfig:
         builds the default operator directly.  Tuned winners are
         execution-only variations of the default plan (the bit-identity
         gate guarantees it), so they always stay batchable.
+    Resilience
+        ``tune_budget_s`` caps one tuning search (and its plan-cache
+        lock wait); ``tune_breaker`` guards the search behind the
+        module circuit breaker so repeated failures/budget blowouts
+        serve the default plan immediately instead of re-paying the
+        search.  ``hang_timeout_s`` arms the executor watchdogs of
+        every operator the registry builds (heartbeat watchdog on
+        process pools, bounded phase barrier on thread pools).
+        ``drain_timeout_s`` bounds shutdown: batches still executing
+        past it are abandoned and their requests receive structured
+        ``shutting_down`` errors rather than wedging the drain.
     """
 
     # batching
@@ -69,6 +80,11 @@ class ServeConfig:
     tune_repeats: int = 2
     tune_max_candidates: Optional[int] = 4
     plan_cache_dir: Optional[str] = None
+    # resilience
+    tune_budget_s: Optional[float] = None
+    tune_breaker: bool = True
+    hang_timeout_s: Optional[float] = None
+    drain_timeout_s: float = 30.0
     # protocol / lifecycle
     allow_shutdown: bool = True
     max_line_bytes: int = 16 * 1024 * 1024
@@ -98,4 +114,10 @@ class ServeConfig:
             raise ValueError(f"unknown executor {self.executor!r}")
         if self.on_failure not in ("raise", "fallback_serial"):
             raise ValueError(f"unknown on_failure {self.on_failure!r}")
+        if self.tune_budget_s is not None and self.tune_budget_s <= 0:
+            raise ValueError("tune_budget_s must be > 0 when set")
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be > 0 when set")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be > 0")
         return self

@@ -12,10 +12,19 @@ Requests::
 
     {"id": "r1", "op": "power", "tenant": "alice",
      "matrix": {"standin": "cant", "rows": 2000, "seed": 0},
-     "k": 4, "x": [/* n floats */]}
+     "k": 4, "x": [/* n floats */], "deadline_ms": 5000}
     {"id": "p1", "op": "ping"}
     {"id": "s1", "op": "stats"}
+    {"id": "h1", "op": "health"}
+    {"id": "h2", "op": "ready"}
     {"id": "q1", "op": "shutdown"}
+
+``deadline_ms`` (optional, ``power`` only) is a per-request latency
+budget counted from parse time: a request whose deadline passes while
+it is still queued (or before its batch is sealed) receives a
+structured ``deadline_exceeded`` rejection instead of a late result,
+and an expired request is never admitted into a batch.
+``deadline_ms <= 0`` is rejected at parse time as ``bad_request``.
 
 Responses::
 
@@ -35,7 +44,8 @@ from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from .spec import MatrixSpec, SpecError
+from ..robust.resilience import Deadline
+from .spec import MatrixSpec, SpecError, TooLargeError
 
 __all__ = [
     "ERROR_CODES",
@@ -53,15 +63,17 @@ __all__ = [
 
 #: Closed set of structured error codes a response may carry.
 ERROR_CODES = frozenset({
-    "bad_request",    # malformed/unparseable request or matrix spec
-    "queue_full",     # admission control rejected the request
-    "shutting_down",  # service is draining; no new work accepted
-    "non_finite",     # NaN/Inf in the input or a produced iterate
-    "internal",       # unexpected server-side failure
+    "bad_request",        # malformed/unparseable request or matrix spec
+    "queue_full",         # admission control rejected the request
+    "too_large",          # matrix exceeds this server's max_rows cap
+    "deadline_exceeded",  # the request's deadline_ms budget ran out
+    "shutting_down",      # service is draining; no new work accepted
+    "non_finite",         # NaN/Inf in the input or a produced iterate
+    "internal",           # unexpected server-side failure
 })
 
 #: Ops the protocol understands.
-OPS = ("power", "ping", "stats", "shutdown")
+OPS = ("power", "ping", "stats", "health", "ready", "shutdown")
 
 
 class ProtocolError(ValueError):
@@ -98,6 +110,9 @@ class PowerRequest:
     k: int
     x: np.ndarray
     tenant: str = "anon"
+    #: Latency budget, counted from parse time.  ``Deadline.never()``
+    #: when the request carried no ``deadline_ms``.
+    deadline: Deadline = field(default_factory=Deadline.never)
     op: str = field(default="power", init=False)
 
 
@@ -158,14 +173,26 @@ def parse_request(obj: Any, max_rows: int = 200_000,
     try:
         spec = MatrixSpec.from_payload(obj.get("matrix"), max_rows=max_rows,
                                        allow_paths=allow_paths)
+    except TooLargeError as exc:
+        raise ProtocolError("too_large", str(exc)) from None
     except SpecError as exc:
         raise ProtocolError("bad_request", str(exc)) from None
     k = obj.get("k", 4)
     if not isinstance(k, int) or isinstance(k, bool) or k < 0:
         raise ProtocolError("bad_request",
                             "k: expected a non-negative integer")
+    deadline = Deadline.never()
+    raw_deadline = obj.get("deadline_ms")
+    if raw_deadline is not None:
+        if not isinstance(raw_deadline, (int, float)) \
+                or isinstance(raw_deadline, bool) or raw_deadline <= 0:
+            raise ProtocolError(
+                "bad_request",
+                "deadline_ms: expected a positive number of milliseconds")
+        deadline = Deadline.after_ms(float(raw_deadline))
     x = decode_vector(obj.get("x"))
-    return PowerRequest(id=rid, spec=spec, k=k, x=x, tenant=tenant)
+    return PowerRequest(id=rid, spec=spec, k=k, x=x, tenant=tenant,
+                        deadline=deadline)
 
 
 def ok_response(rid: Any, **payload: Any) -> Dict[str, Any]:

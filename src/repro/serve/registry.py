@@ -33,6 +33,7 @@ from typing import Dict, Optional
 
 from .. import obs
 from ..core.fbmpk import FBMPKOperator, build_fbmpk_operator
+from ..robust.resilience import CircuitBreaker, Deadline
 from ..tune.fingerprint import fingerprint_matrix
 from .config import ServeConfig
 from .protocol import ProtocolError, ServiceClosedError
@@ -102,6 +103,14 @@ class OperatorRegistry:
         self._entries: "OrderedDict[str, ResidentOperator]" = OrderedDict()
         self._building: Dict[str, asyncio.Lock] = {}
         self._closed = False
+        #: Guards the tuning search (``tune="full"`` builds): repeated
+        #: search failures or budget blowouts open it and first
+        #: requests get the default plan immediately.  ``None`` when
+        #: the config opts out.
+        self.tune_breaker: Optional[CircuitBreaker] = None
+        if config.tune == "full" and config.tune_breaker:
+            from ..tune import SEARCH_BREAKER
+            self.tune_breaker = SEARCH_BREAKER
 
     # -- introspection ---------------------------------------------------
     @property
@@ -113,13 +122,41 @@ class OperatorRegistry:
         """Spec keys in LRU order (oldest first)."""
         return list(self._entries)
 
+    def worker_health(self):
+        """Per-resident executor health (see
+        :meth:`repro.core.fbmpk.FBMPKOperator.worker_health`): spec key
+        → health dict, for the ``health`` op."""
+        out = {}
+        for key, entry in self._entries.items():
+            probe = getattr(entry.op, "worker_health", None)
+            if probe is not None:
+                out[key] = probe()
+        return out
+
+    def breaker_snapshots(self):
+        """State snapshots of every breaker the registry runs."""
+        if self.tune_breaker is None:
+            return []
+        return [self.tune_breaker.snapshot()]
+
     # -- borrow / return -------------------------------------------------
-    async def acquire(self, spec: MatrixSpec) -> ResidentOperator:
+    async def acquire(self, spec: MatrixSpec,
+                      deadline: Optional[Deadline] = None
+                      ) -> ResidentOperator:
         """Borrow the resident operator for ``spec``, building it on the
         first request.  Pair every acquire with
-        :meth:`ResidentOperator.release`."""
+        :meth:`ResidentOperator.release`.
+
+        ``deadline``: an already-expired request is refused before the
+        build is even attempted, and a request whose deadline passes
+        while it waits behind another builder of the same spec is
+        refused on wake-up rather than paying a build it can no longer
+        use.
+        """
         if self._closed:
             raise ServiceClosedError()
+        if deadline is not None:
+            deadline.require("operator acquire")
         key = spec.key()
         entry = self._entries.get(key)
         if entry is not None:
@@ -133,6 +170,8 @@ class OperatorRegistry:
         async with lock:
             if self._closed:
                 raise ServiceClosedError()
+            if deadline is not None:
+                deadline.require("operator build")
             entry = self._entries.get(key)  # lost the build race?
             if entry is None:
                 loop = asyncio.get_running_loop()
@@ -179,23 +218,31 @@ class OperatorRegistry:
                 op, result = autotune_power(
                     a, k=cfg.tune_k, cache=cache,
                     repeats=cfg.tune_repeats,
-                    max_candidates=cfg.tune_max_candidates)
+                    max_candidates=cfg.tune_max_candidates,
+                    search_budget_s=cfg.tune_budget_s,
+                    breaker=self.tune_breaker
+                    if self.tune_breaker is not None else False)
                 source = result.source
                 fp_key = result.fingerprint.key()
             else:
                 op = build_fbmpk_operator(
                     a, strategy=cfg.strategy, block_size=cfg.block_size,
                     backend="numpy", executor=cfg.executor,
-                    n_threads=cfg.n_workers, on_failure=cfg.on_failure)
+                    n_threads=cfg.n_workers, on_failure=cfg.on_failure,
+                    hang_timeout=cfg.hang_timeout_s)
                 source = "build"
                 fp_key = fingerprint_matrix(a, kind="power").key()
             # Graceful degradation applies regardless of how the
             # operator was obtained: a crashed parallel phase falls back
             # to a bit-identical serial recompute instead of failing the
-            # whole batch.
+            # whole batch, and the watchdog (when armed) turns a hung
+            # worker into exactly that failure path.
             configure = getattr(op, "configure_executor", None)
             if configure is not None:
-                configure(on_failure=cfg.on_failure)
+                kwargs = {"on_failure": cfg.on_failure}
+                if cfg.hang_timeout_s is not None:
+                    kwargs["hang_timeout"] = cfg.hang_timeout_s
+                configure(**kwargs)
             obs.add_counter(f"serve.operator.source.{source}")
             return ResidentOperator(spec=spec, op=op,
                                     fingerprint_key=fp_key, source=source)

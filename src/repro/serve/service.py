@@ -17,6 +17,14 @@ Request lifecycle for ``power``:
 4. release the borrow (this is what lets LRU eviction close an
    operator only after its last in-flight request finishes).
 
+A request carrying ``deadline_ms`` threads a monotonic
+:class:`~repro.robust.resilience.Deadline` through steps 2–3: expiry at
+any checkpoint (before acquire, before build, at batch admission, at
+flush) returns a structured ``deadline_exceeded`` envelope without
+running the sweep.  ``health`` reports in-flight load, circuit-breaker
+states and pool-worker liveness; ``ready`` flips to false the moment a
+drain begins.
+
 Every failure path returns a structured error envelope; nothing in
 :meth:`handle` raises except ``CancelledError`` (a disconnected
 client's request is simply abandoned — its batch slot is dropped at
@@ -26,11 +34,16 @@ flush time).
 from __future__ import annotations
 
 import asyncio
+import time
+from collections import Counter
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .. import obs
+from ..robust.errors import DeadlineExceededError
+from ..robust.faults import fire as _fire_fault
+from ..robust.resilience import Deadline
 from .batcher import Batcher
 from .config import ServeConfig
 from .protocol import (
@@ -46,6 +59,10 @@ from .spec import MatrixSpec
 
 __all__ = ["SolveService"]
 
+#: Rejection codes the ``stats`` op reports individual counts for.
+REJECT_REASONS = ("queue_full", "deadline_exceeded", "too_large",
+                  "shutting_down")
+
 
 class SolveService:
     """Multi-tenant solve service over one registry and one batcher."""
@@ -58,25 +75,35 @@ class SolveService:
         #: on it to begin the drain.
         self.shutdown_requested = asyncio.Event()
         self._closed = False
+        self._t_start = time.monotonic()
+        #: ``power`` requests currently between parse and response, per
+        #: tenant (event-loop thread only).
+        self._inflight_by_tenant: Counter = Counter()
+        #: Requests turned away, by structured rejection code.
+        self._rejected_by_reason: Counter = Counter()
 
     # -- core compute path ----------------------------------------------
-    async def power(self, spec: MatrixSpec, x: np.ndarray, k: int
+    async def power(self, spec: MatrixSpec, x: np.ndarray, k: int,
+                    deadline: Optional[Deadline] = None
                     ) -> Tuple[np.ndarray, Dict[str, Any]]:
         """Compute ``A^k x`` through the resident operator and the
         batching queue; returns ``(y, meta)``.
 
         This is the embedding/test entry point; :meth:`handle` wraps it
         with protocol envelopes.  Raises :class:`ProtocolError`
-        subclasses on rejection or failure.
+        subclasses on rejection or failure, and
+        :class:`~repro.robust.errors.DeadlineExceededError` when
+        ``deadline`` runs out before the request reaches a batch.
         """
-        entry = await self.registry.acquire(spec)
+        entry = await self.registry.acquire(spec, deadline=deadline)
         try:
             if x.shape[0] != entry.n:
                 raise ProtocolError(
                     "bad_request",
                     f"x: expected {entry.n} entries for "
                     f"{spec.describe()}, got {x.shape[0]}")
-            y, width = await self.batcher.submit(entry, x, k)
+            y, width = await self.batcher.submit(entry, x, k,
+                                                 deadline=deadline)
             meta = {
                 "n": entry.n,
                 "k": k,
@@ -98,6 +125,8 @@ class SolveService:
             req = parse_request(obj, max_rows=self.config.max_rows,
                                 allow_paths=self.config.allow_paths)
         except ProtocolError as exc:
+            if exc.code in REJECT_REASONS:  # e.g. too_large at parse
+                return self._reject(rid, exc.code, exc.message)
             obs.add_counter("serve.requests.failed")
             return error_response(rid, exc.code, exc.message)
         obs.add_counter("serve.requests")
@@ -111,23 +140,41 @@ class SolveService:
             obs.add_counter("serve.requests.failed")
             return error_response(req.id, "non_finite",
                                   "x contains NaN/Inf entries")
+        self._inflight_by_tenant[req.tenant] += 1
         try:
             with obs.span("serve.request", tenant=req.tenant,
                           matrix=req.spec.key(), k=req.k):
-                y, meta = await self.power(req.spec, req.x, req.k)
+                _fire_fault("serve.request", tenant=req.tenant,
+                            rid=req.id)
+                y, meta = await self.power(req.spec, req.x, req.k,
+                                           deadline=req.deadline)
         except asyncio.CancelledError:
             raise
+        except DeadlineExceededError as exc:
+            return self._reject(req.id, "deadline_exceeded", str(exc))
         except ProtocolError as exc:
-            if exc.code in ("queue_full", "shutting_down"):
-                obs.add_counter("serve.requests.rejected")
-            else:
-                obs.add_counter("serve.requests.failed")
+            if exc.code in REJECT_REASONS:
+                return self._reject(req.id, exc.code, exc.message)
+            obs.add_counter("serve.requests.failed")
             return error_response(req.id, exc.code, exc.message)
         except Exception as exc:  # defensive: nothing below should leak
             obs.add_counter("serve.requests.failed")
             return error_response(req.id, "internal", repr(exc))
+        finally:
+            self._inflight_by_tenant[req.tenant] -= 1
+            if self._inflight_by_tenant[req.tenant] <= 0:
+                del self._inflight_by_tenant[req.tenant]
         obs.add_counter("serve.requests.completed")
         return ok_response(req.id, y=y.tolist(), meta=meta)
+
+    def _reject(self, rid: Any, code: str, message: str
+                ) -> Dict[str, Any]:
+        """Record one admission-control rejection and build its
+        response envelope."""
+        self._rejected_by_reason[code] += 1
+        obs.add_counter("serve.requests.rejected")
+        obs.add_counter(f"serve.rejected.{code}")
+        return error_response(rid, code, message)
 
     async def _handle_control(self, req: ControlRequest
                               ) -> Dict[str, Any]:
@@ -135,6 +182,11 @@ class SolveService:
             return ok_response(req.id, pong=True)
         if req.op == "stats":
             return ok_response(req.id, stats=self.stats())
+        if req.op == "health":
+            return ok_response(req.id, health=self.health())
+        if req.op == "ready":
+            draining = self.shutdown_requested.is_set() or self._closed
+            return ok_response(req.id, ready=not draining)
         # req.op == "shutdown"
         if not self.config.allow_shutdown:
             obs.add_counter("serve.requests.failed")
@@ -150,21 +202,46 @@ class SolveService:
         session is active)."""
         tel = obs.current()
         return {
+            "uptime_s": time.monotonic() - self._t_start,
             "residents": self.registry.residents,
             "resident_keys": self.registry.resident_keys(),
             "pending": self.batcher.pending,
             "inflight_batches": self.batcher.inflight_batches,
+            "inflight_by_tenant": dict(self._inflight_by_tenant),
+            "rejected_by_reason": {
+                code: self._rejected_by_reason.get(code, 0)
+                for code in REJECT_REASONS},
             "draining": self.shutdown_requested.is_set() or self._closed,
             "metrics": tel.metrics.snapshot() if tel is not None else None,
         }
 
+    def health(self) -> Dict[str, Any]:
+        """Liveness detail for the ``health`` op: in-flight load,
+        circuit-breaker states and pool-worker liveness per resident
+        operator (``None`` liveness = no process pool spawned)."""
+        return {
+            "inflight": sum(self._inflight_by_tenant.values()),
+            "pending": self.batcher.pending,
+            "inflight_batches": self.batcher.inflight_batches,
+            "breakers": self.registry.breaker_snapshots(),
+            "workers": self.registry.worker_health(),
+            "draining": self.shutdown_requested.is_set() or self._closed,
+        }
+
     # -- lifecycle -------------------------------------------------------
-    async def close(self) -> None:
+    async def close(self, timeout_s: Optional[float] = None) -> None:
         """Drain: seal open queues, finish in-flight batches, then close
-        every resident operator.  Idempotent."""
+        every resident operator.  Idempotent.
+
+        ``timeout_s`` (default ``config.drain_timeout_s``) bounds the
+        drain — a batch wedged past it is abandoned with structured
+        errors instead of wedging shutdown.
+        """
         if self._closed:
             return
         self._closed = True
         self.shutdown_requested.set()
-        await self.batcher.drain()
+        await self.batcher.drain(
+            timeout_s=timeout_s if timeout_s is not None
+            else self.config.drain_timeout_s)
         self.registry.close()

@@ -17,12 +17,20 @@ from typing import Any, Mapping, Optional
 from ..matrices import generate_standin, list_matrix_names
 from ..sparse import CSRMatrix, read_matrix_market
 
-__all__ = ["MatrixSpec", "SpecError"]
+__all__ = ["MatrixSpec", "SpecError", "TooLargeError"]
 
 
 class SpecError(ValueError):
     """A request's matrix description is unusable (unknown stand-in,
     oversized, or a path when paths are disabled)."""
+
+
+class TooLargeError(SpecError):
+    """The requested matrix exceeds this server's ``max_rows`` cap.
+
+    Distinguished from plain :class:`SpecError` so the protocol layer
+    can return the structured ``too_large`` code (and the stats op can
+    count these rejections separately from malformed requests)."""
 
 
 @dataclass(frozen=True)
@@ -84,7 +92,7 @@ class MatrixSpec:
         if not isinstance(rows, int) or isinstance(rows, bool) or rows < 1:
             raise SpecError("matrix.rows: expected a positive integer")
         if rows > max_rows:
-            raise SpecError(
+            raise TooLargeError(
                 f"matrix.rows: {rows} exceeds this server's cap of "
                 f"{max_rows}")
         seed = obj.get("seed", 0)

@@ -27,6 +27,7 @@ Entry points elsewhere: ``repro tune`` on the CLI, ``--tuned`` on
 """
 
 from .autotuner import (
+    SEARCH_BREAKER,
     Trial,
     TuningResult,
     autotune_power,
@@ -61,6 +62,7 @@ from .registry import (
 )
 
 __all__ = [
+    "SEARCH_BREAKER",
     "Trial",
     "TuningResult",
     "autotune_power",

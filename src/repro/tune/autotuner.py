@@ -17,9 +17,26 @@ preprocessed operator artefact) are persisted through
 search and the recomputable preprocessing: the amortisation the paper's
 Fig. 11 argues for, moved from per-process to per-matrix.
 
+Resilience: a tuning search can take tens of seconds (the BENCH
+numbers: 34–55 s per structure) and can fail repeatedly on a
+pathological input — unacceptable on a serving path.  Both entry
+points therefore run under a
+:class:`~repro.robust.resilience.CircuitBreaker` (the module-level
+:data:`SEARCH_BREAKER` unless the caller passes their own) with an
+optional per-search time budget: a search that raises, or that blows
+``search_budget_s``, records a breaker failure; after
+``failure_threshold`` consecutive failures the breaker opens and
+subsequent calls skip the search entirely, instantiating the *default*
+plan immediately (``TuningResult.source == "breaker"``) until a
+half-open probe re-admits searching.  Pass ``breaker=False`` to opt
+out.  The budget also bounds the cross-process
+:meth:`~repro.tune.cache.PlanCache.lock` wait, so a caller can never
+block indefinitely behind another process's search.
+
 Telemetry (all no-ops without an active :class:`repro.obs.Telemetry`):
 ``tune.autotune`` / ``tune.candidate`` spans, ``tune.candidates`` /
-``tune.rejected_not_identical`` / ``tune.errors`` counters, and
+``tune.rejected_not_identical`` / ``tune.errors`` /
+``tune.budget_exhausted`` / ``tune.breaker.*`` counters, and
 ``tune.default_time_s`` / ``tune.best_time_s`` gauges.  Cache lookups
 emit ``plan_cache.{hit,miss,corrupt,store}`` (see
 :mod:`repro.tune.cache`).
@@ -36,10 +53,11 @@ import numpy as np
 
 from .. import obs
 from ..core.fbmpk import FBMPKOperator
+from ..robust.resilience import CircuitBreaker, Deadline
 from ..sparse.csr import CSRMatrix
 from .cache import PlanCache
 from .fingerprint import StructureFingerprint, fingerprint_matrix
-from .plan import ExecutionPlan
+from .plan import ExecutionPlan, default_power_plan, default_spmv_plan
 from .registry import (
     instantiate_power,
     instantiate_spmv,
@@ -56,12 +74,31 @@ __all__ = [
     "autotune_power",
     "autotune_spmv",
     "tuned_matvec",
+    "SEARCH_BREAKER",
 ]
 
 #: ``cache`` argument accepted by the autotune entry points: ``None``
 #: (default persistent cache), a :class:`PlanCache`, a directory path,
 #: or ``False`` to disable persistence entirely.
 CacheArg = Union[None, bool, str, Path, PlanCache]
+
+#: ``breaker`` argument: ``None`` (module default), a caller-owned
+#: :class:`CircuitBreaker` (e.g. one per solve service), or ``False``
+#: to run unguarded.
+BreakerArg = Union[None, bool, CircuitBreaker]
+
+#: Process-wide default breaker guarding the tuning searches.  Named
+#: ``tune`` so its metrics land under ``tune.breaker.*``.
+SEARCH_BREAKER = CircuitBreaker("tune", failure_threshold=3,
+                                reset_timeout_s=60.0)
+
+
+def _resolve_breaker(breaker: BreakerArg) -> Optional[CircuitBreaker]:
+    if breaker is False:
+        return None
+    if breaker is None or breaker is True:
+        return SEARCH_BREAKER
+    return breaker
 
 
 def trimmed_mean(values: Sequence[float]) -> float:
@@ -107,11 +144,15 @@ class TuningResult:
     kind: str
     fingerprint: StructureFingerprint
     plan: ExecutionPlan
-    source: str  # "search" | "cache"
+    source: str  # "search" | "cache" | "breaker"
     trials: List[Trial] = field(default_factory=list)
     default_time_s: Optional[float] = None
     best_time_s: Optional[float] = None
     cache_path: Optional[Path] = None
+    #: True when a ``search_budget_s`` expired mid-search: the winner is
+    #: whatever had been measured so far, and the guarding breaker
+    #: counts the call as a failure.
+    budget_exhausted: bool = False
 
     @property
     def speedup(self) -> Optional[float]:
@@ -145,6 +186,38 @@ def _time_candidate(run: Callable[[], np.ndarray], repeats: int,
     return trimmed_mean(samples), y
 
 
+def _guarded_search(breaker: Optional[CircuitBreaker],
+                    do_search: Callable[[], Tuple[Any, TuningResult]],
+                    do_default: Callable[[], Tuple[Any, TuningResult]]
+                    ) -> Tuple[Any, TuningResult]:
+    """Run ``do_search`` under ``breaker``: an open breaker
+    short-circuits straight to ``do_default`` (the untuned plan,
+    instantiated in milliseconds); a search that raises or blows its
+    budget records a failure, anything else a success."""
+    if breaker is None:
+        return do_search()
+    if not breaker.allow():  # counts <name>.breaker.short_circuit
+        return do_default()
+    try:
+        obj, result = do_search()
+    except Exception:
+        breaker.record_failure()
+        raise
+    if result.budget_exhausted:
+        breaker.record_failure()
+    else:
+        breaker.record_success()
+    return obj, result
+
+
+def _default_power(a, fp):
+    """Breaker-open degraded path: the default (untuned) plan,
+    instantiated directly — nothing measured, nothing persisted."""
+    plan = default_power_plan()
+    return instantiate_power(plan, a), TuningResult(
+        kind="power", fingerprint=fp, plan=plan, source="breaker")
+
+
 def autotune_power(
     a: CSRMatrix,
     k: int = 8,
@@ -155,6 +228,8 @@ def autotune_power(
     candidates: Optional[Sequence[ExecutionPlan]] = None,
     max_candidates: Optional[int] = None,
     seed: int = 0,
+    search_budget_s: Optional[float] = None,
+    breaker: BreakerArg = None,
 ):
     """Tune the ``A^k x`` pipeline for ``a``.
 
@@ -170,16 +245,31 @@ def autotune_power(
     default plan always survives truncation) is measured and gated as
     described in the module docstring, and the winner is persisted.
 
+    ``search_budget_s`` bounds the search (and the cross-process cache
+    lock wait): once exhausted, no further candidate is measured — the
+    best so far wins — and the call counts as a ``breaker`` failure.
+    ``breaker`` guards the search as described in the module docstring;
+    a cache hit never consults it (hits are the fast path the breaker
+    exists to protect).
+
     The probe vectors are drawn from ``default_rng(seed)`` so reruns of
     the search are reproducible.  The returned operator owns resources
     (thread pools); call ``close()`` or use it as a context manager.
     """
     store = _resolve_cache(cache)
+    brk = _resolve_breaker(breaker)
     fp = fingerprint_matrix(a, kind="power")
     with obs.span("tune.autotune", kind="power", k=k, key=fp.key()):
+        def search(st):
+            return _guarded_search(
+                brk,
+                lambda: _search_power(a, k, fp, st, repeats, warmup,
+                                      candidates, max_candidates, seed,
+                                      search_budget_s),
+                lambda: _default_power(a, fp))
+
         if store is None or force:
-            return _search_power(a, k, fp, store, repeats, warmup,
-                                 candidates, max_candidates, seed)
+            return search(store)
         hit = _load_power_entry(store, fp, a)
         if hit is not None:
             return hit
@@ -188,12 +278,11 @@ def autotune_power(
         # separate processes) do not both pay it.  Double-checked: the
         # race's loser blocks here, then finds the winner's entry on
         # the in-lock re-check and instantiates it instead.
-        with store.lock(fp):
+        with store.lock(fp, timeout_s=search_budget_s):
             hit = _load_power_entry(store, fp, a)
             if hit is not None:
                 return hit
-            return _search_power(a, k, fp, store, repeats, warmup,
-                                 candidates, max_candidates, seed)
+            return search(store)
 
 
 def _load_power_entry(store, fp, a):
@@ -218,12 +307,15 @@ def _load_power_entry(store, fp, a):
 
 
 def _search_power(a, k, fp, store, repeats, warmup, candidates,
-                  max_candidates, seed):
+                  max_candidates, seed, budget_s=None):
     plans = list(candidates) if candidates is not None \
         else power_candidates()
     plans = order_power_candidates(plans, a, k)
     if max_candidates is not None and max_candidates >= 1:
         plans = plans[:max_candidates]
+    deadline = Deadline.after(budget_s) if budget_s is not None \
+        else Deadline.never()
+    budget_exhausted = False
     rng = np.random.default_rng(seed)
     # The identity gate checks THREE independent probe vectors, not one:
     # on small matrices a numerically different candidate (e.g. the
@@ -236,6 +328,13 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
     refs: Optional[List[np.ndarray]] = None
     best: Optional[Tuple[Trial, Any]] = None  # (trial, operator)
     for i, plan in enumerate(plans):
+        if i > 0 and deadline.expired():
+            # Candidate 0 (the default) is always measured: it defines
+            # the references, so a budget too tight even for it still
+            # yields a correct, if untuned, winner.
+            budget_exhausted = True
+            obs.add_counter("tune.budget_exhausted")
+            break
         trial = Trial(plan=plan,
                       by_design=plan_is_bit_identical_by_design(plan))
         trials.append(trial)
@@ -286,7 +385,7 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
     result = TuningResult(
         kind="power", fingerprint=fp, plan=win_trial.plan, source="search",
         trials=trials, default_time_s=default_time,
-        best_time_s=win_trial.time_s)
+        best_time_s=win_trial.time_s, budget_exhausted=budget_exhausted)
     if default_time is not None:
         obs.set_gauge("tune.default_time_s", default_time, unit="s")
     obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
@@ -304,6 +403,13 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
     return win_op, result
 
 
+def _default_spmv(a, fp):
+    """Breaker-open degraded path for :func:`autotune_spmv`."""
+    plan = default_spmv_plan()
+    return instantiate_spmv(plan, a), TuningResult(
+        kind="spmv", fingerprint=fp, plan=plan, source="breaker")
+
+
 def autotune_spmv(
     a: CSRMatrix,
     cache: CacheArg = None,
@@ -312,6 +418,8 @@ def autotune_spmv(
     force: bool = False,
     candidates: Optional[Sequence[ExecutionPlan]] = None,
     seed: int = 0,
+    search_budget_s: Optional[float] = None,
+    breaker: BreakerArg = None,
 ):
     """Tune a single-SpMV kernel for ``a``.
 
@@ -319,26 +427,33 @@ def autotune_spmv(
 
     Same protocol as :func:`autotune_power` (including the three-probe
     bit-identity gate — one vector is too easy to match by rounding
-    coincidence on small matrices), except no operator artefact is
+    coincidence on small matrices, and the ``search_budget_s`` /
+    ``breaker`` resilience guards), except no operator artefact is
     stored: format conversions are cheap relative to a tuning search.
     """
     store = _resolve_cache(cache)
+    brk = _resolve_breaker(breaker)
     fp = fingerprint_matrix(a, kind="spmv")
     with obs.span("tune.autotune", kind="spmv", key=fp.key()):
+        def search(st):
+            return _guarded_search(
+                brk,
+                lambda: _search_spmv(a, fp, st, repeats, warmup,
+                                     candidates, seed, search_budget_s),
+                lambda: _default_spmv(a, fp))
+
         if store is None or force:
-            return _search_spmv(a, fp, store, repeats, warmup,
-                                candidates, seed)
+            return search(store)
         hit = _load_spmv_entry(store, fp, a)
         if hit is not None:
             return hit
         # Same double-checked locking as autotune_power: only one
         # concurrent first-tuner pays the search.
-        with store.lock(fp):
+        with store.lock(fp, timeout_s=search_budget_s):
             hit = _load_spmv_entry(store, fp, a)
             if hit is not None:
                 return hit
-            return _search_spmv(a, fp, store, repeats, warmup,
-                                candidates, seed)
+            return search(store)
 
 
 def _load_spmv_entry(store, fp, a):
@@ -357,9 +472,13 @@ def _load_spmv_entry(store, fp, a):
         source="cache", cache_path=store.entry_path(fp))
 
 
-def _search_spmv(a, fp, store, repeats, warmup, candidates, seed):
+def _search_spmv(a, fp, store, repeats, warmup, candidates, seed,
+                 budget_s=None):
     plans = list(candidates) if candidates is not None \
         else spmv_candidates()
+    deadline = Deadline.after(budget_s) if budget_s is not None \
+        else Deadline.never()
+    budget_exhausted = False
     rng = np.random.default_rng(seed)
     xs = [rng.standard_normal(a.n_cols) for _ in range(3)]
 
@@ -367,6 +486,10 @@ def _search_spmv(a, fp, store, repeats, warmup, candidates, seed):
     refs: Optional[List[np.ndarray]] = None
     best: Optional[Tuple[Trial, Callable]] = None
     for i, plan in enumerate(plans):
+        if i > 0 and deadline.expired():
+            budget_exhausted = True
+            obs.add_counter("tune.budget_exhausted")
+            break
         trial = Trial(plan=plan,
                       by_design=plan_is_bit_identical_by_design(plan))
         trials.append(trial)
@@ -414,7 +537,7 @@ def _search_spmv(a, fp, store, repeats, warmup, candidates, seed):
     result = TuningResult(
         kind="spmv", fingerprint=fp, plan=win_trial.plan,
         source="search", trials=trials, default_time_s=default_time,
-        best_time_s=win_trial.time_s)
+        best_time_s=win_trial.time_s, budget_exhausted=budget_exhausted)
     if default_time is not None:
         obs.set_gauge("tune.default_time_s", default_time, unit="s")
     obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")

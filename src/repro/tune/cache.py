@@ -195,7 +195,8 @@ class PlanCache:
 
     # -- concurrency ----------------------------------------------------
     @contextmanager
-    def lock(self, fp: StructureFingerprint):
+    def lock(self, fp: StructureFingerprint,
+             timeout_s: Optional[float] = None):
         """Advisory exclusive lock for ``fp``'s entry (``<key>.lock``).
 
         Serialises the tune-search critical section across processes
@@ -205,6 +206,12 @@ class PlanCache:
         or interleave their stores: the loser blocks, then finds the
         winner's entry on its in-lock re-check (double-checked
         locking — see :func:`repro.tune.autotune_power`).
+
+        ``timeout_s`` bounds how long a waiter blocks on the holder:
+        past it, the section proceeds *unlocked* (counter
+        ``plan_cache.lock_timeout``) rather than stalling behind a
+        wedged or slow peer — the duplicated search costs time, never
+        correctness.
 
         Best-effort by design: on platforms without ``fcntl`` or on
         any locking failure this degrades to an unlocked section.
@@ -224,7 +231,10 @@ class PlanCache:
             return
         try:
             try:
-                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                if timeout_s is None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                else:
+                    self._flock_bounded(fcntl, fh.fileno(), timeout_s)
             except OSError:  # pragma: no cover - e.g. NFS without locks
                 pass
             yield
@@ -234,6 +244,29 @@ class PlanCache:
             except OSError:  # pragma: no cover
                 pass
             fh.close()
+
+    @staticmethod
+    def _flock_bounded(fcntl, fd: int, timeout_s: float) -> None:
+        """Non-blocking ``flock`` retried until ``timeout_s`` elapses.
+
+        Gives up (returning without the lock held — the caller's
+        section then runs unlocked) instead of blocking indefinitely
+        behind a holder that is slow, hung, or SIGSTOPped.
+        """
+        import errno
+        import time as _time
+        end = _time.monotonic() + max(0.0, timeout_s)
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError as exc:
+                if exc.errno not in (errno.EAGAIN, errno.EACCES):
+                    raise
+            if _time.monotonic() >= end:
+                obs.add_counter("plan_cache.lock_timeout")
+                return
+            _time.sleep(min(0.02, max(0.0, end - _time.monotonic())))
 
     # -- maintenance ----------------------------------------------------
     def invalidate(self, fp: StructureFingerprint) -> None:

@@ -343,7 +343,7 @@ class TestSharedMemoryLifecycle:
                 X = np.random.default_rng(m).standard_normal((a.n_rows, m))
                 np.testing.assert_array_equal(op.power_block(X, 4),
                                               serial.power_block(X, 4))
-                assert len(shm_leaked()) == 11  # 9 core + xyb + tmpb
+                assert len(shm_leaked()) == 12  # 9 core + hb + xyb + tmpb
         assert shm_leaked() == set()
 
     def test_arena_finalizer_runs_on_gc(self, shm_leaked):

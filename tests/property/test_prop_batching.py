@@ -116,3 +116,52 @@ def test_block_bitwise_identical_arbitrary_matrices(a, k, width, seed):
         assert ok, f"column {col} differs (n={a.n_rows}, k={k})"
     finally:
         op.close()
+
+
+# -- deadline-annotated batching -------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(width=st.integers(min_value=1, max_value=6),
+       k=st.integers(min_value=0, max_value=5),
+       seed=st.integers(min_value=0, max_value=2 ** 31))
+def test_deadline_annotated_batching_bitwise_identical(width, k, seed):
+    """Attaching generous ``deadline_ms`` budgets to batched requests
+    must not change a single bit of any response: the deadline is pure
+    admission control, never arithmetic."""
+    import asyncio
+
+    from repro.serve import ServeConfig, SolveService
+
+    spec_rows = 64
+    payloads = []
+    rng = np.random.default_rng(seed)
+    xs = [rng.standard_normal(spec_rows) for _ in range(width)]
+    for i, x in enumerate(xs):
+        req = {"id": f"r{i}", "op": "power", "k": k,
+               "tenant": f"t{i % 2}",
+               "matrix": {"standin": "cant", "rows": spec_rows,
+                          "seed": 1},
+               "x": x.tolist()}
+        if i % 2 == 0:  # mix annotated and unannotated in one batch
+            req["deadline_ms"] = 600_000
+        payloads.append(req)
+
+    async def main():
+        svc = SolveService(ServeConfig(tune="off",
+                                       gather_window_s=0.02))
+        resps = await asyncio.gather(*[svc.handle(p) for p in payloads])
+        await svc.close()
+        return resps
+
+    resps = asyncio.run(main())
+    assert all(r["ok"] for r in resps), resps
+
+    from repro.matrices import generate_standin
+
+    a = generate_standin("cant", n_rows=spec_rows, seed=1)
+    op = build_fbmpk_operator(a)
+    try:
+        for x, r in zip(xs, resps):
+            ref = op.power(x.copy(), k)
+            assert np.array_equal(np.asarray(r["y"]), ref)
+    finally:
+        op.close()

@@ -1,0 +1,166 @@
+"""Unit tests for the resilience primitives: monotonic deadlines,
+full-jitter retry backoff, and the circuit breaker's closed →
+open → half-open → closed lifecycle (including its telemetry)."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.robust import (
+    BREAKER_STATES,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceededError,
+    RetryPolicy,
+)
+
+
+# -- Deadline --------------------------------------------------------------
+def test_deadline_never_is_unbounded():
+    d = Deadline.never()
+    assert not d.bounded
+    assert d.remaining() is None
+    assert d.remaining_or(1.5) == 1.5
+    assert not d.expired()
+    d.require("anything")  # no-op
+
+
+def test_deadline_after_counts_down():
+    d = Deadline.after(60.0)
+    assert d.bounded
+    rem = d.remaining()
+    assert 0 < rem <= 60.0
+    assert not d.expired()
+
+
+def test_deadline_after_ms_expiry_and_require():
+    d = Deadline.after_ms(-1.0)
+    assert d.expired()
+    assert d.remaining() < 0
+    with pytest.raises(DeadlineExceededError) as exc_info:
+        d.require("unit test")
+    assert "unit test" in str(exc_info.value)
+    assert "overran" in str(exc_info.value)
+
+
+def test_deadline_exceeded_error_is_structured():
+    err = DeadlineExceededError("solve", overrun_s=0.25)
+    assert err.what == "solve"
+    assert err.overrun_s == 0.25
+    assert isinstance(err, RuntimeError)
+
+
+# -- RetryPolicy -----------------------------------------------------------
+def test_retry_delay_grows_and_caps():
+    p = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter="none")
+    assert p.delay(0) == pytest.approx(0.1)
+    assert p.delay(1) == pytest.approx(0.2)
+    assert p.delay(2) == pytest.approx(0.4)
+    # capped at max_delay_s from attempt 4 on
+    assert p.delay(10) == pytest.approx(1.0)
+    # huge attempt numbers must not overflow the exponent
+    assert p.delay(10_000) == pytest.approx(1.0)
+
+
+def test_retry_full_jitter_stays_in_range():
+    p = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter="full")
+    rng = random.Random(7)
+    for attempt in range(12):
+        d = p.delay(attempt, rng=rng)
+        assert 0.0 <= d <= min(1.0, 0.1 * 2 ** min(attempt, 63))
+
+
+def test_retry_delays_respect_deadline():
+    p = RetryPolicy(base_delay_s=0.05, max_delay_s=0.5, jitter="none")
+    # Expired deadline: not a single delay is offered.
+    assert list(p.delays(Deadline.after(-1.0))) == []
+    # Unbounded deadline: delays keep coming.
+    it = p.delays(Deadline.never(), rng=random.Random(0))
+    assert next(it) >= 0.0
+    assert next(it) >= 0.0
+
+
+def test_retry_policy_validates():
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter="half")
+
+
+# -- CircuitBreaker --------------------------------------------------------
+def test_breaker_opens_after_threshold():
+    b = CircuitBreaker("t", failure_threshold=3, reset_timeout_s=60.0)
+    assert b.state == "closed"
+    b.record_failure()
+    b.record_failure()
+    assert b.state == "closed"
+    assert b.allow()
+    b.record_failure()
+    assert b.state == "open"
+    assert not b.allow()
+
+
+def test_breaker_success_resets_failure_run():
+    b = CircuitBreaker("t", failure_threshold=2)
+    b.record_failure()
+    b.record_success()
+    b.record_failure()
+    assert b.state == "closed"  # the run was broken by the success
+
+
+def test_breaker_half_open_probe_and_close():
+    clock = [0.0]
+    b = CircuitBreaker("t", failure_threshold=1, reset_timeout_s=10.0,
+                       half_open_probes=1, clock=lambda: clock[0])
+    b.record_failure()
+    assert b.state == "open"
+    assert not b.allow()
+    clock[0] = 11.0
+    assert b.state == "half_open"
+    assert b.allow()       # the single probe is admitted
+    assert not b.allow()   # a second concurrent caller is refused
+    b.record_success()
+    assert b.state == "closed"
+    assert b.allow()
+
+
+def test_breaker_half_open_failure_reopens():
+    clock = [0.0]
+    b = CircuitBreaker("t", failure_threshold=1, reset_timeout_s=10.0,
+                       clock=lambda: clock[0])
+    b.record_failure()
+    clock[0] = 11.0
+    assert b.allow()
+    b.record_failure()
+    assert b.state == "open"
+    # the reset clock restarted at the re-open
+    clock[0] = 20.0
+    assert b.state == "open"
+    clock[0] = 22.0
+    assert b.state == "half_open"
+
+
+def test_breaker_snapshot_and_metrics():
+    tel = obs.Telemetry()
+    with tel:
+        b = CircuitBreaker("unit", failure_threshold=1)
+        b.record_failure()
+        assert not b.allow()
+        assert not b.allow()
+        snap = b.snapshot()
+    assert snap["name"] == "unit"
+    assert snap["state"] == "open"
+    assert snap["state"] in BREAKER_STATES
+    assert snap["consecutive_failures"] == 1
+    counters = tel.metrics.snapshot()["counters"]
+    assert counters["unit.breaker.short_circuit"]["value"] == 2
+    assert counters["unit.breaker.open"]["value"] == 1
+
+
+def test_breaker_reset():
+    b = CircuitBreaker("t", failure_threshold=1)
+    b.record_failure()
+    b.reset()
+    assert b.state == "closed"
+    assert b.allow()

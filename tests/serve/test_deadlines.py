@@ -1,0 +1,189 @@
+"""Deadline propagation through the serving stack, plus the new
+``health``/``ready`` ops and the extended ``stats`` payload.
+
+The contract under test: a request whose ``deadline_ms`` budget runs
+out anywhere before its batch is sealed receives a structured
+``deadline_exceeded`` envelope, is never admitted into a batch, and
+never delays or corrupts the batch that ran without it."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import build_fbmpk_operator
+from repro.serve import ERROR_CODES, ServeConfig, SolveService
+from repro.serve.protocol import parse_request, ProtocolError
+from repro.serve.spec import MatrixSpec
+
+SPEC = MatrixSpec(standin="cant", rows=250, seed=0)
+
+
+def make_service(**over):
+    over.setdefault("tune", "off")
+    over.setdefault("gather_window_s", 0.02)
+    return SolveService(ServeConfig(**over))
+
+
+def power_payload(i, x, k=3, tenant="t0", **extra):
+    req = {"id": f"r{i}", "op": "power", "tenant": tenant, "k": k,
+           "matrix": {"standin": SPEC.standin, "rows": SPEC.rows,
+                      "seed": SPEC.seed},
+           "x": x.tolist()}
+    req.update(extra)
+    return req
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- parse-time validation -------------------------------------------------
+def test_deadline_exceeded_is_a_known_code():
+    assert "deadline_exceeded" in ERROR_CODES
+    assert "too_large" in ERROR_CODES
+
+
+@pytest.mark.parametrize("bad", [0, -5, -0.1, "1000", True, [1]])
+def test_nonpositive_or_malformed_deadline_rejected_at_parse(bad):
+    x = np.ones(4)
+    with pytest.raises(ProtocolError) as exc_info:
+        parse_request(power_payload(0, x, deadline_ms=bad))
+    assert exc_info.value.code == "bad_request"
+    assert "deadline_ms" in exc_info.value.message
+
+
+def test_valid_deadline_parses_to_bounded_deadline():
+    x = np.ones(4)
+    req = parse_request(power_payload(0, x, deadline_ms=5000))
+    assert req.deadline.bounded
+    assert 0 < req.deadline.remaining() <= 5.0
+    req = parse_request(power_payload(0, x))
+    assert not req.deadline.bounded
+
+
+# -- expiry while queued ---------------------------------------------------
+def test_already_expired_request_gets_structured_rejection():
+    async def main():
+        svc = make_service(gather_window_s=0.05)
+        x = np.random.default_rng(0).standard_normal(SPEC.rows)
+        # Warm the operator so the build cannot absorb the deadline.
+        warm = await svc.handle(power_payload(99, x))
+        assert warm["ok"]
+        # A microscopic budget expires inside the gather window.
+        resp = await svc.handle(power_payload(0, x, deadline_ms=1e-6))
+        await svc.close()
+        return resp
+
+    resp = run(main())
+    assert not resp["ok"]
+    assert resp["error"]["code"] == "deadline_exceeded"
+
+
+def test_expiry_mid_gather_batch_proceeds_without_expired_request():
+    async def main():
+        svc = make_service(gather_window_s=0.08, max_batch=32)
+        rng = np.random.default_rng(1)
+        xs = [rng.standard_normal(SPEC.rows) for _ in range(4)]
+        warm = await svc.handle(power_payload(99, xs[0]))
+        assert warm["ok"]
+        # Request 0 has a deadline far shorter than the gather window:
+        # it expires while queued.  The other three have none.
+        coros = [svc.handle(power_payload(0, xs[0], deadline_ms=5))]
+        coros += [svc.handle(power_payload(i, xs[i]))
+                  for i in range(1, 4)]
+        resps = await asyncio.gather(*coros)
+        await svc.close()
+        return resps, xs
+
+    resps, xs = run(main())
+    assert not resps[0]["ok"]
+    assert resps[0]["error"]["code"] == "deadline_exceeded"
+    survivors = resps[1:]
+    assert all(r["ok"] for r in survivors)
+    # The batch ran without the expired request...
+    widths = {r["meta"]["batch_width"] for r in survivors}
+    assert widths == {3}
+    # ...and its results are still bitwise-identical to serial.
+    a = SPEC.load()
+    op = build_fbmpk_operator(a)
+    try:
+        for i, r in zip(range(1, 4), survivors):
+            ref = op.power(xs[i].copy(), 3)
+            assert np.array_equal(np.asarray(r["y"]), ref)
+    finally:
+        op.close()
+
+
+def test_generous_deadline_is_honoured():
+    async def main():
+        svc = make_service()
+        x = np.random.default_rng(2).standard_normal(SPEC.rows)
+        resp = await svc.handle(power_payload(0, x, deadline_ms=60_000))
+        await svc.close()
+        return resp, x
+
+    resp, x = run(main())
+    assert resp["ok"], resp
+    a = SPEC.load()
+    op = build_fbmpk_operator(a)
+    try:
+        assert np.array_equal(np.asarray(resp["y"]),
+                              op.power(x.copy(), 3))
+    finally:
+        op.close()
+
+
+# -- health / ready / stats ------------------------------------------------
+def test_health_and_ready_ops():
+    async def main():
+        svc = make_service()
+        x = np.random.default_rng(3).standard_normal(SPEC.rows)
+        await svc.handle(power_payload(0, x))
+        ready = await svc.handle({"id": "h1", "op": "ready"})
+        health = await svc.handle({"id": "h2", "op": "health"})
+        await svc.close()
+        ready_after = await svc.handle({"id": "h3", "op": "ready"})
+        return ready, health, ready_after
+
+    ready, health, ready_after = run(main())
+    assert ready["ok"] and ready["ready"] is True
+    assert health["ok"]
+    h = health["health"]
+    assert h["inflight"] == 0
+    assert h["draining"] is False
+    assert isinstance(h["breakers"], list)
+    assert isinstance(h["workers"], dict)
+    # tune="off" builds a serial operator: health still reports it.
+    for info in h["workers"].values():
+        assert "executor" in info
+    assert ready_after["ok"] and ready_after["ready"] is False
+
+
+def test_stats_reports_uptime_tenants_and_rejections():
+    async def main():
+        svc = make_service(max_rows=300)
+        x = np.random.default_rng(4).standard_normal(SPEC.rows)
+        ok = await svc.handle(power_payload(0, x, tenant="alice"))
+        # One too-large rejection...
+        big = power_payload(1, x, tenant="bob")
+        big["matrix"]["rows"] = 10_000
+        too_large = await svc.handle(big)
+        # ...and one deadline rejection.
+        late = await svc.handle(
+            power_payload(2, x, tenant="bob", deadline_ms=1e-6))
+        stats = await svc.handle({"id": "s", "op": "stats"})
+        await svc.close()
+        return ok, too_large, late, stats
+
+    ok, too_large, late, stats = run(main())
+    assert ok["ok"]
+    assert too_large["error"]["code"] == "too_large"
+    assert late["error"]["code"] == "deadline_exceeded"
+    s = stats["stats"]
+    assert s["uptime_s"] > 0
+    assert s["inflight_by_tenant"] == {}  # nothing in flight at stats
+    rej = s["rejected_by_reason"]
+    assert rej["too_large"] == 1
+    assert rej["deadline_exceeded"] == 1
+    assert rej["queue_full"] == 0

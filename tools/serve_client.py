@@ -39,23 +39,42 @@ def make_x(n: int, seed: int) -> np.ndarray:
     return np.random.default_rng(seed).standard_normal(n)
 
 
-async def connect(host: str, port: int, timeout_s: float):
-    """Dial with retries: the server may still be starting up."""
-    deadline = time.monotonic() + timeout_s
+async def connect(host: str, port: int, timeout_s: float,
+                  connect_timeout_s: float = 5.0):
+    """Dial with full-jitter exponential backoff: the server may still
+    be starting up, and a thundering herd of clients retrying in
+    lockstep would only make that worse.
+
+    ``connect_timeout_s`` caps one dial attempt (a SYN to a firewalled
+    or SIGSTOPped server can otherwise hang for minutes); ``timeout_s``
+    bounds the whole retry loop.
+    """
+    from repro.robust.resilience import Deadline, RetryPolicy
+
+    deadline = Deadline.after(timeout_s)
+    policy = RetryPolicy(base_delay_s=0.05, max_delay_s=1.0)
+    delays = policy.delays(deadline)
     while True:
         try:
-            return await asyncio.open_connection(host, port)
-        except OSError:
-            if time.monotonic() >= deadline:
+            return await asyncio.wait_for(
+                asyncio.open_connection(host, port),
+                timeout=min(connect_timeout_s,
+                            max(0.001, deadline.remaining_or(
+                                connect_timeout_s))))
+        except (OSError, asyncio.TimeoutError):
+            delay = next(delays, None)
+            if delay is None:
                 raise
-            await asyncio.sleep(0.1)
+            await asyncio.sleep(delay)
 
 
 async def run_connection(host: str, port: int, requests: list,
-                         timeout_s: float) -> dict:
+                         timeout_s: float,
+                         connect_timeout_s: float = 5.0) -> dict:
     """Send all assigned requests immediately, then read the responses
     (they may arrive out of order — matched by id)."""
-    reader, writer = await connect(host, port, timeout_s)
+    reader, writer = await connect(host, port, timeout_s,
+                                   connect_timeout_s)
     responses = {}
     try:
         for req in requests:
@@ -98,11 +117,15 @@ async def amain(args) -> int:
          "x": make_x(args.rows, args.seed + i).tolist()}
         for i in range(args.requests)
     ]
+    if args.deadline_ms is not None:
+        for req in requests:
+            req["deadline_ms"] = args.deadline_ms
     per_conn = [requests[c::args.connections]
                 for c in range(args.connections)]
     t0 = time.perf_counter()
     results = await asyncio.gather(*[
-        run_connection(args.host, port, chunk, args.timeout)
+        run_connection(args.host, port, chunk, args.timeout,
+                       args.connect_timeout)
         for chunk in per_conn if chunk])
     elapsed = time.perf_counter() - t0
     responses = {}
@@ -182,6 +205,13 @@ def main() -> int:
     ap.add_argument("--seed", type=int, default=100,
                     help="base seed for the request vectors")
     ap.add_argument("--timeout", type=float, default=60.0)
+    ap.add_argument("--connect-timeout", type=float, default=5.0,
+                    help="cap on one TCP dial attempt; the backoff "
+                         "retry loop as a whole is bounded by --timeout")
+    ap.add_argument("--deadline-ms", type=float, default=None,
+                    help="attach this per-request deadline_ms budget; "
+                         "expired requests get structured "
+                         "deadline_exceeded errors")
     ap.add_argument("--verify", action="store_true",
                     help="compare every result bitwise against a local "
                          "serial FBMPK reference")
