@@ -1,0 +1,111 @@
+"""Overhead of the sampling profiler on the power-sweep hot path.
+
+The acceptance bound for shipping the profiler: running the 100 Hz
+:class:`~repro.obs.sampler.StackSampler` next to an ``A^k x`` power
+sweep must cost < 5% median wall time.  Samples are interleaved
+(off, on, off, on, ...) so clock drift and cache state on a shared
+host bias neither configuration, and the asserted statistic is the
+median — the same robust centre the acceptance criterion names.
+
+Numbers land in ``BENCH_obs_overhead.json`` at the repo root.
+"""
+
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import bench_rows, format_table, standin, write_report
+from repro.obs.sampler import StackSampler
+
+K = 8
+REPEATS = 15
+WARMUP = 2
+MATRIX = "cant"
+BLOCK = 64
+HZ = 100.0
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = ROOT / "BENCH_obs_overhead.json"
+
+_RESULTS = {}
+
+
+def test_sampler_overhead_on_power_sweep(rng):
+    from repro.core import build_fbmpk_operator
+
+    a = standin(MATRIX, min(bench_rows(), 20_000))
+    x = rng.standard_normal(a.n_rows)
+    op = build_fbmpk_operator(a, block_size=BLOCK)
+    sampler = StackSampler(hz=HZ)
+    try:
+        run = lambda: op.power(x, K)  # noqa: E731
+        for _ in range(WARMUP):
+            run()
+        off, on = [], []
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            run()
+            off.append(time.perf_counter() - t0)
+            sampler.start()
+            t0 = time.perf_counter()
+            run()
+            on.append(time.perf_counter() - t0)
+            sampler.stop()
+    finally:
+        sampler.stop()
+        op.close()
+
+    med_off = statistics.median(off)
+    med_on = statistics.median(on)
+    overhead = med_on / med_off - 1.0
+    _RESULTS["power_sweep"] = {
+        "rows": a.n_rows,
+        "nnz": a.nnz,
+        "k": K,
+        "block_size": BLOCK,
+        "hz": HZ,
+        "repeats": REPEATS,
+        "median_off_s": med_off,
+        "median_on_s": med_on,
+        "overhead_frac": overhead,
+        "samples_taken": sampler.sample_count,
+    }
+    assert sampler.sample_count > 0, "sampler never fired"
+    assert overhead < 0.05, (
+        f"profiler at {HZ:.0f} Hz costs {overhead:.1%} median wall "
+        f"(off {med_off * 1e3:.3f} ms, on {med_on * 1e3:.3f} ms); "
+        f"bound is 5%")
+
+
+def test_write_results():
+    """Persist the numbers (runs last: file order)."""
+    assert _RESULTS, "no benchmark results collected"
+    payload = {
+        "bench": "obs_overhead",
+        "matrix": MATRIX,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": _RESULTS,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+    r = _RESULTS["power_sweep"]
+    table = format_table(
+        ["config", "median (ms)", "overhead", "samples"],
+        [["sampler off", f"{r['median_off_s'] * 1e3:.3f}", "-", "-"],
+         ["sampler on", f"{r['median_on_s'] * 1e3:.3f}",
+          f"{r['overhead_frac']:+.2%}", r["samples_taken"]]],
+        title=f"A^{K} x wall with/without {HZ:.0f} Hz sampler, "
+              f"{MATRIX} stand-in, {r['rows']} rows "
+              f"(median of {REPEATS})")
+    write_report("obs_overhead", table)
+    print()
+    print(table)

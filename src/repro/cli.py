@@ -38,9 +38,12 @@ A user-facing front end over the library:
     client.
 
 Telemetry: the run commands accept ``--trace FILE`` (Chrome trace-event
-JSON of the run's spans), ``--metrics FILE`` (metrics snapshot) and
-``--report FILE`` (schema-versioned RunReport); any of them activates a
-:class:`repro.obs.Telemetry` session around the command.
+JSON of the run's spans), ``--metrics FILE`` (metrics snapshot),
+``--report FILE`` (schema-versioned RunReport) and ``--profile FILE``
+(flamegraph-collapsed sampling profile at ``--profile-hz``); any of
+them activates a :class:`repro.obs.Telemetry` session around the
+command, as does ``serve --metrics-port`` (live Prometheus exposition
+for the server's lifetime).
 
 Failures map onto one-line ``error:`` messages and distinct exit codes
 (see ``EXIT_*``): 3 for unreadable/malformed input files, 4 for
@@ -133,6 +136,12 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
                    help="write a schema-versioned RunReport (validate "
                         "with tools/check_report.py, inspect with the "
                         "report subcommand)")
+    p.add_argument("--profile", metavar="FILE",
+                   help="sample all thread stacks for the whole run "
+                        "and write flamegraph-collapsed stacks "
+                        "(feed to flamegraph.pl or speedscope)")
+    p.add_argument("--profile-hz", type=float, default=100.0,
+                   help="sampling rate for --profile (default 100)")
 
 
 def _export_telemetry(tel: "obs.Telemetry", args) -> None:
@@ -358,6 +367,10 @@ def cmd_serve(args) -> int:
             tune_breaker=not args.no_tune_breaker,
             hang_timeout_s=args.hang_timeout_s,
             drain_timeout_s=args.drain_timeout_s,
+            metrics_port=args.metrics_port,
+            slo_target_ms=args.slo_target_ms,
+            slo_goal=args.slo_goal,
+            profile_hz=args.profile_hz,
         ).validate()
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -367,9 +380,15 @@ def cmd_serve(args) -> int:
         server = SolveServer(service, host=args.host, port=args.port)
         await server.start()
         print(f"serving on {server.host}:{server.port}", flush=True)
+        if server.metrics_port is not None:
+            print(f"metrics on http://{config.metrics_host}:"
+                  f"{server.metrics_port}/metrics", flush=True)
         if args.port_file:
             with open(args.port_file, "w") as fh:
                 fh.write(str(server.port))
+        if args.metrics_port_file and server.metrics_port is not None:
+            with open(args.metrics_port_file, "w") as fh:
+                fh.write(str(server.metrics_port))
         await server.serve_forever()
 
     try:
@@ -597,6 +616,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bound on the shutdown drain; batches still "
                         "executing past it are abandoned with "
                         "structured errors")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve Prometheus text exposition on this HTTP "
+                        "port (0 binds an ephemeral port; pair with "
+                        "--metrics-port-file); also activates a "
+                        "telemetry session for the server's lifetime")
+    p.add_argument("--metrics-port-file", default=None,
+                   help="write the bound metrics port to this file "
+                        "once listening")
+    p.add_argument("--slo-target-ms", type=float, default=250.0,
+                   help="latency SLO: a power request is good when it "
+                        "succeeds within this budget")
+    p.add_argument("--slo-goal", type=float, default=0.99,
+                   help="fraction of good requests the error budget "
+                        "is computed against (default 0.99)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -632,11 +665,20 @@ def main(argv=None) -> int:
     stderr, not a traceback.
     """
     args = build_parser().parse_args(argv)
+    # NB: --metrics-port 0 (ephemeral) is falsy, hence the explicit
+    # None check — truthiness would silently disable telemetry.
     wants_obs = any(getattr(args, flag, None)
-                    for flag in ("trace", "metrics", "report"))
+                    for flag in ("trace", "metrics", "report",
+                                 "profile")) \
+        or getattr(args, "metrics_port", None) is not None
     tel = obs.Telemetry() if wants_obs else None
+    sampler = None
     if tel is not None:
         tel.activate()
+        if getattr(args, "profile", None):
+            sampler = obs.StackSampler(
+                hz=getattr(args, "profile_hz", None) or 100.0,
+                recorder=tel.recorder).start()
     code = EXIT_OK
     try:
         code = args.func(args)
@@ -656,11 +698,19 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         code = EXIT_IO
     finally:
+        if sampler is not None:
+            sampler.stop()
         if tel is not None:
             tel.deactivate()
     if tel is not None:
         try:
             _export_telemetry(tel, args)
+            if sampler is not None:
+                n = obs.write_collapsed(sampler.collapsed(),
+                                        args.profile)
+                print(f"profile written to {args.profile} "
+                      f"({n} stacks, {sampler.sample_count} samples)",
+                      file=sys.stderr)
         except OSError as exc:
             print(f"error: telemetry export failed: {exc}",
                   file=sys.stderr)

@@ -36,6 +36,13 @@ from __future__ import annotations
 import functools
 from typing import Any, Dict, List, Optional
 
+from .exporter import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    MetricsHTTPServer,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -43,6 +50,8 @@ from .metrics import (
     MetricsRegistry,
     DEFAULT_TIME_BUCKETS,
 )
+from .sampler import StackSampler, write_collapsed
+from .slo import LATENCY_BUCKETS, SLOTracker
 from .report import (
     RUN_REPORT_SCHEMA,
     RUN_REPORT_SCHEMA_VERSION,
@@ -94,6 +103,15 @@ __all__ = [
     "chrome_trace_events",
     "write_chrome_trace",
     "write_jsonl",
+    "render_prometheus",
+    "parse_prometheus",
+    "prometheus_name",
+    "PROMETHEUS_CONTENT_TYPE",
+    "MetricsHTTPServer",
+    "StackSampler",
+    "write_collapsed",
+    "SLOTracker",
+    "LATENCY_BUCKETS",
 ]
 
 #: Stack of activated sessions; the innermost one receives telemetry.

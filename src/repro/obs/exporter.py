@@ -1,0 +1,364 @@
+"""Prometheus text exposition for the metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus
+text format (version 0.0.4) and serves it from a stdlib
+``http.server`` running on a daemon thread, so the serving stack gets a
+``/metrics`` endpoint with zero new dependencies.
+
+Name mapping — dotted instrument names become Prometheus names:
+
+* every character outside ``[a-zA-Z0-9_:]`` becomes ``_``
+  (``serve.requests`` → ``serve_requests``);
+* counters gain the conventional ``_total`` suffix
+  (``serve.requests`` → ``serve_requests_total``);
+* instruments whose unit is seconds gain ``_seconds`` — a trailing
+  ``_s`` shorthand is rewritten rather than doubled
+  (``serve.latency`` unit ``s`` → ``serve_latency_seconds``,
+  ``executor.phase_wall_s`` → ``executor_phase_wall_seconds``);
+* histograms expand to ``_bucket{le="..."}`` series (cumulative,
+  closing with ``le="+Inf"``) plus ``_sum`` and ``_count``.
+
+The counterpart :func:`parse_prometheus` is a strict parser of the same
+format used by the golden-file tests and the CI metrics-smoke step: it
+rejects malformed sample lines, duplicate series, non-cumulative
+buckets and histograms missing their ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "prometheus_name",
+    "escape_help",
+    "escape_label_value",
+    "render_prometheus",
+    "parse_prometheus",
+    "MetricsHTTPServer",
+]
+
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: ``unit`` strings that map onto a Prometheus base-unit suffix.
+_UNIT_SUFFIX = {"s": "_seconds", "seconds": "_seconds",
+                "bytes": "_bytes", "B": "_bytes"}
+
+
+def prometheus_name(name: str, unit: str = "", kind: str = "gauge") -> str:
+    """Map a dotted instrument name onto its Prometheus metric name."""
+    pname = _NAME_BAD_CHARS.sub("_", name)
+    if pname and pname[0].isdigit():
+        pname = "_" + pname
+    suffix = _UNIT_SUFFIX.get(unit, "")
+    if suffix:
+        if pname.endswith("_s") and suffix == "_seconds":
+            pname = pname[:-2]
+        if not pname.endswith(suffix):
+            pname += suffix
+    if kind == "counter" and not pname.endswith("_total"):
+        pname += "_total"
+    return pname
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line payload (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double quote, newline)."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: shortest-roundtrip floats, with the
+    spec's spellings for the non-finite values."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_le(edge: float) -> str:
+    """``le`` label values: integral edges render without the trailing
+    ``.0`` (the conventional Prometheus spelling)."""
+    if edge == int(edge) and abs(edge) < 1e15:
+        return str(int(edge))
+    return repr(float(edge))
+
+
+def render_prometheus(metrics) -> str:
+    """Render a registry (or a :meth:`MetricsRegistry.snapshot` dict)
+    as Prometheus exposition text.
+
+    Unset gauges (never written) are omitted — Prometheus has no
+    representation for "no value yet".  Output is sorted by metric
+    name, so the text is stable across renders of the same state.
+    """
+    snap = metrics.snapshot() if isinstance(metrics, MetricsRegistry) \
+        else metrics
+    if snap is None:
+        snap = {"counters": {}, "gauges": {}, "histograms": {}}
+    lines: List[str] = []
+
+    def _emit(pname: str, kind: str, source: str, unit: str) -> None:
+        help_text = f"repro instrument {source}" \
+                    + (f" (unit: {unit})" if unit else "")
+        lines.append(f"# HELP {pname} {escape_help(help_text)}")
+        lines.append(f"# TYPE {pname} {kind}")
+
+    for name, data in sorted(snap.get("counters", {}).items()):
+        pname = prometheus_name(name, data.get("unit", ""), "counter")
+        _emit(pname, "counter", name, data.get("unit", ""))
+        lines.append(f"{pname} {_format_value(data['value'])}")
+    for name, data in sorted(snap.get("gauges", {}).items()):
+        if data.get("value") is None:
+            continue
+        pname = prometheus_name(name, data.get("unit", ""), "gauge")
+        _emit(pname, "gauge", name, data.get("unit", ""))
+        lines.append(f"{pname} {_format_value(data['value'])}")
+    for name, data in sorted(snap.get("histograms", {}).items()):
+        pname = prometheus_name(name, data.get("unit", ""), "histogram")
+        _emit(pname, "histogram", name, data.get("unit", ""))
+        cumulative = 0
+        for edge, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(f'{pname}_bucket{{le="{_format_le(edge)}"}} '
+                         f"{cumulative}")
+        cumulative += data["counts"][len(data["buckets"])]
+        lines.append(f'{pname}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{pname}_sum {_format_value(data['sum'])}")
+        lines.append(f"{pname}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# parsing / validation (golden tests and the CI metrics-smoke step)
+# ---------------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "NaN":
+        return math.nan
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text into ``{family: {"type", "samples"}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``
+    tuples.  Raises ``ValueError`` on malformed lines, samples without
+    a preceding ``# TYPE``, duplicate series, histograms with
+    non-cumulative buckets or missing ``_sum``/``_count``/``+Inf``.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+    seen: set = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            fam = parts[2]
+            if fam in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {fam}")
+            types[fam] = parts[3]
+            families[fam] = {"type": parts[3], "samples": []}
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        sname = m.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            consumed = 0
+            for lm in _LABEL_RE.finditer(raw_labels):
+                labels[lm.group(1)] = (
+                    lm.group(2).replace('\\"', '"')
+                    .replace("\\n", "\n").replace("\\\\", "\\"))
+                consumed += lm.end() - lm.start()
+            stripped = re.sub(r"[,\s]", "", raw_labels)
+            matched = re.sub(r"[,\s]", "", "".join(
+                lm.group(0) for lm in _LABEL_RE.finditer(raw_labels)))
+            if stripped != matched:
+                raise ValueError(
+                    f"line {lineno}: malformed labels: {raw_labels!r}")
+        value = _parse_value(m.group("value"))
+        fam = sname
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sname[:-len(suffix)] if sname.endswith(suffix) else None
+            if base is not None and types.get(base) in ("histogram",
+                                                        "summary"):
+                fam = base
+                break
+        if fam not in families:
+            raise ValueError(
+                f"line {lineno}: sample {sname!r} has no # TYPE line")
+        series_key = (sname, tuple(sorted(labels.items())))
+        if series_key in seen:
+            raise ValueError(f"line {lineno}: duplicate series {sname!r} "
+                             f"{labels!r}")
+        seen.add(series_key)
+        families[fam]["samples"].append((sname, labels, value))
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: Mapping[str, Dict[str, Any]]) -> None:
+    for fam, data in families.items():
+        if data["type"] != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = []
+        has_sum = has_count = False
+        count_value = None
+        for sname, labels, value in data["samples"]:
+            if sname == f"{fam}_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"{fam}: bucket sample without le")
+                buckets.append((_parse_value(labels["le"]), value))
+            elif sname == f"{fam}_sum":
+                has_sum = True
+            elif sname == f"{fam}_count":
+                has_count = True
+                count_value = value
+        if not (has_sum and has_count):
+            raise ValueError(f"{fam}: histogram missing _sum or _count")
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ValueError(f"{fam}: histogram missing +Inf bucket")
+        edges = [b[0] for b in buckets]
+        counts = [b[1] for b in buckets]
+        if edges != sorted(edges):
+            raise ValueError(f"{fam}: bucket edges not ascending")
+        if counts != sorted(counts):
+            raise ValueError(f"{fam}: bucket counts not cumulative")
+        if count_value is not None and counts[-1] != count_value:
+            raise ValueError(
+                f"{fam}: +Inf bucket ({counts[-1]}) != _count "
+                f"({count_value})")
+
+
+# ---------------------------------------------------------------------------
+# the /metrics endpoint
+# ---------------------------------------------------------------------------
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _default_provider():
+    """The innermost active telemetry session's registry (late import:
+    :mod:`repro.obs` imports this module during its own init)."""
+    from . import current
+
+    tel = current()
+    return None if tel is None else tel.metrics
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] in ("/metrics", "/"):
+            try:
+                registry = self.server.provider()  # type: ignore[attr-defined]
+                body = render_prometheus(registry).encode()
+            except Exception as exc:  # never kill the scrape loop
+                self.send_error(500, explain=repr(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self.send_error(404)
+
+    def log_message(self, fmt: str, *args) -> None:
+        """Scrapes are periodic; logging each one is noise."""
+
+
+class MetricsHTTPServer:
+    """Daemon-thread HTTP server exposing ``/metrics`` (+ ``/healthz``).
+
+    ``provider`` is called per scrape and must return a
+    :class:`MetricsRegistry`, a snapshot dict, or ``None`` (rendered as
+    an empty exposition); the default provider reads the innermost
+    active :class:`repro.obs.Telemetry` session at scrape time, so a
+    server started before the session still exports it.
+
+    ``port=0`` binds an ephemeral port, resolved in :attr:`port` after
+    :meth:`start` — the pattern every test and the CI smoke step use.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 provider: Optional[Callable[[], Any]] = None) -> None:
+        self.host = host
+        self.port = int(port)
+        self.provider = provider or _default_provider
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        """Bind and start serving on a daemon thread; idempotent."""
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self.port),
+                                    _MetricsHandler)
+        httpd.daemon_threads = True
+        httpd.provider = self.provider  # type: ignore[attr-defined]
+        self.port = httpd.server_address[1]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-metrics-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -89,6 +89,12 @@ class Histogram:
     ``counts[i]`` counts observations ``<= buckets[i]`` exclusive of
     earlier buckets; the final slot counts overflow observations above
     the last edge.  ``sum``/``count`` allow mean reconstruction.
+
+    Per-bucket counts, the running sum and the observation count are
+    updated under one lock and read back together through
+    :meth:`state`, so a snapshot can never show a sum that disagrees
+    with its counts (a scrape racing an ``observe`` sees either all of
+    the observation or none of it).
     """
 
     __slots__ = ("name", "unit", "buckets", "_counts", "_sum", "_count",
@@ -108,13 +114,21 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation (bucket count, sum and count move
+        together under the lock)."""
         value = float(value)
         idx = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+
+    def state(self) -> Tuple[List[int], float, int]:
+        """One consistent ``(counts, sum, count)`` triple, read under a
+        single lock acquisition — the only way to get a view in which
+        ``sum(counts) == count`` is guaranteed."""
+        with self._lock:
+            return list(self._counts), self._sum, self._count
 
     @property
     def counts(self) -> List[int]:
@@ -131,6 +145,39 @@ class Histogram:
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) by linear
+        interpolation within the bucket the rank falls in.
+
+        Bucket semantics match Prometheus ``histogram_quantile``:
+
+        * the histogram is empty → ``None`` (no estimate possible);
+        * the rank lands in the first bucket → interpolate from 0 (or
+          from the bucket edge itself when the edge is negative, since
+          0 would then not be a lower bound);
+        * the rank lands in the overflow bucket (above the last edge) →
+          the last edge is returned — the histogram carries no upper
+          bound to interpolate toward, so the estimate saturates.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        counts, _, total = self.state()
+        if total == 0:
+            return None
+        rank = q * total
+        cumulative = 0
+        for i, edge in enumerate(self.buckets):
+            prev_cum = cumulative
+            cumulative += counts[i]
+            if cumulative >= rank:
+                lo = self.buckets[i - 1] if i > 0 else min(0.0, edge)
+                if counts[i] == 0:  # rank == 0 edge case
+                    return lo
+                frac = (rank - prev_cum) / counts[i]
+                return lo + (edge - lo) * max(0.0, min(1.0, frac))
+        # Rank beyond the last edge: saturate at the last finite edge.
+        return self.buckets[-1]
 
 
 class MetricsRegistry:
@@ -190,11 +237,12 @@ class MetricsRegistry:
                 out["gauges"][name] = {
                     "value": inst.value, "unit": inst.unit}
             else:
+                counts, total, count = inst.state()
                 out["histograms"][name] = {
                     "unit": inst.unit,
                     "buckets": list(inst.buckets),
-                    "counts": inst.counts,
-                    "sum": inst.sum,
-                    "count": inst.count,
+                    "counts": counts,
+                    "sum": total,
+                    "count": count,
                 }
         return out

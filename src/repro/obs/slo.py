@@ -1,0 +1,149 @@
+"""SLO and latency-quantile tracking for the serving stack.
+
+Wraps a :class:`~repro.obs.metrics.MetricsRegistry` with the small
+amount of policy the serve layer needs on top of raw instruments:
+
+* a ``serve.latency`` histogram (seconds; Prometheus-friendly bucket
+  ladder from 1 ms to 10 s) from which p50/p95/p99 are estimated with
+  :meth:`Histogram.quantile` and mirrored into gauges on every record,
+  so a ``/metrics`` scrape sees fresh quantiles without computing them
+  server-side;
+* an availability SLO: a request is *good* when it succeeded **and**
+  finished within the latency target, *bad* otherwise; ``serve.slo.good``
+  / ``serve.slo.bad`` counters accumulate forever (Prometheus-style —
+  rate windows are the scraper's job);
+* error-budget accounting against a goal (e.g. 0.99 = "99% of requests
+  good"): with ``total`` requests the budget is ``total × (1 - goal)``
+  bad requests; ``burn_rate`` is the fraction of that budget consumed
+  (> 1.0 means the SLO is violated over the process lifetime), and
+  ``budget_remaining`` is ``1 - burn_rate`` floored at 0.
+
+Everything is updated under one tracker lock so the ``stats`` NDJSON op
+and a concurrent ``/metrics`` scrape can never disagree by more than
+in-flight requests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "QUANTILES",
+    "SLOTracker",
+]
+
+#: Bucket ladder for request latency in seconds: 1 ms .. 10 s.  Chosen
+#: to straddle the default 250 ms target with enough resolution for
+#: p99 interpolation on either side of it.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Quantiles tracked as gauges (name fragment -> q).
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+)
+
+
+class SLOTracker:
+    """Per-service latency/SLO bookkeeping over a metrics registry.
+
+    All instruments live under the given prefix (default ``serve``):
+    ``<p>.latency`` histogram, ``<p>.slo.good`` / ``<p>.slo.bad``
+    counters, and gauges ``<p>.latency.p50/p95/p99``,
+    ``<p>.slo.target_ms``, ``<p>.slo.goal``, ``<p>.slo.burn_rate``,
+    ``<p>.slo.budget_remaining``, ``<p>.slo.compliance``.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 target_ms: float = 250.0, goal: float = 0.99,
+                 prefix: str = "serve") -> None:
+        if target_ms <= 0:
+            raise ValueError(f"SLO target must be positive, got {target_ms}")
+        if not 0.0 < goal < 1.0:
+            raise ValueError(f"SLO goal must be in (0, 1), got {goal}")
+        self.target_ms = float(target_ms)
+        self.goal = float(goal)
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self.latency = registry.histogram(
+            f"{prefix}.latency", unit="s", buckets=LATENCY_BUCKETS)
+        self._good = registry.counter(f"{prefix}.slo.good")
+        self._bad = registry.counter(f"{prefix}.slo.bad")
+        self._quantile_gauges = {
+            frag: registry.gauge(f"{prefix}.latency.{frag}", unit="s")
+            for frag, _ in QUANTILES
+        }
+        self._burn = registry.gauge(f"{prefix}.slo.burn_rate")
+        self._budget = registry.gauge(f"{prefix}.slo.budget_remaining")
+        self._compliance = registry.gauge(f"{prefix}.slo.compliance")
+        registry.gauge(f"{prefix}.slo.target_ms", unit="ms").set(
+            self.target_ms)
+        registry.gauge(f"{prefix}.slo.goal").set(self.goal)
+
+    # -- recording ------------------------------------------------------
+    def record(self, latency_s: float, ok: bool = True) -> bool:
+        """Account one finished request; returns whether it was *good*
+        (succeeded and met the latency target)."""
+        latency_s = max(0.0, float(latency_s))
+        good = bool(ok) and latency_s * 1e3 <= self.target_ms
+        with self._lock:
+            self.latency.observe(latency_s)
+            (self._good if good else self._bad).inc()
+            self._refresh_gauges()
+        return good
+
+    def _refresh_gauges(self) -> None:
+        for frag, q in QUANTILES:
+            value = self.latency.quantile(q)
+            if value is not None:
+                self._quantile_gauges[frag].set(value)
+        good = self._good.value
+        bad = self._bad.value
+        total = good + bad
+        if total <= 0:
+            return
+        budget = total * (1.0 - self.goal)
+        burn = bad / budget if budget > 0 else 0.0
+        self._burn.set(burn)
+        self._budget.set(max(0.0, 1.0 - burn))
+        self._compliance.set(good / total)
+
+    # -- reading --------------------------------------------------------
+    def quantile(self, q: float) -> Optional[float]:
+        """Current ``q``-quantile of the latency histogram (seconds)."""
+        return self.latency.quantile(q)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view for the ``stats``/``health`` ops.
+
+        Quantiles are reported in milliseconds (human-facing ops speak
+        ms; the Prometheus gauges stay in seconds).
+        """
+        with self._lock:
+            good = self._good.value
+            bad = self._bad.value
+            total = good + bad
+            quantiles = {
+                f"{frag}_ms": (None if (v := self.latency.quantile(q))
+                               is None else v * 1e3)
+                for frag, q in QUANTILES
+            }
+        budget = total * (1.0 - self.goal)
+        burn = (bad / budget) if budget > 0 else 0.0
+        return {
+            "target_ms": self.target_ms,
+            "goal": self.goal,
+            "good": int(good),
+            "bad": int(bad),
+            "total": int(total),
+            "compliance": (good / total) if total else None,
+            "burn_rate": burn if total else None,
+            "budget_remaining": max(0.0, 1.0 - burn) if total else None,
+            **quantiles,
+        }

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import secrets
 import threading
 import time
 from dataclasses import dataclass, field
@@ -50,7 +51,10 @@ class SpanRecord:
     ``ts``/``dur`` are seconds relative to the owning recorder's epoch;
     ``thread`` is the OS thread ident the span ran on; ``span_id`` and
     ``parent_id`` encode the per-thread nesting (``parent_id`` is None
-    for roots).
+    for roots).  ``pid`` is None for spans recorded in this process and
+    the worker's OS pid for spans merged from a process-pool span ring
+    (see :mod:`repro.obs.spanring`) — the Chrome exporter turns it into
+    a per-process lane.
     """
 
     name: str
@@ -61,6 +65,7 @@ class SpanRecord:
     parent_id: Optional[int]
     kind: str = "span"
     attrs: Dict[str, Any] = field(default_factory=dict)
+    pid: Optional[int] = None
 
 
 class NullSpan:
@@ -72,6 +77,10 @@ class NullSpan:
     """
 
     __slots__ = ()
+
+    #: Uniform access with :class:`_Span` for code that propagates the
+    #: open span's id (e.g. into process-pool workers): -1 = no span.
+    span_id = -1
 
     def __enter__(self) -> "NullSpan":
         return self
@@ -108,7 +117,7 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         self._t0 = self._rec._now()
-        self.span_id, self.parent_id = self._rec._push()
+        self.span_id, self.parent_id = self._rec._push(self.name)
         return self
 
     def __exit__(self, *exc) -> bool:
@@ -130,6 +139,12 @@ class TraceRecorder:
         self._records: List[SpanRecord] = []
         self._next_id = 0
         self._local = threading.local()
+        #: Session trace id (63-bit random): propagated into process-pool
+        #: workers so their merged spans correlate back to this recorder.
+        self.trace_id = secrets.randbits(63)
+        #: thread ident -> name of the innermost open span on that
+        #: thread (the sampling profiler reads this cross-thread).
+        self._open_names: Dict[int, str] = {}
 
     # -- internal clock / stack ----------------------------------------
     def _now(self) -> float:
@@ -141,13 +156,22 @@ class TraceRecorder:
             stack = self._local.stack = []
         return stack
 
-    def _push(self) -> tuple:
+    def _names(self) -> List[str]:
+        names = getattr(self._local, "names", None)
+        if names is None:
+            names = self._local.names = []
+        return names
+
+    def _push(self, name: str) -> tuple:
         stack = self._stack()
         parent = stack[-1] if stack else None
+        ident = threading.get_ident()
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
+            self._open_names[ident] = name
         stack.append(span_id)
+        self._names().append(name)
         return span_id, parent
 
     def _pop(self, span: _Span, dur: float) -> None:
@@ -159,12 +183,20 @@ class TraceRecorder:
                 stack.remove(span.span_id)
             except ValueError:
                 pass
+        names = self._names()
+        if names:
+            names.pop()
+        ident = threading.get_ident()
         record = SpanRecord(
             name=span.name, ts=span._t0, dur=max(dur, 0.0),
-            thread=threading.get_ident(), span_id=span.span_id,
+            thread=ident, span_id=span.span_id,
             parent_id=span.parent_id, kind="span", attrs=dict(span.attrs))
         with self._lock:
             self._records.append(record)
+            if names:
+                self._open_names[ident] = names[-1]
+            else:
+                self._open_names.pop(ident, None)
 
     # -- public API -----------------------------------------------------
     def span(self, name: str, **attrs) -> _Span:
@@ -183,6 +215,26 @@ class TraceRecorder:
                 name=name, ts=self._now(), dur=0.0,
                 thread=threading.get_ident(), span_id=span_id,
                 parent_id=parent, kind="event", attrs=dict(attrs)))
+
+    def add_record(self, record: SpanRecord) -> None:
+        """Append a finished foreign span — one merged in from another
+        process's span ring (its ``span_id`` lives in that process's id
+        space; set ``pid`` so exports keep the lanes apart)."""
+        with self._lock:
+            self._records.append(record)
+
+    def active_span_name(self, thread_ident: int) -> Optional[str]:
+        """Name of the innermost span currently open on the given
+        thread, or None — readable from *any* thread (the sampling
+        profiler tags stacks with it)."""
+        with self._lock:
+            return self._open_names.get(thread_ident)
+
+    def from_monotonic(self, t_mono: float) -> float:
+        """Convert a ``time.monotonic()`` stamp (e.g. one written by a
+        pool worker into shared memory) to this recorder's timebase."""
+        return t_mono + (time.perf_counter() - time.monotonic()) \
+            - self._epoch
 
     def records(self) -> List[SpanRecord]:
         """Snapshot of all finished spans/events, sorted by start time."""
@@ -238,23 +290,35 @@ def chrome_trace_events(recorder: TraceRecorder) -> Dict[str, Any]:
     """
     pid = os.getpid()
     events: List[Dict[str, Any]] = []
+    foreign_pids: Dict[int, None] = {}
     for r in recorder.records():
         ev: Dict[str, Any] = {
             "name": r.name,
             "cat": "repro",
             "ph": "X" if r.kind == "span" else "i",
             "ts": max(r.ts, 0.0) * 1e6,
-            "pid": pid,
+            "pid": pid if r.pid is None else r.pid,
             "tid": r.thread,
             "args": _safe_attrs(r.attrs),
         }
+        if r.pid is not None and r.pid != pid:
+            foreign_pids.setdefault(r.pid)
         if r.kind == "span":
             ev["dur"] = max(r.dur, 0.0) * 1e6
         else:
             ev["s"] = "t"  # thread-scoped instant
         events.append(ev)
     events.sort(key=lambda e: e["ts"])
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    # Metadata events name the lanes: the dispatcher process plus one
+    # lane per pool-worker pid whose spans were merged in.
+    meta: List[Dict[str, Any]] = []
+    if foreign_pids:
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": f"dispatcher ({pid})"}})
+        for fpid in sorted(foreign_pids):
+            meta.append({"name": "process_name", "ph": "M", "pid": fpid,
+                         "tid": 0, "args": {"name": f"worker ({fpid})"}})
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(recorder: TraceRecorder, path) -> None:
@@ -276,6 +340,7 @@ def write_jsonl(recorder: TraceRecorder, path) -> None:
                 "thread": r.thread,
                 "span_id": r.span_id,
                 "parent_id": r.parent_id,
+                "pid": r.pid,
                 "attrs": _safe_attrs(r.attrs),
             }))
             fh.write("\n")

@@ -69,6 +69,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import obs
+from ..obs.spanring import (
+    KIND_EXEC,
+    KIND_WAIT,
+    DEFAULT_RING_CAPACITY,
+    RingReader,
+    RingWriter,
+    ring_shapes,
+)
 from ..robust.errors import PhaseExecutionError
 from ..robust.faults import fire as _fire_fault
 from ..robust.faults import fire_timed as _fire_fault_timed
@@ -333,8 +341,8 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
                  block_spec: Optional[Dict[str, _SegmentSpec]],
                  inq, outq, task_hook) -> None:
     """Worker loop: attach once, then execute ``(phase, colour, blocks,
-    slot)`` descriptors until told to stop.  Never touches a queue with
-    array data — all arrays live in the mapped segments."""
+    slot, trace)`` descriptors until told to stop.  Never touches a
+    queue with array data — all arrays live in the mapped segments."""
     _disable_shm_tracking()
     core = _AttachedSegments(core_spec)
     views = _Views(core.view)
@@ -343,6 +351,16 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
     # system-wide on the platforms with shared memory, so the parent can
     # compare these stamps against its own clock.
     hb = core.view("hb") if "hb" in core_spec else None
+    # Span ring (same slab discipline): exec/wait spans written here are
+    # merged into the dispatcher's trace after each barrier.  Recording
+    # is gated on the descriptor carrying a trace tuple, so with
+    # telemetry off the only cost per phase is one tuple unpack.
+    ring = None
+    if all(t in core_spec for t in ("sr_i", "sr_f", "sr_n")):
+        ring = RingWriter(core.view("sr_i"), core.view("sr_f"),
+                          core.view("sr_n"), worker_id)
+    pid = os.getpid()
+    t_idle0 = time.monotonic()
     blk: Optional[_AttachedSegments] = None
 
     def bind(spec: Optional[Dict[str, _SegmentSpec]]) -> None:
@@ -364,8 +382,17 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
             if msg[0] == "block":
                 bind(msg[1])
                 continue
-            # ("phase", sweep, phase_index, color, [(start, stop)...], slot)
-            _, sweep, pi, color, blocks, slot = msg
+            # ("phase", sweep, phase_index, color, [(start, stop)...],
+            #  slot, trace) — trace is None (telemetry off in the
+            #  dispatcher) or (trace_id, parent_span_id).
+            _, sweep, pi, color, blocks, slot, trace = msg
+            t_mono0 = time.monotonic()
+            sweep_idx = SWEEPS.index(sweep) if sweep in SWEEPS else -1
+            if ring is not None and trace is not None:
+                # The gap since the previous phase finished: barrier
+                # wait for the stragglers plus dispatch latency.
+                ring.record(KIND_WAIT, pi, color, 0, trace[1], trace[0],
+                            sweep_idx, pid, t_idle0, t_mono0 - t_idle0)
             t0 = time.perf_counter()
             start = stop = -1
             try:
@@ -382,12 +409,25 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
                         task_hook(sweep=sweep, phase_index=pi, color=color,
                                   start=start, stop=stop, worker=slot)
                     views.run(sweep, start, stop)
+                if ring is not None and trace is not None:
+                    # Written before the ack: the queue put/get pair
+                    # orders this record before the dispatcher's
+                    # post-barrier drain.
+                    ring.record(KIND_EXEC, pi, color, len(blocks),
+                                trace[1], trace[0], sweep_idx, pid,
+                                t_mono0, time.monotonic() - t_mono0)
+                t_idle0 = time.monotonic()
                 outq.put(("ok", slot, time.perf_counter() - t0))
             except BaseException as exc:  # noqa: BLE001 - forwarded
                 try:  # only picklable causes may cross the boundary
                     pickle.dumps(exc)
                 except Exception:
                     exc = RuntimeError(repr(exc))
+                if ring is not None and trace is not None:
+                    ring.record(KIND_EXEC, pi, color, len(blocks),
+                                trace[1], trace[0], sweep_idx, pid,
+                                t_mono0, time.monotonic() - t_mono0)
+                t_idle0 = time.monotonic()
                 outq.put(("err", slot, pi, color, (start, stop), exc,
                           time.perf_counter() - t0))
     finally:
@@ -493,6 +533,17 @@ class ProcessPhaseExecutor:
         # the watchdog in _await_acks compares against its own clock.
         self._hb = self.arena.add(
             "hb", np.zeros(self.n_workers, dtype=np.float64))
+        # Span rings: one single-writer ring per worker (see
+        # repro.obs.spanring).  Plain int64/float64 arrays — the arena
+        # spec round-trips dtype strings, which would mangle a
+        # structured dtype.
+        shp_i, shp_f, shp_n = ring_shapes(self.n_workers,
+                                          DEFAULT_RING_CAPACITY)
+        sr_i = self.arena.add("sr_i", np.zeros(shp_i, dtype=np.int64))
+        sr_f = self.arena.add("sr_f", np.zeros(shp_f, dtype=np.float64))
+        sr_n = self.arena.add("sr_n", np.zeros(shp_n, dtype=np.int64))
+        self._ring_reader: Optional[RingReader] = RingReader(
+            sr_i, sr_f, sr_n)
         self._views: Optional[_Views] = _Views(self.arena.view)
         self._pool: Optional[_PoolState] = None
         self._blk_m: Optional[int] = None
@@ -539,7 +590,8 @@ class ProcessPhaseExecutor:
     def _ensure_pool(self) -> _PoolState:
         if self._pool is None:
             core = {t: self.arena.spec[t]
-                    for t in _Views.CORE_TAGS + ("hb",)}
+                    for t in _Views.CORE_TAGS
+                    + ("hb", "sr_i", "sr_f", "sr_n")}
             outq = self._ctx.Queue()
             inqs = [self._ctx.SimpleQueue()
                     for _ in range(self.n_workers)]
@@ -569,6 +621,33 @@ class ProcessPhaseExecutor:
         if pool is None:
             return None
         return [w.is_alive() for w in pool.workers]
+
+    def heartbeat_ages(self) -> Optional[List[Optional[float]]]:
+        """Seconds since each worker last stamped its heartbeat slab
+        (None per slot when the worker has never stamped; None overall
+        when no pool is running).  Usable without a hang_timeout — the
+        slab is stamped unconditionally."""
+        if self._pool is None or self._hb is None:
+            return None
+        now = time.monotonic()
+        return [now - float(t) if t > 0 else None for t in self._hb]
+
+    def publish_metrics(self) -> None:
+        """Push pool-liveness gauges into the active telemetry session
+        (no-op when telemetry is off): ``procexec.workers_alive`` and a
+        ``procexec.heartbeat_age_s.w<i>`` gauge per worker, so ``/metrics``
+        scrapes see what previously only the ``health`` op reported."""
+        if obs.current() is None:
+            return
+        alive = self.worker_liveness()
+        if alive is not None:
+            obs.set_gauge("procexec.workers_alive", float(sum(alive)))
+        ages = self.heartbeat_ages()
+        if ages is not None:
+            for i, age in enumerate(ages):
+                if age is not None:
+                    obs.set_gauge(f"procexec.heartbeat_age_s.w{i}",
+                                  age, unit="s")
 
     def _shutdown_pool(self) -> None:
         """Stop every worker and discard the queues (idempotent).  The
@@ -614,6 +693,7 @@ class ProcessPhaseExecutor:
         finally:
             self._views = None
             self._hb = None
+            self._ring_reader = None
             self._blk_m = None
             self.arena.close()
 
@@ -670,17 +750,24 @@ class ProcessPhaseExecutor:
         snap = (len(stats.phases), stats.barriers,
                 list(stats.thread_busy_s))
         pool = self._ensure_pool()
+        tel = obs.current()
         for pi, phase in enumerate(phases):
             with obs.span("executor.phase", phase=pi, colour=phase.color,
                           n_tasks=len(phase.tasks), nnz=phase.total_nnz,
-                          mode="processes"):
+                          mode="processes") as sp:
+                # Trace context shipped with the descriptors: workers
+                # stamp their ring spans with the dispatcher's trace id
+                # and parent this very executor.phase span.
+                trace = None if tel is None \
+                    else (tel.recorder.trace_id, sp.span_id)
                 t0 = time.perf_counter()
                 bins = assign_tasks(phase.tasks, self.n_workers,
                                     policy=self.policy)
                 failure = self._dispatch_and_drain(pool, bins, sweep, pi,
-                                                   phase, stats)
+                                                   phase, stats, trace)
                 elapsed = time.perf_counter() - t0
             if failure is not None:
+                self._drain_spans()
                 self._shutdown_pool()
                 obs.add_counter("executor.failed_phases")
                 if self.on_failure == "fallback_serial" \
@@ -692,10 +779,30 @@ class ProcessPhaseExecutor:
                     return self.run_serial(phases, sweep, stats)
                 raise failure
             self._finish_phase(stats, phase, elapsed)
+        self._drain_spans()
+        self.publish_metrics()
         return stats
 
+    def _drain_spans(self) -> None:
+        """Merge worker span-ring records into the active recorder.
+
+        Runs after the barrier has closed, so every record for the
+        phases just executed is visible (the ack queue orders the ring
+        writes before the parent's reads).  Counts surface as
+        ``procexec.spans_merged`` / ``procexec.spans_dropped``."""
+        tel = obs.current()
+        if tel is None or self._ring_reader is None:
+            return
+        merged, dropped = self._ring_reader.drain(tel.recorder,
+                                                  sweep_names=SWEEPS)
+        if merged:
+            obs.add_counter("procexec.spans_merged", merged)
+        if dropped:
+            obs.add_counter("procexec.spans_dropped", dropped)
+
     def _dispatch_and_drain(self, pool: _PoolState, bins, sweep: str,
-                            pi: int, phase: Phase, stats: ExecutionStats
+                            pi: int, phase: Phase, stats: ExecutionStats,
+                            trace: Optional[Tuple[int, int]] = None
                             ) -> Optional[PhaseExecutionError]:
         """Send each non-empty bin to its worker and await one ack per
         dispatched bin — the phase barrier.  Returns the first failure
@@ -724,7 +831,7 @@ class ProcessPhaseExecutor:
                     continue  # later bins stay undispatched
                 pool.inqs[i].put(
                     ("phase", sweep, pi, phase.color,
-                     [(t.start, t.stop) for t in b], i))
+                     [(t.start, t.stop) for t in b], i, trace))
                 dispatched.append(i)
         if fault_s:
             obs.add_counter("faults.injected_delay_s", fault_s, unit="s")
@@ -739,6 +846,7 @@ class ProcessPhaseExecutor:
         failure: Optional[PhaseExecutionError] = None
         t_dispatch = time.monotonic()
         last_scan = t_dispatch
+        t_acks: Dict[int, float] = {}
         while pending:
             try:
                 msg = pool.outq.get(timeout=0.2)
@@ -758,16 +866,26 @@ class ProcessPhaseExecutor:
                 _, slot, busy = msg
                 stats.thread_busy_s[slot] += busy
                 pending.discard(slot)
+                t_acks[slot] = time.monotonic()
             elif msg[0] == "err":
                 _, slot, epi, ecolor, block, exc, busy = msg
                 stats.thread_busy_s[slot] += busy
                 pending.discard(slot)
+                t_acks[slot] = time.monotonic()
                 if failure is None:
                     failure = PhaseExecutionError(
                         f"block task crashed in worker {slot}: {exc!r}",
                         phase_index=epi, color=ecolor, block=block,
                         thread=slot)
                     failure.__cause__ = exc
+        # Per-worker barrier wait: how long each finished bin's ack sat
+        # waiting for the last straggler to close the phase (the
+        # processes-vs-threads overhead the benchmarks argue about).
+        if t_acks and obs.current() is not None:
+            t_close = time.monotonic()
+            for slot, t_ack in t_acks.items():
+                obs.observe("procexec.barrier_wait", t_close - t_ack,
+                            unit="s")
         return failure
 
     def _scan_pending(self, pool: _PoolState, pending: set, pi: int,

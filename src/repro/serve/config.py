@@ -55,6 +55,13 @@ class ServeConfig:
         ``drain_timeout_s`` bounds shutdown: batches still executing
         past it are abandoned and their requests receive structured
         ``shutting_down`` errors rather than wedging the drain.
+    Observability
+        ``metrics_port`` (None = off) starts a Prometheus exposition
+        endpoint on a stdlib HTTP daemon thread; ``slo_target_ms`` /
+        ``slo_goal`` parameterise the latency SLO the service tracks
+        per ``power`` request (see :mod:`repro.obs.slo`);
+        ``profile_hz`` is the sampling rate the ``--profile`` flag arms
+        the :class:`~repro.obs.sampler.StackSampler` with.
     """
 
     # batching
@@ -85,6 +92,18 @@ class ServeConfig:
     tune_breaker: bool = True
     hang_timeout_s: Optional[float] = None
     drain_timeout_s: float = 30.0
+    # observability
+    #: TCP port of the Prometheus ``/metrics`` endpoint (0 = ephemeral;
+    #: None — the default — disables the HTTP exporter entirely).
+    metrics_port: Optional[int] = None
+    metrics_host: str = "127.0.0.1"
+    #: Latency SLO: a ``power`` request is *good* when it succeeds
+    #: within ``slo_target_ms``; ``slo_goal`` is the fraction of good
+    #: requests the error budget is computed against.
+    slo_target_ms: float = 250.0
+    slo_goal: float = 0.99
+    #: Sampling-profiler rate when ``serve --profile`` is active.
+    profile_hz: float = 100.0
     # protocol / lifecycle
     allow_shutdown: bool = True
     max_line_bytes: int = 16 * 1024 * 1024
@@ -120,4 +139,13 @@ class ServeConfig:
             raise ValueError("hang_timeout_s must be > 0 when set")
         if self.drain_timeout_s <= 0:
             raise ValueError("drain_timeout_s must be > 0")
+        if self.metrics_port is not None \
+                and not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be in [0, 65535]")
+        if self.slo_target_ms <= 0:
+            raise ValueError("slo_target_ms must be > 0")
+        if not 0.0 < self.slo_goal < 1.0:
+            raise ValueError("slo_goal must be in (0, 1)")
+        if self.profile_hz <= 0:
+            raise ValueError("profile_hz must be > 0")
         return self

@@ -17,6 +17,7 @@ Requests::
     {"id": "s1", "op": "stats"}
     {"id": "h1", "op": "health"}
     {"id": "h2", "op": "ready"}
+    {"id": "m1", "op": "metrics"}
     {"id": "q1", "op": "shutdown"}
 
 ``deadline_ms`` (optional, ``power`` only) is a per-request latency
@@ -73,7 +74,8 @@ ERROR_CODES = frozenset({
 })
 
 #: Ops the protocol understands.
-OPS = ("power", "ping", "stats", "health", "ready", "shutdown")
+OPS = ("power", "ping", "stats", "health", "ready", "metrics",
+       "shutdown")
 
 
 class ProtocolError(ValueError):

@@ -20,6 +20,7 @@ import json
 from typing import Optional, Set
 
 from .. import obs
+from ..obs.exporter import MetricsHTTPServer
 from .protocol import encode_line, error_response
 from .service import SolveService
 
@@ -27,7 +28,13 @@ __all__ = ["SolveServer"]
 
 
 class SolveServer:
-    """NDJSON-over-TCP front end; ``port=0`` binds an ephemeral port."""
+    """NDJSON-over-TCP front end; ``port=0`` binds an ephemeral port.
+
+    When ``config.metrics_port`` is set (0 = ephemeral), :meth:`start`
+    additionally launches the Prometheus exposition endpoint of
+    :class:`~repro.obs.exporter.MetricsHTTPServer` on a daemon thread;
+    the resolved port is :attr:`metrics_port`.
+    """
 
     def __init__(self, service: SolveService, host: str = "127.0.0.1",
                  port: int = 0) -> None:
@@ -36,6 +43,13 @@ class SolveServer:
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: Set[asyncio.Task] = set()
+        self._metrics_http: Optional[MetricsHTTPServer] = None
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """Resolved port of the ``/metrics`` endpoint (None = off)."""
+        return None if self._metrics_http is None \
+            else self._metrics_http.port
 
     async def start(self) -> "SolveServer":
         """Bind and start accepting; resolves the actual port."""
@@ -43,6 +57,12 @@ class SolveServer:
             self._handle_connection, self.host, self.port,
             limit=self.service.config.max_line_bytes)
         self.port = self._server.sockets[0].getsockname()[1]
+        cfg = self.service.config
+        if cfg.metrics_port is not None and self._metrics_http is None:
+            self._metrics_http = MetricsHTTPServer(
+                host=cfg.metrics_host, port=cfg.metrics_port).start()
+            obs.event("serve.metrics_listening",
+                      port=self._metrics_http.port)
         obs.event("serve.listening", host=self.host, port=self.port)
         return self
 
@@ -58,6 +78,9 @@ class SolveServer:
 
     async def aclose(self) -> None:
         """Stop accepting, drop live connections, drain the service."""
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

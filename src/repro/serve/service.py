@@ -41,6 +41,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from .. import obs
+from ..obs.slo import SLOTracker
 from ..robust.errors import DeadlineExceededError
 from ..robust.faults import fire as _fire_fault
 from ..robust.resilience import Deadline
@@ -81,6 +82,24 @@ class SolveService:
         self._inflight_by_tenant: Counter = Counter()
         #: Requests turned away, by structured rejection code.
         self._rejected_by_reason: Counter = Counter()
+        #: SLO bookkeeping, bound lazily to the active telemetry
+        #: session (None while telemetry is off).
+        self._slo: Optional[SLOTracker] = None
+        self._slo_session = None
+
+    def _slo_tracker(self) -> Optional[SLOTracker]:
+        """The SLO tracker over the *current* telemetry session's
+        registry (rebuilt if the session changed; None when telemetry
+        is off)."""
+        tel = obs.current()
+        if tel is None:
+            return None
+        if self._slo is None or self._slo_session is not tel:
+            self._slo = SLOTracker(
+                tel.metrics, target_ms=self.config.slo_target_ms,
+                goal=self.config.slo_goal)
+            self._slo_session = tel
+        return self._slo
 
     # -- core compute path ----------------------------------------------
     async def power(self, spec: MatrixSpec, x: np.ndarray, k: int,
@@ -136,6 +155,18 @@ class SolveService:
         return await self._handle_power(req)
 
     async def _handle_power(self, req: PowerRequest) -> Dict[str, Any]:
+        """Serve one ``power`` request and account it against the SLO:
+        wall time from dispatch to response envelope, *good* iff the
+        response is ``ok`` and under ``slo_target_ms``."""
+        t0 = time.perf_counter()
+        resp = await self._power_response(req)
+        slo = self._slo_tracker()
+        if slo is not None:
+            slo.record(time.perf_counter() - t0,
+                       ok=bool(resp.get("ok")))
+        return resp
+
+    async def _power_response(self, req: PowerRequest) -> Dict[str, Any]:
         if not np.isfinite(req.x).all():
             obs.add_counter("serve.requests.failed")
             return error_response(req.id, "non_finite",
@@ -187,6 +218,14 @@ class SolveService:
         if req.op == "ready":
             draining = self.shutdown_requested.is_set() or self._closed
             return ok_response(req.id, ready=not draining)
+        if req.op == "metrics":
+            tel = obs.current()
+            slo = self._slo_tracker()
+            return ok_response(
+                req.id,
+                metrics=tel.metrics.snapshot() if tel is not None
+                else None,
+                slo=slo.snapshot() if slo is not None else None)
         # req.op == "shutdown"
         if not self.config.allow_shutdown:
             obs.add_counter("serve.requests.failed")
@@ -201,8 +240,10 @@ class SolveService:
         """Live service state plus a metrics snapshot (when a telemetry
         session is active)."""
         tel = obs.current()
+        slo = self._slo_tracker()
         return {
             "uptime_s": time.monotonic() - self._t_start,
+            "slo": slo.snapshot() if slo is not None else None,
             "residents": self.registry.residents,
             "resident_keys": self.registry.resident_keys(),
             "pending": self.batcher.pending,
@@ -219,8 +260,10 @@ class SolveService:
         """Liveness detail for the ``health`` op: in-flight load,
         circuit-breaker states and pool-worker liveness per resident
         operator (``None`` liveness = no process pool spawned)."""
+        slo = self._slo_tracker()
         return {
             "inflight": sum(self._inflight_by_tenant.values()),
+            "slo": slo.snapshot() if slo is not None else None,
             "pending": self.batcher.pending,
             "inflight_batches": self.batcher.inflight_batches,
             "breakers": self.registry.breaker_snapshots(),

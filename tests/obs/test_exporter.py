@@ -1,0 +1,212 @@
+"""Prometheus exposition: name mapping, golden format, parser, HTTP."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.exporter import (
+    CONTENT_TYPE,
+    MetricsHTTPServer,
+    escape_help,
+    escape_label_value,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+)
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("serve.requests") == "serve_requests"
+
+    def test_counter_gains_total_suffix(self):
+        assert prometheus_name("serve.requests", kind="counter") \
+            == "serve_requests_total"
+
+    def test_total_suffix_not_doubled(self):
+        assert prometheus_name("x.total", kind="counter") == "x_total"
+
+    def test_seconds_unit_suffix(self):
+        assert prometheus_name("serve.latency", unit="s",
+                               kind="histogram") == "serve_latency_seconds"
+
+    def test_trailing_s_shorthand_rewritten_not_doubled(self):
+        assert prometheus_name("executor.phase_wall_s", unit="s") \
+            == "executor_phase_wall_seconds"
+
+    def test_leading_digit_prefixed(self):
+        assert prometheus_name("2norm") == "_2norm"
+
+    def test_bytes_unit(self):
+        assert prometheus_name("arena.size", unit="bytes") \
+            == "arena_size_bytes"
+
+
+class TestEscaping:
+    def test_help_escapes_backslash_and_newline(self):
+        assert escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_label_value_escapes_quote_too(self):
+        assert escape_label_value('say "hi"\n') == 'say \\"hi\\"\\n'
+
+
+class TestRenderGolden:
+    """Golden-format assertions for every instrument kind."""
+
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests").inc(7)
+        reg.gauge("serve.latency.p50", unit="s").set(0.125)
+        h = reg.histogram("serve.latency", unit="s",
+                          buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        return reg
+
+    def test_counter_block(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE serve_requests_total counter" in text
+        assert "\nserve_requests_total 7.0\n" in text
+        assert "# HELP serve_requests_total repro instrument " \
+               "serve.requests" in text
+
+    def test_gauge_block(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE serve_latency_p50_seconds gauge" in text
+        assert "\nserve_latency_p50_seconds 0.125\n" in text
+
+    def test_unset_gauge_is_omitted(self):
+        reg = MetricsRegistry()
+        reg.gauge("never.set")
+        assert "never_set" not in render_prometheus(reg)
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE serve_latency_seconds histogram" in text
+        assert 'serve_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'serve_latency_seconds_bucket{le="1"} 3' in text
+        assert 'serve_latency_seconds_bucket{le="10"} 4' in text
+        assert 'serve_latency_seconds_bucket{le="+Inf"} 4' in text
+        assert "serve_latency_seconds_sum 6.05" in text
+        assert "serve_latency_seconds_count 4" in text
+
+    def test_every_sample_has_a_type_line(self):
+        # The strict parser enforces this; a render that emits samples
+        # before their TYPE line would be rejected here.
+        parse_prometheus(render_prometheus(self._registry()))
+
+    def test_output_is_stable_across_renders(self):
+        reg = self._registry()
+        assert render_prometheus(reg) == render_prometheus(reg)
+
+    def test_none_renders_empty_exposition(self):
+        assert render_prometheus(None) == "\n"
+
+
+class TestParser:
+    def test_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(3)
+        reg.histogram("lat", unit="s").observe(0.02)
+        fams = parse_prometheus(render_prometheus(reg))
+        assert fams["a_b_total"]["type"] == "counter"
+        assert fams["a_b_total"]["samples"][0][2] == 3.0
+        hist = fams["lat_seconds"]
+        names = {s[0] for s in hist["samples"]}
+        assert "lat_seconds_sum" in names
+        assert "lat_seconds_count" in names
+
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus("orphan_metric 1\n")
+
+    def test_rejects_malformed_sample(self):
+        text = "# TYPE x gauge\nx one_point_five\n"
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_rejects_duplicate_series(self):
+        text = "# TYPE x gauge\nx 1\nx 2\n"
+        with pytest.raises(ValueError, match="duplicate series"):
+            parse_prometheus(text)
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1.0\nh_count 3\n")
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_prometheus(text)
+
+    def test_rejects_histogram_missing_sum(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\n'
+                "h_count 1\n")
+        with pytest.raises(ValueError, match="missing _sum"):
+            parse_prometheus(text)
+
+    def test_rejects_histogram_missing_inf_bucket(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                "h_sum 0.5\nh_count 1\n")
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_label_values_unescaped(self):
+        text = ('# TYPE x gauge\n'
+                'x{path="C:\\\\tmp",msg="a\\nb"} 1\n')
+        fams = parse_prometheus(text)
+        _, labels, _ = fams["x"]["samples"][0]
+        assert labels["path"] == "C:\\tmp"
+        assert labels["msg"] == "a\nb"
+
+
+class TestMetricsHTTPServer:
+    def test_scrape_renders_provided_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(5)
+        with MetricsHTTPServer(port=0, provider=lambda: reg) as srv:
+            with urllib.request.urlopen(srv.url, timeout=10) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode()
+        assert "hits_total 5.0" in body
+        parse_prometheus(body)
+
+    def test_scrape_reflects_live_updates(self):
+        reg = MetricsRegistry()
+        with MetricsHTTPServer(port=0, provider=lambda: reg) as srv:
+            reg.counter("n").inc()
+            first = urllib.request.urlopen(srv.url, timeout=10).read()
+            reg.counter("n").inc()
+            second = urllib.request.urlopen(srv.url, timeout=10).read()
+        assert b"n_total 1.0" in first
+        assert b"n_total 2.0" in second
+
+    def test_healthz(self):
+        with MetricsHTTPServer(port=0, provider=lambda: None) as srv:
+            url = f"http://{srv.host}:{srv.port}/healthz"
+            with urllib.request.urlopen(url, timeout=10) as resp:
+                assert resp.status == 200
+                assert resp.read() == b"ok\n"
+
+    def test_unknown_path_is_404(self):
+        with MetricsHTTPServer(port=0, provider=lambda: None) as srv:
+            url = f"http://{srv.host}:{srv.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(url, timeout=10)
+            assert exc.value.code == 404
+
+    def test_no_session_renders_empty(self):
+        # Default provider with no active telemetry session: empty
+        # exposition, not an error.
+        with MetricsHTTPServer(port=0) as srv:
+            body = urllib.request.urlopen(srv.url, timeout=10).read()
+        assert body == b"\n"
+
+    def test_stop_is_idempotent(self):
+        srv = MetricsHTTPServer(port=0, provider=lambda: None).start()
+        srv.stop()
+        srv.stop()

@@ -74,6 +74,99 @@ class TestHistogram:
             with pytest.raises(ValueError, match="strictly increasing"):
                 Histogram("h", buckets=bad)
 
+    def test_state_is_one_consistent_triple(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        counts, total, count = h.state()
+        assert counts == [1, 1, 0]
+        assert total == pytest.approx(5.5)
+        assert count == 2
+        assert sum(counts) == count
+
+    def test_state_consistent_under_concurrent_observe(self):
+        # A scrape racing observe() must see sum(counts) == count: the
+        # bucket slot, running sum and count move under one lock.
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                counts, _, count = h.state()
+                if sum(counts) != count:
+                    torn.append((counts, count))
+                    return
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(20_000):
+            h.observe(float(i % 200))
+        stop.set()
+        t.join()
+        assert not torn
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_has_no_quantile(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None
+        assert h.quantile(1.0) is None
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        for bad in (-0.01, 1.01, 2.0):
+            with pytest.raises(ValueError, match="quantile"):
+                h.quantile(bad)
+
+    def test_linear_interpolation_within_bucket(self):
+        # 10 observations all in (1, 10]: the q-quantile interpolates
+        # linearly across that bucket's width.
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.quantile(0.5) == pytest.approx(1.0 + 9.0 * 0.5)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_underflow_bucket_interpolates_from_zero(self):
+        # Observations below the first edge: the lower bound of the
+        # first bucket is 0 (there is no previous edge).
+        h = Histogram("h", buckets=(10.0, 100.0))
+        for _ in range(4):
+            h.observe(2.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_bucket_saturates_at_last_edge(self):
+        # All mass above the last edge: no upper bound to interpolate
+        # toward, so the estimate saturates (Prometheus semantics).
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for _ in range(3):
+            h.observe(1000.0)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(0.99) == 10.0
+
+    def test_negative_first_edge_keeps_lower_bound(self):
+        # With a negative first edge, 0 is not a lower bound for the
+        # first bucket; the edge itself is used instead (interpolating
+        # from 0 would estimate *above* the bucket's upper edge).
+        h = Histogram("h", buckets=(-10.0, 10.0))
+        h.observe(-15.0)
+        assert h.quantile(0.5) == pytest.approx(-10.0)
+
+    def test_quantiles_split_mixed_mass(self):
+        # 90 fast + 10 slow observations: p50 sits in the fast bucket,
+        # p99 in the slow one.
+        h = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for _ in range(90):
+            h.observe(0.05)
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.quantile(0.5) < 0.1
+        assert 1.0 < h.quantile(0.99) <= 10.0
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):

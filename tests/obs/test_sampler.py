@@ -1,0 +1,135 @@
+"""Sampling profiler: accumulation, collapsed format, span tagging."""
+
+import io
+import threading
+import time
+
+from repro import obs
+from repro.obs import Telemetry
+from repro.obs.sampler import StackSampler, write_collapsed
+
+
+def _spin_in(name_event, stop_event):
+    """Busy-wait inside a recognisably-named frame."""
+
+    def distinctive_sampler_target_frame():
+        name_event.set()
+        while not stop_event.is_set():
+            sum(range(100))
+
+    distinctive_sampler_target_frame()
+
+
+class TestStackSampler:
+    def test_samples_accumulate_while_running(self):
+        with StackSampler(hz=200.0) as s:
+            t0 = time.monotonic()
+            while s.sample_count < 5 and time.monotonic() - t0 < 10:
+                time.sleep(0.01)
+        assert s.sample_count >= 5
+        assert s.collapsed()
+
+    def test_stop_is_idempotent_and_halts_sampling(self):
+        s = StackSampler(hz=500.0)
+        s.start()
+        s.stop()
+        s.stop()
+        assert not s.running
+        n = s.sample_count
+        time.sleep(0.05)
+        assert s.sample_count == n
+
+    def test_collapsed_stacks_are_root_first(self):
+        ready, stop = threading.Event(), threading.Event()
+        t = threading.Thread(target=_spin_in, args=(ready, stop))
+        t.start()
+        ready.wait(5)
+        try:
+            with StackSampler(hz=500.0) as s:
+                t0 = time.monotonic()
+                while time.monotonic() - t0 < 5:
+                    if any("distinctive_sampler_target_frame" in st
+                           for st in s.collapsed()):
+                        break
+                    time.sleep(0.01)
+        finally:
+            stop.set()
+            t.join()
+        hits = [st for st in s.collapsed()
+                if "distinctive_sampler_target_frame" in st]
+        assert hits, "never sampled the spinning thread"
+        frames = hits[0].split(";")
+        outer = [i for i, f in enumerate(frames) if "_spin_in" in f]
+        inner = [i for i, f in enumerate(frames)
+                 if "distinctive_sampler_target_frame" in f]
+        assert outer and inner
+        # root-first: the caller appears before the callee
+        assert outer[0] < inner[0]
+
+    def test_own_thread_is_excluded(self):
+        with StackSampler(hz=500.0) as s:
+            t0 = time.monotonic()
+            while s.sample_count < 10 and time.monotonic() - t0 < 10:
+                time.sleep(0.01)
+        # The sampler thread's own loop frames must never be sampled
+        # (other threads may legitimately be caught inside start()).
+        assert not any("_sample_once (sampler.py" in st
+                       or "_run (sampler.py" in st
+                       for st in s.collapsed())
+
+    def test_span_prefix_tags_active_span(self):
+        ready, stop = threading.Event(), threading.Event()
+        with Telemetry() as tel:
+            def work():
+                with obs.span("profiled.section"):
+                    _spin_in(ready, stop)
+
+            t = threading.Thread(target=work)
+            t.start()
+            ready.wait(5)
+            try:
+                with StackSampler(hz=500.0,
+                                  recorder=tel.recorder) as s:
+                    t0 = time.monotonic()
+                    while time.monotonic() - t0 < 5:
+                        if any(st.startswith("span:profiled.section;")
+                               for st in s.collapsed()):
+                            break
+                        time.sleep(0.01)
+            finally:
+                stop.set()
+                t.join()
+        tagged = [st for st in s.collapsed()
+                  if st.startswith("span:profiled.section;")]
+        assert tagged, "no sample carried the active span tag"
+
+    def test_reset_clears_tally(self):
+        with StackSampler(hz=500.0) as s:
+            t0 = time.monotonic()
+            while s.sample_count < 3 and time.monotonic() - t0 < 10:
+                time.sleep(0.01)
+        s.reset()
+        assert s.sample_count == 0
+        assert s.collapsed() == {}
+
+
+class TestWriteCollapsed:
+    def test_format_and_ordering(self, tmp_path):
+        tally = {"main;hot": 10, "main;cold": 2, "alt": 2}
+        path = tmp_path / "profile.txt"
+        n = write_collapsed(tally, path)
+        assert n == 3
+        lines = path.read_text().splitlines()
+        # sorted by count desc, then stack
+        assert lines[0] == "main;hot 10"
+        assert lines[1:] == ["alt 2", "main;cold 2"]
+
+    def test_accepts_file_object(self):
+        buf = io.StringIO()
+        assert write_collapsed({"a;b": 1}, buf) == 1
+        assert buf.getvalue() == "a;b 1\n"
+
+    def test_empty_tally(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        assert write_collapsed({}, path) == 0
+        assert path.read_text() == ""

@@ -1,0 +1,130 @@
+"""SLO tracker: good/bad classification, burn math, snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import QUANTILES, SLOTracker
+
+
+def _tracker(**kw):
+    return SLOTracker(MetricsRegistry(), **kw)
+
+
+class TestClassification:
+    def test_fast_ok_request_is_good(self):
+        t = _tracker(target_ms=100.0)
+        assert t.record(0.050) is True
+
+    def test_slow_request_is_bad_even_if_ok(self):
+        t = _tracker(target_ms=100.0)
+        assert t.record(0.500, ok=True) is False
+
+    def test_failed_request_is_bad_even_if_fast(self):
+        t = _tracker(target_ms=100.0)
+        assert t.record(0.001, ok=False) is False
+
+    def test_request_at_exactly_target_is_good(self):
+        t = _tracker(target_ms=100.0)
+        assert t.record(0.100) is True
+
+
+class TestBurnMath:
+    def test_burn_rate_one_when_error_budget_exactly_spent(self):
+        # goal 0.99 -> 1% budget; 1 bad in 100 burns exactly 1.0.
+        t = _tracker(target_ms=100.0, goal=0.99)
+        for _ in range(99):
+            t.record(0.010)
+        t.record(0.500)
+        snap = t.snapshot()
+        assert snap["burn_rate"] == pytest.approx(1.0)
+        assert snap["budget_remaining"] == pytest.approx(0.0)
+        assert snap["compliance"] == pytest.approx(0.99)
+
+    def test_burn_rate_scales_with_bad_fraction(self):
+        t = _tracker(target_ms=100.0, goal=0.99)
+        for _ in range(90):
+            t.record(0.010)
+        for _ in range(10):
+            t.record(0.500)
+        # 10% bad against a 1% budget: burning 10x too fast.
+        assert t.snapshot()["burn_rate"] == pytest.approx(10.0)
+        assert t.snapshot()["budget_remaining"] == 0.0
+
+    def test_all_good_means_zero_burn(self):
+        t = _tracker(target_ms=100.0, goal=0.99)
+        for _ in range(50):
+            t.record(0.010)
+        snap = t.snapshot()
+        assert snap["burn_rate"] == 0.0
+        assert snap["budget_remaining"] == pytest.approx(1.0)
+        assert snap["compliance"] == 1.0
+
+
+class TestSnapshot:
+    def test_empty_tracker_snapshot(self):
+        snap = _tracker().snapshot()
+        assert snap["total"] == 0
+        assert snap["good"] == 0 and snap["bad"] == 0
+        assert snap["compliance"] is None
+        assert snap["burn_rate"] is None
+        assert snap["p50_ms"] is None
+
+    def test_quantiles_reported_in_milliseconds(self):
+        t = _tracker(target_ms=1000.0)
+        for _ in range(100):
+            t.record(0.020)
+        snap = t.snapshot()
+        # 20ms observations land in a small bucket; the estimate must
+        # be on the millisecond scale, not the seconds scale.
+        assert 1.0 <= snap["p50_ms"] <= 100.0
+        assert snap["p99_ms"] >= snap["p50_ms"]
+
+    def test_snapshot_mirrors_config(self):
+        snap = _tracker(target_ms=42.0, goal=0.9).snapshot()
+        assert snap["target_ms"] == 42.0
+        assert snap["goal"] == 0.9
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        t = _tracker()
+        t.record(0.010)
+        t.record(9.0, ok=False)
+        json.dumps(t.snapshot())
+
+
+class TestGaugesAndInstruments:
+    def test_registry_carries_latency_histogram_and_gauges(self):
+        reg = MetricsRegistry()
+        t = SLOTracker(reg, target_ms=100.0)
+        for _ in range(10):
+            t.record(0.010)
+        snap = reg.snapshot()
+        assert "serve.latency" in snap["histograms"]
+        for qname, _ in QUANTILES:
+            assert snap["gauges"][f"serve.latency.{qname}"]["value"] \
+                is not None
+        assert snap["counters"]["serve.slo.good"]["value"] == 10
+        assert snap["gauges"]["serve.slo.target_ms"]["value"] == 100.0
+
+    def test_quantile_gauges_track_histogram_quantiles(self):
+        reg = MetricsRegistry()
+        t = SLOTracker(reg, target_ms=100.0)
+        for _ in range(100):
+            t.record(0.020)
+        snap = reg.snapshot()
+        for qname, q in QUANTILES:
+            assert snap["gauges"][f"serve.latency.{qname}"]["value"] \
+                == pytest.approx(t.quantile(q))
+
+
+class TestValidation:
+    def test_rejects_nonpositive_target(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="target"):
+                _tracker(target_ms=bad)
+
+    def test_rejects_goal_outside_open_interval(self):
+        for bad in (0.0, 1.0, 1.5, -0.1):
+            with pytest.raises(ValueError, match="goal"):
+                _tracker(goal=bad)

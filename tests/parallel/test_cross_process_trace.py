@@ -1,0 +1,177 @@
+"""Cross-process trace correlation through the span rings.
+
+Workers publish their phase spans into per-worker shared-memory rings;
+the dispatcher drains them after each ``run_phases`` into the ambient
+:class:`~repro.obs.tracing.TraceRecorder`.  These tests assert the
+merged timeline is *one* trace: worker spans carry the dispatcher's
+trace id, parent onto real ``executor.phase`` spans, and land on
+per-pid lanes in the Chrome export.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import build_fbmpk_operator
+from repro.matrices import poisson2d
+from repro.obs import Telemetry
+from repro.obs.spanring import KIND_NAMES, RingWriter, ring_shapes
+from repro.obs.tracing import chrome_trace_events
+
+N_WORKERS = int(os.environ.get("REPRO_PROC_WORKERS", "2"))
+WORKER_SPAN_NAMES = set(KIND_NAMES.values())
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced power sweep on the process backend; yields
+    ``(telemetry, op_pid_set)`` after the operator is closed."""
+    a = poisson2d(12, seed=3)
+    x = np.random.default_rng(7).standard_normal(a.n_rows)
+    op = build_fbmpk_operator(a, block_size=8, executor="processes",
+                              n_threads=N_WORKERS)
+    try:
+        with Telemetry() as tel:
+            op.power(x, 4)
+    finally:
+        op.close()
+    return tel
+
+
+def _worker_records(tel):
+    return [r for r in tel.recorder.records()
+            if r.name in WORKER_SPAN_NAMES]
+
+
+class TestMergedTrace:
+    def test_spans_from_at_least_two_worker_pids(self, traced_run):
+        recs = _worker_records(traced_run)
+        assert recs, "no worker spans were merged"
+        pids = {r.pid for r in recs}
+        assert None not in pids
+        assert len(pids) >= 2
+        assert os.getpid() not in pids
+
+    def test_all_worker_spans_share_dispatcher_trace_id(self,
+                                                        traced_run):
+        expected = f"{traced_run.recorder.trace_id:016x}"
+        recs = _worker_records(traced_run)
+        assert recs
+        assert {r.attrs["trace_id"] for r in recs} == {expected}
+
+    def test_worker_spans_parent_onto_phase_spans(self, traced_run):
+        phase_ids = {r.span_id for r in traced_run.recorder.records()
+                     if r.name == "executor.phase"}
+        assert phase_ids
+        for r in _worker_records(traced_run):
+            assert r.parent_id in phase_ids
+
+    def test_exec_and_wait_spans_both_present(self, traced_run):
+        names = {r.name for r in _worker_records(traced_run)}
+        assert names == WORKER_SPAN_NAMES
+
+    def test_exec_spans_carry_block_counts(self, traced_run):
+        execs = [r for r in _worker_records(traced_run)
+                 if r.name == "procexec.worker.exec"]
+        assert execs
+        assert all(r.attrs.get("n_blocks", 0) >= 1 for r in execs)
+
+    def test_worker_spans_fit_inside_the_trace(self, traced_run):
+        # Clock conversion sanity: merged spans use the dispatcher's
+        # clock, so they must land within the trace's overall window.
+        recs = traced_run.recorder.records()
+        t_lo = min(r.ts for r in recs)
+        t_hi = max(r.ts + r.dur for r in recs)
+        for r in _worker_records(traced_run):
+            assert t_lo <= r.ts <= r.ts + r.dur <= t_hi
+
+    def test_barrier_wait_histogram_recorded(self, traced_run):
+        hists = traced_run.metrics.snapshot()["histograms"]
+        assert "procexec.barrier_wait" in hists
+        assert hists["procexec.barrier_wait"]["count"] >= 1
+
+    def test_barrier_wait_exported_to_prometheus(self, traced_run):
+        from repro.obs.exporter import parse_prometheus, \
+            render_prometheus
+
+        fams = parse_prometheus(render_prometheus(traced_run.metrics))
+        assert "procexec_barrier_wait_seconds" in fams
+        assert fams["procexec_barrier_wait_seconds"]["type"] \
+            == "histogram"
+
+    def test_span_merge_counters(self, traced_run):
+        counters = traced_run.metrics.snapshot()["counters"]
+        assert counters["procexec.spans_merged"]["value"] \
+            == len(_worker_records(traced_run))
+
+    def test_heartbeat_and_liveness_gauges(self, traced_run):
+        gauges = traced_run.metrics.snapshot()["gauges"]
+        assert gauges["procexec.workers_alive"]["value"] == N_WORKERS
+        for i in range(N_WORKERS):
+            age = gauges[f"procexec.heartbeat_age_s.w{i}"]["value"]
+            assert age is not None and age >= 0.0
+
+
+class TestChromeExport:
+    def test_pid_lanes_and_process_names(self, traced_run):
+        trace = chrome_trace_events(traced_run.recorder)
+        events = trace["traceEvents"]
+        meta = [e for e in events if e.get("ph") == "M"
+                and e.get("name") == "process_name"]
+        names = {e["args"]["name"] for e in meta}
+        assert any(n.startswith("dispatcher") for n in names)
+        assert sum(n.startswith("worker") for n in names) >= 2
+
+    def test_worker_events_use_worker_pid(self, traced_run):
+        trace = chrome_trace_events(traced_run.recorder)
+        worker_pids = {r.pid for r in _worker_records(traced_run)}
+        event_pids = {e["pid"] for e in trace["traceEvents"]
+                      if e.get("name") in WORKER_SPAN_NAMES}
+        assert event_pids == worker_pids
+
+
+class TestNoTelemetryNoRecording:
+    def test_untraced_run_stays_silent(self):
+        # Without an active session the trace tuple is None: workers
+        # must not write ring records that a later session could drain.
+        a = poisson2d(10, seed=5)
+        x = np.random.default_rng(8).standard_normal(a.n_rows)
+        op = build_fbmpk_operator(a, block_size=8,
+                                  executor="processes",
+                                  n_threads=N_WORKERS)
+        try:
+            op.power(x, 2)  # untraced: nothing should be recorded
+            with Telemetry() as tel:
+                op.power(x, 2)
+        finally:
+            op.close()
+        recs = _worker_records(tel)
+        assert recs, "traced run produced no worker spans"
+        expected = f"{tel.recorder.trace_id:016x}"
+        assert {r.attrs["trace_id"] for r in recs} == {expected}
+
+
+class TestRingMechanics:
+    def test_ring_overwrite_reports_drops(self):
+        # A writer lapping the reader must surface a drop count, not
+        # silently replay stale spans.
+        import numpy as np
+
+        from repro.obs.spanring import KIND_EXEC, RingReader
+        from repro.obs.tracing import TraceRecorder
+
+        shp_i, shp_f, shp_n = ring_shapes(1, 4)
+        ints = np.zeros(shp_i, dtype=np.int64)
+        floats = np.zeros(shp_f, dtype=np.float64)
+        counts = np.zeros(shp_n, dtype=np.int64)
+        rec = TraceRecorder()
+        w = RingWriter(ints, floats, counts, 0)
+        for i in range(10):  # capacity 4 -> 6 dropped
+            w.record(KIND_EXEC, phase=i, color=0, n_blocks=1,
+                     parent_id=1, trace_id=rec.trace_id, sweep=-1,
+                     pid=123, t0=0.0, dur=0.001)
+        merged, dropped = RingReader(ints, floats, counts).drain(rec)
+        assert dropped == 6
+        assert merged == 4

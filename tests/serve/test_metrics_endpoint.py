@@ -1,0 +1,175 @@
+"""The serve stack's /metrics endpoint and SLO surfaces end to end.
+
+Starts a real :class:`SolveServer` with ``metrics_port=0`` (ephemeral),
+drives power traffic over TCP, scrapes the Prometheus endpoint with
+urllib and cross-checks the exposition against the ``stats`` and
+``metrics`` NDJSON ops — the same numbers must appear on every surface.
+"""
+
+import asyncio
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.exporter import parse_prometheus
+from repro.serve import ServeConfig, SolveServer, SolveService
+from repro.serve.spec import MatrixSpec
+
+SPEC = MatrixSpec(standin="cant", rows=120, seed=0)
+
+
+async def _send(writer, obj):
+    writer.write(json.dumps(obj).encode() + b"\n")
+    await writer.drain()
+
+
+async def _rpc(reader, writer, obj, timeout=30):
+    await _send(writer, obj)
+    line = await asyncio.wait_for(reader.readline(), timeout)
+    assert line, "server closed the connection"
+    return json.loads(line)
+
+
+def _power_req(i, x, k=2):
+    return {"id": f"r{i}", "op": "power", "k": k,
+            "matrix": {"standin": SPEC.standin, "rows": SPEC.rows,
+                       "seed": SPEC.seed},
+            "x": x.tolist()}
+
+
+def _scrape(port):
+    url = f"http://127.0.0.1:{port}/metrics"
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.read().decode()
+
+
+def _sample_value(fams, family, sample=None):
+    sample = sample or family
+    for sname, _labels, value in fams[family]["samples"]:
+        if sname == sample:
+            return value
+    raise AssertionError(f"{sample} not in {family}")
+
+
+@pytest.fixture(scope="module")
+def endpoint_run():
+    """One server lifetime: N power requests over TCP, scrapes taken
+    before and after traffic, stats/metrics ops captured alongside."""
+
+    async def main():
+        cfg = ServeConfig(tune="off", gather_window_s=0.02,
+                          metrics_port=0, slo_target_ms=60_000.0)
+        server = SolveServer(SolveService(cfg), port=0)
+        await server.start()
+        metrics_port = server.metrics_port
+        assert metrics_port not in (None, 0)
+        before = _scrape(metrics_port)
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port)
+        try:
+            rng = np.random.default_rng(3)
+            n_req = 5
+            for i in range(n_req):
+                resp = await _rpc(reader, writer, _power_req(
+                    i, rng.standard_normal(SPEC.rows)))
+                assert resp["ok"], resp
+            stats = (await _rpc(reader, writer,
+                                {"id": "s", "op": "stats"}))["stats"]
+            metrics_op = await _rpc(reader, writer,
+                                    {"id": "m", "op": "metrics"})
+            after = _scrape(metrics_port)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            await server.aclose()
+        return {"before": before, "after": after, "stats": stats,
+                "metrics_op": metrics_op, "n_req": n_req,
+                "metrics_port": metrics_port}
+
+    tel = obs.Telemetry()
+    tel.activate()
+    try:
+        return asyncio.run(main())
+    finally:
+        tel.deactivate()
+
+
+class TestScrape:
+    def test_exposition_is_strictly_valid(self, endpoint_run):
+        parse_prometheus(endpoint_run["before"])
+        parse_prometheus(endpoint_run["after"])
+
+    def test_serve_requests_total_increments(self, endpoint_run):
+        fams_after = parse_prometheus(endpoint_run["after"])
+        after = _sample_value(fams_after, "serve_requests_total")
+        fams_before = parse_prometheus(endpoint_run["before"])
+        before = (_sample_value(fams_before, "serve_requests_total")
+                  if "serve_requests_total" in fams_before else 0.0)
+        # 5 power + the stats and metrics ops themselves
+        assert after >= before + endpoint_run["n_req"]
+
+    def test_latency_histogram_counts_power_requests(self,
+                                                     endpoint_run):
+        fams = parse_prometheus(endpoint_run["after"])
+        count = _sample_value(fams, "serve_latency_seconds",
+                              "serve_latency_seconds_count")
+        assert count == endpoint_run["n_req"]
+
+    def test_quantile_gauges_exported(self, endpoint_run):
+        fams = parse_prometheus(endpoint_run["after"])
+        for q in ("p50", "p95", "p99"):
+            assert f"serve_latency_{q}_seconds" in fams
+
+    def test_slo_burn_counters_exported(self, endpoint_run):
+        fams = parse_prometheus(endpoint_run["after"])
+        assert _sample_value(fams, "serve_slo_good_total") \
+            == endpoint_run["n_req"]
+        assert _sample_value(fams, "serve_slo_bad_total") == 0.0
+
+
+class TestCrossSurfaceConsistency:
+    def test_stats_and_metrics_ops_agree_on_slo(self, endpoint_run):
+        slo_stats = endpoint_run["stats"]["slo"]
+        slo_op = endpoint_run["metrics_op"]["slo"]
+        assert slo_stats == slo_op
+
+    def test_scrape_agrees_with_stats_slo(self, endpoint_run):
+        slo = endpoint_run["stats"]["slo"]
+        fams = parse_prometheus(endpoint_run["after"])
+        assert _sample_value(fams, "serve_slo_good_total") \
+            == slo["good"]
+        assert _sample_value(fams, "serve_slo_bad_total") == slo["bad"]
+        burn = _sample_value(fams, "serve_slo_burn_rate")
+        assert burn == pytest.approx(slo["burn_rate"])
+        p50_s = _sample_value(fams, "serve_latency_p50_seconds")
+        assert p50_s * 1000.0 == pytest.approx(slo["p50_ms"])
+
+    def test_metrics_op_carries_full_snapshot(self, endpoint_run):
+        snap = endpoint_run["metrics_op"]["metrics"]
+        assert snap["counters"]["serve.requests"]["value"] >= \
+            endpoint_run["n_req"]
+        assert "serve.latency" in snap["histograms"]
+
+
+class TestLifecycle:
+    def test_endpoint_closes_with_server(self, endpoint_run):
+        with pytest.raises((ConnectionError, OSError)):
+            _scrape(endpoint_run["metrics_port"])
+
+    def test_no_metrics_port_means_no_endpoint(self):
+        async def main():
+            cfg = ServeConfig(tune="off")
+            server = SolveServer(SolveService(cfg), port=0)
+            await server.start()
+            try:
+                return server.metrics_port
+            finally:
+                await server.aclose()
+
+        assert asyncio.run(main()) is None

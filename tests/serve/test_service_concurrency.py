@@ -173,7 +173,13 @@ def test_lru_eviction_mid_flight_completes_and_then_closes():
         # A's request sits in its gather window while B's first request
         # builds a new operator and evicts A's.
         ta = asyncio.ensure_future(svc.power(SPEC, xa, 3))
-        await asyncio.sleep(0.02)
+        # Bounded wait for A's operator to register: a fixed sleep
+        # races the build on a loaded host, and a StopIteration from
+        # next() inside a coroutine surfaces as an opaque RuntimeError.
+        for _ in range(1000):
+            if svc.registry._entries:
+                break
+            await asyncio.sleep(0.005)
         entry_a = next(iter(svc.registry._entries.values()))
         (ya, _), (yb, _) = await asyncio.gather(
             ta, svc.power(spec_b, xb, 3))
