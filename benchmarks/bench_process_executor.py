@@ -3,16 +3,26 @@
 The experiment the shared-memory backend exists for: CPython's GIL
 serialises the numpy-slicing portions of the threaded block kernels, so
 on a multi-core host the process executor — same schedule, same
-arithmetic, zero-copy operands in ``multiprocessing.shared_memory`` —
-should win on the small-block schedules where per-task Python overhead
-dominates.  Every timed run is checked bit-for-bit against the serial
-fused pipeline first; a fast wrong answer is worth nothing.
+arithmetic, zero-copy operands in ``multiprocessing.shared_memory``,
+one enqueue per phase per worker — should win on the small-block
+schedules where per-task overhead dominates.  Every timed run is
+checked bit-for-bit against the serial fused pipeline first, under
+**all three assignment policies** for the process backend; a fast wrong
+answer is worth nothing.
 
 Numbers land in ``BENCH_process_executor.json`` at the repo root with
-enough host metadata (``cpu_count``, platform) to interpret them: the
-1.5x-over-threads acceptance bound is only asserted on hosts with at
-least 4 cores, because on a 1-core container *no* parallel backend can
-beat anything and the recorded numbers just document the overheads.
+enough host metadata to interpret them.  Speedup bounds are asserted
+from the CPUs this process may actually *use* —
+``len(os.sched_getaffinity(0))``, not ``os.cpu_count()``: a container
+pinned to one core of a 64-core box reports 64 CPUs but cannot run two
+workers concurrently, and asserting a parallel speedup there is
+meaningless.  With affinity < 2 every bound is refused and the report
+flags the numbers as overhead documentation only:
+
+* affinity >= 2: processes must reach at least 0.95x the thread
+  backend at block >= 64 (batched dispatch closes the messaging gap);
+* affinity >= 4: processes must additionally beat threads 1.5x at
+  block <= 64 (the GIL-bound regime the backend exists for).
 """
 
 import json
@@ -33,10 +43,24 @@ REPEATS = 5
 WARMUP = 1
 MATRIX = "cant"
 BLOCK_SIZES = [16, 64, 256]
-N_WORKERS = max(2, min(4, os.cpu_count() or 1))
-#: The speedup bound is only meaningful where the host can actually run
-#: the workers concurrently.
-MULTICORE = (os.cpu_count() or 1) >= 4
+POLICIES = ["round_robin", "lpt", "dynamic"]
+
+
+def _affinity() -> int:
+    """CPUs this process can actually schedule onto (affinity mask),
+    falling back to ``cpu_count`` where the API is missing."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+AFFINITY = _affinity()
+N_WORKERS = max(2, min(4, AFFINITY))
+#: Speedup bounds are only meaningful where the host can actually run
+#: the workers concurrently; with affinity < 2 they are refused.
+PARITY_BOUND = AFFINITY >= 2    # processes >= 0.95x threads, block >= 64
+MULTICORE = AFFINITY >= 4       # processes >= 1.5x threads, block <= 64
 
 ROOT = Path(__file__).resolve().parent.parent
 RESULTS_PATH = ROOT / "BENCH_process_executor.json"
@@ -74,7 +98,14 @@ def test_processes_vs_threads_vs_serial(block_size, rng):
     try:
         y_serial = serial_op.power(x, K)
         np.testing.assert_array_equal(threads_op.power(x, K), y_serial)
-        np.testing.assert_array_equal(procs_op.power(x, K), y_serial)
+        # Bitwise identity must hold under every assignment policy: the
+        # batched claim order is a per-colour permutation, and
+        # same-colour blocks touch disjoint elements.
+        for policy in POLICIES:
+            procs_op.configure_executor(assign_policy=policy)
+            np.testing.assert_array_equal(procs_op.power(x, K), y_serial,
+                                          err_msg=f"policy={policy}")
+        procs_op.configure_executor(assign_policy="lpt")
 
         serial_s, threads_s, procs_s = _timed(
             lambda: serial_op.power(x, K),
@@ -91,12 +122,23 @@ def test_processes_vs_threads_vs_serial(block_size, rng):
             "speedup_vs_serial": serial_s / procs_s,
             "speedup_vs_threads": threads_s / procs_s,
             "barriers": stats.barriers,
+            "enqueues": stats.enqueues,
+            "steals": stats.steals,
             "efficiency": stats.efficiency,
+            "identical_policies": POLICIES,
         }
+        # One enqueue per phase per worker: the tentpole invariant,
+        # asserted on every host (it is a counting fact, not a timing).
+        assert stats.enqueues == stats.barriers * N_WORKERS
+        if PARITY_BOUND and block_size >= 64:
+            # Batched dispatch acceptance: at block >= 64 the process
+            # backend must be within 5% of the thread backend.
+            assert procs_s * 0.95 <= threads_s, (
+                f"block={block_size}: processes {procs_s * 1e3:.3f} ms "
+                f"below 0.95x of threads {threads_s * 1e3:.3f} ms")
         if MULTICORE and block_size <= 64:
-            # The tentpole's acceptance bound: with real cores and a
-            # small-block schedule, shared-memory processes must beat
-            # the GIL-bound thread pool clearly.
+            # With real cores and a small-block schedule, shared-memory
+            # processes must beat the GIL-bound thread pool clearly.
             assert procs_s * 1.5 <= threads_s, (
                 f"block={block_size}: processes {procs_s * 1e3:.3f} ms "
                 f"not 1.5x faster than threads {threads_s * 1e3:.3f} ms")
@@ -117,28 +159,36 @@ def test_write_results():
         "n_workers": N_WORKERS,
         "host": {
             "cpu_count": os.cpu_count(),
+            "affinity": AFFINITY,
             "platform": platform.platform(),
             "python": platform.python_version(),
+            "parity_bound_asserted": PARITY_BOUND,
             "multicore_bound_asserted": MULTICORE,
         },
         "block_sizes": _RESULTS,
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2,
                                        sort_keys=True) + "\n")
+    bounds = ("affinity<2: no speedup bounds asserted, numbers document "
+              "overheads only" if not PARITY_BOUND else
+              f"bounds asserted at affinity={AFFINITY}")
     rows = [[bs, r["rows"],
              f"{r['serial_s'] * 1e3:.3f}", f"{r['threads_s'] * 1e3:.3f}",
              f"{r['processes_s'] * 1e3:.3f}",
              f"{r['speedup_vs_serial']:.2f}x",
              f"{r['speedup_vs_threads']:.2f}x",
+             r["enqueues"], r["steals"],
              f"{r['efficiency']:.1%}"]
             for bs, r in _RESULTS.items()]
     table = format_table(
         ["block", "rows", "serial (ms)", "threads (ms)", "processes (ms)",
-         "vs serial", "vs threads", "proc efficiency"],
+         "vs serial", "vs threads", "enqueues", "steals",
+         "proc efficiency"],
         rows,
         title=f"A^{K} x executor comparison, {MATRIX} stand-in, "
-              f"{N_WORKERS} workers, {os.cpu_count()} cores "
-              f"(trimmed mean of {REPEATS})")
+              f"{N_WORKERS} workers, affinity {AFFINITY} of "
+              f"{os.cpu_count()} CPUs ({bounds}; "
+              f"trimmed mean of {REPEATS})")
     write_report("process_executor", table)
     print()
     print(table)

@@ -176,6 +176,9 @@ def cmd_power(args) -> int:
     counter = None
     if getattr(args, "workers", None) is not None:
         args.threads = args.workers
+    pin_workers = {"auto": None, "on": True, "off": False}[
+        getattr(args, "pin_workers", "auto")]
+    claim_chunk = getattr(args, "claim_chunk", None)
     if args.operator:
         op = FBMPKOperator.load(args.operator, backend=args.backend)
         n = op.n
@@ -191,7 +194,9 @@ def cmd_power(args) -> int:
             op.configure_executor(executor=args.executor,
                                   n_threads=args.threads,
                                   assign_policy=args.policy,
-                                  on_failure=args.on_failure)
+                                  on_failure=args.on_failure,
+                                  claim_chunk=claim_chunk,
+                                  pin_workers=pin_workers)
         elif getattr(args, "tuned", False):
             from . import tune
 
@@ -206,7 +211,9 @@ def cmd_power(args) -> int:
                                       executor=args.executor,
                                       n_threads=args.threads,
                                       assign_policy=args.policy,
-                                      on_failure=args.on_failure)
+                                      on_failure=args.on_failure,
+                                      claim_chunk=claim_chunk,
+                                      pin_workers=pin_workers)
         counter = KernelCounter()
         y = op.power(x, args.k, counter=counter,
                      check_finite=args.check_finite)
@@ -232,6 +239,7 @@ def cmd_power(args) -> int:
         if stats is not None:
             print(f"executor={op.executor} n_workers={stats.n_threads} "
                   f"policy={stats.policy}: {stats.barriers} barriers, "
+                  f"{stats.enqueues} enqueues, {stats.steals} steals, "
                   f"phase wall {stats.total_wall_s * 1e3:.2f} ms, "
                   f"busy {stats.busy_s * 1e3:.2f} ms, "
                   f"efficiency {stats.efficiency:.1%}")
@@ -477,6 +485,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", default="lpt",
                    choices=["round_robin", "lpt", "dynamic"],
                    help="block-to-thread assignment policy")
+    p.add_argument("--claim-chunk", type=int, default=None,
+                   help="blocks a worker claims per work-stealing "
+                        "cursor round-trip in the batched dispatch "
+                        "path (default: auto-sized per phase)")
+    p.add_argument("--pin-workers", default="auto",
+                   choices=["auto", "on", "off"],
+                   help="deterministic best-effort CPU pinning for "
+                        "process-pool workers (auto: only on "
+                        "multi-CPU hosts)")
     p.add_argument("--on-failure", default="raise",
                    choices=["raise", "fallback_serial"],
                    help="what a crashed parallel phase does: raise a "

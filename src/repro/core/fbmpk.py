@@ -42,6 +42,7 @@ from ..parallel.executor import (
     ThreadedPhaseExecutor,
     check_phases,
 )
+from ..parallel.dispatch import DescriptorBatch
 from ..parallel.procexec import ProcessPhaseExecutor
 from ..robust.validate import ensure_finite
 from ..parallel.scheduler import (
@@ -486,12 +487,21 @@ class _BlockKernel:
 
 @dataclass
 class _ThreadedState:
-    """Lazily built artefacts of the ``"threads"`` execution backend."""
+    """Lazily built artefacts of the ``"threads"`` execution backend.
+
+    The phase schedule is packed once into :class:`DescriptorBatch`
+    arrays (the same plan representation the process backend registers
+    in its arena); ``fw_kernels``/``bw_kernels`` are lists aligned with
+    the batch's global descriptor order, so the claim loop indexes them
+    directly.
+    """
 
     fw_phases: List[Phase]
     bw_phases: List[Phase]
-    fw_kernels: Dict[BlockTask, _BlockKernel]
-    bw_kernels: Dict[BlockTask, _BlockKernel]
+    fw_batch: DescriptorBatch
+    bw_batch: DescriptorBatch
+    fw_kernels: List[_BlockKernel]
+    bw_kernels: List[_BlockKernel]
     pool: ThreadedPhaseExecutor
 
 
@@ -502,11 +512,15 @@ class _ProcState:
     The pool owns the shared-memory arena holding the triangles and the
     working buffers; the operator's ``_xy_buf``/``_tmp_buf`` are bound
     to the arena's segments while this state is live, so the sweeps
-    write straight into memory every worker has mapped.
+    write straight into memory every worker has mapped.  ``fw_plan``/
+    ``bw_plan`` are the registered descriptor-plan slots both the
+    vector and block sweeps dispatch through.
     """
 
     fw_phases: List[Phase]
     bw_phases: List[Phase]
+    fw_plan: int
+    bw_plan: int
     pool: ProcessPhaseExecutor
 
 
@@ -558,6 +572,8 @@ class FBMPKOperator:
         phase_plan: Optional[PhasePlan] = None,
         on_failure: str = "raise",
         hang_timeout: Optional[float] = None,
+        claim_chunk: Optional[int] = None,
+        pin_workers: Optional[bool] = None,
     ) -> None:
         if validate and not check_sweep_groups(part, groups):
             raise ValueError("invalid sweep groups for this partition")
@@ -586,6 +602,15 @@ class FBMPKOperator:
         #: process executor's per-heartbeat watchdog and the threaded
         #: executor's per-phase barrier timeout (None disables both).
         self.hang_timeout = hang_timeout
+        if claim_chunk is not None and claim_chunk < 1:
+            raise ValueError("claim_chunk must be >= 1 (or None)")
+        #: Blocks a worker claims per work-stealing cursor round-trip in
+        #: the batched dispatch path (None auto-sizes per phase); the
+        #: tuner searches this jointly with executor and block size.
+        self.claim_chunk = claim_chunk
+        #: Deterministic best-effort worker CPU pinning for the process
+        #: backend (None = auto: pin only on multi-CPU hosts).
+        self.pin_workers = pin_workers
         #: :class:`~repro.parallel.executor.ExecutionStats` of the most
         #: recent ``power`` call that ran on the threaded backend; None
         #: after serial runs.
@@ -628,6 +653,8 @@ class FBMPKOperator:
         assign_policy: Optional[str] = None,
         on_failure: Optional[str] = None,
         hang_timeout: object = _KEEP,
+        claim_chunk: object = _KEEP,
+        pin_workers: object = _KEEP,
     ) -> "FBMPKOperator":
         """Re-point the operator at a different execution backend.
 
@@ -657,11 +684,25 @@ class FBMPKOperator:
                 raise ValueError(
                     "hang_timeout must be positive (or None)")
             self.hang_timeout = hang_timeout
+        if claim_chunk is not _KEEP:
+            # None is meaningful (auto-size per phase), same sentinel
+            # discipline as hang_timeout.
+            if claim_chunk is not None and claim_chunk < 1:
+                raise ValueError("claim_chunk must be >= 1 (or None)")
+            self.claim_chunk = claim_chunk
+        if pin_workers is not _KEEP:
+            self.pin_workers = pin_workers
         if self._threaded is not None:
-            self._threaded.pool.close()
-            self._threaded.pool = ThreadedPhaseExecutor(
-                self.n_threads, self.assign_policy,
-                hang_timeout=self.hang_timeout)
+            if assign_policy is not None:
+                # Batch order depends on the policy; rebuild the plan
+                # (and the aligned kernel lists) from scratch.
+                self._threaded = None
+            else:
+                self._threaded.pool.close()
+                self._threaded.pool = ThreadedPhaseExecutor(
+                    self.n_threads, self.assign_policy,
+                    hang_timeout=self.hang_timeout,
+                    claim_chunk=self.claim_chunk)
         self._close_procs()  # next processes call rebuilds with new knobs
         return self
 
@@ -688,16 +729,28 @@ class FBMPKOperator:
         first threaded use (lazy so serial operators pay nothing)."""
         if self._threaded is None:
             fw, bw = self._built_phase_plan()
-            fw_kernels = {t: _BlockKernel(self.part.lower, t)
-                          for ph in fw for t in ph.tasks}
-            bw_kernels = {t: _BlockKernel(self.part.upper, t)
-                          for ph in bw for t in ph.tasks}
+            fw_batch = DescriptorBatch.from_phases(fw, self.assign_policy)
+            bw_batch = DescriptorBatch.from_phases(bw, self.assign_policy)
+            fw_kernels = [
+                _BlockKernel(self.part.lower,
+                             BlockTask(int(fw_batch.starts[g]),
+                                       int(fw_batch.stops[g]),
+                                       int(fw_batch.nnz[g])))
+                for g in range(fw_batch.n_blocks)]
+            bw_kernels = [
+                _BlockKernel(self.part.upper,
+                             BlockTask(int(bw_batch.starts[g]),
+                                       int(bw_batch.stops[g]),
+                                       int(bw_batch.nnz[g])))
+                for g in range(bw_batch.n_blocks)]
             self._threaded = _ThreadedState(
                 fw_phases=fw, bw_phases=bw,
+                fw_batch=fw_batch, bw_batch=bw_batch,
                 fw_kernels=fw_kernels, bw_kernels=bw_kernels,
                 pool=ThreadedPhaseExecutor(self.n_threads,
                                            self.assign_policy,
-                                           hang_timeout=self.hang_timeout))
+                                           hang_timeout=self.hang_timeout,
+                                           claim_chunk=self.claim_chunk))
         return self._threaded
 
     def _ensure_procs(self) -> _ProcState:
@@ -713,8 +766,14 @@ class FBMPKOperator:
             pool = ProcessPhaseExecutor(
                 self.part, n_workers=self.n_threads,
                 policy=self.assign_policy,
-                hang_timeout=self.hang_timeout)
-            self._procs = _ProcState(fw_phases=fw, bw_phases=bw, pool=pool)
+                hang_timeout=self.hang_timeout,
+                claim_chunk=self.claim_chunk,
+                pin_workers=self.pin_workers)
+            self._procs = _ProcState(
+                fw_phases=fw, bw_phases=bw,
+                fw_plan=pool.register_phases(fw),
+                bw_plan=pool.register_phases(bw),
+                pool=pool)
         self._xy_buf = self._procs.pool.xy
         self._tmp_buf = self._procs.pool.tmp
         self._shm_bound = True
@@ -990,13 +1049,13 @@ class FBMPKOperator:
             with obs.span("fbmpk.sweep", sweep="forward",
                           power_step=power + 1):
                 if threaded:
-                    state.pool.run_phases(
-                        state.fw_phases,
-                        lambda t: state.fw_kernels[t].forward(XY, tmp, d),
+                    state.pool.run_batched(
+                        state.fw_batch,
+                        lambda g: state.fw_kernels[g].forward(XY, tmp, d),
                         stats)
                 elif procs:
-                    pstate.pool.run_phases(pstate.fw_phases, "forward",
-                                           stats)
+                    pstate.pool.run_batched(pstate.fw_plan, "forward",
+                                            stats)
                 else:
                     self._forward_sweep(XY, tmp, d, counter)
                 if (threaded or procs) and counter:
@@ -1011,13 +1070,13 @@ class FBMPKOperator:
             with obs.span("fbmpk.sweep", sweep="backward",
                           power_step=power + 1):
                 if threaded:
-                    state.pool.run_phases(
-                        state.bw_phases,
-                        lambda t: state.bw_kernels[t].backward(XY, tmp),
+                    state.pool.run_batched(
+                        state.bw_batch,
+                        lambda g: state.bw_kernels[g].backward(XY, tmp),
                         stats)
                 elif procs:
-                    pstate.pool.run_phases(pstate.bw_phases, "backward",
-                                           stats)
+                    pstate.pool.run_batched(pstate.bw_plan, "backward",
+                                            stats)
                 else:
                     self._backward_sweep(XY, tmp, counter)
                 if (threaded or procs) and counter:
@@ -1250,15 +1309,15 @@ class FBMPKOperator:
         for _ in range(k // 2):
             with obs.span("fbmpk.sweep", sweep="forward",
                           power_step=stage + 1):
-                pstate.pool.run_phases(pstate.fw_phases, "forward_block",
-                                       stats)
+                pstate.pool.run_batched(pstate.fw_plan, "forward_block",
+                                        stats)
                 if counter:
                     counter.count_l(self.part.lower.nnz,
                                     self.part.lower.nnz)
             with obs.span("fbmpk.sweep", sweep="backward",
                           power_step=stage + 2):
-                pstate.pool.run_phases(pstate.bw_phases, "backward_block",
-                                       stats)
+                pstate.pool.run_batched(pstate.bw_plan, "backward_block",
+                                        stats)
                 if counter:
                     counter.count_u(self.part.upper.nnz,
                                     self.part.upper.nnz)
@@ -1345,7 +1404,9 @@ class FBMPKOperator:
     def load(cls, path, backend: Backend = "numpy",
              executor: ExecutorKind = "serial",
              n_threads: Optional[int] = None,
-             assign_policy: str = "lpt") -> "FBMPKOperator":
+             assign_policy: str = "lpt",
+             claim_chunk: Optional[int] = None,
+             pin_workers: Optional[bool] = None) -> "FBMPKOperator":
         """Rebuild an operator persisted with :meth:`save`.
 
         The block-phase plan is not persisted; a loaded operator using
@@ -1369,7 +1430,8 @@ class FBMPKOperator:
             perm = z["perm"] if bool(z["has_perm"]) else None
         return cls(part, groups, perm=perm, validate=False, backend=backend,
                    executor=executor, n_threads=n_threads,
-                   assign_policy=assign_policy)
+                   assign_policy=assign_policy, claim_chunk=claim_chunk,
+                   pin_workers=pin_workers)
 
     def barriers_per_pair(self) -> int:
         """Synchronisation phases per forward+backward iteration — the
@@ -1388,6 +1450,8 @@ def build_fbmpk_operator(
     assign_policy: str = "lpt",
     on_failure: str = "raise",
     hang_timeout: Optional[float] = None,
+    claim_chunk: Optional[int] = None,
+    pin_workers: Optional[bool] = None,
 ) -> FBMPKOperator:
     """One-off preprocessing: split, (optionally) reorder, group, extract.
 
@@ -1432,7 +1496,9 @@ def build_fbmpk_operator(
                              assign_policy=assign_policy,
                              phase_plan=phase_plan,
                              on_failure=on_failure,
-                             hang_timeout=hang_timeout)
+                             hang_timeout=hang_timeout,
+                             claim_chunk=claim_chunk,
+                             pin_workers=pin_workers)
     if strategy == "levels":
         part = split_ldu(a)
         groups = make_sweep_groups_levels(part)
@@ -1440,5 +1506,7 @@ def build_fbmpk_operator(
                              executor=executor, n_threads=n_threads,
                              assign_policy=assign_policy,
                              on_failure=on_failure,
-                             hang_timeout=hang_timeout)
+                             hang_timeout=hang_timeout,
+                             claim_chunk=claim_chunk,
+                             pin_workers=pin_workers)
     raise ValueError(f"unknown strategy {strategy!r}")

@@ -100,6 +100,8 @@ def execution_cost_hint(
     n_groups: int = 1,
     n_threads: int = 1,
     barrier_weight: float = 2048.0,
+    executor: str = "serial",
+    enqueue_weight: float = 512.0,
 ) -> float:
     """Dimensionless modelled cost of one candidate execution plan.
 
@@ -111,6 +113,12 @@ def execution_cost_hint(
     ``barrier_weight`` matrix entries for each of the ``n_groups``
     barriers a sweep crosses — and is never used for correctness or
     acceptance decisions; only the measured wall clock decides those.
+
+    The batched dispatch path performs one enqueue per phase per
+    *worker* (never per block), so the ``"processes"`` executor adds a
+    cross-process messaging term of ``enqueue_weight`` entries per
+    enqueue — ``sweeps * n_groups * n_threads`` of them — on top of the
+    barrier term both parallel backends pay.
     """
     if n_threads < 1:
         raise ValueError("n_threads must be positive")
@@ -119,4 +127,6 @@ def execution_cost_hint(
     sweeps = plan.l_passes + plan.u_passes
     sync = sweeps * max(n_groups, 1) * barrier_weight if n_threads > 1 \
         else 0.0
+    if executor == "processes" and n_threads > 1:
+        sync += sweeps * max(n_groups, 1) * n_threads * enqueue_weight
     return traffic / n_threads + sync

@@ -12,9 +12,21 @@ Three layers (see DESIGN.md "Execution backends"):
 * :mod:`~repro.parallel.procexec` — a persistent *process* pool over
   :mod:`multiprocessing.shared_memory` (zero-copy matrix and iterate
   segments, descriptor-only dispatch) for the small-block regime where
-  CPython's GIL serialises the thread backend.
+  CPython's GIL serialises the thread backend;
+* :mod:`~repro.parallel.dispatch` — the batched descriptor-array plan
+  representation both real backends execute: one enqueue per phase per
+  worker, chunked work-stealing claims, and an atomic completion
+  counter in place of per-block acknowledgements.
 """
 
+from .dispatch import (
+    CompletionBarrier,
+    DescriptorBatch,
+    SharedCursor,
+    ThreadCursor,
+    default_claim_chunk,
+    pin_worker,
+)
 from .executor import (
     ExecutionStats,
     PhaseExecutionError,
@@ -48,4 +60,10 @@ __all__ = [
     "check_phases",
     "ProcessPhaseExecutor",
     "SharedArena",
+    "DescriptorBatch",
+    "ThreadCursor",
+    "SharedCursor",
+    "CompletionBarrier",
+    "default_claim_chunk",
+    "pin_worker",
 ]

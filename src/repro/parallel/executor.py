@@ -59,6 +59,7 @@ from .. import obs
 from ..robust.errors import PhaseExecutionError
 from ..robust.faults import fire_timed as _fire_fault_timed
 from ..sparse.csr import CSRMatrix
+from .dispatch import DescriptorBatch, ThreadCursor, default_claim_chunk
 from .scheduler import BlockTask, Phase, assign_tasks
 
 __all__ = [
@@ -71,6 +72,10 @@ __all__ = [
 ]
 
 TaskRunner = Callable[[BlockTask], None]
+
+#: Batched-mode task runner: called with a *global descriptor index*
+#: into the :class:`~repro.parallel.dispatch.DescriptorBatch`.
+DescRunner = Callable[[int], None]
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,11 @@ class ExecutionStats:
     phases: List[PhaseRecord] = field(default_factory=list)
     thread_busy_s: List[float] = field(default_factory=list)
     barriers: int = 0
+    #: Dispatch messages sent (batched path: one per phase per worker;
+    #: legacy path leaves this at 0 — it predates the counter).
+    enqueues: int = 0
+    #: Cursor chunk claims performed by workers (batched path only).
+    steals: int = 0
 
     def __post_init__(self) -> None:
         if not self.thread_busy_s:
@@ -253,7 +263,8 @@ class ThreadedPhaseExecutor:
     def __init__(self, n_threads: Optional[int] = None,
                  policy: str = "lpt",
                  on_failure: str = "raise",
-                 hang_timeout: Optional[float] = None) -> None:
+                 hang_timeout: Optional[float] = None,
+                 claim_chunk: Optional[int] = None) -> None:
         if n_threads is None:
             n_threads = os.cpu_count() or 1
         if n_threads < 1:
@@ -262,11 +273,17 @@ class ThreadedPhaseExecutor:
             raise ValueError(f"unknown on_failure policy {on_failure!r}")
         if hang_timeout is not None and hang_timeout <= 0:
             raise ValueError("hang_timeout must be positive (or None)")
+        if claim_chunk is not None and claim_chunk < 1:
+            raise ValueError("claim_chunk must be positive (or None)")
         self.n_threads = int(n_threads)
         self.policy = policy
         self.on_failure = on_failure
         self.hang_timeout = None if hang_timeout is None \
             else float(hang_timeout)
+        #: Blocks claimed per cursor round-trip in :meth:`run_batched`
+        #: (None — the default — uses the per-phase heuristic of
+        #: :func:`~repro.parallel.dispatch.default_claim_chunk`).
+        self.claim_chunk = None if claim_chunk is None else int(claim_chunk)
         self._pool: Optional[ThreadPoolExecutor] = None
 
     # -- lifecycle ------------------------------------------------------
@@ -465,6 +482,183 @@ class ThreadedPhaseExecutor:
                 nnz=phase.total_nnz, wall_s=elapsed))
             self._record_phase(phase, elapsed)
         return stats
+
+    # -- batched descriptor execution -----------------------------------
+    @staticmethod
+    def _run_claim_loop(batch: DescriptorBatch, cursor: ThreadCursor,
+                        hi: int, chunk: int, run_desc: DescRunner,
+                        busy: List[float], steals: List[int], slot: int,
+                        phase_index: int, color: int) -> None:
+        """One worker's share of a batched phase: claim descriptor
+        chunks from the shared cursor until the phase is drained.  A
+        worker that claims nothing (more workers than blocks) returns
+        immediately — its future is the barrier contribution."""
+        t0 = time.perf_counter()
+        fault_s = 0.0
+        try:
+            while True:
+                lo, end = cursor.claim(hi, chunk)
+                if lo >= end:
+                    break
+                steals[slot] += 1
+                for g in range(lo, end):
+                    start = int(batch.starts[g])
+                    stop = int(batch.stops[g])
+                    try:
+                        fault_s += _fire_fault_timed(
+                            "executor.task", phase_index=phase_index,
+                            color=color, start=start, stop=stop,
+                            thread=slot)
+                        run_desc(g)
+                    except BaseException as exc:
+                        task = BlockTask(start, stop, int(batch.nnz[g]))
+                        raise _TaskFailure(task, slot, exc) from exc
+        finally:
+            busy[slot] += time.perf_counter() - t0 - fault_s
+            if fault_s:
+                obs.add_counter("faults.injected_delay_s", fault_s,
+                                unit="s")
+
+    def run_serial_batch(self, batch: DescriptorBatch,
+                         run_desc: DescRunner,
+                         stats: Optional[ExecutionStats] = None
+                         ) -> ExecutionStats:
+        """Execute a descriptor batch in the calling thread, descriptors
+        in batch order — the reference :meth:`run_batched` must be
+        bit-identical to, and its ``fallback_serial`` target.  Busy time
+        accrues to bin 0."""
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_threads,
+                                   policy=self.policy)
+        for pi in range(batch.n_phases):
+            lo, hi = batch.phase_range(pi)
+            color = batch.phase_color(pi)
+            nnz = batch.phase_nnz(pi)
+            with obs.span("executor.phase", phase=pi, colour=color,
+                          n_tasks=hi - lo, nnz=nnz, mode="serial"):
+                t0 = time.perf_counter()
+                for g in range(lo, hi):
+                    run_desc(g)
+                elapsed = time.perf_counter() - t0
+            stats.thread_busy_s[0] += elapsed
+            stats.barriers += 1
+            stats.phases.append(PhaseRecord(
+                color=color, n_tasks=hi - lo, nnz=nnz, wall_s=elapsed))
+            self._record_batch_phase(hi - lo, nnz, elapsed)
+        return stats
+
+    def run_batched(
+        self,
+        batch: DescriptorBatch,
+        run_desc: DescRunner,
+        stats: Optional[ExecutionStats] = None,
+        reset: Optional[Callable[[], None]] = None,
+        claim_chunk: Optional[int] = None,
+    ) -> ExecutionStats:
+        """Execute a :class:`DescriptorBatch` with one pool submission
+        per worker per phase and a barrier after every phase.
+
+        The batched counterpart of :meth:`run_phases`: instead of
+        statically binning tasks at dispatch time, every worker claims
+        descriptor chunks from a shared :class:`ThreadCursor`, so load
+        balance is dynamic and dispatch cost is ``O(n_workers)`` per
+        phase regardless of block count.  ``run_desc`` is called once
+        per global descriptor index.  Failure semantics (drain, pool
+        shutdown, ``fallback_serial`` with ``reset``, hang timeout with
+        pool abandonment) match :meth:`run_phases`; the serial rerun
+        uses :meth:`run_serial_batch`, bit-identical because per-colour
+        block results are order-independent.
+        """
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_threads,
+                                   policy=self.policy)
+        snap = (len(stats.phases), stats.barriers,
+                list(stats.thread_busy_s), stats.enqueues, stats.steals)
+        pool = self._ensure_pool()
+        if claim_chunk is None:
+            claim_chunk = self.claim_chunk
+        cursor = ThreadCursor()
+        steals = [0] * self.n_threads
+        for pi in range(batch.n_phases):
+            lo, hi = batch.phase_range(pi)
+            color = batch.phase_color(pi)
+            nnz = batch.phase_nnz(pi)
+            with obs.span("executor.phase", phase=pi, colour=color,
+                          n_tasks=hi - lo, nnz=nnz, mode="threads"):
+                t0 = time.perf_counter()
+                failure: Optional[BaseException] = None
+                hung = False
+                if hi > lo:
+                    chunk = claim_chunk if claim_chunk is not None \
+                        else default_claim_chunk(hi - lo, self.n_threads)
+                    cursor.reset(lo)
+                    futures = [
+                        pool.submit(self._run_claim_loop, batch, cursor,
+                                    hi, chunk, run_desc,
+                                    stats.thread_busy_s, steals, i, pi,
+                                    color)
+                        for i in range(self.n_threads)
+                    ]
+                    stats.enqueues += self.n_threads
+                    obs.add_counter("executor.enqueues", self.n_threads)
+                    done, not_done = _futures_wait(
+                        futures, timeout=self.hang_timeout)
+                    for f in done:
+                        try:
+                            f.result()
+                        except BaseException as exc:
+                            if failure is None:
+                                failure = exc
+                    if not_done:
+                        hung = True
+                        obs.add_counter("executor.hung_phases")
+                        if failure is None:
+                            failure = PhaseExecutionError(
+                                f"{len(not_done)} worker(s) still "
+                                f"running {self.hang_timeout}s after "
+                                f"the phase barrier was entered",
+                                phase_index=pi, color=color)
+                elapsed = time.perf_counter() - t0
+            if failure is not None:
+                if hung:
+                    self._abandon_pool()
+                else:
+                    self.close()
+                obs.add_counter("executor.failed_phases")
+                if self.on_failure == "fallback_serial" \
+                        and reset is not None:
+                    stats.phases[:] = stats.phases[:snap[0]]
+                    stats.barriers = snap[1]
+                    stats.thread_busy_s[:] = snap[2]
+                    stats.enqueues = snap[3]
+                    stats.steals = snap[4]
+                    reset()
+                    return self.run_serial_batch(batch, run_desc, stats)
+                wrapped = self._wrap_failure(
+                    failure, pi, Phase(color=color, tasks=[]))
+                if wrapped is failure:
+                    raise wrapped
+                raise wrapped from (
+                    failure.cause if isinstance(failure, _TaskFailure)
+                    else failure)
+            stats.barriers += 1
+            stats.phases.append(PhaseRecord(
+                color=color, n_tasks=hi - lo, nnz=nnz, wall_s=elapsed))
+            self._record_batch_phase(hi - lo, nnz, elapsed)
+        phase_steals = sum(steals)
+        stats.steals += phase_steals
+        if phase_steals:
+            obs.add_counter("executor.steal_count", phase_steals)
+        return stats
+
+    @staticmethod
+    def _record_batch_phase(n_tasks: int, nnz: int, wall_s: float) -> None:
+        if obs.current() is None:
+            return
+        obs.add_counter("executor.barriers")
+        obs.add_counter("executor.tasks", n_tasks)
+        obs.add_counter("executor.phase_nnz", nnz)
+        obs.observe("executor.phase_wall_s", wall_s, unit="s")
 
     @staticmethod
     def _record_phase(phase: Phase, wall_s: float) -> None:

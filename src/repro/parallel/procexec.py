@@ -12,38 +12,53 @@ triangles (``indptr``/``indices``/``data`` of L and U), the diagonal,
 the BtB interleaved iterate buffer and the sweep temporary are placed in
 named shared-memory segments; every worker maps the same segments and
 builds plain numpy views over them.  Dispatching a phase therefore ships
-only tiny descriptors — ``(sweep, phase, colour, block row ranges,
-slot)`` tuples over a queue — never array payloads, exactly as the
-distributed matrix-power kernels of Alappat et al. ship halo metadata
-rather than matrix data.
+only a tiny ``(phase_idx, lo, hi)`` triple per worker over a queue —
+never array payloads, exactly as the distributed matrix-power kernels of
+Alappat et al. ship halo metadata rather than matrix data.
 
-Execution semantics are identical to the threaded backend: tasks are
-statically assigned to ``n_workers`` bins by
-:func:`~repro.parallel.scheduler.assign_tasks` (``round_robin``/
-``lpt``/``dynamic``), each non-empty bin is one message to its worker,
-and the phase returns only when every dispatched bin has acknowledged —
-the barrier.  Per-row arithmetic in the workers is the same
-``reduce_rows`` reduction the serial and threaded paths use, so results
-are **bit-identical** to a serial run.
+Dispatch is *batched* (see :mod:`repro.parallel.dispatch`): the phase
+schedule is packed once, at registration time, into contiguous
+descriptor arrays living in the arena, so a sweep performs one enqueue
+per phase per **worker** — a ``(phase_idx, lo, hi)`` triple — instead of
+one message per block.  Workers claim blocks from the shared descriptor
+table via a chunked work-stealing cursor (a lock-guarded fetch-and-add
+on an arena-resident counter), and the phase barrier is an atomic
+completion counter plus a single event: every worker decrements once
+after draining the cursor, the last one out flips the event the
+dispatcher is waiting on.  No per-block round-trips exist anywhere on
+the hot path.  The claim order within a phase is irrelevant for
+correctness — same-colour blocks touch disjoint vector elements, so
+per-colour block results are order-independent — and the per-row
+arithmetic in the workers is the same ``reduce_rows`` reduction the
+serial and threaded paths use, so results are **bit-identical** to a
+serial run.
 
 Failure containment matches :class:`ThreadedPhaseExecutor` and extends
 it with dead-worker *and hung-worker* detection: a worker exception
 crosses the process boundary as a pickled cause chained into a typed
-:class:`~repro.robust.errors.PhaseExecutionError`; a SIGKILL'd worker is
-detected by liveness polling while the barrier drains; and — when a
-``hang_timeout`` is set — a worker that is alive but silent (SIGSTOP'd,
-wedged in a syscall, spinning) is caught by a heartbeat watchdog.
-Workers stamp a shared-memory heartbeat slab before every block task;
-the dispatcher scans the slab while the barrier drains and SIGKILLs any
-pending worker whose heartbeat has not moved within ``hang_timeout``,
-converting the hang into the ordinary dead-worker failure.  Either way
-every still-live bin is awaited, the pool is torn down (a later call
-respawns it), and ``on_failure="fallback_serial"`` re-runs the phases in
-the calling process from a caller-provided ``reset`` snapshot.  The
-``"executor.task"`` chaos hook fires in the parent at dispatch time and
-``"procexec.heartbeat"`` fires in the worker per block (inherited across
-``fork``), so the fault-injection suite can stall a worker without
-stalling the parent.
+:class:`~repro.robust.errors.PhaseExecutionError` (the worker still
+decrements the completion counter in a ``finally``, so an erroring
+worker closes the barrier rather than wedging it); a SIGKILL'd worker
+never decrements, which the dispatcher's bounded event wait detects by
+liveness polling — it then arrives at the barrier on the dead worker's
+behalf; and — when a ``hang_timeout`` is set — a worker that is alive
+but silent (SIGSTOP'd, wedged in a syscall, spinning) is caught by a
+heartbeat watchdog.  Workers stamp a shared-memory heartbeat slab
+before every claimed block; the dispatcher scans the slab while waiting
+on the completion event and SIGKILLs any pending worker whose heartbeat
+has not moved within ``hang_timeout``, converting the hang into the
+ordinary dead-worker failure.  A worker killed *inside* the claim
+lock's critical section poisons the lock; every dispatcher acquisition
+is bounded, so a poisoned lock degrades into an ordinary phase failure
+(pool teardown replaces the lock) instead of a hang.  Either way the
+pool is torn down (a later call respawns it), and
+``on_failure="fallback_serial"`` re-runs the phases in the calling
+process from a caller-provided ``reset`` snapshot.  The
+``"executor.task"`` chaos hook fires in the parent at dispatch time
+(per block, only while an injector is active) and
+``"procexec.heartbeat"`` fires in the worker per block (inherited
+across ``fork``), so the fault-injection suite can stall a worker
+without stalling the parent.
 
 Shared-memory lifecycle is leak-proof: segments are unlinked by
 ``close()``/context-manager exit, by a ``weakref.finalize`` finaliser
@@ -78,11 +93,24 @@ from ..obs.spanring import (
     ring_shapes,
 )
 from ..robust.errors import PhaseExecutionError
+from ..robust.faults import active_injectors as _active_injectors
 from ..robust.faults import fire as _fire_fault
 from ..robust.faults import fire_timed as _fire_fault_timed
 from ..sparse.csr import reduce_rows
+from .dispatch import (
+    CTRL_CURSOR,
+    CTRL_EPOCH,
+    CTRL_ERRORS,
+    CTRL_REMAINING,
+    CTRL_SLOTS,
+    CompletionBarrier,
+    DescriptorBatch,
+    SharedCursor,
+    default_claim_chunk,
+    pin_worker,
+)
 from .executor import ExecutionStats, PhaseRecord
-from .scheduler import Phase, assign_tasks
+from .scheduler import Phase
 
 __all__ = [
     "SHM_PREFIX",
@@ -339,11 +367,21 @@ class _AttachedSegments:
 # ---------------------------------------------------------------------------
 def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
                  block_spec: Optional[Dict[str, _SegmentSpec]],
-                 inq, outq, task_hook) -> None:
-    """Worker loop: attach once, then execute ``(phase, colour, blocks,
-    slot, trace)`` descriptors until told to stop.  Never touches a
-    queue with array data — all arrays live in the mapped segments."""
+                 plan_specs: Dict[int, _SegmentSpec],
+                 inq, outq, lock, event, task_hook, pin) -> None:
+    """Worker loop: attach once, then serve ``(phase_idx, lo, hi)``
+    dispatch triples until told to stop, claiming block descriptors
+    from the shared plan tables via the chunked work-stealing cursor.
+    Never touches a queue with array data — all arrays (including the
+    descriptor tables) live in the mapped segments.
+
+    The completion protocol is unconditional: ``wbusy``/``wdone`` are
+    stamped and the barrier decremented in a ``finally``, so even an
+    erroring worker closes the phase barrier; only a killed worker
+    leaves ``remaining`` elevated, which the dispatcher's liveness scan
+    compensates for."""
     _disable_shm_tracking()
+    pin_worker(worker_id, pin)
     core = _AttachedSegments(core_spec)
     views = _Views(core.view)
     # The heartbeat slab rides in the core spec but is not a _Views tag:
@@ -351,6 +389,12 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
     # system-wide on the platforms with shared memory, so the parent can
     # compare these stamps against its own clock.
     hb = core.view("hb") if "hb" in core_spec else None
+    ctrl = core.view("ctrl")
+    wdone = core.view("wdone")
+    wsteal = core.view("wsteal")
+    wbusy = core.view("wbusy")
+    cursor = SharedCursor(ctrl, lock)
+    barrier = CompletionBarrier(ctrl, lock, event)
     # Span ring (same slab discipline): exec/wait spans written here are
     # merged into the dispatcher's trace after each barrier.  Recording
     # is gated on the descriptor carrying a trace tuple, so with
@@ -362,6 +406,7 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
     pid = os.getpid()
     t_idle0 = time.monotonic()
     blk: Optional[_AttachedSegments] = None
+    plans: Dict[int, Tuple[_AttachedSegments, np.ndarray, np.ndarray]] = {}
 
     def bind(spec: Optional[Dict[str, _SegmentSpec]]) -> None:
         nonlocal blk
@@ -373,6 +418,13 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
             blk = _AttachedSegments(spec)
             views.bind_block(blk.view("xyb"), blk.view("tmpb"))
 
+    def attach_plan(slot: int, spec: _SegmentSpec) -> None:
+        seg = _AttachedSegments({"rows": spec})
+        rows = seg.view("rows")
+        plans[slot] = (seg, rows[0], rows[1])
+
+    for plan_slot, plan_spec in plan_specs.items():
+        attach_plan(plan_slot, plan_spec)
     bind(block_spec)
     try:
         while True:
@@ -382,10 +434,14 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
             if msg[0] == "block":
                 bind(msg[1])
                 continue
-            # ("phase", sweep, phase_index, color, [(start, stop)...],
-            #  slot, trace) — trace is None (telemetry off in the
-            #  dispatcher) or (trace_id, parent_span_id).
-            _, sweep, pi, color, blocks, slot, trace = msg
+            if msg[0] == "plan":
+                attach_plan(msg[1], msg[2])
+                continue
+            # ("phase", sweep, plan, phase_index, color, lo, hi, epoch,
+            #  chunk, trace) — one triple per worker per phase; trace is
+            #  None (telemetry off) or (trace_id, parent_span_id).
+            _, sweep, slot, pi, color, lo, hi, epoch, chunk, trace = msg
+            _, starts, stops = plans[slot]
             t_mono0 = time.monotonic()
             sweep_idx = SWEEPS.index(sweep) if sweep in SWEEPS else -1
             if ring is not None and trace is not None:
@@ -394,43 +450,64 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
                 ring.record(KIND_WAIT, pi, color, 0, trace[1], trace[0],
                             sweep_idx, pid, t_idle0, t_mono0 - t_idle0)
             t0 = time.perf_counter()
+            claimed = 0
             start = stop = -1
             try:
-                for start, stop in blocks:
-                    if hb is not None:
-                        hb[worker_id] = time.monotonic()
-                    # Fires in the *worker* (injector inherited across
-                    # fork): a HangFault here freezes this heartbeat
-                    # while the parent stays live — the exact condition
-                    # the watchdog exists to catch.
-                    _fire_fault("procexec.heartbeat", worker=worker_id,
-                                phase_index=pi, color=color)
-                    if task_hook is not None:
-                        task_hook(sweep=sweep, phase_index=pi, color=color,
-                                  start=start, stop=stop, worker=slot)
-                    views.run(sweep, start, stop)
-                if ring is not None and trace is not None:
-                    # Written before the ack: the queue put/get pair
-                    # orders this record before the dispatcher's
+                while True:
+                    glo, gend = cursor.claim(hi, chunk)
+                    if glo >= gend:
+                        break
+                    wsteal[worker_id] += 1
+                    for g in range(glo, gend):
+                        start, stop = int(starts[g]), int(stops[g])
+                        if hb is not None:
+                            hb[worker_id] = time.monotonic()
+                        # Fires in the *worker* (injector inherited
+                        # across fork): a HangFault here freezes this
+                        # heartbeat while the parent stays live — the
+                        # exact condition the watchdog exists to catch.
+                        _fire_fault("procexec.heartbeat",
+                                    worker=worker_id, phase_index=pi,
+                                    color=color)
+                        if task_hook is not None:
+                            task_hook(sweep=sweep, phase_index=pi,
+                                      color=color, start=start,
+                                      stop=stop, worker=worker_id)
+                        views.run(sweep, start, stop)
+                        claimed += 1
+                if ring is not None and trace is not None and claimed:
+                    # Written before the barrier arrival: the lock/event
+                    # pair orders this record before the dispatcher's
                     # post-barrier drain.
-                    ring.record(KIND_EXEC, pi, color, len(blocks),
+                    ring.record(KIND_EXEC, pi, color, claimed,
                                 trace[1], trace[0], sweep_idx, pid,
                                 t_mono0, time.monotonic() - t_mono0)
-                t_idle0 = time.monotonic()
-                outq.put(("ok", slot, time.perf_counter() - t0))
             except BaseException as exc:  # noqa: BLE001 - forwarded
                 try:  # only picklable causes may cross the boundary
                     pickle.dumps(exc)
                 except Exception:
                     exc = RuntimeError(repr(exc))
-                if ring is not None and trace is not None:
-                    ring.record(KIND_EXEC, pi, color, len(blocks),
+                if ring is not None and trace is not None and claimed:
+                    ring.record(KIND_EXEC, pi, color, claimed,
                                 trace[1], trace[0], sweep_idx, pid,
                                 t_mono0, time.monotonic() - t_mono0)
+                # The error count crosses in shared memory (under the
+                # lock, hence ordered before this worker's arrival);
+                # the payload crosses on the queue.  The dispatcher
+                # drains exactly ctrl[CTRL_ERRORS] messages after the
+                # barrier closes.
+                with lock:
+                    ctrl[CTRL_ERRORS] += 1
+                outq.put(("err", worker_id, pi, color, (start, stop),
+                          exc))
+            finally:
+                wbusy[worker_id] += time.perf_counter() - t0
+                wdone[worker_id] = epoch
+                barrier.arrive()
                 t_idle0 = time.monotonic()
-                outq.put(("err", slot, pi, color, (start, stop), exc,
-                          time.perf_counter() - t0))
     finally:
+        for seg, _, _ in plans.values():
+            seg.close()
         if blk is not None:
             blk.close()
         core.close()
@@ -455,6 +532,9 @@ class _PoolState:
     workers: List
     inqs: List
     outq: object
+    lock: object
+    event: object
+    barrier: CompletionBarrier
 
 
 class ProcessPhaseExecutor:
@@ -492,13 +572,24 @@ class ProcessPhaseExecutor:
         block task (test instrumentation / in-worker chaos); the
         standard ``"executor.task"`` chaos hook additionally fires in
         the parent at dispatch time.
+    claim_chunk:
+        Blocks a worker claims per cursor round-trip (None — the
+        default — picks :func:`~repro.parallel.dispatch.default_claim_chunk`
+        per phase).  The tuner searches this jointly with executor and
+        block size.
+    pin_workers:
+        Deterministic CPU pinning for workers (``os.sched_setaffinity``,
+        best-effort).  None (default) pins only when at least two CPUs
+        are available; False never pins; True always tries.
     """
 
     def __init__(self, part, n_workers: Optional[int] = None,
                  policy: str = "lpt", on_failure: str = "raise",
                  mp_context: Optional[str] = None,
                  task_hook=None,
-                 hang_timeout: Optional[float] = None) -> None:
+                 hang_timeout: Optional[float] = None,
+                 claim_chunk: Optional[int] = None,
+                 pin_workers: Optional[bool] = None) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if n_workers < 1:
@@ -507,6 +598,8 @@ class ProcessPhaseExecutor:
             raise ValueError(f"unknown on_failure policy {on_failure!r}")
         if hang_timeout is not None and hang_timeout <= 0:
             raise ValueError("hang_timeout must be positive (or None)")
+        if claim_chunk is not None and claim_chunk < 1:
+            raise ValueError("claim_chunk must be >= 1 (or None)")
         _picklable_hook_check(task_hook)
         self.n_workers = int(n_workers)
         self.policy = policy
@@ -514,6 +607,8 @@ class ProcessPhaseExecutor:
         self.task_hook = task_hook
         self.hang_timeout = None if hang_timeout is None \
             else float(hang_timeout)
+        self.claim_chunk = None if claim_chunk is None else int(claim_chunk)
+        self.pin_workers = pin_workers
         if mp_context is None:
             mp_context = ("fork" if "fork" in mp.get_all_start_methods()
                           else "spawn")
@@ -530,9 +625,21 @@ class ProcessPhaseExecutor:
         self.arena.add("xy", np.zeros(2 * self.n, dtype=np.float64))
         self.arena.add("tmp", np.zeros(self.n, dtype=np.float64))
         # Heartbeat slab: workers stamp hb[i] = monotonic() per block;
-        # the watchdog in _await_acks compares against its own clock.
+        # the watchdog in _await_event compares against its own clock.
         self._hb = self.arena.add(
             "hb", np.zeros(self.n_workers, dtype=np.float64))
+        # Dispatch control slab (cursor / remaining / epoch / errors)
+        # plus per-worker completion-epoch, steal-count and busy-seconds
+        # slabs — the shared state behind the batched claim/complete
+        # protocol (see repro.parallel.dispatch).
+        self._ctrl = self.arena.add(
+            "ctrl", np.zeros(CTRL_SLOTS, dtype=np.int64))
+        self._wdone = self.arena.add(
+            "wdone", np.zeros(self.n_workers, dtype=np.int64))
+        self._wsteal = self.arena.add(
+            "wsteal", np.zeros(self.n_workers, dtype=np.int64))
+        self._wbusy = self.arena.add(
+            "wbusy", np.zeros(self.n_workers, dtype=np.float64))
         # Span rings: one single-writer ring per worker (see
         # repro.obs.spanring).  Plain int64/float64 arrays — the arena
         # spec round-trips dtype strings, which would mangle a
@@ -547,6 +654,18 @@ class ProcessPhaseExecutor:
         self._views: Optional[_Views] = _Views(self.arena.view)
         self._pool: Optional[_PoolState] = None
         self._blk_m: Optional[int] = None
+        # Registered descriptor plans: slot -> batch; the (2, n_blocks)
+        # row table of plan `slot` lives in arena segment f"plan{slot}".
+        self._plans: Dict[int, DescriptorBatch] = {}
+        self._next_plan = 0
+        # run_phases() compatibility cache: phases-list identity ->
+        # (strong ref, slot).  The strong ref keeps id() from being
+        # reused while the cache entry lives.
+        self._compat_plans: Dict[int, Tuple[object, int]] = {}
+        # Phase epoch: monotonically increasing across the executor's
+        # lifetime (survives pool respawns) so wdone stamps from a
+        # previous pool can never satisfy the current phase's scan.
+        self._epoch = 0
 
     # -- shared buffers -------------------------------------------------
     @property
@@ -591,20 +710,32 @@ class ProcessPhaseExecutor:
         if self._pool is None:
             core = {t: self.arena.spec[t]
                     for t in _Views.CORE_TAGS
-                    + ("hb", "sr_i", "sr_f", "sr_n")}
+                    + ("hb", "sr_i", "sr_f", "sr_n",
+                       "ctrl", "wdone", "wsteal", "wbusy")}
             outq = self._ctx.Queue()
             inqs = [self._ctx.SimpleQueue()
                     for _ in range(self.n_workers)]
+            # Fresh lock + event per pool generation: a worker killed
+            # inside the critical section poisons the lock, and pool
+            # teardown is exactly what replaces it.
+            lock = self._ctx.Lock()
+            event = self._ctx.Event()
+            plan_specs = {slot: self.arena.spec[f"plan{slot}"]
+                          for slot in self._plans}
             workers = []
             for i in range(self.n_workers):
                 w = self._ctx.Process(
                     target=_worker_main,
-                    args=(i, core, self._block_spec(), inqs[i], outq,
-                          self.task_hook),
+                    args=(i, core, self._block_spec(), plan_specs,
+                          inqs[i], outq, lock, event, self.task_hook,
+                          self.pin_workers),
                     name=f"fbmpk-proc-{i}", daemon=True)
                 w.start()
                 workers.append(w)
-            self._pool = _PoolState(workers=workers, inqs=inqs, outq=outq)
+            self._pool = _PoolState(
+                workers=workers, inqs=inqs, outq=outq, lock=lock,
+                event=event,
+                barrier=CompletionBarrier(self._ctrl, lock, event))
             obs.add_counter("procexec.pool_spawns")
         return self._pool
 
@@ -693,8 +824,14 @@ class ProcessPhaseExecutor:
         finally:
             self._views = None
             self._hb = None
+            self._ctrl = None
+            self._wdone = None
+            self._wsteal = None
+            self._wbusy = None
             self._ring_reader = None
             self._blk_m = None
+            self._plans.clear()
+            self._compat_plans.clear()
             self.arena.close()
 
     def __enter__(self) -> "ProcessPhaseExecutor":
@@ -726,34 +863,85 @@ class ProcessPhaseExecutor:
                     views.run(sweep, task.start, task.stop)
                 elapsed = time.perf_counter() - t0
             stats.thread_busy_s[0] += elapsed
-            self._finish_phase(stats, phase, elapsed)
+            self._finish_phase(stats, phase.color, len(phase.tasks),
+                               phase.total_nnz, elapsed)
         return stats
+
+    def register_phases(self, phases: Sequence[Phase]) -> int:
+        """Pack ``phases`` into a descriptor plan, place its row table
+        in the arena, and return the plan slot for :meth:`run_batched`.
+        Registration is the one-time cost that buys one-enqueue-per-
+        phase-per-worker dispatch on every subsequent sweep."""
+        batch = DescriptorBatch.from_phases(phases, self.policy)
+        slot = self._next_plan
+        self._next_plan += 1
+        self.arena.add(f"plan{slot}", batch.pack_rows())
+        self._plans[slot] = batch
+        if self._pool is not None:
+            spec = self.arena.spec[f"plan{slot}"]
+            for q in self._pool.inqs:
+                q.put(("plan", slot, spec))
+        return slot
+
+    def _slot_for(self, phases: Sequence[Phase]) -> int:
+        """Plan slot for a phases list, registering on first sight.
+        Keyed by list identity with a strong reference held, so repeated
+        sweeps over the same schedule (the FBMPK hot loop) register
+        exactly once and id() reuse cannot alias."""
+        key = id(phases)
+        hit = self._compat_plans.get(key)
+        if hit is not None and hit[0] is phases:
+            return hit[1]
+        slot = self.register_phases(phases)
+        if len(self._compat_plans) >= 8:
+            self._compat_plans.clear()
+        self._compat_plans[key] = (phases, slot)
+        return slot
 
     def run_phases(self, phases: Sequence[Phase], sweep: str,
                    stats: Optional[ExecutionStats] = None,
                    reset: Optional[Callable[[], None]] = None
                    ) -> ExecutionStats:
-        """Execute ``phases`` on the worker pool with a barrier after
-        every phase, dispatching only descriptors.
+        """Execute ``phases`` on the worker pool (compatibility entry
+        point: registers the schedule as a descriptor plan on first
+        sight, then runs the batched path)."""
+        if sweep not in SWEEPS:
+            raise ValueError(f"unknown sweep {sweep!r}")
+        return self.run_batched(self._slot_for(phases), sweep,
+                                stats=stats, reset=reset)
+
+    def run_batched(self, plan: int, sweep: str,
+                    stats: Optional[ExecutionStats] = None,
+                    reset: Optional[Callable[[], None]] = None
+                    ) -> ExecutionStats:
+        """Execute a registered descriptor plan on the worker pool: one
+        enqueue per phase per worker, workers claim blocks via the
+        shared cursor, and the atomic completion counter closes each
+        phase.
 
         ``reset`` is the rollback hook of ``on_failure=
         "fallback_serial"``: on any failure (worker exception, injected
-        dispatch fault, or a killed worker) the barrier drains every
-        live bin, the pool is torn down, ``reset`` restores the shared
-        buffers, and :meth:`run_serial` re-runs everything in-process.
+        dispatch fault, a killed worker, or a poisoned claim lock) the
+        barrier is compensated closed, the pool is torn down, ``reset``
+        restores the shared buffers, and :meth:`run_serial` re-runs
+        everything in-process.
         """
         if sweep not in SWEEPS:
             raise ValueError(f"unknown sweep {sweep!r}")
+        batch = self._plans[plan]
         if stats is None:
             stats = ExecutionStats(n_threads=self.n_workers,
                                    policy=self.policy)
         snap = (len(stats.phases), stats.barriers,
-                list(stats.thread_busy_s))
+                list(stats.thread_busy_s), stats.enqueues, stats.steals)
         pool = self._ensure_pool()
         tel = obs.current()
-        for pi, phase in enumerate(phases):
-            with obs.span("executor.phase", phase=pi, colour=phase.color,
-                          n_tasks=len(phase.tasks), nnz=phase.total_nnz,
+        for pi in range(batch.n_phases):
+            lo, hi = batch.phase_range(pi)
+            color = batch.phase_color(pi)
+            nnz = batch.phase_nnz(pi)
+            with obs.span("executor.phase", phase=pi, colour=color,
+                          n_tasks=hi - lo, nnz=nnz,
                           mode="processes") as sp:
                 # Trace context shipped with the descriptors: workers
                 # stamp their ring spans with the dispatcher's trace id
@@ -761,10 +949,8 @@ class ProcessPhaseExecutor:
                 trace = None if tel is None \
                     else (tel.recorder.trace_id, sp.span_id)
                 t0 = time.perf_counter()
-                bins = assign_tasks(phase.tasks, self.n_workers,
-                                    policy=self.policy)
-                failure = self._dispatch_and_drain(pool, bins, sweep, pi,
-                                                   phase, stats, trace)
+                failure = None if hi == lo else self._dispatch_batch(
+                    pool, plan, sweep, pi, color, lo, hi, stats, trace)
                 elapsed = time.perf_counter() - t0
             if failure is not None:
                 self._drain_spans()
@@ -775,10 +961,12 @@ class ProcessPhaseExecutor:
                     stats.phases[:] = stats.phases[:snap[0]]
                     stats.barriers = snap[1]
                     stats.thread_busy_s[:] = snap[2]
+                    stats.enqueues = snap[3]
+                    stats.steals = snap[4]
                     reset()
-                    return self.run_serial(phases, sweep, stats)
+                    return self.run_serial(batch.phases, sweep, stats)
                 raise failure
-            self._finish_phase(stats, phase, elapsed)
+            self._finish_phase(stats, color, hi - lo, nnz, elapsed)
         self._drain_spans()
         self.publish_metrics()
         return stats
@@ -787,8 +975,8 @@ class ProcessPhaseExecutor:
         """Merge worker span-ring records into the active recorder.
 
         Runs after the barrier has closed, so every record for the
-        phases just executed is visible (the ack queue orders the ring
-        writes before the parent's reads).  Counts surface as
+        phases just executed is visible (workers write their ring record
+        before arriving at the completion barrier).  Counts surface as
         ``procexec.spans_merged`` / ``procexec.spans_dropped``."""
         tel = obs.current()
         if tel is None or self._ring_reader is None:
@@ -800,110 +988,154 @@ class ProcessPhaseExecutor:
         if dropped:
             obs.add_counter("procexec.spans_dropped", dropped)
 
-    def _dispatch_and_drain(self, pool: _PoolState, bins, sweep: str,
-                            pi: int, phase: Phase, stats: ExecutionStats,
-                            trace: Optional[Tuple[int, int]] = None
-                            ) -> Optional[PhaseExecutionError]:
-        """Send each non-empty bin to its worker and await one ack per
-        dispatched bin — the phase barrier.  Returns the first failure
-        (never raises before the barrier has drained every live bin)."""
-        failure: Optional[PhaseExecutionError] = None
-        fault_s = 0.0
-        dispatched: List[int] = []
-        for i, b in enumerate(bins):
-            if not b:
-                continue
-            if failure is None:
-                task = None
-                try:
-                    for task in b:
-                        fault_s += _fire_fault_timed(
-                            "executor.task", phase_index=pi,
-                            color=phase.color, start=task.start,
-                            stop=task.stop, thread=i)
-                except BaseException as exc:  # injected dispatch fault
-                    failure = PhaseExecutionError(
-                        f"injected fault at dispatch: {exc!r}",
-                        phase_index=pi, color=phase.color,
-                        block=(task.start, task.stop) if task else None,
-                        thread=i)
-                    failure.__cause__ = exc
-                    continue  # later bins stay undispatched
-                pool.inqs[i].put(
-                    ("phase", sweep, pi, phase.color,
-                     [(t.start, t.stop) for t in b], i, trace))
-                dispatched.append(i)
-        if fault_s:
-            obs.add_counter("faults.injected_delay_s", fault_s, unit="s")
-        drain_failure = self._await_acks(pool, dispatched, pi, phase,
-                                         stats)
-        return failure if failure is not None else drain_failure
-
-    def _await_acks(self, pool: _PoolState, dispatched: List[int],
-                    pi: int, phase: Phase, stats: ExecutionStats
-                    ) -> Optional[PhaseExecutionError]:
-        pending = set(dispatched)
-        failure: Optional[PhaseExecutionError] = None
-        t_dispatch = time.monotonic()
-        last_scan = t_dispatch
-        t_acks: Dict[int, float] = {}
-        while pending:
+    def _dispatch_batch(self, pool: _PoolState, plan: int, sweep: str,
+                        pi: int, color: int, lo: int, hi: int,
+                        stats: ExecutionStats,
+                        trace: Optional[Tuple[int, int]] = None
+                        ) -> Optional[PhaseExecutionError]:
+        """Arm the cursor/barrier for phase ``pi`` and send one
+        ``(phase_idx, lo, hi)`` descriptor triple to every worker — the
+        entire per-phase message traffic.  Returns the first failure
+        (never raises before the barrier has closed or been compensated
+        closed)."""
+        batch = self._plans[plan]
+        # The "executor.task" chaos hook still fires in the parent per
+        # block (the fault suite depends on that injection point), but
+        # only while an injector is active — the hot path pays one list
+        # check.
+        if _active_injectors():
+            fault_s = 0.0
+            start = stop = None
             try:
-                msg = pool.outq.get(timeout=0.2)
-            except _queue.Empty:
-                msg = None
-            # Scan on every Empty and at least every 0.2 s even while
-            # acks are flowing, so one chatty worker cannot starve the
-            # watchdog of a silent one.
-            now = time.monotonic()
-            if msg is None or now - last_scan >= 0.2:
-                last_scan = now
-                failure = self._scan_pending(pool, pending, pi, phase,
-                                             t_dispatch, now, failure)
-            if msg is None:
-                continue
-            if msg[0] == "ok":
-                _, slot, busy = msg
-                stats.thread_busy_s[slot] += busy
-                pending.discard(slot)
-                t_acks[slot] = time.monotonic()
-            elif msg[0] == "err":
-                _, slot, epi, ecolor, block, exc, busy = msg
-                stats.thread_busy_s[slot] += busy
-                pending.discard(slot)
-                t_acks[slot] = time.monotonic()
-                if failure is None:
-                    failure = PhaseExecutionError(
-                        f"block task crashed in worker {slot}: {exc!r}",
-                        phase_index=epi, color=ecolor, block=block,
-                        thread=slot)
-                    failure.__cause__ = exc
-        # Per-worker barrier wait: how long each finished bin's ack sat
-        # waiting for the last straggler to close the phase (the
-        # processes-vs-threads overhead the benchmarks argue about).
-        if t_acks and obs.current() is not None:
-            t_close = time.monotonic()
-            for slot, t_ack in t_acks.items():
-                obs.observe("procexec.barrier_wait", t_close - t_ack,
-                            unit="s")
+                for g in range(lo, hi):
+                    start = int(batch.starts[g])
+                    stop = int(batch.stops[g])
+                    fault_s += _fire_fault_timed(
+                        "executor.task", phase_index=pi, color=color,
+                        start=start, stop=stop,
+                        thread=int((g - lo) % self.n_workers))
+            except BaseException as exc:  # injected dispatch fault
+                failure = PhaseExecutionError(
+                    f"injected fault at dispatch: {exc!r}",
+                    phase_index=pi, color=color,
+                    block=None if start is None else (start, stop),
+                    thread=int((g - lo) % self.n_workers))
+                failure.__cause__ = exc
+                return failure  # nothing dispatched
+            if fault_s:
+                obs.add_counter("faults.injected_delay_s", fault_s,
+                                unit="s")
+        self._epoch += 1
+        epoch = self._epoch
+        if not self._arm_phase(pool, lo, epoch):
+            return PhaseExecutionError(
+                "phase barrier poisoned: claim lock held by a dead "
+                "worker", phase_index=pi, color=color)
+        chunk = self.claim_chunk if self.claim_chunk is not None \
+            else default_claim_chunk(hi - lo, self.n_workers)
+        busy0 = self._wbusy.copy()
+        steal0 = int(self._wsteal.sum())
+        for q in pool.inqs:
+            q.put(("phase", sweep, plan, pi, color, lo, hi, epoch,
+                   chunk, trace))
+        stats.enqueues += self.n_workers
+        obs.add_counter("procexec.enqueues", self.n_workers)
+        failure = self._await_event(pool, pi, color, epoch)
+        busy = self._wbusy - busy0
+        for i in range(self.n_workers):
+            stats.thread_busy_s[i] += float(busy[i])
+        steals = int(self._wsteal.sum()) - steal0
+        stats.steals += steals
+        if steals:
+            obs.add_counter("procexec.steal_count", steals)
         return failure
 
-    def _scan_pending(self, pool: _PoolState, pending: set, pi: int,
-                      phase: Phase, t_dispatch: float, now: float,
-                      failure: Optional[PhaseExecutionError]
-                      ) -> Optional[PhaseExecutionError]:
-        """One watchdog pass over the still-pending bins: collect dead
-        workers and — when a ``hang_timeout`` is armed — SIGKILL any
-        alive worker whose heartbeat has not moved since dispatch."""
-        for i in sorted(pending):
+    def _arm_phase(self, pool: _PoolState, lo: int, epoch: int) -> bool:
+        """Reset the shared cursor and arm the completion barrier for
+        one phase.  Bounded acquisition: False means the claim lock is
+        poisoned and the caller must tear the pool down."""
+        if not pool.lock.acquire(timeout=2.0):
+            return False
+        try:
+            self._ctrl[CTRL_CURSOR] = int(lo)
+            self._ctrl[CTRL_REMAINING] = self.n_workers
+            self._ctrl[CTRL_ERRORS] = 0
+            self._ctrl[CTRL_EPOCH] = int(epoch)
+        finally:
+            pool.lock.release()
+        pool.event.clear()
+        return True
+
+    def _await_event(self, pool: _PoolState, pi: int, color: int,
+                     epoch: int) -> Optional[PhaseExecutionError]:
+        """Wait for the completion event — the phase barrier — scanning
+        worker liveness/heartbeats between bounded waits, then drain
+        exactly ``ctrl[CTRL_ERRORS]`` error payloads off the queue."""
+        failure: Optional[PhaseExecutionError] = None
+        poisoned = False
+        t_dispatch = time.monotonic()
+        handled: set = set()
+        while True:
+            if pool.event.wait(0.2):
+                break
+            failure, poisoned = self._scan_batch(
+                pool, epoch, pi, color, t_dispatch, time.monotonic(),
+                failure, handled)
+            if poisoned:
+                break
+        wait_s = time.monotonic() - t_dispatch
+        if obs.current() is not None:
+            # dispatch_wait is the new name; barrier_wait is kept so
+            # existing dashboards and the cross-process trace tests keep
+            # seeing the per-phase barrier cost.
+            obs.observe("procexec.dispatch_wait", wait_s, unit="s")
+            obs.observe("procexec.barrier_wait", wait_s, unit="s")
+        nerr = int(self._ctrl[CTRL_ERRORS])
+        for _ in range(nerr):
+            try:
+                msg = pool.outq.get(timeout=2.0)
+            except _queue.Empty:
+                break
+            _, slot, epi, ecolor, block, exc = msg
+            if failure is None:
+                failure = PhaseExecutionError(
+                    f"block task crashed in worker {slot}: {exc!r}",
+                    phase_index=epi, color=ecolor, block=block,
+                    thread=slot)
+                failure.__cause__ = exc
+        if poisoned and failure is None:
+            failure = PhaseExecutionError(
+                "phase barrier poisoned: claim lock held by a dead "
+                "worker", phase_index=pi, color=color)
+        return failure
+
+    def _scan_batch(self, pool: _PoolState, epoch: int, pi: int,
+                    color: int, t_dispatch: float, now: float,
+                    failure: Optional[PhaseExecutionError],
+                    handled: set
+                    ) -> Tuple[Optional[PhaseExecutionError], bool]:
+        """One watchdog pass over workers that have not completed this
+        epoch: collect dead workers (arriving at the barrier on their
+        behalf so it still closes) and — when a ``hang_timeout`` is
+        armed — SIGKILL any alive worker whose heartbeat has not moved
+        since dispatch.  Returns (failure, lock_poisoned)."""
+        poisoned = False
+        for i in range(self.n_workers):
+            if i in handled or int(self._wdone[i]) >= epoch:
+                continue
             w = pool.workers[i]
             if not w.is_alive():
-                pending.discard(i)
+                handled.add(i)
                 if failure is None:
                     failure = PhaseExecutionError(
-                        f"worker {i} died before completing its bin "
+                        f"worker {i} died before completing its share "
                         f"(exitcode {w.exitcode})",
-                        phase_index=pi, color=phase.color, thread=i)
+                        phase_index=pi, color=color, thread=i)
+                # Arrive on the dead worker's behalf so the last live
+                # arrival still flips the event.  A bounded acquire:
+                # the worker may have died holding the lock.
+                if not pool.barrier.arrive(timeout=2.0):
+                    poisoned = True
                 continue
             if self.hang_timeout is None:
                 continue
@@ -915,25 +1147,26 @@ class ProcessPhaseExecutor:
                 continue
             w.kill()  # SIGKILL: the only signal a SIGSTOP'd worker obeys
             w.join(timeout=2.0)
-            pending.discard(i)
+            handled.add(i)
             obs.add_counter("procexec.watchdog_kills")
             if failure is None:
                 failure = PhaseExecutionError(
                     f"watchdog killed worker {i}: no heartbeat for "
                     f"{silent_s:.2f}s (hang_timeout={self.hang_timeout}s)",
-                    phase_index=pi, color=phase.color, thread=i)
-        return failure
+                    phase_index=pi, color=color, thread=i)
+            if not pool.barrier.arrive(timeout=2.0):
+                poisoned = True
+        return failure, poisoned
 
     @staticmethod
-    def _finish_phase(stats: ExecutionStats, phase: Phase,
-                      wall_s: float) -> None:
+    def _finish_phase(stats: ExecutionStats, color: int, n_tasks: int,
+                      nnz: int, wall_s: float) -> None:
         stats.barriers += 1
         stats.phases.append(PhaseRecord(
-            color=phase.color, n_tasks=len(phase.tasks),
-            nnz=phase.total_nnz, wall_s=wall_s))
+            color=color, n_tasks=n_tasks, nnz=nnz, wall_s=wall_s))
         if obs.current() is None:
             return
         obs.add_counter("executor.barriers")
-        obs.add_counter("executor.tasks", len(phase.tasks))
-        obs.add_counter("executor.phase_nnz", phase.total_nnz)
+        obs.add_counter("executor.tasks", n_tasks)
+        obs.add_counter("executor.phase_nnz", nnz)
         obs.observe("executor.phase_wall_s", wall_s, unit="s")

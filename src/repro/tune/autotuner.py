@@ -35,7 +35,8 @@ block indefinitely behind another process's search.
 
 Telemetry (all no-ops without an active :class:`repro.obs.Telemetry`):
 ``tune.autotune`` / ``tune.candidate`` spans, ``tune.candidates`` /
-``tune.rejected_not_identical`` / ``tune.errors`` /
+``tune.rejected_not_identical`` / ``tune.rejected_inefficient`` /
+``tune.errors`` /
 ``tune.budget_exhausted`` / ``tune.breaker.*`` counters, and
 ``tune.default_time_s`` / ``tune.best_time_s`` gauges.  Cache lookups
 emit ``plan_cache.{hit,miss,corrupt,store}`` (see
@@ -123,18 +124,24 @@ class Trial:
     build_time_s: Optional[float] = None
     identical: Optional[bool] = None
     by_design: Optional[bool] = None
+    #: False when the efficiency guard disqualified this trial: a
+    #: process-pool plan measured no faster than the serial default
+    #: (``speedup_vs_serial < 1``) must never be selected — paying
+    #: worker-pool dispatch for a slowdown is strictly worse than the
+    #: untuned path.  None means the guard did not apply.
+    efficient: Optional[bool] = None
     error: Optional[str] = None
 
     @property
     def accepted(self) -> bool:
         """Eligible to win: ran without error, matched the default path
-        bit-for-bit on every probe, *and* shares the default's
-        floating-point arithmetic by construction
+        bit-for-bit on every probe, shares the default's floating-point
+        arithmetic by construction
         (:func:`repro.tune.registry.plan_is_bit_identical_by_design`) —
         probes alone cannot rule out a rounding coincidence on small
-        matrices."""
+        matrices — and was not disqualified by the efficiency guard."""
         return self.error is None and bool(self.identical) \
-            and bool(self.by_design)
+            and bool(self.by_design) and self.efficient is not False
 
 
 @dataclass
@@ -367,6 +374,17 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
                 elif not trial.by_design:
                     obs.event("tune.identical_but_not_by_design",
                               plan=plan.label)
+                # Efficiency guard: a process-pool plan that fails to
+                # beat the measured serial default (speedup < 1) must
+                # never win, even if every other candidate errored out —
+                # a slowdown that also drags in worker processes and
+                # shared-memory segments is strictly worse than serial.
+                if (plan.params.get("executor") == "processes"
+                        and trials[0].time_s is not None
+                        and trial.time_s is not None
+                        and trial.time_s >= trials[0].time_s):
+                    trial.efficient = False
+                    obs.add_counter("tune.rejected_inefficient")
             if trial.accepted and (best is None
                                    or trial.time_s < best[0].time_s):
                 if best is not None:

@@ -68,12 +68,16 @@ _SPMV_KERNELS_BY_DESIGN = frozenset({"vectorised", "blocked"})
 #: Power-plan knobs that only reschedule independent row updates and so
 #: cannot change a result bit: the threaded and process executors are
 #: bitwise-equal to serial by the differential test layer, for the
-#: *same* built operator.
+#: *same* built operator, and ``claim_chunk``/``pin_workers`` only
+#: change the work-stealing claim granularity and worker placement of
+#: the batched dispatch path (per-colour block results are
+#: order-independent).
 #: Everything else — variant, backend, and notably ``strategy`` /
 #: ``block_size``, whose grouping permutes the matrix and therefore the
 #: per-row accumulation order — changes the floating-point arithmetic.
 _POWER_EXECUTION_ONLY_KEYS = frozenset(
-    {"executor", "n_threads", "assign_policy"})
+    {"executor", "n_threads", "assign_policy", "claim_chunk",
+     "pin_workers"})
 
 
 def plan_is_bit_identical_by_design(plan: ExecutionPlan) -> bool:
@@ -148,6 +152,13 @@ def _default_thread_counts() -> List[int]:
     return sorted({c for c in (2, cores) if c > 1})
 
 
+#: Work-stealing claim-chunk values the joint executor × block-size ×
+#: claim-chunk search probes for process plans.  ``None`` is the
+#: auto-sized default (~4 steals per worker per phase); 1 maximises
+#: rebalancing, 8 minimises cursor traffic.
+_CLAIM_CHUNKS = (None, 1, 8)
+
+
 def power_candidates(
     thread_counts: Optional[Sequence[int]] = None,
     include_unfused: bool = True,
@@ -156,6 +167,9 @@ def power_candidates(
 
     ``thread_counts=None`` probes :func:`_default_thread_counts`; pass
     an explicit sequence to widen or suppress threaded candidates.
+    Process plans are enumerated jointly over executor × block size ×
+    claim chunk (:data:`_CLAIM_CHUNKS`), so the batched dispatch
+    granularity is tuned together with the schedule it drains.
     """
     if thread_counts is None:
         thread_counts = _default_thread_counts()
@@ -174,15 +188,21 @@ def power_candidates(
             if fused != default:
                 plans.append(fused)
             for parallel_exec in ("threads", "processes"):
+                chunks = _CLAIM_CHUNKS if parallel_exec == "processes" \
+                    else (None,)
                 for n_threads in thread_counts:
-                    plans.append(ExecutionPlan("power", {
-                        "variant": "fused",
-                        "strategy": strategy,
-                        "block_size": block_size,
-                        "backend": backend,
-                        "executor": parallel_exec,
-                        "n_threads": int(n_threads),
-                    }))
+                    for chunk in chunks:
+                        params = {
+                            "variant": "fused",
+                            "strategy": strategy,
+                            "block_size": block_size,
+                            "backend": backend,
+                            "executor": parallel_exec,
+                            "n_threads": int(n_threads),
+                        }
+                        if chunk is not None:
+                            params["claim_chunk"] = int(chunk)
+                        plans.append(ExecutionPlan("power", params))
     if include_unfused:
         plans.append(ExecutionPlan("power", {
             "variant": "unfused",
@@ -230,8 +250,10 @@ def order_power_candidates(
         # Group count before preprocessing is unknown; charge a nominal
         # per-sweep barrier population for threaded plans.
         n_groups = 8 if n_threads > 1 else 1
-        return execution_cost_hint(k, a.n_rows, a.nnz, method=method,
-                                   n_groups=n_groups, n_threads=n_threads)
+        return execution_cost_hint(
+            k, a.n_rows, a.nnz, method=method, n_groups=n_groups,
+            n_threads=n_threads,
+            executor=params.get("executor", "serial"))
 
     tail.sort(key=hint)
     return [head] + tail
@@ -262,11 +284,16 @@ def instantiate_power(
     executor = params.get("executor", "serial")
     n_threads = params.get("n_threads")
     assign_policy = params.get("assign_policy", "lpt")
+    claim_chunk = params.get("claim_chunk")
+    pin_workers = params.get("pin_workers")
+    if claim_chunk is not None:
+        claim_chunk = int(claim_chunk)
     if operator_path is not None:
         try:
             return FBMPKOperator.load(
                 operator_path, backend=backend, executor=executor,
-                n_threads=n_threads, assign_policy=assign_policy)
+                n_threads=n_threads, assign_policy=assign_policy,
+                claim_chunk=claim_chunk, pin_workers=pin_workers)
         except Exception:
             pass  # artefact unusable: rebuild below
     return build_fbmpk_operator(
@@ -277,6 +304,8 @@ def instantiate_power(
         executor=executor,
         n_threads=n_threads,
         assign_policy=assign_policy,
+        claim_chunk=claim_chunk,
+        pin_workers=pin_workers,
     )
 
 

@@ -343,8 +343,10 @@ class TestSharedMemoryLifecycle:
                 X = np.random.default_rng(m).standard_normal((a.n_rows, m))
                 np.testing.assert_array_equal(op.power_block(X, 4),
                                               serial.power_block(X, 4))
-                # 9 core + hb + 3 span rings + xyb + tmpb
-                assert len(shm_leaked()) == 15
+                # 9 core + hb + 3 span rings + 4 dispatch slabs
+                # (ctrl/wdone/wsteal/wbusy) + 2 descriptor plans
+                # (fw/bw) + xyb + tmpb
+                assert len(shm_leaked()) == 21
         assert shm_leaked() == set()
 
     def test_arena_finalizer_runs_on_gc(self, shm_leaked):

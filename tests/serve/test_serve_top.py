@@ -1,0 +1,67 @@
+"""The live dashboard's frame renderer (``tools/serve_top.py``).
+
+:func:`render` is a pure function over two stats snapshots, so the
+panels — including the batched-dispatch line fed by the process
+executor's ``procexec.*`` telemetry — are testable without a socket.
+"""
+
+import importlib.util
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+def _load_serve_top():
+    spec = importlib.util.spec_from_file_location(
+        "serve_top", TOOLS / "serve_top.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _stats(enqueues=0.0, steals=0.0, wait_sum=0.0, wait_count=0):
+    metrics = {
+        "counters": {
+            "serve.requests": {"value": 4.0},
+            "serve.requests.completed": {"value": 4.0},
+            "procexec.enqueues": {"value": enqueues},
+            "procexec.steal_count": {"value": steals},
+        },
+        "histograms": {
+            "procexec.dispatch_wait": {
+                "unit": "s", "buckets": [0.001, 0.01],
+                "counts": [wait_count, 0, 0],
+                "sum": wait_sum, "count": wait_count,
+            },
+        },
+    }
+    return {"uptime_s": 1.0, "metrics": metrics}
+
+
+def test_render_surfaces_dispatch_counters():
+    top = _load_serve_top()
+    frame = top.render(_stats(enqueues=144.0, steals=500.0,
+                              wait_sum=0.25, wait_count=100),
+                       health={"inflight": 0})
+    line = next(l for l in frame.splitlines()
+                if l.startswith("dispatch"))
+    assert "enqueues       144" in line
+    assert "steals       500" in line
+    assert "2.50" in line  # 0.25 s over 100 waits = 2.5 ms mean
+
+
+def test_render_steal_rate_from_consecutive_frames():
+    top = _load_serve_top()
+    prev = _stats(enqueues=100.0, steals=200.0)
+    cur = _stats(enqueues=120.0, steals=300.0)
+    frame = top.render(cur, health={}, prev=prev, dt=2.0)
+    line = next(l for l in frame.splitlines()
+                if l.startswith("dispatch"))
+    assert "50.0" in line  # (300 - 200) / 2 s
+
+
+def test_render_omits_dispatch_line_for_serial_servers():
+    top = _load_serve_top()
+    frame = top.render(_stats(), health={})
+    assert not any(l.startswith("dispatch")
+                   for l in frame.splitlines())

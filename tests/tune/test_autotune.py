@@ -142,6 +142,69 @@ def test_probe_coincidence_cannot_win():
     assert not trial.accepted
 
 
+PROCESSES_PLAN = ExecutionPlan("power", {
+    "variant": "fused", "strategy": "abmc", "block_size": 1,
+    "backend": "numpy", "executor": "processes", "n_threads": 2})
+
+
+def _scripted_times(monkeypatch, times):
+    """Replace the timing probe with scripted wall-clocks (one per
+    candidate, in search order) while still running the real operator
+    once so bit-identity checks stay genuine."""
+    from repro.tune import autotuner
+
+    queue = list(times)
+
+    def fake(fn, repeats, warmup):
+        return queue.pop(0), fn()
+
+    monkeypatch.setattr(autotuner, "_time_candidate", fake)
+
+
+def test_slow_processes_plan_never_selected(grid, monkeypatch):
+    """Efficiency guard: a processes plan measured no faster than the
+    serial default (speedup_vs_serial < 1) must be disqualified even
+    though it is bit-identical and ran without error."""
+    _scripted_times(monkeypatch, [1.0, 2.0])
+    with obs.Telemetry() as tel:
+        op, res = _tune(grid, candidates=[default_power_plan(),
+                                          PROCESSES_PLAN])
+    counters = {name: c["value"] for name, c
+                in tel.metrics.snapshot()["counters"].items()}
+    try:
+        trial = next(t for t in res.trials if t.plan == PROCESSES_PLAN)
+        assert trial.identical and trial.by_design and trial.error is None
+        assert trial.efficient is False
+        assert not trial.accepted
+        assert res.plan == default_power_plan()
+        assert counters["tune.rejected_inefficient"] == 1
+    finally:
+        op.close()
+
+
+def test_fast_processes_plan_still_eligible(grid, monkeypatch):
+    """The guard only fires on a measured slowdown: a processes plan
+    that beats the serial default stays eligible and wins."""
+    _scripted_times(monkeypatch, [1.0, 0.5])
+    op, res = _tune(grid, candidates=[default_power_plan(),
+                                      PROCESSES_PLAN])
+    try:
+        trial = next(t for t in res.trials if t.plan == PROCESSES_PLAN)
+        assert trial.efficient is None
+        assert trial.accepted
+        assert res.plan == PROCESSES_PLAN
+    finally:
+        op.close()
+
+
+def test_inefficient_trial_not_accepted():
+    from repro.tune import Trial
+
+    trial = Trial(plan=PROCESSES_PLAN, time_s=2.0, identical=True,
+                  by_design=True, efficient=False)
+    assert not trial.accepted
+
+
 def test_broken_candidate_recorded_not_fatal(grid):
     broken = ExecutionPlan("power", {"variant": "fused",
                                      "strategy": "no-such-strategy",

@@ -10,6 +10,10 @@ one persistent TCP connection and renders a ``top``-style view:
   compliance, budget remaining),
 * live load: in-flight requests, pending queue depth, in-flight
   batches, batch-width histogram,
+* batched-dispatch counters from the process executor — enqueues,
+  work-steal claims (``procexec.steal_count``) and mean dispatch-wait
+  latency (``procexec.dispatch_wait``) — when a resident operator runs
+  on the processes backend,
 * resident operators, circuit-breaker states and pool-worker liveness.
 
 Usage::
@@ -138,6 +142,20 @@ def render(stats: Dict[str, Any], health: Dict[str, Any],
             if count:
                 lines.append(f"  {label:>8} |{_bar(count, total_obs)}| "
                              f"{count}")
+
+    # -- batched dispatch (process executor) ----------------------------
+    enq = _counter(metrics, "procexec.enqueues")
+    steals = _counter(metrics, "procexec.steal_count")
+    if enq or steals:
+        prev_steals = (_counter(prev_metrics, "procexec.steal_count")
+                       if prev else None)
+        wait = hists.get("procexec.dispatch_wait") or {}
+        wait_n = wait.get("count") or 0
+        wait_mean_ms = (1e3 * wait["sum"] / wait_n) if wait_n else None
+        lines.append(f"dispatch   enqueues {enq:9.0f}   "
+                     f"steals {steals:9.0f}   "
+                     f"steals/s {_rate(steals, prev_steals, dt)}   "
+                     f"wait avg {_fmt_ms(wait_mean_ms)} ms")
 
     # -- breakers / workers ---------------------------------------------
     breakers = health.get("breakers") or {}
