@@ -1,0 +1,147 @@
+"""Levels-blocked (RACE-style) schedule vs FBMPK across the power sweep.
+
+The tentpole claim this bench records: FBMPK's matrix traffic grows as
+``(k + 1) / 2`` streams while the levels-blocked wavefront keeps a
+cache-resident block window and streams the matrix once (plus reloads
+when the ``(2k - 1)``-block diamond outgrows cache) — so as ``k`` grows
+there is a DRAM-traffic crossover where residency beats fusion.  For
+each matrix class and ``k`` in ``KS`` it measures the wall-clock of both
+operators (bit-identity asserted first — the schedules are two orderings
+of the same arithmetic), records the memsim-predicted traffic ratio at
+the host LLC size, and stores the predicted crossover ``k`` from
+:func:`repro.memsim.levels_blocked_crossover`.
+
+Results land in ``BENCH_levels_blocked.json`` at the repo root plus a
+table in ``benchmarks/out/``.  No speedup is *asserted*: the numpy
+sweep kernels are bandwidth-modelled, not bandwidth-bound, so the
+measured ratio documents where this implementation stands against the
+model rather than gating CI.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import bench_rows, format_table, standin, write_report
+from repro.core import build_fbmpk_operator
+from repro.machine import XEON_6230R
+from repro.memsim import (
+    fbmpk_traffic,
+    levels_blocked_crossover,
+    levels_blocked_traffic,
+)
+from repro.memsim.traffic import MatrixTrafficStats
+from repro.tune import trimmed_mean
+
+KS = [2, 4, 8, 16]
+REPEATS = 5
+WARMUP = 1
+BLOCK_ROWS = 4096
+MATRICES = ["cant", "shipsec1", "G3_circuit"]
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS_PATH = ROOT / "BENCH_levels_blocked.json"
+
+_RESULTS = {}
+
+
+def _timed_pair(run_a, run_b):
+    """Interleaved trimmed-mean timing (see bench_autotune)."""
+    for _ in range(WARMUP):
+        run_a()
+        run_b()
+    samples_a, samples_b = [], []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        run_a()
+        samples_a.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_b()
+        samples_b.append(time.perf_counter() - t0)
+    return trimmed_mean(samples_a), trimmed_mean(samples_b)
+
+
+@pytest.mark.parametrize("name", MATRICES)
+def test_levels_blocked_vs_fbmpk(name, rng):
+    a = standin(name, min(bench_rows(), 8_000))
+    x = rng.standard_normal(a.n_rows)
+    cache_bytes = XEON_6230R.total_last_level_bytes()
+    stats = MatrixTrafficStats.from_csr(a)
+
+    fb = build_fbmpk_operator(a)
+    lb = build_fbmpk_operator(a, strategy="levels-blocked",
+                              block_size=BLOCK_ROWS)
+    ref = build_fbmpk_operator(a, strategy="levels")
+    per_k = {}
+    try:
+        for k in KS:
+            # Both schedules replay serial arithmetic exactly: FBMPK
+            # matches its own serial path by construction, and
+            # levels-blocked must match serial FBMPK with the levels
+            # grouping bit-for-bit.
+            assert np.array_equal(lb.power(x, k), ref.power(x, k))
+
+            fb_s, lb_s = _timed_pair(lambda: fb.power(x, k),
+                                     lambda: lb.power(x, k))
+            fb_bytes = fbmpk_traffic(stats, k, cache_bytes).total_bytes
+            lb_bytes = levels_blocked_traffic(
+                stats, k, cache_bytes, block_rows=BLOCK_ROWS).total_bytes
+            per_k[str(k)] = {
+                "fbmpk_s": fb_s,
+                "levels_blocked_s": lb_s,
+                "measured_speedup": fb_s / lb_s,
+                "predicted_bytes_ratio": lb_bytes / fb_bytes,
+            }
+        crossover = levels_blocked_crossover(stats, cache_bytes,
+                                             block_rows=BLOCK_ROWS)
+        _RESULTS[name] = {
+            "rows": a.n_rows,
+            "nnz": a.nnz,
+            "block_rows": BLOCK_ROWS,
+            "repeats": REPEATS,
+            "cache_bytes": cache_bytes,
+            "predicted_crossover_k": crossover,
+            "per_k": per_k,
+        }
+    finally:
+        fb.close()
+        lb.close()
+        ref.close()
+
+
+def test_write_results():
+    """Persist the sweep (runs last: file order)."""
+    assert _RESULTS, "no benchmark results collected"
+    payload = {
+        "bench": "levels_blocked",
+        "ks": KS,
+        "block_rows": BLOCK_ROWS,
+        "repeats": REPEATS,
+        "matrices": _RESULTS,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2,
+                                       sort_keys=True) + "\n")
+    rows = []
+    for name, r in _RESULTS.items():
+        for k in KS:
+            p = r["per_k"][str(k)]
+            rows.append([
+                name, k,
+                f"{p['fbmpk_s'] * 1e3:.3f}",
+                f"{p['levels_blocked_s'] * 1e3:.3f}",
+                f"{p['measured_speedup']:.2f}x",
+                f"{p['predicted_bytes_ratio']:.3f}",
+                str(r["predicted_crossover_k"]),
+            ])
+    table = format_table(
+        ["matrix", "k", "fbmpk (ms)", "lvl-blocked (ms)",
+         "measured speedup", "predicted lb/fb bytes", "crossover k"],
+        rows, title=f"levels-blocked vs FBMPK A^k x "
+                    f"(block_rows={BLOCK_ROWS}, trimmed mean of "
+                    f"{REPEATS})")
+    write_report("levels_blocked", table)
+    print()
+    print(table)

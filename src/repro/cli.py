@@ -466,8 +466,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="fbmpk",
                    choices=["fbmpk", "standard", "mkl", "lbmpk",
                             "explicit"])
-    p.add_argument("--strategy", default="abmc",
-                   choices=["abmc", "levels"])
+    p.add_argument("--strategy", "--schedule", dest="strategy",
+                   default="abmc",
+                   choices=["abmc", "levels", "levels-blocked"],
+                   help="scheduling family: ABMC colour groups, plain "
+                        "level sets, or the levels-blocked (RACE-style) "
+                        "cache-resident wavefront (--block-size sets "
+                        "its rows per block)")
     p.add_argument("--block-size", type=int, default=1)
     p.add_argument("--backend", default="numpy",
                    choices=["numpy", "scipy"])

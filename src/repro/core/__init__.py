@@ -11,6 +11,7 @@ from .expr import A, MatrixSymbol, SSpMVExpression, X, from_coefficients
 from .fbmpk import (
     FBMPKOperator,
     KernelCounter,
+    LevelsBlockedOperator,
     SweepGroups,
     build_fbmpk_operator,
     check_sweep_groups,
@@ -44,6 +45,7 @@ __all__ = [
     "from_coefficients",
     "FBMPKOperator",
     "KernelCounter",
+    "LevelsBlockedOperator",
     "SweepGroups",
     "build_fbmpk_operator",
     "check_sweep_groups",

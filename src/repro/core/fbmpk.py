@@ -53,6 +53,16 @@ from ..parallel.scheduler import (
 )
 from ..reorder.abmc import ABMCOrdering, abmc_ordering
 from ..reorder.levels import compute_levels, levels_to_groups
+from ..reorder.levels_blocked import (
+    OP_EVEN,
+    OP_FINAL_ODD,
+    OP_ODD,
+    LevelBlocking,
+    blocked_descriptors,
+    build_blocked_schedule,
+    build_level_blocking,
+    check_blocked_schedule,
+)
 from ..reorder.permute import permute_symmetric, permute_vector, unpermute_vector
 from ..sparse.csr import CSRMatrix, reduce_rows
 from .btb import InterleavedPair
@@ -62,6 +72,7 @@ __all__ = [
     "KernelCounter",
     "SweepGroups",
     "FBMPKOperator",
+    "LevelsBlockedOperator",
     "fbmpk_reference",
     "fbmpk_unfused",
     "fbmpk_fused",
@@ -1439,9 +1450,432 @@ class FBMPKOperator:
         return self.groups.n_forward + self.groups.n_backward
 
 
+class _BlockedRunKernel:
+    """Per-row-run compute of the levels-blocked schedule.
+
+    Caches the local CSR views of **both** triangles for one contiguous
+    row range; :meth:`run` applies one power's ping-pong update with the
+    association order the op tag demands.  The same kernel instance is
+    reused for every power that visits the run, so the per-descriptor
+    lists of all cached ``k`` plans share one kernel per distinct run.
+    """
+
+    __slots__ = ("rows", "lip", "lcols", "ldata", "uip", "ucols", "udata",
+                 "nnz")
+
+    def __init__(self, lower: CSRMatrix, upper: CSRMatrix,
+                 start: int, stop: int) -> None:
+        self.rows = slice(start, stop)
+        llo, lhi = int(lower.indptr[start]), int(lower.indptr[stop])
+        self.lip = lower.indptr[start:stop + 1] - llo
+        self.lcols = lower.indices[llo:lhi]
+        self.ldata = lower.data[llo:lhi]
+        ulo, uhi = int(upper.indptr[start]), int(upper.indptr[stop])
+        self.uip = upper.indptr[start:stop + 1] - ulo
+        self.ucols = upper.indices[ulo:uhi]
+        self.udata = upper.data[ulo:uhi]
+        self.nnz = (lhi - llo) + (uhi - ulo)
+
+    def run(self, XY: np.ndarray, d: np.ndarray, op: int) -> None:
+        """Same arithmetic as the ``"blocked"`` sweep of
+        :class:`repro.parallel.procexec._Views` (bit-identical by
+        construction)."""
+        r = self.rows
+        rs, ws = (1, 0) if op == OP_EVEN else (0, 1)
+        xin = XY[:, rs]
+        lsum = reduce_rows(self.ldata * xin[self.lcols], self.lip)
+        usum = reduce_rows(self.udata * xin[self.ucols], self.uip)
+        dx = d[r] * xin[r]
+        if op == OP_ODD:
+            XY[r, ws] = usum + dx + lsum
+        elif op == OP_EVEN:
+            XY[r, ws] = lsum + dx + usum
+        elif op == OP_FINAL_ODD:
+            XY[r, ws] = lsum + usum + dx
+        else:
+            raise ValueError(f"unknown blocked op {op!r}")
+
+
+@dataclass
+class _BlockedPlan:
+    """One ``k``'s cached levels-blocked schedule artefacts."""
+
+    batch: DescriptorBatch
+    n_phases: int
+    kernels: Optional[List[_BlockedRunKernel]] = None  # lazy (serial/threads)
+
+
+@dataclass
+class _ProcBlockedState:
+    """Process backend of :class:`LevelsBlockedOperator`: the pool plus
+    the per-``k`` registered plan slots."""
+
+    pool: ProcessPhaseExecutor
+    slots: Dict[int, int]
+
+
+class LevelsBlockedOperator:
+    """Matrix power operator with the levels-blocked (RACE-style)
+    schedule — the third scheduling family next to ABMC and levels.
+
+    Instead of FBMPK's stage fusion, DRAM traffic is saved by
+    *residency*: rows are partitioned into cache-sized blocks of
+    consecutive dependency levels and a skewed wavefront applies all
+    ``k`` powers to a block within a bounded phase window, so the
+    block's matrix entries are streamed from DRAM once and reused from
+    cache (:mod:`repro.reorder.levels_blocked`).  Results are
+    bit-identical to serial FBMPK with ``strategy="levels"`` because
+    every descriptor reproduces the exact per-row association order of
+    the serial stage that produces the same power.
+
+    All three executors run the same :class:`DescriptorBatch` plan:
+    ``"serial"`` walks the descriptors in batch order, ``"threads"``
+    claims them through :class:`ThreadedPhaseExecutor`'s shared cursor,
+    and ``"processes"`` registers the plan table (with its op-tag row)
+    in the shared arena and dispatches the ``"blocked"`` sweep.  Like
+    :class:`FBMPKOperator`, one instance must not run concurrent
+    ``power`` calls.
+    """
+
+    def __init__(
+        self,
+        part: TriangularPartition,
+        block_rows: int = 256,
+        validate: bool = True,
+        backend: Backend = "numpy",
+        executor: ExecutorKind = "serial",
+        n_threads: Optional[int] = None,
+        assign_policy: str = "lpt",
+        on_failure: str = "raise",
+        hang_timeout: Optional[float] = None,
+        claim_chunk: Optional[int] = None,
+        pin_workers: Optional[bool] = None,
+    ) -> None:
+        if backend not in ("numpy", "scipy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(f"unknown executor {executor!r}")
+        if on_failure not in ("raise", "fallback_serial"):
+            raise ValueError(f"unknown on_failure policy {on_failure!r}")
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError("hang_timeout must be positive (or None)")
+        if claim_chunk is not None and claim_chunk < 1:
+            raise ValueError("claim_chunk must be >= 1 (or None)")
+        self.part = part
+        self.block_rows = int(block_rows)
+        self.backend = backend
+        self.executor = executor
+        self.n_threads = n_threads
+        self.assign_policy = assign_policy
+        self.on_failure = on_failure
+        self.hang_timeout = hang_timeout
+        self.claim_chunk = claim_chunk
+        self.pin_workers = pin_workers
+        self.perm = None  # rows keep their original numbering
+        self.last_stats: Optional[ExecutionStats] = None
+        self._validate = validate
+        self.blocking: LevelBlocking = build_level_blocking(
+            part.lower, part.upper, self.block_rows)
+        self._plans: Dict[int, _BlockedPlan] = {}
+        self._run_kernels: Dict[Tuple[int, int], _BlockedRunKernel] = {}
+        self._pool: Optional[ThreadedPhaseExecutor] = None
+        self._procs: Optional[_ProcBlockedState] = None
+        self._xy_buf: Optional[np.ndarray] = None
+        self._shm_bound = False
+        self._tstats = None
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.part.n
+
+    # -- plan construction ---------------------------------------------
+    def _plan_for(self, k: int) -> _BlockedPlan:
+        """The per-``k`` schedule/batch, built and validated once and
+        cached (the repeated-call regime reuses it for free)."""
+        plan = self._plans.get(k)
+        if plan is None:
+            schedule = build_blocked_schedule(self.blocking, k)
+            if self._validate \
+                    and not check_blocked_schedule(self.blocking, schedule):
+                raise ValueError(
+                    "levels-blocked schedule violates the ping-pong "
+                    "safety invariant")
+            descs = blocked_descriptors(self.blocking, schedule,
+                                        self.part.lower, self.part.upper)
+            batch = DescriptorBatch.from_op_phases(descs,
+                                                   self.assign_policy)
+            plan = _BlockedPlan(batch=batch, n_phases=schedule.n_phases)
+            if len(self._plans) >= 8:
+                self._plans.clear()
+            self._plans[k] = plan
+        return plan
+
+    def _kernels_for(self, plan: _BlockedPlan) -> List[_BlockedRunKernel]:
+        """Descriptor-aligned kernel list (serial and threads backends);
+        distinct row runs share one kernel across all powers and plans."""
+        if plan.kernels is None:
+            kernels: List[_BlockedRunKernel] = []
+            batch = plan.batch
+            for g in range(batch.n_blocks):
+                key = (int(batch.starts[g]), int(batch.stops[g]))
+                kern = self._run_kernels.get(key)
+                if kern is None:
+                    kern = _BlockedRunKernel(self.part.lower,
+                                             self.part.upper, *key)
+                    self._run_kernels[key] = kern
+                kernels.append(kern)
+            plan.kernels = kernels
+        return plan.kernels
+
+    # -- execution backends --------------------------------------------
+    def _ensure_threaded(self) -> ThreadedPhaseExecutor:
+        if self._pool is None:
+            self._pool = ThreadedPhaseExecutor(
+                self.n_threads, self.assign_policy,
+                hang_timeout=self.hang_timeout,
+                claim_chunk=self.claim_chunk)
+        return self._pool
+
+    def _ensure_procs(self) -> _ProcBlockedState:
+        """Spawn the shared-memory pool on first ``"processes"`` use and
+        bind the iterate buffer to its arena segment (dispatch then
+        ships no array data, exactly like :class:`FBMPKOperator`)."""
+        if self._procs is None:
+            pool = ProcessPhaseExecutor(
+                self.part, n_workers=self.n_threads,
+                policy=self.assign_policy,
+                hang_timeout=self.hang_timeout,
+                claim_chunk=self.claim_chunk,
+                pin_workers=self.pin_workers)
+            self._procs = _ProcBlockedState(pool=pool, slots={})
+        self._xy_buf = self._procs.pool.xy
+        self._shm_bound = True
+        return self._procs
+
+    def _proc_slot(self, pstate: _ProcBlockedState, k: int,
+                   batch: DescriptorBatch) -> int:
+        slot = pstate.slots.get(k)
+        if slot is None:
+            slot = pstate.pool.register_batch(batch)
+            pstate.slots[k] = slot
+        return slot
+
+    def _close_procs(self) -> None:
+        if self._procs is not None:
+            self._procs.pool.close()
+            self._procs = None
+        if self._shm_bound:
+            self._xy_buf = None
+            self._shm_bound = False
+
+    def close(self) -> None:
+        """Shut down the parallel backends (idempotent; the operator
+        remains usable and respawns workers on the next parallel
+        call)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._close_procs()
+
+    def __enter__(self) -> "LevelsBlockedOperator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- public API ----------------------------------------------------
+    def power(
+        self,
+        x: np.ndarray,
+        k: int,
+        counter: Optional[KernelCounter] = None,
+        check_finite: bool = False,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compute ``A^k x`` with the levels-blocked wavefront.
+
+        Bit-identical to serial FBMPK (``strategy="levels"``) on every
+        executor.  No ``on_iterate`` hook: intermediate powers are never
+        globally materialised — different blocks sit at different powers
+        within a phase, which is precisely where the locality comes
+        from.  ``check_finite`` therefore guards the input and the final
+        iterate only.  Failure containment matches
+        :class:`FBMPKOperator.power`: a crashed parallel phase tears the
+        backend down and either propagates or — with
+        ``on_failure="fallback_serial"`` — recomputes the call serially,
+        bit-identical to a clean serial run.
+        """
+        if k < 0:
+            raise ValueError("power k must be non-negative")
+        x = _as_float64(x)
+        if x.shape != (self.n,):
+            raise ValueError(f"x has shape {x.shape}, expected ({self.n},)")
+        if out is not None:
+            if not isinstance(out, np.ndarray) or out.dtype != np.float64:
+                raise TypeError("out must be a float64 ndarray")
+            if out.shape != (self.n,):
+                raise ValueError(
+                    f"out has shape {out.shape}, expected ({self.n},)")
+        if check_finite:
+            ensure_finite(x, "input vector x")
+        self.last_stats = None
+        if k == 0:
+            if out is not None:
+                np.copyto(out, x)
+                return out
+            return x.copy()
+        telemetry = obs.current() is not None
+        if telemetry and counter is None:
+            counter = KernelCounter()
+        obs_snap = _snapshot_counter(counter) if telemetry else None
+        mode = self.executor
+        with obs.span("fbmpk.power", k=k, n=self.n, executor=mode,
+                      backend=self.backend, schedule="levels-blocked"):
+            if mode == "serial":
+                y = self._power_body(x, k, counter, check_finite,
+                                     mode="serial", out=out)
+                self._publish_power_telemetry(k, counter, obs_snap)
+                return y
+            fallback = self.on_failure == "fallback_serial"
+            x_saved = x.copy() if fallback else None
+            counter_saved = _snapshot_counter(counter) if fallback else None
+            try:
+                y = self._power_body(x, k, counter, check_finite,
+                                     mode=mode, out=out)
+            except PhaseExecutionError:
+                self.close()
+                self._xy_buf = None  # zombie threads may still hold it
+                if not fallback:
+                    raise
+                warnings.warn(
+                    f"{mode} levels-blocked phase crashed; recomputing "
+                    "serially (on_failure='fallback_serial')",
+                    RuntimeWarning, stacklevel=2)
+                _restore_counter(counter, counter_saved)
+                self.last_stats = None
+                y = self._power_body(x_saved, k, counter, check_finite,
+                                     mode="serial", out=out)
+            except BaseException:
+                self.close()
+                raise
+            self._publish_power_telemetry(k, counter, obs_snap)
+            return y
+
+    def _acquire_xy(self, x: np.ndarray) -> np.ndarray:
+        """The persistent BtB iterate buffer, loaded with ``x`` in the
+        even slots (reused across calls; arena-resident while the
+        process backend is live)."""
+        if self._xy_buf is None:
+            self._xy_buf = np.empty(2 * self.n, dtype=np.float64)
+        xy = self._xy_buf
+        xy[0::2] = x
+        xy[1::2] = 0.0
+        return xy
+
+    def _power_body(self, x: np.ndarray, k: int,
+                    counter: Optional[KernelCounter], check_finite: bool,
+                    mode: str, out: Optional[np.ndarray]) -> np.ndarray:
+        plan = self._plan_for(k)
+        batch = plan.batch
+        procs = mode == "processes"
+        if procs:
+            # Must run before _acquire_xy: binds the iterate buffer to
+            # the pool's shared-memory segment.
+            pstate = self._ensure_procs()
+            slot = self._proc_slot(pstate, k, batch)
+        xy = self._acquire_xy(x)
+        XY = xy.reshape(-1, 2)
+        d = self.part.diag
+        with obs.span("fbmpk.sweep", sweep="blocked", k=k,
+                      n_phases=plan.n_phases):
+            if mode == "threads":
+                pool = self._ensure_threaded()
+                kernels = self._kernels_for(plan)
+                ops = batch.ops
+                stats = ExecutionStats(n_threads=pool.n_threads,
+                                       policy=pool.policy)
+                self.last_stats = stats
+                pool.run_batched(
+                    batch,
+                    lambda g: kernels[g].run(XY, d, int(ops[g])),
+                    stats)
+            elif procs:
+                stats = ExecutionStats(n_threads=pstate.pool.n_workers,
+                                       policy=pstate.pool.policy)
+                self.last_stats = stats
+                pstate.pool.run_batched(slot, "blocked", stats)
+            else:
+                kernels = self._kernels_for(plan)
+                ops = batch.ops
+                for g in range(batch.n_blocks):
+                    kernels[g].run(XY, d, int(ops[g]))
+        if counter:
+            l_total = self.part.lower.nnz
+            u_total = self.part.upper.nnz
+            for _ in range(k):
+                counter.count_l(l_total, l_total)
+                counter.count_u(u_total, u_total)
+        y = XY[:, k & 1]
+        if check_finite:
+            ensure_finite(y, f"iterate A^{k} x")
+        if out is not None:
+            np.copyto(out, y)
+            return out
+        return y.copy()
+
+    # -- telemetry ------------------------------------------------------
+    def _traffic_stats(self):
+        """Lazy traffic stats of the operator's matrix (same measurement
+        as :meth:`FBMPKOperator._traffic_stats`)."""
+        if self._tstats is None:
+            from ..memsim.traffic import MatrixTrafficStats
+
+            bw = 1
+            for tri in (self.part.lower, self.part.upper):
+                if tri.nnz:
+                    rows = np.repeat(
+                        np.arange(tri.n_rows, dtype=np.int64),
+                        tri.row_nnz())
+                    bw = max(bw, int(np.abs(rows - tri.indices).max()))
+            self._tstats = MatrixTrafficStats(
+                n=self.n, nnz=self.part.source_nnz, bandwidth=float(bw))
+        return self._tstats
+
+    def _publish_power_telemetry(self, k: int,
+                                 counter: Optional[KernelCounter],
+                                 snap) -> None:
+        """Publish one completed ``power`` call: instrumented pass
+        counts plus the modelled DRAM bytes of this schedule *and* of
+        FBMPK on the same matrix — the pair whose ratio predicts the
+        crossover."""
+        tel = obs.current()
+        if tel is None or counter is None or snap is None:
+            return
+        l_entries = counter.l_entries - snap[2]
+        u_entries = counter.u_entries - snap[3]
+        nnz = max(self.part.source_nnz, 1)
+        equivalents = (l_entries + u_entries + k * self.n) / nnz
+        obs.add_counter("fbmpk.powers")
+        obs.add_counter("fbmpk.levels_blocked.powers")
+        obs.add_counter("fbmpk.matrix_read_equivalents", equivalents,
+                        unit="A-reads")
+        obs.add_counter("fbmpk.standard_matrix_reads", k, unit="A-reads")
+        from ..memsim.traffic import fbmpk_traffic, levels_blocked_traffic
+
+        stats = self._traffic_stats()
+        lb = levels_blocked_traffic(stats, k, MODEL_CACHE_BYTES,
+                                    block_rows=self.block_rows).total_bytes
+        fb = fbmpk_traffic(stats, k, MODEL_CACHE_BYTES).total_bytes
+        obs.add_counter("fbmpk.model.dram_bytes", lb, unit="bytes")
+        obs.add_counter("fbmpk.model.fbmpk_dram_bytes", fb, unit="bytes")
+        if fb:
+            obs.set_gauge("fbmpk.model.traffic_ratio_vs_fbmpk", lb / fb)
+
+
 def build_fbmpk_operator(
     a: CSRMatrix,
-    strategy: Literal["abmc", "levels"] = "abmc",
+    strategy: Literal["abmc", "levels", "levels-blocked"] = "abmc",
     block_size: int = 1,
     blocking: Literal["consecutive", "bfs"] = "consecutive",
     backend: Backend = "numpy",
@@ -1452,13 +1886,17 @@ def build_fbmpk_operator(
     hang_timeout: Optional[float] = None,
     claim_chunk: Optional[int] = None,
     pin_workers: Optional[bool] = None,
-) -> FBMPKOperator:
+):
     """One-off preprocessing: split, (optionally) reorder, group, extract.
 
     ``strategy="abmc"`` reorders the matrix with
     :func:`repro.reorder.abmc.abmc_ordering` (the paper's parallelisation)
     and derives colour/wave sweep groups; ``strategy="levels"`` keeps the
-    original order and uses dependency levels.  ``block_size`` is the
+    original order and uses dependency levels;
+    ``strategy="levels-blocked"`` returns a
+    :class:`LevelsBlockedOperator` scheduling the RACE-style cache-
+    blocked wavefront over level-merged blocks (``block_size`` then
+    counts rows per resident block).  ``block_size`` is otherwise the
     ABMC rows-per-block knob (1 = point multicolouring, which yields the
     coarsest vectorised groups; the paper's C implementation defaults to
     512/1024 rows for thread-level parallelism).  ``backend`` selects the
@@ -1509,4 +1947,20 @@ def build_fbmpk_operator(
                              hang_timeout=hang_timeout,
                              claim_chunk=claim_chunk,
                              pin_workers=pin_workers)
+    if strategy == "levels-blocked":
+        # The third scheduling family: keeps the original order (like
+        # "levels") but schedules (block, power) wavefronts instead of
+        # per-power sweeps; block_size is the rows-per-block residency
+        # knob (consecutive levels merged until a block holds at least
+        # that many rows).
+        part = split_ldu(a)
+        return LevelsBlockedOperator(part,
+                                     block_rows=max(int(block_size), 1),
+                                     backend=backend, executor=executor,
+                                     n_threads=n_threads,
+                                     assign_policy=assign_policy,
+                                     on_failure=on_failure,
+                                     hang_timeout=hang_timeout,
+                                     claim_chunk=claim_chunk,
+                                     pin_workers=pin_workers)
     raise ValueError(f"unknown strategy {strategy!r}")

@@ -13,6 +13,8 @@ from .traffic import (
     TrafficBreakdown,
     TrafficParams,
     fbmpk_traffic,
+    levels_blocked_crossover,
+    levels_blocked_traffic,
     miss_fraction,
     mpk_standard_traffic,
     spmv_traffic,
@@ -33,6 +35,8 @@ __all__ = [
     "TrafficBreakdown",
     "TrafficParams",
     "fbmpk_traffic",
+    "levels_blocked_crossover",
+    "levels_blocked_traffic",
     "miss_fraction",
     "mpk_standard_traffic",
     "spmv_traffic",

@@ -39,6 +39,8 @@ __all__ = [
     "spmv_traffic",
     "mpk_standard_traffic",
     "fbmpk_traffic",
+    "levels_blocked_traffic",
+    "levels_blocked_crossover",
     "traffic_ratio",
 ]
 
@@ -259,15 +261,113 @@ def fbmpk_traffic(stats: MatrixTrafficStats, k: int, cache_bytes: float,
     return out
 
 
+def levels_blocked_traffic(stats: MatrixTrafficStats, k: int,
+                           cache_bytes: float,
+                           params: Optional[TrafficParams] = None,
+                           block_rows: int = 256,
+                           residency_cache_bytes: Optional[float] = None,
+                           ) -> TrafficBreakdown:
+    """Levels-blocked (RACE-style) wavefront traffic for ``A^k x``.
+
+    The schedule of :mod:`repro.reorder.levels_blocked` applies all
+    ``k`` powers to a cache-sized block within a bounded phase window,
+    so the matrix streams from DRAM *once* and the remaining ``k - 1``
+    logical passes are served from cache — to the extent the wavefront's
+    **diamond working set** fits: about ``2k - 1`` consecutive blocks
+    stay live between a block's first and last visit (the skew of the
+    schedule), each contributing its matrix bytes plus the two BtB
+    iterate slots of its rows.  ``reload`` is the miss fraction of that
+    window; the modelled matrix volume is ``1 + reload * (k - 1)``
+    streams of A.
+
+    The vector side distinguishes this family from the related-work
+    LB-MPK baseline (:mod:`repro.baselines.lbmpk`, which keeps all
+    ``k + 1`` iterate vectors live): the ping-pong pair bounds the live
+    vector set at ``2 n`` values regardless of ``k``, exactly like the
+    standard-MPK accounting.
+    """
+    params = params or TrafficParams()
+    if k == 0:
+        return TrafficBreakdown()
+    vb = params.value_bytes
+    n = float(stats.n)
+    rows = float(min(max(block_rows, 1), max(stats.n, 1)))
+    block_bytes = _matrix_stream(stats.nnz_per_row * rows, rows, params)
+    window = (2.0 * k - 1.0) * (block_bytes + 2.0 * rows * vb)
+    reload = miss_fraction(window, cache_bytes, params.cache_utilization)
+    matrix_passes = 1.0 + reload * (k - 1.0)
+    # Vector accounting mirrors mpk_standard_traffic: a 2n ping-pong
+    # live set, per-power gathers leaking to DRAM only when it does not
+    # stay resident.
+    gather_window = 2.0 * stats.bandwidth * vb
+    mf = miss_fraction(gather_window, cache_bytes,
+                       params.cache_utilization)
+    residency = cache_bytes if residency_cache_bytes is None \
+        else residency_cache_bytes
+    # Live vectors: the BtB pair plus the diagonal (read every power).
+    leak = miss_fraction(3.0 * n * vb, residency,
+                         params.cache_utilization)
+    per_pass_read = _gather_cost(n, stats.nnz, mf, params)
+    per_pass_write = _write_cost(n, params)
+    matrix_bytes = _matrix_stream(stats.nnz, stats.n, params) \
+        * matrix_passes
+    # Diagonal stream: once per power, leaking like a vector (same
+    # accounting as fbmpk_traffic's d_passes term).
+    matrix_bytes += leak * k * n * vb + n * vb
+    return TrafficBreakdown(
+        matrix_bytes=matrix_bytes,
+        vector_read_bytes=n * vb + leak * per_pass_read * k,
+        vector_write_bytes=n * vb + leak * per_pass_write * k,
+    )
+
+
+def levels_blocked_crossover(stats: MatrixTrafficStats,
+                             cache_bytes: float,
+                             params: Optional[TrafficParams] = None,
+                             block_rows: int = 256,
+                             max_k: int = 64,
+                             residency_cache_bytes: Optional[float] = None,
+                             ) -> Optional[int]:
+    """Smallest ``k`` at which the levels-blocked schedule is predicted
+    to move fewer DRAM bytes than FBMPK on this matrix (``None`` if no
+    crossover up to ``max_k``) — FBMPK's volume grows like ``(k+1)/2``
+    matrix streams while a resident wavefront stays near one, so the
+    prediction is the ``k`` where residency starts paying."""
+    params = params or TrafficParams()
+    for k in range(1, max_k + 1):
+        lb = levels_blocked_traffic(
+            stats, k, cache_bytes, params, block_rows=block_rows,
+            residency_cache_bytes=residency_cache_bytes).total_bytes
+        fb = fbmpk_traffic(
+            stats, k, cache_bytes, params,
+            residency_cache_bytes=residency_cache_bytes).total_bytes
+        if lb < fb:
+            return k
+    return None
+
+
 def traffic_ratio(stats: MatrixTrafficStats, k: int, cache_bytes: float,
                   params: Optional[TrafficParams] = None,
                   btb: bool = True,
-                  residency_cache_bytes: Optional[float] = None) -> float:
-    """FBMPK over standard-MPK DRAM volume — the Fig 9 quantity."""
+                  residency_cache_bytes: Optional[float] = None,
+                  method: str = "fbmpk",
+                  block_rows: int = 256) -> float:
+    """Modelled DRAM volume of ``method`` over standard MPK — the Fig 9
+    quantity for ``method="fbmpk"`` (the default); with
+    ``method="levels-blocked"`` the numerator is the blocked wavefront's
+    volume (``block_rows`` sizes its resident blocks)."""
     params = params or TrafficParams()
-    fb = fbmpk_traffic(stats, k, cache_bytes, params, btb=btb,
-                       residency_cache_bytes=residency_cache_bytes).total_bytes
+    if method == "fbmpk":
+        num = fbmpk_traffic(
+            stats, k, cache_bytes, params, btb=btb,
+            residency_cache_bytes=residency_cache_bytes).total_bytes
+    elif method == "levels-blocked":
+        num = levels_blocked_traffic(
+            stats, k, cache_bytes, params, block_rows=block_rows,
+            residency_cache_bytes=residency_cache_bytes).total_bytes
+    else:
+        raise ValueError(f"unknown method {method!r}")
     std = mpk_standard_traffic(
         stats, k, cache_bytes, params,
         residency_cache_bytes=residency_cache_bytes).total_bytes
-    return fb / std if std else float("nan")
+    return num / std if std else float("nan")

@@ -102,6 +102,11 @@ class DescriptorBatch:
     colors: np.ndarray
     policy: str = "lpt"
     _phases: Tuple[Phase, ...] = field(default=(), repr=False)
+    #: Optional per-descriptor update-kind tags (int64, aligned with
+    #: ``starts``).  Colour-phase sweeps leave this ``None`` (the sweep
+    #: name fixes the kernel); the levels-blocked schedule mixes powers
+    #: inside one phase, so each descriptor carries its own op.
+    ops: Optional[np.ndarray] = None
 
     @classmethod
     def from_phases(cls, phases: Sequence[Phase],
@@ -155,9 +160,50 @@ class DescriptorBatch:
         (kept for the serial-fallback path)."""
         return self._phases
 
+    @classmethod
+    def from_op_phases(cls, phases: Sequence[Sequence[Tuple[int, int,
+                                                            int, int]]],
+                       policy: str = "lpt") -> "DescriptorBatch":
+        """Pack per-phase ``(start, stop, nnz, op)`` descriptor lists
+        (the levels-blocked schedule of
+        :func:`repro.reorder.levels_blocked.blocked_descriptors`) into a
+        batch whose descriptors carry their update kind in :attr:`ops`.
+        Phase index doubles as the colour; within a phase descriptors
+        are exposed per the same :func:`ordered_tasks` policies."""
+        starts: List[int] = []
+        stops: List[int] = []
+        nnzs: List[int] = []
+        op_tags: List[int] = []
+        ptr = [0]
+        colors = []
+        for pi, descs in enumerate(phases):
+            if policy == "lpt":
+                descs = sorted(descs, key=lambda t: -t[2])
+            elif policy not in ("round_robin", "dynamic"):
+                raise ValueError(f"unknown policy {policy!r}")
+            for start, stop, nnz, op in descs:
+                starts.append(start)
+                stops.append(stop)
+                nnzs.append(nnz)
+                op_tags.append(op)
+            ptr.append(len(starts))
+            colors.append(pi)
+        return cls(
+            starts=np.asarray(starts, dtype=np.int64),
+            stops=np.asarray(stops, dtype=np.int64),
+            nnz=np.asarray(nnzs, dtype=np.int64),
+            phase_ptr=np.asarray(ptr, dtype=np.int64),
+            colors=np.asarray(colors, dtype=np.int64),
+            policy=policy,
+            ops=np.asarray(op_tags, dtype=np.int64),
+        )
+
     def pack_rows(self) -> np.ndarray:
-        """The ``(2, n_blocks)`` int64 row-range table shipped to
-        workers (row 0 = starts, row 1 = stops)."""
+        """The int64 plan table shipped to workers: ``(2, n_blocks)``
+        (row 0 = starts, row 1 = stops), or ``(3, n_blocks)`` with the
+        per-descriptor :attr:`ops` tags as row 2 when present."""
+        if self.ops is not None:
+            return np.vstack([self.starts, self.stops, self.ops])
         return np.vstack([self.starts, self.stops])
 
 

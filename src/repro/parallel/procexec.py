@@ -96,6 +96,7 @@ from ..robust.errors import PhaseExecutionError
 from ..robust.faults import active_injectors as _active_injectors
 from ..robust.faults import fire as _fire_fault
 from ..robust.faults import fire_timed as _fire_fault_timed
+from ..reorder.levels_blocked import OP_EVEN, OP_FINAL_ODD, OP_ODD
 from ..sparse.csr import reduce_rows
 from .dispatch import (
     CTRL_CURSOR,
@@ -126,8 +127,11 @@ SHM_PREFIX = "repro-shm-"
 #: The named kernels a worker can execute.  ``forward``/``backward`` are
 #: the vector (BtB pair) sweeps of ``power``; the ``*_block`` variants
 #: operate on the interleaved ``(n, 2m)`` block buffer of
-#: ``power_block``.
-SWEEPS = ("forward", "backward", "forward_block", "backward_block")
+#: ``power_block``; ``blocked`` is the levels-blocked wavefront update,
+#: whose per-descriptor op tag (row 2 of the plan table) selects the
+#: update kind.
+SWEEPS = ("forward", "backward", "forward_block", "backward_block",
+          "blocked")
 
 _SegmentSpec = Tuple[str, str, Tuple[int, ...]]  # (shm name, dtype, shape)
 
@@ -298,11 +302,35 @@ class _Views:
             return local, self.l_indices[lo:hi], self.l_data[lo:hi]
         return local, self.u_indices[lo:hi], self.u_data[lo:hi]
 
-    def run(self, sweep: str, start: int, stop: int) -> None:
+    def run(self, sweep: str, start: int, stop: int,
+            op: int = -1) -> None:
         """Execute one block task (same arithmetic as the serial fused
-        sweeps and the threaded ``_BlockKernel``)."""
+        sweeps and the threaded ``_BlockKernel``).  ``op`` is the
+        per-descriptor update kind of the ``"blocked"`` sweep (ignored
+        by the colour-phase sweeps, whose name fixes the kernel)."""
         r = slice(start, stop)
-        if sweep == "forward":
+        if sweep == "blocked":
+            # Levels-blocked ping-pong update: odd powers read BtB slot
+            # 0 and write slot 1, even powers the reverse; the three
+            # association orders reproduce the serial FBMPK stage that
+            # produces the same power (see repro.reorder.levels_blocked).
+            XY, d = self.xy2, self.diag
+            rs, ws = (1, 0) if op == OP_EVEN else (0, 1)
+            ipl, cl, vl = self._tri(True, start, stop)
+            ipu, cu, vu = self._tri(False, start, stop)
+            xin = XY[:, rs]
+            lsum = reduce_rows(vl * xin[cl], ipl)
+            usum = reduce_rows(vu * xin[cu], ipu)
+            dx = d[r] * xin[r]
+            if op == OP_ODD:          # forward-stage order
+                XY[r, ws] = usum + dx + lsum
+            elif op == OP_EVEN:       # backward-stage order
+                XY[r, ws] = lsum + dx + usum
+            elif op == OP_FINAL_ODD:  # tail order
+                XY[r, ws] = lsum + usum + dx
+            else:
+                raise ValueError(f"unknown blocked op {op!r}")
+        elif sweep == "forward":
             ipl, c, v = self._tri(True, start, stop)
             XY, tmp, d = self.xy2, self.tmp, self.diag
             new_odd = tmp[r] + d[r] * XY[r, 0] \
@@ -406,7 +434,8 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
     pid = os.getpid()
     t_idle0 = time.monotonic()
     blk: Optional[_AttachedSegments] = None
-    plans: Dict[int, Tuple[_AttachedSegments, np.ndarray, np.ndarray]] = {}
+    plans: Dict[int, Tuple[_AttachedSegments, np.ndarray, np.ndarray,
+                           Optional[np.ndarray]]] = {}
 
     def bind(spec: Optional[Dict[str, _SegmentSpec]]) -> None:
         nonlocal blk
@@ -421,7 +450,10 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
     def attach_plan(slot: int, spec: _SegmentSpec) -> None:
         seg = _AttachedSegments({"rows": spec})
         rows = seg.view("rows")
-        plans[slot] = (seg, rows[0], rows[1])
+        # Row 2, when present, carries the per-descriptor op tags of a
+        # levels-blocked plan.
+        ops = rows[2] if rows.shape[0] > 2 else None
+        plans[slot] = (seg, rows[0], rows[1], ops)
 
     for plan_slot, plan_spec in plan_specs.items():
         attach_plan(plan_slot, plan_spec)
@@ -441,7 +473,7 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
             #  chunk, trace) — one triple per worker per phase; trace is
             #  None (telemetry off) or (trace_id, parent_span_id).
             _, sweep, slot, pi, color, lo, hi, epoch, chunk, trace = msg
-            _, starts, stops = plans[slot]
+            _, starts, stops, ops = plans[slot]
             t_mono0 = time.monotonic()
             sweep_idx = SWEEPS.index(sweep) if sweep in SWEEPS else -1
             if ring is not None and trace is not None:
@@ -473,7 +505,8 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
                             task_hook(sweep=sweep, phase_index=pi,
                                       color=color, start=start,
                                       stop=stop, worker=worker_id)
-                        views.run(sweep, start, stop)
+                        views.run(sweep, start, stop,
+                                  -1 if ops is None else int(ops[g]))
                         claimed += 1
                 if ring is not None and trace is not None and claimed:
                     # Written before the barrier arrival: the lock/event
@@ -506,7 +539,7 @@ def _worker_main(worker_id: int, core_spec: Dict[str, _SegmentSpec],
                 barrier.arrive()
                 t_idle0 = time.monotonic()
     finally:
-        for seg, _, _ in plans.values():
+        for seg, _, _, _ in plans.values():
             seg.close()
         if blk is not None:
             blk.close()
@@ -867,12 +900,48 @@ class ProcessPhaseExecutor:
                                phase.total_nnz, elapsed)
         return stats
 
+    def run_serial_batch(self, batch: DescriptorBatch, sweep: str,
+                         stats: Optional[ExecutionStats] = None
+                         ) -> ExecutionStats:
+        """Execute a descriptor batch in the calling process, descriptors
+        in batch order, forwarding per-descriptor op tags — the
+        reference (and ``fallback_serial`` target) for plans whose
+        legacy ``Phase`` list is absent, e.g. levels-blocked batches."""
+        if sweep not in SWEEPS:
+            raise ValueError(f"unknown sweep {sweep!r}")
+        if stats is None:
+            stats = ExecutionStats(n_threads=self.n_workers,
+                                   policy=self.policy)
+        views = self._views
+        ops = batch.ops
+        for pi in range(batch.n_phases):
+            lo, hi = batch.phase_range(pi)
+            color = batch.phase_color(pi)
+            nnz = batch.phase_nnz(pi)
+            with obs.span("executor.phase", phase=pi, colour=color,
+                          n_tasks=hi - lo, nnz=nnz, mode="serial"):
+                t0 = time.perf_counter()
+                for g in range(lo, hi):
+                    views.run(sweep, int(batch.starts[g]),
+                              int(batch.stops[g]),
+                              -1 if ops is None else int(ops[g]))
+                elapsed = time.perf_counter() - t0
+            stats.thread_busy_s[0] += elapsed
+            self._finish_phase(stats, color, hi - lo, nnz, elapsed)
+        return stats
+
     def register_phases(self, phases: Sequence[Phase]) -> int:
         """Pack ``phases`` into a descriptor plan, place its row table
         in the arena, and return the plan slot for :meth:`run_batched`.
         Registration is the one-time cost that buys one-enqueue-per-
         phase-per-worker dispatch on every subsequent sweep."""
-        batch = DescriptorBatch.from_phases(phases, self.policy)
+        return self.register_batch(
+            DescriptorBatch.from_phases(phases, self.policy))
+
+    def register_batch(self, batch: DescriptorBatch) -> int:
+        """Place an already-packed descriptor batch in the arena (its
+        row table gains the op-tag row when the batch carries one) and
+        return the plan slot for :meth:`run_batched`."""
         slot = self._next_plan
         self._next_plan += 1
         self.arena.add(f"plan{slot}", batch.pack_rows())
@@ -964,6 +1033,8 @@ class ProcessPhaseExecutor:
                     stats.enqueues = snap[3]
                     stats.steals = snap[4]
                     reset()
+                    if batch.ops is not None or not batch.phases:
+                        return self.run_serial_batch(batch, sweep, stats)
                     return self.run_serial(batch.phases, sweep, stats)
                 raise failure
             self._finish_phase(stats, color, hi - lo, nnz, elapsed)

@@ -16,6 +16,14 @@ from .levels import (
     levels_to_groups,
     levels_vectorised,
 )
+from .levels_blocked import (
+    BlockedSchedule,
+    LevelBlocking,
+    blocked_descriptors,
+    build_blocked_schedule,
+    build_level_blocking,
+    check_blocked_schedule,
+)
 from .permute import (
     compose_permutations,
     invert_permutation,
@@ -38,6 +46,12 @@ __all__ = [
     "quotient_graph",
     "check_levels",
     "compute_levels",
+    "BlockedSchedule",
+    "LevelBlocking",
+    "blocked_descriptors",
+    "build_blocked_schedule",
+    "build_level_blocking",
+    "check_blocked_schedule",
     "levels_sequential",
     "levels_to_groups",
     "levels_vectorised",

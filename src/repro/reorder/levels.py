@@ -46,11 +46,14 @@ def levels_sequential(tri: CSRMatrix, direction: str = "forward") -> np.ndarray:
     ``"backward"`` treats it as a strict upper triangle (dependencies
     point to larger ids, sweep bottom-up).
     """
-    n = tri.n_rows
-    levels = np.zeros(n, dtype=np.int64)
-    rows = range(n) if direction == "forward" else range(n - 1, -1, -1)
     if direction not in ("forward", "backward"):
         raise ValueError(f"unknown direction {direction!r}")
+    n = tri.n_rows
+    levels = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        # Agree with levels_vectorised: empty matrix -> empty level array.
+        return levels
+    rows = range(n) if direction == "forward" else range(n - 1, -1, -1)
     for i in rows:
         deps = tri.indices[tri.indptr[i] : tri.indptr[i + 1]]
         if deps.size:

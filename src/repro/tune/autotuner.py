@@ -33,8 +33,23 @@ out.  The budget also bounds the cross-process
 :meth:`~repro.tune.cache.PlanCache.lock` wait, so a caller can never
 block indefinitely behind another process's search.
 
+Racing: timing every candidate for the full ``repeats`` budget wastes
+most of the search on plans that were never going to win.  With
+``racing=True`` (the default for :func:`autotune_power`) a non-default
+candidate gets one timed repeat first; if that single repeat already
+exceeds :data:`RACING_MARGIN` times the best trimmed mean measured so
+far, the candidate is *raced out* — its remaining repeats and identity
+probes are skipped, its trial records the pessimistic single-repeat
+time with ``raced=True``, and it can never be selected.  The winner is
+unchanged in expectation (a true winner's single repeat would have to
+be >50% slower than the incumbent's trimmed mean to be dropped) while
+the search spends its wall clock on the contenders.
+``TuningResult.search_s`` records the measured search wall time so the
+saving is observable.
+
 Telemetry (all no-ops without an active :class:`repro.obs.Telemetry`):
 ``tune.autotune`` / ``tune.candidate`` spans, ``tune.candidates`` /
+``tune.candidates_raced`` /
 ``tune.rejected_not_identical`` / ``tune.rejected_inefficient`` /
 ``tune.errors`` /
 ``tune.budget_exhausted`` / ``tune.breaker.*`` counters, and
@@ -76,6 +91,7 @@ __all__ = [
     "autotune_spmv",
     "tuned_matvec",
     "SEARCH_BREAKER",
+    "RACING_MARGIN",
 ]
 
 #: ``cache`` argument accepted by the autotune entry points: ``None``
@@ -92,6 +108,14 @@ BreakerArg = Union[None, bool, CircuitBreaker]
 #: ``tune`` so its metrics land under ``tune.breaker.*``.
 SEARCH_BREAKER = CircuitBreaker("tune", failure_threshold=3,
                                 reset_timeout_s=60.0)
+
+#: Racing threshold: a candidate whose *single* first repeat exceeds
+#: this multiple of the best trimmed mean so far is dropped without
+#: spending its remaining repeats or identity probes.  1.5 leaves a
+#: wide noise margin — one preempted repeat on a loaded machine rarely
+#: inflates a power call by 50% after warmup — so a genuine winner is
+#: effectively never raced out.
+RACING_MARGIN = 1.5
 
 
 def _resolve_breaker(breaker: BreakerArg) -> Optional[CircuitBreaker]:
@@ -130,6 +154,11 @@ class Trial:
     #: worker-pool dispatch for a slowdown is strictly worse than the
     #: untuned path.  None means the guard did not apply.
     efficient: Optional[bool] = None
+    #: True when racing dropped this candidate after its first timed
+    #: repeat (``time_s`` is that single pessimistic sample and the
+    #: identity probes never ran, so ``accepted`` is False).  None when
+    #: racing did not apply.
+    raced: Optional[bool] = None
     error: Optional[str] = None
 
     @property
@@ -160,6 +189,9 @@ class TuningResult:
     #: whatever had been measured so far, and the guarding breaker
     #: counts the call as a failure.
     budget_exhausted: bool = False
+    #: Wall-clock seconds the search spent measuring candidates; None
+    #: on a cache hit or breaker short-circuit (nothing was searched).
+    search_s: Optional[float] = None
 
     @property
     def speedup(self) -> Optional[float]:
@@ -237,6 +269,7 @@ def autotune_power(
     seed: int = 0,
     search_budget_s: Optional[float] = None,
     breaker: BreakerArg = None,
+    racing: bool = True,
 ):
     """Tune the ``A^k x`` pipeline for ``a``.
 
@@ -251,6 +284,13 @@ def autotune_power(
     pre-ordered, optionally truncated to ``max_candidates`` — the
     default plan always survives truncation) is measured and gated as
     described in the module docstring, and the winner is persisted.
+
+    ``racing=True`` (the default) drops candidates whose first timed
+    repeat already exceeds :data:`RACING_MARGIN` times the best trimmed
+    mean so far, skipping their remaining repeats and identity probes —
+    see the module docstring.  Pass ``racing=False`` to time every
+    candidate for the full ``repeats`` budget (e.g. when harvesting
+    complete per-candidate timings for analysis).
 
     ``search_budget_s`` bounds the search (and the cross-process cache
     lock wait): once exhausted, no further candidate is measured — the
@@ -272,7 +312,7 @@ def autotune_power(
                 brk,
                 lambda: _search_power(a, k, fp, st, repeats, warmup,
                                       candidates, max_candidates, seed,
-                                      search_budget_s),
+                                      search_budget_s, racing),
                 lambda: _default_power(a, fp))
 
         if store is None or force:
@@ -314,7 +354,8 @@ def _load_power_entry(store, fp, a):
 
 
 def _search_power(a, k, fp, store, repeats, warmup, candidates,
-                  max_candidates, seed, budget_s=None):
+                  max_candidates, seed, budget_s=None, racing=True):
+    search_t0 = time.perf_counter()
     plans = list(candidates) if candidates is not None \
         else power_candidates()
     plans = order_power_candidates(plans, a, k)
@@ -352,8 +393,37 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
                 t0 = time.perf_counter()
                 op = instantiate_power(plan, a)
                 trial.build_time_s = time.perf_counter() - t0
-                trial.time_s, y0 = _time_candidate(
-                    lambda: op.power(probes[0], k), repeats, warmup)
+
+                def run(op=op):
+                    return op.power(probes[0], k)
+
+                reference = best[0].time_s if best is not None else None
+                if racing and i > 0 and reference is not None:
+                    for _ in range(warmup):
+                        run()
+                    t0 = time.perf_counter()
+                    y0 = run()
+                    first = time.perf_counter() - t0
+                    if first > RACING_MARGIN * reference:
+                        # Raced out: a single repeat already misses the
+                        # incumbent by the margin.  Record the
+                        # pessimistic sample (it cannot win) and skip
+                        # the remaining repeats and identity probes.
+                        trial.time_s = first
+                        trial.raced = True
+                        obs.add_counter("tune.candidates_raced")
+                        op.close()
+                        continue
+                    trial.raced = False
+                    samples = [first]
+                    for _ in range(max(repeats, 1) - 1):
+                        t0 = time.perf_counter()
+                        y0 = run()
+                        samples.append(time.perf_counter() - t0)
+                    trial.time_s = trimmed_mean(samples)
+                else:
+                    trial.time_s, y0 = _time_candidate(run, repeats,
+                                                       warmup)
                 ys = [y0] + [op.power(x, k) for x in probes[1:]]
             except Exception as exc:
                 trial.error = repr(exc)
@@ -403,7 +473,8 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
     result = TuningResult(
         kind="power", fingerprint=fp, plan=win_trial.plan, source="search",
         trials=trials, default_time_s=default_time,
-        best_time_s=win_trial.time_s, budget_exhausted=budget_exhausted)
+        best_time_s=win_trial.time_s, budget_exhausted=budget_exhausted,
+        search_s=time.perf_counter() - search_t0)
     if default_time is not None:
         obs.set_gauge("tune.default_time_s", default_time, unit="s")
     obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
@@ -414,6 +485,8 @@ def _search_power(a, k, fp, store, repeats, warmup, candidates,
             "time_s": win_trial.time_s,
             "default_time_s": default_time,
             "candidates": len(trials),
+            "search_s": result.search_s,
+            "raced": sum(1 for t in trials if t.raced),
         }
         operator = win_op if isinstance(win_op, FBMPKOperator) else None
         result.cache_path = store.store(fp, win_trial.plan, meta=meta,
@@ -492,6 +565,7 @@ def _load_spmv_entry(store, fp, a):
 
 def _search_spmv(a, fp, store, repeats, warmup, candidates, seed,
                  budget_s=None):
+    search_t0 = time.perf_counter()
     plans = list(candidates) if candidates is not None \
         else spmv_candidates()
     deadline = Deadline.after(budget_s) if budget_s is not None \
@@ -555,7 +629,8 @@ def _search_spmv(a, fp, store, repeats, warmup, candidates, seed,
     result = TuningResult(
         kind="spmv", fingerprint=fp, plan=win_trial.plan,
         source="search", trials=trials, default_time_s=default_time,
-        best_time_s=win_trial.time_s, budget_exhausted=budget_exhausted)
+        best_time_s=win_trial.time_s, budget_exhausted=budget_exhausted,
+        search_s=time.perf_counter() - search_t0)
     if default_time is not None:
         obs.set_gauge("tune.default_time_s", default_time, unit="s")
     obs.set_gauge("tune.best_time_s", win_trial.time_s, unit="s")
@@ -565,6 +640,7 @@ def _search_spmv(a, fp, store, repeats, warmup, candidates, seed,
             "time_s": win_trial.time_s,
             "default_time_s": default_time,
             "candidates": len(trials),
+            "search_s": result.search_s,
         })
     return win_fn, result
 

@@ -11,8 +11,10 @@ Two candidate spaces exist, matching :data:`repro.tune.plan.PLAN_KINDS`:
 
 * ``power`` — the FBMPK ``A^k x`` pipeline.  Knobs: ``variant``
   (``"fused"`` sweep-grouped operator or ``"unfused"`` whole-triangle
-  staging with BtB off), ``strategy`` (``"abmc"``/``"levels"``),
-  ``block_size`` (ABMC rows per block), ``backend``
+  staging with BtB off), ``strategy``
+  (``"abmc"``/``"levels"``/``"levels-blocked"``), ``block_size``
+  (ABMC rows per block; for ``levels-blocked`` the cache-residency
+  block row count), ``backend``
   (``"numpy"``/``"scipy"`` sweep kernels), ``executor``
   (``"serial"``/``"threads"``/``"processes"``) and ``n_threads``.
 * ``spmv`` — one sparse matrix-vector product.  Knobs: ``kernel``
@@ -175,9 +177,16 @@ def power_candidates(
         thread_counts = _default_thread_counts()
     default = default_power_plan()
     plans = [default]
-    strategies = [("abmc", 1), ("abmc", 256), ("levels", 1)]
+    # levels-blocked block sizes bracket the residency regime: 256 rows
+    # keeps the (2k-1)-block wavefront window inside L2-sized caches,
+    # 4096 inside the shared LLC.  The scipy backend is omitted for
+    # levels-blocked: its blocked sweep kernel is backend-independent.
+    strategies = [("abmc", 1), ("abmc", 256), ("levels", 1),
+                  ("levels-blocked", 256), ("levels-blocked", 4096)]
     for strategy, block_size in strategies:
-        for backend in ("numpy", "scipy"):
+        backends = ("numpy",) if strategy == "levels-blocked" \
+            else ("numpy", "scipy")
+        for backend in backends:
             fused = ExecutionPlan("power", {
                 "variant": "fused",
                 "strategy": strategy,
@@ -244,12 +253,21 @@ def order_power_candidates(
 
     def hint(plan: ExecutionPlan) -> float:
         params = plan.params
-        method = "standard" if params.get("variant") == "unfused" \
-            else "fbmpk"
+        if params.get("variant") == "unfused":
+            method = "standard"
+        elif params.get("strategy") == "levels-blocked":
+            method = "levels-blocked"
+        else:
+            method = "fbmpk"
         n_threads = int(params.get("n_threads") or 1)
         # Group count before preprocessing is unknown; charge a nominal
-        # per-sweep barrier population for threaded plans.
+        # per-sweep barrier population for threaded plans.  For
+        # levels-blocked the group count is the block count, which the
+        # block-size knob pins well enough for ordering purposes.
         n_groups = 8 if n_threads > 1 else 1
+        if method == "levels-blocked":
+            block = max(int(params.get("block_size", 256)), 1)
+            n_groups = max(-(-a.n_rows // block), 1)
         return execution_cost_hint(
             k, a.n_rows, a.nnz, method=method, n_groups=n_groups,
             n_threads=n_threads,
@@ -288,7 +306,12 @@ def instantiate_power(
     pin_workers = params.get("pin_workers")
     if claim_chunk is not None:
         claim_chunk = int(claim_chunk)
-    if operator_path is not None:
+    # Saved-operator artefacts only exist for FBMPKOperator winners;
+    # a levels-blocked plan always rebuilds (its preprocessing is a
+    # single cheap level sweep, not the ABMC colouring the artefact
+    # amortises).
+    if operator_path is not None \
+            and params.get("strategy") != "levels-blocked":
         try:
             return FBMPKOperator.load(
                 operator_path, backend=backend, executor=executor,

@@ -8,6 +8,8 @@ from repro.memsim.traffic import (
     MatrixTrafficStats,
     TrafficParams,
     fbmpk_traffic,
+    levels_blocked_crossover,
+    levels_blocked_traffic,
     miss_fraction,
     mpk_standard_traffic,
     spmv_traffic,
@@ -113,3 +115,70 @@ class TestPipelines:
         total_before = a.total_bytes
         a += mpk_standard_traffic(BIG, 1, MB32)
         assert a.total_bytes == pytest.approx(2 * total_before)
+
+
+class TestLevelsBlocked:
+    def test_single_stream_when_window_fits(self):
+        # Window fits: the matrix streams from DRAM exactly once no
+        # matter how many powers reuse it — the residency win.
+        t1 = levels_blocked_traffic(BIG, 1, 1e12, block_rows=4096)
+        t8 = levels_blocked_traffic(BIG, 8, 1e12, block_rows=4096)
+        assert t8.matrix_bytes < 1.5 * t1.matrix_bytes
+
+    def test_reload_when_window_exceeds_cache(self):
+        # Window blown: every extra power pays a reload, approaching
+        # standard MPK's k matrix streams.
+        tiny_cache = 64 * 1024
+        t1 = levels_blocked_traffic(BIG, 1, tiny_cache, block_rows=4096)
+        t8 = levels_blocked_traffic(BIG, 8, tiny_cache, block_rows=4096)
+        assert t8.matrix_bytes > 4 * t1.matrix_bytes
+
+    def test_window_grows_with_k_and_block_rows(self):
+        cache = MB32
+        by_k = [levels_blocked_traffic(BIG, k, cache,
+                                       block_rows=4096).matrix_bytes
+                for k in (2, 8, 32)]
+        assert by_k == sorted(by_k)
+        small = levels_blocked_traffic(BIG, 8, cache, block_rows=256)
+        large = levels_blocked_traffic(BIG, 8, cache, block_rows=65536)
+        assert small.matrix_bytes <= large.matrix_bytes
+
+    def test_k0_is_free(self):
+        assert levels_blocked_traffic(BIG, 0, MB32).total_bytes == 0.0
+
+    def test_beats_fbmpk_in_residency_regime(self):
+        # One matrix stream vs FBMPK's (k+1)/2: with a fitting window
+        # the blocked schedule must win for k >= 2.
+        lb = levels_blocked_traffic(BIG, 8, 1e12, block_rows=4096)
+        fb = fbmpk_traffic(BIG, 8, 1e12)
+        assert lb.total_bytes < fb.total_bytes
+
+    def test_crossover_prediction(self):
+        # A generous cache predicts an early crossover; a cache too
+        # small for even one block's window predicts none up to max_k.
+        assert levels_blocked_crossover(BIG, 1e12, block_rows=4096) is not None
+        tight = levels_blocked_crossover(BIG, 16 * 1024, block_rows=65536,
+                                         max_k=8)
+        if tight is not None:  # if it exists it must be within range
+            assert 1 <= tight <= 8
+
+    def test_crossover_is_first_winning_k(self):
+        cache = 1e12
+        k = levels_blocked_crossover(BIG, cache, block_rows=4096)
+        lb = levels_blocked_traffic(BIG, k, cache,
+                                    block_rows=4096).total_bytes
+        fb = fbmpk_traffic(BIG, k, cache).total_bytes
+        assert lb < fb
+        if k > 1:
+            lb_prev = levels_blocked_traffic(BIG, k - 1, cache,
+                                             block_rows=4096).total_bytes
+            fb_prev = fbmpk_traffic(BIG, k - 1, cache).total_bytes
+            assert lb_prev >= fb_prev
+
+    def test_traffic_ratio_method_dispatch(self):
+        r_fb = traffic_ratio(BIG, 8, MB32)
+        r_lb = traffic_ratio(BIG, 8, MB32, method="levels-blocked",
+                             block_rows=4096)
+        assert r_fb > 0 and r_lb > 0 and r_fb != r_lb
+        with pytest.raises(ValueError):
+            traffic_ratio(BIG, 8, MB32, method="nope")

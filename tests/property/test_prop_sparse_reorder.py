@@ -70,6 +70,22 @@ def test_partition_is_exact_decomposition(a):
 
 
 @settings(max_examples=60, deadline=None)
+@given(a=square_csr())
+def test_level_computations_agree(a):
+    """The sequential and vectorised level sweeps are two algorithms
+    for the same fixpoint: they must agree exactly on any triangle, in
+    both directions (including n=0 and empty-triangle inputs)."""
+    from repro.reorder.levels import levels_sequential, levels_vectorised
+
+    part = split_ldu(a)
+    for tri, direction in ((part.lower, "forward"),
+                           (part.upper, "backward")):
+        np.testing.assert_array_equal(
+            levels_sequential(tri, direction),
+            levels_vectorised(tri, direction))
+
+
+@settings(max_examples=60, deadline=None)
 @given(a=square_csr(),
        block_size=st.integers(min_value=1, max_value=10))
 def test_abmc_produces_valid_ordering(a, block_size):

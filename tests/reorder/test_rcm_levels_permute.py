@@ -153,3 +153,54 @@ class TestLevels:
         if part.lower.nnz:
             bad = np.zeros(small_sym.n_rows, dtype=np.int64)
             assert not check_levels(part.lower, bad)
+
+    def test_empty_matrix_all_paths_agree(self):
+        tri = CSRMatrix.zeros((0, 0))
+        for direction in ("forward", "backward"):
+            seq = levels_sequential(tri, direction)
+            vec = levels_vectorised(tri, direction)
+            assert seq.shape == (0,) and vec.shape == (0,)
+            np.testing.assert_array_equal(seq, vec)
+            assert check_levels(tri, seq)
+        assert levels_to_groups(levels_sequential(tri)) == []
+
+    def test_empty_matrix_still_validates_direction(self):
+        # The direction check must fire before any row iteration, so a
+        # 0-row matrix with a bogus direction raises instead of
+        # silently returning.
+        tri = CSRMatrix.zeros((0, 0))
+        with pytest.raises(ValueError):
+            levels_sequential(tri, "sideways")
+        with pytest.raises(ValueError):
+            levels_vectorised(tri, "sideways")
+
+    def test_single_dense_row(self):
+        # One row depending on every other: it sits alone at level 1,
+        # everything else at level 0 — two groups.
+        n = 6
+        dense = np.zeros((n, n))
+        dense[n - 1, : n - 1] = 1.0
+        tri = CSRMatrix.from_dense(dense)
+        levels = levels_sequential(tri, "forward")
+        np.testing.assert_array_equal(levels, [0] * (n - 1) + [1])
+        np.testing.assert_array_equal(levels, levels_vectorised(tri))
+        groups = levels_to_groups(levels)
+        assert len(groups) == 2
+        assert groups[1].tolist() == [n - 1]
+        assert check_levels(tri, levels)
+
+    def test_sequential_chain_groups_singletons(self):
+        # The worst case for level parallelism: a strict chain yields n
+        # singleton groups in dependency order.
+        n = 8
+        dense = np.zeros((n, n))
+        for i in range(1, n):
+            dense[i, i - 1] = 1.0
+        tri = CSRMatrix.from_dense(dense)
+        groups = levels_to_groups(levels_sequential(tri, "forward"))
+        assert [g.tolist() for g in groups] == [[i] for i in range(n)]
+        assert check_levels(tri, np.arange(n))
+        # A level assignment that breaks one edge must be rejected.
+        broken = np.arange(n)
+        broken[-1] = 0
+        assert not check_levels(tri, broken)

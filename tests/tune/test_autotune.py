@@ -31,10 +31,14 @@ FAST_POWER_CANDIDATES = [
 
 
 def _tune(a, k=4, **kw):
+    # racing=False: these tests assert on complete per-candidate
+    # measurements (scripted or real); the racing fast path has its own
+    # tests below.
     kw.setdefault("cache", False)
     kw.setdefault("repeats", 1)
     kw.setdefault("warmup", 0)
     kw.setdefault("candidates", FAST_POWER_CANDIDATES)
+    kw.setdefault("racing", False)
     return autotune_power(a, k=k, **kw)
 
 
@@ -332,3 +336,72 @@ def test_tune_telemetry_counters(grid):
     span_names = {r.name for r in tel.recorder.records()}
     assert "tune.autotune" in span_names
     assert "tune.candidate" in span_names
+
+
+# -- racing ----------------------------------------------------------------
+def test_racing_drops_hopeless_candidate(grid):
+    """A processes plan on a 64-row grid pays per-call dispatch far
+    beyond the racing margin over serial: with racing on, its first
+    timed repeat disqualifies it — no further repeats, no identity
+    probes — and the default still wins."""
+    with obs.Telemetry() as tel:
+        op, res = _tune(grid, racing=True, repeats=3,
+                        candidates=[default_power_plan(), PROCESSES_PLAN])
+    counters = {name: c["value"] for name, c
+                in tel.metrics.snapshot()["counters"].items()}
+    try:
+        trial = next(t for t in res.trials if t.plan == PROCESSES_PLAN)
+        assert trial.raced is True
+        assert trial.time_s is not None  # the pessimistic single repeat
+        assert trial.identical is None   # probes were skipped
+        assert not trial.accepted
+        assert res.plan == default_power_plan()
+        assert counters["tune.candidates_raced"] == 1
+    finally:
+        op.close()
+
+
+def test_racing_never_races_the_default(grid):
+    """Candidate 0 defines the reference outputs, so it is always fully
+    measured regardless of racing."""
+    op, res = _tune(grid, racing=True, repeats=2)
+    try:
+        assert res.trials[0].raced is None
+        assert res.trials[0].identical is True
+    finally:
+        op.close()
+
+
+def test_racing_keeps_competitive_candidates(grid):
+    """A serial candidate within the margin survives racing and is
+    fully measured and identity-gated like before."""
+    op, res = _tune(grid, racing=True, repeats=2,
+                    candidates=FAST_POWER_CANDIDATES[:2])
+    try:
+        survivor = res.trials[1]
+        if survivor.raced is not True:  # survived the first repeat
+            assert survivor.raced is False
+            assert survivor.identical is not None
+    finally:
+        op.close()
+
+
+def test_search_s_recorded(grid):
+    for racing in (False, True):
+        op, res = _tune(grid, racing=racing)
+        try:
+            assert res.source == "search"
+            assert res.search_s is not None and res.search_s > 0.0
+        finally:
+            op.close()
+
+
+def test_search_s_in_cache_meta(tmp_path, grid):
+    import json
+
+    cache = PlanCache(tmp_path)
+    op, res = _tune(grid, cache=cache, racing=True)
+    op.close()
+    payload = json.loads(res.cache_path.read_text())
+    assert payload["meta"]["search_s"] > 0.0
+    assert payload["meta"]["raced"] >= 0
